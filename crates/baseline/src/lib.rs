@@ -1,0 +1,164 @@
+//! Baseline key-value stores for the ShieldStore reproduction.
+//!
+//! The paper compares ShieldStore against four systems; all are
+//! implemented here on top of the same [`sgx_sim`] substrate:
+//!
+//! * [`naive::NaiveEnclaveStore`] — the paper's **Baseline**: a chained
+//!   hash table placed entirely in enclave memory, so every access beyond
+//!   the EPC budget demand-pages (§3.1, Figs. 3, 10-13).
+//! * [`naive::NaiveEnclaveStore::insecure`] — the same store without SGX
+//!   (the paper's **NoSGX** / *Insecure Baseline*).
+//! * [`memcached::MemcachedLike`] — a memcached-flavoured store (slab
+//!   classes, striped locks, a maintainer thread that holds locks) run
+//!   under a Graphene-style libOS inside the enclave (Table 1, Fig. 13).
+//! * [`eleos::EleosStore`] — Eleos-style **user-space paging**: an
+//!   in-enclave secure page cache backed by page-granularity encrypted
+//!   untrusted memory, with a memsys5-like 2 GB pool limit (Figs. 16-17).
+//!
+//! The [`KvBackend`] trait gives the benchmark harness one interface over
+//! every store, including ShieldStore itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eleos;
+pub mod memcached;
+pub mod naive;
+
+pub use eleos::EleosStore;
+pub use memcached::MemcachedLike;
+pub use naive::NaiveEnclaveStore;
+
+/// A uniform interface over every store under evaluation.
+///
+/// Methods take `&self`; implementations synchronize internally. `set`
+/// returns `false` when the store cannot accept the item (e.g. Eleos
+/// exhausting its memory pool), letting harnesses record capacity limits
+/// instead of panicking.
+pub trait KvBackend: Send + Sync {
+    /// Store name for report rows.
+    fn name(&self) -> &str;
+    /// Reads a key.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+    /// Writes a key. Returns `false` on capacity failure.
+    fn set(&self, key: &[u8], value: &[u8]) -> bool;
+    /// Deletes a key; `true` if it existed.
+    fn delete(&self, key: &[u8]) -> bool;
+    /// Appends to a key's value (creating it when absent).
+    fn append(&self, key: &[u8], suffix: &[u8]) -> bool {
+        let mut v = self.get(key).unwrap_or_default();
+        v.extend_from_slice(suffix);
+        self.set(key, &v)
+    }
+    /// Adds `delta` to a decimal-integer value (creating it when absent).
+    /// Returns the new value, or `None` if the value is not numeric.
+    fn increment(&self, key: &[u8], delta: i64) -> Option<i64> {
+        let current = match self.get(key) {
+            Some(v) => core::str::from_utf8(&v).ok()?.trim().parse::<i64>().ok()?,
+            None => 0,
+        };
+        let next = current.checked_add(delta)?;
+        self.set(key, next.to_string().as_bytes()).then_some(next)
+    }
+    /// Number of live entries.
+    fn len(&self) -> usize;
+    /// True when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Ordered prefix scan, where supported. `None` means the store has
+    /// no ordered index (the paper's hash-only design); stores built with
+    /// `Config::ordered_index` return the matching entries in key order.
+    fn scan_prefix(&self, _prefix: &[u8], _limit: usize) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        None
+    }
+    /// Resets phase-relative simulator timing (the EPC fault channel).
+    /// Harnesses call this when they reset per-thread virtual clocks at
+    /// the start of a measured run; stores without a simulated enclave
+    /// have nothing to do.
+    fn reset_timing(&self) {}
+    /// Informs the store of the modeled worker concurrency for the
+    /// upcoming run. Used by stores whose contention cannot manifest as
+    /// real lock waits under the harness's modeled parallelism —
+    /// memcached's maintainer-thread interference (Fig. 13) is charged as
+    /// virtual time scaled by this count. Default: ignored.
+    fn set_concurrency(&self, _workers: usize) {}
+}
+
+impl KvBackend for shieldstore::ShieldStore {
+    fn name(&self) -> &str {
+        "ShieldStore"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        ShieldStoreExt::get(self, key)
+    }
+
+    fn set(&self, key: &[u8], value: &[u8]) -> bool {
+        shieldstore::ShieldStore::set(self, key, value).is_ok()
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        shieldstore::ShieldStore::delete(self, key).is_ok()
+    }
+
+    fn append(&self, key: &[u8], suffix: &[u8]) -> bool {
+        shieldstore::ShieldStore::append(self, key, suffix).is_ok()
+    }
+
+    fn increment(&self, key: &[u8], delta: i64) -> Option<i64> {
+        shieldstore::ShieldStore::increment(self, key, delta).ok()
+    }
+
+    fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        shieldstore::ShieldStore::scan_prefix(self, prefix, limit).ok()
+    }
+
+    fn len(&self) -> usize {
+        shieldstore::ShieldStore::len(self)
+    }
+
+    fn reset_timing(&self) {
+        self.enclave().reset_timing();
+    }
+}
+
+/// Private helper so the trait impl can adapt ShieldStore's `Result` API.
+trait ShieldStoreExt {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+}
+
+impl ShieldStoreExt for shieldstore::ShieldStore {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        match shieldstore::ShieldStore::get(self, key) {
+            Ok(v) => Some(v),
+            Err(shieldstore::Error::KeyNotFound) => None,
+            Err(e) => panic!("integrity failure in benchmark: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::enclave::EnclaveBuilder;
+
+    #[test]
+    fn shieldstore_satisfies_backend() {
+        let enclave = EnclaveBuilder::new("backend-test").epc_bytes(4 << 20).build();
+        let store = shieldstore::ShieldStore::new(
+            enclave,
+            shieldstore::Config::shield_opt().buckets(64).mac_hashes(16),
+        )
+        .unwrap();
+        let backend: &dyn KvBackend = &store;
+        assert!(backend.set(b"k", b"v"));
+        assert_eq!(backend.get(b"k").unwrap(), b"v");
+        assert!(backend.append(b"k", b"2"));
+        assert_eq!(backend.get(b"k").unwrap(), b"v2");
+        assert!(backend.delete(b"k"));
+        assert!(!backend.delete(b"k"));
+        assert!(backend.is_empty());
+        assert_eq!(backend.name(), "ShieldStore");
+    }
+}

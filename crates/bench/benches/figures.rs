@@ -1,0 +1,104 @@
+//! Criterion smoke versions of the figure experiments.
+//!
+//! `cargo bench` runs these tiny-scale versions of the headline
+//! comparisons so regressions in the *shape* of the results (who wins,
+//! and roughly by how much) show up in routine benchmarking. The full
+//! figure regeneration lives in the `fig*`/`tab*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shield_baseline::{EleosStore, KvBackend, NaiveEnclaveStore};
+use shield_workload::Spec;
+use shieldstore::Config;
+use shieldstore_bench::harness;
+use shieldstore_bench::scale::Scale;
+use std::sync::Arc;
+
+fn tiny_scale() -> Scale {
+    Scale {
+        epc_bytes: 1 << 20,
+        num_keys: 10_000,
+        num_buckets: 1 << 13,
+        num_mac_hashes: 1 << 11,
+        ops: 2_000,
+        ..Scale::quick()
+    }
+}
+
+/// Fig. 3/10 shape: ShieldOpt vs the naive enclave Baseline.
+fn bench_store_vs_baseline(c: &mut Criterion) {
+    let scale = tiny_scale();
+    let spec = Spec::by_name("RD50_Z").unwrap();
+    let mut group = c.benchmark_group("fig10-shape");
+    group.sample_size(10);
+
+    let baseline: Arc<dyn KvBackend> =
+        Arc::new(NaiveEnclaveStore::new(scale.num_buckets, scale.epc_bytes));
+    harness::preload(&*baseline, scale.num_keys, 64);
+    group.bench_function("baseline", |b| {
+        b.iter(|| harness::run_backend(&baseline, spec, scale.num_keys, 64, 1, scale.ops, 1))
+    });
+
+    let shield = harness::build_shieldstore(
+        Config::shield_opt().buckets(scale.num_buckets).mac_hashes(scale.num_mac_hashes),
+        scale.epc_bytes,
+        1,
+    );
+    for id in 0..scale.num_keys {
+        shield
+            .set(&shield_workload::make_key(id, 16), &shield_workload::make_value(id, 0, 64))
+            .unwrap();
+    }
+    group.bench_function("shieldopt", |b| {
+        b.iter(|| {
+            harness::run_shieldstore_partitioned(&shield, spec, scale.num_keys, 64, 1, scale.ops, 1)
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 16 shape: ShieldOpt vs Eleos at small and page-sized values.
+fn bench_vs_eleos(c: &mut Criterion) {
+    let scale = tiny_scale();
+    let spec = Spec::by_name("RD100_Z").unwrap();
+    let mut group = c.benchmark_group("fig16-shape");
+    group.sample_size(10);
+
+    for val_len in [16usize, 1024] {
+        let keys = 2_000u64;
+        let eleos: Arc<dyn KvBackend> = Arc::new(EleosStore::new(
+            2048,
+            scale.epc_bytes / 2,
+            1024,
+            scale.epc_bytes,
+        ));
+        harness::preload(&*eleos, keys, val_len);
+        group.bench_with_input(BenchmarkId::new("eleos", val_len), &val_len, |b, &v| {
+            b.iter(|| harness::run_backend(&eleos, spec, keys, v, 1, 500, 1))
+        });
+
+        let shield = harness::build_shieldstore(
+            Config::shield_opt().buckets(2048).mac_hashes(512),
+            scale.epc_bytes,
+            1,
+        );
+        for id in 0..keys {
+            shield
+                .set(
+                    &shield_workload::make_key(id, 16),
+                    &shield_workload::make_value(id, 0, val_len),
+                )
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("shieldopt", val_len), &val_len, |b, &v| {
+            b.iter(|| harness::run_shieldstore_partitioned(&shield, spec, keys, v, 1, 500, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_store_vs_baseline, bench_vs_eleos
+}
+criterion_main!(figures);

@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks: the primitive operations whose costs
+//! compose into every figure — crypto kernels, entry codec, and store
+//! operations at several value sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shield_crypto::cmac::Cmac;
+use shield_crypto::ctr::AesCtr;
+use shield_crypto::sha256::Sha256;
+use shield_crypto::siphash::SipHash24;
+use shieldstore::{Config, ShieldStore};
+use sgx_sim::enclave::EnclaveBuilder;
+use std::sync::Arc;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let key = [7u8; 16];
+    let ctr = AesCtr::new(&key);
+    let cmac = Cmac::new(&key);
+    let sip = SipHash24::new(&key);
+
+    for size in [16usize, 64, 512, 4096] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("aes-ctr", size), &data, |b, data| {
+            let mut buf = data.clone();
+            b.iter(|| ctr.apply_keystream(&[1u8; 16], &mut buf));
+        });
+        group.bench_with_input(BenchmarkId::new("cmac", size), &data, |b, data| {
+            b.iter(|| cmac.compute(data));
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| Sha256::digest(data));
+        });
+        group.bench_with_input(BenchmarkId::new("siphash", size), &data, |b, data| {
+            b.iter(|| sip.hash(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_entry_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entry");
+    let enc = AesCtr::new(&[1u8; 16]);
+    let mac = Cmac::new(&[2u8; 16]);
+    let key = vec![0x11u8; 16];
+
+    for val_len in [16usize, 128, 512] {
+        let value = vec![0x22u8; val_len];
+        let entry_len = shieldstore::entry::HEADER_LEN + key.len() + value.len();
+        group.throughput(Throughput::Bytes(entry_len as u64));
+        group.bench_with_input(BenchmarkId::new("encode", val_len), &value, |b, value| {
+            let mut buf = vec![0u8; entry_len];
+            b.iter(|| {
+                shieldstore::entry::encode_into(
+                    &mut buf,
+                    0,
+                    0x42,
+                    &[9u8; 16],
+                    &key,
+                    value,
+                    &enc,
+                    &mac,
+                )
+            });
+        });
+        let mut buf = vec![0u8; entry_len];
+        shieldstore::entry::encode_into(&mut buf, 0, 0x42, &[9u8; 16], &key, &value, &enc, &mac);
+        let header = shieldstore::entry::parse_header(&buf);
+        group.bench_with_input(BenchmarkId::new("decrypt", val_len), &buf, |b, buf| {
+            b.iter(|| {
+                shieldstore::entry::decrypt_entry(
+                    &enc,
+                    &header,
+                    &buf[shieldstore::entry::HEADER_LEN..],
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("verify-mac", val_len), &buf, |b, buf| {
+            b.iter(|| {
+                shieldstore::entry::verify_mac(
+                    &mac,
+                    &header,
+                    &buf[shieldstore::entry::HEADER_LEN..],
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn store(config: Config) -> Arc<ShieldStore> {
+    let enclave = EnclaveBuilder::new("micro-bench").epc_bytes(16 << 20).build();
+    Arc::new(ShieldStore::new(enclave, config).expect("store"))
+}
+
+fn bench_store_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    for val_len in [16usize, 512] {
+        let s = store(Config::shield_opt().buckets(1 << 14).mac_hashes(1 << 12));
+        for i in 0..10_000u64 {
+            s.set(&shield_workload::make_key(i, 16), &vec![0u8; val_len]).unwrap();
+        }
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::new("get-hit", val_len), |b| {
+            b.iter(|| {
+                i = (i + 1) % 10_000;
+                s.get(&shield_workload::make_key(i, 16)).unwrap()
+            });
+        });
+        group.bench_function(BenchmarkId::new("set-update", val_len), |b| {
+            b.iter(|| {
+                i = (i + 1) % 10_000;
+                s.set(&shield_workload::make_key(i, 16), &vec![1u8; val_len]).unwrap()
+            });
+        });
+        group.bench_function(BenchmarkId::new("get-miss", val_len), |b| {
+            b.iter(|| {
+                i += 1;
+                let _ = s.get(&shield_workload::make_key(10_000_000 + i, 16));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimization_toggles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toggles");
+    // One crowded bucket region: 20K keys over 2K buckets (chain ~10).
+    for (name, config) in [
+        ("shield-base", Config::shield_base().buckets(1 << 11).mac_hashes(1 << 11)),
+        ("shield-opt", Config::shield_opt().buckets(1 << 11).mac_hashes(1 << 11)),
+    ] {
+        let s = store(config);
+        for i in 0..20_000u64 {
+            s.set(&shield_workload::make_key(i, 16), b"value-of-16-byte").unwrap();
+        }
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::new("get-chain10", name), |b| {
+            b.iter(|| {
+                i = (i + 1) % 20_000;
+                s.get(&shield_workload::make_key(i, 16)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crypto, bench_entry_codec, bench_store_ops, bench_optimization_toggles
+}
+criterion_main!(benches);

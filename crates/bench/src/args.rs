@@ -1,0 +1,115 @@
+//! Tiny command-line argument handling for the figure binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --paper          paper-scale parameters (slow)
+//! --keys N         override key count
+//! --ops N          override operations per configuration
+//! --threads N      override max thread count
+//! --seed N         override the RNG seed
+//! ```
+
+use crate::scale::Scale;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    /// The selected scale preset (with overrides applied).
+    pub scale: Scale,
+    /// Maximum thread count for scalability sweeps.
+    pub max_threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags — these are
+    /// developer-facing binaries.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+        let mut paper = false;
+        let mut keys = None;
+        let mut ops = None;
+        let mut max_threads = 4usize;
+        let mut seed = 42u64;
+
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut grab = |name: &str| -> u64 {
+                iter.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} requires a number"))
+            };
+            match arg.as_str() {
+                "--paper" => paper = true,
+                "--keys" => keys = Some(grab("--keys")),
+                "--ops" => ops = Some(grab("--ops")),
+                "--threads" => max_threads = grab("--threads") as usize,
+                "--seed" => seed = grab("--seed"),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --paper | --keys N | --ops N | --threads N | --seed N"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other} (try --help)"),
+            }
+        }
+
+        let mut scale = Scale::from_flag(paper);
+        if let Some(k) = keys {
+            scale.num_keys = k;
+        }
+        if let Some(o) = ops {
+            scale.ops = o;
+        }
+        Args { scale, max_threads, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let a = parse(&[]);
+        assert_eq!(a.scale.name, "quick");
+        assert_eq!(a.max_threads, 4);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn paper_flag() {
+        assert_eq!(parse(&["--paper"]).scale.name, "paper");
+    }
+
+    #[test]
+    fn overrides() {
+        let a = parse(&["--keys", "123", "--ops", "456", "--threads", "2", "--seed", "9"]);
+        assert_eq!(a.scale.num_keys, 123);
+        assert_eq!(a.scale.ops, 456);
+        assert_eq!(a.max_threads, 2);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 2: memory access latencies with and without SGX.
+//!
+//! Random 64-byte reads and writes across an increasing working set, in
+//! three configurations:
+//!
+//! * `NoSGX`          — plain memory, no cost model;
+//! * `SGX_Enclave`    — enclave memory through the EPC model (faults once
+//!                      the working set exceeds the EPC budget);
+//! * `SGX_Unprotected`— untrusted memory accessed from inside the enclave
+//!                      (no metering — the paper's key observation).
+//!
+//! Expected shape: `SGX_Enclave` sits a few times above `NoSGX` while the
+//! working set fits the EPC, then jumps by orders of magnitude past it;
+//! `SGX_Unprotected` tracks `NoSGX` throughout.
+
+use shield_workload::rng::SplitMix64;
+use shieldstore_bench::{report, Args};
+use sgx_sim::cost::CostModel;
+use sgx_sim::enclave::EnclaveBuilder;
+use sgx_sim::vclock;
+use std::time::Instant;
+
+const ACCESS: usize = 64;
+
+/// Measures average effective ns/op for random accesses over `wss` bytes
+/// of enclave memory built with `cost`/`epc_bytes`.
+fn enclave_latency(wss: usize, epc_bytes: usize, cost: CostModel, write: bool, ops: u64) -> f64 {
+    let enclave =
+        EnclaveBuilder::new("fig2").epc_bytes(epc_bytes).cost_model(cost).build();
+    let region = enclave.memory().alloc(wss).expect("region");
+    // Touch every page once so the resident set starts warm.
+    let zero = [0u8; ACCESS];
+    let pages = wss / 4096;
+    for p in 0..pages {
+        enclave.memory().write(region + (p * 4096) as u64, &zero);
+    }
+
+    vclock::reset();
+    let mut rng = SplitMix64::new(0xf16_2);
+    let mut buf = [0u8; ACCESS];
+    let start = Instant::now();
+    for _ in 0..ops {
+        let page = rng.next_below(pages as u64);
+        let offset = rng.next_below((4096 - ACCESS) as u64) & !63;
+        let addr = region + page * 4096 + offset;
+        if write {
+            enclave.memory().write(addr, &zero);
+        } else {
+            enclave.memory().read(addr, &mut buf);
+        }
+    }
+    let wall = start.elapsed().as_nanos() as f64;
+    let penalty = vclock::take() as f64;
+    std::hint::black_box(buf);
+    (wall + penalty) / ops as f64
+}
+
+/// Measures plain (untrusted) memory as accessed from an enclave.
+fn unprotected_latency(wss: usize, write: bool, ops: u64) -> f64 {
+    // Untrusted memory is ordinary host memory: model it with a plain
+    // buffer and real accesses only.
+    let mut region = vec![0u8; wss];
+    let pages = wss / 4096;
+    let mut rng = SplitMix64::new(0xf16_2);
+    let mut sink = 0u8;
+    let start = Instant::now();
+    for _ in 0..ops {
+        let page = rng.next_below(pages as u64) as usize;
+        let offset = (rng.next_below((4096 - ACCESS) as u64) & !63) as usize;
+        let at = page * 4096 + offset;
+        if write {
+            region[at..at + ACCESS].fill(sink);
+        } else {
+            sink = sink.wrapping_add(region[at]);
+        }
+    }
+    let wall = start.elapsed().as_nanos() as f64;
+    std::hint::black_box(sink);
+    wall / ops as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale;
+    report::banner("Figure 2", "memory access latency vs working set", &scale);
+
+    // Working sets from well below to well above the EPC budget,
+    // mirroring the paper's 16 MB .. 4096 MB sweep over a 90 MB EPC.
+    let epc = scale.epc_bytes;
+    let wss_points: Vec<usize> =
+        [1, 2, 4, 6, 8, 12, 16, 32, 64].iter().map(|f| epc * f / 8).collect();
+    let ops = scale.ops.min(200_000);
+
+    for write in [false, true] {
+        let mode = if write { "write" } else { "read" };
+        let mut table = report::Table::new(&[
+            "WSS(MB)",
+            "NoSGX(ns)",
+            "SGX_Enclave(ns)",
+            "SGX_Unprotected(ns)",
+            "enclave/nosgx",
+        ]);
+        for &wss in &wss_points {
+            let nosgx = enclave_latency(wss, 0, CostModel::NO_SGX, write, ops);
+            let enclave = enclave_latency(wss, epc, CostModel::I7_7700, write, ops);
+            let unprotected = unprotected_latency(wss, write, ops);
+            table.row(&[
+                format!("{:.1}", wss as f64 / (1 << 20) as f64),
+                format!("{nosgx:.0}"),
+                format!("{enclave:.0}"),
+                format!("{unprotected:.0}"),
+                report::ratio(enclave / nosgx),
+            ]);
+        }
+        println!("[{mode}]");
+        table.print();
+        println!();
+    }
+    println!(
+        "expect: enclave/nosgx small (~MEE overhead) below EPC={}MB, then 100x+ past it;",
+        epc >> 20
+    );
+    println!("        SGX_Unprotected tracks NoSGX at every size.");
+}

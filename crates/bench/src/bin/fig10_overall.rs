@@ -1,0 +1,77 @@
+//! Figure 10: overall performance, 1 and 4 threads, three data sizes.
+//!
+//! Average throughput over the eight Table 2 workloads, normalized to the
+//! Baseline at the same thread count. The paper reports ShieldOpt at
+//! 8-11x the Baseline with 1 thread and 24-30x with 4 threads;
+//! Memcached+graphene lands within +-35% of the Baseline.
+
+use shield_workload::TABLE2;
+use shieldstore_bench::setups::{AnyStore, StoreKind};
+use shieldstore_bench::{report, Args};
+
+fn average_kops(
+    store: &AnyStore,
+    num_keys: u64,
+    val_len: usize,
+    threads: usize,
+    ops: u64,
+    seed: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for spec in TABLE2 {
+        total += store.run(spec, num_keys, val_len, threads, ops, seed).kops();
+    }
+    total / TABLE2.len() as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale;
+    report::banner("Figure 10", "overall throughput, normalized to Baseline", &scale);
+
+    let sizes = [("Small", 16usize), ("Medium", 128), ("Large", 512)];
+    let ops_per_workload = (scale.ops / 4).max(2_000);
+
+    for threads in [1usize, 4] {
+        let mut table = report::Table::new(&[
+            "store",
+            "size",
+            "Kop/s",
+            "normalized",
+        ]);
+        for (size_name, val_len) in sizes {
+            let mut results: Vec<(StoreKind, f64)> = Vec::new();
+            for kind in StoreKind::ALL {
+                let store = AnyStore::build(kind, &scale, threads.max(4), args.seed);
+                store.preload(scale.num_keys, val_len);
+                let kops = average_kops(
+                    &store,
+                    scale.num_keys,
+                    val_len,
+                    threads,
+                    ops_per_workload,
+                    args.seed,
+                );
+                results.push((kind, kops));
+            }
+            let baseline = results
+                .iter()
+                .find(|(k, _)| *k == StoreKind::Baseline)
+                .map(|(_, v)| *v)
+                .expect("baseline result");
+            for (kind, kops) in results {
+                table.row(&[
+                    kind.name().into(),
+                    size_name.into(),
+                    report::kops(kops),
+                    report::ratio(kops / baseline),
+                ]);
+            }
+        }
+        println!("[{threads} thread(s)]");
+        table.print();
+        println!();
+    }
+    println!("expect: ShieldOpt ~8-11x Baseline at 1 thread, ~24-30x at 4 threads;");
+    println!("        ShieldBase slightly below ShieldOpt; Memcached+graphene ~ Baseline.");
+}

@@ -1,0 +1,61 @@
+//! Figure 11: per-workload throughput on the large data set.
+//!
+//! Throughput of Memcached+graphene, Baseline, ShieldBase and ShieldOpt
+//! for each of the eight Table 2 workloads, with 512-byte values. In the
+//! paper, ShieldBase gains ~7.3x over the Baseline on the 50%-set
+//! workloads and ~11x on the read-mostly ones.
+
+use shield_workload::TABLE2;
+use shieldstore_bench::setups::{AnyStore, StoreKind};
+use shieldstore_bench::{report, Args};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale;
+    report::banner("Figure 11", "per-workload throughput, large data set", &scale);
+
+    const VAL_LEN: usize = 512;
+    let threads = 1usize;
+    let ops = scale.ops;
+
+    // Build and preload each store once; workloads run back to back, as
+    // in the paper's measurement over a preloaded 10M-key store.
+    let stores: Vec<(StoreKind, AnyStore)> = StoreKind::ALL
+        .iter()
+        .map(|&kind| {
+            let store = AnyStore::build(kind, &scale, 4, args.seed);
+            store.preload(scale.num_keys, VAL_LEN);
+            (kind, store)
+        })
+        .collect();
+
+    let mut header: Vec<&str> = vec!["workload"];
+    for kind in StoreKind::ALL.iter() {
+        header.push(kind.name());
+    }
+    header.push("ShieldOpt/Base");
+    let mut table = report::Table::new(&header);
+
+    for spec in TABLE2 {
+        let mut cells = vec![spec.name.to_string()];
+        let mut baseline = 0.0;
+        let mut shieldopt = 0.0;
+        for (kind, store) in &stores {
+            let kops =
+                store.run(spec, scale.num_keys, VAL_LEN, threads, ops, args.seed).kops();
+            if *kind == StoreKind::Baseline {
+                baseline = kops;
+            }
+            if *kind == StoreKind::ShieldOpt {
+                shieldopt = kops;
+            }
+            cells.push(report::kops(kops));
+        }
+        cells.push(report::ratio(shieldopt / baseline));
+        table.row(&cells);
+    }
+    table.print();
+    println!();
+    println!("expect: ShieldStore gains smallest on 50%-set workloads (~7x in the paper)");
+    println!("        and largest on read-mostly ones (~11x).");
+}

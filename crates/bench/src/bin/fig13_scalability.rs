@@ -1,0 +1,57 @@
+//! Figure 13: multi-core scalability from 1 to 4 threads.
+//!
+//! The paper's three panels: Memcached+graphene and the Baseline gain
+//! nothing beyond two threads (demand paging serializes them; memcached
+//! additionally degrades because its maintainer thread adjusts the hash
+//! table while holding locks), while ShieldOpt scales linearly (~330
+//! Kop/s at 1 thread to ~1250 Kop/s at 4 in the paper) because its hash
+//! partitions share nothing.
+
+use shield_workload::TABLE2;
+use shieldstore_bench::setups::{AnyStore, StoreKind};
+use shieldstore_bench::{report, Args};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale;
+    report::banner("Figure 13", "throughput scalability, 1..4 threads", &scale);
+
+    const VAL_LEN: usize = 512;
+    let ops = (scale.ops / 2).max(4_000);
+    let thread_counts: Vec<usize> = (1..=args.max_threads.clamp(1, 4)).collect();
+
+    for kind in [StoreKind::MemcachedGraphene, StoreKind::Baseline, StoreKind::ShieldOpt] {
+        let store = AnyStore::build(kind, &scale, 4, args.seed);
+        store.preload(scale.num_keys, VAL_LEN);
+
+        let mut header: Vec<String> = vec!["workload".into()];
+        for &t in &thread_counts {
+            header.push(format!("{t}thr(Kop/s)"));
+        }
+        header.push("4/1 speedup".into());
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut table = report::Table::new(&header_refs);
+
+        for spec in TABLE2 {
+            let mut cells = vec![spec.name.to_string()];
+            let mut first = 0.0;
+            let mut last = 0.0;
+            for &threads in &thread_counts {
+                let kops =
+                    store.run(spec, scale.num_keys, VAL_LEN, threads, ops, args.seed).kops();
+                if threads == 1 {
+                    first = kops;
+                }
+                last = kops;
+                cells.push(report::kops(kops));
+            }
+            cells.push(report::ratio(last / first));
+            table.row(&cells);
+        }
+        println!("[{}]", kind.name());
+        table.print();
+        println!();
+    }
+    println!("expect: ShieldOpt near-linear speedup; Baseline flat beyond ~2 threads;");
+    println!("        Memcached+graphene degrades at 4 threads (maintainer lock model).");
+}

@@ -1,0 +1,140 @@
+//! Figure 18: networked client-server evaluation.
+//!
+//! Clients connect over TCP (loopback here; a 10 GbE link in the paper),
+//! remote-attest the server, and drive encrypted requests. Six
+//! configurations per data size: Memcached+graphene, Baseline, ShieldOpt,
+//! ShieldOpt+HotCalls, Insecure Memcached, and Insecure Baseline. The
+//! secure configurations charge an enclave crossing per request (ECALL
+//! ~8,000 cycles, or HotCalls ~620); insecure ones skip attestation,
+//! traffic crypto and crossings.
+//!
+//! Note: on a single-core host the server workers and client threads
+//! share one CPU, so the 1-vs-4-worker scaling of the paper cannot
+//! manifest; the comparison *between stores* at fixed concurrency is the
+//! reproducible part, and the store-side SGX penalties are virtual-time
+//! accounted as everywhere else.
+
+use shield_baseline::{KvBackend, MemcachedLike, NaiveEnclaveStore};
+use shield_net::server::{CrossingMode, Server, ServerConfig};
+use shield_net::client::{run_load, LoadConfig};
+use shieldstore::Config;
+use shieldstore_bench::{harness, report, Args};
+use sgx_sim::attest::AttestationVerifier;
+use sgx_sim::enclave::Enclave;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct NetCase {
+    name: &'static str,
+    secure: bool,
+    crossing: CrossingMode,
+}
+
+const CASES: [NetCase; 6] = [
+    NetCase { name: "Memcached+graphene", secure: true, crossing: CrossingMode::Ecall },
+    NetCase { name: "Baseline", secure: true, crossing: CrossingMode::Ecall },
+    NetCase { name: "ShieldOpt", secure: true, crossing: CrossingMode::Ecall },
+    NetCase { name: "ShieldOpt+HotCalls", secure: true, crossing: CrossingMode::HotCalls },
+    NetCase { name: "Insecure Memcached", secure: false, crossing: CrossingMode::Ecall },
+    NetCase { name: "Insecure Baseline", secure: false, crossing: CrossingMode::Ecall },
+];
+
+fn build_store(
+    case: &NetCase,
+    scale: &shieldstore_bench::Scale,
+    seed: u64,
+) -> (Arc<dyn KvBackend>, Option<Arc<Enclave>>) {
+    let buckets = scale.num_buckets;
+    match case.name {
+        "Memcached+graphene" => {
+            let s = Arc::new(MemcachedLike::graphene(buckets, scale.epc_bytes));
+            let e = Arc::clone(s.enclave());
+            (s, Some(e))
+        }
+        "Baseline" => {
+            let s = Arc::new(NaiveEnclaveStore::new(buckets, scale.epc_bytes));
+            let e = Arc::clone(s.enclave());
+            (s, Some(e))
+        }
+        "ShieldOpt" | "ShieldOpt+HotCalls" => {
+            let s = harness::build_shieldstore(
+                Config::shield_opt().buckets(buckets).mac_hashes(scale.num_mac_hashes).with_shards(4),
+                scale.epc_bytes,
+                seed,
+            );
+            let e = Arc::clone(s.enclave());
+            (s, Some(e))
+        }
+        "Insecure Memcached" => (Arc::new(MemcachedLike::insecure(buckets)), None),
+        "Insecure Baseline" => (Arc::new(NaiveEnclaveStore::insecure(buckets)), None),
+        other => panic!("unknown case {other}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale;
+    report::banner("Figure 18", "networked evaluation (loopback TCP)", &scale);
+
+    let sizes = [("Small", 16usize), ("Medium", 128), ("Large", 512)];
+    let workloads = ["RD50_Z", "RD95_Z", "RD100_Z"];
+
+    for workers in [1usize, 4] {
+        let mut table = report::Table::new(&["store", "size", "Kop/s"]);
+        for (size_name, val_len) in sizes {
+            for case in &CASES {
+                let (store, enclave) = build_store(case, &scale, args.seed);
+                harness::preload(&*store, scale.num_keys, val_len);
+                store.reset_timing();
+                store.set_concurrency(workers);
+
+                let server = Server::start(
+                    Arc::clone(&store),
+                    enclave.clone(),
+                    ServerConfig { workers, crossing: case.crossing, secure: case.secure },
+                )
+                .expect("server start");
+
+                let verifier = enclave.as_ref().map(|e| {
+                    AttestationVerifier::for_enclave(e).expect_measurement(*e.measurement())
+                });
+
+                let mut total_kops = 0.0;
+                for workload in workloads {
+                    server.reset_accounting();
+                    let report = run_load(
+                        server.addr(),
+                        verifier.as_ref(),
+                        &LoadConfig {
+                            users: scale.users,
+                            requests_per_user: scale.requests_per_user,
+                            secure: case.secure,
+                            workload: workload.into(),
+                            num_keys: scale.num_keys,
+                            val_len,
+                            seed: args.seed,
+                        },
+                    )
+                    .expect("load run");
+                    let penalty = server
+                        .worker_penalties_ns()
+                        .into_iter()
+                        .max()
+                        .unwrap_or(0);
+                    total_kops += report.kops(Duration::from_nanos(penalty));
+                }
+                server.shutdown();
+                table.row(&[
+                    case.name.into(),
+                    size_name.into(),
+                    report::kops(total_kops / workloads.len() as f64),
+                ]);
+            }
+        }
+        println!("[{workers} server worker(s), {} users]", scale.users);
+        table.print();
+        println!();
+    }
+    println!("expect: ShieldOpt+HotCalls ~5-6x Baseline; insecure stores fastest;");
+    println!("        HotCalls beats plain ECALLs; Baseline far behind everything.");
+}

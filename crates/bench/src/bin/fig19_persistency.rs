@@ -1,0 +1,156 @@
+//! Figure 19: persistency support.
+//!
+//! ShieldStore snapshots periodically (the paper: every 60 s, like
+//! Redis). Three modes per workload and data size:
+//!
+//! * **No Persist.** — snapshots disabled;
+//! * **Naive Persist.** — request processing blocks while the whole
+//!   store is written (`snapshot_blocking`);
+//! * **OPT Persist.** — Algorithm 1: the main table freezes behind a
+//!   background writer while a temporary table absorbs writes
+//!   (`snapshot_background`), merged back when the writer finishes.
+//!
+//! The paper measures up to 25% degradation for naive snapshots on the
+//! large set and 2.1-6.5% for the optimized design; with 100% reads the
+//! optimized version is nearly free.
+
+use shield_workload::{make_key, make_value, Generator, Op, Spec};
+use shieldstore::Config;
+use shieldstore_bench::{harness, report, Args};
+use sgx_sim::counter::PersistentCounter;
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    None,
+    Naive,
+    Optimized,
+}
+
+/// Runs `ops` operations with a snapshot triggered every `interval` ops,
+/// returning Kop/s over effective time (wall + worker penalty).
+fn run_with_snapshots(
+    mode: Mode,
+    spec: Spec,
+    val_len: usize,
+    args: &Args,
+    dir: &std::path::Path,
+) -> f64 {
+    let scale = args.scale;
+    let store = harness::build_shieldstore(
+        Config::shield_opt().buckets(scale.num_buckets).mac_hashes(scale.num_mac_hashes),
+        scale.epc_bytes,
+        args.seed,
+    );
+    for id in 0..scale.num_keys {
+        store.set(&make_key(id, 16), &make_value(id, 0, val_len)).expect("preload");
+    }
+    let counter =
+        PersistentCounter::open(dir.join(format!("ctr-{val_len}-{}", spec.name))).expect("counter");
+
+    // Length the run so the snapshot-to-serving work ratio approximates
+    // the paper's (a 10M-entry snapshot amortized over ~18M operations
+    // between 60-second snapshots).
+    let ops = scale.ops.max(scale.num_keys * 2);
+    let interval = ops / 2; // one snapshot cycle per run, at the midpoint
+    let mut generator = Generator::new(spec, scale.num_keys, args.seed);
+
+    store.enclave().reset_timing();
+    sgx_sim::vclock::reset();
+    let start = Instant::now();
+    let mut job: Option<shieldstore::SnapshotJob<'_>> = None;
+    let mut writer_cpu = std::time::Duration::ZERO;
+    let snap_path = dir.join(format!("snap-{val_len}-{}.db", spec.name));
+
+    for i in 0..ops {
+        if i == interval {
+            match mode {
+                Mode::None => {}
+                Mode::Naive => {
+                    store.snapshot_blocking(&snap_path, &counter).expect("naive snapshot");
+                }
+                Mode::Optimized => {
+                    if job.is_none() {
+                        job = Some(
+                            store.snapshot_background(&snap_path, &counter).expect("bg snapshot"),
+                        );
+                    }
+                }
+            }
+        }
+        // Poll the background writer and merge when it finishes.
+        if let Some(j) = job.take() {
+            if j.is_done() {
+                writer_cpu += j.finish().expect("snapshot finish");
+            } else {
+                job = Some(j);
+            }
+        }
+
+        let op = generator.next_op();
+        let id = op.key_id();
+        let key = make_key(id, 16);
+        match op {
+            Op::Get(_) => {
+                let _ = store.get(&key);
+            }
+            _ => {
+                store.set(&key, &make_value(id, generator.round(), val_len)).expect("set");
+            }
+        }
+    }
+    if let Some(j) = job.take() {
+        writer_cpu += j.finish().expect("final snapshot finish");
+    }
+    let wall = start.elapsed();
+    let penalty = std::time::Duration::from_nanos(sgx_sim::vclock::take());
+    // On a single-core host the background writer's CPU is stolen from
+    // the request loop; on the paper's machine it runs on a spare core.
+    // Subtract it to model that (see DESIGN.md on modeled parallelism).
+    let effective = (wall + penalty).saturating_sub(writer_cpu);
+    ops as f64 / effective.as_secs_f64() / 1e3
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale;
+    report::banner("Figure 19", "persistency: none vs naive vs optimized", &scale);
+
+    let dir = std::env::temp_dir().join(format!("shieldstore-fig19-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let sizes = [("Small", 16usize), ("Medium", 128), ("Large", 512)];
+    let workloads = ["RD50_Z", "RD95_Z", "RD100_Z"];
+
+    let mut table = report::Table::new(&[
+        "size",
+        "workload",
+        "No Persist.",
+        "Naive Persist.",
+        "OPT Persist.",
+        "naive loss",
+        "opt loss",
+    ]);
+    for (size_name, val_len) in sizes {
+        for name in workloads {
+            let spec = Spec::by_name(name).expect("workload");
+            let none = run_with_snapshots(Mode::None, spec, val_len, &args, &dir);
+            let naive = run_with_snapshots(Mode::Naive, spec, val_len, &args, &dir);
+            let opt = run_with_snapshots(Mode::Optimized, spec, val_len, &args, &dir);
+            table.row(&[
+                size_name.into(),
+                name.into(),
+                report::kops(none),
+                report::kops(naive),
+                report::kops(opt),
+                format!("{:.1}%", (1.0 - naive / none) * 100.0),
+                format!("{:.1}%", (1.0 - opt / none) * 100.0),
+            ]);
+        }
+    }
+    table.print();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!();
+    println!("expect: naive losses grow with data size (paper: up to 25% at large);");
+    println!("        optimized losses stay small (2-7%), near zero for 100% reads.");
+}

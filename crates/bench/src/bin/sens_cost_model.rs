@@ -1,0 +1,112 @@
+//! Sensitivity analysis: do the paper's conclusions survive changes to
+//! the simulator's calibration constants?
+//!
+//! The reproduction's headline claim — ShieldStore beats the in-enclave
+//! Baseline by an order of magnitude once data exceeds the EPC — rests on
+//! modeled costs (EPC fault cycles, MEE per-cacheline overhead). This
+//! binary sweeps those constants across a 4x range in each direction and
+//! reports the ShieldOpt/Baseline throughput ratio for each point. The
+//! *conclusion* is robust iff the ratio stays well above 1 everywhere;
+//! only its magnitude moves with the calibration.
+
+use shield_baseline::{KvBackend, NaiveEnclaveStore};
+use shield_workload::Spec;
+use shieldstore::{Config, ShieldStore};
+use shieldstore_bench::{harness, report, Args};
+use sgx_sim::cost::CostModel;
+use sgx_sim::enclave::EnclaveBuilder;
+use std::sync::Arc;
+
+fn ratio_with(cost: CostModel, args: &Args) -> (f64, f64, f64) {
+    let scale = args.scale;
+    const VAL_LEN: usize = 128;
+    let spec = Spec::by_name("RD50_Z").expect("workload");
+    let ops = (scale.ops / 2).max(5_000);
+
+    // Baseline with the swept cost model.
+    let baseline_enclave =
+        EnclaveBuilder::new("sens-baseline").epc_bytes(scale.epc_bytes).cost_model(cost).build();
+    let baseline: Arc<dyn KvBackend> = Arc::new(NaiveEnclaveStore::with_enclave(
+        "Baseline",
+        baseline_enclave,
+        scale.num_buckets,
+    ));
+    harness::preload(&*baseline, scale.num_keys, VAL_LEN);
+    let base_kops =
+        harness::run_backend(&baseline, spec, scale.num_keys, VAL_LEN, 1, ops, args.seed).kops();
+
+    // ShieldOpt with the same model.
+    let shield_enclave =
+        EnclaveBuilder::new("sens-shield").epc_bytes(scale.epc_bytes).cost_model(cost).build();
+    let shield = Arc::new(
+        ShieldStore::new(
+            shield_enclave,
+            Config::shield_opt().buckets(scale.num_buckets).mac_hashes(scale.num_mac_hashes),
+        )
+        .expect("store"),
+    );
+    for id in 0..scale.num_keys {
+        shield
+            .set(&shield_workload::make_key(id, 16), &shield_workload::make_value(id, 0, VAL_LEN))
+            .expect("preload");
+    }
+    let shield_kops = harness::run_shieldstore_partitioned(
+        &shield, spec, scale.num_keys, VAL_LEN, 1, ops, args.seed,
+    )
+    .kops();
+
+    (base_kops, shield_kops, shield_kops / base_kops)
+}
+
+fn main() {
+    let args = Args::parse();
+    report::banner(
+        "Sensitivity",
+        "ShieldOpt/Baseline ratio vs simulator calibration",
+        &args.scale,
+    );
+
+    let mut table = report::Table::new(&[
+        "parameter",
+        "value",
+        "Baseline(Kop/s)",
+        "ShieldOpt(Kop/s)",
+        "ratio",
+    ]);
+
+    // Sweep the EPC fault cost (default 150k cycles) 4x down and up.
+    for mult in [4u64, 2, 1] {
+        let cost =
+            CostModel { epc_fault_cycles: 150_000 / mult, ..CostModel::I7_7700 };
+        let (b, s, r) = ratio_with(cost, &args);
+        table.row(&[
+            "fault cycles".into(),
+            format!("{}k", 150 / mult),
+            report::kops(b),
+            report::kops(s),
+            report::ratio(r),
+        ]);
+    }
+    let cost = CostModel { epc_fault_cycles: 600_000, ..CostModel::I7_7700 };
+    let (b, s, r) = ratio_with(cost, &args);
+    table.row(&["fault cycles".into(), "600k".into(), report::kops(b), report::kops(s), report::ratio(r)]);
+
+    // Sweep the MEE per-cacheline overhead (default 400 ns).
+    for mee in [100u64, 400, 1600] {
+        let cost = CostModel { mee_cacheline_ns: mee, ..CostModel::I7_7700 };
+        let (b, s, r) = ratio_with(cost, &args);
+        table.row(&[
+            "MEE ns/line".into(),
+            mee.to_string(),
+            report::kops(b),
+            report::kops(s),
+            report::ratio(r),
+        ]);
+    }
+
+    table.print();
+    println!();
+    println!("expect: the ratio scales with the fault cost (that IS the paper's effect)");
+    println!("        but stays >>1 at every calibration — the conclusion is not an");
+    println!("        artifact of the chosen constants.");
+}

@@ -1,0 +1,145 @@
+//! Store construction shared by the figure binaries.
+
+use crate::harness::{self, RunResult};
+use crate::scale::Scale;
+use shield_baseline::{KvBackend, MemcachedLike, NaiveEnclaveStore};
+use shield_workload::Spec;
+use shieldstore::{Config, ShieldStore};
+use std::sync::Arc;
+
+/// The four standalone systems of Figs. 10-14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// memcached under Graphene-SGX.
+    MemcachedGraphene,
+    /// The paper's naive in-enclave Baseline.
+    Baseline,
+    /// ShieldStore without §5 optimizations.
+    ShieldBase,
+    /// ShieldStore with all optimizations.
+    ShieldOpt,
+}
+
+impl StoreKind {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreKind::MemcachedGraphene => "Memcached+graphene",
+            StoreKind::Baseline => "Baseline",
+            StoreKind::ShieldBase => "ShieldBase",
+            StoreKind::ShieldOpt => "ShieldOpt",
+        }
+    }
+
+    /// The standard comparison set.
+    pub const ALL: [StoreKind; 4] = [
+        StoreKind::MemcachedGraphene,
+        StoreKind::Baseline,
+        StoreKind::ShieldBase,
+        StoreKind::ShieldOpt,
+    ];
+}
+
+/// A store under test: either a trait-object backend (internally
+/// synchronized) or a ShieldStore driven in partitioned mode.
+pub enum AnyStore {
+    /// Baseline-family store.
+    Backend(Arc<dyn KvBackend>),
+    /// ShieldStore (partitioned runner).
+    Shield(Arc<ShieldStore>),
+}
+
+impl AnyStore {
+    /// Builds the store for `kind` at `scale` with enough shards for
+    /// `max_threads` workers.
+    pub fn build(kind: StoreKind, scale: &Scale, max_threads: usize, seed: u64) -> AnyStore {
+        let buckets = scale.num_buckets;
+        match kind {
+            StoreKind::MemcachedGraphene => AnyStore::Backend(Arc::new(
+                MemcachedLike::graphene(buckets, scale.epc_bytes),
+            )),
+            StoreKind::Baseline => {
+                AnyStore::Backend(Arc::new(NaiveEnclaveStore::new(buckets, scale.epc_bytes)))
+            }
+            StoreKind::ShieldBase => AnyStore::Shield(harness::build_shieldstore(
+                Config::shield_base()
+                    .buckets(buckets)
+                    .mac_hashes(scale.num_mac_hashes)
+                    .with_shards(max_threads),
+                scale.epc_bytes,
+                seed,
+            )),
+            StoreKind::ShieldOpt => AnyStore::Shield(harness::build_shieldstore(
+                Config::shield_opt()
+                    .buckets(buckets)
+                    .mac_hashes(scale.num_mac_hashes)
+                    .with_shards(max_threads),
+                scale.epc_bytes,
+                seed,
+            )),
+        }
+    }
+
+    /// Preloads `num_keys` keys of `val_len` bytes.
+    pub fn preload(&self, num_keys: u64, val_len: usize) {
+        match self {
+            AnyStore::Backend(b) => {
+                harness::preload(&**b, num_keys, val_len);
+            }
+            AnyStore::Shield(s) => {
+                for id in 0..num_keys {
+                    s.set(
+                        &shield_workload::make_key(id, 16),
+                        &shield_workload::make_value(id, 0, val_len),
+                    )
+                    .expect("preload");
+                }
+            }
+        }
+    }
+
+    /// Runs a workload with `threads` workers.
+    pub fn run(
+        &self,
+        spec: Spec,
+        num_keys: u64,
+        val_len: usize,
+        threads: usize,
+        ops: u64,
+        seed: u64,
+    ) -> RunResult {
+        match self {
+            AnyStore::Backend(b) => {
+                harness::run_backend(b, spec, num_keys, val_len, threads, ops, seed)
+            }
+            AnyStore::Shield(s) => harness::run_shieldstore_partitioned(
+                s, spec, num_keys, val_len, threads, ops, seed,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_runs_every_kind() {
+        let scale = Scale {
+            epc_bytes: 1 << 20,
+            num_keys: 500,
+            num_buckets: 1 << 10,
+            num_mac_hashes: 1 << 8,
+            ops: 500,
+            ..Scale::quick()
+        };
+        let spec = Spec::by_name("RD50_U").unwrap();
+        for kind in StoreKind::ALL {
+            let store = AnyStore::build(kind, &scale, 2, 1);
+            store.preload(scale.num_keys, 16);
+            let r = store.run(spec, scale.num_keys, 16, 2, scale.ops, 1);
+            assert_eq!(r.ops, scale.ops, "{}", kind.name());
+            assert!(r.kops() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! ShieldStore configuration.
+//!
+//! Every optimization in the paper's §5 has a toggle here so that the
+//! ablation of Fig. 14 (`ShieldBase`, `+KeyOPT`, `+HeapAlloc`,
+//! `+MACBucket`) can be reproduced by flipping switches on one code base.
+
+/// How data entries are allocated in untrusted memory (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocMode {
+    /// Every allocation and free calls out of the enclave, as with the
+    /// stock SGX SDK's untrusted heap allocator. This is the unoptimized
+    /// configuration of Fig. 6.
+    OcallPerAlloc,
+    /// ShieldStore's custom in-enclave allocator for untrusted memory: a
+    /// pooled allocator that OCALLs only to obtain `granularity`-sized
+    /// chunks (`sbrk`/`mmap`) when the free pool runs dry.
+    Pooled {
+        /// Chunk size requested per OCALL. The paper sweeps 1–32 MiB and
+        /// settles on 16 MiB.
+        granularity: usize,
+    },
+}
+
+impl AllocMode {
+    /// The paper's default: pooled with 16 MiB chunks.
+    pub const fn pooled_default() -> Self {
+        AllocMode::Pooled { granularity: 16 << 20 }
+    }
+}
+
+/// ShieldStore configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Total number of hash buckets across all shards.
+    pub num_buckets: usize,
+    /// Total number of in-enclave MAC hashes (flattened Merkle nodes)
+    /// across all shards. Each MAC hash covers
+    /// `ceil(num_buckets / num_mac_hashes)` buckets (paper §4.3).
+    pub num_mac_hashes: usize,
+    /// Number of hash-partitioned shards (worker threads, paper §5.3).
+    pub shards: usize,
+    /// Store a 1-byte keyed hash of the plaintext key in each entry to
+    /// prune decryptions during search (paper §5.4, `+KeyOPT`).
+    pub key_hint: bool,
+    /// On a hint-guided miss, fall back to a full decrypting scan so a
+    /// hint-corruption attack cannot hide existing entries (paper §5.4).
+    pub two_step_search: bool,
+    /// Keep a per-bucket side array of entry MACs so integrity
+    /// verification does not pointer-chase the chain (paper §5.2,
+    /// `+MACBucket`).
+    pub mac_bucket: bool,
+    /// MACs per MAC-bucket node before chaining (paper: 30).
+    pub mac_bucket_capacity: usize,
+    /// Untrusted-memory allocation strategy (paper §5.1, `+HeapAlloc`).
+    pub alloc: AllocMode,
+    /// Bytes of spare EPC used as a plaintext entry cache
+    /// (`ShieldOpt+cache` in Fig. 17); 0 disables the cache.
+    pub cache_bytes: usize,
+    /// Maintain an enclave-resident ordered key index enabling range and
+    /// prefix scans — the paper's stated future work, at the cost of EPC
+    /// proportional to the key count (see [`crate::ordered`]).
+    pub ordered_index: bool,
+    /// Maximum key or value size accepted.
+    pub max_item_len: usize,
+    /// Seed for the store's key generation (via the enclave DRBG stream).
+    pub seed: u64,
+}
+
+impl Config {
+    /// `ShieldBase`: the paper's unoptimized design — fine-grained
+    /// encryption and integrity only, with multi-threading but without
+    /// the §5 optimizations.
+    pub fn shield_base() -> Self {
+        Self {
+            num_buckets: 1 << 16,
+            num_mac_hashes: 1 << 16,
+            shards: 1,
+            key_hint: false,
+            two_step_search: false,
+            mac_bucket: false,
+            mac_bucket_capacity: 30,
+            alloc: AllocMode::OcallPerAlloc,
+            cache_bytes: 0,
+            ordered_index: false,
+            max_item_len: 64 << 20,
+            seed: 0,
+        }
+    }
+
+    /// `ShieldOpt`: all optimizations enabled (the paper's final design).
+    pub fn shield_opt() -> Self {
+        Self {
+            key_hint: true,
+            two_step_search: true,
+            mac_bucket: true,
+            alloc: AllocMode::pooled_default(),
+            ..Self::shield_base()
+        }
+    }
+
+    /// Sets the bucket count.
+    pub fn buckets(mut self, n: usize) -> Self {
+        self.num_buckets = n;
+        self
+    }
+
+    /// Sets the MAC hash count.
+    pub fn mac_hashes(mut self, n: usize) -> Self {
+        self.num_mac_hashes = n;
+        self
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Enables the in-enclave cache with a byte budget.
+    pub fn with_cache(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Enables the ordered key index for range/prefix scans.
+    pub fn with_ordered_index(mut self) -> Self {
+        self.ordered_index = true;
+        self
+    }
+
+    /// Per-shard bucket count (at least 1).
+    pub fn buckets_per_shard(&self) -> usize {
+        (self.num_buckets / self.shards.max(1)).max(1)
+    }
+
+    /// Per-shard MAC hash count, capped at the per-shard bucket count
+    /// (more hashes than buckets buys nothing).
+    pub fn mac_hashes_per_shard(&self) -> usize {
+        (self.num_mac_hashes / self.shards.max(1)).max(1).min(self.buckets_per_shard())
+    }
+
+    /// Validates invariants, panicking with a clear message on misuse.
+    pub(crate) fn validate(&self) {
+        assert!(self.num_buckets > 0, "num_buckets must be positive");
+        assert!(self.num_mac_hashes > 0, "num_mac_hashes must be positive");
+        assert!(self.shards > 0, "shards must be positive");
+        assert!(self.mac_bucket_capacity > 0, "mac_bucket_capacity must be positive");
+        if let AllocMode::Pooled { granularity } = self.alloc {
+            assert!(granularity >= 4096, "allocation granularity below one page");
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::shield_opt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_optimizations() {
+        let base = Config::shield_base();
+        let opt = Config::shield_opt();
+        assert!(!base.key_hint && !base.mac_bucket);
+        assert!(opt.key_hint && opt.mac_bucket && opt.two_step_search);
+        assert_eq!(base.num_buckets, opt.num_buckets);
+        assert_eq!(opt.alloc, AllocMode::Pooled { granularity: 16 << 20 });
+    }
+
+    #[test]
+    fn per_shard_derivation() {
+        let cfg = Config::shield_opt().buckets(1024).mac_hashes(64).with_shards(4);
+        assert_eq!(cfg.buckets_per_shard(), 256);
+        assert_eq!(cfg.mac_hashes_per_shard(), 16);
+    }
+
+    #[test]
+    fn mac_hashes_capped_by_buckets() {
+        let cfg = Config::shield_opt().buckets(64).mac_hashes(1 << 20).with_shards(2);
+        assert_eq!(cfg.buckets_per_shard(), 32);
+        assert_eq!(cfg.mac_hashes_per_shard(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_buckets")]
+    fn zero_buckets_rejected() {
+        Config::shield_opt().buckets(0).validate();
+    }
+}

@@ -1,0 +1,273 @@
+//! The data-entry format (paper Fig. 5).
+//!
+//! Each key-value pair is stored in untrusted memory as one entry:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     next       chain pointer (handle; 0 terminates)
+//! 8       1     key hint   1-byte keyed hash of the plaintext key (§5.4)
+//! 9       4     key size   u32 LE
+//! 13      4     value size u32 LE
+//! 17      16    IV/counter combined field, incremented per re-encryption
+//! 33      16    MAC        CMAC over (enc key/value, sizes, hint, IV/ctr)
+//! 49      k+v   Enc(key ‖ value)  AES-CTR under the store key
+//! ```
+//!
+//! The `next` pointer is *not* covered by the MAC: the paper deliberately
+//! leaves index structure unprotected (confidentiality and integrity of
+//! keys and values are what matter; chain tampering can at worst harm
+//! availability, and the bucket-set hash detects entry removal/replay).
+
+use crate::alloc::{Handle, UntrustedHeap};
+use shield_crypto::cmac::Cmac;
+use shield_crypto::ctr::AesCtr;
+use shield_crypto::Tag128;
+
+/// Byte offset of the `next` handle.
+pub const OFF_NEXT: usize = 0;
+/// Byte offset of the key hint.
+pub const OFF_HINT: usize = 8;
+/// Byte offset of the key size.
+pub const OFF_KEY_LEN: usize = 9;
+/// Byte offset of the value size.
+pub const OFF_VAL_LEN: usize = 13;
+/// Byte offset of the IV/counter.
+pub const OFF_IV: usize = 17;
+/// Byte offset of the MAC.
+pub const OFF_MAC: usize = 33;
+/// Total header length; the encrypted key/value follows.
+pub const HEADER_LEN: usize = 49;
+
+/// Parsed entry header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryHeader {
+    /// Next entry in the bucket chain (0 = end).
+    pub next: Handle,
+    /// 1-byte key hint.
+    pub hint: u8,
+    /// Plaintext key length.
+    pub key_len: u32,
+    /// Plaintext value length.
+    pub val_len: u32,
+    /// Combined IV/counter.
+    pub iv: [u8; 16],
+    /// Entry MAC.
+    pub mac: Tag128,
+}
+
+impl EntryHeader {
+    /// Total entry size in bytes (header + ciphertext).
+    pub fn entry_len(&self) -> usize {
+        HEADER_LEN + self.key_len as usize + self.val_len as usize
+    }
+
+    /// Ciphertext length (key + value).
+    pub fn ct_len(&self) -> usize {
+        self.key_len as usize + self.val_len as usize
+    }
+}
+
+/// Parses the fixed header from an entry's first [`HEADER_LEN`] bytes.
+pub fn parse_header(bytes: &[u8]) -> EntryHeader {
+    EntryHeader {
+        next: u64::from_le_bytes(bytes[OFF_NEXT..OFF_NEXT + 8].try_into().expect("8 bytes")),
+        hint: bytes[OFF_HINT],
+        key_len: u32::from_le_bytes(
+            bytes[OFF_KEY_LEN..OFF_KEY_LEN + 4].try_into().expect("4 bytes"),
+        ),
+        val_len: u32::from_le_bytes(
+            bytes[OFF_VAL_LEN..OFF_VAL_LEN + 4].try_into().expect("4 bytes"),
+        ),
+        iv: bytes[OFF_IV..OFF_IV + 16].try_into().expect("16 bytes"),
+        mac: bytes[OFF_MAC..OFF_MAC + 16].try_into().expect("16 bytes"),
+    }
+}
+
+/// Reads the header of the entry at `handle`.
+pub fn read_header(heap: &UntrustedHeap, handle: Handle) -> EntryHeader {
+    parse_header(heap.bytes(handle, HEADER_LEN))
+}
+
+/// Computes an entry's MAC: CMAC over
+/// `(ciphertext ‖ key_len ‖ val_len ‖ hint ‖ iv)`, matching Fig. 5.
+pub fn compute_mac(
+    cmac: &Cmac,
+    ciphertext: &[u8],
+    key_len: u32,
+    val_len: u32,
+    hint: u8,
+    iv: &[u8; 16],
+) -> Tag128 {
+    cmac.compute_parts(&[
+        ciphertext,
+        &key_len.to_le_bytes(),
+        &val_len.to_le_bytes(),
+        &[hint],
+        iv,
+    ])
+}
+
+/// Encrypts `key ‖ value` and writes a complete entry into `buf`
+/// (`buf.len()` must equal `HEADER_LEN + key.len() + value.len()`).
+///
+/// Returns the entry's MAC.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_into(
+    buf: &mut [u8],
+    next: Handle,
+    hint: u8,
+    iv: &[u8; 16],
+    key: &[u8],
+    value: &[u8],
+    enc: &AesCtr,
+    cmac: &Cmac,
+) -> Tag128 {
+    let key_len = key.len() as u32;
+    let val_len = value.len() as u32;
+    debug_assert_eq!(buf.len(), HEADER_LEN + key.len() + value.len());
+
+    buf[OFF_NEXT..OFF_NEXT + 8].copy_from_slice(&next.to_le_bytes());
+    buf[OFF_HINT] = hint;
+    buf[OFF_KEY_LEN..OFF_KEY_LEN + 4].copy_from_slice(&key_len.to_le_bytes());
+    buf[OFF_VAL_LEN..OFF_VAL_LEN + 4].copy_from_slice(&val_len.to_le_bytes());
+    buf[OFF_IV..OFF_IV + 16].copy_from_slice(iv);
+
+    let ct = &mut buf[HEADER_LEN..];
+    ct[..key.len()].copy_from_slice(key);
+    ct[key.len()..].copy_from_slice(value);
+    enc.apply_keystream(iv, ct);
+
+    let mac = compute_mac(cmac, &buf[HEADER_LEN..], key_len, val_len, hint, iv);
+    buf[OFF_MAC..OFF_MAC + 16].copy_from_slice(&mac);
+    mac
+}
+
+/// Decrypts only the key prefix of an entry's ciphertext.
+///
+/// Searching a chain only needs key comparisons; decrypting the value too
+/// would waste exactly the work the key-hint optimization is trying to
+/// save (§5.4).
+pub fn decrypt_key(enc: &AesCtr, header: &EntryHeader, ciphertext: &[u8]) -> Vec<u8> {
+    let mut key = ciphertext[..header.key_len as usize].to_vec();
+    enc.apply_keystream(&header.iv, &mut key);
+    key
+}
+
+/// Decrypts an entry's full plaintext, returning `(key, value)`.
+pub fn decrypt_entry(
+    enc: &AesCtr,
+    header: &EntryHeader,
+    ciphertext: &[u8],
+) -> (Vec<u8>, Vec<u8>) {
+    let mut plain = ciphertext.to_vec();
+    enc.apply_keystream(&header.iv, &mut plain);
+    let value = plain.split_off(header.key_len as usize);
+    (plain, value)
+}
+
+/// Verifies an entry's stored MAC against its contents.
+pub fn verify_mac(cmac: &Cmac, header: &EntryHeader, ciphertext: &[u8]) -> bool {
+    let expected = compute_mac(
+        cmac,
+        ciphertext,
+        header.key_len,
+        header.val_len,
+        header.hint,
+        &header.iv,
+    );
+    shield_crypto::constant_time::ct_eq(&expected, &header.mac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ciphers() -> (AesCtr, Cmac) {
+        (AesCtr::new(&[1u8; 16]), Cmac::new(&[2u8; 16]))
+    }
+
+    #[test]
+    fn encode_parse_decrypt_roundtrip() {
+        let (enc, cmac) = ciphers();
+        let key = b"user:1234";
+        let value = b"some value payload";
+        let mut buf = vec![0u8; HEADER_LEN + key.len() + value.len()];
+        let iv = [9u8; 16];
+        let mac = encode_into(&mut buf, 0xdeadbeef, 0x5a, &iv, key, value, &enc, &cmac);
+
+        let header = parse_header(&buf);
+        assert_eq!(header.next, 0xdeadbeef);
+        assert_eq!(header.hint, 0x5a);
+        assert_eq!(header.key_len, key.len() as u32);
+        assert_eq!(header.val_len, value.len() as u32);
+        assert_eq!(header.iv, iv);
+        assert_eq!(header.mac, mac);
+        assert_eq!(header.entry_len(), buf.len());
+
+        let ct = &buf[HEADER_LEN..];
+        assert_ne!(&ct[..key.len()], key, "key must be encrypted");
+        let (k, v) = decrypt_entry(&enc, &header, ct);
+        assert_eq!(k, key);
+        assert_eq!(v, value);
+        assert_eq!(decrypt_key(&enc, &header, ct), key);
+        assert!(verify_mac(&cmac, &header, ct));
+    }
+
+    #[test]
+    fn mac_binds_every_field() {
+        let (enc, cmac) = ciphers();
+        let mut buf = vec![0u8; HEADER_LEN + 4 + 4];
+        encode_into(&mut buf, 0, 7, &[3u8; 16], b"abcd", b"wxyz", &enc, &cmac);
+        let pristine = buf.clone();
+
+        // Tamper with each MAC-covered region and expect rejection.
+        for &offset in &[OFF_HINT, OFF_KEY_LEN, OFF_VAL_LEN, OFF_IV, HEADER_LEN, buf.len() - 1]
+        {
+            let mut t = pristine.clone();
+            t[offset] ^= 1;
+            let header = parse_header(&t);
+            assert!(
+                !verify_mac(&cmac, &header, &t[HEADER_LEN..]),
+                "tampering at offset {offset} must be detected"
+            );
+        }
+
+        // The chain pointer is intentionally NOT covered.
+        let mut t = pristine;
+        t[OFF_NEXT] ^= 1;
+        let header = parse_header(&t);
+        assert!(verify_mac(&cmac, &header, &t[HEADER_LEN..]));
+    }
+
+    #[test]
+    fn empty_value_supported() {
+        let (enc, cmac) = ciphers();
+        let mut buf = vec![0u8; HEADER_LEN + 3];
+        encode_into(&mut buf, 0, 0, &[0u8; 16], b"abc", b"", &enc, &cmac);
+        let header = parse_header(&buf);
+        let (k, v) = decrypt_entry(&enc, &header, &buf[HEADER_LEN..]);
+        assert_eq!(k, b"abc");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn distinct_ivs_distinct_ciphertexts() {
+        let (enc, cmac) = ciphers();
+        let mut b1 = vec![0u8; HEADER_LEN + 8];
+        let mut b2 = vec![0u8; HEADER_LEN + 8];
+        encode_into(&mut b1, 0, 0, &[1u8; 16], b"key1", b"val1", &enc, &cmac);
+        encode_into(&mut b2, 0, 0, &[2u8; 16], b"key1", b"val1", &enc, &cmac);
+        assert_ne!(&b1[HEADER_LEN..], &b2[HEADER_LEN..]);
+    }
+
+    #[test]
+    fn header_offsets_are_packed() {
+        assert_eq!(OFF_NEXT, 0);
+        assert_eq!(OFF_HINT, 8);
+        assert_eq!(OFF_KEY_LEN, 9);
+        assert_eq!(OFF_VAL_LEN, 13);
+        assert_eq!(OFF_IV, 17);
+        assert_eq!(OFF_MAC, 33);
+        assert_eq!(HEADER_LEN, 49);
+    }
+}

@@ -1,0 +1,258 @@
+//! Flattened-Merkle integrity verification (paper §4.3).
+//!
+//! Instead of one deep Merkle tree over all key-value pairs, ShieldStore
+//! keeps a flat array of *MAC hashes* inside the enclave. MAC hash `i`
+//! covers a *bucket set* — `ceil(buckets / num_hashes)` consecutive
+//! buckets — and stores the CMAC over the concatenation of every entry MAC
+//! in that set, in deterministic traversal order. A `get` recomputes the
+//! set's hash from untrusted MACs and compares; a `set` recomputes and
+//! overwrites after mutating.
+//!
+//! The array is the dominant EPC consumer of the whole store: when it
+//! outgrows the EPC budget, the enclave starts demand-paging and throughput
+//! collapses — the trade-off measured in Fig. 15.
+
+use crate::error::{Error, Result};
+use shield_crypto::cmac::Cmac;
+use shield_crypto::Tag128;
+use sgx_sim::enclave::Enclave;
+use std::sync::Arc;
+
+/// Storage for the MAC hash array.
+///
+/// The main table keeps it in metered enclave memory (EPC); the small
+/// temporary table used during snapshots keeps a plain in-enclave vector
+/// (its footprint is negligible, and it is discarded after the merge).
+pub enum MacStore {
+    /// Metered enclave-memory array of `num` 16-byte hashes.
+    Enclave {
+        /// The owning enclave (for metered access).
+        enclave: Arc<Enclave>,
+        /// Base address of the array in enclave memory.
+        addr: u64,
+        /// Number of hashes.
+        num: usize,
+    },
+    /// Plain vector (unmetered, for temporary tables).
+    Plain(Vec<Tag128>),
+}
+
+impl std::fmt::Debug for MacStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MacStore::Enclave { num, .. } => write!(f, "MacStore::Enclave({num})"),
+            MacStore::Plain(v) => write!(f, "MacStore::Plain({})", v.len()),
+        }
+    }
+}
+
+impl MacStore {
+    /// Allocates a metered in-EPC array of `num` hashes.
+    pub fn in_enclave(enclave: Arc<Enclave>, num: usize) -> Result<Self> {
+        let addr = enclave.memory().alloc(num * 16).map_err(Error::from)?;
+        Ok(MacStore::Enclave { enclave, addr, num })
+    }
+
+    /// Creates a plain in-enclave vector of `num` hashes.
+    pub fn plain(num: usize) -> Self {
+        MacStore::Plain(vec![[0u8; 16]; num])
+    }
+
+    /// Number of MAC hashes.
+    pub fn len(&self) -> usize {
+        match self {
+            MacStore::Enclave { num, .. } => *num,
+            MacStore::Plain(v) => v.len(),
+        }
+    }
+
+    /// True when the store holds no hashes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads hash `idx` (metered for the enclave variant).
+    pub fn get(&self, idx: usize) -> Tag128 {
+        match self {
+            MacStore::Enclave { enclave, addr, num } => {
+                assert!(idx < *num, "MAC hash index out of range");
+                let mut out = [0u8; 16];
+                enclave.memory().read(addr + (idx * 16) as u64, &mut out);
+                out
+            }
+            MacStore::Plain(v) => v[idx],
+        }
+    }
+
+    /// Writes hash `idx` (metered for the enclave variant).
+    pub fn set(&mut self, idx: usize, tag: &Tag128) {
+        match self {
+            MacStore::Enclave { enclave, addr, num } => {
+                assert!(idx < *num, "MAC hash index out of range");
+                enclave.memory().write(*addr + (idx * 16) as u64, tag);
+            }
+            MacStore::Plain(v) => v[idx] = *tag,
+        }
+    }
+
+    /// Exports the whole array (for sealing into a snapshot).
+    pub fn export(&self) -> Vec<u8> {
+        match self {
+            MacStore::Enclave { enclave, addr, num } => {
+                enclave.memory().read_vec(*addr, num * 16)
+            }
+            MacStore::Plain(v) => v.iter().flat_map(|t| t.iter().copied()).collect(),
+        }
+    }
+
+    /// Imports an exported array (for snapshot restore).
+    pub fn import(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.len() != self.len() * 16 {
+            return Err(Error::Persistence(format!(
+                "MAC hash array length mismatch: {} != {}",
+                bytes.len(),
+                self.len() * 16
+            )));
+        }
+        for (idx, chunk) in bytes.chunks_exact(16).enumerate() {
+            self.set(idx, chunk.try_into().expect("16 bytes"));
+        }
+        Ok(())
+    }
+}
+
+/// Maps buckets to MAC hash (bucket set) indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketSets {
+    buckets: usize,
+    num_hashes: usize,
+    buckets_per_set: usize,
+}
+
+impl BucketSets {
+    /// Creates the mapping for `buckets` buckets covered by `num_hashes`
+    /// MAC hashes. When `num_hashes >= buckets` each hash covers exactly
+    /// one bucket (the paper's <1M-bucket case).
+    pub fn new(buckets: usize, num_hashes: usize) -> Self {
+        let num_hashes = num_hashes.min(buckets).max(1);
+        let buckets_per_set = buckets.div_ceil(num_hashes);
+        Self { buckets, num_hashes, buckets_per_set }
+    }
+
+    /// The MAC hash index covering `bucket`.
+    #[inline]
+    pub fn set_of(&self, bucket: usize) -> usize {
+        bucket / self.buckets_per_set
+    }
+
+    /// The bucket range covered by MAC hash `set`.
+    pub fn buckets_of(&self, set: usize) -> core::ops::Range<usize> {
+        let start = set * self.buckets_per_set;
+        let end = ((set + 1) * self.buckets_per_set).min(self.buckets);
+        start..end
+    }
+
+    /// Number of bucket sets (== usable MAC hashes).
+    pub fn num_sets(&self) -> usize {
+        self.buckets.div_ceil(self.buckets_per_set)
+    }
+
+    /// Buckets per set.
+    pub fn buckets_per_set(&self) -> usize {
+        self.buckets_per_set
+    }
+}
+
+/// Computes a bucket-set hash over the concatenated entry MACs.
+pub fn set_hash(cmac: &Cmac, concatenated_macs: &[u8]) -> Tag128 {
+    cmac.compute(concatenated_macs)
+}
+
+/// Compares a recomputed set hash against the stored one.
+pub fn verify_set_hash(stored: &Tag128, recomputed: &Tag128) -> bool {
+    shield_crypto::constant_time::ct_eq(stored, recomputed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::enclave::EnclaveBuilder;
+    use sgx_sim::vclock;
+
+    #[test]
+    fn bucket_set_mapping_one_to_one() {
+        let bs = BucketSets::new(8, 8);
+        assert_eq!(bs.buckets_per_set(), 1);
+        for b in 0..8 {
+            assert_eq!(bs.set_of(b), b);
+            assert_eq!(bs.buckets_of(b), b..b + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_set_mapping_many_to_one() {
+        let bs = BucketSets::new(10, 3);
+        // ceil(10/3) = 4 buckets per set -> 3 sets (0..4, 4..8, 8..10).
+        assert_eq!(bs.buckets_per_set(), 4);
+        assert_eq!(bs.num_sets(), 3);
+        assert_eq!(bs.set_of(0), 0);
+        assert_eq!(bs.set_of(3), 0);
+        assert_eq!(bs.set_of(4), 1);
+        assert_eq!(bs.buckets_of(2), 8..10);
+    }
+
+    #[test]
+    fn more_hashes_than_buckets_collapses() {
+        let bs = BucketSets::new(4, 100);
+        assert_eq!(bs.num_sets(), 4);
+        assert_eq!(bs.buckets_per_set(), 1);
+    }
+
+    #[test]
+    fn plain_store_roundtrip() {
+        let mut s = MacStore::plain(4);
+        assert_eq!(s.len(), 4);
+        s.set(2, &[9u8; 16]);
+        assert_eq!(s.get(2), [9u8; 16]);
+        assert_eq!(s.get(0), [0u8; 16]);
+    }
+
+    #[test]
+    fn enclave_store_is_metered() {
+        let enclave = EnclaveBuilder::new("macs").epc_bytes(1 << 16).build();
+        vclock::reset();
+        let mut s = MacStore::in_enclave(Arc::clone(&enclave), 1024).unwrap();
+        s.set(1000, &[5u8; 16]);
+        assert_eq!(s.get(1000), [5u8; 16]);
+        assert!(enclave.stats().snapshot().epc_faults > 0 || vclock::now() > 0);
+        vclock::reset();
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut a = MacStore::plain(3);
+        a.set(0, &[1u8; 16]);
+        a.set(1, &[2u8; 16]);
+        a.set(2, &[3u8; 16]);
+        let bytes = a.export();
+        let mut b = MacStore::plain(3);
+        b.import(&bytes).unwrap();
+        for i in 0..3 {
+            assert_eq!(b.get(i), a.get(i));
+        }
+        let mut c = MacStore::plain(2);
+        assert!(c.import(&bytes).is_err());
+    }
+
+    #[test]
+    fn set_hash_changes_with_any_mac() {
+        let cmac = Cmac::new(&[0u8; 16]);
+        let mut macs = vec![0u8; 64];
+        let h1 = set_hash(&cmac, &macs);
+        macs[33] ^= 1;
+        let h2 = set_hash(&cmac, &macs);
+        assert!(!verify_set_hash(&h1, &h2));
+        macs[33] ^= 1;
+        assert!(verify_set_hash(&h1, &set_hash(&cmac, &macs)));
+    }
+}

@@ -1,0 +1,1266 @@
+//! A shard: one hash-partitioned slice of the store, owned by one worker.
+//!
+//! ShieldStore avoids cross-thread synchronization by giving each worker
+//! thread an exclusive partition of the hash key space (paper §5.3,
+//! Fig. 8). A [`Shard`] is that partition: its own hash table, untrusted
+//! heap, MAC chains, and in-enclave MAC hash array. All operations take
+//! `&mut self` — exclusive ownership is the concurrency model.
+//!
+//! During a snapshot the shard's main table is frozen behind an `Arc`
+//! (read-only, shared with the snapshot writer thread) and writes are
+//! absorbed by a temporary table, reproducing Algorithm 1's fork-based
+//! copy-on-write behaviour without `fork()`.
+
+use crate::alloc::{Handle, UntrustedHeap, NULL_HANDLE};
+use crate::cache::EnclaveCache;
+use crate::config::{AllocMode, Config};
+use crate::entry::{self, EntryHeader};
+use crate::error::{Error, Result};
+use crate::integrity::{self, MacStore};
+use crate::mac_bucket;
+use crate::ordered::OrderedIndex;
+use crate::stats::OpStats;
+use crate::table::TableCtx;
+use shield_crypto::cmac::Cmac;
+use shield_crypto::ctr::AesCtr;
+use shield_crypto::siphash::SipHash24;
+use sgx_sim::enclave::Enclave;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The store's secret keys. Generated inside the enclave at store creation
+/// and never exposed in plaintext outside it (they are sealed into
+/// snapshot metadata).
+pub(crate) struct StoreKeys {
+    /// AES-CTR cipher for entry key/value encryption.
+    pub enc: AesCtr,
+    /// CMAC for entry MACs and bucket-set hashes.
+    pub mac: Cmac,
+    /// Keyed hash for bucket indexing (hides key distribution, §4.2).
+    pub index: SipHash24,
+    /// Keyed hash for the 1-byte key hint (§5.4).
+    pub hint: SipHash24,
+    /// Raw key material, kept for sealing.
+    pub raw: [[u8; 16]; 4],
+}
+
+impl StoreKeys {
+    /// Generates fresh keys from enclave randomness.
+    pub fn generate(enclave: &Enclave) -> Self {
+        let mut raw = [[0u8; 16]; 4];
+        for key in raw.iter_mut() {
+            enclave.read_rand(key);
+        }
+        Self::from_raw(raw)
+    }
+
+    /// Reconstructs keys from raw material (snapshot restore).
+    pub fn from_raw(raw: [[u8; 16]; 4]) -> Self {
+        Self {
+            enc: AesCtr::new(&raw[0]),
+            mac: Cmac::new(&raw[1]),
+            index: SipHash24::new(&raw[2]),
+            hint: SipHash24::new(&raw[3]),
+            raw,
+        }
+    }
+
+    /// The 64-bit keyed index hash of `key`.
+    #[inline]
+    pub fn index_hash(&self, key: &[u8]) -> u64 {
+        self.index.hash(key)
+    }
+
+    /// The 1-byte key hint of `key`.
+    #[inline]
+    pub fn hint_byte(&self, key: &[u8]) -> u8 {
+        (self.hint.hash(key) & 0xff) as u8
+    }
+}
+
+/// Per-shard configuration derived from [`Config`].
+#[derive(Debug, Clone)]
+pub(crate) struct ShardConfig {
+    pub buckets: usize,
+    pub mac_hashes: usize,
+    pub key_hint: bool,
+    pub two_step: bool,
+    pub mac_bucket: bool,
+    pub mac_cap: usize,
+    pub alloc: AllocMode,
+    pub max_item_len: usize,
+    pub ordered_index: bool,
+}
+
+impl ShardConfig {
+    pub fn from_config(cfg: &Config) -> Self {
+        Self {
+            buckets: cfg.buckets_per_shard(),
+            mac_hashes: cfg.mac_hashes_per_shard(),
+            key_hint: cfg.key_hint,
+            two_step: cfg.two_step_search,
+            mac_bucket: cfg.mac_bucket,
+            mac_cap: cfg.mac_bucket_capacity,
+            alloc: cfg.alloc,
+            max_item_len: cfg.max_item_len,
+            ordered_index: cfg.ordered_index,
+        }
+    }
+}
+
+/// A located entry within a chain.
+#[derive(Debug, Clone, Copy)]
+struct Found {
+    handle: Handle,
+    prev: Handle,
+    pos: usize,
+    header: EntryHeader,
+}
+
+/// What a chain search discovered.
+#[derive(Debug, Clone, Copy)]
+enum SearchOutcome {
+    /// The key was located.
+    Found(Found),
+    /// The full-scan fallback hit an entry whose MAC does not match its
+    /// contents: untrusted memory was tampered with.
+    Tampered,
+}
+
+/// The temporary table absorbing writes during a snapshot.
+struct TempTable {
+    ctx: TableCtx,
+    tombstones: HashSet<Vec<u8>>,
+}
+
+/// One hash partition of the store.
+pub struct Shard {
+    cfg: ShardConfig,
+    keys: Arc<StoreKeys>,
+    enclave: Arc<Enclave>,
+    main: Option<TableCtx>,
+    frozen: Option<Arc<TableCtx>>,
+    temp: Option<TempTable>,
+    cache: Option<EnclaveCache>,
+    index: Option<OrderedIndex>,
+    pub(crate) stats: OpStats,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("buckets", &self.cfg.buckets)
+            .field("len", &self.len())
+            .field("snapshotting", &self.temp.is_some())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table-level operations: free functions so main and temp tables share them.
+// ---------------------------------------------------------------------------
+
+fn bucket_of(keys: &StoreKeys, ctx: &TableCtx, key: &[u8]) -> usize {
+    (keys.index_hash(key) % ctx.buckets() as u64) as usize
+}
+
+/// Searches `bucket` for `key`, counting decryptions as the paper's Fig. 9
+/// does. First pass honours the key hint; if nothing matched and the
+/// two-step fallback is enabled, a full decrypting scan follows (§5.4).
+fn search(
+    cfg: &ShardConfig,
+    keys: &StoreKeys,
+    ctx: &TableCtx,
+    stats: &mut OpStats,
+    bucket: usize,
+    hint_byte: u8,
+    key: &[u8],
+) -> Option<SearchOutcome> {
+    // First step: hint-guided.
+    let mut prev = NULL_HANDLE;
+    let mut pos = 0usize;
+    let mut h = ctx.heads[bucket];
+    while h != NULL_HANDLE {
+        let header = ctx.header(h);
+        if cfg.key_hint && header.hint != hint_byte {
+            stats.hint_skips += 1;
+        } else if header.key_len as usize == key.len() {
+            stats.key_decryptions += 1;
+            let Some(ct) = ctx.try_ciphertext(h, &header) else {
+                // Corrupted length fields in untrusted memory.
+                return Some(SearchOutcome::Tampered);
+            };
+            let candidate = entry::decrypt_key(&keys.enc, &header, ct);
+            if candidate == key {
+                return Some(SearchOutcome::Found(Found { handle: h, prev, pos, header }));
+            }
+        }
+        prev = h;
+        pos += 1;
+        h = header.next;
+    }
+
+    // Second step: full scan, defending against hint corruption. Every
+    // entry's MAC is verified here: a corrupted key ciphertext would make
+    // its key silently unfindable otherwise (content tampering must not
+    // masquerade as a clean miss).
+    if cfg.key_hint && cfg.two_step {
+        stats.full_scans += 1;
+        let mut prev = NULL_HANDLE;
+        let mut pos = 0usize;
+        let mut h = ctx.heads[bucket];
+        while h != NULL_HANDLE {
+            let header = ctx.header(h);
+            let Some(ct) = ctx.try_ciphertext(h, &header) else {
+                return Some(SearchOutcome::Tampered);
+            };
+            if !entry::verify_mac(&keys.mac, &header, ct) {
+                return Some(SearchOutcome::Tampered);
+            }
+            if header.key_len as usize == key.len() {
+                stats.key_decryptions += 1;
+                let candidate = entry::decrypt_key(&keys.enc, &header, ct);
+                if candidate == key {
+                    return Some(SearchOutcome::Found(Found { handle: h, prev, pos, header }));
+                }
+            }
+            prev = h;
+            pos += 1;
+            h = header.next;
+        }
+    }
+    None
+}
+
+/// Gathers the concatenated entry MACs of every bucket in `set`, via MAC
+/// buckets (contiguous reads) or entry-chain pointer chasing.
+fn gather_set_macs(
+    cfg: &ShardConfig,
+    ctx: &TableCtx,
+    stats: &mut OpStats,
+    set: usize,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    for bucket in ctx.sets.buckets_of(set) {
+        if cfg.mac_bucket {
+            let n = mac_bucket::gather(&ctx.heap, ctx.mac_heads[bucket], &mut out);
+            stats.macs_gathered += n as u64;
+        } else {
+            let mut h = ctx.heads[bucket];
+            while h != NULL_HANDLE {
+                let header = ctx.header(h);
+                out.extend_from_slice(&header.mac);
+                stats.macs_gathered += 1;
+                h = header.next;
+            }
+        }
+    }
+    out
+}
+
+/// The stored hash for an empty bucket set.
+const EMPTY_SET_HASH: [u8; 16] = [0u8; 16];
+
+fn expected_set_hash(keys: &StoreKeys, macs: &[u8]) -> [u8; 16] {
+    if macs.is_empty() {
+        EMPTY_SET_HASH
+    } else {
+        integrity::set_hash(&keys.mac, macs)
+    }
+}
+
+/// Number of entries chained in `bucket` (header-pointer walk only).
+fn chain_len(ctx: &TableCtx, bucket: usize) -> usize {
+    let mut n = 0;
+    let mut h = ctx.heads[bucket];
+    while h != NULL_HANDLE {
+        n += 1;
+        h = ctx.heap.read_u64_at(h, entry::OFF_NEXT);
+    }
+    n
+}
+
+/// Verifies the bucket-set MAC hash for `set` against untrusted state.
+fn verify_set(
+    cfg: &ShardConfig,
+    keys: &StoreKeys,
+    ctx: &TableCtx,
+    stats: &mut OpStats,
+    set: usize,
+) -> Result<()> {
+    stats.integrity_verifications += 1;
+    let macs = gather_set_macs(cfg, ctx, stats, set);
+    let recomputed = expected_set_hash(keys, &macs);
+    let stored = ctx.macs.get(set);
+    if integrity::verify_set_hash(&stored, &recomputed) {
+        Ok(())
+    } else {
+        Err(Error::IntegrityViolation { bucket: ctx.sets.buckets_of(set).start })
+    }
+}
+
+/// Miss-path consistency check for MAC bucketing. The gather reads the
+/// MAC side arrays, so an attacker who unlinks a *data entry* (leaving
+/// the MAC bucket intact) would pass the set-hash check and turn the key
+/// into a silent miss. A *found* key proves its own membership (its MAC
+/// is verified against content and covered by the set hash), so the
+/// chain walk is only paid when a search comes back empty — keeping the
+/// very pointer-chasing MAC bucketing exists to avoid off the hit path.
+fn verify_absence_consistency(
+    cfg: &ShardConfig,
+    ctx: &TableCtx,
+    bucket: usize,
+) -> Result<()> {
+    if cfg.mac_bucket
+        && chain_len(ctx, bucket) != mac_bucket::len(&ctx.heap, ctx.mac_heads[bucket])
+    {
+        return Err(Error::IntegrityViolation { bucket });
+    }
+    Ok(())
+}
+
+/// Recomputes and stores the bucket-set hash after a mutation.
+fn update_set_hash(
+    cfg: &ShardConfig,
+    keys: &StoreKeys,
+    ctx: &mut TableCtx,
+    stats: &mut OpStats,
+    set: usize,
+) {
+    let macs = gather_set_macs(cfg, ctx, stats, set);
+    let tag = expected_set_hash(keys, &macs);
+    ctx.macs.set(set, &tag);
+}
+
+/// Looks `key` up in `ctx`, fully verifying integrity. Returns the
+/// plaintext value, or `None` for a clean miss.
+fn get_in(
+    cfg: &ShardConfig,
+    keys: &StoreKeys,
+    ctx: &TableCtx,
+    stats: &mut OpStats,
+    key: &[u8],
+) -> Result<Option<Vec<u8>>> {
+    let bucket = bucket_of(keys, ctx, key);
+    let set = ctx.sets.set_of(bucket);
+    verify_set(cfg, keys, ctx, stats, set)?;
+    let hint = keys.hint_byte(key);
+    match search(cfg, keys, ctx, stats, bucket, hint, key) {
+        Some(SearchOutcome::Found(found)) => {
+            let Some(ct) = ctx.try_ciphertext(found.handle, &found.header) else {
+                return Err(Error::IntegrityViolation { bucket });
+            };
+            if !entry::verify_mac(&keys.mac, &found.header, ct) {
+                return Err(Error::IntegrityViolation { bucket });
+            }
+            let (_, value) = entry::decrypt_entry(&keys.enc, &found.header, ct);
+            Ok(Some(value))
+        }
+        Some(SearchOutcome::Tampered) => Err(Error::IntegrityViolation { bucket }),
+        None => {
+            verify_absence_consistency(cfg, ctx, bucket)?;
+            Ok(None)
+        }
+    }
+}
+
+/// Inserts or updates `key` in `ctx`. Returns `true` for an insert.
+fn set_in(
+    cfg: &ShardConfig,
+    keys: &StoreKeys,
+    ctx: &mut TableCtx,
+    stats: &mut OpStats,
+    key: &[u8],
+    value: &[u8],
+) -> Result<bool> {
+    let bucket = bucket_of(keys, ctx, key);
+    let set = ctx.sets.set_of(bucket);
+    verify_set(cfg, keys, ctx, stats, set)?;
+    let hint = keys.hint_byte(key);
+    let new_len = entry::HEADER_LEN + key.len() + value.len();
+
+    let outcome = search(cfg, keys, ctx, stats, bucket, hint, key);
+    if matches!(outcome, Some(SearchOutcome::Tampered)) {
+        return Err(Error::IntegrityViolation { bucket });
+    }
+    let inserted = match outcome {
+        Some(SearchOutcome::Tampered) => unreachable!("handled above"),
+        Some(SearchOutcome::Found(found)) => {
+            // Update: bump the combined IV/counter for the re-encryption.
+            let mut iv = found.header.iv;
+            shield_crypto::ctr::increment_be(&mut iv);
+            let old_len = found.header.entry_len();
+
+            if UntrustedHeap::fits_in_class(old_len, new_len) {
+                let buf = ctx.heap.bytes_mut(found.handle, new_len);
+                let mac = entry::encode_into(
+                    buf,
+                    found.header.next,
+                    hint,
+                    &iv,
+                    key,
+                    value,
+                    &keys.enc,
+                    &keys.mac,
+                );
+                if cfg.mac_bucket {
+                    mac_bucket::set_at(&mut ctx.heap, ctx.mac_heads[bucket], found.pos, &mac);
+                }
+                stats.inplace_updates += 1;
+            } else {
+                let fresh = ctx.heap.alloc(new_len);
+                let mut buf = vec![0u8; new_len];
+                let mac = entry::encode_into(
+                    &mut buf,
+                    found.header.next,
+                    hint,
+                    &iv,
+                    key,
+                    value,
+                    &keys.enc,
+                    &keys.mac,
+                );
+                ctx.heap.bytes_mut(fresh, new_len).copy_from_slice(&buf);
+                // Relink in place of the old entry.
+                if found.prev == NULL_HANDLE {
+                    ctx.heads[bucket] = fresh;
+                } else {
+                    ctx.heap.write_u64_at(found.prev, entry::OFF_NEXT, fresh);
+                }
+                ctx.heap.free(found.handle, old_len);
+                if cfg.mac_bucket {
+                    mac_bucket::set_at(&mut ctx.heap, ctx.mac_heads[bucket], found.pos, &mac);
+                }
+                stats.realloc_updates += 1;
+            }
+            false
+        }
+        None => {
+            verify_absence_consistency(cfg, ctx, bucket)?;
+            // Insert at the chain head with a fresh random IV/counter.
+            let iv = ctx.heap.enclave().read_rand_block();
+            let fresh = ctx.heap.alloc(new_len);
+            let mut buf = vec![0u8; new_len];
+            let mac = entry::encode_into(
+                &mut buf,
+                ctx.heads[bucket],
+                hint,
+                &iv,
+                key,
+                value,
+                &keys.enc,
+                &keys.mac,
+            );
+            ctx.heap.bytes_mut(fresh, new_len).copy_from_slice(&buf);
+            ctx.heads[bucket] = fresh;
+            if cfg.mac_bucket {
+                let mut head = ctx.mac_heads[bucket];
+                mac_bucket::insert_front(&mut ctx.heap, &mut head, &mac, cfg.mac_cap);
+                ctx.mac_heads[bucket] = head;
+            }
+            ctx.count += 1;
+            stats.inserts += 1;
+            true
+        }
+    };
+
+    update_set_hash(cfg, keys, ctx, stats, set);
+    Ok(inserted)
+}
+
+/// Removes `key` from `ctx`. Returns `true` if it was present.
+fn delete_in(
+    cfg: &ShardConfig,
+    keys: &StoreKeys,
+    ctx: &mut TableCtx,
+    stats: &mut OpStats,
+    key: &[u8],
+) -> Result<bool> {
+    let bucket = bucket_of(keys, ctx, key);
+    let set = ctx.sets.set_of(bucket);
+    verify_set(cfg, keys, ctx, stats, set)?;
+    let hint = keys.hint_byte(key);
+    let found = match search(cfg, keys, ctx, stats, bucket, hint, key) {
+        Some(SearchOutcome::Found(found)) => found,
+        Some(SearchOutcome::Tampered) => {
+            return Err(Error::IntegrityViolation { bucket });
+        }
+        None => {
+            verify_absence_consistency(cfg, ctx, bucket)?;
+            return Ok(false);
+        }
+    };
+
+    if found.prev == NULL_HANDLE {
+        ctx.heads[bucket] = found.header.next;
+    } else {
+        ctx.heap.write_u64_at(found.prev, entry::OFF_NEXT, found.header.next);
+    }
+    ctx.heap.free(found.handle, found.header.entry_len());
+    if cfg.mac_bucket {
+        let mut head = ctx.mac_heads[bucket];
+        mac_bucket::remove_at(&mut ctx.heap, &mut head, found.pos, cfg.mac_cap);
+        ctx.mac_heads[bucket] = head;
+    }
+    ctx.count -= 1;
+    update_set_hash(cfg, keys, ctx, stats, set);
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Shard: public operations with snapshot-aware routing.
+// ---------------------------------------------------------------------------
+
+impl Shard {
+    /// Creates an empty shard.
+    pub(crate) fn new(enclave: Arc<Enclave>, keys: Arc<StoreKeys>, cfg: ShardConfig) -> Result<Self> {
+        let heap = UntrustedHeap::new(Arc::clone(&enclave), cfg.alloc);
+        let macs = MacStore::in_enclave(Arc::clone(&enclave), cfg.mac_hashes)?;
+        let main = TableCtx::new(heap, cfg.buckets, macs);
+        let index = cfg.ordered_index.then(OrderedIndex::new);
+        Ok(Self {
+            cfg,
+            keys,
+            enclave,
+            main: Some(main),
+            frozen: None,
+            temp: None,
+            cache: None,
+            index,
+            stats: OpStats::default(),
+        })
+    }
+
+    /// Enables the in-enclave cache with a byte budget.
+    pub(crate) fn enable_cache(&mut self, bytes: usize) {
+        if bytes > 0 {
+            self.cache = Some(EnclaveCache::new(Arc::clone(&self.enclave), bytes));
+        }
+    }
+
+    fn check_item(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let max = self.cfg.max_item_len;
+        if key.len() > max {
+            return Err(Error::OversizeItem { len: key.len(), max });
+        }
+        if value.len() > max {
+            return Err(Error::OversizeItem { len: value.len(), max });
+        }
+        if key.is_empty() {
+            return Err(Error::OversizeItem { len: 0, max });
+        }
+        Ok(())
+    }
+
+    /// Internal verified lookup across temp/frozen/main state, without
+    /// touching the per-op counters (callers classify the op).
+    fn lookup(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.lookup_traced(key)?.map(|(v, _)| v))
+    }
+
+    /// Like [`Shard::lookup`], also reporting whether the value was served
+    /// from the in-enclave cache (so callers do not re-insert cache hits,
+    /// which would pay a redundant metered enclave write per hit).
+    fn lookup_traced(&mut self, key: &[u8]) -> Result<Option<(Vec<u8>, bool)>> {
+        if let Some(cache) = self.cache.as_mut() {
+            if let Some(v) = cache.get(key) {
+                self.stats.cache_hits += 1;
+                return Ok(Some((v, true)));
+            }
+            self.stats.cache_misses += 1;
+        }
+        if let Some(temp) = self.temp.as_ref() {
+            if temp.tombstones.contains(key) {
+                return Ok(None);
+            }
+            // Split borrows: temp ctx read + stats write.
+            let (cfg, keys) = (&self.cfg, &self.keys);
+            let temp = self.temp.as_ref().expect("checked above");
+            if let Some(v) = get_in(cfg, keys, &temp.ctx, &mut self.stats, key)? {
+                return Ok(Some((v, false)));
+            }
+            let frozen = self.frozen.as_ref().expect("frozen accompanies temp");
+            return Ok(get_in(cfg, keys, frozen, &mut self.stats, key)?.map(|v| (v, false)));
+        }
+        let main = self.main.as_ref().expect("main table present");
+        Ok(get_in(&self.cfg, &self.keys, main, &mut self.stats, key)?.map(|v| (v, false)))
+    }
+
+    /// Internal verified write across temp/main state.
+    fn apply_write(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.check_item(key, value)?;
+        if let Some(temp) = self.temp.as_mut() {
+            self.stats.temp_table_ops += 1;
+            temp.tombstones.remove(key);
+            set_in(&self.cfg, &self.keys, &mut temp.ctx, &mut self.stats, key, value)?;
+        } else {
+            let main = self.main.as_mut().expect("main table present");
+            set_in(&self.cfg, &self.keys, main, &mut self.stats, key, value)?;
+        }
+        if let Some(cache) = self.cache.as_mut() {
+            cache.put(key, value);
+        }
+        if let Some(index) = self.index.as_mut() {
+            index.insert(key);
+        }
+        Ok(())
+    }
+
+    /// Retrieves the value for `key`.
+    pub fn get(&mut self, key: &[u8]) -> Result<Vec<u8>> {
+        self.stats.gets += 1;
+        match self.lookup_traced(key)? {
+            Some((v, from_cache)) => {
+                self.stats.hits += 1;
+                // Populate the cache on an untrusted-path hit; a cache hit
+                // is already resident.
+                if !from_cache {
+                    if let Some(cache) = self.cache.as_mut() {
+                        cache.put(key, &v);
+                    }
+                }
+                Ok(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                Err(Error::KeyNotFound)
+            }
+        }
+    }
+
+    /// Stores `value` under `key` (insert or update).
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.stats.sets += 1;
+        self.apply_write(key, value)
+    }
+
+    /// Removes `key`. Errors with [`Error::KeyNotFound`] when absent.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.stats.deletes += 1;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.remove(key);
+        }
+        if self.temp.is_some() {
+            self.stats.temp_table_ops += 1;
+            // Remove any temp-table copy.
+            let (cfg, keys) = (&self.cfg, &self.keys);
+            let temp = self.temp.as_mut().expect("checked");
+            let removed_temp =
+                delete_in(cfg, keys, &mut temp.ctx, &mut self.stats, key)?;
+            // Check the frozen main for presence (verified search).
+            let frozen = Arc::clone(self.frozen.as_ref().expect("frozen accompanies temp"));
+            let in_frozen =
+                get_in(&self.cfg, &self.keys, &frozen, &mut self.stats, key)?.is_some();
+            if !removed_temp && !in_frozen {
+                self.stats.misses += 1;
+                return Err(Error::KeyNotFound);
+            }
+            if in_frozen {
+                let temp = self.temp.as_mut().expect("checked");
+                temp.tombstones.insert(key.to_vec());
+            }
+            if let Some(index) = self.index.as_mut() {
+                index.remove(key);
+            }
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        let main = self.main.as_mut().expect("main table present");
+        if delete_in(&self.cfg, &self.keys, main, &mut self.stats, key)? {
+            if let Some(index) = self.index.as_mut() {
+                index.remove(key);
+            }
+            self.stats.hits += 1;
+            Ok(())
+        } else {
+            self.stats.misses += 1;
+            Err(Error::KeyNotFound)
+        }
+    }
+
+    /// Appends `suffix` to the value of `key`, creating it when absent —
+    /// one of the server-side operations motivating server-side encryption
+    /// (paper §3.2, Fig. 12).
+    pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<usize> {
+        self.stats.appends += 1;
+        let mut value = self.lookup(key)?.unwrap_or_default();
+        value.extend_from_slice(suffix);
+        self.apply_write(key, &value)?;
+        Ok(value.len())
+    }
+
+    /// Adds `delta` to the decimal-integer value of `key` (creating it as
+    /// `delta` when absent) and returns the new value.
+    pub fn increment(&mut self, key: &[u8], delta: i64) -> Result<i64> {
+        self.stats.increments += 1;
+        let current = match self.lookup(key)? {
+            Some(v) => {
+                let text = core::str::from_utf8(&v).map_err(|_| Error::ValueNotNumeric)?;
+                text.trim().parse::<i64>().map_err(|_| Error::ValueNotNumeric)?
+            }
+            None => 0,
+        };
+        let next = current.checked_add(delta).ok_or(Error::NumericOverflow)?;
+        self.apply_write(key, next.to_string().as_bytes())?;
+        Ok(next)
+    }
+
+    /// True when `key` exists (verified lookup).
+    pub fn exists(&mut self, key: &[u8]) -> Result<bool> {
+        Ok(self.lookup(key)?.is_some())
+    }
+
+    /// Number of live entries. During a snapshot this is an upper bound
+    /// (temp-table updates of existing keys count twice until the merge).
+    pub fn len(&self) -> usize {
+        let base = self
+            .main
+            .as_ref()
+            .map(|m| m.count)
+            .or_else(|| self.frozen.as_ref().map(|f| f.count))
+            .unwrap_or(0);
+        let temp = self.temp.as_ref().map(|t| t.ctx.count).unwrap_or(0);
+        base + temp
+    }
+
+    /// True when the shard holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// This shard's operation counters.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = OpStats::default();
+    }
+
+    /// The shard's configuration.
+    pub(crate) fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Read access to the main table (diagnostics / persistence).
+    pub(crate) fn main_table(&self) -> Option<&TableCtx> {
+        self.main.as_ref()
+    }
+
+    /// Mutable access to the main table (persistence restore).
+    pub(crate) fn main_table_mut(&mut self) -> Option<&mut TableCtx> {
+        self.main.as_mut()
+    }
+
+    /// Ordered range scan over `[start, end)` (requires
+    /// [`Config::ordered_index`]): returns up to `limit` key-value pairs
+    /// in key order, each retrieved through the fully verified read path.
+    pub fn scan_range(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let keys = self
+            .index
+            .as_ref()
+            .ok_or(Error::IndexDisabled)?
+            .range(start, end, limit);
+        self.collect_keys(keys)
+    }
+
+    /// Ordered prefix scan (requires [`Config::ordered_index`]).
+    pub fn scan_prefix(
+        &mut self,
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let keys =
+            self.index.as_ref().ok_or(Error::IndexDisabled)?.prefix(prefix, limit);
+        self.collect_keys(keys)
+    }
+
+    fn collect_keys(&mut self, keys: Vec<Vec<u8>>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            // The index can briefly lead the table during a snapshot
+            // merge; skip keys that verified-miss rather than failing.
+            if let Some(value) = self.lookup(&key)? {
+                out.push((key, value));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Approximate enclave bytes consumed by the ordered index (0 when
+    /// disabled) — check this against the EPC budget before enabling the
+    /// index on large key counts.
+    pub fn index_bytes(&self) -> usize {
+        self.index.as_ref().map(|i| i.approx_bytes()).unwrap_or(0)
+    }
+
+    /// Rebuilds the ordered index from the main table (snapshot restore).
+    pub(crate) fn rebuild_index(&mut self) -> Result<()> {
+        if !self.cfg.ordered_index {
+            return Ok(());
+        }
+        let mut index = OrderedIndex::new();
+        let main = self.main.as_ref().expect("main table present");
+        let mut bad = false;
+        main.for_each_entry(|_, handle| {
+            let header = main.header(handle);
+            match main.try_ciphertext(handle, &header) {
+                Some(ct) => {
+                    let (key, _) = entry::decrypt_entry(&self.keys.enc, &header, ct);
+                    index.insert(&key);
+                }
+                None => bad = true,
+            }
+        });
+        if bad {
+            return Err(Error::IntegrityViolation { bucket: 0 });
+        }
+        self.index = Some(index);
+        Ok(())
+    }
+
+    /// True when a snapshot is in progress (temp table active).
+    pub fn is_snapshotting(&self) -> bool {
+        self.temp.is_some()
+    }
+
+    /// Test hook: flips one pseudo-randomly chosen byte of one entry in
+    /// untrusted memory (never the chain pointer), simulating an attacker
+    /// with full control of the unprotected region. Returns `false` when
+    /// the shard holds no entries.
+    #[doc(hidden)]
+    pub fn tamper_one_entry_for_test(&mut self, seed: u64) -> bool {
+        let Some(main) = self.main.as_mut() else {
+            return false;
+        };
+        let mut handles = Vec::new();
+        main.for_each_entry(|_, h| handles.push(h));
+        if handles.is_empty() {
+            return false;
+        }
+        let h = handles[(seed as usize) % handles.len()];
+        let len = main.header(h).entry_len();
+        // Skip the 8-byte chain pointer: it is deliberately unprotected
+        // (index corruption is an availability attack, paper section 7).
+        let offset = 8 + ((seed / 13) as usize) % (len - 8);
+        let bit = 1u8 << (seed % 8);
+        main.heap.bytes_at_mut(h, offset, 1)[0] ^= bit.max(1);
+        true
+    }
+
+    /// Verifies every bucket set of the main table — used after a
+    /// snapshot restore to authenticate the reconstructed table against
+    /// the sealed MAC hash array.
+    pub fn verify_all_sets(&mut self) -> Result<()> {
+        let main = self.main.as_ref().expect("main table present");
+        for set in 0..main.sets.num_sets() {
+            verify_set(&self.cfg, &self.keys, main, &mut self.stats, set)?;
+        }
+        // With MAC bucketing, also cross-check every chain length so an
+        // unlinked entry in the restored table cannot hide.
+        for bucket in 0..main.buckets() {
+            verify_absence_consistency(&self.cfg, main, bucket)?;
+        }
+        Ok(())
+    }
+
+    /// Freezes the main table for a snapshot: the returned `Arc` is handed
+    /// to the snapshot writer; subsequent writes go to a fresh temporary
+    /// table (Algorithm 1).
+    pub(crate) fn freeze(&mut self) -> Arc<TableCtx> {
+        assert!(self.temp.is_none(), "snapshot already in progress");
+        let main = self.main.take().expect("main table present");
+        let arc = Arc::new(main);
+        self.frozen = Some(Arc::clone(&arc));
+        // The temporary table is small: writes during a snapshot window are
+        // bounded, and it is merged away afterwards.
+        let temp_buckets = (self.cfg.buckets / 16).max(64);
+        let heap = UntrustedHeap::new(Arc::clone(&self.enclave), self.cfg.alloc);
+        let ctx = TableCtx::new(heap, temp_buckets, MacStore::plain(temp_buckets));
+        self.temp = Some(TempTable { ctx, tombstones: HashSet::new() });
+        arc
+    }
+
+    /// Unfreezes after the snapshot writer has dropped its `Arc`,
+    /// merging the temporary table back into the main one.
+    pub(crate) fn unfreeze(&mut self) -> Result<()> {
+        let arc = self.frozen.take().expect("freeze() must precede unfreeze()");
+        let mut main = Arc::try_unwrap(arc).map_err(|arc| {
+            self.frozen = Some(arc);
+            Error::Persistence("snapshot writer still holds the frozen table".into())
+        })?;
+        let temp = self.temp.take().expect("temp accompanies frozen");
+
+        // Apply deletions first, then replay temp-table writes.
+        for key in &temp.tombstones {
+            let _ = delete_in(&self.cfg, &self.keys, &mut main, &mut self.stats, key)?;
+        }
+        let mut handles = Vec::new();
+        temp.ctx.for_each_entry(|_, h| handles.push(h));
+        for h in handles {
+            let header = temp.ctx.header(h);
+            let ct = temp.ctx.ciphertext(h, &header);
+            if !entry::verify_mac(&self.keys.mac, &header, ct) {
+                return Err(Error::IntegrityViolation { bucket: 0 });
+            }
+            let (key, value) = entry::decrypt_entry(&self.keys.enc, &header, ct);
+            set_in(&self.cfg, &self.keys, &mut main, &mut self.stats, &key, &value)?;
+        }
+        self.main = Some(main);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::enclave::EnclaveBuilder;
+    use sgx_sim::vclock;
+
+    fn shard_with(cfg: Config) -> Shard {
+        let enclave = EnclaveBuilder::new("shard-test").epc_bytes(4 << 20).build();
+        let keys = Arc::new(StoreKeys::generate(&enclave));
+        Shard::new(enclave, keys, ShardConfig::from_config(&cfg)).unwrap()
+    }
+
+    fn small_cfg() -> Config {
+        Config::shield_opt().buckets(64).mac_hashes(16).with_shards(1)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"alpha", b"one").unwrap();
+        s.set(b"beta", b"two").unwrap();
+        assert_eq!(s.get(b"alpha").unwrap(), b"one");
+        assert_eq!(s.get(b"beta").unwrap(), b"two");
+        assert_eq!(s.get(b"gamma"), Err(Error::KeyNotFound));
+        assert_eq!(s.len(), 2);
+        vclock::reset();
+    }
+
+    #[test]
+    fn update_overwrites_and_bumps_counter() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"k", b"v1").unwrap();
+        s.set(b"k", b"v2-longer-than-before").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), b"v2-longer-than-before");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stats().inserts, 1);
+        assert_eq!(s.stats().inplace_updates + s.stats().realloc_updates, 1);
+        vclock::reset();
+    }
+
+    #[test]
+    fn in_place_vs_realloc_updates() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"k", &[0u8; 10]).unwrap();
+        s.set(b"k", &[1u8; 11]).unwrap(); // same size class
+        assert_eq!(s.stats().inplace_updates, 1);
+        s.set(b"k", &[2u8; 500]).unwrap(); // outgrows class
+        assert_eq!(s.stats().realloc_updates, 1);
+        assert_eq!(s.get(b"k").unwrap(), vec![2u8; 500]);
+        vclock::reset();
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"k", b"v").unwrap();
+        s.delete(b"k").unwrap();
+        assert_eq!(s.get(b"k"), Err(Error::KeyNotFound));
+        assert_eq!(s.delete(b"k"), Err(Error::KeyNotFound));
+        assert_eq!(s.len(), 0);
+        vclock::reset();
+    }
+
+    #[test]
+    fn chains_survive_many_colliding_keys() {
+        // A single bucket forces every key into one chain.
+        let cfg = Config::shield_opt().buckets(1).mac_hashes(1);
+        let mut s = shard_with(cfg);
+        vclock::reset();
+        for i in 0..50u32 {
+            s.set(format!("key-{i}").as_bytes(), format!("val-{i}").as_bytes()).unwrap();
+        }
+        for i in 0..50u32 {
+            assert_eq!(
+                s.get(format!("key-{i}").as_bytes()).unwrap(),
+                format!("val-{i}").as_bytes()
+            );
+        }
+        // Delete odd keys and re-check.
+        for i in (1..50u32).step_by(2) {
+            s.delete(format!("key-{i}").as_bytes()).unwrap();
+        }
+        for i in 0..50u32 {
+            let r = s.get(format!("key-{i}").as_bytes());
+            if i % 2 == 0 {
+                assert!(r.is_ok());
+            } else {
+                assert_eq!(r, Err(Error::KeyNotFound));
+            }
+        }
+        vclock::reset();
+    }
+
+    #[test]
+    fn append_and_increment() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        assert_eq!(s.append(b"log", b"hello ").unwrap(), 6);
+        assert_eq!(s.append(b"log", b"world").unwrap(), 11);
+        assert_eq!(s.get(b"log").unwrap(), b"hello world");
+
+        assert_eq!(s.increment(b"ctr", 5).unwrap(), 5);
+        assert_eq!(s.increment(b"ctr", -2).unwrap(), 3);
+        assert_eq!(s.get(b"ctr").unwrap(), b"3");
+
+        s.set(b"text", b"not a number").unwrap();
+        assert_eq!(s.increment(b"text", 1), Err(Error::ValueNotNumeric));
+        vclock::reset();
+    }
+
+    #[test]
+    fn increment_overflow_detected() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"c", i64::MAX.to_string().as_bytes()).unwrap();
+        assert_eq!(s.increment(b"c", 1), Err(Error::NumericOverflow));
+        vclock::reset();
+    }
+
+    #[test]
+    fn key_hint_reduces_decryptions() {
+        // One bucket, many keys: without hints, every search decrypts the
+        // whole chain; with hints it decrypts ~1/256 of it (Fig. 9).
+        let n = 64u32;
+        let mut with_hint = shard_with(Config::shield_opt().buckets(1).mac_hashes(1));
+        let mut without = shard_with(
+            Config { key_hint: false, two_step_search: false, ..Config::shield_opt() }
+                .buckets(1)
+                .mac_hashes(1),
+        );
+        vclock::reset();
+        for s in [&mut with_hint, &mut without] {
+            for i in 0..n {
+                s.set(format!("key-{i}").as_bytes(), b"v").unwrap();
+            }
+            s.reset_stats();
+            for i in 0..n {
+                s.get(format!("key-{i}").as_bytes()).unwrap();
+            }
+        }
+        assert!(
+            with_hint.stats().key_decryptions * 4 < without.stats().key_decryptions,
+            "hints: {} vs no hints: {}",
+            with_hint.stats().key_decryptions,
+            without.stats().key_decryptions
+        );
+        vclock::reset();
+    }
+
+    #[test]
+    fn integrity_violation_detected_on_value_tamper() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"victim", b"original-value").unwrap();
+        // Corrupt the entry ciphertext in untrusted memory.
+        let (handle, _) = {
+            let main = s.main_table().unwrap();
+            let mut found = None;
+            main.for_each_entry(|b, h| found = Some((h, b)));
+            found.unwrap()
+        };
+        let main = s.main.as_mut().unwrap();
+        main.heap.bytes_at_mut(handle, entry::HEADER_LEN, 1)[0] ^= 0xff;
+        assert!(matches!(s.get(b"victim"), Err(Error::IntegrityViolation { .. })));
+        vclock::reset();
+    }
+
+    #[test]
+    fn integrity_violation_detected_on_entry_removal() {
+        // Unlinking an entry from the chain (availability attack on the
+        // index) must be caught when the victim key is looked up: the
+        // miss-path consistency check compares chain length against the
+        // MAC chain. Other keys keep working (they prove themselves).
+        let cfg = Config::shield_opt().buckets(1).mac_hashes(1);
+        let mut s = shard_with(cfg);
+        vclock::reset();
+        s.set(b"a", b"1").unwrap();
+        s.set(b"b", b"2").unwrap(); // chain head: b -> a
+        // Drop the chain head ("b") behind the store's back.
+        let main = s.main.as_mut().unwrap();
+        let head = main.heads[0];
+        let next = main.heap.read_u64_at(head, entry::OFF_NEXT);
+        main.heads[0] = next;
+        // The surviving key still reads correctly.
+        assert_eq!(s.get(b"a").unwrap(), b"1");
+        // The unlinked key surfaces as tampering, not a silent miss.
+        assert!(matches!(s.get(b"b"), Err(Error::IntegrityViolation { .. })));
+        // Inserting into the corrupted bucket is refused too.
+        assert!(matches!(s.set(b"c", b"3"), Err(Error::IntegrityViolation { .. })));
+        vclock::reset();
+    }
+
+    #[test]
+    fn entry_removal_without_mac_bucket_detected_by_set_hash() {
+        // Without MAC bucketing the gather walks the chain itself, so an
+        // unlink changes the recomputed set hash for ANY access.
+        let cfg =
+            Config { mac_bucket: false, ..Config::shield_opt() }.buckets(1).mac_hashes(1);
+        let mut s = shard_with(cfg);
+        vclock::reset();
+        s.set(b"a", b"1").unwrap();
+        s.set(b"b", b"2").unwrap();
+        let main = s.main.as_mut().unwrap();
+        let head = main.heads[0];
+        let next = main.heap.read_u64_at(head, entry::OFF_NEXT);
+        main.heads[0] = next;
+        assert!(matches!(s.get(b"a"), Err(Error::IntegrityViolation { .. })));
+        vclock::reset();
+    }
+
+    #[test]
+    fn hint_corruption_defeated_by_two_step_search() {
+        let cfg = Config::shield_opt().buckets(1).mac_hashes(1);
+        let mut s = shard_with(cfg);
+        vclock::reset();
+        s.set(b"target", b"payload").unwrap();
+        // Attacker flips the key hint in untrusted memory. The MAC covers
+        // the hint, so verification would fail on the *found* entry — but
+        // first the search must still find it via the two-step fallback.
+        let mut handle = None;
+        s.main_table().unwrap().for_each_entry(|_, h| handle = Some(h));
+        let main = s.main.as_mut().unwrap();
+        main.heap.bytes_at_mut(handle.unwrap(), entry::OFF_HINT, 1)[0] ^= 0xff;
+        // The hint is MAC-covered, so the get reports tampering rather
+        // than silently missing the key (availability attack detected).
+        let r = s.get(b"target");
+        assert!(
+            matches!(r, Err(Error::IntegrityViolation { .. })),
+            "two-step search must find the entry and expose the tamper: {r:?}"
+        );
+        vclock::reset();
+    }
+
+    #[test]
+    fn snapshot_freeze_serves_reads_and_absorbs_writes() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"stable", b"before").unwrap();
+        s.set(b"mutated", b"before").unwrap();
+        let frozen = s.freeze();
+        assert!(s.is_snapshotting());
+
+        // Reads hit the frozen table.
+        assert_eq!(s.get(b"stable").unwrap(), b"before");
+        // Writes land in the temp table and shadow the frozen value.
+        s.set(b"mutated", b"after").unwrap();
+        s.set(b"fresh", b"new").unwrap();
+        assert_eq!(s.get(b"mutated").unwrap(), b"after");
+        assert_eq!(s.get(b"fresh").unwrap(), b"new");
+        // Deletes are tombstoned.
+        s.delete(b"stable").unwrap();
+        assert_eq!(s.get(b"stable"), Err(Error::KeyNotFound));
+
+        // The frozen table is unchanged throughout.
+        assert_eq!(frozen.count, 2);
+
+        drop(frozen);
+        s.unfreeze().unwrap();
+        assert!(!s.is_snapshotting());
+        assert_eq!(s.get(b"mutated").unwrap(), b"after");
+        assert_eq!(s.get(b"fresh").unwrap(), b"new");
+        assert_eq!(s.get(b"stable"), Err(Error::KeyNotFound));
+        assert_eq!(s.len(), 2);
+        vclock::reset();
+    }
+
+    #[test]
+    fn unfreeze_fails_while_writer_active() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"k", b"v").unwrap();
+        let frozen = s.freeze();
+        assert!(matches!(s.unfreeze(), Err(Error::Persistence(_))));
+        drop(frozen);
+        s.unfreeze().unwrap();
+        assert_eq!(s.get(b"k").unwrap(), b"v");
+        vclock::reset();
+    }
+
+    #[test]
+    fn snapshot_set_then_delete_then_set_roundtrips() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"k", b"v0").unwrap();
+        let frozen = s.freeze();
+        s.delete(b"k").unwrap();
+        s.set(b"k", b"v1").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), b"v1");
+        drop(frozen);
+        s.unfreeze().unwrap();
+        assert_eq!(s.get(b"k").unwrap(), b"v1");
+        assert_eq!(s.len(), 1);
+        vclock::reset();
+    }
+
+    #[test]
+    fn cache_serves_hot_reads() {
+        let mut s = shard_with(small_cfg().with_cache(1 << 16));
+        s.enable_cache(1 << 16);
+        vclock::reset();
+        s.set(b"hot", b"value").unwrap();
+        for _ in 0..10 {
+            assert_eq!(s.get(b"hot").unwrap(), b"value");
+        }
+        assert!(s.stats().cache_hits >= 9, "cache hits: {}", s.stats().cache_hits);
+        // Updates keep the cache coherent.
+        s.set(b"hot", b"value2").unwrap();
+        assert_eq!(s.get(b"hot").unwrap(), b"value2");
+        s.delete(b"hot").unwrap();
+        assert_eq!(s.get(b"hot"), Err(Error::KeyNotFound));
+        vclock::reset();
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        let mut s = shard_with(small_cfg());
+        assert!(matches!(s.set(b"", b"v"), Err(Error::OversizeItem { .. })));
+    }
+
+    #[test]
+    fn mac_bucket_and_chain_gathers_agree() {
+        // The same workload with and without MAC bucketing must behave
+        // identically (the MAC bucket is an optimization, not semantics).
+        let mut with = shard_with(small_cfg());
+        let mut without = shard_with(Config { mac_bucket: false, ..small_cfg() });
+        vclock::reset();
+        for i in 0..100u32 {
+            let k = format!("k{i}");
+            with.set(k.as_bytes(), k.as_bytes()).unwrap();
+            without.set(k.as_bytes(), k.as_bytes()).unwrap();
+        }
+        for i in (0..100u32).step_by(3) {
+            let k = format!("k{i}");
+            with.delete(k.as_bytes()).unwrap();
+            without.delete(k.as_bytes()).unwrap();
+        }
+        for i in 0..100u32 {
+            let k = format!("k{i}");
+            assert_eq!(with.get(k.as_bytes()).is_ok(), without.get(k.as_bytes()).is_ok());
+        }
+        vclock::reset();
+    }
+}

@@ -1,0 +1,110 @@
+//! Operation statistics.
+//!
+//! The paper's Fig. 9 reports the *number of decryptions* needed to find a
+//! matching entry with and without the key hint; these counters make that
+//! experiment (and several others) directly measurable.
+
+/// Per-shard operation counters. Plain fields — each shard is owned by one
+/// thread at a time, so no atomics are needed; the store aggregates across
+/// shards on demand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// `get` operations served.
+    pub gets: u64,
+    /// `set` operations served.
+    pub sets: u64,
+    /// `delete` operations served.
+    pub deletes: u64,
+    /// `append` operations served.
+    pub appends: u64,
+    /// `increment` operations served.
+    pub increments: u64,
+    /// Operations that found their key.
+    pub hits: u64,
+    /// Operations that did not find their key.
+    pub misses: u64,
+    /// Key decryptions performed during searches (Fig. 9's metric).
+    pub key_decryptions: u64,
+    /// Chain entries skipped thanks to a key-hint mismatch.
+    pub hint_skips: u64,
+    /// Full decrypting scans performed by the two-step fallback.
+    pub full_scans: u64,
+    /// Bucket-set MAC hash verifications performed.
+    pub integrity_verifications: u64,
+    /// Entry MACs gathered for bucket-set verification.
+    pub macs_gathered: u64,
+    /// New entries inserted.
+    pub inserts: u64,
+    /// Entries updated in place (new data fit the old allocation).
+    pub inplace_updates: u64,
+    /// Entries reallocated on update (new data outgrew the allocation).
+    pub realloc_updates: u64,
+    /// In-enclave cache hits.
+    pub cache_hits: u64,
+    /// In-enclave cache misses (cache enabled but key not present).
+    pub cache_misses: u64,
+    /// Operations served from the temporary table during a snapshot.
+    pub temp_table_ops: u64,
+}
+
+impl OpStats {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.gets += other.gets;
+        self.sets += other.sets;
+        self.deletes += other.deletes;
+        self.appends += other.appends;
+        self.increments += other.increments;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.key_decryptions += other.key_decryptions;
+        self.hint_skips += other.hint_skips;
+        self.full_scans += other.full_scans;
+        self.integrity_verifications += other.integrity_verifications;
+        self.macs_gathered += other.macs_gathered;
+        self.inserts += other.inserts;
+        self.inplace_updates += other.inplace_updates;
+        self.realloc_updates += other.realloc_updates;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.temp_table_ops += other.temp_table_ops;
+    }
+
+    /// Total operations.
+    pub fn total_ops(&self) -> u64 {
+        self.gets + self.sets + self.deletes + self.appends + self.increments
+    }
+
+    /// Average key decryptions per search-carrying operation.
+    pub fn decryptions_per_op(&self) -> f64 {
+        let ops = self.total_ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.key_decryptions as f64 / ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = OpStats { gets: 1, key_decryptions: 5, ..Default::default() };
+        let b = OpStats { gets: 2, sets: 3, key_decryptions: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.gets, 3);
+        assert_eq!(a.sets, 3);
+        assert_eq!(a.key_decryptions, 12);
+        assert_eq!(a.total_ops(), 6);
+    }
+
+    #[test]
+    fn decryptions_per_op() {
+        let s = OpStats { gets: 4, key_decryptions: 10, ..Default::default() };
+        assert!((s.decryptions_per_op() - 2.5).abs() < 1e-12);
+        assert_eq!(OpStats::default().decryptions_per_op(), 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! The top-level sharded store.
+//!
+//! [`ShieldStore`] partitions the key space across [`Shard`]s by the keyed
+//! index hash (paper §5.3): a request's serving shard is a pure function of
+//! its key, so concurrent workers never touch the same buckets and need no
+//! synchronization. For convenience the store wraps each shard in a mutex;
+//! benchmark workers instead pin themselves to one shard each with
+//! [`ShieldStore::with_shard`], paying the lock once per batch.
+
+use crate::config::Config;
+use crate::error::Result;
+use crate::shard::{Shard, ShardConfig, StoreKeys};
+use crate::stats::OpStats;
+use parking_lot::Mutex;
+use sgx_sim::enclave::Enclave;
+use std::sync::Arc;
+
+/// A shielded in-memory key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::enclave::EnclaveBuilder;
+/// use shieldstore::{Config, ShieldStore};
+///
+/// let enclave = EnclaveBuilder::new("kv").epc_bytes(8 << 20).build();
+/// let store = ShieldStore::new(enclave, Config::shield_opt().buckets(1024)).unwrap();
+/// store.set(b"user:1", b"alice").unwrap();
+/// assert_eq!(store.get(b"user:1").unwrap(), b"alice");
+/// ```
+pub struct ShieldStore {
+    enclave: Arc<Enclave>,
+    keys: Arc<StoreKeys>,
+    config: Config,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl std::fmt::Debug for ShieldStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShieldStore")
+            .field("shards", &self.shards.len())
+            .field("buckets", &self.config.num_buckets)
+            .finish()
+    }
+}
+
+impl ShieldStore {
+    /// Creates a store inside `enclave` with the given configuration.
+    pub fn new(enclave: Arc<Enclave>, config: Config) -> Result<Self> {
+        config.validate();
+        let keys = Arc::new(StoreKeys::generate(&enclave));
+        Self::with_keys(enclave, config, keys)
+    }
+
+    pub(crate) fn with_keys(
+        enclave: Arc<Enclave>,
+        config: Config,
+        keys: Arc<StoreKeys>,
+    ) -> Result<Self> {
+        let shard_cfg = ShardConfig::from_config(&config);
+        let mut shards = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let mut shard =
+                Shard::new(Arc::clone(&enclave), Arc::clone(&keys), shard_cfg.clone())?;
+            if config.cache_bytes > 0 {
+                shard.enable_cache(config.cache_bytes / config.shards);
+            }
+            shards.push(Mutex::new(shard));
+        }
+        Ok(Self { enclave, keys, config, shards })
+    }
+
+    /// The shard index serving `key`: the high hash bits pick the shard,
+    /// leaving the low bits for bucket selection inside the shard.
+    #[inline]
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        let hash = self.keys.index_hash(key);
+        (((hash >> 32) * self.shards.len() as u64) >> 32) as usize
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The enclave this store runs in.
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+
+    /// Runs `f` with exclusive access to shard `idx`. Benchmark workers
+    /// use this to own their partition for a whole run.
+    pub fn with_shard<T>(&self, idx: usize, f: impl FnOnce(&mut Shard) -> T) -> T {
+        f(&mut self.shards[idx].lock())
+    }
+
+    /// Retrieves the value stored under `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Vec<u8>> {
+        self.with_shard(self.shard_of(key), |s| s.get(key))
+    }
+
+    /// Stores `value` under `key`.
+    pub fn set(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.with_shard(self.shard_of(key), |s| s.set(key, value))
+    }
+
+    /// Removes `key`.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.with_shard(self.shard_of(key), |s| s.delete(key))
+    }
+
+    /// Appends `suffix` to `key`'s value, returning the new length.
+    pub fn append(&self, key: &[u8], suffix: &[u8]) -> Result<usize> {
+        self.with_shard(self.shard_of(key), |s| s.append(key, suffix))
+    }
+
+    /// Adds `delta` to `key`'s decimal value, returning the new value.
+    pub fn increment(&self, key: &[u8], delta: i64) -> Result<i64> {
+        self.with_shard(self.shard_of(key), |s| s.increment(key, delta))
+    }
+
+    /// True when `key` exists.
+    pub fn exists(&self, key: &[u8]) -> Result<bool> {
+        self.with_shard(self.shard_of(key), |s| s.exists(key))
+    }
+
+    /// Ordered range scan over `[start, end)`, merged across shards:
+    /// up to `limit` key-value pairs in key order. Requires
+    /// [`Config::ordered_index`] (the paper's future-work extension; see
+    /// [`crate::ordered`] for the EPC trade-off).
+    pub fn scan_range(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut all = Vec::new();
+        for shard in self.shards() {
+            all.extend(shard.lock().scan_range(start, end, limit)?);
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all.truncate(limit);
+        Ok(all)
+    }
+
+    /// Ordered prefix scan, merged across shards.
+    pub fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut all = Vec::new();
+        for shard in self.shards() {
+            all.extend(shard.lock().scan_prefix(prefix, limit)?);
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all.truncate(limit);
+        Ok(all)
+    }
+
+    /// Approximate enclave bytes held by the ordered index across shards.
+    pub fn index_bytes(&self) -> usize {
+        self.shards().iter().map(|s| s.lock().index_bytes()).sum()
+    }
+
+    /// Total live entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated operation counters across shards.
+    pub fn stats(&self) -> OpStats {
+        let mut total = OpStats::default();
+        for shard in &self.shards {
+            total.merge(shard.lock().stats());
+        }
+        total
+    }
+
+    /// Resets all shards' operation counters.
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.lock().reset_stats();
+        }
+    }
+
+    pub(crate) fn keys(&self) -> &Arc<StoreKeys> {
+        &self.keys
+    }
+
+    /// Test hook: corrupts one byte of one entry somewhere in the store's
+    /// untrusted memory. Returns `false` if the chosen shard was empty.
+    #[doc(hidden)]
+    pub fn tamper_untrusted_entry_for_test(&self, seed: u64) -> bool {
+        let shard = (seed as usize) % self.shards.len();
+        self.with_shard(shard, |s| s.tamper_one_entry_for_test(seed))
+    }
+
+    pub(crate) fn shards(&self) -> &[Mutex<Shard>] {
+        &self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use sgx_sim::enclave::EnclaveBuilder;
+    use sgx_sim::vclock;
+
+    fn store(shards: usize) -> ShieldStore {
+        let enclave = EnclaveBuilder::new("store-test").epc_bytes(8 << 20).build();
+        ShieldStore::new(
+            enclave,
+            Config::shield_opt().buckets(256).mac_hashes(64).with_shards(shards),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn routes_across_shards() {
+        let s = store(4);
+        vclock::reset();
+        for i in 0..200u32 {
+            s.set(format!("key-{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(s.len(), 200);
+        for i in 0..200u32 {
+            assert_eq!(s.get(format!("key-{i}").as_bytes()).unwrap(), format!("v{i}").as_bytes());
+        }
+        // Keys actually spread over shards.
+        let mut nonempty = 0;
+        for i in 0..s.num_shards() {
+            if s.with_shard(i, |sh| sh.len()) > 0 {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty >= 3, "200 keys should hit at least 3 of 4 shards");
+        vclock::reset();
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let s = store(3);
+        for i in 0..100u32 {
+            let key = format!("stable-{i}");
+            let a = s.shard_of(key.as_bytes());
+            let b = s.shard_of(key.as_bytes());
+            assert_eq!(a, b);
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_workers() {
+        let s = Arc::new(store(4));
+        vclock::reset();
+        // Pre-partition keys by shard, then hammer each shard from its own
+        // thread — the paper's synchronization-free pattern.
+        let mut partitions: Vec<Vec<String>> = vec![Vec::new(); 4];
+        for i in 0..400u32 {
+            let key = format!("k{i}");
+            partitions[s.shard_of(key.as_bytes())].push(key);
+        }
+        let mut handles = Vec::new();
+        for (idx, keys) in partitions.into_iter().enumerate() {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                s.with_shard(idx, |shard| {
+                    for k in &keys {
+                        shard.set(k.as_bytes(), b"v").unwrap();
+                    }
+                    for k in &keys {
+                        shard.get(k.as_bytes()).unwrap();
+                    }
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 400);
+        vclock::reset();
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let s = store(2);
+        vclock::reset();
+        s.set(b"a", b"1").unwrap();
+        s.set(b"b", b"2").unwrap();
+        let _ = s.get(b"a");
+        let _ = s.get(b"missing");
+        let stats = s.stats();
+        assert_eq!(stats.sets, 2);
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        s.reset_stats();
+        assert_eq!(s.stats().total_ops(), 0);
+        vclock::reset();
+    }
+
+    #[test]
+    fn single_shard_store_works() {
+        let s = store(1);
+        vclock::reset();
+        s.set(b"x", b"y").unwrap();
+        assert_eq!(s.get(b"x").unwrap(), b"y");
+        assert_eq!(s.delete(b"z"), Err(Error::KeyNotFound));
+        vclock::reset();
+    }
+
+    #[test]
+    fn server_side_ops_route() {
+        let s = store(4);
+        vclock::reset();
+        s.append(b"log", b"a").unwrap();
+        s.append(b"log", b"b").unwrap();
+        assert_eq!(s.get(b"log").unwrap(), b"ab");
+        assert_eq!(s.increment(b"n", 41).unwrap(), 41);
+        assert_eq!(s.increment(b"n", 1).unwrap(), 42);
+        assert!(s.exists(b"n").unwrap());
+        assert!(!s.exists(b"absent").unwrap());
+        vclock::reset();
+    }
+}

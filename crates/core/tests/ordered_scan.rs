@@ -1,0 +1,168 @@
+//! Tests for the ordered-index extension (range/prefix scans): the
+//! paper's stated future work, implemented with an enclave-resident key
+//! index.
+
+use shieldstore::{Config, Error, ShieldStore};
+use sgx_sim::counter::PersistentCounter;
+use sgx_sim::enclave::EnclaveBuilder;
+use std::sync::Arc;
+
+fn indexed_store(seed: u64) -> Arc<ShieldStore> {
+    let enclave = EnclaveBuilder::new("ordered").epc_bytes(4 << 20).seed(seed).build();
+    Arc::new(
+        ShieldStore::new(
+            enclave,
+            Config::shield_opt()
+                .buckets(256)
+                .mac_hashes(64)
+                .with_shards(3)
+                .with_ordered_index(),
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn scans_disabled_without_index() {
+    let enclave = EnclaveBuilder::new("noindex").epc_bytes(2 << 20).build();
+    let store =
+        ShieldStore::new(enclave, Config::shield_opt().buckets(64).mac_hashes(16)).unwrap();
+    store.set(b"a", b"1").unwrap();
+    assert!(matches!(store.scan_range(b"a", b"z", 10), Err(Error::IndexDisabled)));
+    assert!(matches!(store.scan_prefix(b"a", 10), Err(Error::IndexDisabled)));
+    assert_eq!(store.index_bytes(), 0);
+}
+
+#[test]
+fn range_scan_ordered_across_shards() {
+    let store = indexed_store(1);
+    // Insert out of order; shard routing scatters them.
+    for i in [50u32, 10, 40, 20, 30, 5, 60] {
+        store.set(format!("item:{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    let got = store.scan_range(b"item:0010", b"item:0050", 100).unwrap();
+    let keys: Vec<String> =
+        got.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
+    assert_eq!(keys, ["item:0010", "item:0020", "item:0030", "item:0040"]);
+    assert_eq!(got[0].1, b"v10");
+
+    // Limit truncates in key order.
+    let limited = store.scan_range(b"item:0000", b"item:9999", 3).unwrap();
+    assert_eq!(limited.len(), 3);
+    assert_eq!(limited[0].0, b"item:0005");
+    assert_eq!(limited[2].0, b"item:0020");
+}
+
+#[test]
+fn prefix_scan_across_shards() {
+    let store = indexed_store(2);
+    for i in 0..20u32 {
+        store.set(format!("user:{i:03}").as_bytes(), b"u").unwrap();
+        store.set(format!("post:{i:03}").as_bytes(), b"p").unwrap();
+    }
+    let users = store.scan_prefix(b"user:", 100).unwrap();
+    assert_eq!(users.len(), 20);
+    assert!(users.windows(2).all(|w| w[0].0 < w[1].0), "results must be sorted");
+    assert!(users.iter().all(|(k, v)| k.starts_with(b"user:") && v == b"u"));
+}
+
+#[test]
+fn index_follows_deletes_and_updates() {
+    let store = indexed_store(3);
+    store.set(b"k1", b"a").unwrap();
+    store.set(b"k2", b"b").unwrap();
+    store.set(b"k1", b"a2").unwrap(); // update: still one index entry
+    assert_eq!(store.scan_prefix(b"k", 10).unwrap().len(), 2);
+    store.delete(b"k1").unwrap();
+    let rest = store.scan_prefix(b"k", 10).unwrap();
+    assert_eq!(rest.len(), 1);
+    assert_eq!(rest[0].0, b"k2");
+}
+
+#[test]
+fn index_bytes_grow_and_shrink() {
+    let store = indexed_store(4);
+    assert_eq!(store.index_bytes(), 0);
+    for i in 0..100u32 {
+        store.set(format!("key-{i:04}").as_bytes(), b"v").unwrap();
+    }
+    let full = store.index_bytes();
+    assert!(full > 100 * 8, "index accounting must reflect 100 keys: {full}");
+    for i in 0..50u32 {
+        store.delete(format!("key-{i:04}").as_bytes()).unwrap();
+    }
+    assert!(store.index_bytes() < full);
+}
+
+#[test]
+fn scan_values_are_verified_reads() {
+    // Tampering with a value makes the scan fail, not return garbage.
+    let store = indexed_store(5);
+    for i in 0..10u32 {
+        store.set(format!("t{i}").as_bytes(), b"payload").unwrap();
+    }
+    assert!(store.tamper_untrusted_entry_for_test(12345));
+    let result = store.scan_prefix(b"t", 100);
+    match result {
+        Err(Error::IntegrityViolation { .. }) => {}
+        Ok(entries) => {
+            // The tampered shard may not intersect the scan if detection
+            // caught a different bucket first; but values returned must
+            // be genuine.
+            for (_, v) in entries {
+                assert_eq!(v, b"payload");
+            }
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn index_survives_snapshot_restore() {
+    let dir = std::env::temp_dir().join(format!("ss-ordered-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("snap.db");
+    let ctr_path = dir.join("ctr");
+    let _ = std::fs::remove_file(&ctr_path);
+    let counter = PersistentCounter::open(&ctr_path).unwrap();
+
+    let config = || {
+        Config::shield_opt().buckets(256).mac_hashes(64).with_shards(3).with_ordered_index()
+    };
+    {
+        let enclave = EnclaveBuilder::new("ordered-snap").epc_bytes(4 << 20).seed(9).build();
+        let store = ShieldStore::new(enclave, config()).unwrap();
+        for i in 0..50u32 {
+            store.set(format!("snap:{i:03}").as_bytes(), b"v").unwrap();
+        }
+        store.snapshot_blocking(&snap, &counter).unwrap();
+    }
+    let enclave = EnclaveBuilder::new("ordered-snap").epc_bytes(4 << 20).seed(9).build();
+    let restored = ShieldStore::restore(enclave, config(), &snap, &counter).unwrap();
+    let got = restored.scan_range(b"snap:010", b"snap:020", 100).unwrap();
+    assert_eq!(got.len(), 10);
+    assert!(restored.index_bytes() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scans_work_during_snapshot_window() {
+    let dir = std::env::temp_dir().join(format!("ss-ordered-win-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let counter = PersistentCounter::open(dir.join("ctr")).unwrap();
+
+    let store = indexed_store(6);
+    for i in 0..30u32 {
+        store.set(format!("w{i:03}").as_bytes(), b"before").unwrap();
+    }
+    let job = store.snapshot_background(dir.join("s.db"), &counter).unwrap();
+    store.set(b"w999", b"during").unwrap();
+    store.delete(b"w000").unwrap();
+    let got = store.scan_prefix(b"w", 100).unwrap();
+    assert_eq!(got.len(), 30, "29 originals + the in-window insert");
+    assert!(got.iter().any(|(k, _)| k == b"w999"));
+    assert!(!got.iter().any(|(k, _)| k == b"w000"));
+    job.finish().unwrap();
+    assert_eq!(store.scan_prefix(b"w", 100).unwrap().len(), 30);
+    std::fs::remove_dir_all(&dir).ok();
+}

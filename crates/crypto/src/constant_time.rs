@@ -1,0 +1,52 @@
+//! Constant-time comparison helpers.
+//!
+//! MAC verification must not leak, via early exit timing, how many prefix
+//! bytes of a forged tag were correct.
+
+/// Compares two byte slices in constant time with respect to their
+/// contents. Returns `false` immediately when lengths differ (the length is
+/// not secret).
+///
+/// # Examples
+///
+/// ```
+/// use shield_crypto::constant_time::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+#[inline]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // A final branch on the accumulated difference is fine: it reveals only
+    // the overall equality result, which the caller acts on anyway.
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0; 16], &[1; 16]));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+    }
+}

@@ -1,0 +1,143 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1) and an HKDF-style key derivation
+//! function (RFC 5869).
+//!
+//! Used to derive sealing keys, session keys, and the per-store secret keys
+//! from exchanged Diffie-Hellman secrets.
+
+use crate::sha256::Sha256;
+
+/// Computes HMAC-SHA256 of `msg` under `key`.
+///
+/// # Examples
+///
+/// ```
+/// let tag = shield_crypto::hmac::hmac_sha256(b"key", b"msg");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&Sha256::digest(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HKDF-Extract (RFC 5869 §2.2): condenses input keying material into a
+/// pseudo-random key.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand (RFC 5869 §2.3): expands a pseudo-random key into `out_len`
+/// bytes of output keying material bound to `info`.
+///
+/// # Panics
+///
+/// Panics if `out_len > 255 * 32`, per the RFC limit.
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * 32, "HKDF output length limit exceeded");
+    let mut okm = Vec::with_capacity(out_len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < out_len {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        t = block.to_vec();
+        let take = (out_len - okm.len()).min(32);
+        okm.extend_from_slice(&block[..take]);
+        counter = counter.checked_add(1).expect("HKDF block counter overflow");
+    }
+    okm
+}
+
+/// One-shot HKDF: extract with `salt`, then expand to a 16-byte AES key
+/// bound to `info`.
+pub fn derive_key128(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 16] {
+    let prk = hkdf_extract(salt, ikm);
+    let okm = hkdf_expand(&prk, info, 16);
+    okm.try_into().expect("hkdf_expand returned requested length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = vec![0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_vec(),
+            hex("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_vec(),
+            hex("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+        );
+    }
+
+    /// RFC 4231 test case 6 (key longer than the block size).
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = vec![0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_vec(),
+            hex("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
+        );
+    }
+
+    /// RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = vec![0x0b; 22];
+        let salt = hex("000102030405060708090a0b0c");
+        let info = hex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            prk.to_vec(),
+            hex("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            okm,
+            hex("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+        );
+    }
+
+    #[test]
+    fn derive_key128_is_deterministic_and_info_bound() {
+        let a = derive_key128(b"salt", b"secret", b"entry-key");
+        let b = derive_key128(b"salt", b"secret", b"entry-key");
+        let c = derive_key128(b"salt", b"secret", b"mac-key");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,64 @@
+//! Self-contained cryptographic primitives for the ShieldStore reproduction.
+//!
+//! The original ShieldStore (EuroSys 2019) uses the Intel SGX SDK crypto
+//! library: `sgx_aes_ctr_encrypt` for counter-mode encryption of key-value
+//! entries, `sgx_rijndael128_cmac` for integrity MACs, and `sgx_read_rand`
+//! for IV generation. This crate provides equivalents implemented from
+//! scratch so that the "enclave" code of the reproduction has no external
+//! crypto dependencies:
+//!
+//! * [`aes`] — AES-128 block cipher (FIPS 197), table-based.
+//! * [`ctr`] — AES-128 counter mode ([`ctr::AesCtr`]), the entry cipher.
+//! * [`cmac`] — AES-CMAC (RFC 4493), the entry/bucket MAC.
+//! * [`sha256`] — SHA-256 (FIPS 180-4), used for enclave measurements.
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104) and an HKDF-style KDF.
+//! * [`siphash`] — SipHash-2-4, the keyed hash for bucket indices and the
+//!   1-byte key hint (paper §5.4).
+//! * [`x25519`] — Curve25519 Diffie-Hellman (RFC 7748) for the
+//!   client/server session-key exchange (paper §3.2).
+//! * [`drbg`] — a ChaCha20-based deterministic random bit generator that
+//!   stands in for `sgx_read_rand`.
+//!
+//! All primitives carry their published test vectors in unit tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use shield_crypto::ctr::AesCtr;
+//! use shield_crypto::cmac::Cmac;
+//!
+//! let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+//!            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c];
+//! let cipher = AesCtr::new(&key);
+//! let mut data = *b"attack at dawn!!";
+//! let iv = [7u8; 16];
+//! cipher.apply_keystream(&iv, &mut data);
+//! assert_ne!(&data, b"attack at dawn!!");
+//! cipher.apply_keystream(&iv, &mut data);
+//! assert_eq!(&data, b"attack at dawn!!");
+//!
+//! let mac = Cmac::new(&key).compute(&data);
+//! assert_eq!(mac.len(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod cmac;
+pub mod constant_time;
+pub mod ctr;
+pub mod drbg;
+pub mod hmac;
+pub mod sha256;
+pub mod siphash;
+pub mod x25519;
+
+/// Length in bytes of an AES-128 key, block, IV/counter, and CMAC tag.
+pub const BLOCK_LEN: usize = 16;
+
+/// A 128-bit key used by AES-CTR and AES-CMAC.
+pub type Key128 = [u8; 16];
+
+/// A 128-bit MAC tag.
+pub type Tag128 = [u8; 16];

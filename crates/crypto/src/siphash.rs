@@ -1,0 +1,133 @@
+//! SipHash-2-4 (Aumasson & Bernstein).
+//!
+//! ShieldStore hashes keys into buckets with a *keyed* hash so that the
+//! bucket-occupancy distribution visible in untrusted memory leaks as little
+//! as possible about the plaintext keys (paper §4.2), and derives the 1-byte
+//! key hint from a second keyed hash (paper §5.4). SipHash-2-4 is the
+//! standard short-input keyed hash for exactly this purpose.
+
+/// A SipHash-2-4 keyed hasher.
+#[derive(Clone, Copy)]
+pub struct SipHash24 {
+    k0: u64,
+    k1: u64,
+}
+
+impl SipHash24 {
+    /// Creates a hasher from a 128-bit key (two little-endian u64 halves).
+    pub fn new(key: &[u8; 16]) -> Self {
+        Self {
+            k0: u64::from_le_bytes(key[..8].try_into().unwrap()),
+            k1: u64::from_le_bytes(key[8..].try_into().unwrap()),
+        }
+    }
+
+    /// Creates a hasher directly from two 64-bit key halves.
+    pub fn from_parts(k0: u64, k1: u64) -> Self {
+        Self { k0, k1 }
+    }
+
+    /// Hashes `data` to a 64-bit value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let h = shield_crypto::siphash::SipHash24::from_parts(1, 2);
+    /// assert_ne!(h.hash(b"key-a"), h.hash(b"key-b"));
+    /// ```
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        let mut v0 = 0x736f6d6570736575u64 ^ self.k0;
+        let mut v1 = 0x646f72616e646f6du64 ^ self.k1;
+        let mut v2 = 0x6c7967656e657261u64 ^ self.k0;
+        let mut v3 = 0x7465646279746573u64 ^ self.k1;
+
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let m = u64::from_le_bytes(chunk.try_into().unwrap());
+            v3 ^= m;
+            for _ in 0..2 {
+                sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+            }
+            v0 ^= m;
+        }
+
+        let rem = chunks.remainder();
+        let mut last = (data.len() as u64) << 56;
+        for (i, &b) in rem.iter().enumerate() {
+            last |= (b as u64) << (8 * i);
+        }
+        v3 ^= last;
+        for _ in 0..2 {
+            sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        }
+        v0 ^= last;
+
+        v2 ^= 0xff;
+        for _ in 0..4 {
+            sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        }
+        v0 ^ v1 ^ v2 ^ v3
+    }
+}
+
+#[inline]
+fn sipround(v0: &mut u64, v1: &mut u64, v2: &mut u64, v3: &mut u64) {
+    *v0 = v0.wrapping_add(*v1);
+    *v1 = v1.rotate_left(13);
+    *v1 ^= *v0;
+    *v0 = v0.rotate_left(32);
+    *v2 = v2.wrapping_add(*v3);
+    *v3 = v3.rotate_left(16);
+    *v3 ^= *v2;
+    *v0 = v0.wrapping_add(*v3);
+    *v3 = v3.rotate_left(21);
+    *v3 ^= *v0;
+    *v2 = v2.wrapping_add(*v1);
+    *v1 = v1.rotate_left(17);
+    *v1 ^= *v2;
+    *v2 = v2.rotate_left(32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from the SipHash paper's `vectors` appendix:
+    /// key = 00 01 .. 0f, messages = first N bytes of 00 01 02 ...
+    #[test]
+    fn reference_vectors() {
+        const EXPECTED: [u64; 8] = [
+            0x726fdb47dd0e0e31,
+            0x74f839c593dc67fd,
+            0x0d6c8009d9a94f5a,
+            0x85676696d7fb7e2d,
+            0xcf2794e0277187b7,
+            0x18765564cd99a68d,
+            0xcbc9466e58fee3ce,
+            0xab0200f58b01d137,
+        ];
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let h = SipHash24::new(&key);
+        let msg: Vec<u8> = (0..8u8).collect();
+        for (len, &want) in EXPECTED.iter().enumerate() {
+            assert_eq!(h.hash(&msg[..len]), want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn key_dependence() {
+        let h1 = SipHash24::from_parts(1, 2);
+        let h2 = SipHash24::from_parts(1, 3);
+        assert_ne!(h1.hash(b"same message"), h2.hash(b"same message"));
+    }
+
+    #[test]
+    fn long_input() {
+        let h = SipHash24::from_parts(0xdead, 0xbeef);
+        let data = vec![0x42u8; 1024];
+        let a = h.hash(&data);
+        let mut data2 = data.clone();
+        data2[512] ^= 1;
+        assert_ne!(a, h.hash(&data2));
+    }
+}

@@ -1,0 +1,390 @@
+//! X25519 Diffie-Hellman (RFC 7748).
+//!
+//! ShieldStore clients establish session keys with the enclave after remote
+//! attestation (paper §3.2). The Intel SGX SDK performs that exchange with
+//! ECDH; this reproduction uses X25519, the simplest well-specified
+//! equivalent.
+//!
+//! Field arithmetic over 2^255 - 19 uses five 51-bit limbs with `u128`
+//! intermediate products; scalar multiplication uses the Montgomery ladder
+//! with a constant-time conditional swap.
+
+/// An element of GF(2^255 - 19) in five 51-bit limbs (radix 2^51).
+#[derive(Clone, Copy)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1 << 51) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        // RFC 7748: the top bit of the u-coordinate is masked off.
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        let mut t = self.reduce_full();
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in t.0.iter_mut() {
+            acc |= (*limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    /// Fully reduces to the canonical representative in [0, p).
+    fn reduce_full(self) -> Fe {
+        let mut t = self.0;
+        // Two carry passes bring every limb under 2^52.
+        for _ in 0..2 {
+            let mut carry = 0u64;
+            for limb in t.iter_mut() {
+                let v = *limb + carry;
+                *limb = v & MASK51;
+                carry = v >> 51;
+            }
+            t[0] += 19 * carry;
+        }
+        // Now conditionally subtract p = 2^255 - 19.
+        // Compute t + 19, and if that carries past 2^255, t >= p.
+        let mut q = t;
+        q[0] += 19;
+        let mut carry = 0u64;
+        for limb in q.iter_mut() {
+            let v = *limb + carry;
+            *limb = v & MASK51;
+            carry = v >> 51;
+        }
+        // carry == 1 iff t >= p; select t - p (== q - 2^255) in that case.
+        let mask = 0u64.wrapping_sub(carry);
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = (t[i] & !mask) | (q[i] & mask);
+        }
+        Fe(out)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = self.0[i] + rhs.0[i];
+        }
+        Fe(out)
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 4p limb-wise before subtracting so limbs stay non-negative:
+        // 4p = [2^53 - 76, 2^53 - 4, 2^53 - 4, 2^53 - 4, 2^53 - 4].
+        let mut out = [0u64; 5];
+        out[0] = self.0[0] + 0x1fffffffffffb4 - rhs.0[0];
+        for i in 1..5 {
+            out[i] = self.0[i] + 0x1ffffffffffffc - rhs.0[i];
+        }
+        Fe(out).carry()
+    }
+
+    fn carry(self) -> Fe {
+        let mut t = self.0;
+        let mut carry = 0u64;
+        for limb in t.iter_mut() {
+            let v = *limb + carry;
+            *limb = v & MASK51;
+            carry = v >> 51;
+        }
+        t[0] += 19 * carry;
+        Fe(t)
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        let m = |x: u64, y: u64| (x as u128) * (y as u128);
+
+        let mut r0 = m(a[0], b[0]);
+        let mut r1 = m(a[0], b[1]) + m(a[1], b[0]);
+        let mut r2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]);
+        let mut r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]);
+        let mut r4 =
+            m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        // Limbs above index 4 wrap with factor 19 (2^255 = 19 mod p).
+        r0 += 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        r1 += 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        r2 += 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        r3 += 19 * m(a[4], b[4]);
+
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        let rs = [&mut r0, &mut r1, &mut r2, &mut r3, &mut r4];
+        for (i, r) in rs.into_iter().enumerate() {
+            let v = *r + carry;
+            out[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        out[0] += 19 * (carry as u64);
+        Fe(out).carry()
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, k: u64) -> Fe {
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = (self.0[i] as u128) * (k as u128) + carry;
+            out[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        out[0] += 19 * (carry as u64);
+        Fe(out).carry()
+    }
+
+    /// Computes the multiplicative inverse via Fermat: a^(p-2).
+    fn invert(self) -> Fe {
+        // Addition chain for p - 2 = 2^255 - 21, from the curve25519 ref10
+        // implementation.
+        let z = self;
+        let z2 = z.square();
+        let z8 = z2.square().square();
+        let z9 = z8.mul(z);
+        let z11 = z9.mul(z2);
+        let z22 = z11.square();
+        let z_5_0 = z22.mul(z9); // 2^5 - 2^0
+        let mut t = z_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z_10_0 = t.mul(z_5_0);
+        t = z_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_20_0 = t.mul(z_10_0);
+        t = z_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z_40_0 = t.mul(z_20_0);
+        t = z_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_50_0 = t.mul(z_10_0);
+        t = z_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_100_0 = t.mul(z_50_0);
+        t = z_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z_200_0 = t.mul(z_100_0);
+        t = z_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_250_0 = t.mul(z_50_0);
+        t = z_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11)
+    }
+
+    /// Constant-time conditional swap of `a` and `b` when `swap == 1`.
+    fn cswap(a: &mut Fe, b: &mut Fe, swap: u64) {
+        let mask = 0u64.wrapping_sub(swap);
+        for i in 0..5 {
+            let x = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= x;
+            b.0[i] ^= x;
+        }
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748 §5.
+pub fn clamp_scalar(scalar: &mut [u8; 32]) {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+}
+
+/// The X25519 function: scalar multiplication on Curve25519.
+///
+/// `scalar` is clamped internally; `u` is a u-coordinate. Returns the
+/// resulting u-coordinate.
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let mut k = *scalar;
+    clamp_scalar(&mut k);
+
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        Fe::cswap(&mut x2, &mut x3, swap);
+        Fe::cswap(&mut z2, &mut z3, swap);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+    Fe::cswap(&mut x2, &mut x3, swap);
+    Fe::cswap(&mut z2, &mut z3, swap);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The canonical base point (u = 9).
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Computes the public key for a private scalar.
+pub fn public_key(private: &[u8; 32]) -> [u8; 32] {
+    x25519(private, &BASEPOINT)
+}
+
+/// Computes the shared secret between a private scalar and a peer public
+/// key. Returns `None` when the result is the all-zero point (a
+/// contributory-behaviour check).
+pub fn shared_secret(private: &[u8; 32], peer_public: &[u8; 32]) -> Option<[u8; 32]> {
+    let s = x25519(private, peer_public);
+    if s.iter().all(|&b| b == 0) {
+        None
+    } else {
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex32(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..64)
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    /// RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar = hex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = hex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let expect = hex32("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        assert_eq!(x25519(&scalar, &u), expect);
+    }
+
+    /// RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar = hex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = hex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let expect = hex32("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+        assert_eq!(x25519(&scalar, &u), expect);
+    }
+
+    /// RFC 7748 §5.2 iterated test (1,000 iterations).
+    #[test]
+    fn rfc7748_iterated_1000() {
+        let mut k = BASEPOINT;
+        let mut u = BASEPOINT;
+        for _ in 0..1000 {
+            let r = x25519(&k, &u);
+            u = k;
+            k = r;
+        }
+        assert_eq!(
+            k,
+            hex32("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51")
+        );
+    }
+
+    /// RFC 7748 §6.1 Diffie-Hellman example.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_priv =
+            hex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv =
+            hex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pub = public_key(&alice_priv);
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            alice_pub,
+            hex32("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
+        assert_eq!(
+            bob_pub,
+            hex32("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
+        let s1 = shared_secret(&alice_priv, &bob_pub).unwrap();
+        let s2 = shared_secret(&bob_priv, &alice_pub).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(
+            s1,
+            hex32("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742")
+        );
+    }
+
+    #[test]
+    fn zero_point_rejected() {
+        let priv_key = [1u8; 32];
+        assert!(shared_secret(&priv_key, &[0u8; 32]).is_none());
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(7);
+        }
+        bytes[31] &= 0x7f;
+        let fe = Fe::from_bytes(&bytes);
+        assert_eq!(fe.to_bytes(), bytes);
+    }
+}

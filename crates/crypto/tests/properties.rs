@@ -1,0 +1,174 @@
+//! Property-based tests for the crypto crate: algebraic invariants that
+//! must hold for arbitrary inputs, complementing the fixed test vectors.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use shield_crypto::cmac::Cmac;
+use shield_crypto::constant_time::ct_eq;
+use shield_crypto::ctr::AesCtr;
+use shield_crypto::drbg::Drbg;
+use shield_crypto::hmac::{hkdf_expand, hkdf_extract, hmac_sha256};
+use shield_crypto::sha256::Sha256;
+use shield_crypto::siphash::SipHash24;
+use shield_crypto::x25519;
+
+fn key16() -> impl Strategy<Value = [u8; 16]> {
+    any::<[u8; 16]>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// CTR mode is an involution: applying the keystream twice restores
+    /// the plaintext, for any key, IV and message.
+    #[test]
+    fn ctr_roundtrip(key in key16(), iv in key16(), mut data in pvec(any::<u8>(), 0..512)) {
+        let original = data.clone();
+        let ctr = AesCtr::new(&key);
+        ctr.apply_keystream(&iv, &mut data);
+        if !original.is_empty() {
+            prop_assert_ne!(&data, &original, "encryption must change the data");
+        }
+        ctr.apply_keystream(&iv, &mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    /// `apply_keystream_to` equals in-place application.
+    #[test]
+    fn ctr_to_matches_in_place(key in key16(), iv in key16(), data in pvec(any::<u8>(), 1..256)) {
+        let ctr = AesCtr::new(&key);
+        let mut dst = vec![0u8; data.len()];
+        ctr.apply_keystream_to(&iv, &data, &mut dst);
+        let mut in_place = data.clone();
+        ctr.apply_keystream(&iv, &mut in_place);
+        prop_assert_eq!(dst, in_place);
+    }
+
+    /// CMAC over split parts equals CMAC over the concatenation, for any
+    /// split points.
+    #[test]
+    fn cmac_parts_equal_whole(
+        key in key16(),
+        data in pvec(any::<u8>(), 0..256),
+        cut_a in 0usize..257,
+        cut_b in 0usize..257,
+    ) {
+        let cmac = Cmac::new(&key);
+        let mut cuts = [cut_a.min(data.len()), cut_b.min(data.len())];
+        cuts.sort_unstable();
+        let whole = cmac.compute(&data);
+        let parts = cmac.compute_parts(&[
+            &data[..cuts[0]],
+            &data[cuts[0]..cuts[1]],
+            &data[cuts[1]..],
+        ]);
+        prop_assert_eq!(whole, parts);
+    }
+
+    /// A single flipped bit anywhere changes the CMAC.
+    #[test]
+    fn cmac_detects_any_bit_flip(
+        key in key16(),
+        mut data in pvec(any::<u8>(), 1..128),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let cmac = Cmac::new(&key);
+        let tag = cmac.compute(&data);
+        let at = byte_idx.index(data.len());
+        data[at] ^= 1 << bit;
+        prop_assert_ne!(cmac.compute(&data), tag);
+    }
+
+    /// SHA-256 incremental hashing equals one-shot for arbitrary
+    /// chunk boundaries.
+    #[test]
+    fn sha256_incremental(data in pvec(any::<u8>(), 0..600), cuts in pvec(any::<prop::sample::Index>(), 0..6)) {
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(data.len());
+        offsets.sort_unstable();
+        let mut h = Sha256::new();
+        for pair in offsets.windows(2) {
+            h.update(&data[pair[0]..pair[1]]);
+        }
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    /// `ct_eq` agrees with `==` on arbitrary slices.
+    #[test]
+    fn ct_eq_matches_eq(a in pvec(any::<u8>(), 0..64), b in pvec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+        prop_assert!(ct_eq(&a, &a));
+    }
+
+    /// HMAC differs under different keys and different messages.
+    #[test]
+    fn hmac_separates(key in pvec(any::<u8>(), 1..80), msg in pvec(any::<u8>(), 0..128)) {
+        let tag = hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        key2[0] ^= 1;
+        prop_assert_ne!(hmac_sha256(&key2, &msg), tag);
+        let mut msg2 = msg.clone();
+        msg2.push(0);
+        prop_assert_ne!(hmac_sha256(&key, &msg2), tag);
+    }
+
+    /// HKDF-Expand produces the requested length and is prefix-consistent:
+    /// expanding to a longer length starts with the shorter expansion.
+    #[test]
+    fn hkdf_prefix_consistency(ikm in pvec(any::<u8>(), 1..64), len_a in 1usize..60, extra in 1usize..60) {
+        let prk = hkdf_extract(b"salt", &ikm);
+        let short = hkdf_expand(&prk, b"info", len_a);
+        let long = hkdf_expand(&prk, b"info", len_a + extra);
+        prop_assert_eq!(short.len(), len_a);
+        prop_assert_eq!(&long[..len_a], &short[..]);
+    }
+
+    /// SipHash is a pure function of (key, data) and sensitive to both.
+    #[test]
+    fn siphash_determinism(k0 in any::<u64>(), k1 in any::<u64>(), data in pvec(any::<u8>(), 0..64)) {
+        let h = SipHash24::from_parts(k0, k1);
+        prop_assert_eq!(h.hash(&data), h.hash(&data));
+        let h2 = SipHash24::from_parts(k0 ^ 1, k1);
+        // With overwhelming probability the hashes differ.
+        if !data.is_empty() || k0 & 1 == 0 {
+            prop_assert_ne!(h.hash(&data), h2.hash(&data));
+        }
+    }
+
+    /// DRBG output is a pure function of the seed, regardless of how the
+    /// draws are chunked.
+    #[test]
+    fn drbg_chunking_irrelevant(seed in pvec(any::<u8>(), 1..32), chunks in pvec(1usize..40, 1..8)) {
+        let total: usize = chunks.iter().sum();
+        let mut whole = vec![0u8; total];
+        Drbg::from_seed(&seed).fill_bytes(&mut whole);
+
+        let mut pieces = Vec::new();
+        let mut drbg = Drbg::from_seed(&seed);
+        for &n in &chunks {
+            let mut buf = vec![0u8; n];
+            drbg.fill_bytes(&mut buf);
+            pieces.extend_from_slice(&buf);
+        }
+        prop_assert_eq!(whole, pieces);
+    }
+}
+
+proptest! {
+    // X25519 scalar multiplications are slow; fewer cases.
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Diffie-Hellman agreement: both sides derive the same secret for
+    /// arbitrary private keys.
+    #[test]
+    fn x25519_agreement(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let pub_a = x25519::public_key(&a);
+        let pub_b = x25519::public_key(&b);
+        let s1 = x25519::shared_secret(&a, &pub_b);
+        let s2 = x25519::shared_secret(&b, &pub_a);
+        prop_assert_eq!(s1, s2);
+        prop_assert!(s1.is_some(), "honest public keys never yield the zero point");
+    }
+}

@@ -1,0 +1,307 @@
+//! The client side: a request handle and a concurrent load driver.
+//!
+//! The paper's networked evaluation drives the server from a client
+//! machine simulating 256 concurrent users (§6.1). [`KvClient`] is one
+//! user's connection; [`run_load`] spawns many of them and reports
+//! aggregate throughput.
+
+use crate::protocol::{self, OpCode, Request, Response, Status};
+use crate::session::{self, SessionCrypto};
+use crate::{NetError, Result};
+use sgx_sim::attest::AttestationVerifier;
+use std::net::{SocketAddr, TcpStream};
+
+/// A connected client (one simulated user).
+pub struct KvClient {
+    stream: TcpStream,
+    crypto: Option<SessionCrypto>,
+}
+
+impl std::fmt::Debug for KvClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvClient").field("secure", &self.crypto.is_some()).finish()
+    }
+}
+
+impl KvClient {
+    /// Connects and runs the attested handshake (paper §3.2).
+    pub fn connect_secure(
+        addr: SocketAddr,
+        verifier: &AttestationVerifier,
+        seed: u64,
+    ) -> Result<KvClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let crypto = session::client_handshake(&mut stream, verifier, seed)?;
+        Ok(KvClient { stream, crypto: Some(crypto) })
+    }
+
+    /// Connects without attestation or traffic crypto (insecure runs).
+    pub fn connect_insecure(addr: SocketAddr) -> Result<KvClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(KvClient { stream, crypto: None })
+    }
+
+    /// Issues one request and awaits its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response> {
+        let body = request.encode();
+        let out = match &mut self.crypto {
+            Some(c) => c.seal(&body),
+            None => body,
+        };
+        protocol::write_frame(&mut self.stream, &out)?;
+        let reply = protocol::read_frame(&mut self.stream)?
+            .ok_or_else(|| NetError::Protocol("server disconnected".into()))?;
+        let plain = match &mut self.crypto {
+            Some(c) => c.open(&reply)?,
+            None => reply,
+        };
+        Response::decode(&plain)
+    }
+
+    /// Reads a key; `Ok(None)` when absent.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let r = self.call(&Request { op: OpCode::Get, key: key.to_vec(), value: Vec::new() })?;
+        match r.status {
+            Status::Ok => Ok(Some(r.value)),
+            Status::NotFound => Ok(None),
+            Status::Error => Err(NetError::Protocol("server error on get".into())),
+        }
+    }
+
+    /// Writes a key.
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let r =
+            self.call(&Request { op: OpCode::Set, key: key.to_vec(), value: value.to_vec() })?;
+        match r.status {
+            Status::Ok => Ok(()),
+            _ => Err(NetError::Protocol("server rejected set".into())),
+        }
+    }
+
+    /// Deletes a key; `Ok(false)` when it did not exist.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        let r = self.call(&Request { op: OpCode::Delete, key: key.to_vec(), value: Vec::new() })?;
+        match r.status {
+            Status::Ok => Ok(true),
+            Status::NotFound => Ok(false),
+            Status::Error => Err(NetError::Protocol("server error on delete".into())),
+        }
+    }
+
+    /// Appends to a key's value.
+    pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<()> {
+        let r = self
+            .call(&Request { op: OpCode::Append, key: key.to_vec(), value: suffix.to_vec() })?;
+        match r.status {
+            Status::Ok => Ok(()),
+            _ => Err(NetError::Protocol("server rejected append".into())),
+        }
+    }
+
+    /// Adds `delta` to a decimal value, returning the new value.
+    pub fn increment(&mut self, key: &[u8], delta: i64) -> Result<i64> {
+        let r = self.call(&Request {
+            op: OpCode::Increment,
+            key: key.to_vec(),
+            value: delta.to_le_bytes().to_vec(),
+        })?;
+        match r.status {
+            Status::Ok if r.value.len() == 8 => {
+                Ok(i64::from_le_bytes(r.value[..].try_into().expect("8 bytes")))
+            }
+            _ => Err(NetError::Protocol("server rejected increment".into())),
+        }
+    }
+
+    /// Ordered prefix scan (requires a server store with the ordered
+    /// index enabled): up to `limit` key-value pairs in key order.
+    pub fn scan_prefix(&mut self, prefix: &[u8], limit: u32) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let r = self.call(&Request {
+            op: OpCode::ScanPrefix,
+            key: prefix.to_vec(),
+            value: limit.to_le_bytes().to_vec(),
+        })?;
+        match r.status {
+            Status::Ok => protocol::decode_scan(&r.value),
+            _ => Err(NetError::Protocol("server rejected scan (index enabled?)".into())),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        let r = self.call(&Request { op: OpCode::Ping, key: Vec::new(), value: Vec::new() })?;
+        match r.status {
+            Status::Ok => Ok(()),
+            _ => Err(NetError::Protocol("ping failed".into())),
+        }
+    }
+}
+
+/// Load-driver configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Number of concurrent simulated users (paper: 256).
+    pub users: usize,
+    /// Requests each user issues.
+    pub requests_per_user: usize,
+    /// Encrypt traffic (secure sessions). Requires a verifier.
+    pub secure: bool,
+    /// Workload name (any of Table 2 / Fig. 12, see `shield-workload`).
+    pub workload: String,
+    /// Key-space size.
+    pub num_keys: u64,
+    /// Value size in bytes.
+    pub val_len: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// Aggregate load results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Total successful operations.
+    pub ops: u64,
+    /// Wall-clock duration of the measurement.
+    pub wall: std::time::Duration,
+    /// Failed operations.
+    pub errors: u64,
+}
+
+impl LoadReport {
+    /// Throughput in Kop/s over wall time plus `extra_penalty`.
+    pub fn kops(&self, extra_penalty: std::time::Duration) -> f64 {
+        let secs = (self.wall + extra_penalty).as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs / 1e3
+        }
+    }
+}
+
+/// Runs a concurrent load against `addr` and reports throughput.
+///
+/// Each user runs its own deterministic workload stream (seeded from
+/// `config.seed` + user index) over its own connection.
+pub fn run_load(
+    addr: SocketAddr,
+    verifier: Option<&AttestationVerifier>,
+    config: &LoadConfig,
+) -> Result<LoadReport> {
+    use shield_workload::{Generator, Op, Spec};
+
+    let spec = Spec::by_name(&config.workload)
+        .ok_or_else(|| NetError::Protocol(format!("unknown workload {}", config.workload)))?;
+    assert!(!config.secure || verifier.is_some(), "secure load needs a verifier");
+
+    let start = std::time::Instant::now();
+    let mut handles = Vec::with_capacity(config.users);
+    for user in 0..config.users {
+        let verifier = verifier.cloned();
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || -> Result<(u64, u64)> {
+            let mut client = if config.secure {
+                KvClient::connect_secure(
+                    addr,
+                    verifier.as_ref().expect("verifier for secure load"),
+                    config.seed + user as u64,
+                )?
+            } else {
+                KvClient::connect_insecure(addr)?
+            };
+            let mut generator =
+                Generator::new(spec, config.num_keys, config.seed ^ (user as u64) << 20);
+            let mut ops = 0u64;
+            let mut errors = 0u64;
+            for _ in 0..config.requests_per_user {
+                let op = generator.next_op();
+                let id = op.key_id();
+                let key = shield_workload::make_key(id, 16);
+                let outcome = match op {
+                    Op::Get(_) => client.get(&key).map(|_| ()),
+                    Op::Set(_) => client
+                        .set(&key, &shield_workload::make_value(id, generator.round(), config.val_len)),
+                    Op::Append(_) => client.append(&key, b"-app"),
+                    Op::ReadModifyWrite(_) => client.get(&key).and_then(|v| {
+                        let mut v = v.unwrap_or_default();
+                        if v.is_empty() {
+                            v = shield_workload::make_value(id, 0, config.val_len);
+                        } else {
+                            let n = v.len();
+                            v[n - 1] = v[n - 1].wrapping_add(1);
+                        }
+                        client.set(&key, &v)
+                    }),
+                };
+                match outcome {
+                    Ok(()) => ops += 1,
+                    Err(_) => errors += 1,
+                }
+            }
+            Ok((ops, errors))
+        }));
+    }
+
+    let mut ops = 0u64;
+    let mut errors = 0u64;
+    for h in handles {
+        let (o, e) = h
+            .join()
+            .map_err(|_| NetError::Protocol("load worker panicked".into()))??;
+        ops += o;
+        errors += e;
+    }
+    Ok(LoadReport { ops, wall: start.elapsed(), errors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{CrossingMode, Server, ServerConfig};
+    use sgx_sim::enclave::EnclaveBuilder;
+    use std::sync::Arc;
+
+    #[test]
+    fn load_driver_end_to_end() {
+        let enclave = EnclaveBuilder::new("load-test").epc_bytes(8 << 20).build();
+        let store = Arc::new(
+            shieldstore::ShieldStore::new(
+                Arc::clone(&enclave),
+                shieldstore::Config::shield_opt().buckets(256).mac_hashes(64),
+            )
+            .unwrap(),
+        );
+        // Preload so gets mostly hit.
+        for i in 0..500u64 {
+            store.set(&shield_workload::make_key(i, 16), b"preloaded-value!").unwrap();
+        }
+        let server = Server::start(
+            store,
+            Some(Arc::clone(&enclave)),
+            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+        )
+        .unwrap();
+        let verifier = AttestationVerifier::for_enclave(&enclave);
+
+        let report = run_load(
+            server.addr(),
+            Some(&verifier),
+            &LoadConfig {
+                users: 4,
+                requests_per_user: 100,
+                secure: true,
+                workload: "RD50_Z".into(),
+                num_keys: 500,
+                val_len: 16,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.ops + report.errors, 400);
+        assert_eq!(report.errors, 0, "no request should fail");
+        assert!(report.kops(std::time::Duration::ZERO) > 0.0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,64 @@
+//! Networked front-end for the ShieldStore reproduction (paper §6.4).
+//!
+//! A ShieldStore server faces remote clients through TCP. Because an
+//! enclave cannot issue system calls, network I/O is done by *untrusted*
+//! threads; each request must then reach the enclave. Two mechanisms are
+//! modeled, matching the paper:
+//!
+//! * **ECALL** — a hardware enclave crossing per request (~8,000 cycles);
+//! * **HotCalls** — a shared-memory request ring polled by in-enclave
+//!   worker threads (~620 cycles, no crossing).
+//!
+//! Security follows §3.2's server-side-encryption flow: the client
+//! remote-attests the enclave (a quote binding the server's ephemeral
+//! X25519 public key), both sides derive session keys, and every request
+//! and response is AES-CTR encrypted and CMAC authenticated.
+//!
+//! * [`protocol`] — wire format (framing, opcodes).
+//! * [`session`] — attested handshake and per-session channel crypto.
+//! * [`server`] — the store server with ECALL/HotCalls request paths.
+//! * [`client`] — a client handle and a concurrent load driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{KvClient, LoadConfig, LoadReport};
+pub use protocol::{OpCode, Request, Response, Status};
+pub use server::{CrossingMode, Server, ServerConfig};
+
+/// Errors surfaced by the networked components.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket failure.
+    Io(std::io::Error),
+    /// Malformed frame or message.
+    Protocol(String),
+    /// Attestation or session-crypto failure.
+    Security(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::Security(m) => write!(f, "security error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, NetError>;

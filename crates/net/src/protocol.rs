@@ -1,0 +1,292 @@
+//! The binary wire protocol.
+//!
+//! Frames are length-prefixed (`u32` LE, body follows). Requests and
+//! responses serialize to simple tagged byte layouts:
+//!
+//! ```text
+//! Request:  [ op (1) | key_len (4) | val_len (4) | key | value ]
+//! Response: [ status (1) | val_len (4) | value ]
+//! ```
+//!
+//! When the secure channel is active, the *body* of each frame is the
+//! sealed form produced by [`crate::session::SessionCrypto`].
+
+use crate::{NetError, Result};
+use std::io::{Read, Write};
+
+/// Maximum accepted frame body (defensive bound).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Read a key.
+    Get = 1,
+    /// Write a key.
+    Set = 2,
+    /// Delete a key.
+    Delete = 3,
+    /// Append to a key's value.
+    Append = 4,
+    /// Add a delta to a decimal value (delta is the request value, LE i64).
+    Increment = 5,
+    /// Liveness probe.
+    Ping = 6,
+    /// Ordered prefix scan: `key` is the prefix, `value` is a u32 LE
+    /// limit. The response value is a [`encode_scan`] payload.
+    ScanPrefix = 7,
+}
+
+impl OpCode {
+    /// Parses an opcode byte.
+    pub fn from_u8(v: u8) -> Result<OpCode> {
+        Ok(match v {
+            1 => OpCode::Get,
+            2 => OpCode::Set,
+            3 => OpCode::Delete,
+            4 => OpCode::Append,
+            5 => OpCode::Increment,
+            6 => OpCode::Ping,
+            7 => OpCode::ScanPrefix,
+            other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
+        })
+    }
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; value carries the result.
+    Ok = 0,
+    /// Key not found.
+    NotFound = 1,
+    /// Server-side failure (capacity, non-numeric increment, ...).
+    Error = 2,
+}
+
+impl Status {
+    /// Parses a status byte.
+    pub fn from_u8(v: u8) -> Result<Status> {
+        Ok(match v {
+            0 => Status::Ok,
+            1 => Status::NotFound,
+            2 => Status::Error,
+            other => return Err(NetError::Protocol(format!("unknown status {other}"))),
+        })
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The operation.
+    pub op: OpCode,
+    /// The key.
+    pub key: Vec<u8>,
+    /// The value (empty for `Get`/`Delete`/`Ping`).
+    pub value: Vec<u8>,
+}
+
+impl Request {
+    /// Serializes the request body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + self.key.len() + self.value.len());
+        out.push(self.op as u8);
+        out.extend_from_slice(&(self.key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.key);
+        out.extend_from_slice(&self.value);
+        out
+    }
+
+    /// Parses a request body.
+    pub fn decode(bytes: &[u8]) -> Result<Request> {
+        if bytes.len() < 9 {
+            return Err(NetError::Protocol("short request".into()));
+        }
+        let op = OpCode::from_u8(bytes[0])?;
+        let key_len =
+            u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
+        let val_len =
+            u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
+        if bytes.len() != 9 + key_len + val_len {
+            return Err(NetError::Protocol("request length mismatch".into()));
+        }
+        Ok(Request {
+            op,
+            key: bytes[9..9 + key_len].to_vec(),
+            value: bytes[9 + key_len..].to_vec(),
+        })
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Outcome.
+    pub status: Status,
+    /// Result payload (value for `Get`, new value for `Increment`, ...).
+    pub value: Vec<u8>,
+}
+
+impl Response {
+    /// Shorthand for an OK response with a payload.
+    pub fn ok(value: Vec<u8>) -> Self {
+        Self { status: Status::Ok, value }
+    }
+
+    /// Shorthand for an empty OK response.
+    pub fn ok_empty() -> Self {
+        Self { status: Status::Ok, value: Vec::new() }
+    }
+
+    /// Shorthand for NotFound.
+    pub fn not_found() -> Self {
+        Self { status: Status::NotFound, value: Vec::new() }
+    }
+
+    /// Shorthand for Error.
+    pub fn error() -> Self {
+        Self { status: Status::Error, value: Vec::new() }
+    }
+
+    /// Serializes the response body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.value.len());
+        out.push(self.status as u8);
+        out.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.value);
+        out
+    }
+
+    /// Parses a response body.
+    pub fn decode(bytes: &[u8]) -> Result<Response> {
+        if bytes.len() < 5 {
+            return Err(NetError::Protocol("short response".into()));
+        }
+        let status = Status::from_u8(bytes[0])?;
+        let val_len =
+            u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
+        if bytes.len() != 5 + val_len {
+            return Err(NetError::Protocol("response length mismatch".into()));
+        }
+        Ok(Response { status, value: bytes[5..].to_vec() })
+    }
+}
+
+/// Encodes scan results: repeated `[klen u32 | vlen u32 | key | value]`.
+pub fn encode_scan(entries: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in entries {
+        out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(k);
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+/// Decodes a scan payload produced by [`encode_scan`].
+pub fn decode_scan(mut bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        if bytes.len() < 8 {
+            return Err(NetError::Protocol("truncated scan entry header".into()));
+        }
+        let klen = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        let vlen = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        let need = 8usize
+            .checked_add(klen)
+            .and_then(|n| n.checked_add(vlen))
+            .ok_or_else(|| NetError::Protocol("scan entry length overflow".into()))?;
+        if bytes.len() < need {
+            return Err(NetError::Protocol("truncated scan entry body".into()));
+        }
+        out.push((bytes[8..8 + klen].to_vec(), bytes[8 + klen..need].to_vec()));
+        bytes = &bytes[need..];
+    }
+    Ok(out)
+}
+
+/// Writes a length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(NetError::Protocol("frame too large".into()));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a length-prefixed frame; `Ok(None)` on clean EOF.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(NetError::Protocol("frame too large".into()));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for op in [OpCode::Get, OpCode::Set, OpCode::Delete, OpCode::Append, OpCode::Increment] {
+            let req = Request { op, key: b"key".to_vec(), value: b"value".to_vec() };
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        let empty = Request { op: OpCode::Ping, key: Vec::new(), value: Vec::new() };
+        assert_eq!(Request::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = Response::ok(b"payload".to_vec());
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        let r = Response::not_found();
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Length mismatch.
+        let mut bytes = Request { op: OpCode::Get, key: b"k".to_vec(), value: vec![] }.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+        assert!(Response::decode(&[0, 5, 0, 0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_over_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

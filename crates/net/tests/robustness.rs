@@ -1,0 +1,140 @@
+//! Robustness tests for the wire protocol and session layer: malformed,
+//! truncated, and fuzz-shaped inputs must produce errors, never panics.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use shield_net::protocol::{read_frame, write_frame, OpCode, Request, Response};
+use shield_net::session;
+use sgx_sim::attest::AttestationVerifier;
+use sgx_sim::enclave::EnclaveBuilder;
+use std::io::Cursor;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Arbitrary bytes never panic the request decoder.
+    #[test]
+    fn request_decode_never_panics(bytes in pvec(any::<u8>(), 0..128)) {
+        let _ = Request::decode(&bytes);
+    }
+
+    /// Arbitrary bytes never panic the response decoder.
+    #[test]
+    fn response_decode_never_panics(bytes in pvec(any::<u8>(), 0..128)) {
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Any request that encodes must decode back to itself.
+    #[test]
+    fn request_roundtrip(
+        op in 1u8..7,
+        key in pvec(any::<u8>(), 0..64),
+        value in pvec(any::<u8>(), 0..128),
+    ) {
+        let request = Request { op: OpCode::from_u8(op).unwrap(), key, value };
+        prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+    }
+
+    /// Truncating an encoded request at any point is rejected (never
+    /// mis-decoded to something shorter).
+    #[test]
+    fn truncated_request_rejected(
+        key in pvec(any::<u8>(), 1..32),
+        value in pvec(any::<u8>(), 1..32),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let full = Request { op: OpCode::Set, key, value }.encode();
+        let cut = cut_at.index(full.len() - 1); // strictly shorter
+        prop_assert!(Request::decode(&full[..cut]).is_err());
+    }
+
+    /// Frames roundtrip through a buffer for any body.
+    #[test]
+    fn frame_roundtrip(bodies in pvec(pvec(any::<u8>(), 0..200), 1..5)) {
+        let mut wire = Vec::new();
+        for body in &bodies {
+            write_frame(&mut wire, body).unwrap();
+        }
+        let mut cursor = Cursor::new(wire);
+        for body in &bodies {
+            prop_assert_eq!(&read_frame(&mut cursor).unwrap().unwrap(), body);
+        }
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    /// A truncated frame body surfaces as an error, not a hang or panic.
+    #[test]
+    fn truncated_frame_rejected(body in pvec(any::<u8>(), 1..100), cut_at in any::<prop::sample::Index>()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let cut = 4 + cut_at.index(body.len()); // keep the header, cut the body
+        let mut cursor = Cursor::new(&wire[..cut]);
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Feeding arbitrary bytes to the sealed-channel opener never panics
+    /// and (with overwhelming probability) never authenticates.
+    #[test]
+    fn garbage_never_authenticates(bytes in pvec(any::<u8>(), 0..256)) {
+        // Establish a real session over an in-memory exchange.
+        let enclave = EnclaveBuilder::new("robust-net").build();
+        let verifier = AttestationVerifier::for_enclave(&enclave);
+        let (mut client, mut server) = handshake_pair(&enclave, &verifier);
+        prop_assert!(server.open(&bytes).is_err());
+        // The session still works after rejecting garbage.
+        let ok = client.seal(b"still works");
+        prop_assert_eq!(server.open(&ok).unwrap(), b"still works");
+    }
+}
+
+/// Runs the real handshake over an in-memory duplex pipe.
+fn handshake_pair(
+    enclave: &std::sync::Arc<sgx_sim::enclave::Enclave>,
+    verifier: &AttestationVerifier,
+) -> (session::SessionCrypto, session::SessionCrypto) {
+    use std::io::{Read, Write};
+
+    struct Pipe {
+        rx: std::sync::mpsc::Receiver<u8>,
+        tx: std::sync::mpsc::Sender<u8>,
+    }
+    impl Read for Pipe {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            for (i, slot) in buf.iter_mut().enumerate() {
+                match self.rx.recv() {
+                    Ok(b) => *slot = b,
+                    Err(_) if i == 0 => {
+                        return Err(std::io::Error::from(std::io::ErrorKind::UnexpectedEof))
+                    }
+                    Err(_) => return Ok(i),
+                }
+            }
+            Ok(buf.len())
+        }
+    }
+    impl Write for Pipe {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            for &b in buf {
+                self.tx
+                    .send(b)
+                    .map_err(|_| std::io::Error::from(std::io::ErrorKind::BrokenPipe))?;
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let (tx_a, rx_b) = std::sync::mpsc::channel();
+    let (tx_b, rx_a) = std::sync::mpsc::channel();
+    let mut client_side = Pipe { rx: rx_a, tx: tx_a };
+    let mut server_side = Pipe { rx: rx_b, tx: tx_b };
+
+    let enclave2 = std::sync::Arc::clone(enclave);
+    let server_thread =
+        std::thread::spawn(move || session::server_handshake(&mut server_side, &enclave2));
+    let client = session::client_handshake(&mut client_side, verifier, 1).expect("client side");
+    let server = server_thread.join().expect("join").expect("server side");
+    (client, server)
+}

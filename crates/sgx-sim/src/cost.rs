@@ -1,0 +1,121 @@
+//! The SGX cost model.
+//!
+//! All penalties are expressed in CPU cycles and converted to nanoseconds
+//! with the modeled clock frequency. Defaults are calibrated to the paper's
+//! platform (Intel i7-7700, 3.6 GHz) and measurements:
+//!
+//! * **Boundary crossing** ≈ 8,000 cycles (paper §2.2, citing [35, 47]).
+//! * **HotCalls crossing** ≈ 620 cycles (Weisse et al., ISCA '17).
+//! * **EPC demand-paging fault** — an asynchronous enclave exit, kernel
+//!   page handling, ELDU decryption of the incoming page and EWB encryption
+//!   of the victim. Reported costs range from ~30k cycles (Eleos) to tens
+//!   of microseconds under thrashing; the default of 150k cycles (~42 µs at
+//!   3.6 GHz) reproduces the paper's Fig. 2 gap of two-plus orders of
+//!   magnitude between in-EPC and faulting accesses.
+//! * **MEE cacheline overhead** — resident EPC accesses still pay
+//!   hardware en/decryption and integrity verification per cacheline on the
+//!   way to the LLC; Fig. 2 shows ~5.7x a plain DRAM access, i.e. roughly
+//!   400 ns extra per missing cacheline.
+
+/// Cost model parameters for the simulated SGX platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Modeled core frequency in GHz (cycles -> ns conversion).
+    pub cpu_ghz: f64,
+    /// Cycles for one ECALL or OCALL round trip (enter + exit).
+    pub crossing_cycles: u64,
+    /// Cycles for one HotCalls-style shared-memory call.
+    pub hotcall_cycles: u64,
+    /// Cycles for one EPC demand-paging fault (AEX + kernel + ELDU),
+    /// excluding the victim writeback.
+    pub epc_fault_cycles: u64,
+    /// Additional cycles when the evicted victim page is dirty (EWB).
+    pub epc_writeback_cycles: u64,
+    /// Extra nanoseconds per cacheline for MEE en/decryption + integrity
+    /// verification on resident EPC accesses.
+    pub mee_cacheline_ns: u64,
+}
+
+impl CostModel {
+    /// The paper's platform: i7-7700 @ 3.6 GHz.
+    pub const I7_7700: CostModel = CostModel {
+        cpu_ghz: 3.6,
+        crossing_cycles: 8_000,
+        hotcall_cycles: 620,
+        epc_fault_cycles: 150_000,
+        epc_writeback_cycles: 30_000,
+        mee_cacheline_ns: 400,
+    };
+
+    /// A zero-cost model: SGX disabled (the paper's `NoSGX` runs).
+    pub const NO_SGX: CostModel = CostModel {
+        cpu_ghz: 3.6,
+        crossing_cycles: 0,
+        hotcall_cycles: 0,
+        epc_fault_cycles: 0,
+        epc_writeback_cycles: 0,
+        mee_cacheline_ns: 0,
+    };
+
+    /// Converts a cycle count to nanoseconds under this model.
+    #[inline]
+    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        (cycles as f64 / self.cpu_ghz) as u64
+    }
+
+    /// Nanoseconds for one ECALL/OCALL round trip.
+    #[inline]
+    pub fn crossing_ns(&self) -> u64 {
+        self.cycles_to_ns(self.crossing_cycles)
+    }
+
+    /// Nanoseconds for one HotCall.
+    #[inline]
+    pub fn hotcall_ns(&self) -> u64 {
+        self.cycles_to_ns(self.hotcall_cycles)
+    }
+
+    /// Nanoseconds for an EPC fault (clean victim).
+    #[inline]
+    pub fn fault_ns(&self) -> u64 {
+        self.cycles_to_ns(self.epc_fault_cycles)
+    }
+
+    /// Nanoseconds for the dirty-victim writeback surcharge.
+    #[inline]
+    pub fn writeback_ns(&self) -> u64 {
+        self.cycles_to_ns(self.epc_writeback_cycles)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::I7_7700
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_platform() {
+        assert_eq!(CostModel::default(), CostModel::I7_7700);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let m = CostModel::I7_7700;
+        // 3600 cycles at 3.6 GHz is exactly 1000 ns.
+        assert_eq!(m.cycles_to_ns(3600), 1000);
+        assert_eq!(m.crossing_ns(), 2222);
+    }
+
+    #[test]
+    fn no_sgx_is_free() {
+        let m = CostModel::NO_SGX;
+        assert_eq!(m.crossing_ns(), 0);
+        assert_eq!(m.fault_ns(), 0);
+        assert_eq!(m.mee_cacheline_ns, 0);
+    }
+}

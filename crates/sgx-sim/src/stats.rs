@@ -1,0 +1,122 @@
+//! Simulation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared event counters for one simulated enclave.
+///
+/// All counters use relaxed atomics: they are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct SimStats {
+    /// EPC demand-paging faults (page not resident).
+    pub epc_faults: AtomicU64,
+    /// Pages evicted from the EPC resident set.
+    pub epc_evictions: AtomicU64,
+    /// Evictions whose victim was dirty (required EWB writeback).
+    pub epc_writebacks: AtomicU64,
+    /// Resident EPC accesses (hits).
+    pub epc_hits: AtomicU64,
+    /// ECALLs (untrusted -> enclave crossings).
+    pub ecalls: AtomicU64,
+    /// OCALLs (enclave -> untrusted crossings).
+    pub ocalls: AtomicU64,
+    /// HotCalls-style shared-memory calls (no crossing).
+    pub hotcalls: AtomicU64,
+    /// Bytes of untrusted memory obtained through chunk OCALLs.
+    pub untrusted_bytes_allocated: AtomicU64,
+}
+
+impl SimStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.epc_faults.store(0, Ordering::Relaxed);
+        self.epc_evictions.store(0, Ordering::Relaxed);
+        self.epc_writebacks.store(0, Ordering::Relaxed);
+        self.epc_hits.store(0, Ordering::Relaxed);
+        self.ecalls.store(0, Ordering::Relaxed);
+        self.ocalls.store(0, Ordering::Relaxed);
+        self.hotcalls.store(0, Ordering::Relaxed);
+        self.untrusted_bytes_allocated.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns a plain-value snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            epc_faults: self.epc_faults.load(Ordering::Relaxed),
+            epc_evictions: self.epc_evictions.load(Ordering::Relaxed),
+            epc_writebacks: self.epc_writebacks.load(Ordering::Relaxed),
+            epc_hits: self.epc_hits.load(Ordering::Relaxed),
+            ecalls: self.ecalls.load(Ordering::Relaxed),
+            ocalls: self.ocalls.load(Ordering::Relaxed),
+            hotcalls: self.hotcalls.load(Ordering::Relaxed),
+            untrusted_bytes_allocated: self.untrusted_bytes_allocated.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`SimStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// EPC demand-paging faults.
+    pub epc_faults: u64,
+    /// Pages evicted from the resident set.
+    pub epc_evictions: u64,
+    /// Dirty-victim writebacks.
+    pub epc_writebacks: u64,
+    /// Resident EPC accesses.
+    pub epc_hits: u64,
+    /// ECALL crossings.
+    pub ecalls: u64,
+    /// OCALL crossings.
+    pub ocalls: u64,
+    /// HotCalls.
+    pub hotcalls: u64,
+    /// Untrusted bytes allocated via chunk OCALLs.
+    pub untrusted_bytes_allocated: u64,
+}
+
+impl StatsSnapshot {
+    /// Fault rate as a fraction of all metered EPC accesses.
+    pub fn fault_rate(&self) -> f64 {
+        let total = self.epc_faults + self.epc_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.epc_faults as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = SimStats::new();
+        SimStats::bump(&s.epc_faults);
+        SimStats::bump(&s.epc_faults);
+        SimStats::bump(&s.epc_hits);
+        let snap = s.snapshot();
+        assert_eq!(snap.epc_faults, 2);
+        assert_eq!(snap.epc_hits, 1);
+        assert!((snap.fault_rate() - 2.0 / 3.0).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn fault_rate_zero_when_untouched() {
+        assert_eq!(StatsSnapshot::default().fault_rate(), 0.0);
+    }
+}

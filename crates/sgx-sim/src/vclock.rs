@@ -1,0 +1,117 @@
+//! Per-thread virtual clocks for penalty accounting.
+//!
+//! Real work (crypto, data movement) in the reproduction is executed and
+//! measured in wall time. SGX penalties (EPC faults, boundary crossings)
+//! are *modeled*: instead of spinning, the simulator charges nanoseconds to
+//! the calling thread's virtual clock. A benchmark harness computes
+//! effective time as `wall + virtual` per worker thread.
+//!
+//! The clock is thread-local so that enclave code does not need to thread a
+//! clock handle through every call; a worker resets its clock at the start
+//! of a measurement and [`take`]s it at the end.
+
+use std::cell::Cell;
+
+thread_local! {
+    static PENALTY_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds `ns` of modeled penalty to the current thread's clock.
+#[inline]
+pub fn charge(ns: u64) {
+    PENALTY_NS.with(|c| c.set(c.get().saturating_add(ns)));
+}
+
+/// Returns the current thread's accumulated penalty in nanoseconds.
+#[inline]
+pub fn now() -> u64 {
+    PENALTY_NS.with(|c| c.get())
+}
+
+/// Sets the current thread's clock to an absolute value.
+///
+/// Used by the EPC fault serialization channel, which may move a thread's
+/// clock forward to the end of a queued fault-service window.
+#[inline]
+pub fn advance_to(ns: u64) {
+    PENALTY_NS.with(|c| {
+        if ns > c.get() {
+            c.set(ns);
+        }
+    });
+}
+
+/// Resets the current thread's clock to zero.
+#[inline]
+pub fn reset() {
+    PENALTY_NS.with(|c| c.set(0));
+}
+
+/// Returns the accumulated penalty and resets the clock.
+#[inline]
+pub fn take() -> u64 {
+    PENALTY_NS.with(|c| c.replace(0))
+}
+
+/// Runs `f` with a zeroed clock and returns `(result, penalty_ns)`,
+/// restoring the caller's previous accumulation afterwards.
+pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let saved = take();
+    let result = f();
+    let penalty = take();
+    charge(saved);
+    (result, penalty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        reset();
+        charge(10);
+        charge(5);
+        assert_eq!(now(), 15);
+        assert_eq!(take(), 15);
+        assert_eq!(now(), 0);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        reset();
+        charge(100);
+        advance_to(50);
+        assert_eq!(now(), 100);
+        advance_to(150);
+        assert_eq!(now(), 150);
+        reset();
+    }
+
+    #[test]
+    fn scoped_isolates_and_restores() {
+        reset();
+        charge(7);
+        let (v, p) = scoped(|| {
+            charge(3);
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(p, 3);
+        assert_eq!(now(), 7);
+        reset();
+    }
+
+    #[test]
+    fn clocks_are_thread_local() {
+        reset();
+        charge(1);
+        let handle = std::thread::spawn(|| {
+            charge(100);
+            now()
+        });
+        assert_eq!(handle.join().unwrap(), 100);
+        assert_eq!(now(), 1);
+        reset();
+    }
+}

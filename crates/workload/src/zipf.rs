@@ -1,0 +1,191 @@
+//! The YCSB zipfian generator.
+//!
+//! Implements the rejection-free zipfian sampler used by YCSB (after
+//! Gray et al., "Quickly Generating Billion-Record Synthetic Databases"):
+//! given `n` items and skew `theta`, item rank `i` (0-based) is drawn with
+//! probability proportional to `1 / (i+1)^theta`. The paper uses
+//! `theta = 0.99` (YCSB's default) and 0.5 for one append experiment.
+//!
+//! `next_scrambled` additionally hashes the rank (YCSB's
+//! `ScrambledZipfianGenerator`) so that the hottest items are spread over
+//! the key space instead of clustering at the low ids — which matters for
+//! hash-partitioned stores.
+
+use crate::rng::SplitMix64;
+
+/// A zipfian distribution sampler over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+impl Zipfian {
+    /// Creates a sampler for `n` items with skew `theta` (0 < theta < 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs at least one item");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the hottest item.
+    pub fn next(&mut self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Draws a rank and scrambles it over the full u64 space (YCSB's
+    /// scrambled zipfian); callers reduce modulo their key-space size.
+    pub fn next_scrambled(&mut self, rng: &mut SplitMix64) -> u64 {
+        let rank = self.next(rng);
+        fnv1a_64(rank)
+    }
+
+    /// The normalization constant zeta(n, theta) (diagnostics).
+    pub fn zetan(&self) -> f64 {
+        self.zetan
+    }
+
+    /// zeta(2, theta) (diagnostics).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// FNV-1a hash of a u64 (YCSB's scrambling function).
+pub fn fnv1a_64(value: u64) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let mut z = Zipfian::new(1000, 0.99);
+        let mut rng = SplitMix64::new(1);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999] * 10);
+        // All draws in range (checked implicitly by indexing).
+    }
+
+    #[test]
+    fn theta_controls_skew() {
+        let mut hot99 = 0u64;
+        let mut hot50 = 0u64;
+        let draws = 50_000;
+        {
+            let mut z = Zipfian::new(10_000, 0.99);
+            let mut rng = SplitMix64::new(2);
+            for _ in 0..draws {
+                if z.next(&mut rng) < 100 {
+                    hot99 += 1;
+                }
+            }
+        }
+        {
+            let mut z = Zipfian::new(10_000, 0.5);
+            let mut rng = SplitMix64::new(2);
+            for _ in 0..draws {
+                if z.next(&mut rng) < 100 {
+                    hot50 += 1;
+                }
+            }
+        }
+        assert!(
+            hot99 > hot50 * 2,
+            "theta 0.99 must be much more skewed than 0.5: {hot99} vs {hot50}"
+        );
+    }
+
+    #[test]
+    fn zeta_is_harmonic_generalization() {
+        // zeta(3, 1-eps) ~ 1 + 1/2^theta + 1/3^theta.
+        let z = zeta(3, 0.5);
+        let expect = 1.0 + 1.0 / 2f64.sqrt() + 1.0 / 3f64.sqrt();
+        assert!((z - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let mut z = Zipfian::new(1, 0.99);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            assert_eq!(z.next(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn scrambling_spreads_hot_ranks() {
+        let mut z = Zipfian::new(1000, 0.99);
+        let mut rng = SplitMix64::new(4);
+        let n = 1000u64;
+        let mut low_half = 0u64;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.next_scrambled(&mut rng) % n < n / 2 {
+                low_half += 1;
+            }
+        }
+        // Unscrambled, nearly all mass sits at low ranks; scrambled it
+        // should split roughly evenly between halves of the key space.
+        let frac = low_half as f64 / draws as f64;
+        assert!((0.2..=0.8).contains(&frac), "scrambled mass too lopsided: {frac}");
+    }
+
+    #[test]
+    fn fnv_reference_value() {
+        // FNV-1a of 8 zero bytes.
+        assert_eq!(fnv1a_64(0), {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for _ in 0..8 {
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        });
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for workload generation: distribution bounds,
+//! determinism, and spec conformance under arbitrary parameters.
+
+use proptest::prelude::*;
+use shield_workload::rng::SplitMix64;
+use shield_workload::zipf::Zipfian;
+use shield_workload::{make_key, make_value, Generator, Op, Spec, APPEND_SPECS, TABLE2};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Every generated key id is within the key space, for every spec.
+    #[test]
+    fn key_ids_in_range(spec_idx in 0usize..12, num_keys in 1u64..10_000, seed in any::<u64>()) {
+        let specs: Vec<Spec> = TABLE2.iter().chain(APPEND_SPECS.iter()).copied().collect();
+        let spec = specs[spec_idx % specs.len()];
+        let mut g = Generator::new(spec, num_keys, seed);
+        for _ in 0..200 {
+            let op = g.next_op();
+            prop_assert!(op.key_id() < num_keys, "{:?} out of range {num_keys}", op);
+        }
+    }
+
+    /// Two generators with equal parameters emit identical streams;
+    /// different seeds diverge (with overwhelming probability).
+    #[test]
+    fn generator_determinism(num_keys in 2u64..1000, seed in any::<u64>()) {
+        let spec = Spec::by_name("RD50_Z").unwrap();
+        let mut a = Generator::new(spec, num_keys, seed);
+        let mut b = Generator::new(spec, num_keys, seed);
+        let stream_a: Vec<Op> = (0..100).map(|_| a.next_op()).collect();
+        let stream_b: Vec<Op> = (0..100).map(|_| b.next_op()).collect();
+        prop_assert_eq!(&stream_a, &stream_b);
+
+        let mut c = Generator::new(spec, num_keys, seed.wrapping_add(1));
+        let stream_c: Vec<Op> = (0..100).map(|_| c.next_op()).collect();
+        prop_assert_ne!(stream_a, stream_c);
+    }
+
+    /// The op mix respects the spec's read percentage (binomial bound).
+    #[test]
+    fn read_fraction_within_bounds(spec_idx in 0usize..8, seed in any::<u64>()) {
+        let spec = TABLE2[spec_idx];
+        let mut g = Generator::new(spec, 1000, seed);
+        let n = 4000;
+        let reads = (0..n).filter(|_| !g.next_op().is_write()).count() as f64;
+        let expect = spec.read_pct as f64 / 100.0;
+        // 4000 draws: 4-sigma band is about +-0.032.
+        prop_assert!((reads / n as f64 - expect).abs() < 0.05,
+            "{}: got {}", spec.name, reads / n as f64);
+    }
+
+    /// Zipfian ranks are always in range and rank 0 dominates rank n/2.
+    #[test]
+    fn zipf_bounds(n in 2u64..50_000, theta_milli in 100u64..990, seed in any::<u64>()) {
+        let theta = theta_milli as f64 / 1000.0;
+        let mut z = Zipfian::new(n, theta);
+        let mut rng = SplitMix64::new(seed);
+        let mut zero = 0u64;
+        let mut mid = 0u64;
+        for _ in 0..2000 {
+            let r = z.next(&mut rng);
+            prop_assert!(r < n);
+            if r == 0 { zero += 1; }
+            if r == n / 2 { mid += 1; }
+        }
+        // At low theta the two ranks are nearly equiprobable; allow
+        // sampling noise (4-sigma-ish for 2000 draws of rare events).
+        prop_assert!(
+            zero + 12 >= mid,
+            "rank 0 ({zero}) must not be clearly rarer than rank n/2 ({mid})"
+        );
+    }
+
+    /// Keys render at the exact requested length and are injective over
+    /// ids that fit in the digit budget.
+    #[test]
+    fn keys_exact_and_injective(len in 4usize..40, a in 0u64..100_000, b in 0u64..100_000) {
+        let ka = make_key(a, len);
+        let kb = make_key(b, len);
+        prop_assert_eq!(ka.len(), len);
+        prop_assert_eq!(kb.len(), len);
+        // 100,000 ids need 6 digits; any len >= 7 leaves room.
+        if len >= 7 && a != b {
+            prop_assert_ne!(ka, kb);
+        }
+    }
+
+    /// Values are deterministic in (id, round, len) and differ across
+    /// rounds for non-trivial lengths.
+    #[test]
+    fn values_deterministic(id in any::<u64>(), round in any::<u64>(), len in 1usize..300) {
+        prop_assert_eq!(make_value(id, round, len), make_value(id, round, len));
+        prop_assert_eq!(make_value(id, round, len).len(), len);
+        if len >= 8 {
+            prop_assert_ne!(make_value(id, round, len), make_value(id, round.wrapping_add(1), len));
+        }
+    }
+
+    /// SplitMix64's bounded draw respects its bound and covers residues.
+    #[test]
+    fn rng_bounded(seed in any::<u64>(), bound in 1u64..1000) {
+        let mut r = SplitMix64::new(seed);
+        for _ in 0..200 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! EPC explorer: watch the SGX memory model do what the paper's
+//! Figures 2 and 3 measure — and why ShieldStore avoids it.
+//!
+//! Places the same data set (a) inside the enclave and (b) in ShieldStore
+//! with the table outside, then compares effective per-op cost and fault
+//! counts as the working set grows past the EPC budget.
+//!
+//! ```text
+//! cargo run --release --example epc_explorer
+//! ```
+
+use shield_baseline::{KvBackend, NaiveEnclaveStore};
+use shieldstore::{Config, ShieldStore};
+use sgx_sim::enclave::EnclaveBuilder;
+use sgx_sim::vclock;
+use std::sync::Arc;
+use std::time::Instant;
+
+const EPC: usize = 2 << 20; // a deliberately small 2 MiB EPC
+const VAL: usize = 256;
+
+fn measure(label: &str, f: impl FnOnce() -> u64) {
+    vclock::reset();
+    let start = Instant::now();
+    let ops = f();
+    let wall = start.elapsed();
+    let penalty = std::time::Duration::from_nanos(vclock::take());
+    let effective = wall + penalty;
+    println!(
+        "  {label:<28} {:>8.2} us/op  (wall {:>6.2} us + modeled {:>7.2} us)",
+        effective.as_secs_f64() * 1e6 / ops as f64,
+        wall.as_secs_f64() * 1e6 / ops as f64,
+        penalty.as_secs_f64() * 1e6 / ops as f64,
+    );
+}
+
+fn main() {
+    println!("EPC budget: {} KiB; values: {VAL} B\n", EPC >> 10);
+    for &num_keys in &[1_000u64, 4_000, 16_000, 64_000] {
+        let data_kib = num_keys as usize * (VAL + 32) >> 10;
+        println!(
+            "== {num_keys} keys (~{data_kib} KiB of data, {:.1}x the EPC) ==",
+            data_kib as f64 / (EPC >> 10) as f64
+        );
+
+        // (a) Naive: everything in enclave memory.
+        let naive = NaiveEnclaveStore::new((num_keys as usize).next_power_of_two(), EPC);
+        for i in 0..num_keys {
+            naive.set(format!("key-{i:010}").as_bytes(), &[7u8; VAL]);
+        }
+        naive.reset_timing();
+        let n = num_keys;
+        measure("naive (table in enclave)", || {
+            let mut x = 1234567u64;
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let i = (x >> 33) % n;
+                naive.get(format!("key-{i:010}").as_bytes());
+            }
+            n
+        });
+        let faults_naive = naive.enclave().stats().snapshot().epc_faults;
+
+        // (b) ShieldStore: table outside, crypto inside.
+        let enclave = EnclaveBuilder::new("explorer").epc_bytes(EPC).build();
+        let shield = ShieldStore::new(
+            Arc::clone(&enclave),
+            Config::shield_opt()
+                .buckets((num_keys as usize).next_power_of_two())
+                .mac_hashes(((num_keys as usize) / 4).next_power_of_two().min(EPC / 64)),
+        )
+        .expect("store");
+        for i in 0..num_keys {
+            shield.set(format!("key-{i:010}").as_bytes(), &[7u8; VAL]).unwrap();
+        }
+        enclave.reset_timing();
+        measure("shieldstore (table outside)", || {
+            let mut x = 1234567u64;
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let i = (x >> 33) % n;
+                shield.get(format!("key-{i:010}").as_bytes()).unwrap();
+            }
+            n
+        });
+        let faults_shield = enclave.stats().snapshot().epc_faults;
+
+        println!("  EPC faults: naive={faults_naive}  shieldstore={faults_shield}\n");
+    }
+    println!("the paper in one picture: the naive store's cost explodes once the data");
+    println!("outgrows the EPC; ShieldStore's stays flat because only MAC hashes live");
+    println!("inside, and it pays (real, measured) crypto per operation instead.");
+}

@@ -1,0 +1,2 @@
+//! Umbrella package for the ShieldStore reproduction: hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).

@@ -1,0 +1,220 @@
+//! Adversarial integration tests: the threat model of paper §3.3 exercised
+//! across crates. The attacker controls everything outside the enclave —
+//! untrusted memory, the network, and persistent storage.
+
+use shield_net::client::KvClient;
+use shield_net::protocol::{self, OpCode, Request};
+use shield_net::server::{CrossingMode, Server, ServerConfig};
+use shield_net::session;
+use shieldstore::{Config, Error, ShieldStore};
+use sgx_sim::attest::{self, AttestationVerifier};
+use sgx_sim::counter::PersistentCounter;
+use sgx_sim::enclave::EnclaveBuilder;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// A man in the middle who flips bits in transit: run a real attested
+/// handshake, then tamper at the TCP level.
+#[test]
+fn real_handshake_then_mitm_flip() {
+    let enclave = EnclaveBuilder::new("adv-mitm").epc_bytes(4 << 20).build();
+    let store = Arc::new(
+        ShieldStore::new(
+            Arc::clone(&enclave),
+            Config::shield_opt().buckets(64).mac_hashes(16),
+        )
+        .unwrap(),
+    );
+    let server = Server::start(
+        store,
+        Some(Arc::clone(&enclave)),
+        ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+    )
+    .unwrap();
+    let verifier = AttestationVerifier::for_enclave(&enclave);
+
+    // Handshake normally, then send a corrupted sealed frame by hand.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut crypto = session::client_handshake(
+        &mut stream,
+        &verifier,
+        77,
+    )
+    .unwrap();
+    let mut sealed = crypto.seal(
+        &Request { op: OpCode::Set, key: b"key".to_vec(), value: b"value".to_vec() }.encode(),
+    );
+    let n = sealed.len();
+    sealed[n / 2] ^= 1;
+    protocol::write_frame(&mut stream, &sealed).unwrap();
+    // The server answers with a generic error (it could not even parse
+    // the request, let alone execute it).
+    let reply = protocol::read_frame(&mut stream).unwrap().unwrap();
+    let opened = crypto.open(&reply).unwrap();
+    let response = shield_net::protocol::Response::decode(&opened).unwrap();
+    assert_eq!(response.status, shield_net::protocol::Status::Error);
+    drop(stream);
+    server.shutdown();
+}
+
+/// A forged quote (self-made "enclave") cannot pass a pinned verifier.
+#[test]
+fn forged_quote_rejected() {
+    let genuine = EnclaveBuilder::new("adv-genuine").epc_bytes(1 << 20).build();
+    let verifier = AttestationVerifier::for_enclave(&genuine)
+        .expect_measurement(*genuine.measurement());
+
+    // Forge: correct measurement, fabricated MAC.
+    let quote = attest::Quote {
+        measurement: *genuine.measurement(),
+        report_data: [0u8; 64],
+        mac: [0xAB; 16],
+    };
+    assert!(verifier.verify(&quote).is_err());
+
+    // Forge: stolen report data grafted onto another measurement.
+    let other = EnclaveBuilder::new("adv-other").epc_bytes(1 << 20).build();
+    let mut rd = [0u8; 64];
+    rd[..4].copy_from_slice(b"evil");
+    let stolen = attest::generate_quote(&other, &rd);
+    assert!(verifier.verify(&stolen).is_err(), "wrong measurement must fail pinning");
+}
+
+/// An attacker replaying yesterday's snapshot is caught by the monotonic
+/// counter even when the file itself is perfectly valid.
+#[test]
+fn snapshot_replay_rejected() {
+    let dir = std::env::temp_dir().join(format!("ss-adv-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ctr_path = dir.join("ctr");
+    let _ = std::fs::remove_file(&ctr_path);
+    let counter = PersistentCounter::open(&ctr_path).unwrap();
+    let cfg = || Config::shield_opt().buckets(64).mac_hashes(16);
+
+    let old = dir.join("old.db");
+    let new = dir.join("new.db");
+    {
+        let enclave = EnclaveBuilder::new("adv-replay").epc_bytes(4 << 20).seed(1).build();
+        let s = ShieldStore::new(enclave, cfg()).unwrap();
+        s.set(b"balance", b"1000").unwrap();
+        s.snapshot_blocking(&old, &counter).unwrap();
+        s.set(b"balance", b"0").unwrap(); // the user spent it all
+        s.snapshot_blocking(&new, &counter).unwrap();
+    }
+
+    // Replaying the richer old state fails.
+    let enclave = EnclaveBuilder::new("adv-replay").epc_bytes(4 << 20).seed(1).build();
+    assert!(matches!(
+        ShieldStore::restore(enclave, cfg(), &old, &counter),
+        Err(Error::Rollback)
+    ));
+    // The genuine latest restores fine.
+    let enclave = EnclaveBuilder::new("adv-replay").epc_bytes(4 << 20).seed(1).build();
+    let s = ShieldStore::restore(enclave, cfg(), &new, &counter).unwrap();
+    assert_eq!(s.get(b"balance").unwrap(), b"0");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Swapping entries between two snapshots (same enclave identity, both
+/// individually valid) is caught by the sealed per-snapshot MAC hashes.
+#[test]
+fn snapshot_entry_splice_rejected() {
+    let dir = std::env::temp_dir().join(format!("ss-adv-splice-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ctr_path = dir.join("ctr");
+    let _ = std::fs::remove_file(&ctr_path);
+    let counter = PersistentCounter::open(&ctr_path).unwrap();
+    let cfg = || Config::shield_opt().buckets(16).mac_hashes(4);
+
+    let a = dir.join("a.db");
+    let b = dir.join("b.db");
+    {
+        let enclave = EnclaveBuilder::new("adv-splice").epc_bytes(4 << 20).seed(9).build();
+        let s = ShieldStore::new(enclave, cfg()).unwrap();
+        s.set(b"k1", b"AAAA").unwrap();
+        s.snapshot_blocking(&a, &counter).unwrap();
+        s.set(b"k1", b"BBBB").unwrap();
+        s.snapshot_blocking(&b, &counter).unwrap();
+    }
+
+    // Graft the tail (entry section) of snapshot A onto the header +
+    // sealed metadata of snapshot B. Both files have identical layout
+    // here (same store shape, single entry), so cut at the same offset:
+    // after MAGIC(8) + counter(8) + shards(4) + sealed_len(4) + sealed.
+    let bytes_a = std::fs::read(&a).unwrap();
+    let bytes_b = std::fs::read(&b).unwrap();
+    let sealed_len =
+        u32::from_le_bytes(bytes_b[20..24].try_into().unwrap()) as usize;
+    let cut = 24 + sealed_len;
+    let mut franken = bytes_b[..cut].to_vec();
+    franken.extend_from_slice(&bytes_a[cut..]);
+    let f = dir.join("franken.db");
+    std::fs::write(&f, &franken).unwrap();
+
+    let enclave = EnclaveBuilder::new("adv-splice").epc_bytes(4 << 20).seed(9).build();
+    let result = ShieldStore::restore(enclave, cfg(), &f, &counter);
+    assert!(
+        matches!(result, Err(Error::IntegrityViolation { .. }) | Err(Error::Persistence(_))),
+        "spliced snapshot must be rejected, got {result:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Insecure client speaking to a secure server (and vice versa) fails
+/// cleanly rather than hanging or succeeding.
+#[test]
+fn protocol_mode_mismatch_fails_cleanly() {
+    let enclave = EnclaveBuilder::new("adv-mode").epc_bytes(4 << 20).build();
+    let store = Arc::new(
+        ShieldStore::new(
+            Arc::clone(&enclave),
+            Config::shield_opt().buckets(64).mac_hashes(16),
+        )
+        .unwrap(),
+    );
+    let server = Server::start(
+        store,
+        Some(Arc::clone(&enclave)),
+        ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+    )
+    .unwrap();
+
+    // A client that skips the handshake and fires a plaintext request.
+    let mut client = KvClient::connect_insecure(server.addr()).unwrap();
+    assert!(client.set(b"k", b"v").is_err());
+    server.shutdown();
+}
+
+/// Garbage bytes on the wire must not crash the server.
+#[test]
+fn garbage_frames_survive() {
+    let enclave = EnclaveBuilder::new("adv-garbage").epc_bytes(4 << 20).build();
+    let store = Arc::new(
+        ShieldStore::new(
+            Arc::clone(&enclave),
+            Config::shield_opt().buckets(64).mac_hashes(16),
+        )
+        .unwrap(),
+    );
+    let server = Server::start(
+        store,
+        Some(Arc::clone(&enclave)),
+        ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+    )
+    .unwrap();
+
+    // Raw garbage straight at the socket.
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(&[0xde, 0xad, 0xbe, 0xef, 0xff, 0xff]).unwrap();
+    let mut sink = Vec::new();
+    let _ = raw.read_to_end(&mut sink); // server closes; must not panic
+    drop(raw);
+
+    // The server still works afterwards.
+    let verifier = AttestationVerifier::for_enclave(&enclave);
+    let mut client = KvClient::connect_secure(server.addr(), &verifier, 6).unwrap();
+    client.set(b"still", b"alive").unwrap();
+    assert_eq!(client.get(b"still").unwrap().unwrap(), b"alive");
+    drop(client);
+    server.shutdown();
+}

@@ -1,0 +1,237 @@
+//! Cross-crate integration tests: the full stack from workload generation
+//! through the store, the network layer, and persistence.
+
+use shield_baseline::KvBackend;
+use shield_net::client::KvClient;
+use shield_net::server::{CrossingMode, Server, ServerConfig};
+use shield_workload::{make_key, make_value, Generator, Op, Spec};
+use shieldstore::{Config, ShieldStore};
+use sgx_sim::attest::AttestationVerifier;
+use sgx_sim::counter::PersistentCounter;
+use sgx_sim::enclave::EnclaveBuilder;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn store(buckets: usize, shards: usize, seed: u64) -> Arc<ShieldStore> {
+    let enclave = EnclaveBuilder::new("e2e").epc_bytes(8 << 20).seed(seed).build();
+    Arc::new(
+        ShieldStore::new(
+            enclave,
+            Config::shield_opt().buckets(buckets).mac_hashes(buckets / 4).with_shards(shards),
+        )
+        .unwrap(),
+    )
+}
+
+/// The store must agree with a plain HashMap across a long, mixed,
+/// workload-generated operation sequence.
+#[test]
+fn store_matches_reference_model_under_workload() {
+    let store = store(512, 2, 1);
+    let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    let mut generator = Generator::new(Spec::by_name("RD50_Z").unwrap(), 500, 7);
+
+    for step in 0..5_000u64 {
+        let op = generator.next_op();
+        let id = op.key_id();
+        let key = make_key(id, 16);
+        match op {
+            Op::Get(_) => {
+                let expect = model.get(&key);
+                match store.get(&key) {
+                    Ok(v) => assert_eq!(Some(&v), expect, "step {step}"),
+                    Err(shieldstore::Error::KeyNotFound) => {
+                        assert!(expect.is_none(), "step {step}")
+                    }
+                    Err(e) => panic!("unexpected error at step {step}: {e}"),
+                }
+            }
+            _ => {
+                let value = make_value(id, step, 64);
+                store.set(&key, &value).unwrap();
+                model.insert(key, value);
+            }
+        }
+        // Interleave deletes to exercise unlink paths.
+        if step % 37 == 0 {
+            let victim = make_key(generator.next_key(), 16);
+            let in_model = model.remove(&victim).is_some();
+            let in_store = store.delete(&victim).is_ok();
+            assert_eq!(in_model, in_store, "delete divergence at step {step}");
+        }
+    }
+    assert_eq!(store.len(), model.len());
+}
+
+/// Snapshot mid-workload, keep mutating, restore, and verify the
+/// snapshot reflects exactly the freeze point.
+#[test]
+fn snapshot_captures_consistent_point_in_time() {
+    let dir = std::env::temp_dir().join(format!("ss-e2e-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("consistent.db");
+    let ctr_path = dir.join("ctr");
+    let _ = std::fs::remove_file(&ctr_path);
+    let counter = PersistentCounter::open(&ctr_path).unwrap();
+
+    let s = store(256, 2, 11);
+    let mut frozen_state: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    for i in 0..400u64 {
+        let key = make_key(i, 16);
+        let value = make_value(i, 0, 32);
+        s.set(&key, &value).unwrap();
+        frozen_state.insert(key, value);
+    }
+
+    let job = s.snapshot_background(&snap, &counter).unwrap();
+    // Mutations after the freeze must not appear in the snapshot.
+    for i in 0..200u64 {
+        s.set(&make_key(i, 16), b"post-freeze").unwrap();
+    }
+    for i in 400..450u64 {
+        s.set(&make_key(i, 16), b"new-post-freeze").unwrap();
+    }
+    job.finish().unwrap();
+
+    let enclave = EnclaveBuilder::new("e2e").epc_bytes(8 << 20).seed(11).build();
+    let restored = ShieldStore::restore(
+        enclave,
+        Config::shield_opt().buckets(256).mac_hashes(64).with_shards(2),
+        &snap,
+        &counter,
+    )
+    .unwrap();
+    assert_eq!(restored.len(), frozen_state.len());
+    for (key, value) in &frozen_state {
+        assert_eq!(&restored.get(key).unwrap(), value);
+    }
+    assert_eq!(restored.get(b"new-post-freeze"), Err(shieldstore::Error::KeyNotFound));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Networked end-to-end: attest, run a workload through TCP, verify
+/// against the reference model.
+#[test]
+fn networked_workload_round_trip() {
+    let enclave = EnclaveBuilder::new("e2e-net").epc_bytes(8 << 20).seed(2).build();
+    let s = Arc::new(
+        ShieldStore::new(
+            Arc::clone(&enclave),
+            Config::shield_opt().buckets(256).mac_hashes(64).with_shards(2),
+        )
+        .unwrap(),
+    );
+    let server = Server::start(
+        Arc::clone(&s) as Arc<dyn KvBackend>,
+        Some(Arc::clone(&enclave)),
+        ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+    )
+    .unwrap();
+    let verifier =
+        AttestationVerifier::for_enclave(&enclave).expect_measurement(*enclave.measurement());
+
+    let mut client = KvClient::connect_secure(server.addr(), &verifier, 5).unwrap();
+    let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    let mut generator = Generator::new(Spec::by_name("RD50_U").unwrap(), 100, 3);
+    for step in 0..1_000u64 {
+        let op = generator.next_op();
+        let key = make_key(op.key_id(), 16);
+        match op {
+            Op::Get(_) => {
+                assert_eq!(client.get(&key).unwrap().as_ref(), model.get(&key), "step {step}");
+            }
+            _ => {
+                let value = make_value(op.key_id(), step, 48);
+                client.set(&key, &value).unwrap();
+                model.insert(key, value);
+            }
+        }
+    }
+    // The server-side store agrees with what the client built.
+    for (key, value) in &model {
+        assert_eq!(&ShieldStore::get(&s, key).unwrap(), value);
+    }
+    drop(client);
+    server.shutdown();
+}
+
+/// Server-side increments are atomic relative to concurrent clients.
+#[test]
+fn concurrent_clients_increment_once_each() {
+    let enclave = EnclaveBuilder::new("e2e-incr").epc_bytes(4 << 20).seed(4).build();
+    let s = Arc::new(
+        ShieldStore::new(
+            Arc::clone(&enclave),
+            Config::shield_opt().buckets(64).mac_hashes(16),
+        )
+        .unwrap(),
+    );
+    let server = Server::start(
+        s,
+        Some(Arc::clone(&enclave)),
+        ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+    )
+    .unwrap();
+    let verifier = AttestationVerifier::for_enclave(&enclave);
+
+    let addr = server.addr();
+    let mut handles = Vec::new();
+    for user in 0..8u64 {
+        let verifier = verifier.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = KvClient::connect_secure(addr, &verifier, user).unwrap();
+            for _ in 0..50 {
+                client.increment(b"shared-counter", 1).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut client = KvClient::connect_secure(addr, &verifier, 999).unwrap();
+    assert_eq!(client.increment(b"shared-counter", 0).unwrap(), 400);
+    drop(client);
+    server.shutdown();
+}
+
+/// The full lifecycle: load, snapshot, crash, restore, keep serving, all
+/// with the simulated SGX cost model active.
+#[test]
+fn full_lifecycle_load_snapshot_restore_serve() {
+    let dir = std::env::temp_dir().join(format!("ss-e2e-life-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("life.db");
+    let ctr_path = dir.join("ctr");
+    let _ = std::fs::remove_file(&ctr_path);
+    let counter = PersistentCounter::open(&ctr_path).unwrap();
+
+    {
+        let s = store(512, 4, 21);
+        for i in 0..2_000u64 {
+            s.set(&make_key(i, 16), &make_value(i, 0, 128)).unwrap();
+        }
+        s.append(&make_key(0, 16), b"-tail").unwrap();
+        s.snapshot_blocking(&snap, &counter).unwrap();
+    }
+
+    let enclave = EnclaveBuilder::new("e2e").epc_bytes(8 << 20).seed(21).build();
+    let restored = ShieldStore::restore(
+        enclave,
+        Config::shield_opt().buckets(512).mac_hashes(128).with_shards(4),
+        &snap,
+        &counter,
+    )
+    .unwrap();
+    assert_eq!(restored.len(), 2_000);
+
+    let mut expect = make_value(0, 0, 128);
+    expect.extend_from_slice(b"-tail");
+    assert_eq!(restored.get(&make_key(0, 16)).unwrap(), expect);
+
+    // The restored store keeps serving normally.
+    restored.set(b"after-restore", b"works").unwrap();
+    assert_eq!(restored.get(b"after-restore").unwrap(), b"works");
+    restored.delete(&make_key(1, 16)).unwrap();
+    assert_eq!(restored.len(), 2_000);
+    std::fs::remove_dir_all(&dir).ok();
+}
