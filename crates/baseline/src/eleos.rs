@@ -17,10 +17,10 @@
 
 use crate::KvBackend;
 use parking_lot::Mutex;
+use sgx_sim::enclave::{Enclave, EnclaveBuilder};
 use shield_crypto::cmac::Cmac;
 use shield_crypto::ctr::AesCtr;
 use shield_crypto::siphash::SipHash24;
-use sgx_sim::enclave::{Enclave, EnclaveBuilder};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -105,10 +105,8 @@ impl EleosStore {
         assert!(page_size.is_power_of_two(), "page size must be a power of two");
         let enclave = EnclaveBuilder::new("eleos").epc_bytes(epc_bytes).build();
         let spc_frames = (spc_bytes / page_size).max(4);
-        let spc_base = enclave
-            .memory()
-            .alloc(spc_frames * page_size)
-            .expect("secure page cache allocation");
+        let spc_base =
+            enclave.memory().alloc(spc_frames * page_size).expect("secure page cache allocation");
         let mut key_enc = [0u8; 16];
         let mut key_mac = [0u8; 16];
         enclave.read_rand(&mut key_enc);
@@ -219,8 +217,7 @@ impl EleosStore {
                 self.enclave.memory().write(self.frame_addr(victim), &vec![0u8; self.page_size]);
             }
         }
-        st.frames[victim] =
-            Frame { vpage, referenced: true, dirty: false, valid: true };
+        st.frames[victim] = Frame { vpage, referenced: true, dirty: false, valid: true };
         st.resident.insert(vpage, victim);
         victim
     }

@@ -60,6 +60,20 @@ pub trait KvBackend: Send + Sync {
         let next = current.checked_add(delta)?;
         self.set(key, next.to_string().as_bytes()).then_some(next)
     }
+    /// Batched read. Returns one entry per key, in input order (`None`
+    /// for a miss), or `None` as a whole when the backend failed the
+    /// batch (e.g. an integrity violation) — a wire server maps that to
+    /// an error status instead of fabricating misses. The default runs
+    /// per-key `get`s; batching backends override it to amortize
+    /// per-operation costs.
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Option<Vec<Option<Vec<u8>>>> {
+        Some(keys.iter().map(|k| self.get(k)).collect())
+    }
+    /// Batched write. Returns `false` if any item was rejected. The
+    /// default runs per-key `set`s; batching backends override it.
+    fn multi_set(&self, items: &[(Vec<u8>, Vec<u8>)]) -> bool {
+        items.iter().all(|(k, v)| self.set(k, v))
+    }
     /// Number of live entries.
     fn len(&self) -> usize;
     /// True when empty.
@@ -112,6 +126,20 @@ impl KvBackend for shieldstore::ShieldStore {
 
     fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
         shieldstore::ShieldStore::scan_prefix(self, prefix, limit).ok()
+    }
+
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Option<Vec<Option<Vec<u8>>>> {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        // Unlike single `get`, a batch failure (integrity violation) is
+        // reported to the caller instead of panicking: the wire server
+        // turns it into an error response.
+        shieldstore::ShieldStore::multi_get(self, &refs).ok()
+    }
+
+    fn multi_set(&self, items: &[(Vec<u8>, Vec<u8>)]) -> bool {
+        let refs: Vec<(&[u8], &[u8])> =
+            items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        shieldstore::ShieldStore::multi_set(self, &refs).is_ok()
     }
 
     fn len(&self) -> usize {

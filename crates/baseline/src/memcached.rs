@@ -109,14 +109,7 @@ impl MemcachedLike {
             None
         };
 
-        Self {
-            inner,
-            cfg,
-            workers: AtomicUsize::new(1),
-            stop,
-            maintainer,
-            name: name.to_string(),
-        }
+        Self { inner, cfg, workers: AtomicUsize::new(1), stop, maintainer, name: name.to_string() }
     }
 
     /// The enclave this store runs in (for stats).
@@ -212,10 +205,8 @@ mod tests {
 
     #[test]
     fn real_maintainer_thread_stops_on_drop() {
-        let enclave = EnclaveBuilder::new("mc-real")
-            .epc_bytes(0)
-            .cost_model(CostModel::NO_SGX)
-            .build();
+        let enclave =
+            EnclaveBuilder::new("mc-real").epc_bytes(0).cost_model(CostModel::NO_SGX).build();
         let cfg = MaintainerConfig { real_thread: true, ..Default::default() };
         let s = MemcachedLike::with_enclave("mc", enclave, 16, cfg);
         s.set(b"a", b"1");

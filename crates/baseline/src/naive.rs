@@ -18,9 +18,9 @@
 
 use crate::KvBackend;
 use parking_lot::Mutex;
-use shield_crypto::siphash::SipHash24;
 use sgx_sim::cost::CostModel;
 use sgx_sim::enclave::{Enclave, EnclaveBuilder};
+use shield_crypto::siphash::SipHash24;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -68,10 +68,8 @@ impl NaiveEnclaveStore {
     /// Creates the store over an existing enclave (used by
     /// [`crate::memcached::MemcachedLike`]).
     pub fn with_enclave(name: &str, enclave: Arc<Enclave>, num_buckets: usize) -> Self {
-        let buckets_addr = enclave
-            .memory()
-            .alloc(num_buckets * 8)
-            .expect("bucket array allocation");
+        let buckets_addr =
+            enclave.memory().alloc(num_buckets * 8).expect("bucket array allocation");
         // Initialize heads to NULL.
         let empty = vec![0xffu8; num_buckets * 8];
         enclave.memory().write(buckets_addr, &empty);

@@ -65,12 +65,8 @@ fn bench_vs_eleos(c: &mut Criterion) {
 
     for val_len in [16usize, 1024] {
         let keys = 2_000u64;
-        let eleos: Arc<dyn KvBackend> = Arc::new(EleosStore::new(
-            2048,
-            scale.epc_bytes / 2,
-            1024,
-            scale.epc_bytes,
-        ));
+        let eleos: Arc<dyn KvBackend> =
+            Arc::new(EleosStore::new(2048, scale.epc_bytes / 2, 1024, scale.epc_bytes));
         harness::preload(&*eleos, keys, val_len);
         group.bench_with_input(BenchmarkId::new("eleos", val_len), &val_len, |b, &v| {
             b.iter(|| harness::run_backend(&eleos, spec, keys, v, 1, 500, 1))

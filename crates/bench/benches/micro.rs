@@ -3,12 +3,12 @@
 //! operations at several value sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgx_sim::enclave::EnclaveBuilder;
 use shield_crypto::cmac::Cmac;
 use shield_crypto::ctr::AesCtr;
 use shield_crypto::sha256::Sha256;
 use shield_crypto::siphash::SipHash24;
 use shieldstore::{Config, ShieldStore};
-use sgx_sim::enclave::EnclaveBuilder;
 use std::sync::Arc;
 
 fn bench_crypto(c: &mut Criterion) {
@@ -52,14 +52,7 @@ fn bench_entry_codec(c: &mut Criterion) {
             let mut buf = vec![0u8; entry_len];
             b.iter(|| {
                 shieldstore::entry::encode_into(
-                    &mut buf,
-                    0,
-                    0x42,
-                    &[9u8; 16],
-                    &key,
-                    value,
-                    &enc,
-                    &mac,
+                    &mut buf, 0, 0x42, &[9u8; 16], &key, value, &enc, &mac,
                 )
             });
         });

@@ -35,6 +35,9 @@ impl Args {
     }
 
     /// Parses an explicit iterator (testable).
+    // Not `FromIterator`: parsing panics on malformed flags, which that
+    // trait's contract does not allow for.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
         let mut paper = false;
         let mut keys = None;
@@ -57,9 +60,7 @@ impl Args {
                 "--threads" => max_threads = grab("--threads") as usize,
                 "--seed" => seed = grab("--seed"),
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --paper | --keys N | --ops N | --threads N | --seed N"
-                    );
+                    eprintln!("flags: --paper | --keys N | --ops N | --threads N | --seed N");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other} (try --help)"),

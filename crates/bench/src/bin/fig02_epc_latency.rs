@@ -3,21 +3,21 @@
 //! Random 64-byte reads and writes across an increasing working set, in
 //! three configurations:
 //!
-//! * `NoSGX`          — plain memory, no cost model;
-//! * `SGX_Enclave`    — enclave memory through the EPC model (faults once
-//!                      the working set exceeds the EPC budget);
-//! * `SGX_Unprotected`— untrusted memory accessed from inside the enclave
-//!                      (no metering — the paper's key observation).
+//! * `NoSGX` — plain memory, no cost model;
+//! * `SGX_Enclave` — enclave memory through the EPC model (faults once
+//!   the working set exceeds the EPC budget);
+//! * `SGX_Unprotected` — untrusted memory accessed from inside the
+//!   enclave (no metering — the paper's key observation).
 //!
 //! Expected shape: `SGX_Enclave` sits a few times above `NoSGX` while the
 //! working set fits the EPC, then jumps by orders of magnitude past it;
 //! `SGX_Unprotected` tracks `NoSGX` throughout.
 
-use shield_workload::rng::SplitMix64;
-use shieldstore_bench::{report, Args};
 use sgx_sim::cost::CostModel;
 use sgx_sim::enclave::EnclaveBuilder;
 use sgx_sim::vclock;
+use shield_workload::rng::SplitMix64;
+use shieldstore_bench::{report, Args};
 use std::time::Instant;
 
 const ACCESS: usize = 64;
@@ -25,8 +25,7 @@ const ACCESS: usize = 64;
 /// Measures average effective ns/op for random accesses over `wss` bytes
 /// of enclave memory built with `cost`/`epc_bytes`.
 fn enclave_latency(wss: usize, epc_bytes: usize, cost: CostModel, write: bool, ops: u64) -> f64 {
-    let enclave =
-        EnclaveBuilder::new("fig2").epc_bytes(epc_bytes).cost_model(cost).build();
+    let enclave = EnclaveBuilder::new("fig2").epc_bytes(epc_bytes).cost_model(cost).build();
     let region = enclave.memory().alloc(wss).expect("region");
     // Touch every page once so the resident set starts warm.
     let zero = [0u8; ACCESS];
@@ -36,7 +35,7 @@ fn enclave_latency(wss: usize, epc_bytes: usize, cost: CostModel, write: bool, o
     }
 
     vclock::reset();
-    let mut rng = SplitMix64::new(0xf16_2);
+    let mut rng = SplitMix64::new(0xf162);
     let mut buf = [0u8; ACCESS];
     let start = Instant::now();
     for _ in 0..ops {
@@ -61,7 +60,7 @@ fn unprotected_latency(wss: usize, write: bool, ops: u64) -> f64 {
     // buffer and real accesses only.
     let mut region = vec![0u8; wss];
     let pages = wss / 4096;
-    let mut rng = SplitMix64::new(0xf16_2);
+    let mut rng = SplitMix64::new(0xf162);
     let mut sink = 0u8;
     let start = Instant::now();
     for _ in 0..ops {

@@ -29,13 +29,8 @@ fn main() {
     let sizes: Vec<u64> = [1u64, 2, 4, 6, 8, 16, 32, 64].iter().map(|f| epc * f / 8).collect();
     let ops = scale.ops.min(60_000);
 
-    let mut table = report::Table::new(&[
-        "DB size(MB)",
-        "keys",
-        "NoSGX(Kop/s)",
-        "Baseline(Kop/s)",
-        "slowdown",
-    ]);
+    let mut table =
+        report::Table::new(&["DB size(MB)", "keys", "NoSGX(Kop/s)", "Baseline(Kop/s)", "slowdown"]);
 
     for &db_bytes in &sizes {
         let num_keys = (db_bytes / ENTRY).max(100);

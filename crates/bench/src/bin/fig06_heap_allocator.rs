@@ -13,17 +13,11 @@ use shield_workload::Spec;
 use shieldstore::{AllocMode, Config};
 use shieldstore_bench::{harness, report, Args};
 
-fn run(
-    alloc: AllocMode,
-    args: &Args,
-) -> (u64, f64) {
+fn run(alloc: AllocMode, args: &Args) -> (u64, f64) {
     let scale = args.scale;
-    let config = Config {
-        alloc,
-        ..Config::shield_opt()
-    }
-    .buckets(scale.num_buckets)
-    .mac_hashes(scale.num_mac_hashes);
+    let config = Config { alloc, ..Config::shield_opt() }
+        .buckets(scale.num_buckets)
+        .mac_hashes(scale.num_mac_hashes);
     let store = harness::build_shieldstore(config, scale.epc_bytes, args.seed);
     // Start from an empty table: the 50% set operations of RD50_Z insert
     // fresh keys as the zipfian touches them, exercising the allocator

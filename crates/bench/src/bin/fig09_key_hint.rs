@@ -7,19 +7,15 @@
 //! when chains are long.
 
 use shield_workload::Spec;
+use shield_workload::{make_key, make_value};
 use shieldstore::Config;
 use shieldstore_bench::{harness, report, Args};
-use shield_workload::{make_key, make_value};
 
 fn decryptions(buckets: usize, key_hint: bool, args: &Args) -> (u64, f64) {
     let scale = args.scale;
-    let config = Config {
-        key_hint,
-        two_step_search: key_hint,
-        ..Config::shield_opt()
-    }
-    .buckets(buckets)
-    .mac_hashes(buckets.min(scale.num_mac_hashes));
+    let config = Config { key_hint, two_step_search: key_hint, ..Config::shield_opt() }
+        .buckets(buckets)
+        .mac_hashes(buckets.min(scale.num_mac_hashes));
     let store = harness::build_shieldstore(config, scale.epc_bytes, args.seed);
     for id in 0..scale.num_keys {
         store.set(&make_key(id, 16), &make_value(id, 0, 16)).unwrap();
@@ -49,15 +45,9 @@ fn main() {
     let long_chain_buckets = (scale.num_keys / 10).next_power_of_two() as usize;
     let short_chain_buckets = (scale.num_keys * 4 / 5).next_power_of_two() as usize;
 
-    let mut table = report::Table::new(&[
-        "buckets",
-        "avg chain",
-        "hint",
-        "decryptions",
-        "decrypts/op",
-    ]);
-    for (label, buckets) in
-        [("1M-scaled", long_chain_buckets), ("8M-scaled", short_chain_buckets)]
+    let mut table =
+        report::Table::new(&["buckets", "avg chain", "hint", "decryptions", "decrypts/op"]);
+    for (label, buckets) in [("1M-scaled", long_chain_buckets), ("8M-scaled", short_chain_buckets)]
     {
         let chain = scale.num_keys as f64 / buckets as f64;
         for hint in [false, true] {

@@ -33,12 +33,7 @@ fn main() {
     let ops_per_workload = (scale.ops / 4).max(2_000);
 
     for threads in [1usize, 4] {
-        let mut table = report::Table::new(&[
-            "store",
-            "size",
-            "Kop/s",
-            "normalized",
-        ]);
+        let mut table = report::Table::new(&["store", "size", "Kop/s", "normalized"]);
         for (size_name, val_len) in sizes {
             let mut results: Vec<(StoreKind, f64)> = Vec::new();
             for kind in StoreKind::ALL {

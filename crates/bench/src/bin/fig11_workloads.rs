@@ -41,8 +41,7 @@ fn main() {
         let mut baseline = 0.0;
         let mut shieldopt = 0.0;
         for (kind, store) in &stores {
-            let kops =
-                store.run(spec, scale.num_keys, VAL_LEN, threads, ops, args.seed).kops();
+            let kops = store.run(spec, scale.num_keys, VAL_LEN, threads, ops, args.seed).kops();
             if *kind == StoreKind::Baseline {
                 baseline = kops;
             }

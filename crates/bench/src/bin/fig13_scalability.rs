@@ -37,8 +37,7 @@ fn main() {
             let mut first = 0.0;
             let mut last = 0.0;
             for &threads in &thread_counts {
-                let kops =
-                    store.run(spec, scale.num_keys, VAL_LEN, threads, ops, args.seed).kops();
+                let kops = store.run(spec, scale.num_keys, VAL_LEN, threads, ops, args.seed).kops();
                 if threads == 1 {
                     first = kops;
                 }

@@ -7,9 +7,9 @@
 //! length 1.25 and progressively more as chains grow.
 
 use shield_workload::Spec;
+use shield_workload::{make_key, make_value};
 use shieldstore::{AllocMode, Config};
 use shieldstore_bench::{harness, report, Args};
-use shield_workload::{make_key, make_value};
 
 struct Variant {
     name: &'static str,
@@ -93,10 +93,7 @@ fn main() {
             }
             table.row(&cells);
         }
-        println!(
-            "[{label}: avg chain {:.2}]",
-            keys as f64 / buckets as f64
-        );
+        println!("[{label}: avg chain {:.2}]", keys as f64 / buckets as f64);
         table.print();
         println!();
     }

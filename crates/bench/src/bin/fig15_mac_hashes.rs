@@ -13,9 +13,9 @@
 //! EPC), and hash counts are 1/8, 1/4, 1/2 and 1x the bucket count.
 
 use shield_workload::Spec;
+use shield_workload::{make_key, make_value, DataSize};
 use shieldstore::Config;
 use shieldstore_bench::{harness, report, Args};
-use shield_workload::{make_key, make_value, DataSize};
 
 fn main() {
     let args = Args::parse();
@@ -38,17 +38,13 @@ fn main() {
     let spec = Spec::by_name("RD95_Z").expect("workload");
     let mut table = report::Table::new(&["MAC hashes", "array", "Small", "Medium", "Large"]);
     for (label, num_hashes) in points {
-        let mut cells = vec![
-            format!("{label} n={num_hashes}"),
-            format!("{}KB", num_hashes * 16 >> 10),
-        ];
+        let mut cells =
+            vec![format!("{label} n={num_hashes}"), format!("{}KB", (num_hashes * 16) >> 10)];
         for size in [DataSize::SMALL, DataSize::MEDIUM, DataSize::LARGE] {
             let config = Config::shield_opt().buckets(buckets).mac_hashes(num_hashes);
             let store = harness::build_shieldstore(config, epc, args.seed);
             for id in 0..num_keys {
-                store
-                    .set(&make_key(id, 16), &make_value(id, 0, size.val_len))
-                    .expect("preload");
+                store.set(&make_key(id, 16), &make_value(id, 0, size.val_len)).expect("preload");
             }
             let r = harness::run_shieldstore_partitioned(
                 &store,

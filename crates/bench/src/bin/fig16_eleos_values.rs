@@ -10,9 +10,9 @@
 
 use shield_baseline::{EleosStore, KvBackend};
 use shield_workload::Spec;
+use shield_workload::{make_key, make_value};
 use shieldstore::Config;
 use shieldstore_bench::{harness, report, Args};
-use shield_workload::{make_key, make_value};
 use std::sync::Arc;
 
 fn main() {
@@ -36,7 +36,8 @@ fn main() {
         let eleos: Arc<dyn KvBackend> =
             Arc::new(EleosStore::new(buckets, spc_bytes, 4096, scale.epc_bytes));
         harness::preload(&*eleos, num_keys, val_len);
-        let r_eleos = harness::run_backend(&eleos, spec, num_keys, val_len, 1, scale.ops, args.seed);
+        let r_eleos =
+            harness::run_backend(&eleos, spec, num_keys, val_len, 1, scale.ops, args.seed);
 
         let shield = harness::build_shieldstore(
             Config::shield_opt().buckets(buckets).mac_hashes(buckets.min(scale.num_mac_hashes)),

@@ -8,9 +8,9 @@
 
 use shield_baseline::{EleosStore, KvBackend};
 use shield_workload::Spec;
+use shield_workload::{make_key, make_value};
 use shieldstore::Config;
 use shieldstore_bench::{harness, report, Args};
-use shield_workload::{make_key, make_value};
 use std::sync::Arc;
 
 const VAL_LEN: usize = 4096;
@@ -23,23 +23,15 @@ fn main() {
     // The paper sweeps 32 MB..8 GB over a 90 MB EPC with a 2 GB Eleos
     // pool; reproduce the same WSS/EPC and pool/EPC ratios.
     let epc = scale.epc_bytes as u64;
-    let sizes: Vec<u64> = [32u64, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
-        .iter()
-        .map(|mb| mb * epc / 90)
-        .collect();
+    let sizes: Vec<u64> =
+        [32u64, 64, 128, 256, 512, 1024, 2048, 4096, 8192].iter().map(|mb| mb * epc / 90).collect();
     let pool_limit = 2048 * epc / 90;
     let spc_bytes = (epc * 3 / 4) as usize;
     let cache_bytes = (epc / 2) as usize;
     let spec = Spec::by_name("RD100_Z").expect("workload");
     let ops = (scale.ops / 2).max(4_000);
 
-    let mut table = report::Table::new(&[
-        "WSS",
-        "keys",
-        "Eleos",
-        "ShieldOpt",
-        "ShieldOpt+cache",
-    ]);
+    let mut table = report::Table::new(&["WSS", "keys", "Eleos", "ShieldOpt", "ShieldOpt+cache"]);
 
     for &wss in &sizes {
         let num_keys = (wss / (VAL_LEN as u64 + 64)).max(16);

@@ -14,13 +14,13 @@
 //! reproducible part, and the store-side SGX penalties are virtual-time
 //! accounted as everywhere else.
 
-use shield_baseline::{KvBackend, MemcachedLike, NaiveEnclaveStore};
-use shield_net::server::{CrossingMode, Server, ServerConfig};
-use shield_net::client::{run_load, LoadConfig};
-use shieldstore::Config;
-use shieldstore_bench::{harness, report, Args};
 use sgx_sim::attest::AttestationVerifier;
 use sgx_sim::enclave::Enclave;
+use shield_baseline::{KvBackend, MemcachedLike, NaiveEnclaveStore};
+use shield_net::client::{run_load, LoadConfig};
+use shield_net::server::{CrossingMode, Server, ServerConfig};
+use shieldstore::Config;
+use shieldstore_bench::{harness, report, Args};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -58,7 +58,10 @@ fn build_store(
         }
         "ShieldOpt" | "ShieldOpt+HotCalls" => {
             let s = harness::build_shieldstore(
-                Config::shield_opt().buckets(buckets).mac_hashes(scale.num_mac_hashes).with_shards(4),
+                Config::shield_opt()
+                    .buckets(buckets)
+                    .mac_hashes(scale.num_mac_hashes)
+                    .with_shards(4),
                 scale.epc_bytes,
                 seed,
             );
@@ -116,11 +119,7 @@ fn main() {
                         },
                     )
                     .expect("load run");
-                    let penalty = server
-                        .worker_penalties_ns()
-                        .into_iter()
-                        .max()
-                        .unwrap_or(0);
+                    let penalty = server.worker_penalties_ns().into_iter().max().unwrap_or(0);
                     total_kops += report.kops(Duration::from_nanos(penalty));
                 }
                 server.shutdown();

@@ -14,10 +14,10 @@
 //! large set and 2.1-6.5% for the optimized design; with 100% reads the
 //! optimized version is nearly free.
 
+use sgx_sim::counter::PersistentCounter;
 use shield_workload::{make_key, make_value, Generator, Op, Spec};
 use shieldstore::Config;
 use shieldstore_bench::{harness, report, Args};
-use sgx_sim::counter::PersistentCounter;
 use std::time::Instant;
 
 #[derive(Clone, Copy, PartialEq)]

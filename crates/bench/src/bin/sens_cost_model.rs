@@ -9,12 +9,12 @@
 //! *conclusion* is robust iff the ratio stays well above 1 everywhere;
 //! only its magnitude moves with the calibration.
 
+use sgx_sim::cost::CostModel;
+use sgx_sim::enclave::EnclaveBuilder;
 use shield_baseline::{KvBackend, NaiveEnclaveStore};
 use shield_workload::Spec;
 use shieldstore::{Config, ShieldStore};
 use shieldstore_bench::{harness, report, Args};
-use sgx_sim::cost::CostModel;
-use sgx_sim::enclave::EnclaveBuilder;
 use std::sync::Arc;
 
 fn ratio_with(cost: CostModel, args: &Args) -> (f64, f64, f64) {
@@ -26,11 +26,8 @@ fn ratio_with(cost: CostModel, args: &Args) -> (f64, f64, f64) {
     // Baseline with the swept cost model.
     let baseline_enclave =
         EnclaveBuilder::new("sens-baseline").epc_bytes(scale.epc_bytes).cost_model(cost).build();
-    let baseline: Arc<dyn KvBackend> = Arc::new(NaiveEnclaveStore::with_enclave(
-        "Baseline",
-        baseline_enclave,
-        scale.num_buckets,
-    ));
+    let baseline: Arc<dyn KvBackend> =
+        Arc::new(NaiveEnclaveStore::with_enclave("Baseline", baseline_enclave, scale.num_buckets));
     harness::preload(&*baseline, scale.num_keys, VAL_LEN);
     let base_kops =
         harness::run_backend(&baseline, spec, scale.num_keys, VAL_LEN, 1, ops, args.seed).kops();
@@ -51,7 +48,13 @@ fn ratio_with(cost: CostModel, args: &Args) -> (f64, f64, f64) {
             .expect("preload");
     }
     let shield_kops = harness::run_shieldstore_partitioned(
-        &shield, spec, scale.num_keys, VAL_LEN, 1, ops, args.seed,
+        &shield,
+        spec,
+        scale.num_keys,
+        VAL_LEN,
+        1,
+        ops,
+        args.seed,
     )
     .kops();
 
@@ -60,24 +63,14 @@ fn ratio_with(cost: CostModel, args: &Args) -> (f64, f64, f64) {
 
 fn main() {
     let args = Args::parse();
-    report::banner(
-        "Sensitivity",
-        "ShieldOpt/Baseline ratio vs simulator calibration",
-        &args.scale,
-    );
+    report::banner("Sensitivity", "ShieldOpt/Baseline ratio vs simulator calibration", &args.scale);
 
-    let mut table = report::Table::new(&[
-        "parameter",
-        "value",
-        "Baseline(Kop/s)",
-        "ShieldOpt(Kop/s)",
-        "ratio",
-    ]);
+    let mut table =
+        report::Table::new(&["parameter", "value", "Baseline(Kop/s)", "ShieldOpt(Kop/s)", "ratio"]);
 
     // Sweep the EPC fault cost (default 150k cycles) 4x down and up.
     for mult in [4u64, 2, 1] {
-        let cost =
-            CostModel { epc_fault_cycles: 150_000 / mult, ..CostModel::I7_7700 };
+        let cost = CostModel { epc_fault_cycles: 150_000 / mult, ..CostModel::I7_7700 };
         let (b, s, r) = ratio_with(cost, &args);
         table.row(&[
             "fault cycles".into(),
@@ -89,7 +82,13 @@ fn main() {
     }
     let cost = CostModel { epc_fault_cycles: 600_000, ..CostModel::I7_7700 };
     let (b, s, r) = ratio_with(cost, &args);
-    table.row(&["fault cycles".into(), "600k".into(), report::kops(b), report::kops(s), report::ratio(r)]);
+    table.row(&[
+        "fault cycles".into(),
+        "600k".into(),
+        report::kops(b),
+        report::kops(s),
+        report::ratio(r),
+    ]);
 
     // Sweep the MEE per-cacheline overhead (default 400 ns).
     for mee in [100u64, 400, 1600] {

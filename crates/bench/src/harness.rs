@@ -22,10 +22,10 @@
 //! (modeled virtually, see `shield-baseline`) degrades it beyond two
 //! workers.
 
+use sgx_sim::vclock;
 use shield_baseline::KvBackend;
 use shield_workload::{make_key, make_value, Generator, Op, Spec};
 use shieldstore::ShieldStore;
-use sgx_sim::vclock;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,11 +66,7 @@ impl RunResult {
 }
 
 /// Combines per-worker `(busy, penalty)` samples into a [`RunResult`].
-fn combine(
-    ops: u64,
-    refused: u64,
-    workers: &[(Duration, u64)],
-) -> RunResult {
+fn combine(ops: u64, refused: u64, workers: &[(Duration, u64)]) -> RunResult {
     let mut effective = Duration::ZERO;
     let mut max_busy = Duration::ZERO;
     let mut max_penalty = 0u64;
@@ -243,8 +239,7 @@ mod tests {
 
     #[test]
     fn backend_runner_counts_ops() {
-        let store: Arc<dyn KvBackend> =
-            Arc::new(shield_baseline::NaiveEnclaveStore::insecure(256));
+        let store: Arc<dyn KvBackend> = Arc::new(shield_baseline::NaiveEnclaveStore::insecure(256));
         preload(&*store, 200, 16);
         let spec = Spec::by_name("RD50_U").unwrap();
         let result = run_backend(&store, spec, 200, 16, 2, 1000, 1);
@@ -306,10 +301,7 @@ mod tests {
         let r = combine(
             100,
             0,
-            &[
-                (Duration::from_millis(10), 5_000_000),
-                (Duration::from_millis(2), 20_000_000),
-            ],
+            &[(Duration::from_millis(10), 5_000_000), (Duration::from_millis(2), 20_000_000)],
         );
         // Worker 2: 2 ms + 20 ms = 22 ms > worker 1's 15 ms.
         assert_eq!(r.effective, Duration::from_millis(22));

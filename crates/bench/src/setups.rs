@@ -55,9 +55,9 @@ impl AnyStore {
     pub fn build(kind: StoreKind, scale: &Scale, max_threads: usize, seed: u64) -> AnyStore {
         let buckets = scale.num_buckets;
         match kind {
-            StoreKind::MemcachedGraphene => AnyStore::Backend(Arc::new(
-                MemcachedLike::graphene(buckets, scale.epc_bytes),
-            )),
+            StoreKind::MemcachedGraphene => {
+                AnyStore::Backend(Arc::new(MemcachedLike::graphene(buckets, scale.epc_bytes)))
+            }
             StoreKind::Baseline => {
                 AnyStore::Backend(Arc::new(NaiveEnclaveStore::new(buckets, scale.epc_bytes)))
             }
@@ -112,9 +112,9 @@ impl AnyStore {
             AnyStore::Backend(b) => {
                 harness::run_backend(b, spec, num_keys, val_len, threads, ops, seed)
             }
-            AnyStore::Shield(s) => harness::run_shieldstore_partitioned(
-                s, spec, num_keys, val_len, threads, ops, seed,
-            ),
+            AnyStore::Shield(s) => {
+                harness::run_shieldstore_partitioned(s, spec, num_keys, val_len, threads, ops, seed)
+            }
         }
     }
 }

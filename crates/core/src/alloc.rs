@@ -289,9 +289,8 @@ mod tests {
     #[test]
     fn pooled_mode_ocalls_once_per_chunk() {
         let enclave = EnclaveBuilder::new("pool").build();
-        let mut h = UntrustedHeap::new(Arc::clone(&enclave), AllocMode::Pooled {
-            granularity: 4096,
-        });
+        let mut h =
+            UntrustedHeap::new(Arc::clone(&enclave), AllocMode::Pooled { granularity: 4096 });
         vclock::reset();
         // 8 allocations of 1 KiB: 2 KiB used per... 1024-byte class, 4 per
         // 4 KiB chunk -> 2 chunk OCALLs.

@@ -98,13 +98,7 @@ pub fn compute_mac(
     hint: u8,
     iv: &[u8; 16],
 ) -> Tag128 {
-    cmac.compute_parts(&[
-        ciphertext,
-        &key_len.to_le_bytes(),
-        &val_len.to_le_bytes(),
-        &[hint],
-        iv,
-    ])
+    cmac.compute_parts(&[ciphertext, &key_len.to_le_bytes(), &val_len.to_le_bytes(), &[hint], iv])
 }
 
 /// Encrypts `key ‖ value` and writes a complete entry into `buf`
@@ -154,11 +148,7 @@ pub fn decrypt_key(enc: &AesCtr, header: &EntryHeader, ciphertext: &[u8]) -> Vec
 }
 
 /// Decrypts an entry's full plaintext, returning `(key, value)`.
-pub fn decrypt_entry(
-    enc: &AesCtr,
-    header: &EntryHeader,
-    ciphertext: &[u8],
-) -> (Vec<u8>, Vec<u8>) {
+pub fn decrypt_entry(enc: &AesCtr, header: &EntryHeader, ciphertext: &[u8]) -> (Vec<u8>, Vec<u8>) {
     let mut plain = ciphertext.to_vec();
     enc.apply_keystream(&header.iv, &mut plain);
     let value = plain.split_off(header.key_len as usize);
@@ -167,14 +157,8 @@ pub fn decrypt_entry(
 
 /// Verifies an entry's stored MAC against its contents.
 pub fn verify_mac(cmac: &Cmac, header: &EntryHeader, ciphertext: &[u8]) -> bool {
-    let expected = compute_mac(
-        cmac,
-        ciphertext,
-        header.key_len,
-        header.val_len,
-        header.hint,
-        &header.iv,
-    );
+    let expected =
+        compute_mac(cmac, ciphertext, header.key_len, header.val_len, header.hint, &header.iv);
     shield_crypto::constant_time::ct_eq(&expected, &header.mac)
 }
 
@@ -221,8 +205,7 @@ mod tests {
         let pristine = buf.clone();
 
         // Tamper with each MAC-covered region and expect rejection.
-        for &offset in &[OFF_HINT, OFF_KEY_LEN, OFF_VAL_LEN, OFF_IV, HEADER_LEN, buf.len() - 1]
-        {
+        for &offset in &[OFF_HINT, OFF_KEY_LEN, OFF_VAL_LEN, OFF_IV, HEADER_LEN, buf.len() - 1] {
             let mut t = pristine.clone();
             t[offset] ^= 1;
             let header = parse_header(&t);

@@ -13,9 +13,9 @@
 //! collapses — the trade-off measured in Fig. 15.
 
 use crate::error::{Error, Result};
+use sgx_sim::enclave::Enclave;
 use shield_crypto::cmac::Cmac;
 use shield_crypto::Tag128;
-use sgx_sim::enclave::Enclave;
 use std::sync::Arc;
 
 /// Storage for the MAC hash array.
@@ -98,9 +98,7 @@ impl MacStore {
     /// Exports the whole array (for sealing into a snapshot).
     pub fn export(&self) -> Vec<u8> {
         match self {
-            MacStore::Enclave { enclave, addr, num } => {
-                enclave.memory().read_vec(*addr, num * 16)
-            }
+            MacStore::Enclave { enclave, addr, num } => enclave.memory().read_vec(*addr, num * 16),
             MacStore::Plain(v) => v.iter().flat_map(|t| t.iter().copied()).collect(),
         }
     }

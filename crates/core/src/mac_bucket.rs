@@ -92,7 +92,8 @@ pub fn insert_front(heap: &mut UntrustedHeap, head: &mut Handle, mac: &Tag128, c
         // Shift the node's MACs right by one slot (dropping the last when
         // full) and place the carry at slot 0.
         let keep = count.min(capacity - 1);
-        let overflow = if count == capacity { Some(read_mac(heap, node, capacity - 1)) } else { None };
+        let overflow =
+            if count == capacity { Some(read_mac(heap, node, capacity - 1)) } else { None };
         // memmove within the node.
         heap.bytes_at_mut(node, OFF_MACS, (keep + 1) * 16).copy_within(0..keep * 16, 16);
         write_mac(heap, node, 0, &carry);
@@ -392,8 +393,7 @@ mod tests {
             }
             let mut out = Vec::new();
             gather(&h, head, &mut out);
-            let got: Vec<Tag128> =
-                out.chunks(16).map(|c| c.try_into().unwrap()).collect();
+            let got: Vec<Tag128> = out.chunks(16).map(|c| c.try_into().unwrap()).collect();
             assert_eq!(got, reference, "divergence at step {step}");
         }
     }

@@ -147,10 +147,7 @@ fn thread_cpu_ns() -> u64 {
     let fields: Vec<&str> = after_comm.split_whitespace().collect();
     // after_comm starts at field 3 (state), so utime/stime are at indices
     // 11 and 12 here.
-    let ticks: u64 = fields
-        .get(11)
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(0)
+    let ticks: u64 = fields.get(11).and_then(|s| s.parse::<u64>().ok()).unwrap_or(0)
         + fields.get(12).and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
     // USER_HZ is 100 on every mainstream Linux configuration.
     ticks * 10_000_000
@@ -190,9 +187,7 @@ impl<'a> SnapshotJob<'a> {
     /// the main tables. Returns the writer's consumed CPU time.
     pub fn finish(mut self) -> Result<std::time::Duration> {
         if let Some(writer) = self.writer.take() {
-            writer
-                .join()
-                .map_err(|_| Error::Persistence("snapshot writer panicked".into()))??;
+            writer.join().map_err(|_| Error::Persistence("snapshot writer panicked".into()))??;
         }
         for i in 0..self.store.num_shards() {
             self.store.with_shard(i, |shard| shard.unfreeze())?;
@@ -204,7 +199,11 @@ impl<'a> SnapshotJob<'a> {
 impl ShieldStore {
     /// Writes a snapshot, blocking all request processing until it is on
     /// disk — the *naive* persistency of Fig. 19.
-    pub fn snapshot_blocking(&self, path: impl AsRef<Path>, counter: &PersistentCounter) -> Result<()> {
+    pub fn snapshot_blocking(
+        &self,
+        path: impl AsRef<Path>,
+        counter: &PersistentCounter,
+    ) -> Result<()> {
         // Hold every shard lock for the duration: requests stall.
         let mut guards: Vec<_> = self.shards().iter().map(|s| s.lock()).collect();
         let count = counter.increment().map_err(Error::from)?;
@@ -334,8 +333,7 @@ impl ShieldStore {
         for (shard_idx, mac_array) in metadata.mac_arrays.iter().enumerate() {
             store.with_shard(shard_idx, |shard| -> Result<()> {
                 let count = read_u64(&mut r)? as usize;
-                let (mac_bucket, mac_cap) =
-                    (shard.config().mac_bucket, shard.config().mac_cap);
+                let (mac_bucket, mac_cap) = (shard.config().mac_bucket, shard.config().mac_cap);
                 {
                     let ctx = shard.main_table_mut().expect("fresh store");
                     for _ in 0..count {
@@ -429,11 +427,8 @@ mod tests {
 
     fn new_store(seed: u64) -> ShieldStore {
         let enclave = EnclaveBuilder::new("persist-test").seed(seed).epc_bytes(8 << 20).build();
-        ShieldStore::new(
-            enclave,
-            Config::shield_opt().buckets(128).mac_hashes(32).with_shards(2),
-        )
-        .unwrap()
+        ShieldStore::new(enclave, Config::shield_opt().buckets(128).mac_hashes(32).with_shards(2))
+            .unwrap()
     }
 
     #[test]

@@ -21,10 +21,10 @@ use crate::mac_bucket;
 use crate::ordered::OrderedIndex;
 use crate::stats::OpStats;
 use crate::table::TableCtx;
+use sgx_sim::enclave::Enclave;
 use shield_crypto::cmac::Cmac;
 use shield_crypto::ctr::AesCtr;
 use shield_crypto::siphash::SipHash24;
-use sgx_sim::enclave::Enclave;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -234,12 +234,7 @@ fn search(
 
 /// Gathers the concatenated entry MACs of every bucket in `set`, via MAC
 /// buckets (contiguous reads) or entry-chain pointer chasing.
-fn gather_set_macs(
-    cfg: &ShardConfig,
-    ctx: &TableCtx,
-    stats: &mut OpStats,
-    set: usize,
-) -> Vec<u8> {
+fn gather_set_macs(cfg: &ShardConfig, ctx: &TableCtx, stats: &mut OpStats, set: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     for bucket in ctx.sets.buckets_of(set) {
         if cfg.mac_bucket {
@@ -306,13 +301,8 @@ fn verify_set(
 /// is verified against content and covered by the set hash), so the
 /// chain walk is only paid when a search comes back empty — keeping the
 /// very pointer-chasing MAC bucketing exists to avoid off the hit path.
-fn verify_absence_consistency(
-    cfg: &ShardConfig,
-    ctx: &TableCtx,
-    bucket: usize,
-) -> Result<()> {
-    if cfg.mac_bucket
-        && chain_len(ctx, bucket) != mac_bucket::len(&ctx.heap, ctx.mac_heads[bucket])
+fn verify_absence_consistency(cfg: &ShardConfig, ctx: &TableCtx, bucket: usize) -> Result<()> {
+    if cfg.mac_bucket && chain_len(ctx, bucket) != mac_bucket::len(&ctx.heap, ctx.mac_heads[bucket])
     {
         return Err(Error::IntegrityViolation { bucket });
     }
@@ -344,6 +334,20 @@ fn get_in(
     let bucket = bucket_of(keys, ctx, key);
     let set = ctx.sets.set_of(bucket);
     verify_set(cfg, keys, ctx, stats, set)?;
+    get_in_bucket(cfg, keys, ctx, stats, bucket, key)
+}
+
+/// Lookup within an already-verified bucket set. The caller must have
+/// run [`verify_set`] for `bucket`'s set first — per-op wrappers do it
+/// per call, the batched path once per touched set per batch.
+fn get_in_bucket(
+    cfg: &ShardConfig,
+    keys: &StoreKeys,
+    ctx: &TableCtx,
+    stats: &mut OpStats,
+    bucket: usize,
+    key: &[u8],
+) -> Result<Option<Vec<u8>>> {
     let hint = keys.hint_byte(key);
     match search(cfg, keys, ctx, stats, bucket, hint, key) {
         Some(SearchOutcome::Found(found)) => {
@@ -376,6 +380,25 @@ fn set_in(
     let bucket = bucket_of(keys, ctx, key);
     let set = ctx.sets.set_of(bucket);
     verify_set(cfg, keys, ctx, stats, set)?;
+    let inserted = set_in_bucket(cfg, keys, ctx, stats, bucket, key, value)?;
+    update_set_hash(cfg, keys, ctx, stats, set);
+    Ok(inserted)
+}
+
+/// Insert/update within an already-verified bucket set, *without*
+/// re-storing the set hash. The caller must have run [`verify_set`]
+/// before the first access to this set and must call
+/// [`update_set_hash`] after the last write to it — per-op wrappers do
+/// both per call, the batched path once per touched set per batch.
+fn set_in_bucket(
+    cfg: &ShardConfig,
+    keys: &StoreKeys,
+    ctx: &mut TableCtx,
+    stats: &mut OpStats,
+    bucket: usize,
+    key: &[u8],
+    value: &[u8],
+) -> Result<bool> {
     let hint = keys.hint_byte(key);
     let new_len = entry::HEADER_LEN + key.len() + value.len();
 
@@ -464,7 +487,6 @@ fn set_in(
         }
     };
 
-    update_set_hash(cfg, keys, ctx, stats, set);
     Ok(inserted)
 }
 
@@ -513,7 +535,11 @@ fn delete_in(
 
 impl Shard {
     /// Creates an empty shard.
-    pub(crate) fn new(enclave: Arc<Enclave>, keys: Arc<StoreKeys>, cfg: ShardConfig) -> Result<Self> {
+    pub(crate) fn new(
+        enclave: Arc<Enclave>,
+        keys: Arc<StoreKeys>,
+        cfg: ShardConfig,
+    ) -> Result<Self> {
         let heap = UntrustedHeap::new(Arc::clone(&enclave), cfg.alloc);
         let macs = MacStore::in_enclave(Arc::clone(&enclave), cfg.mac_hashes)?;
         let main = TableCtx::new(heap, cfg.buckets, macs);
@@ -634,29 +660,181 @@ impl Shard {
         self.apply_write(key, value)
     }
 
+    /// Batched lookup: re-derives each touched bucket-set hash once per
+    /// batch instead of once per key (the flattened-Merkle check of
+    /// paper §4.3/§5.2 is the dominant per-op cost this amortizes).
+    ///
+    /// Results come back in input order; a clean miss is `None` rather
+    /// than an error, so one absent key does not fail the batch. Any
+    /// integrity violation aborts the whole batch fail-closed.
+    pub fn multi_get(&mut self, batch: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.stats.batches += 1;
+        self.stats.batch_ops += batch.len() as u64;
+        self.stats.gets += batch.len() as u64;
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; batch.len()];
+
+        if self.temp.is_some() {
+            // Snapshot in progress: lookups span the temp and frozen
+            // tables, whose bucket sets do not line up — per-op path.
+            for (i, key) in batch.iter().enumerate() {
+                if let Some((v, from_cache)) = self.lookup_traced(key)? {
+                    if !from_cache {
+                        if let Some(cache) = self.cache.as_mut() {
+                            cache.put(key, &v);
+                        }
+                    }
+                    results[i] = Some(v);
+                }
+            }
+            self.tally_batch_hits(&results);
+            return Ok(results);
+        }
+
+        // Cache pass first: resident values need no untrusted access.
+        let mut pending = Vec::with_capacity(batch.len());
+        for (i, key) in batch.iter().enumerate() {
+            if let Some(cache) = self.cache.as_mut() {
+                if let Some(v) = cache.get(key) {
+                    self.stats.cache_hits += 1;
+                    results[i] = Some(v);
+                    continue;
+                }
+                self.stats.cache_misses += 1;
+            }
+            pending.push(i);
+        }
+
+        let Shard { cfg, keys, main, cache, stats, .. } = self;
+        let main = main.as_ref().expect("main table present");
+
+        // Group by bucket set so each set hash is derived exactly once.
+        let mut order: Vec<(usize, usize, usize)> = pending
+            .into_iter()
+            .map(|i| {
+                let bucket = bucket_of(keys, main, batch[i]);
+                (main.sets.set_of(bucket), bucket, i)
+            })
+            .collect();
+        order.sort_unstable();
+
+        let mut verified: Option<usize> = None;
+        for (set, bucket, i) in order {
+            if verified == Some(set) {
+                stats.batch_verifications_saved += 1;
+            } else {
+                verify_set(cfg, keys, main, stats, set)?;
+                verified = Some(set);
+            }
+            if let Some(v) = get_in_bucket(cfg, keys, main, stats, bucket, batch[i])? {
+                if let Some(cache) = cache.as_mut() {
+                    cache.put(batch[i], &v);
+                }
+                results[i] = Some(v);
+            }
+        }
+        self.tally_batch_hits(&results);
+        Ok(results)
+    }
+
+    /// Batched write: verifies each touched bucket-set hash once before
+    /// the set's first write and re-stores it once after the set's last
+    /// write, instead of doing both per key.
+    ///
+    /// Items are validated up front, so a malformed item rejects the
+    /// batch before any mutation. Writes to the same key replay in
+    /// submission order (last write wins). An integrity violation
+    /// mid-batch aborts fail-closed.
+    pub fn multi_set(&mut self, items: &[(&[u8], &[u8])]) -> Result<()> {
+        for (key, value) in items {
+            self.check_item(key, value)?;
+        }
+        self.stats.batches += 1;
+        self.stats.batch_ops += items.len() as u64;
+        self.stats.sets += items.len() as u64;
+
+        if self.temp.is_some() {
+            // Snapshot in progress: writes land in the small temp table,
+            // where batching the set-hash work is not worth the
+            // bookkeeping — the temp table is merged away shortly.
+            for (key, value) in items {
+                self.apply_write(key, value)?;
+            }
+            return Ok(());
+        }
+
+        let Shard { cfg, keys, main, cache, index, stats, .. } = self;
+        let main = main.as_mut().expect("main table present");
+
+        // Sort by (set, bucket, input position): grouped per set for the
+        // hash amortization, while duplicate keys (same bucket) keep
+        // their submission order.
+        let mut order: Vec<(usize, usize, usize)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, (key, _))| {
+                let bucket = bucket_of(keys, main, key);
+                (main.sets.set_of(bucket), bucket, i)
+            })
+            .collect();
+        order.sort_unstable();
+
+        let mut current: Option<usize> = None;
+        for (set, bucket, i) in order {
+            if current == Some(set) {
+                stats.batch_verifications_saved += 1;
+                stats.batch_hash_updates_saved += 1;
+            } else {
+                if let Some(prev) = current {
+                    update_set_hash(cfg, keys, main, stats, prev);
+                }
+                verify_set(cfg, keys, main, stats, set)?;
+                current = Some(set);
+            }
+            let (key, value) = items[i];
+            set_in_bucket(cfg, keys, main, stats, bucket, key, value)?;
+            if let Some(cache) = cache.as_mut() {
+                cache.put(key, value);
+            }
+            if let Some(index) = index.as_mut() {
+                index.insert(key);
+            }
+        }
+        if let Some(prev) = current {
+            update_set_hash(cfg, keys, main, stats, prev);
+        }
+        Ok(())
+    }
+
+    /// Classifies batched results into the hit/miss counters.
+    fn tally_batch_hits(&mut self, results: &[Option<Vec<u8>>]) {
+        for r in results {
+            if r.is_some() {
+                self.stats.hits += 1;
+            } else {
+                self.stats.misses += 1;
+            }
+        }
+    }
+
     /// Removes `key`. Errors with [`Error::KeyNotFound`] when absent.
     pub fn delete(&mut self, key: &[u8]) -> Result<()> {
         self.stats.deletes += 1;
         if let Some(cache) = self.cache.as_mut() {
             cache.remove(key);
         }
-        if self.temp.is_some() {
+        if let Some(temp) = self.temp.as_mut() {
             self.stats.temp_table_ops += 1;
             // Remove any temp-table copy.
             let (cfg, keys) = (&self.cfg, &self.keys);
-            let temp = self.temp.as_mut().expect("checked");
-            let removed_temp =
-                delete_in(cfg, keys, &mut temp.ctx, &mut self.stats, key)?;
+            let removed_temp = delete_in(cfg, keys, &mut temp.ctx, &mut self.stats, key)?;
             // Check the frozen main for presence (verified search).
             let frozen = Arc::clone(self.frozen.as_ref().expect("frozen accompanies temp"));
-            let in_frozen =
-                get_in(&self.cfg, &self.keys, &frozen, &mut self.stats, key)?.is_some();
+            let in_frozen = get_in(&self.cfg, &self.keys, &frozen, &mut self.stats, key)?.is_some();
             if !removed_temp && !in_frozen {
                 self.stats.misses += 1;
                 return Err(Error::KeyNotFound);
             }
             if in_frozen {
-                let temp = self.temp.as_mut().expect("checked");
                 temp.tombstones.insert(key.to_vec());
             }
             if let Some(index) = self.index.as_mut() {
@@ -762,22 +940,13 @@ impl Shard {
         end: &[u8],
         limit: usize,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let keys = self
-            .index
-            .as_ref()
-            .ok_or(Error::IndexDisabled)?
-            .range(start, end, limit);
+        let keys = self.index.as_ref().ok_or(Error::IndexDisabled)?.range(start, end, limit);
         self.collect_keys(keys)
     }
 
     /// Ordered prefix scan (requires [`Config::ordered_index`]).
-    pub fn scan_prefix(
-        &mut self,
-        prefix: &[u8],
-        limit: usize,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let keys =
-            self.index.as_ref().ok_or(Error::IndexDisabled)?.prefix(prefix, limit);
+    pub fn scan_prefix(&mut self, prefix: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let keys = self.index.as_ref().ok_or(Error::IndexDisabled)?.prefix(prefix, limit);
         self.collect_keys(keys)
     }
 
@@ -1099,7 +1268,7 @@ mod tests {
         vclock::reset();
         s.set(b"a", b"1").unwrap();
         s.set(b"b", b"2").unwrap(); // chain head: b -> a
-        // Drop the chain head ("b") behind the store's back.
+                                    // Drop the chain head ("b") behind the store's back.
         let main = s.main.as_mut().unwrap();
         let head = main.heads[0];
         let next = main.heap.read_u64_at(head, entry::OFF_NEXT);
@@ -1117,8 +1286,7 @@ mod tests {
     fn entry_removal_without_mac_bucket_detected_by_set_hash() {
         // Without MAC bucketing the gather walks the chain itself, so an
         // unlink changes the recomputed set hash for ANY access.
-        let cfg =
-            Config { mac_bucket: false, ..Config::shield_opt() }.buckets(1).mac_hashes(1);
+        let cfg = Config { mac_bucket: false, ..Config::shield_opt() }.buckets(1).mac_hashes(1);
         let mut s = shard_with(cfg);
         vclock::reset();
         s.set(b"a", b"1").unwrap();
@@ -1238,6 +1406,136 @@ mod tests {
     fn empty_key_rejected() {
         let mut s = shard_with(small_cfg());
         assert!(matches!(s.set(b"", b"v"), Err(Error::OversizeItem { .. })));
+    }
+
+    #[test]
+    fn multi_set_multi_get_roundtrip_with_misses() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..20u32)
+            .map(|i| (format!("key-{i}").into_bytes(), format!("val-{i}").into_bytes()))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> =
+            items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        s.multi_set(&refs).unwrap();
+
+        let mut lookups: Vec<&[u8]> = items.iter().map(|(k, _)| k.as_slice()).collect();
+        lookups.push(b"absent-key");
+        let got = s.multi_get(&lookups).unwrap();
+        assert_eq!(got.len(), 21);
+        for (i, (_, v)) in items.iter().enumerate() {
+            assert_eq!(got[i].as_deref(), Some(v.as_slice()));
+        }
+        assert_eq!(got[20], None);
+        assert_eq!(s.stats().batches, 2);
+        assert_eq!(s.stats().batch_ops, 41);
+        vclock::reset();
+    }
+
+    #[test]
+    fn multi_set_duplicate_keys_last_write_wins() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.multi_set(&[
+            (b"dup".as_slice(), b"first".as_slice()),
+            (b"other", b"x"),
+            (b"dup", b"second"),
+            (b"dup", b"third"),
+        ])
+        .unwrap();
+        assert_eq!(s.get(b"dup").unwrap(), b"third");
+        assert_eq!(s.len(), 2);
+        vclock::reset();
+    }
+
+    #[test]
+    fn batch_on_one_bucket_set_verifies_once() {
+        // One bucket => one bucket set: the whole batch shares a single
+        // set hash, so the batched path derives it exactly once.
+        let mut s = shard_with(Config::shield_opt().buckets(1).mac_hashes(1));
+        vclock::reset();
+        let items: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..16u32).map(|i| (format!("k{i}").into_bytes(), b"v".to_vec())).collect();
+        let refs: Vec<(&[u8], &[u8])> =
+            items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+
+        s.reset_stats();
+        s.multi_set(&refs).unwrap();
+        assert_eq!(s.stats().integrity_verifications, 1);
+        assert_eq!(s.stats().batch_verifications_saved, 15);
+        assert_eq!(s.stats().batch_hash_updates_saved, 15);
+
+        let lookups: Vec<&[u8]> = items.iter().map(|(k, _)| k.as_slice()).collect();
+        s.reset_stats();
+        let got = s.multi_get(&lookups).unwrap();
+        assert!(got.iter().all(|r| r.is_some()));
+        assert_eq!(s.stats().integrity_verifications, 1);
+        assert_eq!(s.stats().batch_verifications_saved, 15);
+        vclock::reset();
+    }
+
+    #[test]
+    fn batched_and_per_op_paths_agree() {
+        let mut batched = shard_with(small_cfg());
+        let mut per_op = shard_with(small_cfg());
+        vclock::reset();
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..64u32)
+            .map(|i| (format!("key-{i}").into_bytes(), format!("v{}", i * 7).into_bytes()))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> =
+            items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        batched.multi_set(&refs).unwrap();
+        for (k, v) in &items {
+            per_op.set(k, v).unwrap();
+        }
+        for (k, v) in &items {
+            assert_eq!(batched.get(k).unwrap(), *v);
+            assert_eq!(per_op.get(k).unwrap(), *v);
+        }
+        assert_eq!(batched.len(), per_op.len());
+        vclock::reset();
+    }
+
+    #[test]
+    fn multi_get_detects_tampering() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        for i in 0..8u32 {
+            s.set(format!("k{i}").as_bytes(), b"value").unwrap();
+        }
+        assert!(s.tamper_one_entry_for_test(12345));
+        let lookups: Vec<Vec<u8>> = (0..8u32).map(|i| format!("k{i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = lookups.iter().map(|k| k.as_slice()).collect();
+        assert!(matches!(s.multi_get(&refs), Err(Error::IntegrityViolation { .. })));
+        vclock::reset();
+    }
+
+    #[test]
+    fn batched_ops_during_snapshot_fall_back() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set(b"old", b"frozen-value").unwrap();
+        let frozen = s.freeze();
+        s.multi_set(&[(b"new".as_slice(), b"temp-value".as_slice())]).unwrap();
+        let got = s.multi_get(&[b"old".as_slice(), b"new", b"none"]).unwrap();
+        assert_eq!(got[0].as_deref(), Some(b"frozen-value".as_slice()));
+        assert_eq!(got[1].as_deref(), Some(b"temp-value".as_slice()));
+        assert_eq!(got[2], None);
+        drop(frozen);
+        s.unfreeze().unwrap();
+        assert_eq!(s.get(b"new").unwrap(), b"temp-value");
+        vclock::reset();
+    }
+
+    #[test]
+    fn multi_set_rejects_invalid_item_before_mutating() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        let r = s.multi_set(&[(b"good".as_slice(), b"v".as_slice()), (b"", b"v")]);
+        assert!(matches!(r, Err(Error::OversizeItem { .. })));
+        // Validation happens before any write: nothing landed.
+        assert_eq!(s.len(), 0);
+        vclock::reset();
     }
 
     #[test]

@@ -45,6 +45,18 @@ pub struct OpStats {
     pub cache_misses: u64,
     /// Operations served from the temporary table during a snapshot.
     pub temp_table_ops: u64,
+    /// Batched calls (`multi_get`/`multi_set`) served.
+    pub batches: u64,
+    /// Operations carried inside batched calls (`batch_ops / batches` is
+    /// the average batch size).
+    pub batch_ops: u64,
+    /// Bucket-set verifications skipped because an earlier op in the same
+    /// batch already verified the set.
+    pub batch_verifications_saved: u64,
+    /// Bucket-set hash recomputations skipped because a later write in
+    /// the same batch touched the same set (the hash is stored once per
+    /// batch per set, after the last write).
+    pub batch_hash_updates_saved: u64,
 }
 
 impl OpStats {
@@ -68,6 +80,10 @@ impl OpStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.temp_table_ops += other.temp_table_ops;
+        self.batches += other.batches;
+        self.batch_ops += other.batch_ops;
+        self.batch_verifications_saved += other.batch_verifications_saved;
+        self.batch_hash_updates_saved += other.batch_hash_updates_saved;
     }
 
     /// Total operations.

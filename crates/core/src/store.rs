@@ -60,8 +60,7 @@ impl ShieldStore {
         let shard_cfg = ShardConfig::from_config(&config);
         let mut shards = Vec::with_capacity(config.shards);
         for _ in 0..config.shards {
-            let mut shard =
-                Shard::new(Arc::clone(&enclave), Arc::clone(&keys), shard_cfg.clone())?;
+            let mut shard = Shard::new(Arc::clone(&enclave), Arc::clone(&keys), shard_cfg.clone())?;
             if config.cache_bytes > 0 {
                 shard.enable_cache(config.cache_bytes / config.shards);
             }
@@ -129,6 +128,51 @@ impl ShieldStore {
         self.with_shard(self.shard_of(key), |s| s.exists(key))
     }
 
+    /// Batched lookup across shards: groups `keys` by owning shard, takes
+    /// each shard's lock once per batch (not once per key), and runs the
+    /// shard-level batched path, which verifies each touched bucket-set
+    /// hash once per batch. Results come back in input order; a clean
+    /// miss is `None`. An integrity violation in any shard fails the
+    /// whole call.
+    pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, key) in keys.iter().enumerate() {
+            groups[self.shard_of(key)].push(i);
+        }
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        for (shard_idx, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<&[u8]> = group.iter().map(|&i| keys[i]).collect();
+            let shard_results = self.with_shard(shard_idx, |s| s.multi_get(&batch))?;
+            for (&slot, value) in group.iter().zip(shard_results) {
+                results[slot] = value;
+            }
+        }
+        Ok(results)
+    }
+
+    /// Batched write across shards: groups `items` by owning shard and
+    /// takes each shard's lock once per batch. Within a shard, set-hash
+    /// recomputations are amortized to one per touched bucket set.
+    /// Grouping preserves input order per shard, so duplicate keys keep
+    /// last-write-wins semantics.
+    pub fn multi_set(&self, items: &[(&[u8], &[u8])]) -> Result<()> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (key, _)) in items.iter().enumerate() {
+            groups[self.shard_of(key)].push(i);
+        }
+        for (shard_idx, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<(&[u8], &[u8])> = group.iter().map(|&i| items[i]).collect();
+            self.with_shard(shard_idx, |s| s.multi_set(&batch))?;
+        }
+        Ok(())
+    }
+
     /// Ordered range scan over `[start, end)`, merged across shards:
     /// up to `limit` key-value pairs in key order. Requires
     /// [`Config::ordered_index`] (the paper's future-work extension; see
@@ -140,19 +184,48 @@ impl ShieldStore {
         limit: usize,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut all = Vec::new();
+        // Exclusive upper bound, narrowed once `limit` items are in hand:
+        // a key at or past the current limit-th smallest can never make
+        // the final cut, so later shards skip fetching (and verifying,
+        // decrypting) everything beyond it instead of materializing their
+        // full result.
+        let mut bound: Option<Vec<u8>> = None;
         for shard in self.shards() {
-            all.extend(shard.lock().scan_range(start, end, limit)?);
+            let hi = bound.as_deref().unwrap_or(end);
+            all.extend(shard.lock().scan_range(start, hi, limit)?);
+            if limit > 0 && all.len() >= limit {
+                all.sort_by(|a, b| a.0.cmp(&b.0));
+                all.truncate(limit);
+                bound = Some(all[limit - 1].0.clone());
+            }
         }
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all.truncate(limit);
         Ok(all)
     }
 
-    /// Ordered prefix scan, merged across shards.
+    /// Ordered prefix scan, merged across shards with the same
+    /// shrinking-bound short-circuit as [`ShieldStore::scan_range`].
     pub fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut all = Vec::new();
+        let mut bound: Option<Vec<u8>> = None;
         for shard in self.shards() {
-            all.extend(shard.lock().scan_prefix(prefix, limit)?);
+            let mut shard = shard.lock();
+            let chunk = match bound.as_deref() {
+                // Every prefixed key below `b` lies in `[prefix, b)`, and
+                // conversely everything in that range shares the prefix:
+                // `b` itself starts with it, so a key with a mismatching
+                // byte would sort at or past `b`. A range scan with the
+                // narrowed end is therefore an exact substitute.
+                Some(b) => shard.scan_range(prefix, b, limit)?,
+                None => shard.scan_prefix(prefix, limit)?,
+            };
+            all.extend(chunk);
+            if limit > 0 && all.len() >= limit {
+                all.sort_by(|a, b| a.0.cmp(&b.0));
+                all.truncate(limit);
+                bound = Some(all[limit - 1].0.clone());
+            }
         }
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all.truncate(limit);
@@ -328,6 +401,75 @@ mod tests {
         assert_eq!(s.increment(b"n", 1).unwrap(), 42);
         assert!(s.exists(b"n").unwrap());
         assert!(!s.exists(b"absent").unwrap());
+        vclock::reset();
+    }
+
+    #[test]
+    fn multi_ops_route_across_shards() {
+        let s = store(4);
+        vclock::reset();
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..100u32)
+            .map(|i| (format!("mk-{i}").into_bytes(), format!("mv-{i}").into_bytes()))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> =
+            items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        s.multi_set(&refs).unwrap();
+        assert_eq!(s.len(), 100);
+
+        let mut lookups: Vec<&[u8]> = items.iter().map(|(k, _)| k.as_slice()).collect();
+        lookups.push(b"mk-absent");
+        let got = s.multi_get(&lookups).unwrap();
+        for (i, (_, v)) in items.iter().enumerate() {
+            assert_eq!(got[i].as_deref(), Some(v.as_slice()), "key {i}");
+        }
+        assert_eq!(got[100], None);
+
+        // Each non-empty shard was visited exactly once per batched call.
+        let stats = s.stats();
+        assert!(stats.batches <= 2 * s.num_shards() as u64);
+        assert_eq!(stats.batch_ops, 201);
+        vclock::reset();
+    }
+
+    #[test]
+    fn multi_get_duplicate_keys_in_one_batch() {
+        let s = store(2);
+        vclock::reset();
+        s.set(b"dup", b"v").unwrap();
+        let got = s.multi_get(&[b"dup".as_slice(), b"dup", b"missing"]).unwrap();
+        assert_eq!(got[0].as_deref(), Some(b"v".as_slice()));
+        assert_eq!(got[1].as_deref(), Some(b"v".as_slice()));
+        assert_eq!(got[2], None);
+        vclock::reset();
+    }
+
+    #[test]
+    fn scan_short_circuit_matches_full_merge() {
+        let enclave = EnclaveBuilder::new("scan-test").epc_bytes(8 << 20).build();
+        let s = ShieldStore::new(
+            enclave,
+            Config { ordered_index: true, ..Config::shield_opt() }
+                .buckets(256)
+                .mac_hashes(64)
+                .with_shards(4),
+        )
+        .unwrap();
+        vclock::reset();
+        for i in 0..200u32 {
+            s.set(format!("scan-{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        for limit in [0usize, 1, 7, 50, 200, 500] {
+            let ranged = s.scan_range(b"scan-", b"scan-9999", limit).unwrap();
+            let prefixed = s.scan_prefix(b"scan-", limit).unwrap();
+            let expect: Vec<Vec<u8>> =
+                (0..200u32).map(|i| format!("scan-{i:04}").into_bytes()).take(limit).collect();
+            assert_eq!(
+                ranged.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+                expect,
+                "range limit {limit}"
+            );
+            assert_eq!(ranged, prefixed, "prefix/range agree at limit {limit}");
+        }
         vclock::reset();
     }
 }

@@ -3,10 +3,10 @@
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
-use shieldstore::cache::EnclaveCache;
-use shieldstore::{Config, ShieldStore};
 use sgx_sim::counter::PersistentCounter;
 use sgx_sim::enclave::EnclaveBuilder;
+use shieldstore::cache::EnclaveCache;
+use shieldstore::{Config, ShieldStore};
 use std::collections::HashMap;
 
 /// A reference LRU with the same byte-budget semantics as

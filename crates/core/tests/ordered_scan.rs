@@ -2,9 +2,9 @@
 //! paper's stated future work, implemented with an enclave-resident key
 //! index.
 
-use shieldstore::{Config, Error, ShieldStore};
 use sgx_sim::counter::PersistentCounter;
 use sgx_sim::enclave::EnclaveBuilder;
+use shieldstore::{Config, Error, ShieldStore};
 use std::sync::Arc;
 
 fn indexed_store(seed: u64) -> Arc<ShieldStore> {
@@ -12,11 +12,7 @@ fn indexed_store(seed: u64) -> Arc<ShieldStore> {
     Arc::new(
         ShieldStore::new(
             enclave,
-            Config::shield_opt()
-                .buckets(256)
-                .mac_hashes(64)
-                .with_shards(3)
-                .with_ordered_index(),
+            Config::shield_opt().buckets(256).mac_hashes(64).with_shards(3).with_ordered_index(),
         )
         .unwrap(),
     )
@@ -25,8 +21,7 @@ fn indexed_store(seed: u64) -> Arc<ShieldStore> {
 #[test]
 fn scans_disabled_without_index() {
     let enclave = EnclaveBuilder::new("noindex").epc_bytes(2 << 20).build();
-    let store =
-        ShieldStore::new(enclave, Config::shield_opt().buckets(64).mac_hashes(16)).unwrap();
+    let store = ShieldStore::new(enclave, Config::shield_opt().buckets(64).mac_hashes(16)).unwrap();
     store.set(b"a", b"1").unwrap();
     assert!(matches!(store.scan_range(b"a", b"z", 10), Err(Error::IndexDisabled)));
     assert!(matches!(store.scan_prefix(b"a", 10), Err(Error::IndexDisabled)));
@@ -126,9 +121,8 @@ fn index_survives_snapshot_restore() {
     let _ = std::fs::remove_file(&ctr_path);
     let counter = PersistentCounter::open(&ctr_path).unwrap();
 
-    let config = || {
-        Config::shield_opt().buckets(256).mac_hashes(64).with_shards(3).with_ordered_index()
-    };
+    let config =
+        || Config::shield_opt().buckets(256).mac_hashes(64).with_shards(3).with_ordered_index();
     {
         let enclave = EnclaveBuilder::new("ordered-snap").epc_bytes(4 << 20).seed(9).build();
         let store = ShieldStore::new(enclave, config()).unwrap();

@@ -3,6 +3,7 @@
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
+use sgx_sim::enclave::EnclaveBuilder;
 use shield_crypto::cmac::Cmac;
 use shield_crypto::ctr::AesCtr;
 use shieldstore::alloc::{UntrustedHeap, NULL_HANDLE};
@@ -10,7 +11,6 @@ use shieldstore::config::AllocMode;
 use shieldstore::entry;
 use shieldstore::integrity::BucketSets;
 use shieldstore::mac_bucket;
-use sgx_sim::enclave::EnclaveBuilder;
 
 fn heap() -> UntrustedHeap {
     UntrustedHeap::new(

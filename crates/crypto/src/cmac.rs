@@ -119,12 +119,10 @@ mod tests {
     }
 
     fn rfc_msg() -> Vec<u8> {
-        hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52ef\
-             f69f2445df4f9b17ad2b417be66c3710",
-        )
+             f69f2445df4f9b17ad2b417be66c3710")
     }
 
     /// RFC 4493 test vectors 1-4.

@@ -41,9 +41,27 @@ impl AesCtr {
     /// ```
     pub fn apply_keystream(&self, iv_ctr: &[u8; 16], data: &mut [u8]) {
         let mut counter = *iv_ctr;
-        for chunk in data.chunks_mut(16) {
-            let keystream = self.aes.encrypt_to(&counter);
-            for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+        // Wide path: derive four counter blocks at a time and encrypt
+        // each in place, XORing 64 bytes per iteration. Keeping four
+        // independent encryptions adjacent lets the key schedule stay
+        // hot and avoids a per-block copy through `encrypt_to`.
+        let mut chunks = data.chunks_exact_mut(64);
+        for chunk in &mut chunks {
+            let mut ks = [counter; 4];
+            for block in ks.iter_mut() {
+                *block = counter;
+                self.aes.encrypt_block(block);
+                increment_be(&mut counter);
+            }
+            for (b, k) in chunk.iter_mut().zip(ks.iter().flatten()) {
+                *b ^= k;
+            }
+        }
+        // Tail: at most three full blocks plus a partial block.
+        for chunk in chunks.into_remainder().chunks_mut(16) {
+            let mut block = counter;
+            self.aes.encrypt_block(&mut block);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
                 *b ^= k;
             }
             increment_be(&mut counter);
@@ -81,22 +99,16 @@ mod tests {
     /// NIST SP 800-38A, F.5.1 (CTR-AES128.Encrypt).
     #[test]
     fn nist_sp800_38a_f51() {
-        let key: [u8; 16] =
-            hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let iv: [u8; 16] =
-            hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
-        let plaintext = hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let iv: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let plaintext = hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52ef\
-             f69f2445df4f9b17ad2b417be66c3710",
-        );
-        let expected = hex(
-            "874d6191b620e3261bef6864990db6ce\
+             f69f2445df4f9b17ad2b417be66c3710");
+        let expected = hex("874d6191b620e3261bef6864990db6ce\
              9806f66b7970fdff8617187bb9fffdff\
              5ae4df3edbd5d35e5b4f09020db03eab\
-             1e031dda2fbe03d1792170a0f3009cee",
-        );
+             1e031dda2fbe03d1792170a0f3009cee");
         let ctr = AesCtr::new(&key);
         let mut data = plaintext.clone();
         ctr.apply_keystream(&iv, &mut data);
@@ -128,6 +140,33 @@ mod tests {
         let mut copy = data.clone();
         ctr.apply_keystream(&iv, &mut copy);
         assert_eq!(copy, vec![0xaau8; 37]);
+    }
+
+    /// The widened 4-block path must match a one-block-at-a-time
+    /// reference at every length across the wide/tail seam.
+    #[test]
+    fn wide_path_matches_single_block_reference() {
+        let ctr = AesCtr::new(&[0x5cu8; 16]);
+        let mut iv = [0u8; 16];
+        // Start near a carry boundary so block increments ripple bytes.
+        iv[14] = 0xff;
+        iv[15] = 0xfe;
+        for len in 0..=130usize {
+            let src: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut wide = src.clone();
+            ctr.apply_keystream(&iv, &mut wide);
+            // Reference: one block per iteration via encrypt_to.
+            let mut reference = src.clone();
+            let mut counter = iv;
+            for chunk in reference.chunks_mut(16) {
+                let ks = ctr.aes.encrypt_to(&counter);
+                for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                    *b ^= k;
+                }
+                increment_be(&mut counter);
+            }
+            assert_eq!(wide, reference, "mismatch at len {len}");
+        }
     }
 
     #[test]

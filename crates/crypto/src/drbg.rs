@@ -133,20 +133,13 @@ mod tests {
     /// RFC 8439 §2.3.2 block function test vector.
     #[test]
     fn rfc8439_block_vector() {
-        let key: [u8; 32] =
-            hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
-                .try_into()
-                .unwrap();
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
         let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
         let block = chacha20_block(&key, 1, &nonce);
-        assert_eq!(
-            block[..16].to_vec(),
-            hex("10f1e7e4d13b5915500fdd1fa32071c4")
-        );
-        assert_eq!(
-            block[48..].to_vec(),
-            hex("b5129cd1de164eb9cbd083e8a2503c4e")
-        );
+        assert_eq!(block[..16].to_vec(), hex("10f1e7e4d13b5915500fdd1fa32071c4"));
+        assert_eq!(block[48..].to_vec(), hex("b5129cd1de164eb9cbd083e8a2503c4e"));
     }
 
     #[test]

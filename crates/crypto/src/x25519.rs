@@ -79,16 +79,16 @@ impl Fe {
         // carry == 1 iff t >= p; select t - p (== q - 2^255) in that case.
         let mask = 0u64.wrapping_sub(carry);
         let mut out = [0u64; 5];
-        for i in 0..5 {
-            out[i] = (t[i] & !mask) | (q[i] & mask);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (t[i] & !mask) | (q[i] & mask);
         }
         Fe(out)
     }
 
     fn add(self, rhs: Fe) -> Fe {
         let mut out = [0u64; 5];
-        for i in 0..5 {
-            out[i] = self.0[i] + rhs.0[i];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i] + rhs.0[i];
         }
         Fe(out)
     }
@@ -98,8 +98,8 @@ impl Fe {
         // 4p = [2^53 - 76, 2^53 - 4, 2^53 - 4, 2^53 - 4, 2^53 - 4].
         let mut out = [0u64; 5];
         out[0] = self.0[0] + 0x1fffffffffffb4 - rhs.0[0];
-        for i in 1..5 {
-            out[i] = self.0[i] + 0x1ffffffffffffc - rhs.0[i];
+        for (i, o) in out.iter_mut().enumerate().skip(1) {
+            *o = self.0[i] + 0x1ffffffffffffc - rhs.0[i];
         }
         Fe(out).carry()
     }
@@ -125,8 +125,7 @@ impl Fe {
         let mut r1 = m(a[0], b[1]) + m(a[1], b[0]);
         let mut r2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]);
         let mut r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]);
-        let mut r4 =
-            m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        let mut r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
 
         // Limbs above index 4 wrap with factor 19 (2^255 = 19 mod p).
         r0 += 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
@@ -153,9 +152,9 @@ impl Fe {
     fn mul_small(self, k: u64) -> Fe {
         let mut out = [0u64; 5];
         let mut carry: u128 = 0;
-        for i in 0..5 {
+        for (i, o) in out.iter_mut().enumerate() {
             let v = (self.0[i] as u128) * (k as u128) + carry;
-            out[i] = (v as u64) & MASK51;
+            *o = (v as u64) & MASK51;
             carry = v >> 51;
         }
         out[0] += 19 * (carry as u64);
@@ -304,10 +303,8 @@ mod tests {
     use super::*;
 
     fn hex32(s: &str) -> [u8; 32] {
-        let v: Vec<u8> = (0..64)
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect();
+        let v: Vec<u8> =
+            (0..64).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect();
         v.try_into().unwrap()
     }
 
@@ -339,19 +336,14 @@ mod tests {
             u = k;
             k = r;
         }
-        assert_eq!(
-            k,
-            hex32("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51")
-        );
+        assert_eq!(k, hex32("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"));
     }
 
     /// RFC 7748 §6.1 Diffie-Hellman example.
     #[test]
     fn rfc7748_dh() {
-        let alice_priv =
-            hex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
-        let bob_priv =
-            hex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_priv = hex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv = hex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
         let alice_pub = public_key(&alice_priv);
         let bob_pub = public_key(&bob_priv);
         assert_eq!(
@@ -365,10 +357,7 @@ mod tests {
         let s1 = shared_secret(&alice_priv, &bob_pub).unwrap();
         let s2 = shared_secret(&bob_priv, &alice_pub).unwrap();
         assert_eq!(s1, s2);
-        assert_eq!(
-            s1,
-            hex32("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742")
-        );
+        assert_eq!(s1, hex32("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"));
     }
 
     #[test]

@@ -17,11 +17,13 @@
 //! ```
 //!
 //! Commands: `get K`, `set K V`, `del K`, `append K V`, `incr K [N]`,
-//! `scan PREFIX [N]`, `ping`, `help`, `quit`.
+//! `scan PREFIX [N]`, `mget K...`, `mset K V [K V]...`, `ping`, `help`,
+//! `quit`. `mget`/`mset` ship the whole batch as one frame, so the
+//! server verifies each touched bucket set once for the batch.
 
-use shield_net::client::KvClient;
 use sgx_sim::attest::AttestationVerifier;
 use sgx_sim::enclave::EnclaveBuilder;
+use shield_net::client::KvClient;
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -43,10 +45,8 @@ fn main() {
             other => panic!("unknown flag {other} (try --help)"),
         }
     }
-    let addr: std::net::SocketAddr = addr
-        .expect("--addr is required")
-        .parse()
-        .expect("addr must be HOST:PORT");
+    let addr: std::net::SocketAddr =
+        addr.expect("--addr is required").parse().expect("addr must be HOST:PORT");
 
     let mut client = if secure {
         // The verifier key derivation stands in for Intel's attestation
@@ -88,13 +88,58 @@ fn main() {
         if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
             break;
         }
+        // Batched commands take a variable-length argument list; the
+        // rest keep the "value may contain spaces" 3-way split.
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            ["mget", keys @ ..] if !keys.is_empty() => {
+                let keys: Vec<Vec<u8>> = keys.iter().map(|k| k.as_bytes().to_vec()).collect();
+                match client.multi_get(&keys) {
+                    Ok(results) => {
+                        for (k, v) in keys.iter().zip(&results) {
+                            match v {
+                                Some(v) => println!(
+                                    "{} = {}",
+                                    String::from_utf8_lossy(k),
+                                    String::from_utf8_lossy(v)
+                                ),
+                                None => println!("{} = (nil)", String::from_utf8_lossy(k)),
+                            }
+                        }
+                    }
+                    Err(e) => println!("ERR {e}"),
+                }
+                continue;
+            }
+            ["mget"] => {
+                println!("ERR mget needs at least one key");
+                continue;
+            }
+            ["mset", rest @ ..] => {
+                if rest.is_empty() || rest.len() % 2 != 0 {
+                    println!("ERR mset needs key/value pairs");
+                    continue;
+                }
+                let items: Vec<(Vec<u8>, Vec<u8>)> = rest
+                    .chunks(2)
+                    .map(|kv| (kv[0].as_bytes().to_vec(), kv[1].as_bytes().to_vec()))
+                    .collect();
+                match client.multi_set(&items) {
+                    Ok(()) => println!("OK ({} keys)", items.len()),
+                    Err(e) => println!("ERR {e}"),
+                }
+                continue;
+            }
+            _ => {}
+        }
         let parts: Vec<&str> = line.trim().splitn(3, ' ').collect();
         let result = match parts.as_slice() {
             [""] => continue,
             ["quit"] | ["exit"] => break,
             ["help"] => {
                 println!(
-                    "get K | set K V | del K | append K V | incr K [N] | scan P [N] | ping | quit"
+                    "get K | set K V | del K | append K V | incr K [N] | scan P [N] | \
+                     mget K... | mset K V [K V]... | ping | quit"
                 );
                 continue;
             }
@@ -104,31 +149,21 @@ fn main() {
                 None => println!("(nil)"),
             }),
             ["set", k, v] => client.set(k.as_bytes(), v.as_bytes()).map(|()| println!("OK")),
-            ["del", k] => client.delete(k.as_bytes()).map(|existed| {
-                println!("{}", if existed { "1" } else { "0" })
-            }),
-            ["append", k, v] => {
-                client.append(k.as_bytes(), v.as_bytes()).map(|()| println!("OK"))
-            }
+            ["del", k] => client
+                .delete(k.as_bytes())
+                .map(|existed| println!("{}", if existed { "1" } else { "0" })),
+            ["append", k, v] => client.append(k.as_bytes(), v.as_bytes()).map(|()| println!("OK")),
             ["incr", k] => client.increment(k.as_bytes(), 1).map(|n| println!("{n}")),
             ["scan", p] => client.scan_prefix(p.as_bytes(), 20).map(|entries| {
                 for (k, v) in &entries {
-                    println!(
-                        "{} = {}",
-                        String::from_utf8_lossy(k),
-                        String::from_utf8_lossy(v)
-                    );
+                    println!("{} = {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
                 }
                 println!("({} entries)", entries.len());
             }),
             ["scan", p, n] => match n.parse::<u32>() {
                 Ok(limit) => client.scan_prefix(p.as_bytes(), limit).map(|entries| {
                     for (k, v) in &entries {
-                        println!(
-                            "{} = {}",
-                            String::from_utf8_lossy(k),
-                            String::from_utf8_lossy(v)
-                        );
+                        println!("{} = {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
                     }
                     println!("({} entries)", entries.len());
                 }),

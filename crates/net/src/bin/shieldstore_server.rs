@@ -25,11 +25,11 @@
 //!                         the key count; see the shieldstore::ordered docs)
 //! ```
 
+use sgx_sim::counter::PersistentCounter;
+use sgx_sim::enclave::EnclaveBuilder;
 use shield_baseline::KvBackend;
 use shield_net::server::{CrossingMode, Server, ServerConfig};
 use shieldstore::{Config, ShieldStore};
-use sgx_sim::counter::PersistentCounter;
-use sgx_sim::enclave::EnclaveBuilder;
 use std::sync::Arc;
 
 struct Opts {
@@ -62,9 +62,8 @@ fn parse_opts() -> Opts {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next().unwrap_or_else(|| panic!("{name} requires a value"))
-        };
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
         match arg.as_str() {
             "--port" => opts.port = value("--port").parse().expect("port number"),
             "--buckets" => opts.buckets = value("--buckets").parse().expect("number"),
@@ -106,9 +105,8 @@ fn main() {
     if opts.ordered_index {
         config = config.with_ordered_index();
     }
-    let store = Arc::new(
-        ShieldStore::new(Arc::clone(&enclave), config).expect("store construction"),
-    );
+    let store =
+        Arc::new(ShieldStore::new(Arc::clone(&enclave), config).expect("store construction"));
 
     // Bind explicitly when a port was requested; Server::start picks an
     // ephemeral port otherwise.
@@ -117,22 +115,14 @@ fn main() {
             ("127.0.0.1", opts.port),
             Arc::clone(&store) as Arc<dyn KvBackend>,
             Some(Arc::clone(&enclave)),
-            ServerConfig {
-                workers: opts.shards,
-                crossing: opts.crossing,
-                secure: opts.secure,
-            },
+            ServerConfig { workers: opts.shards, crossing: opts.crossing, secure: opts.secure },
         )
         .expect("server start")
     } else {
         Server::start(
             Arc::clone(&store) as Arc<dyn KvBackend>,
             Some(Arc::clone(&enclave)),
-            ServerConfig {
-                workers: opts.shards,
-                crossing: opts.crossing,
-                secure: opts.secure,
-            },
+            ServerConfig { workers: opts.shards, crossing: opts.crossing, secure: opts.secure },
         )
         .expect("server start")
     };

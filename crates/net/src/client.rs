@@ -45,12 +45,25 @@ impl KvClient {
 
     /// Issues one request and awaits its response.
     pub fn call(&mut self, request: &Request) -> Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Writes one request frame without waiting for the reply. Pair
+    /// with [`recv`](Self::recv); the server handles each connection's
+    /// frames sequentially, so replies arrive in send order.
+    pub fn send(&mut self, request: &Request) -> Result<()> {
         let body = request.encode();
         let out = match &mut self.crypto {
             Some(c) => c.seal(&body),
             None => body,
         };
-        protocol::write_frame(&mut self.stream, &out)?;
+        protocol::write_frame(&mut self.stream, &out)
+    }
+
+    /// Reads the next response frame (for a request previously written
+    /// with [`send`](Self::send)).
+    pub fn recv(&mut self) -> Result<Response> {
         let reply = protocol::read_frame(&mut self.stream)?
             .ok_or_else(|| NetError::Protocol("server disconnected".into()))?;
         let plain = match &mut self.crypto {
@@ -58,6 +71,19 @@ impl KvClient {
             None => reply,
         };
         Response::decode(&plain)
+    }
+
+    /// Pipelines several requests: writes every frame before reading any
+    /// reply, overlapping client request encoding with server work
+    /// instead of paying one full round-trip per request. Responses are
+    /// returned in request order (the server processes one connection's
+    /// frames sequentially, which also keeps the session-crypto
+    /// sequence numbers aligned).
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>> {
+        for request in requests {
+            self.send(request)?;
+        }
+        requests.iter().map(|_| self.recv()).collect()
     }
 
     /// Reads a key; `Ok(None)` when absent.
@@ -92,8 +118,8 @@ impl KvClient {
 
     /// Appends to a key's value.
     pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<()> {
-        let r = self
-            .call(&Request { op: OpCode::Append, key: key.to_vec(), value: suffix.to_vec() })?;
+        let r =
+            self.call(&Request { op: OpCode::Append, key: key.to_vec(), value: suffix.to_vec() })?;
         match r.status {
             Status::Ok => Ok(()),
             _ => Err(NetError::Protocol("server rejected append".into())),
@@ -126,6 +152,41 @@ impl KvClient {
         match r.status {
             Status::Ok => protocol::decode_scan(&r.value),
             _ => Err(NetError::Protocol("server rejected scan (index enabled?)".into())),
+        }
+    }
+
+    /// Batched read: one wire round-trip (and one enclave dispatch) for
+    /// the whole batch. Returns one entry per key in input order,
+    /// `None` for misses.
+    pub fn multi_get(&mut self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        let r = self.call(&Request {
+            op: OpCode::MultiGet,
+            key: Vec::new(),
+            value: protocol::encode_multi_get(keys),
+        })?;
+        match r.status {
+            Status::Ok => {
+                let results = protocol::decode_multi_get_response(&r.value)?;
+                if results.len() != keys.len() {
+                    return Err(NetError::Protocol("multi-get result count mismatch".into()));
+                }
+                Ok(results)
+            }
+            _ => Err(NetError::Protocol("server rejected multi-get".into())),
+        }
+    }
+
+    /// Batched write: one wire round-trip for the whole batch. Fails as
+    /// a unit if the server rejected any item.
+    pub fn multi_set(&mut self, items: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+        let r = self.call(&Request {
+            op: OpCode::MultiSet,
+            key: Vec::new(),
+            value: protocol::encode_multi_set(items),
+        })?;
+        match r.status {
+            Status::Ok => Ok(()),
+            _ => Err(NetError::Protocol("server rejected multi-set".into())),
         }
     }
 
@@ -221,8 +282,10 @@ pub fn run_load(
                 let key = shield_workload::make_key(id, 16);
                 let outcome = match op {
                     Op::Get(_) => client.get(&key).map(|_| ()),
-                    Op::Set(_) => client
-                        .set(&key, &shield_workload::make_value(id, generator.round(), config.val_len)),
+                    Op::Set(_) => client.set(
+                        &key,
+                        &shield_workload::make_value(id, generator.round(), config.val_len),
+                    ),
                     Op::Append(_) => client.append(&key, b"-app"),
                     Op::ReadModifyWrite(_) => client.get(&key).and_then(|v| {
                         let mut v = v.unwrap_or_default();
@@ -247,9 +310,7 @@ pub fn run_load(
     let mut ops = 0u64;
     let mut errors = 0u64;
     for h in handles {
-        let (o, e) = h
-            .join()
-            .map_err(|_| NetError::Protocol("load worker panicked".into()))??;
+        let (o, e) = h.join().map_err(|_| NetError::Protocol("load worker panicked".into()))??;
         ops += o;
         errors += e;
     }
@@ -262,6 +323,53 @@ mod tests {
     use crate::server::{CrossingMode, Server, ServerConfig};
     use sgx_sim::enclave::EnclaveBuilder;
     use std::sync::Arc;
+
+    #[test]
+    fn pipelined_requests_reply_in_order() {
+        let enclave = EnclaveBuilder::new("pipeline-test").epc_bytes(8 << 20).build();
+        let store = Arc::new(
+            shieldstore::ShieldStore::new(
+                Arc::clone(&enclave),
+                shieldstore::Config::shield_opt().buckets(128).mac_hashes(32),
+            )
+            .unwrap(),
+        );
+        let server = Server::start(
+            store,
+            Some(Arc::clone(&enclave)),
+            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+        )
+        .unwrap();
+        let verifier = AttestationVerifier::for_enclave(&enclave);
+        let mut client = KvClient::connect_secure(server.addr(), &verifier, 21).unwrap();
+
+        let mut requests = Vec::new();
+        for i in 0..20u32 {
+            requests.push(Request {
+                op: crate::protocol::OpCode::Set,
+                key: format!("p{i:02}").into_bytes(),
+                value: format!("v{i}").into_bytes(),
+            });
+        }
+        for i in 0..20u32 {
+            requests.push(Request {
+                op: crate::protocol::OpCode::Get,
+                key: format!("p{i:02}").into_bytes(),
+                value: Vec::new(),
+            });
+        }
+        let responses = client.pipeline(&requests).unwrap();
+        assert_eq!(responses.len(), 40);
+        for r in &responses[..20] {
+            assert_eq!(r.status, crate::protocol::Status::Ok);
+        }
+        for (i, r) in responses[20..].iter().enumerate() {
+            assert_eq!(r.status, crate::protocol::Status::Ok);
+            assert_eq!(r.value, format!("v{i}").into_bytes());
+        }
+        drop(client);
+        server.shutdown();
+    }
 
     #[test]
     fn load_driver_end_to_end() {

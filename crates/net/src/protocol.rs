@@ -8,6 +8,21 @@
 //! Response: [ status (1) | val_len (4) | value ]
 //! ```
 //!
+//! Batched operations ride inside the ordinary request/response `value`
+//! field with count-prefixed framing, so one frame (and one
+//! enclave-worker dispatch) carries a whole batch:
+//!
+//! ```text
+//! MultiGet  request value:  [ count (4) ] ( [ klen (4) | key ] )*
+//! MultiGet  response value: [ count (4) ] ( [ status (1) | vlen (4) | value ] )*
+//! MultiSet  request value:  [ count (4) ] ( [ klen (4) | vlen (4) | key | value ] )*
+//! MultiSet  response:       empty Ok, or Error when any item was rejected
+//! ```
+//!
+//! Per-key statuses inside a `MultiGet` response are `Ok`/`NotFound`;
+//! a batch-level failure (e.g. an integrity violation) is returned as a
+//! frame-level `Error` response instead, failing the batch closed.
+//!
 //! When the secure channel is active, the *body* of each frame is the
 //! sealed form produced by [`crate::session::SessionCrypto`].
 
@@ -36,6 +51,13 @@ pub enum OpCode {
     /// Ordered prefix scan: `key` is the prefix, `value` is a u32 LE
     /// limit. The response value is a [`encode_scan`] payload.
     ScanPrefix = 7,
+    /// Batched read: `key` is empty, `value` is an
+    /// [`encode_multi_get`] payload. The response value is an
+    /// [`encode_multi_get_response`] payload.
+    MultiGet = 8,
+    /// Batched write: `key` is empty, `value` is an
+    /// [`encode_multi_set`] payload. The response carries no value.
+    MultiSet = 9,
 }
 
 impl OpCode {
@@ -49,6 +71,8 @@ impl OpCode {
             5 => OpCode::Increment,
             6 => OpCode::Ping,
             7 => OpCode::ScanPrefix,
+            8 => OpCode::MultiGet,
+            9 => OpCode::MultiSet,
             other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -107,10 +131,8 @@ impl Request {
             return Err(NetError::Protocol("short request".into()));
         }
         let op = OpCode::from_u8(bytes[0])?;
-        let key_len =
-            u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
-        let val_len =
-            u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
+        let key_len = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
+        let val_len = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
         if bytes.len() != 9 + key_len + val_len {
             return Err(NetError::Protocol("request length mismatch".into()));
         }
@@ -167,8 +189,7 @@ impl Response {
             return Err(NetError::Protocol("short response".into()));
         }
         let status = Status::from_u8(bytes[0])?;
-        let val_len =
-            u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
+        let val_len = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
         if bytes.len() != 5 + val_len {
             return Err(NetError::Protocol("response length mismatch".into()));
         }
@@ -208,6 +229,156 @@ pub fn decode_scan(mut bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         bytes = &bytes[need..];
     }
     Ok(out)
+}
+
+/// Reads the `u32` LE count prefix shared by all batch payloads and
+/// sanity-checks it against the bytes that remain: each entry carries at
+/// least `min_entry_bytes` of header, so a count larger than
+/// `remaining / min_entry_bytes` cannot be satisfied and is rejected
+/// before any allocation sized from it.
+fn read_batch_count(bytes: &[u8], min_entry_bytes: usize) -> Result<(usize, &[u8])> {
+    if bytes.len() < 4 {
+        return Err(NetError::Protocol("truncated batch count".into()));
+    }
+    let count = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let rest = &bytes[4..];
+    if count > rest.len() / min_entry_bytes.max(1) {
+        return Err(NetError::Protocol("batch count exceeds payload".into()));
+    }
+    Ok((count, rest))
+}
+
+/// Encodes a `MultiGet` request value: `[count u32] ([klen u32 | key])*`.
+pub fn encode_multi_get(keys: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + keys.iter().map(|k| 4 + k.len()).sum::<usize>());
+    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for k in keys {
+        out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        out.extend_from_slice(k);
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_multi_get`].
+pub fn decode_multi_get(bytes: &[u8]) -> Result<Vec<Vec<u8>>> {
+    let (count, mut rest) = read_batch_count(bytes, 4)?;
+    let mut keys = Vec::with_capacity(count);
+    for _ in 0..count {
+        if rest.len() < 4 {
+            return Err(NetError::Protocol("truncated multi-get key header".into()));
+        }
+        let klen = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        if rest.len() < 4 + klen {
+            return Err(NetError::Protocol("truncated multi-get key".into()));
+        }
+        keys.push(rest[4..4 + klen].to_vec());
+        rest = &rest[4 + klen..];
+    }
+    if !rest.is_empty() {
+        return Err(NetError::Protocol("trailing bytes after multi-get batch".into()));
+    }
+    Ok(keys)
+}
+
+/// Encodes a `MultiGet` response value:
+/// `[count u32] ([status u8 | vlen u32 | value])*`, one entry per
+/// requested key in request order. `None` encodes as `NotFound` with an
+/// empty value.
+pub fn encode_multi_get_response(results: &[Option<Vec<u8>>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        4 + results.iter().map(|r| 5 + r.as_ref().map_or(0, |v| v.len())).sum::<usize>(),
+    );
+    out.extend_from_slice(&(results.len() as u32).to_le_bytes());
+    for r in results {
+        match r {
+            Some(v) => {
+                out.push(Status::Ok as u8);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            None => {
+                out.push(Status::NotFound as u8);
+                out.extend_from_slice(&0u32.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_multi_get_response`].
+pub fn decode_multi_get_response(bytes: &[u8]) -> Result<Vec<Option<Vec<u8>>>> {
+    let (count, mut rest) = read_batch_count(bytes, 5)?;
+    let mut results = Vec::with_capacity(count);
+    for _ in 0..count {
+        if rest.len() < 5 {
+            return Err(NetError::Protocol("truncated multi-get result header".into()));
+        }
+        let status = Status::from_u8(rest[0])?;
+        let vlen = u32::from_le_bytes(rest[1..5].try_into().expect("4 bytes")) as usize;
+        if rest.len() < 5 + vlen {
+            return Err(NetError::Protocol("truncated multi-get result value".into()));
+        }
+        match status {
+            Status::Ok => results.push(Some(rest[5..5 + vlen].to_vec())),
+            Status::NotFound => {
+                if vlen != 0 {
+                    return Err(NetError::Protocol("multi-get miss carries a value".into()));
+                }
+                results.push(None);
+            }
+            Status::Error => {
+                return Err(NetError::Protocol(
+                    "per-key error status in multi-get response".into(),
+                ));
+            }
+        }
+        rest = &rest[5 + vlen..];
+    }
+    if !rest.is_empty() {
+        return Err(NetError::Protocol("trailing bytes after multi-get results".into()));
+    }
+    Ok(results)
+}
+
+/// Encodes a `MultiSet` request value:
+/// `[count u32] ([klen u32 | vlen u32 | key | value])*`.
+pub fn encode_multi_set(items: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(4 + items.iter().map(|(k, v)| 8 + k.len() + v.len()).sum::<usize>());
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for (k, v) in items {
+        out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(k);
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_multi_set`].
+pub fn decode_multi_set(bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    let (count, mut rest) = read_batch_count(bytes, 8)?;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        if rest.len() < 8 {
+            return Err(NetError::Protocol("truncated multi-set item header".into()));
+        }
+        let klen = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let vlen = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes")) as usize;
+        let need = 8usize
+            .checked_add(klen)
+            .and_then(|n| n.checked_add(vlen))
+            .ok_or_else(|| NetError::Protocol("multi-set item length overflow".into()))?;
+        if rest.len() < need {
+            return Err(NetError::Protocol("truncated multi-set item body".into()));
+        }
+        items.push((rest[8..8 + klen].to_vec(), rest[8 + klen..need].to_vec()));
+        rest = &rest[need..];
+    }
+    if !rest.is_empty() {
+        return Err(NetError::Protocol("trailing bytes after multi-set batch".into()));
+    }
+    Ok(items)
 }
 
 /// Writes a length-prefixed frame.
@@ -280,6 +451,53 @@ mod tests {
         assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
         assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
         assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn multi_get_roundtrip() {
+        let keys = vec![b"alpha".to_vec(), Vec::new(), b"gamma".to_vec()];
+        assert_eq!(decode_multi_get(&encode_multi_get(&keys)).unwrap(), keys);
+        assert_eq!(decode_multi_get(&encode_multi_get(&[])).unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn multi_get_response_roundtrip() {
+        let results = vec![Some(b"v1".to_vec()), None, Some(Vec::new())];
+        assert_eq!(
+            decode_multi_get_response(&encode_multi_get_response(&results)).unwrap(),
+            results
+        );
+    }
+
+    #[test]
+    fn multi_set_roundtrip() {
+        let items = vec![(b"k1".to_vec(), b"v1".to_vec()), (b"k2".to_vec(), Vec::new())];
+        assert_eq!(decode_multi_set(&encode_multi_set(&items)).unwrap(), items);
+    }
+
+    #[test]
+    fn malformed_batches_rejected() {
+        // Count prefix missing or truncated.
+        assert!(decode_multi_get(&[1, 0]).is_err());
+        // Count claims more entries than the payload can hold.
+        assert!(decode_multi_get(&[200, 0, 0, 0]).is_err());
+        assert!(decode_multi_set(&[5, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(decode_multi_get_response(&[9, 0, 0, 0, 0]).is_err());
+        // Truncated entry body.
+        let mut bytes = encode_multi_get(&[b"key".to_vec()]);
+        bytes.pop();
+        assert!(decode_multi_get(&bytes).is_err());
+        // Trailing garbage after the declared batch.
+        let mut bytes = encode_multi_set(&[(b"k".to_vec(), b"v".to_vec())]);
+        bytes.push(0);
+        assert!(decode_multi_set(&bytes).is_err());
+        // A miss entry must not carry a value.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(Status::NotFound as u8);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'x');
+        assert!(decode_multi_get_response(&bytes).is_err());
     }
 
     #[test]

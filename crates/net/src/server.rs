@@ -16,9 +16,9 @@ use crate::protocol::{self, OpCode, Request, Response};
 use crate::session::{self, SessionCrypto};
 use crate::{NetError, Result};
 use parking_lot::Mutex;
-use shield_baseline::KvBackend;
 use sgx_sim::enclave::Enclave;
 use sgx_sim::vclock;
+use shield_baseline::KvBackend;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -93,10 +93,7 @@ impl Server {
         enclave: Option<Arc<Enclave>>,
         config: ServerConfig,
     ) -> Result<Server> {
-        assert!(
-            !config.secure || enclave.is_some(),
-            "secure serving requires an enclave identity"
-        );
+        assert!(!config.secure || enclave.is_some(), "secure serving requires an enclave identity");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -282,6 +279,30 @@ pub fn execute(store: &dyn KvBackend, request: &Request) -> Response {
             }
         }
         OpCode::Ping => Response::ok_empty(),
+        OpCode::MultiGet => {
+            let Ok(keys) = crate::protocol::decode_multi_get(&request.value) else {
+                return Response::error();
+            };
+            // The whole batch runs as one work item: one crossing charge
+            // and one shard-lock acquisition per touched shard, however
+            // many keys ride in the frame.
+            match store.multi_get(&keys) {
+                Some(results) => Response::ok(crate::protocol::encode_multi_get_response(&results)),
+                // Batch-level failure (e.g. integrity violation): fail
+                // the whole frame closed rather than fabricate misses.
+                None => Response::error(),
+            }
+        }
+        OpCode::MultiSet => {
+            let Ok(items) = crate::protocol::decode_multi_set(&request.value) else {
+                return Response::error();
+            };
+            if store.multi_set(&items) {
+                Response::ok_empty()
+            } else {
+                Response::error()
+            }
+        }
         OpCode::ScanPrefix => {
             let limit = if request.value.len() == 4 {
                 u32::from_le_bytes(request.value[..].try_into().expect("4 bytes")) as usize
@@ -319,9 +340,8 @@ fn handle_connection(
         work_tx
             .send(WorkItem { crypto: crypto.clone(), body, reply: reply_tx.clone() })
             .map_err(|_| NetError::Protocol("server shutting down".into()))?;
-        let out = reply_rx
-            .recv()
-            .map_err(|_| NetError::Protocol("worker dropped request".into()))?;
+        let out =
+            reply_rx.recv().map_err(|_| NetError::Protocol("worker dropped request".into()))?;
         protocol::write_frame(&mut stream, &out)?;
     }
 }
@@ -333,9 +353,7 @@ mod tests {
     use sgx_sim::attest::AttestationVerifier;
     use sgx_sim::enclave::EnclaveBuilder;
 
-    fn shield_store_on(
-        enclave: &Arc<Enclave>,
-    ) -> Arc<shieldstore::ShieldStore> {
+    fn shield_store_on(enclave: &Arc<Enclave>) -> Arc<shieldstore::ShieldStore> {
         Arc::new(
             shieldstore::ShieldStore::new(
                 Arc::clone(enclave),
@@ -356,8 +374,8 @@ mod tests {
         )
         .unwrap();
 
-        let verifier = AttestationVerifier::for_enclave(&enclave)
-            .expect_measurement(*enclave.measurement());
+        let verifier =
+            AttestationVerifier::for_enclave(&enclave).expect_measurement(*enclave.measurement());
         let mut client = KvClient::connect_secure(server.addr(), &verifier, 1).unwrap();
 
         client.set(b"k", b"v").unwrap();
@@ -414,10 +432,7 @@ mod tests {
             penalties.push(p);
             server.shutdown();
         }
-        assert!(
-            penalties[0] > penalties[1],
-            "ECALLs must cost more than HotCalls: {penalties:?}"
-        );
+        assert!(penalties[0] > penalties[1], "ECALLs must cost more than HotCalls: {penalties:?}");
     }
 
     #[test]
@@ -426,10 +441,7 @@ mod tests {
         let store = Arc::new(
             shieldstore::ShieldStore::new(
                 Arc::clone(&enclave),
-                shieldstore::Config::shield_opt()
-                    .buckets(128)
-                    .mac_hashes(32)
-                    .with_ordered_index(),
+                shieldstore::Config::shield_opt().buckets(128).mac_hashes(32).with_ordered_index(),
             )
             .unwrap(),
         );
@@ -469,6 +481,68 @@ mod tests {
         let verifier = AttestationVerifier::for_enclave(&enclave);
         let mut client = KvClient::connect_secure(server.addr(), &verifier, 4).unwrap();
         assert!(client.scan_prefix(b"x", 10).is_err());
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_ops_one_dispatch_per_frame() {
+        let enclave = EnclaveBuilder::new("net-batch").epc_bytes(8 << 20).build();
+        let store = shield_store_on(&enclave);
+        let server = Server::start(
+            store,
+            Some(Arc::clone(&enclave)),
+            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+        )
+        .unwrap();
+        let verifier = AttestationVerifier::for_enclave(&enclave);
+        let mut client = KvClient::connect_secure(server.addr(), &verifier, 9).unwrap();
+
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..32u32)
+            .map(|i| (format!("batch-{i:02}").into_bytes(), format!("val-{i}").into_bytes()))
+            .collect();
+        client.multi_set(&items).unwrap();
+
+        // Mixed hits and misses come back in request order.
+        let keys: Vec<Vec<u8>> =
+            vec![b"batch-00".to_vec(), b"no-such-key".to_vec(), b"batch-31".to_vec()];
+        let got = client.multi_get(&keys).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].as_deref().unwrap(), b"val-0");
+        assert!(got[1].is_none());
+        assert_eq!(got[2].as_deref().unwrap(), b"val-31");
+
+        // 35 operations rode in exactly two frames: the batch is the
+        // unit of enclave dispatch, not the key.
+        assert_eq!(server.requests_served(), 2);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_batch_payload_is_an_error() {
+        let enclave = EnclaveBuilder::new("net-badbatch").epc_bytes(4 << 20).build();
+        let store = shield_store_on(&enclave);
+        let server = Server::start(
+            store,
+            Some(Arc::clone(&enclave)),
+            ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+        )
+        .unwrap();
+        let verifier = AttestationVerifier::for_enclave(&enclave);
+        let mut client = KvClient::connect_secure(server.addr(), &verifier, 10).unwrap();
+        // A count claiming more entries than the payload holds.
+        let r = client
+            .call(&Request {
+                op: OpCode::MultiGet,
+                key: Vec::new(),
+                value: 1000u32.to_le_bytes().to_vec(),
+            })
+            .unwrap();
+        assert_eq!(r.status, crate::protocol::Status::Error);
+        // The connection stays usable afterwards.
+        client.set(b"still", b"alive").unwrap();
+        assert_eq!(client.get(b"still").unwrap().unwrap(), b"alive");
         drop(client);
         server.shutdown();
     }

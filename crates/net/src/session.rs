@@ -12,12 +12,12 @@
 //!    cannot be replayed or reflected.
 
 use crate::{NetError, Result};
+use sgx_sim::attest::{self, AttestationVerifier, Quote, REPORT_DATA_LEN};
+use sgx_sim::enclave::Enclave;
 use shield_crypto::cmac::Cmac;
 use shield_crypto::ctr::AesCtr;
 use shield_crypto::hmac;
 use shield_crypto::x25519;
-use sgx_sim::attest::{self, AttestationVerifier, Quote, REPORT_DATA_LEN};
-use sgx_sim::enclave::Enclave;
 use std::io::{Read, Write};
 
 /// Direction discriminators baked into nonces.
@@ -159,10 +159,8 @@ pub fn client_handshake(
 
     let quote_bytes = crate::protocol::read_frame(stream)?
         .ok_or_else(|| NetError::Protocol("server hung up before quote".into()))?;
-    let quote =
-        Quote::from_bytes(&quote_bytes).map_err(|e| NetError::Security(e.to_string()))?;
-    let report_data =
-        verifier.verify(&quote).map_err(|e| NetError::Security(e.to_string()))?;
+    let quote = Quote::from_bytes(&quote_bytes).map_err(|e| NetError::Security(e.to_string()))?;
+    let report_data = verifier.verify(&quote).map_err(|e| NetError::Security(e.to_string()))?;
 
     let server_pub: [u8; 32] = report_data[..32].try_into().expect("32 bytes");
     let shared = x25519::shared_secret(&client_priv, &server_pub)
@@ -206,7 +204,9 @@ mod tests {
     impl Write for Pipe {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
             for &b in buf {
-                self.tx.send(b).map_err(|_| std::io::Error::from(std::io::ErrorKind::BrokenPipe))?;
+                self.tx
+                    .send(b)
+                    .map_err(|_| std::io::Error::from(std::io::ErrorKind::BrokenPipe))?;
             }
             self.buf.clear();
             Ok(buf.len())
@@ -220,8 +220,8 @@ mod tests {
     #[test]
     fn handshake_derives_matching_keys() {
         let enclave = EnclaveBuilder::new("kv-server").build();
-        let verifier = AttestationVerifier::for_enclave(&enclave)
-            .expect_measurement(*enclave.measurement());
+        let verifier =
+            AttestationVerifier::for_enclave(&enclave).expect_measurement(*enclave.measurement());
         let (mut client_side, mut server_side) = pipe_pair();
 
         let server = std::thread::spawn(move || server_handshake(&mut server_side, &enclave));

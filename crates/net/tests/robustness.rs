@@ -3,10 +3,10 @@
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
-use shield_net::protocol::{read_frame, write_frame, OpCode, Request, Response};
-use shield_net::session;
 use sgx_sim::attest::AttestationVerifier;
 use sgx_sim::enclave::EnclaveBuilder;
+use shield_net::protocol::{read_frame, write_frame, OpCode, Request, Response};
+use shield_net::session;
 use std::io::Cursor;
 
 proptest! {

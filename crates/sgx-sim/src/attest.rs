@@ -135,8 +135,7 @@ mod tests {
         let impostor = EnclaveBuilder::new("malicious-kv").build();
         let rd = [0u8; REPORT_DATA_LEN];
         let quote = generate_quote(&impostor, &rd);
-        let verifier =
-            AttestationVerifier::for_enclave(&e).expect_measurement(*e.measurement());
+        let verifier = AttestationVerifier::for_enclave(&e).expect_measurement(*e.measurement());
         assert_eq!(verifier.verify(&quote), Err(SimError::QuoteVerify));
     }
 

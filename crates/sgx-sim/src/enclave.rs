@@ -76,11 +76,8 @@ impl EnclaveBuilder {
     /// Builds the enclave.
     pub fn build(self) -> Arc<Enclave> {
         let stats = Arc::new(SimStats::new());
-        let epc = Arc::new(Epc::new(
-            self.epc_bytes / crate::PAGE_SIZE,
-            self.cost,
-            Arc::clone(&stats),
-        ));
+        let epc =
+            Arc::new(Epc::new(self.epc_bytes / crate::PAGE_SIZE, self.cost, Arc::clone(&stats)));
         let memory = EnclaveMemory::with_chunk_size(Arc::clone(&epc), self.chunk_size);
         let measurement = {
             let mut h = Sha256::new();

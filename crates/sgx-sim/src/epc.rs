@@ -303,10 +303,7 @@ mod tests {
         }
         ends.sort_unstable();
         assert!(ends[0] >= fault_ns);
-        assert!(
-            ends[1] >= 2 * fault_ns,
-            "second fault must queue behind the first: {ends:?}"
-        );
+        assert!(ends[1] >= 2 * fault_ns, "second fault must queue behind the first: {ends:?}");
         vclock::reset();
     }
 

@@ -9,10 +9,10 @@
 //! cargo run --release --example epc_explorer
 //! ```
 
-use shield_baseline::{KvBackend, NaiveEnclaveStore};
-use shieldstore::{Config, ShieldStore};
 use sgx_sim::enclave::EnclaveBuilder;
 use sgx_sim::vclock;
+use shield_baseline::{KvBackend, NaiveEnclaveStore};
+use shieldstore::{Config, ShieldStore};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -37,7 +37,7 @@ fn measure(label: &str, f: impl FnOnce() -> u64) {
 fn main() {
     println!("EPC budget: {} KiB; values: {VAL} B\n", EPC >> 10);
     for &num_keys in &[1_000u64, 4_000, 16_000, 64_000] {
-        let data_kib = num_keys as usize * (VAL + 32) >> 10;
+        let data_kib = (num_keys as usize * (VAL + 32)) >> 10;
         println!(
             "== {num_keys} keys (~{data_kib} KiB of data, {:.1}x the EPC) ==",
             data_kib as f64 / (EPC >> 10) as f64

@@ -12,11 +12,11 @@
 //! cargo run --release --example networked_store
 //! ```
 
+use sgx_sim::attest::AttestationVerifier;
+use sgx_sim::enclave::EnclaveBuilder;
 use shield_net::client::KvClient;
 use shield_net::server::{CrossingMode, Server, ServerConfig};
 use shieldstore::{Config, ShieldStore};
-use sgx_sim::attest::AttestationVerifier;
-use sgx_sim::enclave::EnclaveBuilder;
 use std::sync::Arc;
 
 fn main() {
@@ -65,11 +65,8 @@ fn main() {
     // even on the same "platform".
     let impostor = EnclaveBuilder::new("evil-kv-server").epc_bytes(1 << 20).seed(1).build();
     let evil_store = Arc::new(
-        ShieldStore::new(
-            Arc::clone(&impostor),
-            Config::shield_opt().buckets(64).mac_hashes(16),
-        )
-        .expect("store"),
+        ShieldStore::new(Arc::clone(&impostor), Config::shield_opt().buckets(64).mac_hashes(16))
+            .expect("store"),
     );
     let evil_server = Server::start(
         evil_store,

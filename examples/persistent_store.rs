@@ -40,8 +40,10 @@ fn main() {
         assert_eq!(store.get(b"item:1").unwrap(), b"v1-1");
         let writer_cpu = job.finish().expect("finish");
         println!("snapshot v1 written (writer used {writer_cpu:?} of CPU)");
-        println!("write during snapshot visible: {:?}",
-            String::from_utf8(store.get(b"item:0").unwrap()));
+        println!(
+            "write during snapshot visible: {:?}",
+            String::from_utf8(store.get(b"item:0").unwrap())
+        );
 
         // Second snapshot captures the newer state.
         store.set(b"item:1", b"v2-1").unwrap();
@@ -52,8 +54,7 @@ fn main() {
     // --- Restart: recover from the latest snapshot ------------------------
     {
         let enclave = EnclaveBuilder::new("persistent-kv").epc_bytes(8 << 20).seed(5).build();
-        let store =
-            ShieldStore::restore(enclave, config(), &snap_v2, &counter).expect("restore");
+        let store = ShieldStore::restore(enclave, config(), &snap_v2, &counter).expect("restore");
         println!("\nrestored {} entries from snapshot v2", store.len());
         assert_eq!(store.get(b"item:1").unwrap(), b"v2-1");
         assert_eq!(store.get(b"item:0").unwrap(), b"written-during-snapshot");

@@ -66,14 +66,17 @@ fn main() {
     // operator of that memory learns nothing and cannot tamper silently.
     let stats = store.stats();
     println!("\nsecurity work performed while serving:");
-    println!("  {} integrity verifications (every op checks its bucket set)",
-        stats.integrity_verifications);
-    println!("  {} key decryptions, {} pruned by the 1-byte key hint",
-        stats.key_decryptions, stats.hint_skips);
+    println!(
+        "  {} integrity verifications (every op checks its bucket set)",
+        stats.integrity_verifications
+    );
+    println!(
+        "  {} key decryptions, {} pruned by the 1-byte key hint",
+        stats.key_decryptions, stats.hint_skips
+    );
 
     let sim = enclave.stats().snapshot();
-    println!("\nEPC faults: {} — session data never touched the paging path",
-        sim.epc_faults);
+    println!("\nEPC faults: {} — session data never touched the paging path", sim.epc_faults);
 
     // And a session that never existed stays deniable: lookups of absent
     // tokens are verified misses, not silent failures.

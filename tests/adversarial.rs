@@ -2,14 +2,14 @@
 //! across crates. The attacker controls everything outside the enclave —
 //! untrusted memory, the network, and persistent storage.
 
+use sgx_sim::attest::{self, AttestationVerifier};
+use sgx_sim::counter::PersistentCounter;
+use sgx_sim::enclave::EnclaveBuilder;
 use shield_net::client::KvClient;
 use shield_net::protocol::{self, OpCode, Request};
 use shield_net::server::{CrossingMode, Server, ServerConfig};
 use shield_net::session;
 use shieldstore::{Config, Error, ShieldStore};
-use sgx_sim::attest::{self, AttestationVerifier};
-use sgx_sim::counter::PersistentCounter;
-use sgx_sim::enclave::EnclaveBuilder;
 use std::io::{Read, Write};
 use std::sync::Arc;
 
@@ -19,11 +19,8 @@ use std::sync::Arc;
 fn real_handshake_then_mitm_flip() {
     let enclave = EnclaveBuilder::new("adv-mitm").epc_bytes(4 << 20).build();
     let store = Arc::new(
-        ShieldStore::new(
-            Arc::clone(&enclave),
-            Config::shield_opt().buckets(64).mac_hashes(16),
-        )
-        .unwrap(),
+        ShieldStore::new(Arc::clone(&enclave), Config::shield_opt().buckets(64).mac_hashes(16))
+            .unwrap(),
     );
     let server = Server::start(
         store,
@@ -35,12 +32,7 @@ fn real_handshake_then_mitm_flip() {
 
     // Handshake normally, then send a corrupted sealed frame by hand.
     let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
-    let mut crypto = session::client_handshake(
-        &mut stream,
-        &verifier,
-        77,
-    )
-    .unwrap();
+    let mut crypto = session::client_handshake(&mut stream, &verifier, 77).unwrap();
     let mut sealed = crypto.seal(
         &Request { op: OpCode::Set, key: b"key".to_vec(), value: b"value".to_vec() }.encode(),
     );
@@ -61,8 +53,8 @@ fn real_handshake_then_mitm_flip() {
 #[test]
 fn forged_quote_rejected() {
     let genuine = EnclaveBuilder::new("adv-genuine").epc_bytes(1 << 20).build();
-    let verifier = AttestationVerifier::for_enclave(&genuine)
-        .expect_measurement(*genuine.measurement());
+    let verifier =
+        AttestationVerifier::for_enclave(&genuine).expect_measurement(*genuine.measurement());
 
     // Forge: correct measurement, fabricated MAC.
     let quote = attest::Quote {
@@ -104,10 +96,7 @@ fn snapshot_replay_rejected() {
 
     // Replaying the richer old state fails.
     let enclave = EnclaveBuilder::new("adv-replay").epc_bytes(4 << 20).seed(1).build();
-    assert!(matches!(
-        ShieldStore::restore(enclave, cfg(), &old, &counter),
-        Err(Error::Rollback)
-    ));
+    assert!(matches!(ShieldStore::restore(enclave, cfg(), &old, &counter), Err(Error::Rollback)));
     // The genuine latest restores fine.
     let enclave = EnclaveBuilder::new("adv-replay").epc_bytes(4 << 20).seed(1).build();
     let s = ShieldStore::restore(enclave, cfg(), &new, &counter).unwrap();
@@ -143,8 +132,7 @@ fn snapshot_entry_splice_rejected() {
     // after MAGIC(8) + counter(8) + shards(4) + sealed_len(4) + sealed.
     let bytes_a = std::fs::read(&a).unwrap();
     let bytes_b = std::fs::read(&b).unwrap();
-    let sealed_len =
-        u32::from_le_bytes(bytes_b[20..24].try_into().unwrap()) as usize;
+    let sealed_len = u32::from_le_bytes(bytes_b[20..24].try_into().unwrap()) as usize;
     let cut = 24 + sealed_len;
     let mut franken = bytes_b[..cut].to_vec();
     franken.extend_from_slice(&bytes_a[cut..]);
@@ -160,17 +148,54 @@ fn snapshot_entry_splice_rejected() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A tampered untrusted entry poisons the whole batched read: the
+/// amortized verify-once-per-set path must fail closed, not skip the
+/// check, and over the wire the batch comes back as a frame-level error.
+#[test]
+fn tampered_entry_fails_batched_read_closed() {
+    let enclave = EnclaveBuilder::new("adv-batch").epc_bytes(4 << 20).seed(3).build();
+    let store = Arc::new(
+        ShieldStore::new(
+            Arc::clone(&enclave),
+            Config::shield_opt().buckets(64).mac_hashes(16).with_shards(2),
+        )
+        .unwrap(),
+    );
+    let keys: Vec<Vec<u8>> = (0..100u32).map(|i| format!("victim-{i:03}").into_bytes()).collect();
+    for key in &keys {
+        store.set(key, b"honest value").unwrap();
+    }
+    assert!(store.tamper_untrusted_entry_for_test(4242));
+
+    // Direct batched read over every key: some sub-batch crosses the
+    // tampered set and the whole call reports the violation.
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    assert!(matches!(store.multi_get(&refs), Err(Error::IntegrityViolation { .. })));
+
+    // The same batch over TCP fails as one error frame; the connection
+    // stays usable for untouched operations (e.g. a ping).
+    let server = Server::start(
+        Arc::clone(&store) as Arc<dyn shield_baseline::KvBackend>,
+        Some(Arc::clone(&enclave)),
+        ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+    )
+    .unwrap();
+    let verifier = AttestationVerifier::for_enclave(&enclave);
+    let mut client = KvClient::connect_secure(server.addr(), &verifier, 15).unwrap();
+    assert!(client.multi_get(&keys).is_err());
+    client.ping().unwrap();
+    drop(client);
+    server.shutdown();
+}
+
 /// Insecure client speaking to a secure server (and vice versa) fails
 /// cleanly rather than hanging or succeeding.
 #[test]
 fn protocol_mode_mismatch_fails_cleanly() {
     let enclave = EnclaveBuilder::new("adv-mode").epc_bytes(4 << 20).build();
     let store = Arc::new(
-        ShieldStore::new(
-            Arc::clone(&enclave),
-            Config::shield_opt().buckets(64).mac_hashes(16),
-        )
-        .unwrap(),
+        ShieldStore::new(Arc::clone(&enclave), Config::shield_opt().buckets(64).mac_hashes(16))
+            .unwrap(),
     );
     let server = Server::start(
         store,
@@ -190,11 +215,8 @@ fn protocol_mode_mismatch_fails_cleanly() {
 fn garbage_frames_survive() {
     let enclave = EnclaveBuilder::new("adv-garbage").epc_bytes(4 << 20).build();
     let store = Arc::new(
-        ShieldStore::new(
-            Arc::clone(&enclave),
-            Config::shield_opt().buckets(64).mac_hashes(16),
-        )
-        .unwrap(),
+        ShieldStore::new(Arc::clone(&enclave), Config::shield_opt().buckets(64).mac_hashes(16))
+            .unwrap(),
     );
     let server = Server::start(
         store,

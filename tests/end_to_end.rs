@@ -1,14 +1,14 @@
 //! Cross-crate integration tests: the full stack from workload generation
 //! through the store, the network layer, and persistence.
 
+use sgx_sim::attest::AttestationVerifier;
+use sgx_sim::counter::PersistentCounter;
+use sgx_sim::enclave::EnclaveBuilder;
 use shield_baseline::KvBackend;
 use shield_net::client::KvClient;
 use shield_net::server::{CrossingMode, Server, ServerConfig};
 use shield_workload::{make_key, make_value, Generator, Op, Spec};
 use shieldstore::{Config, ShieldStore};
-use sgx_sim::attest::AttestationVerifier;
-use sgx_sim::counter::PersistentCounter;
-use sgx_sim::enclave::EnclaveBuilder;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -155,16 +155,103 @@ fn networked_workload_round_trip() {
     server.shutdown();
 }
 
+/// Batched operations spanning every shard agree with per-op results:
+/// one multi_set, then a multi_get mixing hits and misses across shards.
+#[test]
+fn batched_ops_round_trip_across_shards() {
+    let s = store(256, 4, 31);
+    let items: Vec<(Vec<u8>, Vec<u8>)> =
+        (0..200u64).map(|i| (make_key(i, 16), make_value(i, 3, 40))).collect();
+    let item_refs: Vec<(&[u8], &[u8])> =
+        items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+    s.multi_set(&item_refs).unwrap();
+
+    // Every shard served part of the batch.
+    assert_eq!(s.len(), 200);
+    let stats = s.stats();
+    assert!(stats.batches >= 4, "4 shards must each see a sub-batch");
+
+    // Interleave present and absent keys in one read batch.
+    let mut query: Vec<Vec<u8>> = Vec::new();
+    for i in 0..200u64 {
+        query.push(make_key(i, 16));
+        if i % 5 == 0 {
+            query.push(make_key(10_000 + i, 16)); // never written
+        }
+    }
+    let query_refs: Vec<&[u8]> = query.iter().map(|k| k.as_slice()).collect();
+    let got = s.multi_get(&query_refs).unwrap();
+    assert_eq!(got.len(), query.len());
+    let mut expect_iter = 0u64;
+    for (key, result) in query.iter().zip(&got) {
+        if key == &make_key(expect_iter, 16) {
+            assert_eq!(result.as_ref().unwrap(), &make_value(expect_iter, 3, 40));
+            expect_iter += 1;
+        } else {
+            assert!(result.is_none(), "absent key must miss");
+        }
+    }
+}
+
+/// MultiGet/MultiSet over TCP: one frame per batch, mixed hits and
+/// misses, agreeing with per-op reads of the same store.
+#[test]
+fn networked_batched_round_trip() {
+    let enclave = EnclaveBuilder::new("e2e-batch").epc_bytes(8 << 20).seed(8).build();
+    let s = Arc::new(
+        ShieldStore::new(
+            Arc::clone(&enclave),
+            Config::shield_opt().buckets(256).mac_hashes(64).with_shards(4),
+        )
+        .unwrap(),
+    );
+    let server = Server::start(
+        Arc::clone(&s) as Arc<dyn KvBackend>,
+        Some(Arc::clone(&enclave)),
+        ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+    )
+    .unwrap();
+    let verifier =
+        AttestationVerifier::for_enclave(&enclave).expect_measurement(*enclave.measurement());
+    let mut client = KvClient::connect_secure(server.addr(), &verifier, 13).unwrap();
+
+    let items: Vec<(Vec<u8>, Vec<u8>)> =
+        (0..100u64).map(|i| (make_key(i, 16), make_value(i, 7, 32))).collect();
+    client.multi_set(&items).unwrap();
+
+    let keys: Vec<Vec<u8>> = vec![
+        make_key(0, 16),
+        make_key(9_999, 16), // miss
+        make_key(50, 16),
+        make_key(99, 16),
+        make_key(8_888, 16), // miss
+    ];
+    let got = client.multi_get(&keys).unwrap();
+    assert_eq!(got.len(), 5);
+    assert_eq!(got[0].as_ref().unwrap(), &make_value(0, 7, 32));
+    assert!(got[1].is_none());
+    assert_eq!(got[2].as_ref().unwrap(), &make_value(50, 7, 32));
+    assert_eq!(got[3].as_ref().unwrap(), &make_value(99, 7, 32));
+    assert!(got[4].is_none());
+
+    // 105 operations crossed the wire in exactly two frames.
+    assert_eq!(server.requests_served(), 2);
+
+    // Per-op reads of the server-side store agree.
+    for (key, value) in &items {
+        assert_eq!(&ShieldStore::get(&s, key).unwrap(), value);
+    }
+    drop(client);
+    server.shutdown();
+}
+
 /// Server-side increments are atomic relative to concurrent clients.
 #[test]
 fn concurrent_clients_increment_once_each() {
     let enclave = EnclaveBuilder::new("e2e-incr").epc_bytes(4 << 20).seed(4).build();
     let s = Arc::new(
-        ShieldStore::new(
-            Arc::clone(&enclave),
-            Config::shield_opt().buckets(64).mac_hashes(16),
-        )
-        .unwrap(),
+        ShieldStore::new(Arc::clone(&enclave), Config::shield_opt().buckets(64).mac_hashes(16))
+            .unwrap(),
     );
     let server = Server::start(
         s,

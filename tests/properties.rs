@@ -4,8 +4,8 @@
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
-use shieldstore::{Config, Error, ShieldStore};
 use sgx_sim::enclave::EnclaveBuilder;
+use shieldstore::{Config, Error, ShieldStore};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -14,16 +14,11 @@ fn tiny_store(seed: u64, key_hint: bool, mac_bucket: bool) -> Arc<ShieldStore> {
     Arc::new(
         ShieldStore::new(
             enclave,
-            Config {
-                key_hint,
-                two_step_search: key_hint,
-                mac_bucket,
-                ..Config::shield_opt()
-            }
-            // Few buckets: collisions and long chains on purpose.
-            .buckets(8)
-            .mac_hashes(4)
-            .with_shards(2),
+            Config { key_hint, two_step_search: key_hint, mac_bucket, ..Config::shield_opt() }
+                // Few buckets: collisions and long chains on purpose.
+                .buckets(8)
+                .mac_hashes(4)
+                .with_shards(2),
         )
         .unwrap(),
     )

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion's API its benches use: `Criterion`
+//! builder knobs, benchmark groups with `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple wall-clock loop (no statistics, no reports beyond one line
+//! per benchmark), which keeps `cargo bench` functional and fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. Builder methods mirror criterion's.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measurement_time: Duration::from_millis(100) }
+    }
+}
+
+impl Criterion {
+    /// Sample count is meaningless for the single-loop stub; accepted for
+    /// API compatibility.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Caps how long each benchmark's timing loop runs.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        // The stub has no statistical sampling, so a fraction of the
+        // requested window is plenty to produce a stable per-iter number.
+        self.measurement_time = d.min(Duration::from_millis(250));
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let per_iter = run_bench(self.measurement_time, f);
+        report("", &id, per_iter);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(budget: Duration, mut f: F) -> f64 {
+    let mut bencher = Bencher { budget, per_iter_ns: 0.0 };
+    f(&mut bencher);
+    bencher.per_iter_ns
+}
+
+fn report(group: &str, id: &dyn Display, per_iter_ns: f64) {
+    if group.is_empty() {
+        println!("bench {id:<40} {per_iter_ns:>12.1} ns/iter");
+    } else {
+        let full = format!("{group}/{id}");
+        println!("bench {full:<40} {per_iter_ns:>12.1} ns/iter");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d.min(Duration::from_millis(250));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let per_iter = run_bench(self.criterion.measurement_time, f);
+        report(&self.name, &id, per_iter);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let per_iter = run_bench(self.criterion.measurement_time, |b| f(b, input));
+        report(&self.name, &id, per_iter);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    budget: Duration,
+    per_iter_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to fault in code and data.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            // Check the clock in batches so cheap bodies aren't dominated
+            // by `Instant::now` overhead.
+            if iters.is_multiple_of(64) && start.elapsed() >= self.budget {
+                break;
+            }
+            if iters >= 100_000_000 {
+                break;
+            }
+        }
+        self.per_iter_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `aes-ctr/4096`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { full: format!("{}/{}", name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { full: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Throughput annotation; accepted but not used by the stub's reporting.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(8)).bench_function(BenchmarkId::new("add", 8), |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,610 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest's API its tests use: the `proptest!`
+//! macro (both `pat in strategy` and `ident: type` parameter forms, with
+//! an optional `#![proptest_config(..)]` header), `prop_assert*!`,
+//! `prop_assume!`, `prop_oneof!`, integer-range / tuple / `any::<T>()`
+//! strategies, `collection::vec`, `sample::Index`, and `prop_map`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case panics with the failure message;
+//!   the reported inputs are whatever the RNG produced.
+//! - **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and name, so failures reproduce across runs.
+
+use std::marker::PhantomData;
+
+pub mod test_runner {
+    use std::borrow::Cow;
+
+    /// Runner configuration; only `cases` matters to the stub, the other
+    /// fields exist so `ProptestConfig { cases: N, ..Default::default() }`
+    /// struct literals from real-proptest users keep compiling.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+        /// Unused: the stub never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256, max_global_rejects: 4096, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property is false for this input: the whole test fails.
+        Fail(Cow<'static, str>),
+        /// The input does not satisfy a precondition: retry with a new one.
+        Reject(Cow<'static, str>),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<Cow<'static, str>>) -> Self {
+            Self::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<Cow<'static, str>>) -> Self {
+            Self::Reject(reason.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// SplitMix64: tiny, fast, and plenty for test-input generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn with_seed(seed: u64) -> Self {
+            Self { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// Derives a stable per-test seed from the test's full name, so
+        /// every run of a given test replays the same input sequence.
+        pub fn for_test(name: &str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for byte in name.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+            Self::with_seed(hash)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish value in `[0, bound)`; the modulo bias is
+        /// irrelevant at test-input scale.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let source = self;
+            BoxedStrategy(Rc::new(move |rng| source.generate(rng)))
+        }
+    }
+
+    /// Type-erased strategy; what `prop_oneof!` arms are unified into.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.below(self.options.len() as u64) as usize;
+            self.options[pick].generate(rng)
+        }
+    }
+
+    /// `strategy.prop_map(f)`.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),+) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $ty
+                }
+            }
+        )+};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = rng.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($idx:tt $name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Any<T> {}
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($ty:ty),+) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [0u8; N];
+            for chunk in out.chunks_mut(8) {
+                let word = rng.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&word[..n]);
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// `vec(element, len_range)`: a vector whose length is drawn from
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + if span == 0 { 0 } else { rng.below(span) as usize };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use super::test_runner::TestRng;
+
+    /// A position into a collection whose size is unknown at generation
+    /// time; resolve it with [`index`](Self::index).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on an empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Self(rng.next_u64())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// Re-exported so `Any<T>` is nameable from the crate root if needed.
+pub use arbitrary::Any;
+
+#[doc(hidden)]
+pub struct __Unused(PhantomData<()>);
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by one or more
+/// `#[test] fn name(params) { body }` items, where each parameter is
+/// either `pattern in strategy` or `name: Type` (shorthand for
+/// `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(($config) ($name) [] $($params)*; $body);
+        }
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters munched: run the cases.
+    (($config:expr) ($name:ident) [$((($p:pat) ($s:expr)))*]; $body:block) => {{
+        let config = $config;
+        let mut rng = $crate::test_runner::TestRng::for_test(
+            concat!(module_path!(), "::", stringify!($name)),
+        );
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        while passed < config.cases {
+            $(let $p = $crate::strategy::Strategy::generate(&($s), &mut rng);)*
+            let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+            match outcome {
+                ::std::result::Result::Ok(()) => passed += 1,
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest {}: too many rejected inputs ({} rejects, {} passes)",
+                            stringify!($name), rejected, passed,
+                        );
+                    }
+                }
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest {} failed at case {}: {}",
+                        stringify!($name), passed, reason,
+                    );
+                }
+            }
+        }
+    }};
+    // `name: Type` shorthand, more parameters follow.
+    (($config:expr) ($name:ident) [$($acc:tt)*] $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!(
+            ($config) ($name) [$($acc)* (($id) ($crate::arbitrary::any::<$ty>()))] $($rest)*
+        );
+    };
+    // `name: Type` shorthand, final parameter.
+    (($config:expr) ($name:ident) [$($acc:tt)*] $id:ident : $ty:ty; $body:block) => {
+        $crate::__proptest_case!(
+            ($config) ($name) [$($acc)* (($id) ($crate::arbitrary::any::<$ty>()))]; $body
+        );
+    };
+    // `pattern in strategy`, more parameters follow.
+    (($config:expr) ($name:ident) [$($acc:tt)*] $p:pat in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!(($config) ($name) [$($acc)* (($p) ($s))] $($rest)*);
+    };
+    // `pattern in strategy`, final parameter.
+    (($config:expr) ($name:ident) [$($acc:tt)*] $p:pat in $s:expr; $body:block) => {
+        $crate::__proptest_case!(($config) ($name) [$($acc)* (($p) ($s))]; $body);
+    };
+}
+
+/// Asserts a condition inside a proptest body; on failure the case (and
+/// test) fails without panicking through the generation machinery.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left_val = $left;
+        let right_val = $right;
+        $crate::prop_assert!(
+            left_val == right_val,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left_val,
+            right_val,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left_val = $left;
+        let right_val = $right;
+        $crate::prop_assert!(left_val == right_val, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left_val = $left;
+        let right_val = $right;
+        $crate::prop_assert!(
+            left_val != right_val,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left_val,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left_val = $left;
+        let right_val = $right;
+        $crate::prop_assert!(left_val != right_val, $($fmt)+);
+    }};
+}
+
+/// Rejects the current input (retried with a fresh one) when a
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec as pvec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in pvec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn shorthand_and_tuples(flag: bool, pair in (0u8..4, any::<u16>())) {
+            let _ = flag;
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn index_resolves(idx in any::<prop::sample::Index>(), v in pvec(any::<u8>(), 1..20)) {
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn assume_rejects_gracefully(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn oneof_and_map_cover_arms(v in prop_oneof![
+            (0u8..1).prop_map(|_| 0u8),
+            (0u8..1).prop_map(|_| 1u8),
+        ]) {
+            prop_assert!(v <= 1);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = TestRng::for_test("mod::case");
+        let mut b = TestRng::for_test("mod::case");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failures_panic_with_message() {
+        // No #[test] meta on the inner fn: it is invoked directly, and a
+        // nested #[test] would trip the unnameable_test_items lint.
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
