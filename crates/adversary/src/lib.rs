@@ -1,0 +1,43 @@
+//! Deterministic adversary harness for ShieldStore.
+//!
+//! Everything here is a pure function of a 64-bit seed: the operation
+//! stream, the attack schedule, the snapshot corruptions, and the wire
+//! faults. A failing seed therefore reproduces the failure exactly —
+//! `cargo run -p adversary -- --seed <s>` — with no flakiness to chase.
+//!
+//! Three phases run per seed, each differentially checked against the
+//! plain-`HashMap` shadow model in [`model`]:
+//!
+//! * [`engine`] — store-layer attacks on untrusted memory (entry field
+//!   flips, chain unlink/splice, MAC side-array corruption, allocator
+//!   faults, stale-entry rollback) interleaved with random operations.
+//! * [`snapshot`] — persistence-layer attacks on the snapshot file
+//!   (truncation, bit flips, zero-length, stale-file replay).
+//! * [`wire`] — network-layer attacks via a byte-level fault proxy
+//!   (garbled, truncated, duplicated, and dropped frames).
+//!
+//! The invariant checked after every step is the *trichotomy*: the
+//! result matches the model, or the operation failed with an integrity
+//! violation (detection, failing closed), and never anything else.
+
+pub mod engine;
+pub mod model;
+pub mod snapshot;
+pub mod wire;
+
+/// Combined accounting for one seed's full run.
+#[derive(Debug, Default, Clone)]
+pub struct SeedReport {
+    pub store: engine::StoreReport,
+    pub snapshot: snapshot::SnapshotReport,
+    pub wire: wire::WireReport,
+}
+
+/// Runs every phase for one seed. `store_steps` sizes the chaotic
+/// store phase; the other phases have fixed shapes.
+pub fn run_seed(seed: u64, store_steps: u64) -> Result<SeedReport, model::Violation> {
+    let store = engine::run_store_phase(seed, store_steps)?;
+    let snapshot = snapshot::run_snapshot_phase(seed)?;
+    let wire = wire::run_wire_phase(seed)?;
+    Ok(SeedReport { store, snapshot, wire })
+}

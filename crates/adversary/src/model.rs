@@ -1,0 +1,184 @@
+//! The differential shadow model: plain in-enclave ground truth.
+//!
+//! A `HashMap` plays the role of an oracle with no untrusted state at
+//! all. After every store operation the harness checks the *trichotomy*:
+//! the result matches the model, or the operation failed with
+//! `IntegrityViolation` (the attack was detected), and never anything
+//! else — in particular, never silently wrong data.
+//!
+//! One wrinkle: a write that fails with `IntegrityViolation` may have
+//! partially applied before verification caught the tampering (the store
+//! fails closed, it does not roll back). The model therefore tracks a
+//! *set* of acceptable states per key — usually a singleton, widened to
+//! `{old, new}` by a failed write — and collapses back to a singleton
+//! whenever a successful read observes one of the candidates.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// One acceptable state for a key: present with a value, or absent.
+pub type KeyState = Option<Vec<u8>>;
+
+/// The shadow model.
+#[derive(Debug, Default, Clone)]
+pub struct ShadowModel {
+    /// Acceptable states per key. Absent key == singleton `{None}`.
+    states: HashMap<Vec<u8>, BTreeSet<KeyState>>,
+}
+
+/// A trichotomy violation: the store returned something the model says
+/// is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What the harness was doing.
+    pub context: String,
+    /// Why the observation is inconsistent.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.context, self.detail)
+    }
+}
+
+fn fmt_bytes(b: &[u8]) -> String {
+    match std::str::from_utf8(b) {
+        Ok(s) => format!("{s:?}"),
+        Err(_) => format!("0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+    }
+}
+
+fn fmt_state(s: &KeyState) -> String {
+    match s {
+        Some(v) => fmt_bytes(v),
+        None => "<absent>".into(),
+    }
+}
+
+impl ShadowModel {
+    /// A fresh, empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keys the model has ever seen written.
+    pub fn keys(&self) -> impl Iterator<Item = &Vec<u8>> {
+        self.states.keys()
+    }
+
+    fn set_of(&self, key: &[u8]) -> BTreeSet<KeyState> {
+        self.states.get(key).cloned().unwrap_or_else(|| BTreeSet::from([None]))
+    }
+
+    /// Records a successful `set`: the key now holds exactly `value`.
+    pub fn apply_set(&mut self, key: &[u8], value: &[u8]) {
+        self.states.insert(key.to_vec(), BTreeSet::from([Some(value.to_vec())]));
+    }
+
+    /// Records a failed `set`: the key holds its old state or the new
+    /// value (the write may have landed before verification failed).
+    pub fn apply_failed_set(&mut self, key: &[u8], value: &[u8]) {
+        let mut set = self.set_of(key);
+        set.insert(Some(value.to_vec()));
+        self.states.insert(key.to_vec(), set);
+    }
+
+    /// Records a successful `delete`.
+    pub fn apply_delete(&mut self, key: &[u8]) {
+        self.states.insert(key.to_vec(), BTreeSet::from([None]));
+    }
+
+    /// Records a failed `delete`: old state or absent.
+    pub fn apply_failed_delete(&mut self, key: &[u8]) {
+        let mut set = self.set_of(key);
+        set.insert(None);
+        self.states.insert(key.to_vec(), set);
+    }
+
+    /// Checks an observed read result against the model and, on success,
+    /// collapses the key's acceptable states to the observed one.
+    pub fn check_read(
+        &mut self,
+        context: &str,
+        key: &[u8],
+        observed: &KeyState,
+    ) -> Result<(), Violation> {
+        let set = self.set_of(key);
+        if !set.contains(observed) {
+            return Err(Violation {
+                context: context.into(),
+                detail: format!(
+                    "key {} returned {} but acceptable states are [{}]",
+                    fmt_bytes(key),
+                    fmt_state(observed),
+                    set.iter().map(fmt_state).collect::<Vec<_>>().join(", "),
+                ),
+            });
+        }
+        self.states.insert(key.to_vec(), BTreeSet::from([observed.clone()]));
+        Ok(())
+    }
+
+    /// True when the key is *definitely* present (every acceptable state
+    /// is a value). Used to pick keys for targeted probes.
+    pub fn definitely_present(&self, key: &[u8]) -> bool {
+        let set = self.set_of(key);
+        !set.is_empty() && set.iter().all(|s| s.is_some())
+    }
+
+    /// Checks that a successful `delete` is consistent: the key must have
+    /// had at least one acceptable *present* state (a delete that
+    /// succeeds on a definitely-absent key fabricated an entry).
+    pub fn check_delete_hit(&self, context: &str, key: &[u8]) -> Result<(), Violation> {
+        let set = self.set_of(key);
+        if !set.iter().any(|s| s.is_some()) {
+            return Err(Violation {
+                context: context.into(),
+                detail: format!(
+                    "delete of key {} succeeded but the model says the key was definitely absent",
+                    fmt_bytes(key),
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_lifecycle() {
+        let mut m = ShadowModel::new();
+        m.check_read("get", b"k", &None).unwrap();
+        m.apply_set(b"k", b"v1");
+        m.check_read("get", b"k", &Some(b"v1".to_vec())).unwrap();
+        assert!(m.check_read("get", b"k", &Some(b"v2".to_vec())).is_err());
+        assert!(m.check_read("get", b"k", &None).is_err());
+        m.apply_delete(b"k");
+        m.check_read("get", b"k", &None).unwrap();
+    }
+
+    #[test]
+    fn failed_write_widens_then_collapses() {
+        let mut m = ShadowModel::new();
+        m.apply_set(b"k", b"old");
+        m.apply_failed_set(b"k", b"new");
+        // Both old and new are now acceptable...
+        m.clone().check_read("get", b"k", &Some(b"old".to_vec())).unwrap();
+        m.check_read("get", b"k", &Some(b"new".to_vec())).unwrap();
+        // ...but the observation collapsed the set: "old" is gone.
+        assert!(m.check_read("get", b"k", &Some(b"old".to_vec())).is_err());
+    }
+
+    #[test]
+    fn failed_delete_widens() {
+        let mut m = ShadowModel::new();
+        m.apply_set(b"k", b"v");
+        m.apply_failed_delete(b"k");
+        assert!(!m.definitely_present(b"k"));
+        m.clone().check_read("get", b"k", &None).unwrap();
+        m.check_read("get", b"k", &Some(b"v".to_vec())).unwrap();
+    }
+}

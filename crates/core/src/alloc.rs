@@ -185,6 +185,11 @@ impl UntrustedHeap {
         offset_in_alloc: usize,
         len: usize,
     ) -> Option<&[u8]> {
+        // A corrupted chain pointer can be any u64; a zero chunk field
+        // would underflow `unpack`. Reject before unpacking.
+        if handle >> 32 == 0 {
+            return None;
+        }
         let (chunk, offset) = unpack(handle);
         let data = self.chunks.get(chunk)?;
         let start = offset.checked_add(offset_in_alloc)?;
@@ -234,9 +239,43 @@ impl UntrustedHeap {
         size_class(len) <= size_class(old_len)
     }
 
+    /// Checked variant of [`UntrustedHeap::read_u64_at`]: `None` when the
+    /// handle is corrupt or the read leaves the backing chunk.
+    #[inline]
+    pub fn try_read_u64_at(&self, handle: Handle, offset: usize) -> Option<u64> {
+        let bytes = self.try_bytes_at(handle, offset, 8)?;
+        Some(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
     /// The enclave this heap OCALLs through.
     pub fn enclave(&self) -> &Arc<Enclave> {
         &self.enclave
+    }
+
+    /// Number of backing chunks currently held (testing only).
+    #[cfg(any(test, feature = "testing"))]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Length in bytes of chunk `index` (testing only).
+    #[cfg(any(test, feature = "testing"))]
+    pub fn chunk_len(&self, index: usize) -> usize {
+        self.chunks[index].len()
+    }
+
+    /// XORs `mask` into one byte of raw chunk memory, simulating an
+    /// attacker with write access to the untrusted address space
+    /// (testing only). Returns `false` when the location is out of range.
+    #[cfg(any(test, feature = "testing"))]
+    pub fn corrupt_raw(&mut self, chunk: usize, offset: usize, mask: u8) -> bool {
+        match self.chunks.get_mut(chunk).and_then(|c| c.get_mut(offset)) {
+            Some(byte) => {
+                *byte ^= mask;
+                true
+            }
+            None => false,
+        }
     }
 }
 

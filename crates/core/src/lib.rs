@@ -69,6 +69,8 @@ pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod table;
+#[cfg(any(test, feature = "testing"))]
+pub mod testing;
 
 pub use config::{AllocMode, Config};
 pub use error::{Error, Result};

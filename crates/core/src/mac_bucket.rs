@@ -63,6 +63,39 @@ pub fn gather(heap: &UntrustedHeap, head: Handle, out: &mut Vec<u8>) -> usize {
     total
 }
 
+/// Checked [`gather`]: the node chain lives in untrusted memory, so its
+/// `next` pointers and `count` fields are attacker-writable. Returns
+/// `None` — which callers surface as an integrity violation — when a node
+/// pointer does not address readable memory, a count field points past
+/// its chunk, or the walk exceeds `max_macs` MACs (cycle / inflated
+/// counts), instead of panicking or looping forever.
+pub fn try_gather(
+    heap: &UntrustedHeap,
+    head: Handle,
+    out: &mut Vec<u8>,
+    max_macs: usize,
+) -> Option<usize> {
+    let mut node = head;
+    let mut total = 0usize;
+    let mut nodes = 0usize;
+    while node != NULL_HANDLE {
+        nodes += 1;
+        if nodes > max_macs.saturating_add(1) {
+            return None;
+        }
+        let count =
+            u32::from_le_bytes(heap.try_bytes_at(node, OFF_COUNT, 4)?.try_into().expect("4 bytes"))
+                as usize;
+        if total.saturating_add(count) > max_macs {
+            return None;
+        }
+        out.extend_from_slice(heap.try_bytes_at(node, OFF_MACS, count * 16)?);
+        total += count;
+        node = heap.try_read_u64_at(node, OFF_NEXT)?;
+    }
+    Some(total)
+}
+
 /// Total number of MACs in the chain.
 pub fn len(heap: &UntrustedHeap, head: Handle) -> usize {
     let mut node = head;
@@ -72,6 +105,28 @@ pub fn len(heap: &UntrustedHeap, head: Handle) -> usize {
         node = read_next(heap, node);
     }
     total
+}
+
+/// Checked [`len`], bounded like [`try_gather`].
+pub fn try_len(heap: &UntrustedHeap, head: Handle, max_macs: usize) -> Option<usize> {
+    let mut node = head;
+    let mut total = 0usize;
+    let mut nodes = 0usize;
+    while node != NULL_HANDLE {
+        nodes += 1;
+        if nodes > max_macs.saturating_add(1) {
+            return None;
+        }
+        let count =
+            u32::from_le_bytes(heap.try_bytes_at(node, OFF_COUNT, 4)?.try_into().expect("4 bytes"))
+                as usize;
+        total = total.saturating_add(count);
+        if total > max_macs {
+            return None;
+        }
+        node = heap.try_read_u64_at(node, OFF_NEXT)?;
+    }
+    Some(total)
 }
 
 /// Inserts `mac` at logical position 0 (new chain head), cascading
@@ -179,6 +234,35 @@ pub fn get_at(heap: &UntrustedHeap, head: Handle, mut idx: usize) -> Tag128 {
         idx -= count;
         node = read_next(heap, node);
     }
+}
+
+/// Checked [`get_at`], bounded like [`try_gather`]: `None` when the chain
+/// is shorter than `idx`, structurally corrupt, or longer than `max_macs`.
+pub fn try_get_at(
+    heap: &UntrustedHeap,
+    head: Handle,
+    mut idx: usize,
+    max_macs: usize,
+) -> Option<Tag128> {
+    let mut node = head;
+    let mut nodes = 0usize;
+    while node != NULL_HANDLE {
+        nodes += 1;
+        if nodes > max_macs.saturating_add(1) {
+            return None;
+        }
+        let count =
+            u32::from_le_bytes(heap.try_bytes_at(node, OFF_COUNT, 4)?.try_into().expect("4 bytes"))
+                as usize;
+        if idx < count {
+            return heap
+                .try_bytes_at(node, OFF_MACS + idx * 16, 16)
+                .map(|b| b.try_into().expect("16 bytes"));
+        }
+        idx -= count;
+        node = heap.try_read_u64_at(node, OFF_NEXT)?;
+    }
+    None
 }
 
 /// Removes the MAC at logical position `idx`, pulling trailing MACs

@@ -34,6 +34,16 @@ use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"SSSNAP01";
 
+// Upper bounds on length fields read from the (untrusted) snapshot file.
+// A corrupted or hostile length must fail the restore with an error, not
+// drive a multi-gigabyte allocation.
+/// Sealed metadata blob: keys + per-shard MAC hash arrays.
+const MAX_SEALED_LEN: usize = 1 << 24;
+/// One shard's exported MAC hash array.
+const MAX_MAC_ARRAY_LEN: usize = 1 << 24;
+/// One serialized entry (header + key + value ciphertext).
+const MAX_ENTRY_LEN: usize = 1 << 26;
+
 fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
@@ -97,7 +107,7 @@ impl Metadata {
         let mut mac_arrays = Vec::with_capacity(n);
         for _ in 0..n {
             let len = read_u32(&mut r)? as usize;
-            mac_arrays.push(read_vec(&mut r, len, 1 << 30)?);
+            mac_arrays.push(read_vec(&mut r, len, MAX_MAC_ARRAY_LEN)?);
         }
         Ok(Self { counter, raw_keys, mac_arrays })
     }
@@ -292,8 +302,9 @@ impl ShieldStore {
     /// Restores a store from a snapshot written by this enclave identity.
     ///
     /// Verifies: the seal (enclave identity), the monotonic counter (no
-    /// rollback), every entry MAC, and every bucket-set hash against the
-    /// sealed MAC hash arrays.
+    /// rollback), every entry MAC, every entry's shard/bucket placement
+    /// (re-derived from the decrypted key — the file's claim is untrusted),
+    /// and every bucket-set hash against the sealed MAC hash arrays.
     pub fn restore(
         enclave: Arc<Enclave>,
         config: Config,
@@ -317,7 +328,7 @@ impl ShieldStore {
             )));
         }
         let sealed_len = read_u32(&mut r)? as usize;
-        let sealed = read_vec(&mut r, sealed_len, 1 << 30)?;
+        let sealed = read_vec(&mut r, sealed_len, MAX_SEALED_LEN)?;
         let metadata = Metadata::deserialize(&seal::unseal(&enclave, &sealed)?)?;
 
         // Rollback protection: the sealed counter must match the file
@@ -342,8 +353,10 @@ impl ShieldStore {
                         if bucket >= ctx.buckets() || len < entry::HEADER_LEN {
                             return Err(Error::Persistence("corrupt snapshot entry".into()));
                         }
-                        let bytes = read_vec(&mut r, len, 1 << 30)?;
-                        restore_entry(ctx, &keys, bucket, &bytes, mac_bucket, mac_cap)?;
+                        let bytes = read_vec(&mut r, len, MAX_ENTRY_LEN)?;
+                        restore_entry(
+                            ctx, &keys, bucket, &bytes, mac_bucket, mac_cap, shard_idx, num_shards,
+                        )?;
                     }
                     ctx.macs.import(mac_array)?;
                 }
@@ -359,6 +372,7 @@ impl ShieldStore {
 
 /// Re-links one serialized entry into a table during restore, verifying
 /// its MAC before trusting it.
+#[allow(clippy::too_many_arguments)]
 fn restore_entry(
     ctx: &mut TableCtx,
     keys: &StoreKeys,
@@ -366,12 +380,28 @@ fn restore_entry(
     bytes: &[u8],
     mac_bucket: bool,
     mac_cap: usize,
+    shard_idx: usize,
+    num_shards: usize,
 ) -> Result<()> {
     let header = entry::parse_header(bytes);
     if header.entry_len() != bytes.len() {
         return Err(Error::Persistence("entry length mismatch".into()));
     }
     if !entry::verify_mac(&keys.mac, &header, &bytes[entry::HEADER_LEN..]) {
+        return Err(Error::IntegrityViolation { bucket });
+    }
+    // The per-entry shard/bucket placement in the file is untrusted and —
+    // unlike ciphertext, lengths, hint and IV — not covered by the entry
+    // MAC (Fig. 5). Trusting the file's claim lets an attacker relocate an
+    // entry within its bucket set: when the set's MAC concatenation order
+    // happens to be preserved (tail of one chain moved to an empty later
+    // bucket), every set hash still verifies and the key becomes a silent
+    // miss. Derive the true placement from the decrypted key instead.
+    let (key, _) = entry::decrypt_entry(&keys.enc, &header, &bytes[entry::HEADER_LEN..]);
+    let hash = keys.index_hash(&key);
+    let true_shard = (((hash >> 32) * num_shards as u64) >> 32) as usize;
+    let true_bucket = (hash % ctx.buckets() as u64) as usize;
+    if true_shard != shard_idx || true_bucket != bucket {
         return Err(Error::IntegrityViolation { bucket });
     }
     let handle = ctx.heap.alloc(bytes.len());

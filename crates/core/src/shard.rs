@@ -176,12 +176,23 @@ fn search(
     hint_byte: u8,
     key: &[u8],
 ) -> Option<SearchOutcome> {
+    // Chains are untrusted: a corrupted `next` pointer can form a cycle
+    // or escape the heap. No honest chain is longer than the whole table,
+    // so walks past `count` steps (or into unreadable memory) report
+    // tampering instead of panicking or spinning.
+    let max_steps = ctx.count.saturating_add(1);
+
     // First step: hint-guided.
     let mut prev = NULL_HANDLE;
     let mut pos = 0usize;
     let mut h = ctx.heads[bucket];
     while h != NULL_HANDLE {
-        let header = ctx.header(h);
+        if pos >= max_steps {
+            return Some(SearchOutcome::Tampered);
+        }
+        let Some(header) = ctx.try_header(h) else {
+            return Some(SearchOutcome::Tampered);
+        };
         if cfg.key_hint && header.hint != hint_byte {
             stats.hint_skips += 1;
         } else if header.key_len as usize == key.len() {
@@ -210,7 +221,12 @@ fn search(
         let mut pos = 0usize;
         let mut h = ctx.heads[bucket];
         while h != NULL_HANDLE {
-            let header = ctx.header(h);
+            if pos >= max_steps {
+                return Some(SearchOutcome::Tampered);
+            }
+            let Some(header) = ctx.try_header(h) else {
+                return Some(SearchOutcome::Tampered);
+            };
             let Some(ct) = ctx.try_ciphertext(h, &header) else {
                 return Some(SearchOutcome::Tampered);
             };
@@ -233,24 +249,38 @@ fn search(
 }
 
 /// Gathers the concatenated entry MACs of every bucket in `set`, via MAC
-/// buckets (contiguous reads) or entry-chain pointer chasing.
-fn gather_set_macs(cfg: &ShardConfig, ctx: &TableCtx, stats: &mut OpStats, set: usize) -> Vec<u8> {
+/// buckets (contiguous reads) or entry-chain pointer chasing. `None`
+/// means the untrusted structure itself is corrupt (unreadable pointer,
+/// cycle, inflated count field) — callers surface it as an integrity
+/// violation.
+fn gather_set_macs(
+    cfg: &ShardConfig,
+    ctx: &TableCtx,
+    stats: &mut OpStats,
+    set: usize,
+) -> Option<Vec<u8>> {
+    let max_macs = ctx.count.saturating_add(1);
     let mut out = Vec::with_capacity(64);
     for bucket in ctx.sets.buckets_of(set) {
         if cfg.mac_bucket {
-            let n = mac_bucket::gather(&ctx.heap, ctx.mac_heads[bucket], &mut out);
+            let n = mac_bucket::try_gather(&ctx.heap, ctx.mac_heads[bucket], &mut out, max_macs)?;
             stats.macs_gathered += n as u64;
         } else {
+            let mut steps = 0usize;
             let mut h = ctx.heads[bucket];
             while h != NULL_HANDLE {
-                let header = ctx.header(h);
+                steps += 1;
+                if steps > max_macs {
+                    return None;
+                }
+                let header = ctx.try_header(h)?;
                 out.extend_from_slice(&header.mac);
                 stats.macs_gathered += 1;
                 h = header.next;
             }
         }
     }
-    out
+    Some(out)
 }
 
 /// The stored hash for an empty bucket set.
@@ -264,17 +294,6 @@ fn expected_set_hash(keys: &StoreKeys, macs: &[u8]) -> [u8; 16] {
     }
 }
 
-/// Number of entries chained in `bucket` (header-pointer walk only).
-fn chain_len(ctx: &TableCtx, bucket: usize) -> usize {
-    let mut n = 0;
-    let mut h = ctx.heads[bucket];
-    while h != NULL_HANDLE {
-        n += 1;
-        h = ctx.heap.read_u64_at(h, entry::OFF_NEXT);
-    }
-    n
-}
-
 /// Verifies the bucket-set MAC hash for `set` against untrusted state.
 fn verify_set(
     cfg: &ShardConfig,
@@ -284,7 +303,9 @@ fn verify_set(
     set: usize,
 ) -> Result<()> {
     stats.integrity_verifications += 1;
-    let macs = gather_set_macs(cfg, ctx, stats, set);
+    let Some(macs) = gather_set_macs(cfg, ctx, stats, set) else {
+        return Err(Error::IntegrityViolation { bucket: ctx.sets.buckets_of(set).start });
+    };
     let recomputed = expected_set_hash(keys, &macs);
     let stored = ctx.macs.get(set);
     if integrity::verify_set_hash(&stored, &recomputed) {
@@ -302,24 +323,120 @@ fn verify_set(
 /// chain walk is only paid when a search comes back empty — keeping the
 /// very pointer-chasing MAC bucketing exists to avoid off the hit path.
 fn verify_absence_consistency(cfg: &ShardConfig, ctx: &TableCtx, bucket: usize) -> Result<()> {
-    if cfg.mac_bucket && chain_len(ctx, bucket) != mac_bucket::len(&ctx.heap, ctx.mac_heads[bucket])
-    {
+    if !cfg.mac_bucket {
+        return Ok(());
+    }
+    let max_macs = ctx.count.saturating_add(1);
+    let mut side = Vec::new();
+    if mac_bucket::try_gather(&ctx.heap, ctx.mac_heads[bucket], &mut side, max_macs).is_none() {
+        return Err(Error::IntegrityViolation { bucket });
+    }
+    // Element-wise walk: every chained entry's header MAC must sit at its
+    // chain position in the side array, and the two must have equal
+    // length. This catches unlinking, splicing-in, reordering, and an
+    // entry's bytes being overwritten with another (individually valid)
+    // entry — all of which would otherwise read as a clean miss here.
+    let mut pos = 0usize;
+    let mut h = ctx.heads[bucket];
+    while h != NULL_HANDLE {
+        if pos >= max_macs {
+            return Err(Error::IntegrityViolation { bucket });
+        }
+        let Some(header) = ctx.try_header(h) else {
+            return Err(Error::IntegrityViolation { bucket });
+        };
+        if side.get(pos * 16..(pos + 1) * 16) != Some(header.mac.as_slice()) {
+            return Err(Error::IntegrityViolation { bucket });
+        }
+        pos += 1;
+        h = header.next;
+    }
+    if pos * 16 != side.len() {
         return Err(Error::IntegrityViolation { bucket });
     }
     Ok(())
 }
 
-/// Recomputes and stores the bucket-set hash after a mutation.
+/// Hit-path replay defense for MAC bucketing. With `mac_bucket` on, the
+/// set hash covers the *side array*, not the entry bytes — so replaying
+/// a stale copy of an in-place-updated entry (old ciphertext + its then-
+/// valid MAC, written back over the same allocation) passes both the
+/// entry's own MAC check and the set-hash check. The side array only
+/// ever holds the MACs of the *current* entry versions: requiring the
+/// found entry's header MAC to appear there pins every hit to a live
+/// version. The fast path compares positionally; after a structural
+/// attack elsewhere in the chain (an unlink shifting positions) an
+/// innocent entry falls back to a membership scan and keeps working —
+/// hits prove themselves. Without MAC bucketing the set hash is derived
+/// from the entry chain itself, so a replayed MAC already breaks it and
+/// no extra check is needed.
+fn verify_side_mac_read(
+    cfg: &ShardConfig,
+    ctx: &TableCtx,
+    stats: &mut OpStats,
+    bucket: usize,
+    found: &Found,
+) -> Result<()> {
+    if !cfg.mac_bucket {
+        return Ok(());
+    }
+    let max_macs = ctx.count.saturating_add(1);
+    if mac_bucket::try_get_at(&ctx.heap, ctx.mac_heads[bucket], found.pos, max_macs)
+        == Some(found.header.mac)
+    {
+        return Ok(());
+    }
+    // Positional mismatch: either an attack on this entry (replay) or a
+    // structural attack elsewhere in the chain. Membership decides.
+    stats.side_mac_fallbacks += 1;
+    let mut side = Vec::new();
+    if mac_bucket::try_gather(&ctx.heap, ctx.mac_heads[bucket], &mut side, max_macs).is_none() {
+        return Err(Error::IntegrityViolation { bucket });
+    }
+    if side.chunks_exact(16).any(|m| m == found.header.mac) {
+        Ok(())
+    } else {
+        Err(Error::IntegrityViolation { bucket })
+    }
+}
+
+/// Write-path variant of [`verify_side_mac_read`]: strictly positional.
+/// `set_at`/`remove_at` mutate the side array *by chain position*, so a
+/// write through a desynchronized position would endorse the wrong slot
+/// (and could launder a stale MAC back into the endorsed set). A bucket
+/// whose chain and side array have drifted apart refuses all mutations.
+fn verify_side_mac_write(
+    cfg: &ShardConfig,
+    ctx: &TableCtx,
+    bucket: usize,
+    found: &Found,
+) -> Result<()> {
+    if !cfg.mac_bucket {
+        return Ok(());
+    }
+    let max_macs = ctx.count.saturating_add(1);
+    match mac_bucket::try_get_at(&ctx.heap, ctx.mac_heads[bucket], found.pos, max_macs) {
+        Some(side) if side == found.header.mac => Ok(()),
+        _ => Err(Error::IntegrityViolation { bucket }),
+    }
+}
+
+/// Recomputes and stores the bucket-set hash after a mutation. Fails —
+/// leaving the stored hash untouched, so later verification fails closed
+/// — when the untrusted structure cannot be walked.
 fn update_set_hash(
     cfg: &ShardConfig,
     keys: &StoreKeys,
     ctx: &mut TableCtx,
     stats: &mut OpStats,
     set: usize,
-) {
-    let macs = gather_set_macs(cfg, ctx, stats, set);
+) -> Result<()> {
+    let Some(macs) = gather_set_macs(cfg, ctx, stats, set) else {
+        return Err(Error::IntegrityViolation { bucket: ctx.sets.buckets_of(set).start });
+    };
     let tag = expected_set_hash(keys, &macs);
     ctx.macs.set(set, &tag);
+    Ok(())
 }
 
 /// Looks `key` up in `ctx`, fully verifying integrity. Returns the
@@ -357,6 +474,7 @@ fn get_in_bucket(
             if !entry::verify_mac(&keys.mac, &found.header, ct) {
                 return Err(Error::IntegrityViolation { bucket });
             }
+            verify_side_mac_read(cfg, ctx, stats, bucket, &found)?;
             let (_, value) = entry::decrypt_entry(&keys.enc, &found.header, ct);
             Ok(Some(value))
         }
@@ -381,7 +499,7 @@ fn set_in(
     let set = ctx.sets.set_of(bucket);
     verify_set(cfg, keys, ctx, stats, set)?;
     let inserted = set_in_bucket(cfg, keys, ctx, stats, bucket, key, value)?;
-    update_set_hash(cfg, keys, ctx, stats, set);
+    update_set_hash(cfg, keys, ctx, stats, set)?;
     Ok(inserted)
 }
 
@@ -409,6 +527,9 @@ fn set_in_bucket(
     let inserted = match outcome {
         Some(SearchOutcome::Tampered) => unreachable!("handled above"),
         Some(SearchOutcome::Found(found)) => {
+            // A stale replayed entry must not be accepted as the base of
+            // an update (its IV+1 would reuse an already-spent counter).
+            verify_side_mac_write(cfg, ctx, bucket, &found)?;
             // Update: bump the combined IV/counter for the re-encryption.
             let mut iv = found.header.iv;
             shield_crypto::ctr::increment_be(&mut iv);
@@ -512,6 +633,7 @@ fn delete_in(
             return Ok(false);
         }
     };
+    verify_side_mac_write(cfg, ctx, bucket, &found)?;
 
     if found.prev == NULL_HANDLE {
         ctx.heads[bucket] = found.header.next;
@@ -525,7 +647,7 @@ fn delete_in(
         ctx.mac_heads[bucket] = head;
     }
     ctx.count -= 1;
-    update_set_hash(cfg, keys, ctx, stats, set);
+    update_set_hash(cfg, keys, ctx, stats, set)?;
     Ok(true)
 }
 
@@ -785,7 +907,7 @@ impl Shard {
                 stats.batch_hash_updates_saved += 1;
             } else {
                 if let Some(prev) = current {
-                    update_set_hash(cfg, keys, main, stats, prev);
+                    update_set_hash(cfg, keys, main, stats, prev)?;
                 }
                 verify_set(cfg, keys, main, stats, set)?;
                 current = Some(set);
@@ -800,7 +922,7 @@ impl Shard {
             }
         }
         if let Some(prev) = current {
-            update_set_hash(cfg, keys, main, stats, prev);
+            update_set_hash(cfg, keys, main, stats, prev)?;
         }
         Ok(())
     }
@@ -997,30 +1119,6 @@ impl Shard {
     /// True when a snapshot is in progress (temp table active).
     pub fn is_snapshotting(&self) -> bool {
         self.temp.is_some()
-    }
-
-    /// Test hook: flips one pseudo-randomly chosen byte of one entry in
-    /// untrusted memory (never the chain pointer), simulating an attacker
-    /// with full control of the unprotected region. Returns `false` when
-    /// the shard holds no entries.
-    #[doc(hidden)]
-    pub fn tamper_one_entry_for_test(&mut self, seed: u64) -> bool {
-        let Some(main) = self.main.as_mut() else {
-            return false;
-        };
-        let mut handles = Vec::new();
-        main.for_each_entry(|_, h| handles.push(h));
-        if handles.is_empty() {
-            return false;
-        }
-        let h = handles[(seed as usize) % handles.len()];
-        let len = main.header(h).entry_len();
-        // Skip the 8-byte chain pointer: it is deliberately unprotected
-        // (index corruption is an availability attack, paper section 7).
-        let offset = 8 + ((seed / 13) as usize) % (len - 8);
-        let bit = 1u8 << (seed % 8);
-        main.heap.bytes_at_mut(h, offset, 1)[0] ^= bit.max(1);
-        true
     }
 
     /// Verifies every bucket set of the main table — used after a
@@ -1503,7 +1601,8 @@ mod tests {
         for i in 0..8u32 {
             s.set(format!("k{i}").as_bytes(), b"value").unwrap();
         }
-        assert!(s.tamper_one_entry_for_test(12345));
+        use crate::testing::{EntryField, TamperOp};
+        assert!(s.tamper(TamperOp::Field(EntryField::Any), 12345));
         let lookups: Vec<Vec<u8>> = (0..8u32).map(|i| format!("k{i}").into_bytes()).collect();
         let refs: Vec<&[u8]> = lookups.iter().map(|k| k.as_slice()).collect();
         assert!(matches!(s.multi_get(&refs), Err(Error::IntegrityViolation { .. })));

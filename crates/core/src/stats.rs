@@ -57,6 +57,10 @@ pub struct OpStats {
     /// the same batch touched the same set (the hash is stored once per
     /// batch per set, after the last write).
     pub batch_hash_updates_saved: u64,
+    /// Hit-path side-array MAC checks that missed positionally and fell
+    /// back to a membership scan (only ever non-zero after a structural
+    /// attack on a bucket chain).
+    pub side_mac_fallbacks: u64,
 }
 
 impl OpStats {
@@ -84,6 +88,7 @@ impl OpStats {
         self.batch_ops += other.batch_ops;
         self.batch_verifications_saved += other.batch_verifications_saved;
         self.batch_hash_updates_saved += other.batch_hash_updates_saved;
+        self.side_mac_fallbacks += other.side_mac_fallbacks;
     }
 
     /// Total operations.

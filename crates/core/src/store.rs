@@ -267,14 +267,6 @@ impl ShieldStore {
         &self.keys
     }
 
-    /// Test hook: corrupts one byte of one entry somewhere in the store's
-    /// untrusted memory. Returns `false` if the chosen shard was empty.
-    #[doc(hidden)]
-    pub fn tamper_untrusted_entry_for_test(&self, seed: u64) -> bool {
-        let shard = (seed as usize) % self.shards.len();
-        self.with_shard(shard, |s| s.tamper_one_entry_for_test(seed))
-    }
-
     pub(crate) fn shards(&self) -> &[Mutex<Shard>] {
         &self.shards
     }

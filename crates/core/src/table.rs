@@ -62,6 +62,14 @@ impl TableCtx {
         entry::read_header(&self.heap, handle)
     }
 
+    /// Checked header read: `None` when `handle` — an untrusted chain
+    /// pointer an attacker may have overwritten — does not address
+    /// `HEADER_LEN` readable bytes. Operation code treats that as an
+    /// integrity violation rather than a panic.
+    pub fn try_header(&self, handle: Handle) -> Option<EntryHeader> {
+        self.heap.try_bytes_at(handle, 0, entry::HEADER_LEN).map(entry::parse_header)
+    }
+
     /// Returns the full bytes of the entry at `handle`.
     pub fn entry_bytes(&self, handle: Handle) -> &[u8] {
         let header = self.header(handle);

@@ -1,0 +1,331 @@
+//! Fault-injection API for adversarial testing (feature `testing`).
+//!
+//! ShieldStore's threat model gives the attacker full read/write control
+//! of untrusted memory (paper §3.1). This module *is* that attacker: it
+//! mutates entry fields of the Fig. 5 layout, chain structure, MAC side
+//! arrays, and raw heap chunks, deterministically from a caller-supplied
+//! seed. Every mutation is recorded in the enclave's simulation counters
+//! (`attack_steps`), so harnesses can assert how many attacks a run
+//! actually landed.
+//!
+//! Nothing here is compiled into production builds: the module only
+//! exists under `cfg(test)` or the `testing` cargo feature, and the store
+//! itself never calls it.
+
+use crate::alloc::Handle;
+use crate::entry;
+use crate::mac_bucket;
+use crate::shard::Shard;
+use crate::store::ShieldStore;
+use crate::table::TableCtx;
+
+/// One field of the Fig. 5 entry layout to corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryField {
+    /// The 1-byte key hint (§5.4).
+    Hint,
+    /// The 4-byte key size.
+    KeySize,
+    /// The 4-byte value size.
+    ValueSize,
+    /// The 16-byte IV/counter.
+    Iv,
+    /// The encrypted key‖value payload.
+    Ciphertext,
+    /// The 16-byte entry MAC.
+    Mac,
+    /// The 8-byte chain pointer (deliberately not MAC-covered).
+    ChainNext,
+    /// Any byte past the chain pointer — the behaviour of the old
+    /// single-hook tamper API, kept for unbiased single-byte sweeps.
+    Any,
+}
+
+/// One attack from the catalog, applied to a shard's untrusted state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperOp {
+    /// Bit-flip within one field of a pseudo-randomly chosen entry.
+    Field(EntryField),
+    /// Unlink a chosen entry from its bucket chain, leaving the MAC side
+    /// array untouched (the silent-miss attack of README "Beyond the
+    /// paper").
+    Unlink,
+    /// Move a chosen entry's link into a different bucket's chain.
+    Splice,
+    /// Bit-flip a byte of a MAC side-array node (§5.2 desync).
+    MacSideArray,
+    /// Bit-flip a byte of raw allocator chunk memory — may hit entries,
+    /// MAC nodes, chain pointers, or dead space.
+    HeapChunk,
+}
+
+/// A stale byte-level copy of one entry, for replay/rollback attacks.
+#[derive(Debug, Clone)]
+pub struct StaleEntry {
+    /// The untrusted-heap handle the bytes were captured from.
+    pub handle: Handle,
+    /// The raw entry bytes (header + ciphertext) at capture time.
+    pub bytes: Vec<u8>,
+}
+
+/// Cheap deterministic mixer so one seed drives several choices.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Bounded, panic-free enumeration of `(bucket, handle)` pairs. Unlike
+/// `TableCtx::for_each_entry`, this tolerates chains already corrupted by
+/// earlier attack steps (it stops at unreadable pointers and cycles).
+fn checked_entries(ctx: &TableCtx) -> Vec<(usize, Handle)> {
+    let max = ctx.count.saturating_add(1);
+    let mut out = Vec::with_capacity(ctx.count);
+    for (bucket, &head) in ctx.heads.iter().enumerate() {
+        let mut h = head;
+        let mut steps = 0usize;
+        while h != 0 && steps < max {
+            out.push((bucket, h));
+            steps += 1;
+            match ctx.heap.try_read_u64_at(h, entry::OFF_NEXT) {
+                Some(next) => h = next,
+                None => break,
+            }
+        }
+    }
+    out
+}
+
+/// Bounded enumeration of MAC side-array node handles.
+fn checked_mac_nodes(ctx: &TableCtx) -> Vec<Handle> {
+    let max = ctx.count.saturating_add(1);
+    let mut out = Vec::new();
+    for &head in &ctx.mac_heads {
+        let mut node = head;
+        let mut steps = 0usize;
+        while node != 0 && steps < max {
+            out.push(node);
+            steps += 1;
+            match ctx.heap.try_read_u64_at(node, 0) {
+                Some(next) => node = next,
+                None => break,
+            }
+        }
+    }
+    out
+}
+
+impl Shard {
+    /// Applies `op` to this shard's untrusted state, with every random
+    /// choice derived from `seed`. Returns `false` when the attack had no
+    /// target (empty shard, single bucket for a splice, ...); `true`
+    /// means untrusted memory was mutated and the attack step was
+    /// recorded in the enclave counters.
+    pub fn tamper(&mut self, op: TamperOp, seed: u64) -> bool {
+        let Some(main) = self.main_table_mut() else {
+            return false;
+        };
+        let mutated = match op {
+            TamperOp::Field(field) => tamper_field(main, field, seed),
+            TamperOp::Unlink => unlink_entry(main, seed),
+            TamperOp::Splice => splice_entry(main, seed),
+            TamperOp::MacSideArray => tamper_mac_node(main, seed),
+            TamperOp::HeapChunk => {
+                let chunks = main.heap.chunk_count();
+                if chunks == 0 {
+                    false
+                } else {
+                    let chunk = (mix(seed) as usize) % chunks;
+                    let len = main.heap.chunk_len(chunk);
+                    let offset = (mix(seed ^ 0xc4a7) as usize) % len;
+                    main.heap.corrupt_raw(chunk, offset, 1 << (seed % 8))
+                }
+            }
+        };
+        if mutated {
+            self.record_attack_step();
+        }
+        mutated
+    }
+
+    /// Captures byte-level copies of every entry, for later replay.
+    pub fn stale_entry_copies(&self) -> Vec<StaleEntry> {
+        let Some(main) = self.main_table() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (_, h) in checked_entries(main) {
+            let Some(header) = main.try_header(h) else { continue };
+            let len = header.entry_len();
+            if let Some(bytes) = main.heap.try_bytes_at(h, 0, len) {
+                out.push(StaleEntry { handle: h, bytes: bytes.to_vec() });
+            }
+        }
+        out
+    }
+
+    /// Replays a stale entry copy over its original allocation — the
+    /// rollback attack: the bytes (including IV and then-valid MAC) are a
+    /// genuine previous version. Returns `false` when the allocation no
+    /// longer covers the copy.
+    pub fn replay_entry(&mut self, stale: &StaleEntry) -> bool {
+        let Some(main) = self.main_table_mut() else {
+            return false;
+        };
+        if main.heap.try_bytes_at(stale.handle, 0, stale.bytes.len()).is_none() {
+            return false;
+        }
+        main.heap.bytes_at_mut(stale.handle, 0, stale.bytes.len()).copy_from_slice(&stale.bytes);
+        self.record_attack_step();
+        true
+    }
+
+    fn record_attack_step(&self) {
+        if let Some(main) = self.main_table() {
+            main.heap.enclave().stats().record_attack_step();
+        }
+    }
+}
+
+fn tamper_field(ctx: &mut TableCtx, field: EntryField, seed: u64) -> bool {
+    let entries = checked_entries(ctx);
+    if entries.is_empty() {
+        return false;
+    }
+    let (_, h) = entries[(mix(seed) as usize) % entries.len()];
+    let Some(header) = ctx.try_header(h) else {
+        return false;
+    };
+    let (start, len) = match field {
+        EntryField::Hint => (entry::OFF_HINT, 1),
+        EntryField::KeySize => (entry::OFF_KEY_LEN, 4),
+        EntryField::ValueSize => (entry::OFF_VAL_LEN, 4),
+        EntryField::Iv => (entry::OFF_IV, 16),
+        EntryField::Mac => (entry::OFF_MAC, 16),
+        EntryField::ChainNext => (entry::OFF_NEXT, 8),
+        EntryField::Ciphertext => {
+            let ct = header.ct_len();
+            if ct == 0 {
+                return false;
+            }
+            (entry::HEADER_LEN, ct)
+        }
+        EntryField::Any => {
+            let total = header.entry_len();
+            if total <= 8 {
+                return false;
+            }
+            (8, total - 8)
+        }
+    };
+    let offset = start + (mix(seed ^ 0x51ce) as usize) % len;
+    if ctx.heap.try_bytes_at(h, offset, 1).is_none() {
+        return false;
+    }
+    ctx.heap.bytes_at_mut(h, offset, 1)[0] ^= 1 << (seed % 8);
+    true
+}
+
+/// Finds the in-chain predecessor of `target` in `bucket`, bounded.
+/// Returns `None` when `target` is not reachable; `Some(0)` means it is
+/// the chain head.
+fn find_prev(ctx: &TableCtx, bucket: usize, target: Handle) -> Option<Handle> {
+    let max = ctx.count.saturating_add(1);
+    let mut prev = 0u64;
+    let mut h = ctx.heads[bucket];
+    let mut steps = 0usize;
+    while h != 0 && steps < max {
+        if h == target {
+            return Some(prev);
+        }
+        prev = h;
+        steps += 1;
+        h = ctx.heap.try_read_u64_at(h, entry::OFF_NEXT)?;
+    }
+    None
+}
+
+/// Detaches a seed-chosen entry from its chain; returns `(bucket, handle)`.
+fn detach_entry(ctx: &mut TableCtx, seed: u64) -> Option<(usize, Handle)> {
+    let entries = checked_entries(ctx);
+    if entries.is_empty() {
+        return None;
+    }
+    let (bucket, h) = entries[(mix(seed) as usize) % entries.len()];
+    let prev = find_prev(ctx, bucket, h)?;
+    let next = ctx.heap.try_read_u64_at(h, entry::OFF_NEXT)?;
+    if prev == 0 {
+        ctx.heads[bucket] = next;
+    } else {
+        ctx.heap.write_u64_at(prev, entry::OFF_NEXT, next);
+    }
+    Some((bucket, h))
+}
+
+fn unlink_entry(ctx: &mut TableCtx, seed: u64) -> bool {
+    detach_entry(ctx, seed).is_some()
+}
+
+fn splice_entry(ctx: &mut TableCtx, seed: u64) -> bool {
+    if ctx.buckets() < 2 {
+        return false;
+    }
+    let Some((bucket, h)) = detach_entry(ctx, seed) else {
+        return false;
+    };
+    let mut target = (mix(seed ^ 0x3a1d) as usize) % ctx.buckets();
+    if target == bucket {
+        target = (target + 1) % ctx.buckets();
+    }
+    ctx.heap.write_u64_at(h, entry::OFF_NEXT, ctx.heads[target]);
+    ctx.heads[target] = h;
+    true
+}
+
+fn tamper_mac_node(ctx: &mut TableCtx, seed: u64) -> bool {
+    let nodes = checked_mac_nodes(ctx);
+    if nodes.is_empty() {
+        return false;
+    }
+    let node = nodes[(mix(seed) as usize) % nodes.len()];
+    // Aim at the MAC slots and count field; reading the node's own count
+    // keeps the offset inside the allocation without knowing capacity.
+    let count = match ctx.heap.try_bytes_at(node, 8, 4) {
+        Some(b) => u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize,
+        None => return false,
+    };
+    let span = mac_bucket::node_len(count.clamp(1, 1 << 10));
+    let offset = 8 + (mix(seed ^ 0x77aa) as usize) % (span - 8);
+    if ctx.heap.try_bytes_at(node, offset, 1).is_none() {
+        return false;
+    }
+    ctx.heap.bytes_at_mut(node, offset, 1)[0] ^= 1 << (seed % 8);
+    true
+}
+
+impl ShieldStore {
+    /// Applies `op` to the shard chosen by `seed`. See [`Shard::tamper`].
+    pub fn tamper(&self, op: TamperOp, seed: u64) -> bool {
+        let shard = (seed as usize) % self.num_shards();
+        self.with_shard(shard, |s| s.tamper(op, seed))
+    }
+
+    /// Captures stale copies of every entry in `shard` for replay.
+    pub fn stale_entry_copies(&self, shard: usize) -> Vec<StaleEntry> {
+        self.with_shard(shard, |s| s.stale_entry_copies())
+    }
+
+    /// Replays a stale entry copy into `shard`. See
+    /// [`Shard::replay_entry`].
+    pub fn replay_entry(&self, shard: usize, stale: &StaleEntry) -> bool {
+        self.with_shard(shard, |s| s.replay_entry(stale))
+    }
+
+    /// Old single-hook behaviour: flips one pseudo-random non-pointer
+    /// byte of one pseudo-random entry somewhere in the store. Returns
+    /// `false` when the chosen shard holds no entries.
+    pub fn tamper_any_entry_byte(&self, seed: u64) -> bool {
+        self.tamper(TamperOp::Field(EntryField::Any), seed)
+    }
+}

@@ -4,6 +4,7 @@
 
 use sgx_sim::counter::PersistentCounter;
 use sgx_sim::enclave::EnclaveBuilder;
+use shieldstore::testing::{EntryField, TamperOp};
 use shieldstore::{Config, Error, ShieldStore};
 use std::sync::Arc;
 
@@ -96,7 +97,7 @@ fn scan_values_are_verified_reads() {
     for i in 0..10u32 {
         store.set(format!("t{i}").as_bytes(), b"payload").unwrap();
     }
-    assert!(store.tamper_untrusted_entry_for_test(12345));
+    assert!(store.tamper(TamperOp::Field(EntryField::Any), 12345));
     let result = store.scan_prefix(b"t", 100);
     match result {
         Err(Error::IntegrityViolation { .. }) => {}

@@ -15,6 +15,12 @@ use std::net::{SocketAddr, TcpStream};
 pub struct KvClient {
     stream: TcpStream,
     crypto: Option<SessionCrypto>,
+    /// Set when a response fails to authenticate or decode. From that
+    /// point the request/response pairing on this connection can no
+    /// longer be trusted (a dropped or injected frame could shift every
+    /// later response onto the wrong request), so the session refuses
+    /// further use; callers must reconnect.
+    poisoned: bool,
 }
 
 impl std::fmt::Debug for KvClient {
@@ -33,14 +39,22 @@ impl KvClient {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let crypto = session::client_handshake(&mut stream, verifier, seed)?;
-        Ok(KvClient { stream, crypto: Some(crypto) })
+        Ok(KvClient { stream, crypto: Some(crypto), poisoned: false })
     }
 
     /// Connects without attestation or traffic crypto (insecure runs).
     pub fn connect_insecure(addr: SocketAddr) -> Result<KvClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(KvClient { stream, crypto: None })
+        Ok(KvClient { stream, crypto: None, poisoned: false })
+    }
+
+    /// Bounds how long [`recv`](Self::recv) blocks waiting for a frame.
+    /// `None` restores blocking reads. Adversarial harnesses use this to
+    /// survive an attacker who silently drops frames.
+    pub fn set_read_timeout(&mut self, timeout: Option<std::time::Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
     }
 
     /// Issues one request and awaits its response.
@@ -53,6 +67,9 @@ impl KvClient {
     /// with [`recv`](Self::recv); the server handles each connection's
     /// frames sequentially, so replies arrive in send order.
     pub fn send(&mut self, request: &Request) -> Result<()> {
+        if self.poisoned {
+            return Err(NetError::Security("session poisoned by an earlier bad frame".into()));
+        }
         let body = request.encode();
         let out = match &mut self.crypto {
             Some(c) => c.seal(&body),
@@ -64,6 +81,22 @@ impl KvClient {
     /// Reads the next response frame (for a request previously written
     /// with [`send`](Self::send)).
     pub fn recv(&mut self) -> Result<Response> {
+        if self.poisoned {
+            return Err(NetError::Security("session poisoned by an earlier bad frame".into()));
+        }
+        // Any failure here — timeout, disconnect, authentication, decode —
+        // poisons the session: a response may still be in flight, and
+        // reading it later would attribute it to the wrong request.
+        match self.recv_inner() {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn recv_inner(&mut self) -> Result<Response> {
         let reply = protocol::read_frame(&mut self.stream)?
             .ok_or_else(|| NetError::Protocol("server disconnected".into()))?;
         let plain = match &mut self.crypto {

@@ -24,11 +24,13 @@
 
 pub mod client;
 pub mod protocol;
+pub mod proxy;
 pub mod server;
 pub mod session;
 
 pub use client::{KvClient, LoadConfig, LoadReport};
 pub use protocol::{OpCode, Request, Response, Status};
+pub use proxy::{FaultPlan, FaultProxy, FrameFault};
 pub use server::{CrossingMode, Server, ServerConfig};
 
 /// Errors surfaced by the networked components.

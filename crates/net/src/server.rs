@@ -50,10 +50,11 @@ impl Default for ServerConfig {
 }
 
 /// One queued request and its way back to the connection handler.
+/// A `None` reply tells the handler to drop the connection.
 struct WorkItem {
     crypto: Option<Arc<Mutex<SessionCrypto>>>,
     body: Vec<u8>,
-    reply: std::sync::mpsc::Sender<Vec<u8>>,
+    reply: std::sync::mpsc::Sender<Option<Vec<u8>>>,
 }
 
 /// A running store server.
@@ -128,13 +129,18 @@ impl Server {
                             CrossingMode::HotCalls => enclave.hotcall(),
                         }
                     }
-                    let response_body = match handle_request(&*store, &item) {
-                        Ok(body) => body,
-                        Err(_) => Response::error().encode(),
-                    };
-                    let out = match &item.crypto {
-                        Some(crypto) => crypto.lock().seal(&response_body),
-                        None => response_body,
+                    let out = match handle_request(&*store, &item) {
+                        Ok(body) => Some(match &item.crypto {
+                            Some(crypto) => crypto.lock().seal(&body),
+                            None => body,
+                        }),
+                        // A frame that fails authentication is
+                        // attacker-generated: replying (even with a
+                        // sealed Error) would desynchronize the
+                        // request/response pairing, letting a later
+                        // response be attributed to the wrong request.
+                        // Fail closed: drop the connection instead.
+                        Err(_) => None,
                     };
                     // Account before replying: a client that saw the
                     // response must also see the request counted.
@@ -332,7 +338,7 @@ fn handle_connection(
         None
     };
 
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Option<Vec<u8>>>();
     loop {
         let Some(body) = protocol::read_frame(&mut stream)? else {
             return Ok(()); // clean disconnect
@@ -342,6 +348,12 @@ fn handle_connection(
             .map_err(|_| NetError::Protocol("server shutting down".into()))?;
         let out =
             reply_rx.recv().map_err(|_| NetError::Protocol("worker dropped request".into()))?;
+        let Some(out) = out else {
+            // Unauthenticated or undecodable frame: fail the whole
+            // connection closed (see the worker's comment).
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Err(NetError::Security("dropping connection on bad frame".into()));
+        };
         protocol::write_frame(&mut stream, &out)?;
     }
 }

@@ -5,7 +5,7 @@ use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use sgx_sim::attest::AttestationVerifier;
 use sgx_sim::enclave::EnclaveBuilder;
-use shield_net::protocol::{read_frame, write_frame, OpCode, Request, Response};
+use shield_net::protocol::{self, read_frame, write_frame, OpCode, Request, Response};
 use shield_net::session;
 use std::io::Cursor;
 
@@ -24,15 +24,44 @@ proptest! {
         let _ = Response::decode(&bytes);
     }
 
-    /// Any request that encodes must decode back to itself.
+    /// Any request under any opcode must decode back to itself.
     #[test]
     fn request_roundtrip(
-        op in 1u8..7,
+        op in 1u8..10,
         key in pvec(any::<u8>(), 0..64),
         value in pvec(any::<u8>(), 0..128),
     ) {
         let request = Request { op: OpCode::from_u8(op).unwrap(), key, value };
         prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+    }
+
+    /// Arbitrary bytes never panic any batch or scan decoder.
+    #[test]
+    fn batch_decoders_never_panic(bytes in pvec(any::<u8>(), 0..256)) {
+        let _ = protocol::decode_multi_get(&bytes);
+        let _ = protocol::decode_multi_get_response(&bytes);
+        let _ = protocol::decode_multi_set(&bytes);
+        let _ = protocol::decode_scan(&bytes);
+    }
+
+    /// Batch payloads roundtrip for arbitrary key/value shapes,
+    /// including empty keys and duplicate keys.
+    #[test]
+    fn batch_payload_roundtrip(
+        keys in pvec(pvec(any::<u8>(), 0..16), 0..8),
+        vals in pvec(pvec(any::<u8>(), 0..16), 0..8),
+    ) {
+        prop_assert_eq!(&protocol::decode_multi_get(&protocol::encode_multi_get(&keys)).unwrap(), &keys);
+        let items: Vec<(Vec<u8>, Vec<u8>)> =
+            keys.iter().cloned().zip(vals.iter().cloned()).collect();
+        prop_assert_eq!(&protocol::decode_multi_set(&protocol::encode_multi_set(&items)).unwrap(), &items);
+        prop_assert_eq!(&protocol::decode_scan(&protocol::encode_scan(&items)).unwrap(), &items);
+        let results: Vec<Option<Vec<u8>>> =
+            vals.iter().enumerate().map(|(i, v)| (i % 2 == 0).then(|| v.clone())).collect();
+        prop_assert_eq!(
+            &protocol::decode_multi_get_response(&protocol::encode_multi_get_response(&results)).unwrap(),
+            &results
+        );
     }
 
     /// Truncating an encoded request at any point is rejected (never

@@ -24,6 +24,9 @@ pub struct SimStats {
     pub hotcalls: AtomicU64,
     /// Bytes of untrusted memory obtained through chunk OCALLs.
     pub untrusted_bytes_allocated: AtomicU64,
+    /// Simulated attacker mutations of untrusted state (fault-injection
+    /// harnesses record each attack step they apply here).
+    pub attack_steps: AtomicU64,
 }
 
 impl SimStats {
@@ -42,6 +45,7 @@ impl SimStats {
         self.ocalls.store(0, Ordering::Relaxed);
         self.hotcalls.store(0, Ordering::Relaxed);
         self.untrusted_bytes_allocated.store(0, Ordering::Relaxed);
+        self.attack_steps.store(0, Ordering::Relaxed);
     }
 
     /// Returns a plain-value snapshot of the counters.
@@ -55,7 +59,15 @@ impl SimStats {
             ocalls: self.ocalls.load(Ordering::Relaxed),
             hotcalls: self.hotcalls.load(Ordering::Relaxed),
             untrusted_bytes_allocated: self.untrusted_bytes_allocated.load(Ordering::Relaxed),
+            attack_steps: self.attack_steps.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one simulated attacker mutation of untrusted state.
+    /// Called by fault-injection tooling, never by the store itself.
+    #[inline]
+    pub fn record_attack_step(&self) {
+        Self::bump(&self.attack_steps);
     }
 
     #[inline]
@@ -83,6 +95,9 @@ pub struct StatsSnapshot {
     pub hotcalls: u64,
     /// Untrusted bytes allocated via chunk OCALLs.
     pub untrusted_bytes_allocated: u64,
+    /// Simulated attacker mutations recorded via
+    /// [`SimStats::record_attack_step`].
+    pub attack_steps: u64,
 }
 
 impl StatsSnapshot {

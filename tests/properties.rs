@@ -33,6 +33,24 @@ enum ModelOp {
     Append(Vec<u8>, Vec<u8>),
 }
 
+/// One step of the batch-equivalence test: a whole batch per step.
+#[derive(Debug, Clone)]
+enum BatchOp {
+    MultiSet(Vec<(Vec<u8>, Vec<u8>)>),
+    MultiGet(Vec<Vec<u8>>),
+}
+
+fn batch_strategy() -> impl Strategy<Value = BatchOp> {
+    // Tiny key space: batches collide with each other *and* internally
+    // (duplicate keys inside one batch are the interesting case).
+    let key = pvec(0u8..4, 1..4);
+    let value = pvec(any::<u8>(), 0..32);
+    prop_oneof![
+        pvec((key.clone(), value), 1..10).prop_map(BatchOp::MultiSet),
+        pvec(key, 1..10).prop_map(BatchOp::MultiGet),
+    ]
+}
+
 fn op_strategy() -> impl Strategy<Value = ModelOp> {
     // Small key space so operations collide heavily.
     let key = pvec(0u8..4, 1..4);
@@ -118,6 +136,42 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Batched operations are observably equivalent to per-op loops for
+    /// any sequence of batches, including batches that repeat a key:
+    /// `multi_set` applies items in order (last write wins) and
+    /// `multi_get` answers every position, duplicates included.
+    #[test]
+    fn batched_ops_equal_per_op_loops(script in pvec(batch_strategy(), 1..16)) {
+        let batched = tiny_store(3, true, true);
+        let looped = tiny_store(3, true, true);
+        for op in script {
+            match op {
+                BatchOp::MultiSet(items) => {
+                    let refs: Vec<(&[u8], &[u8])> =
+                        items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+                    batched.multi_set(&refs).unwrap();
+                    for (k, v) in &items {
+                        looped.set(k, v).unwrap();
+                    }
+                }
+                BatchOp::MultiGet(keys) => {
+                    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                    let got = batched.multi_get(&refs).unwrap();
+                    prop_assert_eq!(got.len(), keys.len());
+                    for (k, g) in keys.iter().zip(got) {
+                        let expected = match looped.get(k) {
+                            Ok(v) => Some(v),
+                            Err(Error::KeyNotFound) => None,
+                            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        };
+                        prop_assert_eq!(g, expected);
+                    }
+                }
+            }
+            prop_assert_eq!(batched.len(), looped.len());
+        }
+    }
+
     /// Flipping any single byte of any entry in untrusted memory is
     /// detected: either the key's own lookup or a full verification pass
     /// reports an integrity violation (never silently wrong data).
@@ -132,7 +186,7 @@ proptest! {
         }
         // Tamper one byte of one entry, chosen pseudo-randomly, via the
         // test-only untrusted memory hook.
-        let tampered = store.tamper_untrusted_entry_for_test(flip_seed);
+        let tampered = store.tamper_any_entry_byte(flip_seed);
         prop_assume!(tampered); // some seeds map to shards without entries
 
         // Every key is now either still correct or reports tampering;
