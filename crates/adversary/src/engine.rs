@@ -164,6 +164,7 @@ fn hint_fallback_scenario(seed: u64) -> Result<u64, Violation> {
             detail: "no two-step full scan ran despite a corrupted hint".into(),
         });
     }
+    check_stats(&store, "hint scenario stats")?;
     Ok(full_scans)
 }
 
@@ -344,6 +345,18 @@ impl Chaos {
     }
 }
 
+/// Asserts the store's observability snapshot is self-consistent. Under
+/// attack the counter invariants must still hold — detections only widen
+/// `hits + misses <= gets + deletes`, they never break the histogram or
+/// batch accounting — so a failure here means the stats plumbing itself
+/// miscounted.
+pub(crate) fn check_stats(store: &ShieldStore, context: &str) -> Result<(), Violation> {
+    store
+        .snapshot()
+        .check_consistent()
+        .map_err(|detail| Violation { context: context.into(), detail })
+}
+
 fn unexpected(context: &str, e: &Error) -> Violation {
     Violation {
         context: context.into(),
@@ -429,6 +442,7 @@ pub fn run_store_phase(seed: u64, steps: u64) -> Result<StoreReport, Violation> 
             ),
         });
     }
+    check_stats(&chaos.store, "store phase stats")?;
     Ok(chaos.report)
 }
 

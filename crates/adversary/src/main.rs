@@ -4,7 +4,12 @@
 //!
 //! ```text
 //! shieldstore_adversary [--seed S | --seeds N] [--start S0] [--steps K] [--no-wire]
+//!                       [--report PATH]
 //! ```
+//!
+//! `--report PATH` additionally writes a machine-readable JSON summary —
+//! per-attack-kind landed counts, detection totals, and the failing
+//! seeds — which CI uploads as a build artifact.
 //!
 //! Exit status is non-zero iff any seed found a violation; the offending
 //! seed is printed as `FAIL seed=<s>` so it can be replayed alone with
@@ -17,10 +22,11 @@ struct Args {
     count: u64,
     steps: u64,
     wire: bool,
+    report: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { start: 0, count: 50, steps: 400, wire: true };
+    let mut args = Args { start: 0, count: 50, steps: 400, wire: true, report: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> u64 {
@@ -37,10 +43,13 @@ fn parse_args() -> Args {
             "--start" => args.start = value("--start"),
             "--steps" => args.steps = value("--steps"),
             "--no-wire" => args.wire = false,
+            "--report" => {
+                args.report = Some(it.next().unwrap_or_else(|| panic!("--report needs a path")));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: shieldstore_adversary [--seed S | --seeds N] [--start S0] \
-                     [--steps K] [--no-wire]"
+                     [--steps K] [--no-wire] [--report PATH]"
                 );
                 std::process::exit(0);
             }
@@ -57,7 +66,7 @@ fn main() {
     let args = parse_args();
     let mut totals = (0u64, 0u64, 0u64, 0u64); // ops, attacks, detections, wire faults
     let mut by_kind = [0u64; engine::CATALOG.len()];
-    let mut failed = false;
+    let mut failed_seeds: Vec<u64> = Vec::new();
 
     for seed in args.start..args.start + args.count {
         let outcome = if args.wire {
@@ -77,7 +86,7 @@ fn main() {
                 }
             }
             Err(violation) => {
-                failed = true;
+                failed_seeds.push(seed);
                 println!("FAIL seed={seed}");
                 println!("  {violation}");
                 println!("  replay with: cargo run -p adversary -- --seed {seed}");
@@ -96,9 +105,52 @@ fn main() {
         totals.1,
         totals.3,
         totals.2,
-        if failed { "FAILURES FOUND" } else { "zero trichotomy violations" },
+        if failed_seeds.is_empty() { "zero trichotomy violations" } else { "FAILURES FOUND" },
     );
-    if failed {
+
+    if let Some(path) = &args.report {
+        let json = report_json(&args, totals, &by_kind, &failed_seeds);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !failed_seeds.is_empty() {
         std::process::exit(1);
     }
+}
+
+/// Hand-rolled JSON summary (no serde in the tree): run parameters,
+/// totals, per-attack-kind landed counts, and any failing seeds.
+fn report_json(
+    args: &Args,
+    totals: (u64, u64, u64, u64),
+    by_kind: &[u64; engine::CATALOG.len()],
+    failed_seeds: &[u64],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"harness\": \"shieldstore_adversary\",\n");
+    out.push_str(&format!("  \"start_seed\": {},\n", args.start));
+    out.push_str(&format!("  \"seeds\": {},\n", args.count));
+    out.push_str(&format!("  \"steps_per_seed\": {},\n", args.steps));
+    out.push_str(&format!("  \"wire_phase\": {},\n", args.wire));
+    out.push_str(&format!("  \"ops\": {},\n", totals.0));
+    out.push_str(&format!("  \"attacks_injected\": {},\n", totals.1));
+    out.push_str(&format!("  \"wire_faults\": {},\n", totals.3));
+    out.push_str(&format!("  \"detections\": {},\n", totals.2));
+    out.push_str("  \"attacks_by_kind\": {\n");
+    for (i, (kind, landed)) in engine::CATALOG.iter().zip(by_kind).enumerate() {
+        out.push_str(&format!(
+            "    \"{kind:?}\": {landed}{}\n",
+            if i + 1 == engine::CATALOG.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  },\n");
+    let seeds: Vec<String> = failed_seeds.iter().map(u64::to_string).collect();
+    out.push_str(&format!("  \"failed_seeds\": [{}]\n", seeds.join(", ")));
+    out.push_str("}\n");
+    out
 }

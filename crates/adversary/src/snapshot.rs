@@ -129,6 +129,9 @@ fn run_in_dir(seed: u64, dir: &Path) -> Result<SnapshotReport, Violation> {
             });
         }
     }
+    // The live store went through two freeze/snapshot/unfreeze cycles;
+    // its counters must still satisfy every stats invariant.
+    crate::engine::check_stats(&store, "snapshot phase stats")?;
     Ok(report)
 }
 
@@ -163,7 +166,7 @@ fn verify_contents(store: &ShieldStore, round: u64, context: &str) -> Result<(),
             }
         }
     }
-    Ok(())
+    crate::engine::check_stats(store, context)
 }
 
 #[cfg(test)]

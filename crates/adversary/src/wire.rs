@@ -52,8 +52,9 @@ pub fn run_wire_phase(seed: u64) -> Result<WireReport, Violation> {
     // One worker: the global FIFO work ring then processes an old
     // connection's in-flight request before a new connection's, so the
     // model's sequential view stays valid across reconnects.
+    let backend: Arc<dyn shield_baseline::KvBackend> = store.clone();
     let server = Server::start(
-        store,
+        backend,
         Some(Arc::clone(&enclave)),
         ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
     )
@@ -182,7 +183,9 @@ pub fn run_wire_phase(seed: u64) -> Result<WireReport, Violation> {
     drop(client);
     proxy.shutdown();
     server.shutdown();
-    result.map(|()| report)
+    // With every worker joined, the store is quiescent: its counters must
+    // be self-consistent no matter where the injected faults cut frames.
+    result.and_then(|()| crate::engine::check_stats(&store, "wire phase stats")).map(|()| report)
 }
 
 fn connect(

@@ -97,6 +97,13 @@ pub trait KvBackend: Send + Sync {
     /// memcached's maintainer-thread interference (Fig. 13) is charged as
     /// virtual time scaled by this count. Default: ignored.
     fn set_concurrency(&self, _workers: usize) {}
+    /// A full observability snapshot (counters, latency histograms,
+    /// occupancy, SGX transition counters), where the store keeps one.
+    /// `None` means the backend is not instrumented; the wire server maps
+    /// that to an error status on the `Stats` opcode.
+    fn stats_snapshot(&self) -> Option<shieldstore::StatsSnapshot> {
+        None
+    }
 }
 
 impl KvBackend for shieldstore::ShieldStore {
@@ -148,6 +155,10 @@ impl KvBackend for shieldstore::ShieldStore {
 
     fn reset_timing(&self) {
         self.enclave().reset_timing();
+    }
+
+    fn stats_snapshot(&self) -> Option<shieldstore::StatsSnapshot> {
+        Some(self.snapshot())
     }
 }
 

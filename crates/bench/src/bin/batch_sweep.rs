@@ -28,23 +28,64 @@ struct Row {
     verifications_per_op: f64,
     verifications_saved: u64,
     hash_updates_saved: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
 }
 
-/// Measures `ops` operations and returns (kops, stats deltas).
+impl Row {
+    /// Builds a row from a measured run: throughput plus the latency
+    /// quantiles of whichever histogram timed this configuration (the
+    /// per-op paths record in the get/set histograms, the batched paths
+    /// in the batch histogram).
+    fn from_run(
+        mode: String,
+        batch: usize,
+        phase: &'static str,
+        kops: f64,
+        ops: u64,
+        snap: &shieldstore::StatsSnapshot,
+    ) -> Row {
+        let hist = match (batch > 1 || mode.starts_with("batched"), phase) {
+            (true, _) => &snap.hists.batch,
+            (false, "set") => &snap.hists.set,
+            (false, _) => &snap.hists.get,
+        };
+        Row {
+            mode,
+            batch,
+            phase,
+            kops,
+            verifications_per_op: snap.ops.integrity_verifications as f64 / ops as f64,
+            verifications_saved: snap.ops.batch_verifications_saved,
+            hash_updates_saved: snap.ops.batch_hash_updates_saved,
+            p50_ns: hist.p50(),
+            p95_ns: hist.p95(),
+            p99_ns: hist.p99(),
+            max_ns: hist.max_ns(),
+        }
+    }
+}
+
+/// Measures `ops` operations and returns (kops, observability delta).
 fn measure(
     store: &ShieldStore,
     ops: u64,
     mut body: impl FnMut(&ShieldStore),
-) -> (f64, shieldstore::OpStats) {
+) -> (f64, shieldstore::StatsSnapshot) {
+    // Reset first so the interval max (which diff() cannot recover) is
+    // exact for this run; the diff then only strips gauge baselines.
     store.reset_stats();
     store.enclave().reset_timing();
+    let before = store.snapshot();
     vclock::reset();
     let start = Instant::now();
     body(store);
     let effective_ns = start.elapsed().as_nanos() as u64 + vclock::take();
-    let stats = store.stats();
+    let snap = store.snapshot().diff(&before);
     let kops = if effective_ns == 0 { 0.0 } else { ops as f64 / (effective_ns as f64 / 1e9) / 1e3 };
-    (kops, stats)
+    (kops, snap)
 }
 
 fn sweep(store: &ShieldStore, num_keys: u64, ops: u64) -> Vec<Row> {
@@ -56,37 +97,21 @@ fn sweep(store: &ShieldStore, num_keys: u64, ops: u64) -> Vec<Row> {
 
     // Baseline: the per-op loop (one verify + one hash re-derivation per
     // operation).
-    let (kops, stats) = measure(store, ops, |s| {
+    let (kops, snap) = measure(store, ops, |s| {
         for i in 0..ops {
             s.set(key_at(i), val_at(i)).expect("set");
         }
     });
-    rows.push(Row {
-        mode: "per-op".into(),
-        batch: 1,
-        phase: "set",
-        kops,
-        verifications_per_op: stats.integrity_verifications as f64 / ops as f64,
-        verifications_saved: stats.batch_verifications_saved,
-        hash_updates_saved: stats.batch_hash_updates_saved,
-    });
-    let (kops, stats) = measure(store, ops, |s| {
+    rows.push(Row::from_run("per-op".into(), 1, "set", kops, ops, &snap));
+    let (kops, snap) = measure(store, ops, |s| {
         for i in 0..ops {
             s.get(key_at(i)).expect("get");
         }
     });
-    rows.push(Row {
-        mode: "per-op".into(),
-        batch: 1,
-        phase: "get",
-        kops,
-        verifications_per_op: stats.integrity_verifications as f64 / ops as f64,
-        verifications_saved: stats.batch_verifications_saved,
-        hash_updates_saved: stats.batch_hash_updates_saved,
-    });
+    rows.push(Row::from_run("per-op".into(), 1, "get", kops, ops, &snap));
 
     for &batch in BATCH_SIZES {
-        let (kops, stats) = measure(store, ops, |s| {
+        let (kops, snap) = measure(store, ops, |s| {
             let mut i = 0u64;
             while i < ops {
                 let n = batch.min((ops - i) as usize);
@@ -97,17 +122,9 @@ fn sweep(store: &ShieldStore, num_keys: u64, ops: u64) -> Vec<Row> {
                 i += n as u64;
             }
         });
-        rows.push(Row {
-            mode: format!("batched x{batch}"),
-            batch,
-            phase: "set",
-            kops,
-            verifications_per_op: stats.integrity_verifications as f64 / ops as f64,
-            verifications_saved: stats.batch_verifications_saved,
-            hash_updates_saved: stats.batch_hash_updates_saved,
-        });
+        rows.push(Row::from_run(format!("batched x{batch}"), batch, "set", kops, ops, &snap));
 
-        let (kops, stats) = measure(store, ops, |s| {
+        let (kops, snap) = measure(store, ops, |s| {
             let mut i = 0u64;
             while i < ops {
                 let n = batch.min((ops - i) as usize);
@@ -117,15 +134,7 @@ fn sweep(store: &ShieldStore, num_keys: u64, ops: u64) -> Vec<Row> {
                 i += n as u64;
             }
         });
-        rows.push(Row {
-            mode: format!("batched x{batch}"),
-            batch,
-            phase: "get",
-            kops,
-            verifications_per_op: stats.integrity_verifications as f64 / ops as f64,
-            verifications_saved: stats.batch_verifications_saved,
-            hash_updates_saved: stats.batch_hash_updates_saved,
-        });
+        rows.push(Row::from_run(format!("batched x{batch}"), batch, "get", kops, ops, &snap));
     }
     rows
 }
@@ -143,7 +152,8 @@ fn to_json(rows: &[Row], num_keys: u64, ops: u64, seed: u64) -> String {
         out.push_str(&format!(
             "    {{\"mode\": \"{}\", \"batch\": {}, \"phase\": \"{}\", \"kops\": {:.3}, \
              \"verifications_per_op\": {:.4}, \"verifications_saved\": {}, \
-             \"hash_updates_saved\": {}}}{}\n",
+             \"hash_updates_saved\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+             \"max_ns\": {}}}{}\n",
             r.mode,
             r.batch,
             r.phase,
@@ -151,6 +161,10 @@ fn to_json(rows: &[Row], num_keys: u64, ops: u64, seed: u64) -> String {
             r.verifications_per_op,
             r.verifications_saved,
             r.hash_updates_saved,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+            r.max_ns,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -194,7 +208,9 @@ fn main() {
         "kops",
         "verifies/op",
         "verifies saved",
-        "hash updates saved",
+        "p50",
+        "p95",
+        "p99",
     ]);
     for r in &rows {
         table.row(&[
@@ -203,7 +219,9 @@ fn main() {
             report::kops(r.kops),
             format!("{:.4}", r.verifications_per_op),
             r.verifications_saved.to_string(),
-            r.hash_updates_saved.to_string(),
+            format!("{}ns", r.p50_ns),
+            format!("{}ns", r.p95_ns),
+            format!("{}ns", r.p99_ns),
         ]);
     }
     table.print();

@@ -252,8 +252,7 @@ impl UntrustedHeap {
         &self.enclave
     }
 
-    /// Number of backing chunks currently held (testing only).
-    #[cfg(any(test, feature = "testing"))]
+    /// Number of backing chunks currently held.
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
     }

@@ -61,6 +61,7 @@ pub mod cache;
 pub mod config;
 pub mod entry;
 pub mod error;
+pub mod hist;
 pub mod integrity;
 pub mod mac_bucket;
 pub mod ordered;
@@ -74,7 +75,8 @@ pub mod testing;
 
 pub use config::{AllocMode, Config};
 pub use error::{Error, Result};
+pub use hist::{LatencyHist, OpHists};
 pub use persist::SnapshotJob;
 pub use shard::Shard;
-pub use stats::OpStats;
+pub use stats::{OpStats, StatsSnapshot};
 pub use store::ShieldStore;

@@ -16,10 +16,11 @@ use crate::cache::EnclaveCache;
 use crate::config::{AllocMode, Config};
 use crate::entry::{self, EntryHeader};
 use crate::error::{Error, Result};
+use crate::hist::{OpHists, OpTimer};
 use crate::integrity::{self, MacStore};
 use crate::mac_bucket;
 use crate::ordered::OrderedIndex;
-use crate::stats::OpStats;
+use crate::stats::{OpStats, StatsSnapshot};
 use crate::table::TableCtx;
 use sgx_sim::enclave::Enclave;
 use shield_crypto::cmac::Cmac;
@@ -144,6 +145,7 @@ pub struct Shard {
     cache: Option<EnclaveCache>,
     index: Option<OrderedIndex>,
     pub(crate) stats: OpStats,
+    pub(crate) hists: OpHists,
 }
 
 impl std::fmt::Debug for Shard {
@@ -676,6 +678,7 @@ impl Shard {
             cache: None,
             index,
             stats: OpStats::default(),
+            hists: OpHists::default(),
         })
     }
 
@@ -756,6 +759,13 @@ impl Shard {
 
     /// Retrieves the value for `key`.
     pub fn get(&mut self, key: &[u8]) -> Result<Vec<u8>> {
+        let timer = OpTimer::start();
+        let result = self.get_untimed(key);
+        self.hists.get.record(timer.elapsed_ns());
+        result
+    }
+
+    fn get_untimed(&mut self, key: &[u8]) -> Result<Vec<u8>> {
         self.stats.gets += 1;
         match self.lookup_traced(key)? {
             Some((v, from_cache)) => {
@@ -778,8 +788,11 @@ impl Shard {
 
     /// Stores `value` under `key` (insert or update).
     pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let timer = OpTimer::start();
         self.stats.sets += 1;
-        self.apply_write(key, value)
+        let result = self.apply_write(key, value);
+        self.hists.set.record(timer.elapsed_ns());
+        result
     }
 
     /// Batched lookup: re-derives each touched bucket-set hash once per
@@ -790,6 +803,13 @@ impl Shard {
     /// than an error, so one absent key does not fail the batch. Any
     /// integrity violation aborts the whole batch fail-closed.
     pub fn multi_get(&mut self, batch: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        let timer = OpTimer::start();
+        let result = self.multi_get_untimed(batch);
+        self.hists.batch.record(timer.elapsed_ns());
+        result
+    }
+
+    fn multi_get_untimed(&mut self, batch: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
         self.stats.batches += 1;
         self.stats.batch_ops += batch.len() as u64;
         self.stats.gets += batch.len() as u64;
@@ -867,6 +887,13 @@ impl Shard {
     /// submission order (last write wins). An integrity violation
     /// mid-batch aborts fail-closed.
     pub fn multi_set(&mut self, items: &[(&[u8], &[u8])]) -> Result<()> {
+        let timer = OpTimer::start();
+        let result = self.multi_set_untimed(items);
+        self.hists.batch.record(timer.elapsed_ns());
+        result
+    }
+
+    fn multi_set_untimed(&mut self, items: &[(&[u8], &[u8])]) -> Result<()> {
         for (key, value) in items {
             self.check_item(key, value)?;
         }
@@ -940,6 +967,13 @@ impl Shard {
 
     /// Removes `key`. Errors with [`Error::KeyNotFound`] when absent.
     pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        let timer = OpTimer::start();
+        let result = self.delete_untimed(key);
+        self.hists.delete.record(timer.elapsed_ns());
+        result
+    }
+
+    fn delete_untimed(&mut self, key: &[u8]) -> Result<()> {
         self.stats.deletes += 1;
         if let Some(cache) = self.cache.as_mut() {
             cache.remove(key);
@@ -1033,9 +1067,41 @@ impl Shard {
         &self.stats
     }
 
-    /// Resets the operation counters.
+    /// This shard's latency histograms.
+    pub fn hists(&self) -> &OpHists {
+        &self.hists
+    }
+
+    /// Resets the operation counters and latency histograms.
     pub fn reset_stats(&mut self) {
         self.stats = OpStats::default();
+        self.hists = OpHists::default();
+    }
+
+    /// Folds this shard's counters, histograms, and occupancy gauges into
+    /// a store-wide snapshot. Called under the shard lock, so the
+    /// contribution is internally consistent.
+    pub(crate) fn contribute_snapshot(&self, snap: &mut StatsSnapshot) {
+        snap.ops.merge(&self.stats);
+        snap.hists.merge(&self.hists);
+        snap.entries += self.len() as u64;
+        let mut add_table = |ctx: &TableCtx| {
+            snap.heap_live_bytes += ctx.heap.live_bytes() as u64;
+            snap.heap_chunks += ctx.heap.chunk_count() as u64;
+        };
+        if let Some(main) = self.main.as_ref() {
+            add_table(main);
+        }
+        if let Some(frozen) = self.frozen.as_ref() {
+            add_table(frozen);
+        }
+        if let Some(temp) = self.temp.as_ref() {
+            add_table(&temp.ctx);
+        }
+        if let Some(cache) = self.cache.as_ref() {
+            snap.cache_used_bytes += cache.used_bytes() as u64;
+            snap.cache_entries += cache.len() as u64;
+        }
     }
 
     /// The shard's configuration.

@@ -10,7 +10,7 @@
 use crate::config::Config;
 use crate::error::Result;
 use crate::shard::{Shard, ShardConfig, StoreKeys};
-use crate::stats::OpStats;
+use crate::stats::{OpStats, StatsSnapshot};
 use parking_lot::Mutex;
 use sgx_sim::enclave::Enclave;
 use std::sync::Arc;
@@ -256,6 +256,20 @@ impl ShieldStore {
         total
     }
 
+    /// A full observability snapshot: counters and latency histograms
+    /// aggregated across shards, occupancy gauges, and the enclave's SGX
+    /// transition/paging counters. Each shard's contribution is taken
+    /// under its lock, so per-shard state is consistent; cross-shard skew
+    /// is bounded by ops that land between lock acquisitions.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut snap = StatsSnapshot { shards: self.shards.len() as u64, ..Default::default() };
+        for shard in &self.shards {
+            shard.lock().contribute_snapshot(&mut snap);
+        }
+        snap.sim = self.enclave.stats().snapshot();
+        snap
+    }
+
     /// Resets all shards' operation counters.
     pub fn reset_stats(&self) {
         for shard in &self.shards {
@@ -369,6 +383,37 @@ mod tests {
         assert_eq!(stats.misses, 1);
         s.reset_stats();
         assert_eq!(s.stats().total_ops(), 0);
+        vclock::reset();
+    }
+
+    #[test]
+    fn snapshot_aggregates_and_is_consistent() {
+        let s = store(2);
+        vclock::reset();
+        for i in 0..50u32 {
+            s.set(format!("snap-{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in 0..50u32 {
+            s.get(format!("snap-{i}").as_bytes()).unwrap();
+        }
+        let _ = s.get(b"absent");
+        let _ = s.delete(b"also-absent");
+        s.multi_get(&[b"snap-0".as_slice(), b"snap-1"]).unwrap();
+        let snap = s.snapshot();
+        snap.check_consistent().expect("clean run must be self-consistent");
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.entries, 50);
+        assert_eq!(snap.ops.sets, 50);
+        assert_eq!(snap.ops.gets, 53);
+        assert_eq!(snap.hists.set.count(), 50);
+        assert_eq!(snap.hists.get.count(), 51, "batched gets are not sampled per key");
+        assert_eq!(snap.hists.delete.count(), 1);
+        assert!(snap.hists.batch.count() >= 1);
+        assert!(snap.hists.get.p50() > 0, "timed ops take nonzero effective time");
+        assert!(snap.heap_live_bytes > 0);
+        assert!(snap.sim.ecalls + snap.sim.hotcalls + snap.sim.epc_hits > 0);
+        // Clean runs resolve every searching op.
+        assert_eq!(snap.ops.hits + snap.ops.misses, snap.ops.gets + snap.ops.deletes);
         vclock::reset();
     }
 

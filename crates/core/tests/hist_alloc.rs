@@ -1,0 +1,60 @@
+//! Proves histogram recording is allocation-free after construction.
+//!
+//! Installs a counting global allocator and asserts that `record`,
+//! `merge`, and `quantile` perform zero heap allocations. This test
+//! lives in its own integration-test binary so no sibling test thread
+//! can allocate concurrently and pollute the counter.
+
+use shieldstore::hist::{LatencyHist, OpHists, OpTimer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the only addition is a relaxed counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn recording_is_allocation_free() {
+    // Construct everything (and warm up lazy runtime state) first.
+    let mut hist = LatencyHist::new();
+    let mut other = LatencyHist::new();
+    let mut ops = OpHists::default();
+    let timer = OpTimer::start();
+    hist.record(timer.elapsed_ns());
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        hist.record(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        other.record(i);
+    }
+    hist.merge(&other);
+    ops.get.merge(&hist);
+    ops.batch.record(OpTimer::start().elapsed_ns());
+    let q = hist.p50().max(hist.p95()).max(hist.p99()).max(hist.max_ns());
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(q > 0, "quantiles over 20k samples must be nonzero");
+    assert!(hist.count() >= 20_000);
+    assert_eq!(after - before, 0, "record/merge/quantile allocated {} time(s)", after - before);
+}

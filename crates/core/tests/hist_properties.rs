@@ -1,0 +1,150 @@
+//! Property tests for the latency histogram: merge algebra, quantile
+//! monotonicity, and bucket containment hold for arbitrary sample sets.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use shieldstore::hist::{LatencyHist, NUM_BUCKETS};
+
+fn hist_of(samples: &[u64]) -> LatencyHist {
+    let mut h = LatencyHist::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// Every recorded sample lands in a bucket whose bounds contain it.
+    #[test]
+    fn samples_land_in_their_bucket(sample in any::<u64>()) {
+        let i = LatencyHist::bucket_index(sample);
+        let (lo, hi) = LatencyHist::bucket_bounds(i);
+        prop_assert!(lo <= sample && sample <= hi, "{sample} outside bucket {i} [{lo}, {hi}]");
+    }
+
+    /// Bucket bounds tile the u64 range: contiguous and non-overlapping.
+    #[test]
+    fn buckets_tile_contiguously(i in 0usize..NUM_BUCKETS - 1) {
+        let (_, hi) = LatencyHist::bucket_bounds(i);
+        let (next_lo, _) = LatencyHist::bucket_bounds(i + 1);
+        prop_assert_eq!(hi + 1, next_lo);
+    }
+
+    /// Merge is commutative: a+b == b+a.
+    #[test]
+    fn merge_commutative(
+        a in pvec(any::<u64>(), 0..64),
+        b in pvec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha;
+        ab.merge(&hb);
+        let mut ba = hb;
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a+b)+c == a+(b+c).
+    #[test]
+    fn merge_associative(
+        a in pvec(any::<u64>(), 0..48),
+        b in pvec(any::<u64>(), 0..48),
+        c in pvec(any::<u64>(), 0..48),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha;
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut right = ha;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging equals recording the concatenated sample stream.
+    #[test]
+    fn merge_equals_concatenation(
+        a in pvec(any::<u64>(), 0..64),
+        b in pvec(any::<u64>(), 0..64),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    /// Quantiles are monotone non-decreasing in p, bounded by max, and
+    /// quantile(1.0) is exactly the recorded maximum.
+    #[test]
+    fn quantiles_monotone(samples in pvec(any::<u64>(), 1..128), ps in pvec(0.0f64..1.0, 2..16)) {
+        let h = hist_of(&samples);
+        let mut ps = ps;
+        ps.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+        let mut prev = 0u64;
+        for &p in &ps {
+            let q = h.quantile(p);
+            prop_assert!(q >= prev, "quantile({p}) = {q} < previous {prev}");
+            prop_assert!(q <= h.max_ns());
+            prev = q;
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max_ns());
+        prop_assert_eq!(h.quantile(1.0), *samples.iter().max().expect("non-empty"));
+    }
+
+    /// The quantile estimate is bucket-accurate: for each p, the true
+    /// rank-th smallest sample shares a bucket with (or equals) the
+    /// estimate.
+    #[test]
+    fn quantile_is_bucket_accurate(samples in pvec(any::<u64>(), 1..64), p in 0.0f64..1.0) {
+        let h = hist_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let estimate = h.quantile(p);
+        let (lo, hi) = LatencyHist::bucket_bounds(LatencyHist::bucket_index(exact));
+        prop_assert!(
+            (lo <= estimate && estimate <= hi) || estimate == h.max_ns(),
+            "estimate {estimate} not in exact value's bucket [{lo}, {hi}]"
+        );
+    }
+
+    /// Roundtrip through the raw serialized parts reconstructs the
+    /// histogram exactly.
+    #[test]
+    fn from_raw_roundtrip(samples in pvec(any::<u64>(), 0..96)) {
+        let h = hist_of(&samples);
+        let rebuilt = LatencyHist::from_raw(*h.buckets(), h.sum_ns(), h.max_ns())
+            .expect("self-encoded parts are consistent");
+        prop_assert_eq!(rebuilt, h);
+    }
+
+    /// diff() recovers exactly the samples recorded after the earlier
+    /// snapshot was taken.
+    #[test]
+    fn diff_recovers_suffix(
+        before in pvec(any::<u64>(), 0..64),
+        after in pvec(any::<u64>(), 0..64),
+    ) {
+        let earlier = hist_of(&before);
+        let mut later = earlier;
+        for &s in &after {
+            later.record(s);
+        }
+        let d = later.diff(&earlier);
+        prop_assert_eq!(d.count(), after.len() as u64);
+        let expected = hist_of(&after);
+        prop_assert_eq!(d.buckets(), expected.buckets());
+    }
+
+    /// Count always equals the bucket total and the number of records.
+    #[test]
+    fn count_matches_buckets(samples in pvec(any::<u64>(), 0..128)) {
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+    }
+}

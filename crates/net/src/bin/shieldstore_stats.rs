@@ -1,0 +1,202 @@
+//! Observability dashboard for a running `shieldstore_server`.
+//!
+//! Issues one `Stats` request over the (attested, encrypted) channel and
+//! renders the server's aggregated snapshot: operation counters, per-op
+//! latency quantiles, heap/cache occupancy, and the SGX-model transition
+//! and paging counters.
+//!
+//! ```text
+//! cargo run --release -p shield-net --bin shieldstore_stats -- --addr 127.0.0.1:7700
+//! ```
+//!
+//! Flags:
+//!
+//! ```text
+//! --addr HOST:PORT   server address (required)
+//! --seed N           the server's platform seed, to derive the
+//!                    attestation verifier (default 0)
+//! --insecure         skip attestation and traffic crypto
+//! --json             emit one machine-readable JSON object instead of
+//!                    the text dashboard
+//! ```
+
+use sgx_sim::attest::AttestationVerifier;
+use sgx_sim::enclave::EnclaveBuilder;
+use shield_net::client::KvClient;
+use shieldstore::hist::LatencyHist;
+use shieldstore::{OpStats, StatsSnapshot};
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut seed = 0u64;
+    let mut secure = true;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(args.next().expect("--addr requires a value")),
+            "--seed" => {
+                seed = args.next().expect("--seed requires a value").parse().expect("number")
+            }
+            "--insecure" => secure = false,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("flags: --addr HOST:PORT [--seed N] [--insecure] [--json]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    let addr: std::net::SocketAddr =
+        addr.expect("--addr is required").parse().expect("addr must be HOST:PORT");
+
+    let mut client = if secure {
+        let reference = EnclaveBuilder::new("shieldstore-server").seed(seed).build();
+        let verifier = AttestationVerifier::for_enclave(&reference)
+            .expect_measurement(*reference.measurement());
+        KvClient::connect_secure(addr, &verifier, seed ^ 0x57a7).unwrap_or_else(|e| {
+            eprintln!("attestation/connect failed: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        KvClient::connect_insecure(addr).unwrap_or_else(|e| {
+            eprintln!("connect failed: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    let snap = client.stats().unwrap_or_else(|e| {
+        eprintln!("stats request failed: {e}");
+        std::process::exit(1);
+    });
+
+    if json {
+        println!("{}", to_json(&snap));
+    } else {
+        print_dashboard(&snap);
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn print_dashboard(snap: &StatsSnapshot) {
+    println!("== ShieldStore stats ==");
+    println!("entries: {}   shards: {}", snap.entries, snap.shards);
+    println!();
+
+    println!("-- latency (effective ns: wall + modeled SGX penalties) --");
+    println!("{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}", "op", "count", "p50", "p95", "p99", "max");
+    for (name, h) in snap.hists.iter() {
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            h.count(),
+            fmt_ns(h.p50()),
+            fmt_ns(h.p95()),
+            fmt_ns(h.p99()),
+            fmt_ns(h.max_ns()),
+        );
+    }
+    println!();
+
+    println!("-- operation counters --");
+    for f in OpStats::FIELDS {
+        let v = (f.get)(&snap.ops);
+        if v != 0 {
+            println!("{:<28} {v}", f.name);
+        }
+    }
+    println!("{:<28} {}", "total_ops", snap.ops.total_ops());
+    println!("{:<28} {:.3}", "decryptions_per_op", snap.ops.decryptions_per_op());
+    if let Some(ratio) = snap.cache_hit_ratio() {
+        println!("{:<28} {:.1}%", "cache_hit_ratio", ratio * 100.0);
+    }
+    println!();
+
+    println!("-- memory --");
+    println!("{:<28} {}", "heap_live_bytes", snap.heap_live_bytes);
+    println!("{:<28} {}", "heap_chunks", snap.heap_chunks);
+    println!("{:<28} {}", "cache_used_bytes", snap.cache_used_bytes);
+    println!("{:<28} {}", "cache_entries", snap.cache_entries);
+    println!();
+
+    println!("-- sgx model --");
+    let s = &snap.sim;
+    println!("{:<28} {}", "ecalls", s.ecalls);
+    println!("{:<28} {}", "ocalls", s.ocalls);
+    println!("{:<28} {}", "hotcalls", s.hotcalls);
+    println!("{:<28} {}", "epc_faults", s.epc_faults);
+    println!("{:<28} {}", "epc_evictions", s.epc_evictions);
+    println!("{:<28} {}", "epc_writebacks", s.epc_writebacks);
+    println!("{:<28} {}", "epc_hits", s.epc_hits);
+    println!("{:<28} {}", "untrusted_bytes_allocated", s.untrusted_bytes_allocated);
+    println!("{:<28} {:.2}%", "epc_fault_rate", s.fault_rate() * 100.0);
+}
+
+fn hist_json(h: &LatencyHist) -> String {
+    format!(
+        "{{\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+        h.count(),
+        h.sum_ns(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max_ns()
+    )
+}
+
+fn to_json(snap: &StatsSnapshot) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"ops\":{");
+    for (i, f) in OpStats::FIELDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", f.name, (f.get)(&snap.ops)));
+    }
+    out.push_str("},\"latency\":{");
+    for (i, (name, h)) in snap.hists.iter().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{}", hist_json(h)));
+    }
+    out.push_str("},");
+    out.push_str(&format!(
+        "\"entries\":{},\"shards\":{},\"heap_live_bytes\":{},\"heap_chunks\":{},\
+         \"cache_used_bytes\":{},\"cache_entries\":{},",
+        snap.entries,
+        snap.shards,
+        snap.heap_live_bytes,
+        snap.heap_chunks,
+        snap.cache_used_bytes,
+        snap.cache_entries
+    ));
+    let s = &snap.sim;
+    out.push_str(&format!(
+        "\"sgx\":{{\"ecalls\":{},\"ocalls\":{},\"hotcalls\":{},\"epc_faults\":{},\
+         \"epc_evictions\":{},\"epc_writebacks\":{},\"epc_hits\":{},\
+         \"untrusted_bytes_allocated\":{},\"attack_steps\":{}}}",
+        s.ecalls,
+        s.ocalls,
+        s.hotcalls,
+        s.epc_faults,
+        s.epc_evictions,
+        s.epc_writebacks,
+        s.epc_hits,
+        s.untrusted_bytes_allocated,
+        s.attack_steps
+    ));
+    out.push('}');
+    out
+}

@@ -223,6 +223,17 @@ impl KvClient {
         }
     }
 
+    /// Fetches the server's observability snapshot: aggregated counters,
+    /// per-op latency histograms, occupancy gauges, and SGX transition
+    /// counters. Errors when the server's store is not instrumented.
+    pub fn stats(&mut self) -> Result<shieldstore::StatsSnapshot> {
+        let r = self.call(&Request { op: OpCode::Stats, key: Vec::new(), value: Vec::new() })?;
+        match r.status {
+            Status::Ok => protocol::decode_stats(&r.value),
+            _ => Err(NetError::Protocol("server rejected stats (uninstrumented store?)".into())),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<()> {
         let r = self.call(&Request { op: OpCode::Ping, key: Vec::new(), value: Vec::new() })?;

@@ -58,6 +58,9 @@ pub enum OpCode {
     /// Batched write: `key` is empty, `value` is an
     /// [`encode_multi_set`] payload. The response carries no value.
     MultiSet = 9,
+    /// Observability snapshot: `key` and `value` are empty. The response
+    /// value is an [`encode_stats`] payload.
+    Stats = 10,
 }
 
 impl OpCode {
@@ -73,6 +76,7 @@ impl OpCode {
             7 => OpCode::ScanPrefix,
             8 => OpCode::MultiGet,
             9 => OpCode::MultiSet,
+            10 => OpCode::Stats,
             other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -381,6 +385,165 @@ pub fn decode_multi_set(bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
     Ok(items)
 }
 
+/// Version tag of the [`encode_stats`] layout. Bumped whenever the field
+/// order or width changes, so a stale client fails closed instead of
+/// misreading counters.
+pub const STATS_WIRE_VERSION: u8 = 1;
+
+/// The sim-counter serialization order of [`encode_stats`], fixed here so
+/// encode and decode cannot drift apart.
+const SIM_FIELDS: usize = 9;
+
+fn sim_to_array(s: &sgx_sim::stats::StatsSnapshot) -> [u64; SIM_FIELDS] {
+    [
+        s.ecalls,
+        s.ocalls,
+        s.hotcalls,
+        s.epc_faults,
+        s.epc_evictions,
+        s.epc_writebacks,
+        s.epc_hits,
+        s.untrusted_bytes_allocated,
+        s.attack_steps,
+    ]
+}
+
+fn sim_from_array(a: [u64; SIM_FIELDS]) -> sgx_sim::stats::StatsSnapshot {
+    sgx_sim::stats::StatsSnapshot {
+        ecalls: a[0],
+        ocalls: a[1],
+        hotcalls: a[2],
+        epc_faults: a[3],
+        epc_evictions: a[4],
+        epc_writebacks: a[5],
+        epc_hits: a[6],
+        untrusted_bytes_allocated: a[7],
+        attack_steps: a[8],
+    }
+}
+
+/// Encodes a `Stats` response value:
+///
+/// ```text
+/// [ version u8 ] [ op_field_count u8 ] ( op counter u64 )*
+/// 4 x histogram (get, set, delete, batch):
+///   ( bucket u64 )x64  [ sum u64 ] [ max u64 ]
+/// [ entries | shards | heap_live | heap_chunks | cache_used | cache_entries ]
+/// [ sim_field_count u8 ] ( sim counter u64 )*
+/// ```
+///
+/// All integers are u64 LE. Counter order is [`OpStats::FIELDS`] order,
+/// so a counter added to the macro table is serialized automatically.
+pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
+    use shieldstore::hist::NUM_BUCKETS;
+    use shieldstore::OpStats;
+    let mut out = Vec::with_capacity(
+        2 + 8 * OpStats::FIELDS.len() + 4 * 8 * (NUM_BUCKETS + 2) + 6 * 8 + 1 + 8 * SIM_FIELDS,
+    );
+    out.push(STATS_WIRE_VERSION);
+    out.push(OpStats::FIELDS.len() as u8);
+    for f in OpStats::FIELDS {
+        out.extend_from_slice(&(f.get)(&snap.ops).to_le_bytes());
+    }
+    for (_, h) in snap.hists.iter() {
+        for b in h.buckets() {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out.extend_from_slice(&h.sum_ns().to_le_bytes());
+        out.extend_from_slice(&h.max_ns().to_le_bytes());
+    }
+    for gauge in [
+        snap.entries,
+        snap.shards,
+        snap.heap_live_bytes,
+        snap.heap_chunks,
+        snap.cache_used_bytes,
+        snap.cache_entries,
+    ] {
+        out.extend_from_slice(&gauge.to_le_bytes());
+    }
+    out.push(SIM_FIELDS as u8);
+    for v in sim_to_array(&snap.sim) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Cursor over the fixed-width u64 stream of a stats payload.
+struct StatsReader<'a> {
+    bytes: &'a [u8],
+}
+
+impl StatsReader<'_> {
+    fn u64(&mut self) -> Result<u64> {
+        if self.bytes.len() < 8 {
+            return Err(NetError::Protocol("truncated stats payload".into()));
+        }
+        let v = u64::from_le_bytes(self.bytes[..8].try_into().expect("8 bytes"));
+        self.bytes = &self.bytes[8..];
+        Ok(v)
+    }
+
+    fn hist(&mut self) -> Result<shieldstore::LatencyHist> {
+        let mut buckets = [0u64; shieldstore::hist::NUM_BUCKETS];
+        for b in buckets.iter_mut() {
+            *b = self.u64()?;
+        }
+        let sum = self.u64()?;
+        let max = self.u64()?;
+        shieldstore::LatencyHist::from_raw(buckets, sum, max)
+            .ok_or_else(|| NetError::Protocol("inconsistent stats histogram".into()))
+    }
+}
+
+/// Decodes a payload produced by [`encode_stats`], failing closed on
+/// version or field-count mismatch, truncation, trailing bytes, or
+/// internally inconsistent histograms.
+pub fn decode_stats(bytes: &[u8]) -> Result<shieldstore::StatsSnapshot> {
+    use shieldstore::OpStats;
+    if bytes.len() < 2 {
+        return Err(NetError::Protocol("short stats payload".into()));
+    }
+    if bytes[0] != STATS_WIRE_VERSION {
+        return Err(NetError::Protocol(format!("unknown stats version {}", bytes[0])));
+    }
+    if bytes[1] as usize != OpStats::FIELDS.len() {
+        return Err(NetError::Protocol(format!(
+            "stats field count {} does not match this build's {}",
+            bytes[1],
+            OpStats::FIELDS.len()
+        )));
+    }
+    let mut snap = shieldstore::StatsSnapshot::default();
+    let mut r = StatsReader { bytes: &bytes[2..] };
+    for f in OpStats::FIELDS {
+        *(f.get_mut)(&mut snap.ops) = r.u64()?;
+    }
+    snap.hists.get = r.hist()?;
+    snap.hists.set = r.hist()?;
+    snap.hists.delete = r.hist()?;
+    snap.hists.batch = r.hist()?;
+    snap.entries = r.u64()?;
+    snap.shards = r.u64()?;
+    snap.heap_live_bytes = r.u64()?;
+    snap.heap_chunks = r.u64()?;
+    snap.cache_used_bytes = r.u64()?;
+    snap.cache_entries = r.u64()?;
+    if r.bytes.first() != Some(&(SIM_FIELDS as u8)) {
+        return Err(NetError::Protocol("stats sim field count mismatch".into()));
+    }
+    r.bytes = &r.bytes[1..];
+    let mut sim = [0u64; SIM_FIELDS];
+    for v in sim.iter_mut() {
+        *v = r.u64()?;
+    }
+    snap.sim = sim_from_array(sim);
+    if !r.bytes.is_empty() {
+        return Err(NetError::Protocol("trailing bytes after stats payload".into()));
+    }
+    Ok(snap)
+}
+
 /// Writes a length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<()> {
     if body.len() > MAX_FRAME {
@@ -498,6 +661,65 @@ mod tests {
         bytes.extend_from_slice(&1u32.to_le_bytes());
         bytes.push(b'x');
         assert!(decode_multi_get_response(&bytes).is_err());
+    }
+
+    fn sample_snapshot() -> shieldstore::StatsSnapshot {
+        let mut snap = shieldstore::StatsSnapshot::default();
+        for (i, f) in shieldstore::OpStats::FIELDS.iter().enumerate() {
+            *(f.get_mut)(&mut snap.ops) = (i as u64 + 1) * 17;
+        }
+        snap.hists.get.record(150);
+        snap.hists.get.record(9_000);
+        snap.hists.set.record(3);
+        snap.hists.batch.record(1 << 40);
+        snap.entries = 42;
+        snap.shards = 4;
+        snap.heap_live_bytes = 1 << 20;
+        snap.heap_chunks = 3;
+        snap.cache_used_bytes = 512;
+        snap.cache_entries = 9;
+        snap.sim.ecalls = 77;
+        snap.sim.epc_faults = 5;
+        snap
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let snap = sample_snapshot();
+        let decoded = decode_stats(&encode_stats(&snap)).unwrap();
+        assert_eq!(decoded, snap);
+        let empty = shieldstore::StatsSnapshot::default();
+        assert_eq!(decode_stats(&encode_stats(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_stats_rejected() {
+        let good = encode_stats(&sample_snapshot());
+        // Empty and short payloads.
+        assert!(decode_stats(&[]).is_err());
+        assert!(decode_stats(&good[..1]).is_err());
+        // Wrong version or field count.
+        let mut bad = good.clone();
+        bad[0] = STATS_WIRE_VERSION + 1;
+        assert!(decode_stats(&bad).is_err());
+        let mut bad = good.clone();
+        bad[1] += 1;
+        assert!(decode_stats(&bad).is_err());
+        // Truncation anywhere must fail, never panic.
+        for cut in [2, 50, good.len() / 2, good.len() - 1] {
+            assert!(decode_stats(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing bytes.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(decode_stats(&bad).is_err());
+        // A histogram whose max lies outside its top bucket fails closed.
+        let mut snap = sample_snapshot();
+        snap.hists.get.record(1_000_000);
+        let mut bytes = encode_stats(&snap);
+        let max_off = bytes.len() - (8 * 6 + 1 + 8 * 9) - 8;
+        bytes[max_off..max_off + 8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(decode_stats(&bytes).is_err());
     }
 
     #[test]

@@ -320,6 +320,16 @@ pub fn execute(store: &dyn KvBackend, request: &Request) -> Response {
                 None => Response::error(),
             }
         }
+        OpCode::Stats => {
+            if !request.key.is_empty() || !request.value.is_empty() {
+                return Response::error();
+            }
+            match store.stats_snapshot() {
+                Some(snap) => Response::ok(crate::protocol::encode_stats(&snap)),
+                // Uninstrumented backend: no snapshot to report.
+                None => Response::error(),
+            }
+        }
     }
 }
 
@@ -373,6 +383,49 @@ mod tests {
             )
             .unwrap(),
         )
+    }
+
+    #[test]
+    fn stats_opcode_end_to_end() {
+        let enclave = EnclaveBuilder::new("stats-op-test").epc_bytes(8 << 20).build();
+        let store = shield_store_on(&enclave);
+        let server = Server::start(
+            store,
+            Some(Arc::clone(&enclave)),
+            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+        )
+        .unwrap();
+        let verifier =
+            AttestationVerifier::for_enclave(&enclave).expect_measurement(*enclave.measurement());
+        let mut client = KvClient::connect_secure(server.addr(), &verifier, 7).unwrap();
+
+        for i in 0..20u32 {
+            client.set(format!("sk{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in 0..20u32 {
+            client.get(format!("sk{i}").as_bytes()).unwrap();
+        }
+        let _ = client.get(b"absent");
+        let snap = client.stats().unwrap();
+        snap.check_consistent().expect("live snapshot is self-consistent");
+        assert_eq!(snap.ops.sets, 20);
+        assert_eq!(snap.ops.gets, 21);
+        assert_eq!(snap.ops.hits, 20);
+        assert_eq!(snap.ops.misses, 1);
+        assert_eq!(snap.entries, 20);
+        assert_eq!(snap.hists.get.count(), 21);
+        assert!(snap.hists.get.p99() >= snap.hists.get.p50());
+
+        // A Stats request carrying payload bytes is rejected.
+        let bad = crate::protocol::Request {
+            op: OpCode::Stats,
+            key: b"junk".to_vec(),
+            value: Vec::new(),
+        };
+        let r = client.call(&bad).unwrap();
+        assert_eq!(r.status, crate::protocol::Status::Error);
+        drop(client);
+        server.shutdown();
     }
 
     #[test]

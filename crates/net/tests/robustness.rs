@@ -27,7 +27,7 @@ proptest! {
     /// Any request under any opcode must decode back to itself.
     #[test]
     fn request_roundtrip(
-        op in 1u8..10,
+        op in 1u8..11,
         key in pvec(any::<u8>(), 0..64),
         value in pvec(any::<u8>(), 0..128),
     ) {
@@ -42,6 +42,51 @@ proptest! {
         let _ = protocol::decode_multi_get_response(&bytes);
         let _ = protocol::decode_multi_set(&bytes);
         let _ = protocol::decode_scan(&bytes);
+        let _ = protocol::decode_stats(&bytes);
+    }
+
+    /// Arbitrary bytes never panic the stats decoder, even when they
+    /// start with the genuine version and field-count prefix (so the
+    /// fixed-width body parser itself gets exercised, not just the
+    /// header check).
+    #[test]
+    fn stats_decode_never_panics(bytes in pvec(any::<u8>(), 0..4096)) {
+        let _ = protocol::decode_stats(&bytes);
+        let mut prefixed = vec![
+            protocol::STATS_WIRE_VERSION,
+            shieldstore::OpStats::FIELDS.len() as u8,
+        ];
+        prefixed.extend_from_slice(&bytes);
+        let _ = protocol::decode_stats(&prefixed);
+    }
+
+    /// A stats snapshot with arbitrary counters and recorded samples
+    /// roundtrips exactly; truncating the encoding anywhere is rejected.
+    #[test]
+    fn stats_roundtrip_and_truncation(
+        counters in pvec(any::<u64>(), 0..64),
+        samples in pvec(any::<u64>(), 0..32),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let mut snap = shieldstore::StatsSnapshot::default();
+        // Cycle the drawn values over the whole field table, so every
+        // counter gets exercised regardless of how many were drawn.
+        for (i, f) in shieldstore::OpStats::FIELDS.iter().enumerate() {
+            *(f.get_mut)(&mut snap.ops) = counters.get(i % counters.len().max(1)).copied()
+                .unwrap_or(0);
+        }
+        for (i, s) in samples.iter().enumerate() {
+            match i % 4 {
+                0 => snap.hists.get.record(*s),
+                1 => snap.hists.set.record(*s),
+                2 => snap.hists.delete.record(*s),
+                _ => snap.hists.batch.record(*s),
+            }
+        }
+        let encoded = protocol::encode_stats(&snap);
+        prop_assert_eq!(protocol::decode_stats(&encoded).unwrap(), snap);
+        let cut = cut_at.index(encoded.len()); // strictly shorter
+        prop_assert!(protocol::decode_stats(&encoded[..cut]).is_err());
     }
 
     /// Batch payloads roundtrip for arbitrary key/value shapes,
