@@ -15,6 +15,10 @@
 //!   (truncation, bit flips, zero-length, stale-file replay).
 //! * [`wire`] — network-layer attacks via a byte-level fault proxy
 //!   (garbled, truncated, duplicated, and dropped frames).
+//! * [`walphase`] — write-ahead-log attacks (torn tails, bit flips,
+//!   record splices, stale pin+log replays, pre-snapshot logs after
+//!   rotation) plus kill-point crash/recover cycles checked against the
+//!   shadow model within the policy's loss window.
 //!
 //! The invariant checked after every step is the *trichotomy*: the
 //! result matches the model, or the operation failed with an integrity
@@ -23,6 +27,7 @@
 pub mod engine;
 pub mod model;
 pub mod snapshot;
+pub mod walphase;
 pub mod wire;
 
 /// Combined accounting for one seed's full run.
@@ -30,6 +35,7 @@ pub mod wire;
 pub struct SeedReport {
     pub store: engine::StoreReport,
     pub snapshot: snapshot::SnapshotReport,
+    pub wal: walphase::WalReport,
     pub wire: wire::WireReport,
 }
 
@@ -38,6 +44,7 @@ pub struct SeedReport {
 pub fn run_seed(seed: u64, store_steps: u64) -> Result<SeedReport, model::Violation> {
     let store = engine::run_store_phase(seed, store_steps)?;
     let snapshot = snapshot::run_snapshot_phase(seed)?;
+    let wal = walphase::run_wal_phase(seed)?;
     let wire = wire::run_wire_phase(seed)?;
-    Ok(SeedReport { store, snapshot, wire })
+    Ok(SeedReport { store, snapshot, wal, wire })
 }

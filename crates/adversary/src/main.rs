@@ -64,7 +64,8 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let mut totals = (0u64, 0u64, 0u64, 0u64); // ops, attacks, detections, wire faults
+    // ops, attacks, detections, wire faults, crash/recover cycles
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut by_kind = [0u64; engine::CATALOG.len()];
     let mut failed_seeds: Vec<u64> = Vec::new();
 
@@ -78,9 +79,13 @@ fn main() {
         match outcome {
             Ok(report) => {
                 totals.0 += report.store.ops + report.wire.ops;
-                totals.1 += report.store.attacks + report.snapshot.corruptions + report.wire.faults;
-                totals.2 += report.store.detected + report.snapshot.detected;
+                totals.1 += report.store.attacks
+                    + report.snapshot.corruptions
+                    + report.wal.attacks
+                    + report.wire.faults;
+                totals.2 += report.store.detected + report.snapshot.detected + report.wal.detected;
                 totals.3 += report.wire.faults;
+                totals.4 += report.wal.cycles;
                 for (total, landed) in by_kind.iter_mut().zip(report.store.attacks_by_kind) {
                     *total += landed;
                 }
@@ -99,12 +104,14 @@ fn main() {
         println!("  {kind:?}: {landed}");
     }
     println!(
-        "adversary: {} seeds, {} ops, {} attacks injected ({} on the wire), {} detections, {}",
+        "adversary: {} seeds, {} ops, {} attacks injected ({} on the wire), {} detections, \
+         {} crash/recover cycles, {}",
         args.count,
         totals.0,
         totals.1,
         totals.3,
         totals.2,
+        totals.4,
         if failed_seeds.is_empty() { "zero trichotomy violations" } else { "FAILURES FOUND" },
     );
 
@@ -127,7 +134,7 @@ fn main() {
 /// totals, per-attack-kind landed counts, and any failing seeds.
 fn report_json(
     args: &Args,
-    totals: (u64, u64, u64, u64),
+    totals: (u64, u64, u64, u64, u64),
     by_kind: &[u64; engine::CATALOG.len()],
     failed_seeds: &[u64],
 ) -> String {
@@ -141,6 +148,7 @@ fn report_json(
     out.push_str(&format!("  \"attacks_injected\": {},\n", totals.1));
     out.push_str(&format!("  \"wire_faults\": {},\n", totals.3));
     out.push_str(&format!("  \"detections\": {},\n", totals.2));
+    out.push_str(&format!("  \"crash_recover_cycles\": {},\n", totals.4));
     out.push_str("  \"attacks_by_kind\": {\n");
     for (i, (kind, landed)) in engine::CATALOG.iter().zip(by_kind).enumerate() {
         out.push_str(&format!(

@@ -104,6 +104,12 @@ pub trait KvBackend: Send + Sync {
     fn stats_snapshot(&self) -> Option<shieldstore::StatsSnapshot> {
         None
     }
+    /// Durability barrier: commit everything buffered in the store's
+    /// write-ahead log. Returns `false` when the commit failed; stores
+    /// without a WAL trivially succeed (there is nothing to flush).
+    fn flush(&self) -> bool {
+        true
+    }
 }
 
 impl KvBackend for shieldstore::ShieldStore {
@@ -159,6 +165,10 @@ impl KvBackend for shieldstore::ShieldStore {
 
     fn stats_snapshot(&self) -> Option<shieldstore::StatsSnapshot> {
         Some(self.snapshot())
+    }
+
+    fn flush(&self) -> bool {
+        self.flush_wal().is_ok()
     }
 }
 

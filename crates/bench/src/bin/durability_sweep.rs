@@ -1,0 +1,186 @@
+//! Durability sweep: WAL group-commit policies vs the snapshot-only store.
+//!
+//! The write-ahead log puts a sealed, MAC-chained record stream between
+//! every acknowledged write and a crash. What that costs depends entirely
+//! on the group-commit policy: `Strict` pays one fsync per operation,
+//! `EveryN` amortizes the fsync (and the per-record seal) over N buffered
+//! operations, and `None` defers everything to explicit flushes. This
+//! sweep measures a set-only workload under each policy against the same
+//! store with no WAL attached, reporting throughput, fsyncs and log bytes
+//! per operation, and the achieved group sizes.
+//!
+//! Results are also written as JSON to `BENCH_durability.json` at the
+//! repo root for machine consumption.
+
+use sgx_sim::vclock;
+use shield_workload::{make_key, make_value};
+use shieldstore::{Config, DurabilityPolicy, ShieldStore};
+use shieldstore_bench::{harness, report, Args};
+use std::sync::Arc;
+use std::time::Instant;
+
+const VAL_LEN: usize = 16;
+
+/// One measured policy configuration.
+struct Row {
+    policy: &'static str,
+    kops: f64,
+    /// Throughput relative to the no-WAL baseline (1.0 = free).
+    relative: f64,
+    fsyncs_per_op: f64,
+    log_bytes_per_op: f64,
+    group_p50: u64,
+    group_max: u64,
+}
+
+/// The policies under test. `None` still logs every op into the sealed
+/// buffer; the final explicit flush inside the measured body is its only
+/// commit.
+const POLICIES: &[(&str, Option<DurabilityPolicy>)] = &[
+    ("no-wal", None),
+    ("none+flush", Some(DurabilityPolicy::None)),
+    ("group-16", Some(DurabilityPolicy::EveryN(16))),
+    ("group-64", Some(DurabilityPolicy::EveryN(64))),
+    ("strict", Some(DurabilityPolicy::Strict)),
+];
+
+/// Builds a store for one configuration, preloaded *before* the WAL is
+/// attached so the log carries only the measured operations.
+fn build(
+    policy: Option<DurabilityPolicy>,
+    args: &Args,
+    keys: u64,
+    dir: &std::path::Path,
+) -> Arc<ShieldStore> {
+    let mut config = Config::shield_opt().buckets(4096).mac_hashes(64).with_shards(2);
+    if let Some(p) = policy {
+        config = config.with_durability(p);
+    }
+    let store = harness::build_shieldstore(config, args.scale.epc_bytes, args.seed);
+    harness::preload(&*store, keys, VAL_LEN);
+    if policy.is_some() {
+        std::fs::remove_dir_all(dir).ok();
+        store.attach_wal(dir).expect("attach wal");
+    }
+    store
+}
+
+/// Measures `ops` sets (plus one final flush) under one policy.
+fn measure(name: &'static str, store: &ShieldStore, keys: u64, ops: u64, baseline: f64) -> Row {
+    let key_at = |i: u64| make_key(i % keys, 16);
+    let val_at = |i: u64| make_value(i % keys, 2, VAL_LEN);
+    store.reset_stats();
+    store.enclave().reset_timing();
+    let before = store.snapshot();
+    vclock::reset();
+    let start = Instant::now();
+    for i in 0..ops {
+        store.set(&key_at(i), &val_at(i)).expect("set");
+    }
+    // The barrier is part of the measured cost: a store that buffers
+    // everything must still pay for durability once per run.
+    store.flush_wal().expect("flush");
+    let effective_ns = start.elapsed().as_nanos() as u64 + vclock::take();
+    let snap = store.snapshot().diff(&before);
+    let kops = if effective_ns == 0 { 0.0 } else { ops as f64 / (effective_ns as f64 / 1e9) / 1e3 };
+    Row {
+        policy: name,
+        kops,
+        relative: if baseline == 0.0 { 1.0 } else { kops / baseline },
+        fsyncs_per_op: snap.wal_fsyncs as f64 / ops as f64,
+        log_bytes_per_op: snap.wal_bytes as f64 / ops as f64,
+        group_p50: snap.hists.wal_group.p50(),
+        group_max: snap.hists.wal_group.max_ns(),
+    }
+}
+
+/// Hand-rolled JSON (no serde in the tree).
+fn to_json(rows: &[Row], keys: u64, ops: u64, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"durability_sweep\",\n");
+    out.push_str(&format!("  \"keys\": {keys},\n"));
+    out.push_str(&format!("  \"ops_per_config\": {ops},\n"));
+    out.push_str(&format!("  \"val_len\": {VAL_LEN},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"kops\": {:.3}, \"relative\": {:.4}, \
+             \"fsyncs_per_op\": {:.4}, \"log_bytes_per_op\": {:.2}, \
+             \"group_p50\": {}, \"group_max\": {}}}{}\n",
+            r.policy,
+            r.kops,
+            r.relative,
+            r.fsyncs_per_op,
+            r.log_bytes_per_op,
+            r.group_p50,
+            r.group_max,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale;
+    report::banner("Durability sweep", "WAL group-commit policies vs snapshot-only", &scale);
+
+    // A bounded working set keeps the run dominated by the write path
+    // under test, not by cold-memory effects; each policy gets its own
+    // freshly-preloaded store and its own log directory.
+    let keys = scale.num_keys.min(4096);
+    let ops = scale.ops;
+    let scratch = std::env::temp_dir().join(format!("ss-durability-{}", std::process::id()));
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut baseline = 0.0f64;
+    for (i, &(name, policy)) in POLICIES.iter().enumerate() {
+        let dir = scratch.join(name);
+        let store = build(policy, &args, keys, &dir);
+        // Warm-up: touch every key once so no configuration absorbs
+        // cold-memory costs alone.
+        for id in 0..keys {
+            let _ = store.get(&make_key(id, 16));
+        }
+        let row = measure(name, &store, keys, ops, baseline);
+        if i == 0 {
+            baseline = row.kops;
+        }
+        rows.push(row);
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let mut table = report::Table::new(&[
+        "policy",
+        "kops",
+        "vs no-wal",
+        "fsyncs/op",
+        "log B/op",
+        "group p50",
+        "group max",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.policy.into(),
+            report::kops(r.kops),
+            report::ratio(r.relative),
+            format!("{:.4}", r.fsyncs_per_op),
+            format!("{:.1}", r.log_bytes_per_op),
+            r.group_p50.to_string(),
+            r.group_max.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("expect: strict pays ~1 fsync/op; group-N amortizes toward 1/N; the");
+    println!("        buffered policies approach the no-wal baseline's throughput.");
+
+    let json = to_json(&rows, keys, ops, args.seed);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durability.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -28,6 +28,33 @@ impl AllocMode {
     }
 }
 
+/// When the write-ahead log commits (seals, writes, and fsyncs) its
+/// buffered operations — the knob trading durability for write latency.
+///
+/// A *commit* turns every buffered operation into one sealed, MAC-chained
+/// log record, fsyncs it, and advances the freshness pin, so the whole
+/// group costs one seal + one fsync however many operations ride in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// Never commit implicitly: operations buffer in enclave memory until
+    /// an explicit [`crate::ShieldStore::flush_wal`] (or the buffer cap).
+    /// A crash loses everything since the last flush or snapshot.
+    None,
+    /// Commit once `n` operations have buffered. A crash loses at most
+    /// `n - 1` acknowledged operations.
+    EveryN(
+        /// Operations per group commit (must be positive).
+        usize,
+    ),
+    /// Commit when a write arrives and the oldest buffered operation has
+    /// waited at least this long. Bounds the durability window in time
+    /// instead of operation count.
+    Interval(std::time::Duration),
+    /// Commit every operation before acknowledging it. Recovery is exact:
+    /// no acknowledged write is ever lost.
+    Strict,
+}
+
 /// ShieldStore configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Config {
@@ -64,6 +91,10 @@ pub struct Config {
     pub max_item_len: usize,
     /// Seed for the store's key generation (via the enclave DRBG stream).
     pub seed: u64,
+    /// Group-commit policy for the write-ahead log, once one is attached
+    /// with [`crate::ShieldStore::attach_wal`]. Stores without a WAL
+    /// ignore this.
+    pub durability: DurabilityPolicy,
 }
 
 impl Config {
@@ -84,6 +115,7 @@ impl Config {
             ordered_index: false,
             max_item_len: 64 << 20,
             seed: 0,
+            durability: DurabilityPolicy::None,
         }
     }
 
@@ -128,6 +160,12 @@ impl Config {
         self
     }
 
+    /// Sets the write-ahead-log group-commit policy.
+    pub fn with_durability(mut self, policy: DurabilityPolicy) -> Self {
+        self.durability = policy;
+        self
+    }
+
     /// Per-shard bucket count (at least 1).
     pub fn buckets_per_shard(&self) -> usize {
         (self.num_buckets / self.shards.max(1)).max(1)
@@ -145,6 +183,9 @@ impl Config {
         assert!(self.num_mac_hashes > 0, "num_mac_hashes must be positive");
         assert!(self.shards > 0, "shards must be positive");
         assert!(self.mac_bucket_capacity > 0, "mac_bucket_capacity must be positive");
+        if let DurabilityPolicy::EveryN(n) = self.durability {
+            assert!(n > 0, "DurabilityPolicy::EveryN needs a positive group size");
+        }
         if let AllocMode::Pooled { granularity } = self.alloc {
             assert!(granularity >= 4096, "allocation granularity below one page");
         }

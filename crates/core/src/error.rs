@@ -30,6 +30,14 @@ pub enum Error {
     /// Rollback detected during restore: the snapshot is older than the
     /// monotonic counter allows.
     Rollback,
+    /// A write-ahead-log record failed chain verification during
+    /// recovery: its CMAC (covering the previous record's MAC and the
+    /// monotone sequence number) did not verify, so the log was tampered
+    /// with, spliced, or reordered.
+    LogIntegrity {
+        /// Sequence number of the offending record.
+        seq: u64,
+    },
     /// A range/prefix scan was attempted without
     /// [`crate::Config::ordered_index`] enabled.
     IndexDisabled,
@@ -50,6 +58,9 @@ impl core::fmt::Display for Error {
             Error::Persistence(msg) => write!(f, "persistence failure: {msg}"),
             Error::Sim(e) => write!(f, "simulator error: {e}"),
             Error::Rollback => write!(f, "snapshot rollback detected"),
+            Error::LogIntegrity { seq } => {
+                write!(f, "write-ahead log record {seq} failed chain verification")
+            }
             Error::IndexDisabled => {
                 write!(f, "range scans require Config::ordered_index")
             }

@@ -203,6 +203,9 @@ impl LatencyHist {
 /// whole `multi_get`/`multi_set` calls (one sample per batch, not per
 /// carried key). `append`/`increment`/`exists` are compound reads over
 /// the same verified lookup path and are deliberately not sampled.
+/// `wal_group` is not a latency at all: it records the *size* (operation
+/// count) of each write-ahead-log group commit, so the distribution shows
+/// how well the durability policy amortizes sealing and fsync.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpHists {
     /// `get` latency.
@@ -213,6 +216,9 @@ pub struct OpHists {
     pub delete: LatencyHist,
     /// Whole-batch `multi_get`/`multi_set` latency.
     pub batch: LatencyHist,
+    /// Operations per WAL group commit (a size distribution, one sample
+    /// per committed log record).
+    pub wal_group: LatencyHist,
 }
 
 impl OpHists {
@@ -222,12 +228,19 @@ impl OpHists {
         self.set.merge(&other.set);
         self.delete.merge(&other.delete);
         self.batch.merge(&other.batch);
+        self.wal_group.merge(&other.wal_group);
     }
 
     /// `(name, histogram)` pairs in a fixed order, for reports and
     /// serialization.
-    pub fn iter(&self) -> [(&'static str, &LatencyHist); 4] {
-        [("get", &self.get), ("set", &self.set), ("delete", &self.delete), ("batch", &self.batch)]
+    pub fn iter(&self) -> [(&'static str, &LatencyHist); 5] {
+        [
+            ("get", &self.get),
+            ("set", &self.set),
+            ("delete", &self.delete),
+            ("batch", &self.batch),
+            ("wal_group", &self.wal_group),
+        ]
     }
 
     /// The per-interval difference against an earlier snapshot.
@@ -237,6 +250,7 @@ impl OpHists {
             set: self.set.diff(&earlier.set),
             delete: self.delete.diff(&earlier.delete),
             batch: self.batch.diff(&earlier.batch),
+            wal_group: self.wal_group.diff(&earlier.wal_group),
         }
     }
 }

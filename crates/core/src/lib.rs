@@ -51,6 +51,7 @@
 //! | [`shard`] | 5.3, Fig. 8 | partition-per-thread operations |
 //! | [`cache`] | Fig. 17 | spare-EPC plaintext cache |
 //! | [`persist`] | 4.4, Alg. 1 | snapshots, sealing, rollback defense |
+//! | [`wal`] | beyond 4.4 | sealed write-ahead log, group commit |
 //! | [`store`] | — | the sharded top-level API |
 
 #![forbid(unsafe_code)]
@@ -72,11 +73,13 @@ pub mod store;
 pub mod table;
 #[cfg(any(test, feature = "testing"))]
 pub mod testing;
+pub mod wal;
 
-pub use config::{AllocMode, Config};
+pub use config::{AllocMode, Config, DurabilityPolicy};
 pub use error::{Error, Result};
 pub use hist::{LatencyHist, OpHists};
 pub use persist::SnapshotJob;
 pub use shard::Shard;
 pub use stats::{OpStats, StatsSnapshot};
 pub use store::ShieldStore;
+pub use wal::{Wal, WalCodec, WalOp};

@@ -73,6 +73,22 @@ fn read_vec(r: &mut impl Read, len: usize, limit: usize) -> Result<Vec<u8>> {
     Ok(v)
 }
 
+/// Reads the monotonic-counter value a snapshot file claims in its
+/// header. The claim is untrusted until [`ShieldStore::restore`] checks
+/// it against the sealed metadata; recovery only uses it to select which
+/// write-ahead-log generation must accompany the snapshot, and a lie
+/// surfaces as a rollback error there.
+pub(crate) fn snapshot_counter(path: &Path) -> Result<u64> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(Error::from)?;
+    if &magic != MAGIC {
+        return Err(Error::Persistence("bad snapshot magic".into()));
+    }
+    read_u64(&mut r).map_err(Error::from)
+}
+
 /// Sealed per-snapshot metadata (serialized, then sealed as one blob).
 struct Metadata {
     counter: u64,
@@ -243,6 +259,12 @@ impl ShieldStore {
             w.flush()?;
         }
         std::fs::rename(&tmp, path.as_ref())?;
+        // The snapshot captures everything ever logged (shard locks are
+        // still held, so no write can race): truncate the WAL and rebase
+        // its chain on the new generation.
+        if let Some(wal) = self.wal_ref() {
+            wal.rotate(count)?;
+        }
         Ok(())
     }
 
@@ -256,6 +278,17 @@ impl ShieldStore {
         counter: &PersistentCounter,
     ) -> Result<SnapshotJob<'_>> {
         let count = counter.increment().map_err(Error::from)?;
+        // Rotate *before* freezing: every op logged so far is in the
+        // tables about to be frozen, so the old log is redundant. Ops that
+        // land between rotation and freeze go to both the new log and the
+        // snapshot — harmless, because WAL records are idempotent
+        // (set/delete of final values) so replay over the snapshot
+        // converges. Rotating after the freeze would lose the inverse
+        // race: ops logged to the old log but missing from the frozen
+        // tables would be truncated away.
+        if let Some(wal) = self.wal_ref() {
+            wal.rotate(count)?;
+        }
         let mut frozen: Vec<Arc<TableCtx>> = Vec::with_capacity(self.num_shards());
         for i in 0..self.num_shards() {
             frozen.push(self.with_shard(i, |shard| shard.freeze()));

@@ -1016,11 +1016,18 @@ impl Shard {
     /// one of the server-side operations motivating server-side encryption
     /// (paper §3.2, Fig. 12).
     pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<usize> {
+        self.append_value(key, suffix).map(|v| v.len())
+    }
+
+    /// [`Shard::append`], but returns the resulting full value — the
+    /// store's WAL logs appends as the value they produced, so replay
+    /// after a snapshot/log overlap cannot double-apply the suffix.
+    pub(crate) fn append_value(&mut self, key: &[u8], suffix: &[u8]) -> Result<Vec<u8>> {
         self.stats.appends += 1;
         let mut value = self.lookup(key)?.unwrap_or_default();
         value.extend_from_slice(suffix);
         self.apply_write(key, &value)?;
-        Ok(value.len())
+        Ok(value)
     }
 
     /// Adds `delta` to the decimal-integer value of `key` (creating it as

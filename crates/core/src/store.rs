@@ -8,12 +8,15 @@
 //! [`ShieldStore::with_shard`], paying the lock once per batch.
 
 use crate::config::Config;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::shard::{Shard, ShardConfig, StoreKeys};
 use crate::stats::{OpStats, StatsSnapshot};
+use crate::wal::{Wal, WalOp};
 use parking_lot::Mutex;
+use sgx_sim::counter::PersistentCounter;
 use sgx_sim::enclave::Enclave;
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 /// A shielded in-memory key-value store.
 ///
@@ -33,6 +36,11 @@ pub struct ShieldStore {
     keys: Arc<StoreKeys>,
     config: Config,
     shards: Vec<Mutex<Shard>>,
+    /// Optional write-ahead log; set once by [`ShieldStore::attach_wal`]
+    /// or [`ShieldStore::recover`]. Writes log into it while holding the
+    /// owning shard's lock (lock order: shard, then WAL), so per-key log
+    /// order matches apply order.
+    wal: OnceLock<Wal>,
 }
 
 impl std::fmt::Debug for ShieldStore {
@@ -66,7 +74,89 @@ impl ShieldStore {
             }
             shards.push(Mutex::new(shard));
         }
-        Ok(Self { enclave, keys, config, shards })
+        Ok(Self { enclave, keys, config, shards, wal: OnceLock::new() })
+    }
+
+    /// Attaches a fresh write-ahead log in `dir` to this (fresh) store,
+    /// using the [`Config::durability`] group-commit policy. Any log a
+    /// previous store life left in `dir` is discarded — use
+    /// [`ShieldStore::recover`] to replay one instead. Fails if a WAL is
+    /// already attached.
+    pub fn attach_wal(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let wal = Wal::create(Arc::clone(&self.enclave), dir.as_ref(), self.config.durability, 0)?;
+        self.wal.set(wal).map_err(|_| Error::Persistence("write-ahead log already attached".into()))
+    }
+
+    /// Commits any operations buffered in the write-ahead log, whatever
+    /// the [`crate::DurabilityPolicy`]. A no-op without an attached WAL.
+    pub fn flush_wal(&self) -> Result<()> {
+        match self.wal.get() {
+            Some(wal) => wal.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Rebuilds a store after a crash: restores `snapshot` (when given),
+    /// then verifies and replays the write-ahead log in `wal_dir`
+    /// record-by-record, stopping cleanly at a torn final record. The log
+    /// must belong to the snapshot generation being restored — a stale or
+    /// tampered log tail, a hidden pin, or a generation mismatch all fail
+    /// closed ([`Error::Rollback`] / [`Error::LogIntegrity`]). Returns the
+    /// store with the WAL re-attached and ready for new writes.
+    pub fn recover(
+        enclave: Arc<Enclave>,
+        config: Config,
+        snapshot: Option<&Path>,
+        counter: &PersistentCounter,
+        wal_dir: impl AsRef<Path>,
+    ) -> Result<ShieldStore> {
+        let policy = config.durability;
+        let (store, expected_snap) = match snapshot {
+            Some(path) => {
+                let generation = crate::persist::snapshot_counter(path)?;
+                (Self::restore(enclave.clone(), config, path, counter)?, generation)
+            }
+            None => (Self::new(enclave.clone(), config)?, 0),
+        };
+        // The WAL is not attached yet, so replayed ops are not re-logged.
+        let wal = Wal::recover(enclave, wal_dir.as_ref(), policy, expected_snap, &mut |op| {
+            match op {
+                WalOp::Set { key, value } => store.set(&key, &value),
+                // A delete can replay against a snapshot that never held
+                // the key (or already lost it): that is the idempotent
+                // outcome, not an error.
+                WalOp::Delete { key } => match store.delete(&key) {
+                    Err(Error::KeyNotFound) => Ok(()),
+                    r => r,
+                },
+            }
+        })?;
+        store
+            .wal
+            .set(wal)
+            .map_err(|_| Error::Persistence("write-ahead log already attached".into()))?;
+        Ok(store)
+    }
+
+    /// Logs `op` to the attached WAL, if any. Callers hold the owning
+    /// shard's lock, so the log observes the shard's apply order. A
+    /// commit failure surfaces as the operation's error even though the
+    /// in-memory write already landed: durability fails closed.
+    fn log_wal(&self, op: WalOp) -> Result<()> {
+        match self.wal.get() {
+            Some(wal) => wal.log([op]),
+            None => Ok(()),
+        }
+    }
+
+    pub(crate) fn wal_ref(&self) -> Option<&Wal> {
+        self.wal.get()
+    }
+
+    /// Testing-only access to the attached WAL, for crash injection.
+    #[cfg(any(test, feature = "testing"))]
+    pub fn wal_handle(&self) -> Option<&Wal> {
+        self.wal.get()
     }
 
     /// The shard index serving `key`: the high hash bits pick the shard,
@@ -105,22 +195,40 @@ impl ShieldStore {
 
     /// Stores `value` under `key`.
     pub fn set(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.with_shard(self.shard_of(key), |s| s.set(key, value))
+        self.with_shard(self.shard_of(key), |s| {
+            s.set(key, value)?;
+            self.log_wal(WalOp::Set { key: key.to_vec(), value: value.to_vec() })
+        })
     }
 
     /// Removes `key`.
     pub fn delete(&self, key: &[u8]) -> Result<()> {
-        self.with_shard(self.shard_of(key), |s| s.delete(key))
+        self.with_shard(self.shard_of(key), |s| {
+            s.delete(key)?;
+            self.log_wal(WalOp::Delete { key: key.to_vec() })
+        })
     }
 
     /// Appends `suffix` to `key`'s value, returning the new length.
+    /// Logged to the WAL as the resulting full value, so replay is
+    /// idempotent.
     pub fn append(&self, key: &[u8], suffix: &[u8]) -> Result<usize> {
-        self.with_shard(self.shard_of(key), |s| s.append(key, suffix))
+        self.with_shard(self.shard_of(key), |s| {
+            let value = s.append_value(key, suffix)?;
+            let len = value.len();
+            self.log_wal(WalOp::Set { key: key.to_vec(), value })?;
+            Ok(len)
+        })
     }
 
     /// Adds `delta` to `key`'s decimal value, returning the new value.
+    /// Logged to the WAL as the resulting value, so replay is idempotent.
     pub fn increment(&self, key: &[u8], delta: i64) -> Result<i64> {
-        self.with_shard(self.shard_of(key), |s| s.increment(key, delta))
+        self.with_shard(self.shard_of(key), |s| {
+            let next = s.increment(key, delta)?;
+            self.log_wal(WalOp::Set { key: key.to_vec(), value: next.to_string().into_bytes() })?;
+            Ok(next)
+        })
     }
 
     /// True when `key` exists.
@@ -168,7 +276,17 @@ impl ShieldStore {
                 continue;
             }
             let batch: Vec<(&[u8], &[u8])> = group.iter().map(|&i| items[i]).collect();
-            self.with_shard(shard_idx, |s| s.multi_set(&batch))?;
+            self.with_shard(shard_idx, |s| -> Result<()> {
+                s.multi_set(&batch)?;
+                match self.wal.get() {
+                    Some(wal) => wal.log(
+                        batch
+                            .iter()
+                            .map(|&(k, v)| WalOp::Set { key: k.to_vec(), value: v.to_vec() }),
+                    ),
+                    None => Ok(()),
+                }
+            })?;
         }
         Ok(())
     }
@@ -265,6 +383,15 @@ impl ShieldStore {
         let mut snap = StatsSnapshot { shards: self.shards.len() as u64, ..Default::default() };
         for shard in &self.shards {
             shard.lock().contribute_snapshot(&mut snap);
+        }
+        if let Some(wal) = self.wal.get() {
+            // One lock acquisition, so `wal_group.count() == wal_records`
+            // holds atomically for `check_consistent`.
+            let (bytes, records, fsyncs, hist) = wal.gauges();
+            snap.wal_bytes = bytes;
+            snap.wal_records = records;
+            snap.wal_fsyncs = fsyncs;
+            snap.hists.wal_group.merge(&hist);
         }
         snap.sim = self.enclave.stats().snapshot();
         snap
@@ -477,6 +604,86 @@ mod tests {
         assert_eq!(got[0].as_deref(), Some(b"v".as_slice()));
         assert_eq!(got[1].as_deref(), Some(b"v".as_slice()));
         assert_eq!(got[2], None);
+        vclock::reset();
+    }
+
+    #[test]
+    fn wal_recovery_replays_acknowledged_writes() {
+        vclock::reset();
+        let dir = std::env::temp_dir().join(format!("ss-store-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let enclave = EnclaveBuilder::new("store-wal").seed(21).epc_bytes(8 << 20).build();
+        let cfg = Config::shield_opt()
+            .buckets(128)
+            .mac_hashes(32)
+            .with_shards(2)
+            .with_durability(crate::DurabilityPolicy::Strict);
+        let s = ShieldStore::new(enclave.clone(), cfg.clone()).unwrap();
+        s.attach_wal(&dir).unwrap();
+        s.set(b"a", b"1").unwrap();
+        s.append(b"a", b"2").unwrap();
+        s.increment(b"n", 41).unwrap();
+        s.increment(b"n", 1).unwrap();
+        s.set(b"gone", b"x").unwrap();
+        s.delete(b"gone").unwrap();
+        s.multi_set(&[(b"m1".as_slice(), b"v1".as_slice()), (b"m2", b"v2")]).unwrap();
+        s.wal_handle().unwrap().simulate_crash();
+        drop(s);
+
+        let counter = PersistentCounter::open(dir.join("snapctr")).unwrap();
+        let r = ShieldStore::recover(enclave, cfg, None, &counter, &dir).unwrap();
+        assert_eq!(r.get(b"a").unwrap(), b"12");
+        assert_eq!(r.get(b"n").unwrap(), b"42");
+        assert_eq!(r.get(b"gone"), Err(Error::KeyNotFound));
+        assert_eq!(r.get(b"m1").unwrap(), b"v1");
+        assert_eq!(r.get(b"m2").unwrap(), b"v2");
+        assert_eq!(r.len(), 4);
+        // The recovered store keeps logging.
+        r.set(b"post", b"recovery").unwrap();
+        let snap = r.snapshot();
+        snap.check_consistent().unwrap();
+        assert!(snap.wal_records >= 1);
+        assert!(snap.wal_bytes > 0);
+        assert_eq!(snap.hists.wal_group.count(), snap.wal_records);
+        std::fs::remove_dir_all(&dir).unwrap();
+        vclock::reset();
+    }
+
+    #[test]
+    fn wal_rotates_with_snapshot_and_recovers_tail() {
+        vclock::reset();
+        let dir = std::env::temp_dir().join(format!("ss-store-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("snap.db");
+        let counter = PersistentCounter::open(dir.join("snapctr")).unwrap();
+
+        let enclave = EnclaveBuilder::new("store-rot").seed(22).epc_bytes(8 << 20).build();
+        let cfg = Config::shield_opt()
+            .buckets(128)
+            .mac_hashes(32)
+            .with_shards(2)
+            .with_durability(crate::DurabilityPolicy::Strict);
+        let s = ShieldStore::new(enclave.clone(), cfg.clone()).unwrap();
+        s.attach_wal(dir.join("wal")).unwrap();
+        for i in 0..20u32 {
+            s.set(format!("pre-{i}").as_bytes(), b"v").unwrap();
+        }
+        s.snapshot_blocking(&snap_path, &counter).unwrap();
+        s.set(b"tail-1", b"t1").unwrap();
+        s.delete(b"pre-0").unwrap();
+        s.wal_handle().unwrap().simulate_crash();
+        drop(s);
+
+        let r = ShieldStore::recover(enclave, cfg, Some(&snap_path), &counter, dir.join("wal"))
+            .unwrap();
+        assert_eq!(r.len(), 20); // 20 pre - 1 delete + 1 tail
+        assert_eq!(r.get(b"tail-1").unwrap(), b"t1");
+        assert_eq!(r.get(b"pre-0"), Err(Error::KeyNotFound));
+        assert_eq!(r.get(b"pre-1").unwrap(), b"v");
+        std::fs::remove_dir_all(&dir).unwrap();
         vclock::reset();
     }
 

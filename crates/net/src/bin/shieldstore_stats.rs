@@ -130,6 +130,16 @@ fn print_dashboard(snap: &StatsSnapshot) {
     println!("{:<28} {}", "cache_entries", snap.cache_entries);
     println!();
 
+    println!("-- write-ahead log --");
+    println!("{:<28} {}", "wal_bytes", snap.wal_bytes);
+    println!("{:<28} {}", "wal_records", snap.wal_records);
+    println!("{:<28} {}", "wal_fsyncs", snap.wal_fsyncs);
+    let g = &snap.hists.wal_group;
+    if g.count() > 0 {
+        println!("{:<28} p50={} p95={} max={}", "group_commit_ops", g.p50(), g.p95(), g.max_ns());
+    }
+    println!();
+
     println!("-- sgx model --");
     let s = &snap.sim;
     println!("{:<28} {}", "ecalls", s.ecalls);
@@ -174,13 +184,17 @@ fn to_json(snap: &StatsSnapshot) -> String {
     out.push_str("},");
     out.push_str(&format!(
         "\"entries\":{},\"shards\":{},\"heap_live_bytes\":{},\"heap_chunks\":{},\
-         \"cache_used_bytes\":{},\"cache_entries\":{},",
+         \"cache_used_bytes\":{},\"cache_entries\":{},\
+         \"wal_bytes\":{},\"wal_records\":{},\"wal_fsyncs\":{},",
         snap.entries,
         snap.shards,
         snap.heap_live_bytes,
         snap.heap_chunks,
         snap.cache_used_bytes,
-        snap.cache_entries
+        snap.cache_entries,
+        snap.wal_bytes,
+        snap.wal_records,
+        snap.wal_fsyncs
     ));
     let s = &snap.sim;
     out.push_str(&format!(

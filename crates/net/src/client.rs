@@ -234,6 +234,17 @@ impl KvClient {
         }
     }
 
+    /// Durability barrier: asks the server to commit every operation
+    /// buffered in its write-ahead log before returning. Ok on a server
+    /// without a WAL (there is nothing to flush).
+    pub fn flush(&mut self) -> Result<()> {
+        let r = self.call(&Request { op: OpCode::Flush, key: Vec::new(), value: Vec::new() })?;
+        match r.status {
+            Status::Ok => Ok(()),
+            _ => Err(NetError::Protocol("server failed to flush its write-ahead log".into())),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<()> {
         let r = self.call(&Request { op: OpCode::Ping, key: Vec::new(), value: Vec::new() })?;

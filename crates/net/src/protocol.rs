@@ -61,6 +61,10 @@ pub enum OpCode {
     /// Observability snapshot: `key` and `value` are empty. The response
     /// value is an [`encode_stats`] payload.
     Stats = 10,
+    /// Durability barrier: `key` and `value` are empty. Commits every
+    /// operation buffered in the server's write-ahead log before the Ok
+    /// response; a server without a WAL acknowledges immediately.
+    Flush = 11,
 }
 
 impl OpCode {
@@ -77,6 +81,7 @@ impl OpCode {
             8 => OpCode::MultiGet,
             9 => OpCode::MultiSet,
             10 => OpCode::Stats,
+            11 => OpCode::Flush,
             other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -388,7 +393,7 @@ pub fn decode_multi_set(bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
 /// Version tag of the [`encode_stats`] layout. Bumped whenever the field
 /// order or width changes, so a stale client fails closed instead of
 /// misreading counters.
-pub const STATS_WIRE_VERSION: u8 = 1;
+pub const STATS_WIRE_VERSION: u8 = 2;
 
 /// The sim-counter serialization order of [`encode_stats`], fixed here so
 /// encode and decode cannot drift apart.
@@ -426,9 +431,10 @@ fn sim_from_array(a: [u64; SIM_FIELDS]) -> sgx_sim::stats::StatsSnapshot {
 ///
 /// ```text
 /// [ version u8 ] [ op_field_count u8 ] ( op counter u64 )*
-/// 4 x histogram (get, set, delete, batch):
+/// 5 x histogram (get, set, delete, batch, wal_group):
 ///   ( bucket u64 )x64  [ sum u64 ] [ max u64 ]
 /// [ entries | shards | heap_live | heap_chunks | cache_used | cache_entries ]
+/// [ wal_bytes | wal_records | wal_fsyncs ]
 /// [ sim_field_count u8 ] ( sim counter u64 )*
 /// ```
 ///
@@ -438,7 +444,7 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
     use shieldstore::hist::NUM_BUCKETS;
     use shieldstore::OpStats;
     let mut out = Vec::with_capacity(
-        2 + 8 * OpStats::FIELDS.len() + 4 * 8 * (NUM_BUCKETS + 2) + 6 * 8 + 1 + 8 * SIM_FIELDS,
+        2 + 8 * OpStats::FIELDS.len() + 5 * 8 * (NUM_BUCKETS + 2) + 9 * 8 + 1 + 8 * SIM_FIELDS,
     );
     out.push(STATS_WIRE_VERSION);
     out.push(OpStats::FIELDS.len() as u8);
@@ -459,6 +465,9 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
         snap.heap_chunks,
         snap.cache_used_bytes,
         snap.cache_entries,
+        snap.wal_bytes,
+        snap.wal_records,
+        snap.wal_fsyncs,
     ] {
         out.extend_from_slice(&gauge.to_le_bytes());
     }
@@ -523,12 +532,16 @@ pub fn decode_stats(bytes: &[u8]) -> Result<shieldstore::StatsSnapshot> {
     snap.hists.set = r.hist()?;
     snap.hists.delete = r.hist()?;
     snap.hists.batch = r.hist()?;
+    snap.hists.wal_group = r.hist()?;
     snap.entries = r.u64()?;
     snap.shards = r.u64()?;
     snap.heap_live_bytes = r.u64()?;
     snap.heap_chunks = r.u64()?;
     snap.cache_used_bytes = r.u64()?;
     snap.cache_entries = r.u64()?;
+    snap.wal_bytes = r.u64()?;
+    snap.wal_records = r.u64()?;
+    snap.wal_fsyncs = r.u64()?;
     if r.bytes.first() != Some(&(SIM_FIELDS as u8)) {
         return Err(NetError::Protocol("stats sim field count mismatch".into()));
     }
@@ -678,6 +691,10 @@ mod tests {
         snap.heap_chunks = 3;
         snap.cache_used_bytes = 512;
         snap.cache_entries = 9;
+        snap.hists.wal_group.record(16);
+        snap.wal_bytes = 2048;
+        snap.wal_records = 1;
+        snap.wal_fsyncs = 1;
         snap.sim.ecalls = 77;
         snap.sim.epc_faults = 5;
         snap
@@ -717,7 +734,7 @@ mod tests {
         let mut snap = sample_snapshot();
         snap.hists.get.record(1_000_000);
         let mut bytes = encode_stats(&snap);
-        let max_off = bytes.len() - (8 * 6 + 1 + 8 * 9) - 8;
+        let max_off = bytes.len() - (8 * 9 + 1 + 8 * 9) - 8;
         bytes[max_off..max_off + 8].copy_from_slice(&1u64.to_le_bytes());
         assert!(decode_stats(&bytes).is_err());
     }

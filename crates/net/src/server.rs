@@ -330,6 +330,18 @@ pub fn execute(store: &dyn KvBackend, request: &Request) -> Response {
                 None => Response::error(),
             }
         }
+        OpCode::Flush => {
+            if !request.key.is_empty() || !request.value.is_empty() {
+                return Response::error();
+            }
+            if store.flush() {
+                Response::ok_empty()
+            } else {
+                // A failed commit means the durability guarantee cannot be
+                // given: fail closed.
+                Response::error()
+            }
+        }
     }
 }
 
@@ -426,6 +438,53 @@ mod tests {
         assert_eq!(r.status, crate::protocol::Status::Error);
         drop(client);
         server.shutdown();
+    }
+
+    #[test]
+    fn flush_opcode_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("ss-net-flush-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let enclave = EnclaveBuilder::new("flush-op-test").epc_bytes(8 << 20).build();
+        let store = Arc::new(
+            shieldstore::ShieldStore::new(
+                Arc::clone(&enclave),
+                shieldstore::Config::shield_opt().buckets(128).mac_hashes(32),
+            )
+            .unwrap(),
+        );
+        // Policy None: nothing commits until an explicit flush.
+        store.attach_wal(&dir).unwrap();
+        let server = Server::start(
+            Arc::clone(&store) as Arc<dyn shield_baseline::KvBackend>,
+            Some(Arc::clone(&enclave)),
+            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+        )
+        .unwrap();
+        let verifier =
+            AttestationVerifier::for_enclave(&enclave).expect_measurement(*enclave.measurement());
+        let mut client = KvClient::connect_secure(server.addr(), &verifier, 9).unwrap();
+
+        client.set(b"durable", b"yes").unwrap();
+        let before = client.stats().unwrap();
+        assert_eq!(before.wal_records, 0, "policy None buffers until flush");
+        client.flush().unwrap();
+        let after = client.stats().unwrap();
+        assert_eq!(after.wal_records, 1);
+        assert_eq!(after.wal_fsyncs, 1);
+        assert!(after.wal_bytes > 0);
+        after.check_consistent().expect("wal gauges are self-consistent");
+
+        // A Flush request carrying payload bytes is rejected.
+        let bad = crate::protocol::Request {
+            op: OpCode::Flush,
+            key: Vec::new(),
+            value: b"junk".to_vec(),
+        };
+        let r = client.call(&bad).unwrap();
+        assert_eq!(r.status, crate::protocol::Status::Error);
+        drop(client);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
