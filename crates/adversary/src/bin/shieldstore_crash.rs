@@ -17,8 +17,14 @@
 //!   may not have reached the log before the abort).
 //! * `EveryN(4)` — only whole groups are durable: the recovered count
 //!   must be a multiple of 4 within `[P - 3, P + 1]`.
+//! * `snapshot` — strict writes, but the fuse is armed right before a
+//!   mid-run snapshot (blocking or background by seed parity), so the
+//!   kill points land inside the two-phase log-rotation protocol
+//!   instead of the plain write path. Recovery uses the snapshot when
+//!   its rename became durable and the bare WAL otherwise; the strict
+//!   window applies either way.
 //!
-//! In both cases every recovered value must be byte-exact and no
+//! In every case each recovered value must be byte-exact and no
 //! phantom keys may appear.
 //!
 //! ```text
@@ -52,7 +58,11 @@ fn config(policy: DurabilityPolicy) -> Config {
 
 fn policy_from_tag(tag: &str) -> DurabilityPolicy {
     match tag {
-        "strict" => DurabilityPolicy::Strict,
+        // `snapshot` writes strictly and cuts a mid-run snapshot with the
+        // fuse armed, so kill points land inside the log-rotation
+        // protocol (rotate_begin pin, rotate_commit pin, and the commits
+        // that follow) instead of the plain write path.
+        "strict" | "snapshot" => DurabilityPolicy::Strict,
         "group4" => DurabilityPolicy::EveryN(4),
         other => panic!("unknown policy tag {other:?}"),
     }
@@ -90,7 +100,9 @@ fn run_child() {
     let seed = env_u64(SEED_ENV);
     let fuse = env_u64(FUSE_ENV) as i64;
     let ops = env_u64(OPS_ENV);
-    let policy = policy_from_tag(&std::env::var(POLICY_ENV).expect("policy tag"));
+    let tag = std::env::var(POLICY_ENV).expect("policy tag");
+    let snapshot_mode = tag == "snapshot";
+    let policy = policy_from_tag(&tag);
 
     let mut progress = std::fs::OpenOptions::new()
         .append(true)
@@ -98,12 +110,28 @@ fn run_child() {
         .open(dir.join("progress"))
         .expect("progress file");
 
-    // Arm before attaching so kill points inside WAL creation (the
-    // first pin write) are part of the matrix too.
-    shieldstore::wal::crash::arm(fuse);
+    // In snapshot mode the fuse is armed right before the mid-run
+    // snapshot, so every kill point exercises the rotation protocol;
+    // otherwise arm before attaching so kill points inside WAL creation
+    // (the first pin write) are part of the matrix too.
+    if !snapshot_mode {
+        shieldstore::wal::crash::arm(fuse);
+    }
     let store = ShieldStore::new(enclave(seed), config(policy)).expect("store");
     store.attach_wal(dir.join("wal")).expect("attach wal");
+    let snap_at = ops / 2;
     for step in 0..ops {
+        if snapshot_mode && step == snap_at {
+            shieldstore::wal::crash::arm(fuse);
+            let counter = PersistentCounter::open(dir.join("snapctr")).expect("snapshot counter");
+            let snap = dir.join("snap.db");
+            if seed.is_multiple_of(2) {
+                store.snapshot_blocking(&snap, &counter).expect("blocking snapshot");
+            } else {
+                let job = store.snapshot_background(&snap, &counter).expect("start snapshot");
+                job.finish().expect("finish snapshot");
+            }
+        }
         store.set(&key_bytes(step), &value_bytes(seed, step)).expect("acknowledged set");
         // The ack line goes to disk only after `set` returned: anything
         // recorded here was confirmed to the (hypothetical) client.
@@ -165,7 +193,7 @@ fn run_parent() {
 
     for seed in args.start..args.start + args.seeds {
         for kill in 1..=args.kill_points {
-            for tag in ["strict", "group4"] {
+            for tag in ["strict", "group4", "snapshot"] {
                 cells += 1;
                 let dir = std::env::temp_dir()
                     .join(format!("ss-crash-{}-{seed}-{kill}-{tag}", std::process::id()));
@@ -196,7 +224,7 @@ fn run_parent() {
     }
 
     println!(
-        "crash-matrix: {cells} cells ({} seeds x {} kill-points x 2 policies), \
+        "crash-matrix: {cells} cells ({} seeds x {} kill-points x 3 modes), \
          {crashes} aborted mid-commit, {clean_runs} ran to completion, {}",
         args.seeds,
         args.kill_points,
@@ -220,9 +248,19 @@ fn check_cell(seed: u64, tag: &str, dir: &Path, ops: u64, clean_exit: bool) -> R
     let policy = policy_from_tag(tag);
     let counter = PersistentCounter::open(dir.join("snapctr"))
         .map_err(|e| format!("snapshot counter: {e}"))?;
-    let store =
-        ShieldStore::recover(enclave(seed), config(policy), None, &counter, dir.join("wal"))
-            .map_err(|e| format!("recovery failed: {e:?} (acked={acked})"))?;
+    // Snapshot-mode cells restore from the snapshot when the child got
+    // far enough to durably rename one; a crash before the rename must
+    // still recover everything from the WAL alone.
+    let snap_path = dir.join("snap.db");
+    let snapshot = snap_path.exists().then_some(snap_path);
+    let store = ShieldStore::recover(
+        enclave(seed),
+        config(policy),
+        snapshot.as_deref(),
+        &counter,
+        dir.join("wal"),
+    )
+    .map_err(|e| format!("recovery failed: {e:?} (acked={acked})"))?;
     let recovered = store.len() as u64;
 
     let in_window = if clean_exit {
@@ -237,7 +275,7 @@ fn check_cell(seed: u64, tag: &str, dir: &Path, ops: u64, clean_exit: bool) -> R
                 let n = n as u64;
                 recovered.is_multiple_of(n) && recovered + n > acked && recovered <= acked + 1
             }
-            _ => unreachable!("matrix only runs strict/group4"),
+            _ => unreachable!("matrix only runs strict/group4/snapshot"),
         }
     };
     if !in_window {

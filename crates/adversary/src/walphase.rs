@@ -64,6 +64,7 @@ fn run_in_dir(seed: u64, dir: &Path) -> Result<WalReport, Violation> {
     group_commit_loss_window(seed, dir, &mut rng, &mut report)?;
     log_tamper_attacks(seed, dir, &mut rng, &mut report)?;
     stale_log_after_snapshot(seed, dir, &mut report)?;
+    snapshot_crash_window(seed, dir, &mut report)?;
     Ok(report)
 }
 
@@ -544,6 +545,76 @@ fn stale_log_after_snapshot(
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Part E: crash inside the snapshot/rotation window
+// ---------------------------------------------------------------------
+
+/// The most dangerous durability window: a snapshot has *begun* (the log
+/// rotated to the upcoming generation) but never lands on disk. The old
+/// log generation must survive until the snapshot is durably renamed, so
+/// a writer failure followed by a crash recovers every acknowledged
+/// write from the last good snapshot plus both retained log generations.
+fn snapshot_crash_window(seed: u64, dir: &Path, report: &mut WalReport) -> Result<(), Violation> {
+    let wal_dir = dir.join("window-wal");
+    let counter = PersistentCounter::open(dir.join("window-ctr")).expect("counter");
+    let store = ShieldStore::new(enclave(seed), config(DurabilityPolicy::Strict)).expect("store");
+    store.attach_wal(&wal_dir).expect("attach wal");
+    let mut shadow = HashMap::new();
+    for id in 0..6u64 {
+        let key = format!("b{id}").into_bytes();
+        let value = format!("base-val-{id}").into_bytes();
+        store.set(&key, &value).expect("base set");
+        shadow.insert(key, value);
+    }
+    let snap = dir.join("window.db");
+    store.snapshot_blocking(&snap, &counter).expect("good snapshot");
+    for id in 0..4u64 {
+        let key = format!("w{id}").into_bytes();
+        let value = format!("mid-val-{id}").into_bytes();
+        store.set(&key, &value).expect("mid set");
+        shadow.insert(key, value);
+    }
+
+    // A background snapshot whose writer dies (target directory missing):
+    // rotation began, the snapshot never lands.
+    let job = store
+        .snapshot_background(dir.join("no-such-dir").join("s.db"), &counter)
+        .expect("start background snapshot");
+    if job.finish().is_ok() {
+        return Err(Violation {
+            context: "snapshot crash window".into(),
+            detail: "background snapshot into a missing directory reported success".into(),
+        });
+    }
+    // The store keeps acknowledging writes into the newest generation.
+    for id in 0..4u64 {
+        let key = format!("x{id}").into_bytes();
+        let value = format!("tail-val-{id}").into_bytes();
+        store.set(&key, &value).expect("tail set");
+        shadow.insert(key, value);
+    }
+    store.wal_handle().expect("wal attached").simulate_crash();
+    drop(store);
+
+    // Recovery from the last *successful* snapshot must replay both
+    // retained generations: Strict means not one acknowledged write may
+    // be missing.
+    let recovered = ShieldStore::recover(
+        enclave(seed),
+        config(DurabilityPolicy::Strict),
+        Some(&snap),
+        &counter,
+        &wal_dir,
+    )
+    .map_err(|e| Violation {
+        context: "snapshot crash window".into(),
+        detail: format!("recovery after a failed snapshot attempt failed: {e:?}"),
+    })?;
+    verify_state(&recovered, &shadow, "snapshot crash window")?;
+    report.cycles += 1;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,7 +628,7 @@ mod tests {
             assert_eq!(report.attacks, 9, "attack count drifted: {report:?}");
             assert_eq!(report.detected, 9, "undetected attack: {report:?}");
             assert_eq!(report.benign, 1, "torn-tail case missing: {report:?}");
-            assert_eq!(report.cycles, 5, "crash cycle count drifted: {report:?}");
+            assert_eq!(report.cycles, 6, "crash cycle count drifted: {report:?}");
         }
     }
 }

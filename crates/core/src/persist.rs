@@ -159,6 +159,17 @@ fn write_table(w: &mut impl Write, ctx: &TableCtx) -> std::io::Result<()> {
     }
 }
 
+/// Best-effort fsync of `path`'s parent directory so the rename that
+/// published a snapshot survives power loss.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+        if let Ok(f) = std::fs::File::open(dir) {
+            let _ = f.sync_all();
+        }
+    }
+}
+
 /// Reads the calling thread's consumed CPU time from procfs (Linux).
 /// Returns 0 where unavailable; resolution is one scheduler tick (10 ms).
 fn thread_cpu_ns() -> u64 {
@@ -188,6 +199,9 @@ pub struct SnapshotJob<'a> {
     store: &'a ShieldStore,
     writer: Option<std::thread::JoinHandle<Result<()>>>,
     writer_cpu_ns: Arc<std::sync::atomic::AtomicU64>,
+    /// Snapshot generation being written; WAL rotation commits against it
+    /// once the writer's rename is confirmed durable.
+    generation: u64,
 }
 
 impl<'a> SnapshotJob<'a> {
@@ -211,12 +225,21 @@ impl<'a> SnapshotJob<'a> {
 
     /// Waits for the writer, then merges the temporary tables back into
     /// the main tables. Returns the writer's consumed CPU time.
+    ///
+    /// Only after the writer confirms the snapshot's durable rename does
+    /// the WAL retire the pre-snapshot log generation
+    /// ([`crate::wal::Wal::rotate_commit`]); a writer error leaves the
+    /// old generation pinned, so every acknowledged write stays
+    /// recoverable from the previous snapshot plus the retained logs.
     pub fn finish(mut self) -> Result<std::time::Duration> {
         if let Some(writer) = self.writer.take() {
             writer.join().map_err(|_| Error::Persistence("snapshot writer panicked".into()))??;
         }
         for i in 0..self.store.num_shards() {
             self.store.with_shard(i, |shard| shard.unfreeze())?;
+        }
+        if let Some(wal) = self.store.wal_ref() {
+            wal.rotate_commit(self.generation)?;
         }
         Ok(self.writer_cpu())
     }
@@ -233,6 +256,13 @@ impl ShieldStore {
         // Hold every shard lock for the duration: requests stall.
         let mut guards: Vec<_> = self.shards().iter().map(|s| s.lock()).collect();
         let count = counter.increment().map_err(Error::from)?;
+        // Begin rotation before the snapshot is written: the old
+        // generation's log and pin segment are retained until the rename
+        // below is durable, so a crash or write failure at any point in
+        // between recovers from the old snapshot plus both log segments.
+        if let Some(wal) = self.wal_ref() {
+            wal.rotate_begin(count)?;
+        }
 
         let metadata = Metadata {
             counter: count,
@@ -257,13 +287,18 @@ impl ShieldStore {
                 write_table(&mut w, guard.main_table().expect("not snapshotting"))?;
             }
             w.flush()?;
+            // rotate_commit below deletes the only other durable copy of
+            // these operations, so the snapshot must actually be on disk,
+            // not in the page cache.
+            w.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, path.as_ref())?;
-        // The snapshot captures everything ever logged (shard locks are
-        // still held, so no write can race): truncate the WAL and rebase
-        // its chain on the new generation.
+        sync_parent_dir(path.as_ref());
+        // The snapshot is durable and captures everything ever logged
+        // (shard locks are still held, so no write can race): retire the
+        // superseded log generations.
         if let Some(wal) = self.wal_ref() {
-            wal.rotate(count)?;
+            wal.rotate_commit(count)?;
         }
         Ok(())
     }
@@ -278,16 +313,20 @@ impl ShieldStore {
         counter: &PersistentCounter,
     ) -> Result<SnapshotJob<'_>> {
         let count = counter.increment().map_err(Error::from)?;
-        // Rotate *before* freezing: every op logged so far is in the
-        // tables about to be frozen, so the old log is redundant. Ops that
-        // land between rotation and freeze go to both the new log and the
-        // snapshot — harmless, because WAL records are idempotent
-        // (set/delete of final values) so replay over the snapshot
-        // converges. Rotating after the freeze would lose the inverse
-        // race: ops logged to the old log but missing from the frozen
-        // tables would be truncated away.
+        // Begin rotation *before* freezing: every op logged so far is in
+        // the tables about to be frozen, so the snapshot will cover the
+        // old generation. Ops that land between rotation and freeze go to
+        // both the new log and the snapshot — harmless, because WAL
+        // records are idempotent (set/delete of final values) so replay
+        // over the snapshot converges. Rotating after the freeze would
+        // lose the inverse race: ops logged to the old log but missing
+        // from the frozen tables would be dropped with it. The old
+        // generation's log and pin segment survive until
+        // [`SnapshotJob::finish`] confirms the background writer's rename
+        // — a crash or writer failure before that recovers from the old
+        // snapshot plus both log segments.
         if let Some(wal) = self.wal_ref() {
-            wal.rotate(count)?;
+            wal.rotate_begin(count)?;
         }
         let mut frozen: Vec<Arc<TableCtx>> = Vec::with_capacity(self.num_shards());
         for i in 0..self.num_shards() {
@@ -318,8 +357,12 @@ impl ShieldStore {
                     write_table(&mut w, ctx)?;
                 }
                 w.flush()?;
+                // The old log generation is deleted once this snapshot is
+                // declared durable: make it actually so.
+                w.get_ref().sync_all()?;
             }
             std::fs::rename(&tmp, &path)?;
+            sync_parent_dir(&path);
             // Drop the frozen Arcs so unfreeze() can reclaim the tables.
             drop(frozen);
             cpu_slot.store(
@@ -329,7 +372,7 @@ impl ShieldStore {
             Ok(())
         });
 
-        Ok(SnapshotJob { store: self, writer: Some(writer), writer_cpu_ns })
+        Ok(SnapshotJob { store: self, writer: Some(writer), writer_cpu_ns, generation: count })
     }
 
     /// Restores a store from a snapshot written by this enclave identity.
@@ -344,7 +387,23 @@ impl ShieldStore {
         path: impl AsRef<Path>,
         counter: &PersistentCounter,
     ) -> Result<ShieldStore> {
-        let file = std::fs::File::open(path.as_ref())?;
+        Self::restore_inner(enclave, config, path.as_ref(), Some(counter))
+    }
+
+    /// [`ShieldStore::restore`] with the monotonic-counter freshness
+    /// check optional. [`ShieldStore::recover`] passes `None` when a
+    /// sealed WAL pin exists: the snapshot generation may then
+    /// legitimately lag the counter (a crash mid-snapshot leaves the
+    /// counter ahead of the last durable snapshot), and freshness is
+    /// instead enforced by [`crate::wal::Wal::recover`], which rejects
+    /// any generation the pin does not vouch for.
+    pub(crate) fn restore_inner(
+        enclave: Arc<Enclave>,
+        config: Config,
+        path: &Path,
+        counter: Option<&PersistentCounter>,
+    ) -> Result<ShieldStore> {
+        let file = std::fs::File::open(path)?;
         let mut r = BufReader::new(file);
 
         let mut magic = [0u8; 8];
@@ -365,11 +424,14 @@ impl ShieldStore {
         let metadata = Metadata::deserialize(&seal::unseal(&enclave, &sealed)?)?;
 
         // Rollback protection: the sealed counter must match the file
-        // header and be current with respect to the monotonic counter.
+        // header and — unless a WAL pin is rooting freshness instead —
+        // be current with respect to the monotonic counter.
         if metadata.counter != file_counter {
             return Err(Error::Persistence("snapshot counter mismatch".into()));
         }
-        counter.check_fresh(metadata.counter)?;
+        if let Some(counter) = counter {
+            counter.check_fresh(metadata.counter)?;
+        }
 
         let keys = Arc::new(StoreKeys::from_raw(metadata.raw_keys));
         let store = ShieldStore::with_keys(enclave, config, Arc::clone(&keys))?;
@@ -563,6 +625,62 @@ mod tests {
         let restored = restored.unwrap();
         assert_eq!(restored.get(b"k0").unwrap(), b"before");
         assert_eq!(restored.get(b"new-key"), Err(Error::KeyNotFound));
+        vclock::reset();
+    }
+
+    #[test]
+    fn failed_background_snapshot_keeps_every_write_recoverable() {
+        use crate::config::DurabilityPolicy;
+        vclock::reset();
+        let dir = tmpdir("wal-failed-bg");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("snap.db");
+        let counter = PersistentCounter::open(dir.join("ctr")).unwrap();
+        let cfg = || {
+            Config::shield_opt()
+                .buckets(128)
+                .mac_hashes(32)
+                .with_shards(2)
+                .with_durability(DurabilityPolicy::Strict)
+        };
+
+        let enclave = EnclaveBuilder::new("persist-test").seed(12).epc_bytes(8 << 20).build();
+        let store = ShieldStore::new(enclave, cfg()).unwrap();
+        store.attach_wal(dir.join("wal")).unwrap();
+        for i in 0..20u32 {
+            store.set(format!("k{i}").as_bytes(), b"base").unwrap();
+        }
+        store.snapshot_blocking(&snap, &counter).unwrap();
+        for i in 0..10u32 {
+            store.set(format!("m{i}").as_bytes(), b"mid").unwrap();
+        }
+        // A background snapshot whose writer fails (target directory does
+        // not exist): rotation began, but the old generation must survive
+        // because the snapshot never landed.
+        let job =
+            store.snapshot_background(dir.join("no-such-dir").join("s.db"), &counter).unwrap();
+        assert!(job.finish().is_err(), "writer into a missing directory must fail");
+        // The store keeps serving and logging into the new generation.
+        for i in 0..10u32 {
+            store.set(format!("t{i}").as_bytes(), b"tail").unwrap();
+        }
+        store.wal_handle().unwrap().simulate_crash();
+        drop(store);
+
+        // Recovery from the last *successful* snapshot replays both
+        // retained log generations: nothing acknowledged is lost.
+        let enclave = EnclaveBuilder::new("persist-test").seed(12).epc_bytes(8 << 20).build();
+        let r = ShieldStore::recover(enclave, cfg(), Some(&snap), &counter, dir.join("wal"))
+            .expect("recovery after a failed background snapshot");
+        assert_eq!(r.len(), 40);
+        for i in 0..20u32 {
+            assert_eq!(r.get(format!("k{i}").as_bytes()).unwrap(), b"base");
+        }
+        for i in 0..10u32 {
+            assert_eq!(r.get(format!("m{i}").as_bytes()).unwrap(), b"mid");
+            assert_eq!(r.get(format!("t{i}").as_bytes()).unwrap(), b"tail");
+        }
         vclock::reset();
     }
 

@@ -98,11 +98,16 @@ impl ShieldStore {
 
     /// Rebuilds a store after a crash: restores `snapshot` (when given),
     /// then verifies and replays the write-ahead log in `wal_dir`
-    /// record-by-record, stopping cleanly at a torn final record. The log
-    /// must belong to the snapshot generation being restored — a stale or
-    /// tampered log tail, a hidden pin, or a generation mismatch all fail
-    /// closed ([`Error::Rollback`] / [`Error::LogIntegrity`]). Returns the
-    /// store with the WAL re-attached and ready for new writes.
+    /// record-by-record, stopping cleanly at a torn final record. The
+    /// snapshot generation must be one the sealed WAL pin vouches for —
+    /// replay covers it and every later pinned log generation, so a crash
+    /// anywhere in a snapshot/rotation sequence recovers completely. A
+    /// stale or tampered log tail, a hidden pin, or an unpinned snapshot
+    /// generation all fail closed ([`Error::Rollback`] /
+    /// [`Error::LogIntegrity`]). When `wal_dir` holds no WAL state at
+    /// all, freshness falls back to the snapshot's monotonic `counter`.
+    /// Returns the store with the WAL re-attached and ready for new
+    /// writes.
     pub fn recover(
         enclave: Arc<Enclave>,
         config: Config,
@@ -111,12 +116,26 @@ impl ShieldStore {
         wal_dir: impl AsRef<Path>,
     ) -> Result<ShieldStore> {
         let policy = config.durability;
+        // With WAL state present, the sealed pin (bound to its own
+        // monotonic counter) is the freshness root: the snapshot may
+        // legitimately lag the snapshot counter after a mid-snapshot
+        // crash, and `Wal::recover` rejects any generation the pin does
+        // not list. Without any WAL state the snapshot counter is the
+        // only defense, so it is enforced here — including against a
+        // wiped WAL dir presented alongside no snapshot at all.
+        let pin_is_freshness_root = Wal::state_exists(wal_dir.as_ref());
         let (store, expected_snap) = match snapshot {
             Some(path) => {
                 let generation = crate::persist::snapshot_counter(path)?;
-                (Self::restore(enclave.clone(), config, path, counter)?, generation)
+                let freshness = if pin_is_freshness_root { None } else { Some(counter) };
+                (Self::restore_inner(enclave.clone(), config, path, freshness)?, generation)
             }
-            None => (Self::new(enclave.clone(), config)?, 0),
+            None => {
+                if !pin_is_freshness_root {
+                    counter.check_fresh(0).map_err(Error::from)?;
+                }
+                (Self::new(enclave.clone(), config)?, 0)
+            }
         };
         // The WAL is not attached yet, so replayed ops are not re-logged.
         let wal = Wal::recover(enclave, wal_dir.as_ref(), policy, expected_snap, &mut |op| {

@@ -29,30 +29,56 @@
 //!
 //! A chain alone cannot stop the host from serving a *stale prefix* of the
 //! log (every prefix is internally consistent). The WAL therefore keeps a
-//! sealed pin file recording `(snapshot id, last seq, last MAC)` plus the
-//! log's encryption/MAC keys, and binds the pin to an
+//! sealed pin file recording the log's encryption/MAC keys plus a list of
+//! live *segments* — `(snapshot id, last seq, last MAC)` per log
+//! generation — and binds the pin to an
 //! [`sgx_sim::counter::PersistentCounter`] — the same §4.4 monotonic
 //! counter defense snapshots use. Commit order is: write + fsync the
-//! record, write the pin claiming counter value `c+1`, then increment the
-//! counter to `c+1`. Recovery accepts a pin claiming `c` or `c+1` (a crash
-//! between pin write and counter bump is legitimate); any stale pin claims
-//! `< c` and is rejected as a rollback.
+//! record, write + fsync the pin claiming counter value `c+1`, then
+//! increment the counter to `c+1` (the counter file is fsynced too, so
+//! under power loss the durable pin and counter cannot drift apart by
+//! more than this one step). Recovery accepts a pin claiming `c` or `c+1`
+//! (a crash between pin write and counter bump is legitimate); any stale
+//! pin claims `< c` and is rejected as a rollback.
+//!
+//! # Rotation
+//!
+//! Cutting a snapshot rotates the log in two phases so that no crash
+//! point strands acknowledged writes. [`Wal::rotate_begin`] opens a fresh
+//! log for the *upcoming* snapshot generation while **retaining** the old
+//! generation's log and its pin segment — until the snapshot is durably
+//! renamed, the old log is still the only durable copy of those
+//! operations. Once the snapshot is on disk, [`Wal::rotate_commit`]
+//! prunes the superseded segments from the pin and only then deletes
+//! their log files. A crash (or a failed snapshot writer) anywhere in
+//! between leaves a pin listing both generations, and recovery replays
+//! whichever pinned generation matches the restored snapshot *plus every
+//! later segment* — repeated snapshot failures simply stack more
+//! segments, never losing the logged tail.
 //!
 //! # Group commit
 //!
 //! Operations buffer in enclave memory and a *commit* turns the whole
 //! buffer into one record — one seal, one fsync, one pin update — under a
 //! [`DurabilityPolicy`]: every op (`Strict`), every N ops, after a time
-//! interval, or only on explicit flush.
+//! interval, or only on explicit flush. Policies are evaluated when a
+//! write arrives — there is no background timer — so `Interval` bounds
+//! the window only under continuous traffic; call
+//! [`crate::ShieldStore::flush_wal`] before going idle.
 //!
 //! # Recovery
 //!
-//! [`crate::ShieldStore::recover`] restores the latest snapshot, then
-//! replays the log tail record-by-record, verifying the chain as it goes.
-//! Records at or below the pinned sequence must all be present and valid
-//! (else [`Error::Rollback`] / [`Error::LogIntegrity`]); past the pin, a
-//! torn final record (crash mid-write) is truncated and replay stops
-//! cleanly, while a *complete* record with a bad MAC still fails closed.
+//! [`crate::ShieldStore::recover`] restores the latest snapshot, finds
+//! its generation among the pinned segments, then replays each segment's
+//! log record-by-record, verifying the chain as it goes. Records at or
+//! below a segment's pinned sequence must all be present and valid (else
+//! [`Error::Rollback`] / [`Error::LogIntegrity`]); past the pin, a torn
+//! final record (crash mid-write) is truncated and replay stops cleanly,
+//! while a *complete* record with a bad MAC still fails closed. The
+//! sealed pin — not the snapshot's own counter — is the freshness root
+//! here: any pinned generation's snapshot plus its later segments replays
+//! to the same complete state, and a snapshot generation absent from the
+//! pin is a rollback.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{ErrorKind, Write as _};
@@ -90,9 +116,16 @@ const PIN_FILE: &str = "wal.pin";
 const PIN_TMP: &str = "wal.pin.tmp";
 const PIN_CTR: &str = "wal.pin.ctr";
 
-/// Sealed pin plaintext: pin_ctr, snap, last_seq (u64 each) + last_mac,
-/// enc_key, mac_key (16 bytes each).
-const PIN_LEN: usize = 8 * 3 + 16 * 3;
+/// Sealed pin plaintext header: pin_ctr (u64), enc_key + mac_key
+/// (16 bytes each), segment count (u32).
+const PIN_HEADER_LEN: usize = 8 + 16 * 2 + 4;
+/// One pinned segment: snap + last_seq (u64 each) + last_mac (16 bytes).
+const PIN_SEG_LEN: usize = 8 * 2 + 16;
+/// Most log generations a pin may reference at once. Reached only after
+/// this many *consecutive failed snapshots*; further rotations fail
+/// rather than dropping a segment that still holds the only durable copy
+/// of acknowledged writes.
+const MAX_SEGMENTS: usize = 32;
 
 fn log_path(dir: &Path, snap: u64) -> PathBuf {
     dir.join(format!("wal-{snap}.log"))
@@ -303,41 +336,162 @@ fn fuse_fires() -> bool {
 // The WAL proper
 // ---------------------------------------------------------------------------
 
-struct Pin {
-    pin_ctr: u64,
+/// One live log generation as recorded in the pin: the snapshot
+/// generation it extends, the last committed sequence number, and the
+/// MAC the chain ends on.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
     snap: u64,
     last_seq: u64,
     last_mac: [u8; 16],
+}
+
+struct Pin {
+    pin_ctr: u64,
     enc_key: [u8; 16],
     mac_key: [u8; 16],
+    /// Live generations, oldest first; the last one is being appended to.
+    segments: Vec<Segment>,
 }
 
 impl Pin {
-    fn encode(&self) -> [u8; PIN_LEN] {
-        let mut out = [0u8; PIN_LEN];
-        out[..8].copy_from_slice(&self.pin_ctr.to_le_bytes());
-        out[8..16].copy_from_slice(&self.snap.to_le_bytes());
-        out[16..24].copy_from_slice(&self.last_seq.to_le_bytes());
-        out[24..40].copy_from_slice(&self.last_mac);
-        out[40..56].copy_from_slice(&self.enc_key);
-        out[56..72].copy_from_slice(&self.mac_key);
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(PIN_HEADER_LEN + self.segments.len() * PIN_SEG_LEN);
+        out.extend_from_slice(&self.pin_ctr.to_le_bytes());
+        out.extend_from_slice(&self.enc_key);
+        out.extend_from_slice(&self.mac_key);
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for seg in &self.segments {
+            out.extend_from_slice(&seg.snap.to_le_bytes());
+            out.extend_from_slice(&seg.last_seq.to_le_bytes());
+            out.extend_from_slice(&seg.last_mac);
+        }
         out
     }
 
     fn decode(bytes: &[u8]) -> Option<Pin> {
-        if bytes.len() != PIN_LEN {
+        if bytes.len() < PIN_HEADER_LEN {
             return None;
         }
         let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
         let arr_at = |i: usize| -> [u8; 16] { bytes[i..i + 16].try_into().unwrap() };
-        Some(Pin {
-            pin_ctr: u64_at(0),
-            snap: u64_at(8),
-            last_seq: u64_at(16),
-            last_mac: arr_at(24),
-            enc_key: arr_at(40),
-            mac_key: arr_at(56),
-        })
+        let nseg = u32::from_le_bytes(bytes[40..44].try_into().unwrap()) as usize;
+        if !(1..=MAX_SEGMENTS).contains(&nseg) || bytes.len() != PIN_HEADER_LEN + nseg * PIN_SEG_LEN
+        {
+            return None;
+        }
+        let mut segments = Vec::with_capacity(nseg);
+        for i in 0..nseg {
+            let off = PIN_HEADER_LEN + i * PIN_SEG_LEN;
+            segments.push(Segment {
+                snap: u64_at(off),
+                last_seq: u64_at(off + 8),
+                last_mac: arr_at(off + 16),
+            });
+        }
+        Some(Pin { pin_ctr: u64_at(0), enc_key: arr_at(8), mac_key: arr_at(24), segments })
+    }
+}
+
+/// fsyncs `dir` itself so a rename inside it survives power loss.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Replays one pinned segment's log through `apply`, verifying the MAC
+/// chain record-by-record from the segment's genesis tag. Returns the
+/// sequence number and chain MAC actually reached (≥ the pinned pair
+/// when a committed-but-unpinned final record survived the crash). A
+/// torn record past the pinned sequence is truncated off the file;
+/// anything short of the pin fails closed.
+fn replay_segment(
+    codec: &WalCodec,
+    dir: &Path,
+    seg: &Segment,
+    apply: &mut dyn FnMut(WalOp) -> Result<()>,
+) -> Result<(u64, [u8; 16])> {
+    let path = log_path(dir, seg.snap);
+    let data = match fs::read(&path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == ErrorKind::NotFound => {
+            if seg.last_seq > 0 {
+                return Err(Error::Rollback); // pinned records vanished
+            }
+            Vec::new()
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    let mut seq = 0u64;
+    let mut chain = codec.genesis(seg.snap);
+    let mut off = 0usize;
+    let mut valid_end = 0usize;
+    let mut truncate_to: Option<usize> = None;
+    while off < data.len() {
+        let header = data.len() - off >= 4;
+        let len = if header {
+            u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize
+        } else {
+            0
+        };
+        let plausible = header && (MIN_RECORD_LEN..=MAX_RECORD_LEN).contains(&len);
+        let complete = plausible && off + 4 + len <= data.len();
+        if !complete {
+            // Truncated header, implausible length, or a frame that
+            // runs past EOF: within the pinned region that means
+            // pinned records are damaged — fail closed. Past the pin
+            // it is a torn final append — cut it off and stop.
+            if seq < seg.last_seq {
+                return Err(Error::Rollback);
+            }
+            truncate_to = Some(valid_end);
+            break;
+        }
+        let body = &data[off + 4..off + 4 + len];
+        let (ops, mac) = codec.open_record(seq + 1, &chain, body)?;
+        seq += 1;
+        chain = mac;
+        if seq == seg.last_seq && !ct_eq(&chain, &seg.last_mac) {
+            return Err(Error::LogIntegrity { seq });
+        }
+        for op in ops {
+            apply(op)?;
+        }
+        off += 4 + len;
+        valid_end = off;
+    }
+    if seq < seg.last_seq {
+        return Err(Error::Rollback); // log shorter than the pin claims
+    }
+
+    if let Some(end) = truncate_to {
+        let f = OpenOptions::new().write(true).open(&path)?;
+        f.set_len(end as u64)?;
+        f.sync_data()?;
+    }
+    Ok((seq, chain))
+}
+
+/// Deletes `wal-*.log` files in `dir` that belong to no live segment —
+/// leftovers from segments superseded by the restored snapshot, or from
+/// a crash between a pin prune and its file deletions. Best-effort.
+fn gc_unreferenced_logs(dir: &Path, prev: &[Segment], current_snap: u64) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(gen) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if gen != current_snap && !prev.iter().any(|s| s.snap == gen) {
+            let _ = fs::remove_file(entry.path());
+        }
     }
 }
 
@@ -355,6 +509,9 @@ struct WalInner {
     seq: u64,
     /// MAC of the last committed record (or the genesis tag).
     last_mac: [u8; 16],
+    /// Completed older generations still awaiting [`WalInner::rotate_commit`]
+    /// (their snapshot has not been confirmed durable), oldest first.
+    prev: Vec<Segment>,
     file: Option<File>,
     buffer: Vec<WalOp>,
     /// When the oldest buffered op arrived (drives `Interval`).
@@ -372,21 +529,29 @@ struct WalInner {
 
 impl WalInner {
     /// Writes and fsyncs the freshness pin claiming counter value
-    /// `current + 1`, then increments the counter. See the module docs for
-    /// why this order is crash-safe.
+    /// `current + 1`, then increments the counter. The pin file, the
+    /// directory rename, and the counter are all fsynced, so even under
+    /// power loss the durable pin and counter differ by at most the one
+    /// accepted `c`/`c+1` step. See the module docs for why this order is
+    /// crash-safe.
     fn write_pin(&mut self) -> Result<()> {
+        let mut segments = self.prev.clone();
+        segments.push(Segment { snap: self.snap, last_seq: self.seq, last_mac: self.last_mac });
         let pin = Pin {
             pin_ctr: self.pin_counter.read() + 1,
-            snap: self.snap,
-            last_seq: self.seq,
-            last_mac: self.last_mac,
             enc_key: self.enc_key,
             mac_key: self.mac_key,
+            segments,
         };
         let sealed = seal::seal(&self.enclave, &pin.encode());
         let tmp = self.dir.join(PIN_TMP);
-        fs::write(&tmp, &sealed)?;
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&sealed)?;
+            f.sync_all()?;
+        }
         fs::rename(&tmp, self.dir.join(PIN_FILE))?;
+        sync_dir(&self.dir)?;
         if fuse_fires() {
             std::process::abort(); // after pin write, before counter bump
         }
@@ -452,17 +617,26 @@ impl WalInner {
         }
     }
 
-    /// Starts a fresh, empty log for snapshot generation `snap`,
-    /// discarding the buffer (callers ensure buffered ops are covered by
-    /// the snapshot being cut) and deleting the previous generation's log.
-    fn rotate(&mut self, snap: u64) -> Result<()> {
+    /// Phase one of rotation: commits the buffer into the current
+    /// generation (making it complete), then opens a fresh, empty log for
+    /// the *upcoming* snapshot generation `snap`. The old generation's
+    /// log file and pin segment are **retained** — until the snapshot is
+    /// durably on disk they are the only durable copy of those
+    /// operations — and are pruned by [`WalInner::rotate_commit`] once
+    /// the caller has confirmed the snapshot rename.
+    fn rotate_begin(&mut self, snap: u64) -> Result<()> {
         if self.crashed {
             return Err(Error::Persistence("write-ahead log lost to a crash".into()));
         }
-        self.buffer.clear();
-        self.buffered_since = None;
-        self.file = None;
-        let _ = fs::remove_file(log_path(&self.dir, self.snap));
+        if self.prev.len() + 1 >= MAX_SEGMENTS {
+            return Err(Error::Persistence(format!(
+                "{} snapshot generations already pending; a snapshot must \
+                 succeed before the log can rotate again",
+                self.prev.len() + 1
+            )));
+        }
+        self.commit()?;
+        self.prev.push(Segment { snap: self.snap, last_seq: self.seq, last_mac: self.last_mac });
         self.snap = snap;
         self.seq = 0;
         self.last_mac = self.codec.genesis(snap);
@@ -474,6 +648,28 @@ impl WalInner {
                 .open(log_path(&self.dir, snap))?,
         );
         self.write_pin()
+    }
+
+    /// Phase two of rotation, called once the snapshot of generation
+    /// `snap` is durably renamed: drops every pinned segment older than
+    /// `snap` (the snapshot supersedes them) and only then deletes their
+    /// log files — pin first, so a crash in between leaves orphan files
+    /// (garbage-collected on recovery), never a pin referencing missing
+    /// logs. Idempotent: a no-op when nothing is pending.
+    fn rotate_commit(&mut self, snap: u64) -> Result<()> {
+        if self.crashed {
+            return Err(Error::Persistence("write-ahead log lost to a crash".into()));
+        }
+        let obsolete: Vec<Segment> = self.prev.iter().filter(|s| s.snap < snap).copied().collect();
+        if obsolete.is_empty() {
+            return Ok(());
+        }
+        self.prev.retain(|s| s.snap >= snap);
+        self.write_pin()?;
+        for seg in obsolete {
+            let _ = fs::remove_file(log_path(&self.dir, seg.snap));
+        }
+        Ok(())
     }
 }
 
@@ -524,6 +720,7 @@ impl Wal {
             snap,
             seq: 0,
             last_mac,
+            prev: Vec::new(),
             file: Some(file),
             buffer: Vec::new(),
             buffered_since: None,
@@ -538,12 +735,30 @@ impl Wal {
         Ok(Wal { inner: Mutex::new(inner) })
     }
 
+    /// Whether `dir` holds any WAL state — a pin file, or a pin counter
+    /// that has ever moved. When it does, the sealed pin (not the
+    /// snapshot's own counter) is the freshness root for recovery.
+    pub(crate) fn state_exists(dir: &Path) -> bool {
+        if dir.join(PIN_FILE).exists() {
+            return true;
+        }
+        match PersistentCounter::open(dir.join(PIN_CTR)) {
+            Ok(ctr) => ctr.read() > 0,
+            // Unreadable counter: claim state so recovery surfaces the
+            // real I/O error instead of silently starting fresh.
+            Err(_) => true,
+        }
+    }
+
     /// Opens an existing WAL in `dir`, verifies the pin against the
-    /// monotonic counter and `expected_snap` (the snapshot generation just
-    /// restored), and replays every chained record through `apply`,
-    /// verifying record-by-record. A torn record past the pinned sequence
+    /// monotonic counter, locates `expected_snap` (the snapshot
+    /// generation just restored) among the pinned segments, and replays
+    /// that segment's log plus every later segment's through `apply`,
+    /// verifying record-by-record. A torn record past a pinned sequence
     /// is truncated and replay stops cleanly; everything else fails
-    /// closed. Returns the WAL ready for new appends.
+    /// closed. Segments older than the restored generation (their
+    /// snapshot superseded them mid-rotation) are dropped and their log
+    /// files garbage-collected. Returns the WAL ready for new appends.
     pub(crate) fn recover(
         enclave: Arc<Enclave>,
         dir: &Path,
@@ -573,70 +788,20 @@ impl Wal {
             // and counter bump; anything older is a replayed stale pin.
             return Err(Error::Rollback);
         }
-        if pin.snap != expected_snap {
-            return Err(Error::Rollback);
-        }
+        // The restored snapshot must be one the pin vouches for; replay
+        // starts at its segment and runs through every later one, so any
+        // pinned generation reconstructs the same complete state.
+        let idx =
+            pin.segments.iter().position(|s| s.snap == expected_snap).ok_or(Error::Rollback)?;
         let codec = WalCodec::new(&pin.enc_key, &pin.mac_key);
-        let path = log_path(dir, pin.snap);
-        let data = match fs::read(&path) {
-            Ok(d) => d,
-            Err(e) if e.kind() == ErrorKind::NotFound => {
-                if pin.last_seq > 0 {
-                    return Err(Error::Rollback); // pinned records vanished
-                }
-                Vec::new()
-            }
-            Err(e) => return Err(e.into()),
-        };
-
-        let mut seq = 0u64;
-        let mut chain = codec.genesis(pin.snap);
-        let mut off = 0usize;
-        let mut valid_end = 0usize;
-        let mut truncate_to: Option<usize> = None;
-        while off < data.len() {
-            let header = data.len() - off >= 4;
-            let len = if header {
-                u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize
-            } else {
-                0
-            };
-            let plausible = header && (MIN_RECORD_LEN..=MAX_RECORD_LEN).contains(&len);
-            let complete = plausible && off + 4 + len <= data.len();
-            if !complete {
-                // Truncated header, implausible length, or a frame that
-                // runs past EOF: within the pinned region that means
-                // pinned records are damaged — fail closed. Past the pin
-                // it is a torn final append — cut it off and stop.
-                if seq < pin.last_seq {
-                    return Err(Error::Rollback);
-                }
-                truncate_to = Some(valid_end);
-                break;
-            }
-            let body = &data[off + 4..off + 4 + len];
-            let (ops, mac) = codec.open_record(seq + 1, &chain, body)?;
-            seq += 1;
-            chain = mac;
-            if seq == pin.last_seq && !ct_eq(&chain, &pin.last_mac) {
-                return Err(Error::LogIntegrity { seq });
-            }
-            for op in ops {
-                apply(op)?;
-            }
-            off += 4 + len;
-            valid_end = off;
+        let mut replayed = Vec::with_capacity(pin.segments.len() - idx);
+        for seg in &pin.segments[idx..] {
+            let (seq, chain) = replay_segment(&codec, dir, seg, apply)?;
+            replayed.push(Segment { snap: seg.snap, last_seq: seq, last_mac: chain });
         }
-        if seq < pin.last_seq {
-            return Err(Error::Rollback); // log shorter than the pin claims
-        }
-
-        if let Some(end) = truncate_to {
-            let f = OpenOptions::new().write(true).open(&path)?;
-            f.set_len(end as u64)?;
-            f.sync_data()?;
-        }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let cur = replayed.pop().expect("at least one segment");
+        gc_unreferenced_logs(dir, &replayed, cur.snap);
+        let file = OpenOptions::new().create(true).append(true).open(log_path(dir, cur.snap))?;
         let mut inner = WalInner {
             dir: dir.to_path_buf(),
             enclave,
@@ -644,9 +809,10 @@ impl Wal {
             enc_key: pin.enc_key,
             mac_key: pin.mac_key,
             policy,
-            snap: pin.snap,
-            seq,
-            last_mac: chain,
+            snap: cur.snap,
+            seq: cur.last_seq,
+            last_mac: cur.last_mac,
+            prev: replayed,
             file: Some(file),
             buffer: Vec::new(),
             buffered_since: None,
@@ -657,8 +823,9 @@ impl Wal {
             group_hist: LatencyHist::default(),
             crashed: false,
         };
-        // Re-pin: covers records replayed past a stale-but-acceptable pin
-        // and restores the `pin_ctr == counter` steady state.
+        // Re-pin: drops superseded segments, covers records replayed past
+        // a stale-but-acceptable pin, and restores the
+        // `pin_ctr == counter` steady state.
         inner.write_pin()?;
         Ok(Wal { inner: Mutex::new(inner) })
     }
@@ -686,11 +853,19 @@ impl Wal {
         self.inner.lock().commit()
     }
 
-    /// Starts a fresh log for snapshot generation `snap`; the caller
-    /// guarantees every buffered/committed op is captured by that
-    /// snapshot.
-    pub(crate) fn rotate(&self, snap: u64) -> Result<()> {
-        self.inner.lock().rotate(snap)
+    /// Phase one of rotation: commits the buffer and starts a fresh log
+    /// for the upcoming snapshot generation `snap`, retaining the old
+    /// generation until [`Wal::rotate_commit`] confirms the snapshot is
+    /// durable.
+    pub(crate) fn rotate_begin(&self, snap: u64) -> Result<()> {
+        self.inner.lock().rotate_begin(snap)
+    }
+
+    /// Phase two of rotation: the snapshot of generation `snap` is
+    /// durably on disk, so generations older than it are pruned from the
+    /// pin and their log files deleted. Idempotent.
+    pub(crate) fn rotate_commit(&self, snap: u64) -> Result<()> {
+        self.inner.lock().rotate_commit(snap)
     }
 
     /// Returns `(bytes, records, fsyncs, group-size histogram)` from one
@@ -927,7 +1102,10 @@ mod tests {
         let enc = enclave(13);
         let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "1")]).unwrap();
-        wal.rotate(5).unwrap();
+        wal.rotate_begin(5).unwrap();
+        // Old generation survives until the snapshot is confirmed.
+        assert!(log_path(&dir, 0).exists());
+        wal.rotate_commit(5).unwrap();
         assert!(!log_path(&dir, 0).exists());
         wal.log([set("b", "2")]).unwrap();
         drop(wal);
@@ -937,6 +1115,67 @@ mod tests {
         assert_eq!(ops, vec![set("b", "2")]);
         // Recovering against the wrong generation is a rollback.
         assert_eq!(replay_all(&enc, &dir, 0), Err(Error::Rollback));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_rotate_begin_and_commit_loses_nothing() {
+        let dir = tmpdir("rotate-window");
+        let enc = enclave(16);
+        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        wal.log([set("a", "1")]).unwrap();
+        wal.rotate_begin(5).unwrap();
+        // Ops after rotate_begin land in the new generation's log.
+        wal.log([set("b", "2")]).unwrap();
+        wal.simulate_crash();
+        drop(wal);
+        // The snapshot never materialized: recovery from the *old*
+        // generation must replay both segments, in order.
+        let ops = replay_all(&enc, &dir, 0).unwrap();
+        assert_eq!(ops, vec![set("a", "1"), set("b", "2")]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_after_snapshot_durable_before_rotate_commit() {
+        let dir = tmpdir("rotate-commit-window");
+        let enc = enclave(17);
+        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        wal.log([set("a", "1")]).unwrap();
+        wal.rotate_begin(5).unwrap();
+        wal.log([set("b", "2")]).unwrap();
+        wal.simulate_crash();
+        drop(wal);
+        // The snapshot (generation 5) made it to disk but rotate_commit
+        // never ran: recovery against generation 5 replays only the new
+        // tail, drops the stale segment, and garbage-collects its log.
+        let ops = replay_all(&enc, &dir, 5).unwrap();
+        assert_eq!(ops, vec![set("b", "2")]);
+        assert!(!log_path(&dir, 0).exists(), "superseded log not collected");
+        // The dropped segment is no longer a valid recovery root.
+        assert_eq!(replay_all(&enc, &dir, 0), Err(Error::Rollback));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeated_failed_snapshots_stack_segments() {
+        let dir = tmpdir("rotate-stack");
+        let enc = enclave(18);
+        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        wal.log([set("a", "1")]).unwrap();
+        wal.rotate_begin(3).unwrap(); // snapshot 3 fails
+        wal.log([set("b", "2")]).unwrap();
+        wal.rotate_begin(4).unwrap(); // snapshot 4 fails too
+        wal.log([set("c", "3")]).unwrap();
+        wal.simulate_crash();
+        drop(wal);
+        // All three generations chain into one recovery from the root.
+        let ops = replay_all(&enc, &dir, 0).unwrap();
+        assert_eq!(ops, vec![set("a", "1"), set("b", "2"), set("c", "3")]);
+        // A mid-chain generation is also a valid root (its snapshot may
+        // have been the one that landed): replay from there forward.
+        let ops = replay_all(&enc, &dir, 3).unwrap();
+        assert_eq!(ops, vec![set("b", "2"), set("c", "3")]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -70,12 +70,28 @@ impl PersistentCounter {
     }
 
     /// Atomically increments, persists, and returns the new value.
+    ///
+    /// The value file and its directory are fsynced: a hardware counter
+    /// never forgets an increment, so the file model must not let a
+    /// power cut roll the persisted value back behind what callers
+    /// observed (sealed state is validated against the *returned*
+    /// value).
     pub fn increment(&self) -> std::io::Result<u64> {
+        use std::io::Write as _;
         let mut guard = self.cached.lock();
         let next = *guard + 1;
         let tmp = self.path.with_extension("tmp");
-        std::fs::write(&tmp, next.to_string())?;
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(next.to_string().as_bytes())?;
+            f.sync_all()?;
+        }
         std::fs::rename(&tmp, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            let dir =
+                if parent.as_os_str().is_empty() { std::path::Path::new(".") } else { parent };
+            std::fs::File::open(dir)?.sync_all()?;
+        }
         *guard = next;
         Ok(next)
     }
