@@ -14,7 +14,11 @@
 //! * [`snapshot`] — persistence-layer attacks on the snapshot file
 //!   (truncation, bit flips, zero-length, stale-file replay).
 //! * [`wire`] — network-layer attacks via a byte-level fault proxy
-//!   (garbled, truncated, duplicated, and dropped frames).
+//!   (garbled, truncated, duplicated, and dropped frames), plus an
+//!   overload-and-tamper phase ([`wire::run_overload_phase`], run on its
+//!   own seed budget) that saturates a small-capacity server past its
+//!   connection cap while one partition is corrupted, checking graceful
+//!   degradation: correct, `Busy`, or `Quarantined` — never wrong.
 //! * [`walphase`] — write-ahead-log attacks (torn tails, bit flips,
 //!   record splices, stale pin+log replays, pre-snapshot logs after
 //!   rotation) plus kill-point crash/recover cycles checked against the

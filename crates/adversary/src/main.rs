@@ -22,11 +22,12 @@ struct Args {
     count: u64,
     steps: u64,
     wire: bool,
+    overload: u64,
     report: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { start: 0, count: 50, steps: 400, wire: true, report: None };
+    let mut args = Args { start: 0, count: 50, steps: 400, wire: true, overload: 4, report: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> u64 {
@@ -43,13 +44,14 @@ fn parse_args() -> Args {
             "--start" => args.start = value("--start"),
             "--steps" => args.steps = value("--steps"),
             "--no-wire" => args.wire = false,
+            "--overload-seeds" => args.overload = value("--overload-seeds"),
             "--report" => {
                 args.report = Some(it.next().unwrap_or_else(|| panic!("--report needs a path")));
             }
             "--help" | "-h" => {
                 println!(
                     "usage: shieldstore_adversary [--seed S | --seeds N] [--start S0] \
-                     [--steps K] [--no-wire] [--report PATH]"
+                     [--steps K] [--no-wire] [--overload-seeds K] [--report PATH]"
                 );
                 std::process::exit(0);
             }
@@ -99,9 +101,44 @@ fn main() {
         }
     }
 
+    // Overload-and-tamper phase: its own (smaller) seed budget, since
+    // each seed spins up servers, client fleets, and a fault proxy.
+    let mut overload = adversary::wire::OverloadReport::default();
+    for seed in args.start..args.start + args.overload {
+        match adversary::wire::run_overload_phase(seed) {
+            Ok(r) => {
+                overload.ops += r.ops;
+                overload.busy += r.busy;
+                overload.quarantined += r.quarantined;
+                overload.refused += r.refused;
+                overload.reconnects += r.reconnects;
+                overload.drain_ms = overload.drain_ms.max(r.drain_ms);
+            }
+            Err(v) => {
+                failed_seeds.push(seed);
+                println!("FAIL overload seed={seed}");
+                println!("  {v}");
+            }
+        }
+    }
+    totals.0 += overload.ops;
+
     println!("attack coverage:");
     for (kind, landed) in engine::CATALOG.iter().zip(by_kind) {
         println!("  {kind:?}: {landed}");
+    }
+    if args.overload > 0 {
+        println!(
+            "overload phase: {} seeds, {} ops, {} busy sheds, {} quarantined answers, \
+             {} refused connections, {} reconnects, worst drain {} ms",
+            args.overload,
+            overload.ops,
+            overload.busy,
+            overload.quarantined,
+            overload.refused,
+            overload.reconnects,
+            overload.drain_ms,
+        );
     }
     println!(
         "adversary: {} seeds, {} ops, {} attacks injected ({} on the wire), {} detections, \
@@ -116,7 +153,7 @@ fn main() {
     );
 
     if let Some(path) = &args.report {
-        let json = report_json(&args, totals, &by_kind, &failed_seeds);
+        let json = report_json(&args, totals, &by_kind, &overload, &failed_seeds);
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
@@ -136,6 +173,7 @@ fn report_json(
     args: &Args,
     totals: (u64, u64, u64, u64, u64),
     by_kind: &[u64; engine::CATALOG.len()],
+    overload: &adversary::wire::OverloadReport,
     failed_seeds: &[u64],
 ) -> String {
     let mut out = String::from("{\n");
@@ -156,6 +194,15 @@ fn report_json(
             if i + 1 == engine::CATALOG.len() { "" } else { "," }
         ));
     }
+    out.push_str("  },\n");
+    out.push_str("  \"overload\": {\n");
+    out.push_str(&format!("    \"seeds\": {},\n", args.overload));
+    out.push_str(&format!("    \"ops\": {},\n", overload.ops));
+    out.push_str(&format!("    \"busy\": {},\n", overload.busy));
+    out.push_str(&format!("    \"quarantined\": {},\n", overload.quarantined));
+    out.push_str(&format!("    \"refused_connections\": {},\n", overload.refused));
+    out.push_str(&format!("    \"reconnects\": {},\n", overload.reconnects));
+    out.push_str(&format!("    \"worst_drain_ms\": {}\n", overload.drain_ms));
     out.push_str("  },\n");
     let seeds: Vec<String> = failed_seeds.iter().map(u64::to_string).collect();
     out.push_str(&format!("  \"failed_seeds\": [{}]\n", seeds.join(", ")));

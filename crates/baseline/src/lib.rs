@@ -29,6 +29,23 @@ pub use eleos::EleosStore;
 pub use memcached::MemcachedLike;
 pub use naive::NaiveEnclaveStore;
 
+/// Why a backend operation failed, at the granularity the wire protocol
+/// can express. The `try_*` methods on [`KvBackend`] return this so a
+/// serving layer can distinguish a quarantined partition (degraded but
+/// deliberate, the client should not retry) from any other failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// The key's hash partition is quarantined after an integrity
+    /// violation; other partitions keep serving.
+    Quarantined,
+    /// Any other failure (capacity, integrity violation, malformed
+    /// value, …).
+    Failed,
+}
+
+/// Result alias for the distinguishing [`KvBackend`] methods.
+pub type OpResult<T> = core::result::Result<T, OpError>;
+
 /// A uniform interface over every store under evaluation.
 ///
 /// Methods take `&self`; implementations synchronize internally. `set`
@@ -110,6 +127,62 @@ pub trait KvBackend: Send + Sync {
     fn flush(&self) -> bool {
         true
     }
+
+    // --- failure-distinguishing variants -------------------------------
+    //
+    // The plain methods collapse every failure into `None`/`false`, which
+    // is fine for benchmarks but loses the distinction a wire server
+    // needs to answer `Quarantined` instead of a generic error. The
+    // `try_*` defaults delegate to the plain methods (never quarantined);
+    // stores with partition quarantine override them.
+
+    /// [`KvBackend::get`], distinguishing a quarantined partition from
+    /// a miss or failure. `Ok(None)` is a clean miss.
+    fn try_get(&self, key: &[u8]) -> OpResult<Option<Vec<u8>>> {
+        Ok(self.get(key))
+    }
+    /// [`KvBackend::set`], distinguishing quarantine from failure.
+    fn try_set(&self, key: &[u8], value: &[u8]) -> OpResult<()> {
+        if self.set(key, value) {
+            Ok(())
+        } else {
+            Err(OpError::Failed)
+        }
+    }
+    /// [`KvBackend::delete`]; `Ok(false)` is a clean miss.
+    fn try_delete(&self, key: &[u8]) -> OpResult<bool> {
+        Ok(self.delete(key))
+    }
+    /// [`KvBackend::append`], distinguishing quarantine from failure.
+    fn try_append(&self, key: &[u8], suffix: &[u8]) -> OpResult<()> {
+        if self.append(key, suffix) {
+            Ok(())
+        } else {
+            Err(OpError::Failed)
+        }
+    }
+    /// [`KvBackend::increment`]; `Ok(n)` is the new value.
+    fn try_increment(&self, key: &[u8], delta: i64) -> OpResult<i64> {
+        self.increment(key, delta).ok_or(OpError::Failed)
+    }
+    /// [`KvBackend::multi_get`], distinguishing quarantine from failure.
+    fn try_multi_get(&self, keys: &[Vec<u8>]) -> OpResult<Vec<Option<Vec<u8>>>> {
+        self.multi_get(keys).ok_or(OpError::Failed)
+    }
+    /// [`KvBackend::multi_set`], distinguishing quarantine from failure.
+    fn try_multi_set(&self, items: &[(Vec<u8>, Vec<u8>)]) -> OpResult<()> {
+        if self.multi_set(items) {
+            Ok(())
+        } else {
+            Err(OpError::Failed)
+        }
+    }
+    /// [`KvBackend::scan_prefix`], distinguishing quarantine from an
+    /// absent index (`Err(OpError::Failed)` covers both for stores that
+    /// do not override this).
+    fn try_scan_prefix(&self, prefix: &[u8], limit: usize) -> OpResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_prefix(prefix, limit).ok_or(OpError::Failed)
+    }
 }
 
 impl KvBackend for shieldstore::ShieldStore {
@@ -169,6 +242,57 @@ impl KvBackend for shieldstore::ShieldStore {
 
     fn flush(&self) -> bool {
         self.flush_wal().is_ok()
+    }
+
+    fn try_get(&self, key: &[u8]) -> OpResult<Option<Vec<u8>>> {
+        match shieldstore::ShieldStore::get(self, key) {
+            Ok(v) => Ok(Some(v)),
+            Err(shieldstore::Error::KeyNotFound) => Ok(None),
+            Err(e) => Err(op_error(e)),
+        }
+    }
+
+    fn try_set(&self, key: &[u8], value: &[u8]) -> OpResult<()> {
+        shieldstore::ShieldStore::set(self, key, value).map_err(op_error)
+    }
+
+    fn try_delete(&self, key: &[u8]) -> OpResult<bool> {
+        match shieldstore::ShieldStore::delete(self, key) {
+            Ok(()) => Ok(true),
+            Err(shieldstore::Error::KeyNotFound) => Ok(false),
+            Err(e) => Err(op_error(e)),
+        }
+    }
+
+    fn try_append(&self, key: &[u8], suffix: &[u8]) -> OpResult<()> {
+        shieldstore::ShieldStore::append(self, key, suffix).map(|_| ()).map_err(op_error)
+    }
+
+    fn try_increment(&self, key: &[u8], delta: i64) -> OpResult<i64> {
+        shieldstore::ShieldStore::increment(self, key, delta).map_err(op_error)
+    }
+
+    fn try_multi_get(&self, keys: &[Vec<u8>]) -> OpResult<Vec<Option<Vec<u8>>>> {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        shieldstore::ShieldStore::multi_get(self, &refs).map_err(op_error)
+    }
+
+    fn try_multi_set(&self, items: &[(Vec<u8>, Vec<u8>)]) -> OpResult<()> {
+        let refs: Vec<(&[u8], &[u8])> =
+            items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        shieldstore::ShieldStore::multi_set(self, &refs).map_err(op_error)
+    }
+
+    fn try_scan_prefix(&self, prefix: &[u8], limit: usize) -> OpResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        shieldstore::ShieldStore::scan_prefix(self, prefix, limit).map_err(op_error)
+    }
+}
+
+/// Maps a ShieldStore error to the wire-expressible failure class.
+fn op_error(e: shieldstore::Error) -> OpError {
+    match e {
+        shieldstore::Error::Quarantined { .. } => OpError::Quarantined,
+        _ => OpError::Failed,
     }
 }
 

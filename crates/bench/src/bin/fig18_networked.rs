@@ -94,7 +94,12 @@ fn main() {
                 let server = Server::start(
                     Arc::clone(&store),
                     enclave.clone(),
-                    ServerConfig { workers, crossing: case.crossing, secure: case.secure },
+                    ServerConfig {
+                        workers,
+                        crossing: case.crossing,
+                        secure: case.secure,
+                        ..Default::default()
+                    },
                 )
                 .expect("server start");
 

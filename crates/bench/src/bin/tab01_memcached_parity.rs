@@ -35,7 +35,12 @@ fn main() {
             let server = Server::start(
                 Arc::clone(&store),
                 None,
-                ServerConfig { workers, crossing: CrossingMode::Ecall, secure: false },
+                ServerConfig {
+                    workers,
+                    crossing: CrossingMode::Ecall,
+                    secure: false,
+                    ..Default::default()
+                },
             )
             .expect("server start");
             let report = run_load(

@@ -92,6 +92,14 @@ pub struct Config {
     /// prefix scans — the paper's stated future work, at the cost of EPC
     /// proportional to the key count (see [`crate::ordered`]).
     pub ordered_index: bool,
+    /// On an [`crate::Error::IntegrityViolation`], quarantine the
+    /// affected bucket set (and, on a repeat violation, the whole
+    /// shard): subsequent operations touching the quarantined partition
+    /// fail closed with [`crate::Error::Quarantined`] instead of
+    /// re-probing tampered memory, while every other hash partition
+    /// keeps serving. Off by default so differential harnesses observe
+    /// raw per-operation verification outcomes.
+    pub quarantine: bool,
     /// Maximum key or value size accepted.
     pub max_item_len: usize,
     /// Seed for the store's key generation (via the enclave DRBG stream).
@@ -118,6 +126,7 @@ impl Config {
             alloc: AllocMode::OcallPerAlloc,
             cache_bytes: 0,
             ordered_index: false,
+            quarantine: false,
             max_item_len: 64 << 20,
             seed: 0,
             durability: DurabilityPolicy::None,
@@ -168,6 +177,12 @@ impl Config {
     /// Sets the write-ahead-log group-commit policy.
     pub fn with_durability(mut self, policy: DurabilityPolicy) -> Self {
         self.durability = policy;
+        self
+    }
+
+    /// Enables partition quarantine on integrity violations.
+    pub fn with_quarantine(mut self) -> Self {
+        self.quarantine = true;
         self
     }
 

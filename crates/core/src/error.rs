@@ -41,6 +41,16 @@ pub enum Error {
     /// A range/prefix scan was attempted without
     /// [`crate::Config::ordered_index`] enabled.
     IndexDisabled,
+    /// The hash partition holding this key was quarantined after an
+    /// earlier [`Error::IntegrityViolation`] (requires
+    /// [`crate::Config::quarantine`]). The operation was rejected
+    /// without touching untrusted memory; other partitions keep
+    /// serving.
+    Quarantined {
+        /// The logical bucket (within its shard) the rejected key maps
+        /// to (0 for keyless operations such as scans).
+        bucket: usize,
+    },
 }
 
 impl core::fmt::Display for Error {
@@ -63,6 +73,12 @@ impl core::fmt::Display for Error {
             }
             Error::IndexDisabled => {
                 write!(f, "range scans require Config::ordered_index")
+            }
+            Error::Quarantined { bucket } => {
+                write!(
+                    f,
+                    "partition holding bucket {bucket} is quarantined after an integrity violation"
+                )
             }
         }
     }
@@ -104,6 +120,7 @@ mod tests {
         assert_eq!(Error::KeyNotFound.to_string(), "key not found");
         assert!(Error::IntegrityViolation { bucket: 3 }.to_string().contains("bucket 3"));
         assert!(Error::OversizeItem { len: 10, max: 5 }.to_string().contains("10"));
+        assert!(Error::Quarantined { bucket: 7 }.to_string().contains("quarantined"));
     }
 
     #[test]

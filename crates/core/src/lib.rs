@@ -81,5 +81,5 @@ pub use hist::{LatencyHist, OpHists};
 pub use persist::SnapshotJob;
 pub use shard::Shard;
 pub use stats::{OpStats, StatsSnapshot};
-pub use store::ShieldStore;
+pub use store::{QuarantineReport, ShardQuarantine, ShieldStore};
 pub use wal::{Wal, WalCodec, WalOp};

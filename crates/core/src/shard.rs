@@ -91,6 +91,7 @@ pub(crate) struct ShardConfig {
     pub alloc: AllocMode,
     pub max_item_len: usize,
     pub ordered_index: bool,
+    pub quarantine: bool,
 }
 
 impl ShardConfig {
@@ -105,8 +106,28 @@ impl ShardConfig {
             alloc: cfg.alloc,
             max_item_len: cfg.max_item_len,
             ordered_index: cfg.ordered_index,
+            quarantine: cfg.quarantine,
         }
     }
+}
+
+/// Which parts of a shard are quarantined after integrity violations.
+///
+/// The first violation quarantines the bucket set (§4.3 MAC-hash
+/// granule) it was detected in; any further violation — evidence the
+/// attack is not confined to one granule — or a violation raised while
+/// a snapshot makes bucket attribution ambiguous escalates to the whole
+/// shard. Quarantine never clears at runtime: recovery is a restore
+/// from sealed snapshot + WAL, which rebuilds and re-verifies the
+/// partition from scratch.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct QuarantineState {
+    /// Quarantined bucket-set indices (meaningful while `whole` is off).
+    pub sets: std::collections::BTreeSet<usize>,
+    /// The entire shard is quarantined.
+    pub whole: bool,
+    /// Integrity violations observed by this shard.
+    pub violations: u64,
 }
 
 /// A located entry within a chain.
@@ -144,6 +165,7 @@ pub struct Shard {
     temp: Option<TempTable>,
     cache: Option<EnclaveCache>,
     index: Option<OrderedIndex>,
+    quarantine: QuarantineState,
     pub(crate) stats: OpStats,
     pub(crate) hists: OpHists,
 }
@@ -677,6 +699,7 @@ impl Shard {
             temp: None,
             cache: None,
             index,
+            quarantine: QuarantineState::default(),
             stats: OpStats::default(),
             hists: OpHists::default(),
         })
@@ -757,10 +780,109 @@ impl Shard {
         Ok(())
     }
 
+    /// The bucket `key` maps to in the main-table geometry (stable
+    /// across snapshots — the temp table has its own smaller geometry).
+    fn bucket_index(&self, key: &[u8]) -> usize {
+        (self.keys.index_hash(key) % self.cfg.buckets as u64) as usize
+    }
+
+    /// The bucket-set mapping of the main-table geometry, available even
+    /// while the main table is frozen out for a snapshot.
+    fn sets_map(&self) -> crate::integrity::BucketSets {
+        crate::integrity::BucketSets::new(self.cfg.buckets, self.cfg.mac_hashes)
+    }
+
+    /// Fails closed with [`Error::Quarantined`] when `key`'s partition
+    /// is quarantined. A rejection never touches untrusted memory.
+    fn quarantine_guard(&mut self, key: &[u8]) -> Result<()> {
+        if !self.cfg.quarantine || (!self.quarantine.whole && self.quarantine.sets.is_empty()) {
+            return Ok(());
+        }
+        let bucket = self.bucket_index(key);
+        if self.quarantine.whole || self.quarantine.sets.contains(&self.sets_map().set_of(bucket)) {
+            self.stats.quarantine_rejections += 1;
+            return Err(Error::Quarantined { bucket });
+        }
+        Ok(())
+    }
+
+    /// Batch form of [`Shard::quarantine_guard`]: any quarantined key
+    /// rejects the whole batch before any of it is dispatched.
+    fn quarantine_guard_batch<'k>(&mut self, keys: impl Iterator<Item = &'k [u8]>) -> Result<()> {
+        for key in keys {
+            self.quarantine_guard(key)?;
+        }
+        Ok(())
+    }
+
+    /// Scans have no single key: they are rejected whenever any part of
+    /// this shard is quarantined, since the verified read path would
+    /// walk arbitrary buckets.
+    fn quarantine_guard_scan(&mut self) -> Result<()> {
+        if !self.cfg.quarantine || (!self.quarantine.whole && self.quarantine.sets.is_empty()) {
+            return Ok(());
+        }
+        self.stats.quarantine_rejections += 1;
+        let bucket = self
+            .quarantine
+            .sets
+            .iter()
+            .next()
+            .map(|&set| self.sets_map().buckets_of(set).start)
+            .unwrap_or(0);
+        Err(Error::Quarantined { bucket })
+    }
+
+    /// Observes an operation result: an [`Error::IntegrityViolation`]
+    /// quarantines the affected bucket set; a repeat violation, or one
+    /// raised while a snapshot makes bucket attribution ambiguous,
+    /// escalates to the whole shard. No-op unless
+    /// [`Config::quarantine`] is enabled.
+    fn observe<T>(&mut self, result: Result<T>) -> Result<T> {
+        if self.cfg.quarantine {
+            if let Err(Error::IntegrityViolation { bucket }) = &result {
+                self.quarantine.violations += 1;
+                if self.quarantine.violations > 1 || self.temp.is_some() {
+                    self.quarantine.whole = true;
+                } else {
+                    let bucket = (*bucket).min(self.cfg.buckets - 1);
+                    self.quarantine.sets.insert(self.sets_map().set_of(bucket));
+                }
+            }
+        }
+        result
+    }
+
+    /// The bucket set `key` maps to (main-table geometry).
+    pub(crate) fn set_of_key(&self, key: &[u8]) -> usize {
+        self.sets_map().set_of(self.bucket_index(key))
+    }
+
+    /// This shard's quarantine state: (whole-shard flag, quarantined
+    /// set indices, violations observed).
+    pub(crate) fn quarantine_state(&self) -> (bool, Vec<usize>, u64) {
+        (
+            self.quarantine.whole,
+            self.quarantine.sets.iter().copied().collect(),
+            self.quarantine.violations,
+        )
+    }
+
     /// Retrieves the value for `key`.
     pub fn get(&mut self, key: &[u8]) -> Result<Vec<u8>> {
         let timer = OpTimer::start();
-        let result = self.get_untimed(key);
+        let result = match self.quarantine_guard(key) {
+            Ok(()) => {
+                let r = self.get_untimed(key);
+                self.observe(r)
+            }
+            Err(e) => {
+                // A rejected op still counts as a served `get` so the
+                // histogram/op-counter identities hold.
+                self.stats.gets += 1;
+                Err(e)
+            }
+        };
         self.hists.get.record(timer.elapsed_ns());
         result
     }
@@ -790,7 +912,13 @@ impl Shard {
     pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         let timer = OpTimer::start();
         self.stats.sets += 1;
-        let result = self.apply_write(key, value);
+        let result = match self.quarantine_guard(key) {
+            Ok(()) => {
+                let r = self.apply_write(key, value);
+                self.observe(r)
+            }
+            Err(e) => Err(e),
+        };
         self.hists.set.record(timer.elapsed_ns());
         result
     }
@@ -804,7 +932,13 @@ impl Shard {
     /// integrity violation aborts the whole batch fail-closed.
     pub fn multi_get(&mut self, batch: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
         let timer = OpTimer::start();
-        let result = self.multi_get_untimed(batch);
+        let result = match self.quarantine_guard_batch(batch.iter().copied()) {
+            Ok(()) => {
+                let r = self.multi_get_untimed(batch);
+                self.observe(r)
+            }
+            Err(e) => Err(e),
+        };
         self.hists.batch.record(timer.elapsed_ns());
         result
     }
@@ -888,7 +1022,13 @@ impl Shard {
     /// mid-batch aborts fail-closed.
     pub fn multi_set(&mut self, items: &[(&[u8], &[u8])]) -> Result<()> {
         let timer = OpTimer::start();
-        let result = self.multi_set_untimed(items);
+        let result = match self.quarantine_guard_batch(items.iter().map(|(k, _)| *k)) {
+            Ok(()) => {
+                let r = self.multi_set_untimed(items);
+                self.observe(r)
+            }
+            Err(e) => Err(e),
+        };
         self.hists.batch.record(timer.elapsed_ns());
         result
     }
@@ -968,7 +1108,16 @@ impl Shard {
     /// Removes `key`. Errors with [`Error::KeyNotFound`] when absent.
     pub fn delete(&mut self, key: &[u8]) -> Result<()> {
         let timer = OpTimer::start();
-        let result = self.delete_untimed(key);
+        let result = match self.quarantine_guard(key) {
+            Ok(()) => {
+                let r = self.delete_untimed(key);
+                self.observe(r)
+            }
+            Err(e) => {
+                self.stats.deletes += 1;
+                Err(e)
+            }
+        };
         self.hists.delete.record(timer.elapsed_ns());
         result
     }
@@ -1024,31 +1173,41 @@ impl Shard {
     /// after a snapshot/log overlap cannot double-apply the suffix.
     pub(crate) fn append_value(&mut self, key: &[u8], suffix: &[u8]) -> Result<Vec<u8>> {
         self.stats.appends += 1;
-        let mut value = self.lookup(key)?.unwrap_or_default();
-        value.extend_from_slice(suffix);
-        self.apply_write(key, &value)?;
-        Ok(value)
+        self.quarantine_guard(key)?;
+        let result = (|| {
+            let mut value = self.lookup(key)?.unwrap_or_default();
+            value.extend_from_slice(suffix);
+            self.apply_write(key, &value)?;
+            Ok(value)
+        })();
+        self.observe(result)
     }
 
     /// Adds `delta` to the decimal-integer value of `key` (creating it as
     /// `delta` when absent) and returns the new value.
     pub fn increment(&mut self, key: &[u8], delta: i64) -> Result<i64> {
         self.stats.increments += 1;
-        let current = match self.lookup(key)? {
-            Some(v) => {
-                let text = core::str::from_utf8(&v).map_err(|_| Error::ValueNotNumeric)?;
-                text.trim().parse::<i64>().map_err(|_| Error::ValueNotNumeric)?
-            }
-            None => 0,
-        };
-        let next = current.checked_add(delta).ok_or(Error::NumericOverflow)?;
-        self.apply_write(key, next.to_string().as_bytes())?;
-        Ok(next)
+        self.quarantine_guard(key)?;
+        let result = (|| {
+            let current = match self.lookup(key)? {
+                Some(v) => {
+                    let text = core::str::from_utf8(&v).map_err(|_| Error::ValueNotNumeric)?;
+                    text.trim().parse::<i64>().map_err(|_| Error::ValueNotNumeric)?
+                }
+                None => 0,
+            };
+            let next = current.checked_add(delta).ok_or(Error::NumericOverflow)?;
+            self.apply_write(key, next.to_string().as_bytes())?;
+            Ok(next)
+        })();
+        self.observe(result)
     }
 
     /// True when `key` exists (verified lookup).
     pub fn exists(&mut self, key: &[u8]) -> Result<bool> {
-        Ok(self.lookup(key)?.is_some())
+        self.quarantine_guard(key)?;
+        let result = self.lookup(key).map(|v| v.is_some());
+        self.observe(result)
     }
 
     /// Number of live entries. During a snapshot this is an upper bound
@@ -1109,6 +1268,11 @@ impl Shard {
             snap.cache_used_bytes += cache.used_bytes() as u64;
             snap.cache_entries += cache.len() as u64;
         }
+        if self.quarantine.whole {
+            snap.quarantined_shards += 1;
+        } else {
+            snap.quarantined_sets += self.quarantine.sets.len() as u64;
+        }
     }
 
     /// The shard's configuration.
@@ -1135,26 +1299,31 @@ impl Shard {
         end: &[u8],
         limit: usize,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.quarantine_guard_scan()?;
         let keys = self.index.as_ref().ok_or(Error::IndexDisabled)?.range(start, end, limit);
         self.collect_keys(keys)
     }
 
     /// Ordered prefix scan (requires [`Config::ordered_index`]).
     pub fn scan_prefix(&mut self, prefix: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.quarantine_guard_scan()?;
         let keys = self.index.as_ref().ok_or(Error::IndexDisabled)?.prefix(prefix, limit);
         self.collect_keys(keys)
     }
 
     fn collect_keys(&mut self, keys: Vec<Vec<u8>>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut out = Vec::with_capacity(keys.len());
-        for key in keys {
-            // The index can briefly lead the table during a snapshot
-            // merge; skip keys that verified-miss rather than failing.
-            if let Some(value) = self.lookup(&key)? {
-                out.push((key, value));
+        let result = (|| {
+            let mut out = Vec::with_capacity(keys.len());
+            for key in keys {
+                // The index can briefly lead the table during a snapshot
+                // merge; skip keys that verified-miss rather than failing.
+                if let Some(value) = self.lookup(&key)? {
+                    out.push((key, value));
+                }
             }
-        }
-        Ok(out)
+            Ok(out)
+        })();
+        self.observe(result)
     }
 
     /// Approximate enclave bytes consumed by the ordered index (0 when
@@ -1707,6 +1876,161 @@ mod tests {
         assert!(matches!(r, Err(Error::OversizeItem { .. })));
         // Validation happens before any write: nothing landed.
         assert_eq!(s.len(), 0);
+        vclock::reset();
+    }
+
+    #[test]
+    fn quarantine_isolates_bucket_set_after_violation() {
+        let mut s = shard_with(small_cfg().with_ordered_index().with_quarantine());
+        vclock::reset();
+        for i in 0..32u32 {
+            s.set(format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        use crate::testing::{EntryField, TamperOp};
+        assert!(s.tamper(TamperOp::Field(EntryField::Any), 7));
+        // First sweep: exactly one key (the corrupted entry) surfaces
+        // the violation; later keys in its bucket set fail closed as
+        // quarantined, every other partition keeps serving.
+        let mut victim_set = None;
+        for i in 0..32u32 {
+            let k = format!("k{i}");
+            match s.get(k.as_bytes()) {
+                Ok(v) => assert_eq!(v, format!("v{i}").into_bytes()),
+                Err(Error::IntegrityViolation { .. }) => {
+                    assert!(victim_set.is_none(), "only the tampered entry itself fails open");
+                    victim_set = Some(s.set_of_key(k.as_bytes()));
+                }
+                Err(Error::Quarantined { .. }) => {
+                    assert_eq!(Some(s.set_of_key(k.as_bytes())), victim_set);
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        let victim_set = victim_set.expect("the sweep visits the tampered entry");
+        let (whole, sets, violations) = s.quarantine_state();
+        assert!(!whole);
+        assert_eq!(sets, vec![victim_set]);
+        assert_eq!(violations, 1);
+        // Second sweep: Quarantined on the poisoned partition only, and
+        // never a wrong value anywhere.
+        for i in 0..32u32 {
+            let k = format!("k{i}");
+            let in_set = s.set_of_key(k.as_bytes()) == victim_set;
+            match s.get(k.as_bytes()) {
+                Ok(v) => {
+                    assert!(!in_set);
+                    assert_eq!(v, format!("v{i}").into_bytes());
+                }
+                Err(Error::Quarantined { .. }) => assert!(in_set),
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        // Every op class fails closed on the quarantined partition.
+        let qk = (0..32u32)
+            .map(|i| format!("k{i}"))
+            .find(|k| s.set_of_key(k.as_bytes()) == victim_set)
+            .unwrap();
+        assert!(matches!(s.set(qk.as_bytes(), b"x"), Err(Error::Quarantined { .. })));
+        assert!(matches!(s.delete(qk.as_bytes()), Err(Error::Quarantined { .. })));
+        assert!(matches!(s.append(qk.as_bytes(), b"x"), Err(Error::Quarantined { .. })));
+        assert!(matches!(s.increment(qk.as_bytes(), 1), Err(Error::Quarantined { .. })));
+        assert!(matches!(s.exists(qk.as_bytes()), Err(Error::Quarantined { .. })));
+        assert!(matches!(s.multi_get(&[qk.as_bytes()]), Err(Error::Quarantined { .. })));
+        assert!(matches!(
+            s.multi_set(&[(qk.as_bytes(), b"x".as_slice())]),
+            Err(Error::Quarantined { .. })
+        ));
+        // Scans span partitions, so any quarantined set fails them.
+        assert!(matches!(s.scan_prefix(b"k", 100), Err(Error::Quarantined { .. })));
+        assert!(s.stats().quarantine_rejections > 0);
+        vclock::reset();
+    }
+
+    #[test]
+    fn quarantine_escalates_to_whole_shard_on_repeat_violation() {
+        let mut s = shard_with(small_cfg().with_quarantine());
+        vclock::reset();
+        let keys: Vec<String> = (0..32).map(|i| format!("k{i}")).collect();
+        for k in &keys {
+            s.set(k.as_bytes(), b"value").unwrap();
+        }
+        use crate::testing::{EntryField, TamperOp};
+        // First violation: one bucket set quarantined.
+        assert!(s.tamper(TamperOp::Field(EntryField::Any), 1));
+        for k in &keys {
+            let _ = s.get(k.as_bytes());
+        }
+        let (whole, sets, violations) = s.quarantine_state();
+        assert!(!whole);
+        assert_eq!((sets.len(), violations), (1, 1));
+        // Keep corrupting entries until one lands outside the
+        // quarantined partition; that second observed violation must
+        // escalate the quarantine to the whole shard.
+        for seed in 2..200u64 {
+            assert!(s.tamper(TamperOp::Field(EntryField::Any), seed));
+            for k in &keys {
+                let _ = s.get(k.as_bytes());
+            }
+            if s.quarantine_state().0 {
+                break;
+            }
+        }
+        let (whole, _, violations) = s.quarantine_state();
+        assert!(whole, "a violation outside the first set must escalate to the shard");
+        assert_eq!(violations, 2);
+        // Now every key fails closed, whatever its partition.
+        for k in &keys {
+            assert!(matches!(s.get(k.as_bytes()), Err(Error::Quarantined { .. })));
+        }
+        vclock::reset();
+    }
+
+    #[test]
+    fn quarantine_escalates_during_snapshot_freeze() {
+        let mut s = shard_with(small_cfg().with_quarantine());
+        vclock::reset();
+        for i in 0..8u32 {
+            s.set(format!("k{i}").as_bytes(), b"value").unwrap();
+        }
+        use crate::testing::{EntryField, TamperOp};
+        assert!(s.tamper(TamperOp::Field(EntryField::Any), 99));
+        // With a snapshot overlay live, writes span the temp table, so
+        // per-set isolation cannot be trusted: the first violation
+        // quarantines the whole shard.
+        let frozen = s.freeze();
+        for i in 0..8u32 {
+            let _ = s.get(format!("k{i}").as_bytes());
+        }
+        assert!(s.quarantine_state().0, "freeze-time violation must quarantine the shard");
+        drop(frozen);
+        vclock::reset();
+    }
+
+    #[test]
+    fn quarantine_requires_opt_in() {
+        // Without Config::quarantine the shard keeps reporting the raw
+        // verification outcome on every access (differential harnesses
+        // depend on that), and records no quarantine state.
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        for i in 0..8u32 {
+            s.set(format!("k{i}").as_bytes(), b"value").unwrap();
+        }
+        use crate::testing::{EntryField, TamperOp};
+        assert!(s.tamper(TamperOp::Field(EntryField::Any), 3));
+        let mut violations = 0;
+        for _ in 0..2 {
+            for i in 0..8u32 {
+                match s.get(format!("k{i}").as_bytes()) {
+                    Ok(_) => {}
+                    Err(Error::IntegrityViolation { .. }) => violations += 1,
+                    other => panic!("unexpected outcome: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(violations, 2, "same violation reported on every access");
+        assert_eq!(s.quarantine_state(), (false, Vec::new(), 0));
+        assert_eq!(s.stats().quarantine_rejections, 0);
         vclock::reset();
     }
 

@@ -423,12 +423,73 @@ impl ShieldStore {
         }
     }
 
+    /// Which partitions are currently quarantined (all empty unless
+    /// [`Config::quarantine`] is enabled and violations occurred).
+    pub fn quarantine_report(&self) -> QuarantineReport {
+        QuarantineReport {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let (whole, sets, violations) = shard.lock().quarantine_state();
+                    ShardQuarantine { whole, quarantined_sets: sets, violations }
+                })
+                .collect(),
+        }
+    }
+
+    /// The `(shard, bucket set)` partition serving `key` — the
+    /// granularity at which quarantine isolates integrity violations.
+    pub fn key_partition(&self, key: &[u8]) -> (usize, usize) {
+        let shard = self.shard_of(key);
+        let set = self.with_shard(shard, |s| s.set_of_key(key));
+        (shard, set)
+    }
+
     pub(crate) fn keys(&self) -> &Arc<StoreKeys> {
         &self.keys
     }
 
     pub(crate) fn shards(&self) -> &[Mutex<Shard>] {
         &self.shards
+    }
+}
+
+/// One shard's quarantine status within a [`QuarantineReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardQuarantine {
+    /// The whole shard is quarantined (repeat violation, or a violation
+    /// during a snapshot window).
+    pub whole: bool,
+    /// Quarantined bucket-set indices (empty when `whole` — the flag
+    /// supersedes per-set tracking).
+    pub quarantined_sets: Vec<usize>,
+    /// Integrity violations this shard has observed.
+    pub violations: u64,
+}
+
+/// Store-wide quarantine status from [`ShieldStore::quarantine_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Per-shard status, indexed by shard.
+    pub shards: Vec<ShardQuarantine>,
+}
+
+impl QuarantineReport {
+    /// True when nothing is quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.shards.iter().all(|s| !s.whole && s.quarantined_sets.is_empty())
+    }
+
+    /// Bucket sets quarantined in partially quarantined shards (the
+    /// `quarantined_sets` stats gauge).
+    pub fn quarantined_sets(&self) -> u64 {
+        self.shards.iter().filter(|s| !s.whole).map(|s| s.quarantined_sets.len() as u64).sum()
+    }
+
+    /// Shards quarantined wholesale (the `quarantined_shards` gauge).
+    pub fn quarantined_shards(&self) -> u64 {
+        self.shards.iter().filter(|s| s.whole).count() as u64
     }
 }
 
@@ -703,6 +764,68 @@ mod tests {
         assert_eq!(r.get(b"pre-0"), Err(Error::KeyNotFound));
         assert_eq!(r.get(b"pre-1").unwrap(), b"v");
         std::fs::remove_dir_all(&dir).unwrap();
+        vclock::reset();
+    }
+
+    #[test]
+    fn quarantine_report_names_the_poisoned_partition() {
+        let enclave = EnclaveBuilder::new("store-quarantine").epc_bytes(8 << 20).build();
+        let s = ShieldStore::new(
+            enclave,
+            Config::shield_opt().buckets(256).mac_hashes(64).with_shards(2).with_quarantine(),
+        )
+        .unwrap();
+        vclock::reset();
+        let keys: Vec<String> = (0..64).map(|i| format!("q{i}")).collect();
+        for k in &keys {
+            s.set(k.as_bytes(), b"value").unwrap();
+        }
+        assert!(s.quarantine_report().is_clean());
+        assert!(s.tamper_any_entry_byte(7));
+        // First sweep surfaces the violation and pins down the poisoned
+        // (shard, set) partition.
+        let mut victim = None;
+        for k in &keys {
+            match s.get(k.as_bytes()) {
+                Ok(_) => {}
+                Err(Error::IntegrityViolation { .. }) => {
+                    assert!(victim.is_none());
+                    victim = Some(s.key_partition(k.as_bytes()));
+                }
+                Err(Error::Quarantined { .. }) => {
+                    assert_eq!(Some(s.key_partition(k.as_bytes())), victim);
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        let victim = victim.expect("the sweep visits the tampered entry");
+        // Second sweep: the quarantined partition fails closed, every
+        // other partition — including the other shard — keeps serving.
+        for k in &keys {
+            let part = s.key_partition(k.as_bytes());
+            match s.get(k.as_bytes()) {
+                Ok(v) => {
+                    assert_ne!(part, victim);
+                    assert_eq!(v, b"value");
+                }
+                Err(Error::Quarantined { .. }) => assert_eq!(part, victim),
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        let report = s.quarantine_report();
+        assert!(!report.is_clean());
+        assert_eq!(report.quarantined_sets(), 1);
+        assert_eq!(report.quarantined_shards(), 0);
+        let shard = &report.shards[victim.0];
+        assert!(!shard.whole);
+        assert_eq!(shard.quarantined_sets, vec![victim.1]);
+        assert_eq!(shard.violations, 1);
+        assert_eq!(report.shards[1 - victim.0].violations, 0);
+        let snap = s.snapshot();
+        snap.check_consistent().unwrap();
+        assert_eq!(snap.quarantined_sets, 1);
+        assert_eq!(snap.quarantined_shards, 0);
+        assert!(snap.ops.quarantine_rejections >= 1);
         vclock::reset();
     }
 

@@ -98,10 +98,13 @@ fn main() {
         .epc_bytes(opts.epc_mb << 20)
         .seed(opts.seed)
         .build();
+    // A long-running service prefers quarantining a corrupted partition
+    // over refusing all traffic: the rest of the store keeps serving.
     let mut config = Config::shield_opt()
         .buckets(opts.buckets)
         .mac_hashes(opts.mac_hashes)
-        .with_shards(opts.shards);
+        .with_shards(opts.shards)
+        .with_quarantine();
     if opts.ordered_index {
         config = config.with_ordered_index();
     }
@@ -115,14 +118,24 @@ fn main() {
             ("127.0.0.1", opts.port),
             Arc::clone(&store) as Arc<dyn KvBackend>,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: opts.shards, crossing: opts.crossing, secure: opts.secure },
+            ServerConfig {
+                workers: opts.shards,
+                crossing: opts.crossing,
+                secure: opts.secure,
+                ..Default::default()
+            },
         )
         .expect("server start")
     } else {
         Server::start(
             Arc::clone(&store) as Arc<dyn KvBackend>,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: opts.shards, crossing: opts.crossing, secure: opts.secure },
+            ServerConfig {
+                workers: opts.shards,
+                crossing: opts.crossing,
+                secure: opts.secure,
+                ..Default::default()
+            },
         )
         .expect("server start")
     };

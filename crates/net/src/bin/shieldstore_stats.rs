@@ -140,6 +140,16 @@ fn print_dashboard(snap: &StatsSnapshot) {
     }
     println!();
 
+    println!("-- availability --");
+    println!("{:<28} {}", "quarantined_sets", snap.quarantined_sets);
+    println!("{:<28} {}", "quarantined_shards", snap.quarantined_shards);
+    println!("{:<28} {}", "shed_requests", snap.shed_requests);
+    println!("{:<28} {}", "refused_connections", snap.refused_connections);
+    if snap.quarantined_sets > 0 || snap.quarantined_shards > 0 {
+        println!("  !! integrity violations froze part of the store; restore from a snapshot");
+    }
+    println!();
+
     println!("-- sgx model --");
     let s = &snap.sim;
     println!("{:<28} {}", "ecalls", s.ecalls);
@@ -185,7 +195,9 @@ fn to_json(snap: &StatsSnapshot) -> String {
     out.push_str(&format!(
         "\"entries\":{},\"shards\":{},\"heap_live_bytes\":{},\"heap_chunks\":{},\
          \"cache_used_bytes\":{},\"cache_entries\":{},\
-         \"wal_bytes\":{},\"wal_records\":{},\"wal_fsyncs\":{},",
+         \"wal_bytes\":{},\"wal_records\":{},\"wal_fsyncs\":{},\
+         \"quarantined_sets\":{},\"quarantined_shards\":{},\
+         \"shed_requests\":{},\"refused_connections\":{},",
         snap.entries,
         snap.shards,
         snap.heap_live_bytes,
@@ -194,7 +206,11 @@ fn to_json(snap: &StatsSnapshot) -> String {
         snap.cache_entries,
         snap.wal_bytes,
         snap.wal_records,
-        snap.wal_fsyncs
+        snap.wal_fsyncs,
+        snap.quarantined_sets,
+        snap.quarantined_shards,
+        snap.shed_requests,
+        snap.refused_connections
     ));
     let s = &snap.sim;
     out.push_str(&format!(

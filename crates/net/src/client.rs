@@ -9,7 +9,20 @@ use crate::protocol::{self, OpCode, Request, Response, Status};
 use crate::session::{self, SessionCrypto};
 use crate::{NetError, Result};
 use sgx_sim::attest::AttestationVerifier;
+use shield_workload::rng::SplitMix64;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Maps a non-success wire status to its client-side error. `Busy` and
+/// `Quarantined` get dedicated variants so callers (and the retry layer)
+/// can distinguish "retry later" from "do not bother".
+fn status_err(status: Status, what: &str) -> NetError {
+    match status {
+        Status::Busy => NetError::Busy,
+        Status::Quarantined => NetError::Quarantined,
+        _ => NetError::Protocol(format!("server rejected {what}")),
+    }
+}
 
 /// A connected client (one simulated user).
 pub struct KvClient {
@@ -125,7 +138,7 @@ impl KvClient {
         match r.status {
             Status::Ok => Ok(Some(r.value)),
             Status::NotFound => Ok(None),
-            Status::Error => Err(NetError::Protocol("server error on get".into())),
+            s => Err(status_err(s, "get")),
         }
     }
 
@@ -135,7 +148,7 @@ impl KvClient {
             self.call(&Request { op: OpCode::Set, key: key.to_vec(), value: value.to_vec() })?;
         match r.status {
             Status::Ok => Ok(()),
-            _ => Err(NetError::Protocol("server rejected set".into())),
+            s => Err(status_err(s, "set")),
         }
     }
 
@@ -145,7 +158,7 @@ impl KvClient {
         match r.status {
             Status::Ok => Ok(true),
             Status::NotFound => Ok(false),
-            Status::Error => Err(NetError::Protocol("server error on delete".into())),
+            s => Err(status_err(s, "delete")),
         }
     }
 
@@ -155,7 +168,7 @@ impl KvClient {
             self.call(&Request { op: OpCode::Append, key: key.to_vec(), value: suffix.to_vec() })?;
         match r.status {
             Status::Ok => Ok(()),
-            _ => Err(NetError::Protocol("server rejected append".into())),
+            s => Err(status_err(s, "append")),
         }
     }
 
@@ -170,7 +183,7 @@ impl KvClient {
             Status::Ok if r.value.len() == 8 => {
                 Ok(i64::from_le_bytes(r.value[..].try_into().expect("8 bytes")))
             }
-            _ => Err(NetError::Protocol("server rejected increment".into())),
+            s => Err(status_err(s, "increment")),
         }
     }
 
@@ -180,11 +193,11 @@ impl KvClient {
         let r = self.call(&Request {
             op: OpCode::ScanPrefix,
             key: prefix.to_vec(),
-            value: limit.to_le_bytes().to_vec(),
+            value: protocol::encode_scan_limit(limit),
         })?;
         match r.status {
             Status::Ok => protocol::decode_scan(&r.value),
-            _ => Err(NetError::Protocol("server rejected scan (index enabled?)".into())),
+            s => Err(status_err(s, "scan (index enabled?)")),
         }
     }
 
@@ -205,7 +218,7 @@ impl KvClient {
                 }
                 Ok(results)
             }
-            _ => Err(NetError::Protocol("server rejected multi-get".into())),
+            s => Err(status_err(s, "multi-get")),
         }
     }
 
@@ -219,7 +232,7 @@ impl KvClient {
         })?;
         match r.status {
             Status::Ok => Ok(()),
-            _ => Err(NetError::Protocol("server rejected multi-set".into())),
+            s => Err(status_err(s, "multi-set")),
         }
     }
 
@@ -230,7 +243,7 @@ impl KvClient {
         let r = self.call(&Request { op: OpCode::Stats, key: Vec::new(), value: Vec::new() })?;
         match r.status {
             Status::Ok => protocol::decode_stats(&r.value),
-            _ => Err(NetError::Protocol("server rejected stats (uninstrumented store?)".into())),
+            s => Err(status_err(s, "stats (uninstrumented store?)")),
         }
     }
 
@@ -241,7 +254,7 @@ impl KvClient {
         let r = self.call(&Request { op: OpCode::Flush, key: Vec::new(), value: Vec::new() })?;
         match r.status {
             Status::Ok => Ok(()),
-            _ => Err(NetError::Protocol("server failed to flush its write-ahead log".into())),
+            s => Err(status_err(s, "flush of the write-ahead log")),
         }
     }
 
@@ -250,8 +263,293 @@ impl KvClient {
         let r = self.call(&Request { op: OpCode::Ping, key: Vec::new(), value: Vec::new() })?;
         match r.status {
             Status::Ok => Ok(()),
-            _ => Err(NetError::Protocol("ping failed".into())),
+            s => Err(status_err(s, "ping")),
         }
+    }
+}
+
+/// How a [`RetryClient`] (re)establishes its underlying session.
+#[derive(Debug, Clone)]
+pub enum Connector {
+    /// Attested, encrypted sessions. Each reconnect derives a fresh
+    /// handshake seed from `seed` plus the attempt number.
+    Secure {
+        /// Server address.
+        addr: SocketAddr,
+        /// Attestation policy for the handshake.
+        verifier: AttestationVerifier,
+        /// Base handshake seed.
+        seed: u64,
+    },
+    /// Plain TCP (insecure runs).
+    Insecure {
+        /// Server address.
+        addr: SocketAddr,
+    },
+}
+
+impl Connector {
+    fn connect(&self, attempt: u64) -> Result<KvClient> {
+        match self {
+            Connector::Secure { addr, verifier, seed } => {
+                KvClient::connect_secure(*addr, verifier, seed.wrapping_add(attempt))
+            }
+            Connector::Insecure { addr } => KvClient::connect_insecure(*addr),
+        }
+    }
+}
+
+/// Retry behavior of a [`RetryClient`]: bounded exponential backoff with
+/// deterministic jitter.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries per operation beyond the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the jitter RNG (deterministic across runs).
+    pub seed: u64,
+    /// Per-session read timeout, so a response frame an attacker (or a
+    /// dead network) swallows surfaces as a retryable error instead of
+    /// blocking forever. `None` leaves reads unbounded.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0,
+            read_timeout: None,
+        }
+    }
+}
+
+/// A self-healing client: wraps [`KvClient`], transparently reconnecting
+/// a poisoned or dropped session and replaying the request where that is
+/// safe.
+///
+/// Outcome classes drive the policy:
+///
+/// * `Busy` — the server shed the request *without executing it*; the
+///   session stays healthy, so the request is retried in place after
+///   backoff.
+/// * `Quarantined` — a deliberate fail-closed answer; retrying cannot
+///   succeed, so it is surfaced immediately.
+/// * transport/security failures — the session is torn down and
+///   re-established. Idempotent requests (`get`, `scan`, `stats`,
+///   `ping`, `multi_get`) replay freely. `set`/`delete`/`multi_set`
+///   replay too: the server logs them as post-image records, so applying
+///   the same after-value twice converges to the same state even when
+///   the first attempt's fate is unknown (see DESIGN.md). `append` and
+///   `increment` are read-modify-write and are **not** replayed after an
+///   ambiguous failure.
+pub struct RetryClient {
+    connector: Connector,
+    policy: RetryPolicy,
+    rng: SplitMix64,
+    session: Option<KvClient>,
+    connects: u64,
+    reconnects: u64,
+    retries: u64,
+    busy_retries: u64,
+}
+
+impl std::fmt::Debug for RetryClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryClient")
+            .field("connected", &self.session.is_some())
+            .field("reconnects", &self.reconnects)
+            .field("retries", &self.retries)
+            .finish()
+    }
+}
+
+impl RetryClient {
+    /// Creates a client; the first connection is established lazily on
+    /// the first operation.
+    pub fn new(connector: Connector, policy: RetryPolicy) -> Self {
+        let rng = SplitMix64::new(policy.seed ^ 0x9e37_79b9_7f4a_7c15);
+        Self {
+            connector,
+            policy,
+            rng,
+            session: None,
+            connects: 0,
+            reconnects: 0,
+            retries: 0,
+            busy_retries: 0,
+        }
+    }
+
+    /// Times the underlying session was re-established after the first
+    /// connect.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Total operation retries (all causes).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Retries caused by `Busy` shedding specifically.
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    /// Drops the current session; the next operation transparently
+    /// reconnects (counted in [`RetryClient::reconnects`]).
+    pub fn disconnect(&mut self) {
+        self.session = None;
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        let exp =
+            self.policy.base_backoff.saturating_mul(1u32 << attempt.min(16).saturating_sub(1));
+        let capped = exp.min(self.policy.max_backoff);
+        // Deterministic jitter in [50%, 100%] of the capped delay keeps
+        // synchronized clients from retrying in lockstep.
+        let jittered = capped.mul_f64(0.5 + 0.5 * self.rng.next_f64());
+        std::thread::sleep(jittered);
+    }
+
+    /// Drops a session that can no longer be trusted and connects a
+    /// fresh one.
+    fn ensure_session(&mut self) -> Result<()> {
+        if let Some(c) = &self.session {
+            if c.poisoned {
+                self.session = None;
+            }
+        }
+        if self.session.is_none() {
+            let mut client = self.connector.connect(self.connects)?;
+            client.set_read_timeout(self.policy.read_timeout)?;
+            self.connects += 1;
+            if self.connects > 1 {
+                self.reconnects += 1;
+            }
+            self.session = Some(client);
+        }
+        Ok(())
+    }
+
+    /// Runs `op` under the retry policy. `replayable` marks requests
+    /// safe to re-issue after a failure whose outcome is unknown.
+    fn run_op<T>(
+        &mut self,
+        replayable: bool,
+        mut op: impl FnMut(&mut KvClient) -> Result<T>,
+    ) -> Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            if let Err(e) = self.ensure_session() {
+                // Connect failures never executed anything: always
+                // retryable, whatever the operation.
+                if attempt >= self.policy.max_retries {
+                    return Err(e);
+                }
+                attempt += 1;
+                self.retries += 1;
+                self.backoff(attempt);
+                continue;
+            }
+            let client = self.session.as_mut().expect("session just ensured");
+            match op(client) {
+                Ok(v) => return Ok(v),
+                // Deliberate fail-closed answer; retrying cannot help.
+                Err(NetError::Quarantined) => return Err(NetError::Quarantined),
+                // Shed before execution; the session stays aligned.
+                Err(NetError::Busy) => {
+                    if attempt >= self.policy.max_retries {
+                        return Err(NetError::Busy);
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    self.busy_retries += 1;
+                    self.backoff(attempt);
+                }
+                // Transport or security failure: the session is gone and
+                // the first attempt's fate is ambiguous.
+                Err(e) => {
+                    self.session = None;
+                    if !replayable || attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    self.backoff(attempt);
+                }
+            }
+        }
+    }
+
+    /// [`KvClient::get`] with transparent retry and reconnect.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.run_op(true, |c| c.get(key))
+    }
+
+    /// [`KvClient::set`] with transparent retry and reconnect (replay is
+    /// safe under the server's post-image WAL semantics).
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.run_op(true, |c| c.set(key, value))
+    }
+
+    /// [`KvClient::delete`] with transparent retry and reconnect. Note a
+    /// replayed delete may report `Ok(false)` when the first, unacked
+    /// attempt already removed the key.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        self.run_op(true, |c| c.delete(key))
+    }
+
+    /// [`KvClient::append`]; **not** replayed after an ambiguous
+    /// transport failure (a duplicated append is observable). `Busy`
+    /// shedding is still retried — the server did not execute the op.
+    pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<()> {
+        self.run_op(false, |c| c.append(key, suffix))
+    }
+
+    /// [`KvClient::increment`]; **not** replayed after an ambiguous
+    /// transport failure (a duplicated increment is observable). `Busy`
+    /// shedding is still retried.
+    pub fn increment(&mut self, key: &[u8], delta: i64) -> Result<i64> {
+        self.run_op(false, |c| c.increment(key, delta))
+    }
+
+    /// [`KvClient::multi_get`] with transparent retry and reconnect.
+    pub fn multi_get(&mut self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.run_op(true, |c| c.multi_get(keys))
+    }
+
+    /// [`KvClient::multi_set`] with transparent retry and reconnect
+    /// (post-image replay safety, as for `set`).
+    pub fn multi_set(&mut self, items: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+        self.run_op(true, |c| c.multi_set(items))
+    }
+
+    /// [`KvClient::scan_prefix`] with transparent retry and reconnect.
+    pub fn scan_prefix(&mut self, prefix: &[u8], limit: u32) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.run_op(true, |c| c.scan_prefix(prefix, limit))
+    }
+
+    /// [`KvClient::stats`] with transparent retry and reconnect.
+    pub fn stats(&mut self) -> Result<shieldstore::StatsSnapshot> {
+        self.run_op(true, |c| c.stats())
+    }
+
+    /// [`KvClient::flush`] with transparent retry and reconnect (a
+    /// durability barrier is idempotent).
+    pub fn flush(&mut self) -> Result<()> {
+        self.run_op(true, |c| c.flush())
+    }
+
+    /// [`KvClient::ping`] with transparent retry and reconnect.
+    pub fn ping(&mut self) -> Result<()> {
+        self.run_op(true, |c| c.ping())
     }
 }
 
@@ -392,7 +690,12 @@ mod tests {
         let server = Server::start(
             store,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 2,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let verifier = AttestationVerifier::for_enclave(&enclave);
@@ -443,7 +746,12 @@ mod tests {
         let server = Server::start(
             store,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 2,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let verifier = AttestationVerifier::for_enclave(&enclave);

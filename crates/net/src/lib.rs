@@ -28,10 +28,10 @@ pub mod proxy;
 pub mod server;
 pub mod session;
 
-pub use client::{KvClient, LoadConfig, LoadReport};
+pub use client::{Connector, KvClient, LoadConfig, LoadReport, RetryClient, RetryPolicy};
 pub use protocol::{OpCode, Request, Response, Status};
 pub use proxy::{FaultPlan, FaultProxy, FrameFault};
-pub use server::{CrossingMode, Server, ServerConfig};
+pub use server::{CrossingMode, NetGauges, Server, ServerConfig};
 
 /// Errors surfaced by the networked components.
 #[derive(Debug)]
@@ -42,6 +42,13 @@ pub enum NetError {
     Protocol(String),
     /// Attestation or session-crypto failure.
     Security(String),
+    /// The server shed the request under overload; it was not executed.
+    /// Retry after backoff (see [`client::RetryClient`]).
+    Busy,
+    /// The key's hash partition is quarantined after an integrity
+    /// violation; retrying will not help until the operator restores
+    /// the store from a sealed snapshot.
+    Quarantined,
 }
 
 impl std::fmt::Display for NetError {
@@ -50,6 +57,10 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Protocol(m) => write!(f, "protocol error: {m}"),
             NetError::Security(m) => write!(f, "security error: {m}"),
+            NetError::Busy => write!(f, "server busy: request shed, not executed"),
+            NetError::Quarantined => {
+                write!(f, "partition quarantined after an integrity violation")
+            }
         }
     }
 }

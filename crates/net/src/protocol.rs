@@ -48,7 +48,8 @@ pub enum OpCode {
     Increment = 5,
     /// Liveness probe.
     Ping = 6,
-    /// Ordered prefix scan: `key` is the prefix, `value` is a u32 LE
+    /// Ordered prefix scan: `key` is the prefix, `value` is an
+    /// [`encode_scan_limit`] payload carrying the explicit result
     /// limit. The response value is a [`encode_scan`] payload.
     ScanPrefix = 7,
     /// Batched read: `key` is empty, `value` is an
@@ -97,6 +98,14 @@ pub enum Status {
     NotFound = 1,
     /// Server-side failure (capacity, non-numeric increment, ...).
     Error = 2,
+    /// The server shed this request under overload (admission control
+    /// or a missed per-request deadline). The operation was **not**
+    /// executed; retry after backoff.
+    Busy = 3,
+    /// The key's hash partition is quarantined after an integrity
+    /// violation. The server keeps serving other partitions; retrying
+    /// is pointless until the operator restores the store.
+    Quarantined = 4,
 }
 
 impl Status {
@@ -106,6 +115,8 @@ impl Status {
             0 => Status::Ok,
             1 => Status::NotFound,
             2 => Status::Error,
+            3 => Status::Busy,
+            4 => Status::Quarantined,
             other => return Err(NetError::Protocol(format!("unknown status {other}"))),
         })
     }
@@ -183,6 +194,16 @@ impl Response {
         Self { status: Status::Error, value: Vec::new() }
     }
 
+    /// Shorthand for Busy (request shed, not executed).
+    pub fn busy() -> Self {
+        Self { status: Status::Busy, value: Vec::new() }
+    }
+
+    /// Shorthand for Quarantined.
+    pub fn quarantined() -> Self {
+        Self { status: Status::Quarantined, value: Vec::new() }
+    }
+
     /// Serializes the response body.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(5 + self.value.len());
@@ -238,6 +259,37 @@ pub fn decode_scan(mut bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         bytes = &bytes[need..];
     }
     Ok(out)
+}
+
+/// Version tag of the [`encode_scan_limit`] layout.
+pub const SCAN_LIMIT_VERSION: u8 = 1;
+
+/// Encodes a `ScanPrefix` request value: `[version u8 | limit u32 LE]`.
+///
+/// Earlier protocol revisions smuggled the limit as a bare 4-byte
+/// `value`, indistinguishable from an (unsupported) value payload. The
+/// explicit version byte makes the field self-describing;
+/// [`decode_scan_limit`] rejects the old bare form by length.
+pub fn encode_scan_limit(limit: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.push(SCAN_LIMIT_VERSION);
+    out.extend_from_slice(&limit.to_le_bytes());
+    out
+}
+
+/// Decodes a payload produced by [`encode_scan_limit`], rejecting any
+/// other length (including the legacy bare 4-byte limit) or version.
+pub fn decode_scan_limit(bytes: &[u8]) -> Result<u32> {
+    if bytes.len() != 5 {
+        return Err(NetError::Protocol(format!(
+            "scan limit payload must be 5 bytes, got {}",
+            bytes.len()
+        )));
+    }
+    if bytes[0] != SCAN_LIMIT_VERSION {
+        return Err(NetError::Protocol(format!("unknown scan limit version {}", bytes[0])));
+    }
+    Ok(u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")))
 }
 
 /// Reads the `u32` LE count prefix shared by all batch payloads and
@@ -335,10 +387,10 @@ pub fn decode_multi_get_response(bytes: &[u8]) -> Result<Vec<Option<Vec<u8>>>> {
                 }
                 results.push(None);
             }
-            Status::Error => {
-                return Err(NetError::Protocol(
-                    "per-key error status in multi-get response".into(),
-                ));
+            Status::Error | Status::Busy | Status::Quarantined => {
+                return Err(NetError::Protocol(format!(
+                    "per-key {status:?} status in multi-get response",
+                )));
             }
         }
         rest = &rest[5 + vlen..];
@@ -393,7 +445,7 @@ pub fn decode_multi_set(bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
 /// Version tag of the [`encode_stats`] layout. Bumped whenever the field
 /// order or width changes, so a stale client fails closed instead of
 /// misreading counters.
-pub const STATS_WIRE_VERSION: u8 = 2;
+pub const STATS_WIRE_VERSION: u8 = 3;
 
 /// The sim-counter serialization order of [`encode_stats`], fixed here so
 /// encode and decode cannot drift apart.
@@ -435,6 +487,7 @@ fn sim_from_array(a: [u64; SIM_FIELDS]) -> sgx_sim::stats::StatsSnapshot {
 ///   ( bucket u64 )x64  [ sum u64 ] [ max u64 ]
 /// [ entries | shards | heap_live | heap_chunks | cache_used | cache_entries ]
 /// [ wal_bytes | wal_records | wal_fsyncs ]
+/// [ quarantined_sets | quarantined_shards | shed_requests | refused_connections ]
 /// [ sim_field_count u8 ] ( sim counter u64 )*
 /// ```
 ///
@@ -444,7 +497,7 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
     use shieldstore::hist::NUM_BUCKETS;
     use shieldstore::OpStats;
     let mut out = Vec::with_capacity(
-        2 + 8 * OpStats::FIELDS.len() + 5 * 8 * (NUM_BUCKETS + 2) + 9 * 8 + 1 + 8 * SIM_FIELDS,
+        2 + 8 * OpStats::FIELDS.len() + 5 * 8 * (NUM_BUCKETS + 2) + 13 * 8 + 1 + 8 * SIM_FIELDS,
     );
     out.push(STATS_WIRE_VERSION);
     out.push(OpStats::FIELDS.len() as u8);
@@ -468,6 +521,10 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
         snap.wal_bytes,
         snap.wal_records,
         snap.wal_fsyncs,
+        snap.quarantined_sets,
+        snap.quarantined_shards,
+        snap.shed_requests,
+        snap.refused_connections,
     ] {
         out.extend_from_slice(&gauge.to_le_bytes());
     }
@@ -542,6 +599,10 @@ pub fn decode_stats(bytes: &[u8]) -> Result<shieldstore::StatsSnapshot> {
     snap.wal_bytes = r.u64()?;
     snap.wal_records = r.u64()?;
     snap.wal_fsyncs = r.u64()?;
+    snap.quarantined_sets = r.u64()?;
+    snap.quarantined_shards = r.u64()?;
+    snap.shed_requests = r.u64()?;
+    snap.refused_connections = r.u64()?;
     if r.bytes.first() != Some(&(SIM_FIELDS as u8)) {
         return Err(NetError::Protocol("stats sim field count mismatch".into()));
     }
@@ -603,8 +664,45 @@ mod tests {
     fn response_roundtrip() {
         let r = Response::ok(b"payload".to_vec());
         assert_eq!(Response::decode(&r.encode()).unwrap(), r);
-        let r = Response::not_found();
-        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        for r in
+            [Response::not_found(), Response::error(), Response::busy(), Response::quarantined()]
+        {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn scan_limit_roundtrip() {
+        for limit in [0u32, 1, 100, u32::MAX] {
+            assert_eq!(decode_scan_limit(&encode_scan_limit(limit)).unwrap(), limit);
+        }
+    }
+
+    #[test]
+    fn malformed_scan_limit_rejected() {
+        // The legacy bare 4-byte limit is rejected by length.
+        assert!(decode_scan_limit(&100u32.to_le_bytes()).is_err());
+        assert!(decode_scan_limit(&[]).is_err());
+        assert!(decode_scan_limit(&encode_scan_limit(7)[..4]).is_err());
+        let mut long = encode_scan_limit(7);
+        long.push(0);
+        assert!(decode_scan_limit(&long).is_err());
+        let mut bad_version = encode_scan_limit(7);
+        bad_version[0] = SCAN_LIMIT_VERSION + 1;
+        assert!(decode_scan_limit(&bad_version).is_err());
+    }
+
+    #[test]
+    fn per_key_shed_statuses_rejected_in_multi_get() {
+        // Busy/Quarantined are frame-level outcomes; a per-key occurrence
+        // is malformed and must fail the whole batch decode.
+        for status in [Status::Error, Status::Busy, Status::Quarantined] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.push(status as u8);
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            assert!(decode_multi_get_response(&bytes).is_err(), "{status:?}");
+        }
     }
 
     #[test]
@@ -695,6 +793,10 @@ mod tests {
         snap.wal_bytes = 2048;
         snap.wal_records = 1;
         snap.wal_fsyncs = 1;
+        snap.quarantined_sets = 2;
+        snap.quarantined_shards = 1;
+        snap.shed_requests = 13;
+        snap.refused_connections = 4;
         snap.sim.ecalls = 77;
         snap.sim.epc_faults = 5;
         snap
@@ -734,7 +836,7 @@ mod tests {
         let mut snap = sample_snapshot();
         snap.hists.get.record(1_000_000);
         let mut bytes = encode_stats(&snap);
-        let max_off = bytes.len() - (8 * 9 + 1 + 8 * 9) - 8;
+        let max_off = bytes.len() - (8 * 13 + 1 + 8 * 9) - 8;
         bytes[max_off..max_off + 8].copy_from_slice(&1u64.to_le_bytes());
         assert!(decode_stats(&bytes).is_err());
     }

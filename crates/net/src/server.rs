@@ -18,10 +18,12 @@ use crate::{NetError, Result};
 use parking_lot::Mutex;
 use sgx_sim::enclave::Enclave;
 use sgx_sim::vclock;
-use shield_baseline::KvBackend;
+use shield_baseline::{KvBackend, OpError};
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How requests cross into the enclave.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,11 +43,79 @@ pub struct ServerConfig {
     pub crossing: CrossingMode,
     /// Attest, exchange keys, and encrypt traffic.
     pub secure: bool,
+    /// Once the first byte of a frame (or of the handshake) arrives, the
+    /// rest must follow within this window or the connection is dropped.
+    /// Idle connections parked *between* frames are not affected. Kills
+    /// slow-loris senders and unsticks writes to stalled clients.
+    pub frame_timeout: Duration,
+    /// Connections beyond this cap are refused at accept (counted in
+    /// [`StatsSnapshot::refused_connections`]).
+    pub max_connections: usize,
+    /// Requests admitted past this many already in flight are shed with
+    /// a [`Status::Busy`] reply instead of being queued.
+    pub max_in_flight: usize,
+    /// A request that waited in the ring longer than this is answered
+    /// [`Status::Busy`] without executing: under overload, stale work is
+    /// dropped instead of serving an ever-growing queue.
+    pub request_deadline: Duration,
+    /// How long [`Server::shutdown`] waits for in-flight frames before
+    /// hard-closing the remaining sockets.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 1, crossing: CrossingMode::HotCalls, secure: true }
+        Self {
+            workers: 1,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            frame_timeout: Duration::from_secs(10),
+            max_connections: 1024,
+            max_in_flight: 1024,
+            request_deadline: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Server-side overload counters, overlaid onto `Stats` responses (the
+/// store itself cannot see connection-level decisions).
+#[derive(Debug, Default)]
+pub struct NetGauges {
+    /// Requests answered `Busy` (admission control or missed deadline).
+    pub shed_requests: AtomicU64,
+    /// Connections refused at the [`ServerConfig::max_connections`] cap.
+    pub refused_connections: AtomicU64,
+}
+
+/// State shared between the listener, connection handlers, workers, and
+/// `shutdown`.
+struct NetState {
+    /// Set once `shutdown` starts: stop accepting, close idle
+    /// connections at their next frame boundary.
+    draining: AtomicBool,
+    /// Live connection count (for the accept-time cap).
+    active: AtomicUsize,
+    /// Requests admitted but not yet answered (for load shedding).
+    in_flight: AtomicUsize,
+    /// Overload counters reported through the `Stats` opcode.
+    gauges: NetGauges,
+    /// `try_clone`s of every live socket so `shutdown` can hard-close
+    /// stragglers at the drain deadline.
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+impl NetState {
+    fn new() -> Self {
+        Self {
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            gauges: NetGauges::default(),
+            streams: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        }
     }
 }
 
@@ -55,12 +125,16 @@ struct WorkItem {
     crypto: Option<Arc<Mutex<SessionCrypto>>>,
     body: Vec<u8>,
     reply: std::sync::mpsc::Sender<Option<Vec<u8>>>,
+    /// When the handler admitted the request (for the worker-side
+    /// deadline check).
+    enqueued: Instant,
 }
 
 /// A running store server.
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    state: Arc<NetState>,
+    drain_deadline: Duration,
     listener_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     worker_penalties: Arc<Vec<AtomicU64>>,
@@ -97,7 +171,7 @@ impl Server {
         assert!(!config.secure || enclave.is_some(), "secure serving requires an enclave identity");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(NetState::new());
         let (work_tx, work_rx) = crossbeam::channel::unbounded::<WorkItem>();
         let worker_penalties =
             Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
@@ -112,6 +186,7 @@ impl Server {
             let enclave = enclave.clone();
             let penalties = Arc::clone(&worker_penalties);
             let served = Arc::clone(&requests_served);
+            let state = Arc::clone(&state);
             let config = config.clone();
             worker_handles.push(std::thread::spawn(move || {
                 vclock::reset();
@@ -129,18 +204,38 @@ impl Server {
                             CrossingMode::HotCalls => enclave.hotcall(),
                         }
                     }
-                    let out = match handle_request(&*store, &item) {
-                        Ok(body) => Some(match &item.crypto {
-                            Some(crypto) => crypto.lock().seal(&body),
-                            None => body,
-                        }),
-                        // A frame that fails authentication is
-                        // attacker-generated: replying (even with a
-                        // sealed Error) would desynchronize the
-                        // request/response pairing, letting a later
-                        // response be attributed to the wrong request.
-                        // Fail closed: drop the connection instead.
-                        Err(_) => None,
+                    let out = if item.enqueued.elapsed() > config.request_deadline {
+                        // Stale request: the queue outran the deadline.
+                        // Answering Busy (instead of serving ancient
+                        // work) keeps overload latency bounded. The seal
+                        // still verifies the request first so the
+                        // session sequence stays aligned (and a tampered
+                        // frame still fails the connection closed).
+                        match verify_only(&item) {
+                            Ok(()) => {
+                                state.gauges.shed_requests.fetch_add(1, Ordering::Relaxed);
+                                let body = Response::busy().encode();
+                                Some(match &item.crypto {
+                                    Some(crypto) => crypto.lock().seal(&body),
+                                    None => body,
+                                })
+                            }
+                            Err(_) => None,
+                        }
+                    } else {
+                        match handle_request(&*store, &item, &state.gauges) {
+                            Ok(body) => Some(match &item.crypto {
+                                Some(crypto) => crypto.lock().seal(&body),
+                                None => body,
+                            }),
+                            // A frame that fails authentication is
+                            // attacker-generated: replying (even with a
+                            // sealed Error) would desynchronize the
+                            // request/response pairing, letting a later
+                            // response be attributed to the wrong request.
+                            // Fail closed: drop the connection instead.
+                            Err(_) => None,
+                        }
                     };
                     // Account before replying: a client that saw the
                     // response must also see the request counted.
@@ -156,19 +251,35 @@ impl Server {
 
         // Listener: accept connections, spawn untrusted I/O handlers.
         let listener_handle = {
-            let shutdown = Arc::clone(&shutdown);
+            let state = Arc::clone(&state);
             let enclave = enclave.clone();
-            let secure = config.secure;
+            let config = config.clone();
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
-                    if shutdown.load(Ordering::Relaxed) {
+                    if state.draining.load(Ordering::Relaxed) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    if state.active.load(Ordering::Relaxed) >= config.max_connections {
+                        // Refuse by closing immediately: the client sees
+                        // a clean EOF, never a hung connection.
+                        state.gauges.refused_connections.fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                        continue;
+                    }
+                    let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                    state.active.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        state.streams.lock().insert(conn_id, clone);
+                    }
                     let work_tx = work_tx.clone();
                     let enclave = enclave.clone();
+                    let state = Arc::clone(&state);
+                    let config = config.clone();
                     std::thread::spawn(move || {
-                        let _ = handle_connection(stream, work_tx, enclave, secure);
+                        let _ = handle_connection(stream, work_tx, enclave, &config, &state);
+                        state.streams.lock().remove(&conn_id);
+                        state.active.fetch_sub(1, Ordering::Relaxed);
                     });
                 }
             })
@@ -176,7 +287,8 @@ impl Server {
 
         Ok(Server {
             addr,
-            shutdown,
+            state,
+            drain_deadline: config.drain_deadline,
             listener_handle: Some(listener_handle),
             worker_handles,
             worker_penalties,
@@ -208,17 +320,41 @@ impl Server {
         }
     }
 
-    /// Stops the server and joins its threads.
+    /// Requests shed with a `Busy` reply so far.
+    pub fn shed_requests(&self) -> u64 {
+        self.state.gauges.shed_requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused at the connection cap so far.
+    pub fn refused_connections(&self) -> u64 {
+        self.state.gauges.refused_connections.load(Ordering::Relaxed)
+    }
+
+    /// Stops the server gracefully: stop accepting, let in-flight frames
+    /// finish for up to [`ServerConfig::drain_deadline`], then hard-close
+    /// whatever is left (including mid-frame slow-loris connections) and
+    /// join all threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        self.state.draining.store(true, Ordering::Relaxed);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.listener_handle.take() {
             let _ = h.join();
+        }
+        // Drain: handlers close idle connections at their next frame
+        // boundary; give in-flight frames until the deadline.
+        let deadline = Instant::now() + self.drain_deadline;
+        while self.state.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Hard-close stragglers; their handlers exit on the next read or
+        // write, which in turn lets the workers' channel drain and close.
+        for stream in self.state.streams.lock().values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
@@ -235,53 +371,74 @@ impl Drop for Server {
 }
 
 /// Decodes (opening the seal if present), executes, encodes.
-fn handle_request(store: &dyn KvBackend, item: &WorkItem) -> Result<Vec<u8>> {
+fn handle_request(store: &dyn KvBackend, item: &WorkItem, net: &NetGauges) -> Result<Vec<u8>> {
     let plain = match &item.crypto {
         Some(crypto) => crypto.lock().open(&item.body)?,
         None => item.body.clone(),
     };
     let request = Request::decode(&plain)?;
-    let response = execute(store, &request);
+    let response = execute_with(store, &request, Some(net));
     Ok(response.encode())
+}
+
+/// Authenticates a frame without executing it, so a shed request still
+/// advances the session's receive sequence (the client's next frame must
+/// open against the advanced counter).
+fn verify_only(item: &WorkItem) -> Result<()> {
+    if let Some(crypto) = &item.crypto {
+        crypto.lock().open(&item.body)?;
+    }
+    Ok(())
 }
 
 /// Executes one request against the store.
 pub fn execute(store: &dyn KvBackend, request: &Request) -> Response {
+    execute_with(store, request, None)
+}
+
+/// Maps a `try_*` failure to its wire status.
+fn fail_status(e: OpError) -> Response {
+    match e {
+        OpError::Quarantined => Response::quarantined(),
+        OpError::Failed => Response::error(),
+    }
+}
+
+/// Executes one request against the store, overlaying server-side
+/// overload counters onto `Stats` responses when provided.
+pub(crate) fn execute_with(
+    store: &dyn KvBackend,
+    request: &Request,
+    net: Option<&NetGauges>,
+) -> Response {
     match request.op {
-        OpCode::Get => match store.get(&request.key) {
-            Some(v) => Response::ok(v),
-            None => Response::not_found(),
+        OpCode::Get => match store.try_get(&request.key) {
+            Ok(Some(v)) => Response::ok(v),
+            Ok(None) => Response::not_found(),
+            Err(e) => fail_status(e),
         },
-        OpCode::Set => {
-            if store.set(&request.key, &request.value) {
-                Response::ok_empty()
-            } else {
-                Response::error()
-            }
-        }
-        OpCode::Delete => {
-            if store.delete(&request.key) {
-                Response::ok_empty()
-            } else {
-                Response::not_found()
-            }
-        }
-        OpCode::Append => {
-            if store.append(&request.key, &request.value) {
-                Response::ok_empty()
-            } else {
-                Response::error()
-            }
-        }
+        OpCode::Set => match store.try_set(&request.key, &request.value) {
+            Ok(()) => Response::ok_empty(),
+            Err(e) => fail_status(e),
+        },
+        OpCode::Delete => match store.try_delete(&request.key) {
+            Ok(true) => Response::ok_empty(),
+            Ok(false) => Response::not_found(),
+            Err(e) => fail_status(e),
+        },
+        OpCode::Append => match store.try_append(&request.key, &request.value) {
+            Ok(()) => Response::ok_empty(),
+            Err(e) => fail_status(e),
+        },
         OpCode::Increment => {
             let delta = if request.value.len() == 8 {
                 i64::from_le_bytes(request.value[..].try_into().expect("8 bytes"))
             } else {
                 return Response::error();
             };
-            match store.increment(&request.key, delta) {
-                Some(next) => Response::ok(next.to_le_bytes().to_vec()),
-                None => Response::error(),
+            match store.try_increment(&request.key, delta) {
+                Ok(next) => Response::ok(next.to_le_bytes().to_vec()),
+                Err(e) => fail_status(e),
             }
         }
         OpCode::Ping => Response::ok_empty(),
@@ -292,32 +449,32 @@ pub fn execute(store: &dyn KvBackend, request: &Request) -> Response {
             // The whole batch runs as one work item: one crossing charge
             // and one shard-lock acquisition per touched shard, however
             // many keys ride in the frame.
-            match store.multi_get(&keys) {
-                Some(results) => Response::ok(crate::protocol::encode_multi_get_response(&results)),
-                // Batch-level failure (e.g. integrity violation): fail
-                // the whole frame closed rather than fabricate misses.
-                None => Response::error(),
+            match store.try_multi_get(&keys) {
+                Ok(results) => Response::ok(crate::protocol::encode_multi_get_response(&results)),
+                // Batch-level failure (integrity violation, quarantined
+                // partition): fail the whole frame closed rather than
+                // fabricate misses.
+                Err(e) => fail_status(e),
             }
         }
         OpCode::MultiSet => {
             let Ok(items) = crate::protocol::decode_multi_set(&request.value) else {
                 return Response::error();
             };
-            if store.multi_set(&items) {
-                Response::ok_empty()
-            } else {
-                Response::error()
+            match store.try_multi_set(&items) {
+                Ok(()) => Response::ok_empty(),
+                Err(e) => fail_status(e),
             }
         }
         OpCode::ScanPrefix => {
-            let limit = if request.value.len() == 4 {
-                u32::from_le_bytes(request.value[..].try_into().expect("4 bytes")) as usize
-            } else {
+            // The limit rides in a versioned payload; the legacy bare
+            // 4-byte form is rejected by the decoder.
+            let Ok(limit) = crate::protocol::decode_scan_limit(&request.value) else {
                 return Response::error();
             };
-            match store.scan_prefix(&request.key, limit) {
-                Some(entries) => Response::ok(crate::protocol::encode_scan(&entries)),
-                None => Response::error(),
+            match store.try_scan_prefix(&request.key, limit as usize) {
+                Ok(entries) => Response::ok(crate::protocol::encode_scan(&entries)),
+                Err(e) => fail_status(e),
             }
         }
         OpCode::Stats => {
@@ -325,7 +482,13 @@ pub fn execute(store: &dyn KvBackend, request: &Request) -> Response {
                 return Response::error();
             }
             match store.stats_snapshot() {
-                Some(snap) => Response::ok(crate::protocol::encode_stats(&snap)),
+                Some(mut snap) => {
+                    if let Some(net) = net {
+                        snap.shed_requests = net.shed_requests.load(Ordering::Relaxed);
+                        snap.refused_connections = net.refused_connections.load(Ordering::Relaxed);
+                    }
+                    Response::ok(crate::protocol::encode_stats(&snap))
+                }
                 // Uninstrumented backend: no snapshot to report.
                 None => Response::error(),
             }
@@ -345,32 +508,141 @@ pub fn execute(store: &dyn KvBackend, request: &Request) -> Response {
     }
 }
 
+/// True for the error kinds a timed-out socket read surfaces.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Reads one frame under the hardening rules: idle waits at a frame
+/// boundary are unbounded (unless draining, which closes the connection
+/// cleanly), but once the first byte arrives the whole frame must land
+/// within `frame_timeout`. Requires the stream's read timeout to be set
+/// to a short polling tick.
+fn read_frame_managed(
+    stream: &mut TcpStream,
+    state: &NetState,
+    frame_timeout: Duration,
+) -> Result<Option<Vec<u8>>> {
+    use std::io::Read;
+    let mut len_buf = [0u8; 4];
+    let mut pos = 0;
+    let mut started: Option<Instant> = None;
+    while pos < 4 {
+        match stream.read(&mut len_buf[pos..]) {
+            Ok(0) => {
+                return if pos == 0 {
+                    Ok(None) // clean disconnect
+                } else {
+                    Err(NetError::Protocol("eof inside frame header".into()))
+                };
+            }
+            Ok(n) => {
+                pos += n;
+                started.get_or_insert_with(Instant::now);
+            }
+            Err(e) if is_timeout(&e) => match started {
+                // Idle at a frame boundary: wait forever in normal
+                // operation, close during drain.
+                None if state.draining.load(Ordering::Relaxed) => return Ok(None),
+                None => {}
+                Some(t0) if t0.elapsed() >= frame_timeout => {
+                    return Err(NetError::Protocol("frame stalled past timeout".into()));
+                }
+                Some(_) => {}
+            },
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > protocol::MAX_FRAME {
+        return Err(NetError::Protocol("frame too large".into()));
+    }
+    let t0 = started.unwrap_or_else(Instant::now);
+    let mut body = vec![0u8; len];
+    let mut pos = 0;
+    while pos < len {
+        match stream.read(&mut body[pos..]) {
+            Ok(0) => return Err(NetError::Protocol("eof inside frame body".into())),
+            Ok(n) => pos += n,
+            Err(e) if is_timeout(&e) => {
+                if t0.elapsed() >= frame_timeout {
+                    return Err(NetError::Protocol("frame stalled past timeout".into()));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(body))
+}
+
 /// One connection's untrusted I/O loop.
 fn handle_connection(
     mut stream: TcpStream,
     work_tx: crossbeam::channel::Sender<WorkItem>,
     enclave: Option<Arc<Enclave>>,
-    secure: bool,
+    config: &ServerConfig,
+    state: &NetState,
 ) -> Result<()> {
     stream.set_nodelay(true)?;
-    let crypto = if secure {
+    // The handshake and response writes are bounded outright; frame
+    // reads get finer-grained treatment below.
+    stream.set_read_timeout(Some(config.frame_timeout))?;
+    stream.set_write_timeout(Some(config.frame_timeout))?;
+    let crypto = if config.secure {
         let enclave = enclave.ok_or_else(|| NetError::Security("no enclave".into()))?;
         Some(Arc::new(Mutex::new(session::server_handshake(&mut stream, &enclave)?)))
     } else {
         None
     };
+    // Switch reads to a short polling tick so `read_frame_managed` can
+    // distinguish "idle between frames" from "stalled inside a frame".
+    stream.set_read_timeout(Some(Duration::from_millis(10)))?;
 
     let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Option<Vec<u8>>>();
     loop {
-        let Some(body) = protocol::read_frame(&mut stream)? else {
-            return Ok(()); // clean disconnect
+        let Some(body) = read_frame_managed(&mut stream, state, config.frame_timeout)? else {
+            return Ok(()); // clean disconnect (or drain at a frame boundary)
         };
-        work_tx
-            .send(WorkItem { crypto: crypto.clone(), body, reply: reply_tx.clone() })
-            .map_err(|_| NetError::Protocol("server shutting down".into()))?;
-        let out =
-            reply_rx.recv().map_err(|_| NetError::Protocol("worker dropped request".into()))?;
-        let Some(out) = out else {
+        // Admission control: past the in-flight cap, answer Busy without
+        // queueing. The frame is still authenticated (sequence
+        // alignment; tampering still fails the connection closed).
+        if state.in_flight.load(Ordering::Relaxed) >= config.max_in_flight {
+            let shed = WorkItem {
+                crypto: crypto.clone(),
+                body,
+                reply: reply_tx.clone(),
+                enqueued: Instant::now(),
+            };
+            if verify_only(&shed).is_err() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return Err(NetError::Security("dropping connection on bad frame".into()));
+            }
+            state.gauges.shed_requests.fetch_add(1, Ordering::Relaxed);
+            let out = Response::busy().encode();
+            let out = match &crypto {
+                Some(crypto) => crypto.lock().seal(&out),
+                None => out,
+            };
+            protocol::write_frame(&mut stream, &out)?;
+            continue;
+        }
+        state.in_flight.fetch_add(1, Ordering::Relaxed);
+        let sent = work_tx
+            .send(WorkItem {
+                crypto: crypto.clone(),
+                body,
+                reply: reply_tx.clone(),
+                enqueued: Instant::now(),
+            })
+            .map_err(|_| NetError::Protocol("server shutting down".into()));
+        let out = match sent {
+            Ok(()) => {
+                reply_rx.recv().map_err(|_| NetError::Protocol("worker dropped request".into()))
+            }
+            Err(e) => Err(e),
+        };
+        state.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let Some(out) = out? else {
             // Unauthenticated or undecodable frame: fail the whole
             // connection closed (see the worker's comment).
             let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -404,7 +676,12 @@ mod tests {
         let server = Server::start(
             store,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 2,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let verifier =
@@ -457,7 +734,12 @@ mod tests {
         let server = Server::start(
             Arc::clone(&store) as Arc<dyn shield_baseline::KvBackend>,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 2,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let verifier =
@@ -494,7 +776,12 @@ mod tests {
         let server = Server::start(
             store,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 2,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
 
@@ -523,7 +810,12 @@ mod tests {
         let server = Server::start(
             store,
             None,
-            ServerConfig { workers: 1, crossing: CrossingMode::Ecall, secure: false },
+            ServerConfig {
+                workers: 1,
+                crossing: CrossingMode::Ecall,
+                secure: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut client = KvClient::connect_insecure(server.addr()).unwrap();
@@ -544,7 +836,7 @@ mod tests {
             let server = Server::start(
                 Arc::clone(&store) as Arc<dyn KvBackend>,
                 Some(Arc::clone(&enclave)),
-                ServerConfig { workers: 1, crossing, secure: true },
+                ServerConfig { workers: 1, crossing, secure: true, ..Default::default() },
             )
             .unwrap();
             let mut client = KvClient::connect_secure(server.addr(), &verifier, 2).unwrap();
@@ -572,7 +864,12 @@ mod tests {
         let server = Server::start(
             store,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 1,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let verifier = AttestationVerifier::for_enclave(&enclave);
@@ -599,7 +896,12 @@ mod tests {
         let server = Server::start(
             store,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 1,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let verifier = AttestationVerifier::for_enclave(&enclave);
@@ -616,7 +918,12 @@ mod tests {
         let server = Server::start(
             store,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 2,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let verifier = AttestationVerifier::for_enclave(&enclave);
@@ -650,7 +957,12 @@ mod tests {
         let server = Server::start(
             store,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 1,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let verifier = AttestationVerifier::for_enclave(&enclave);
@@ -678,7 +990,12 @@ mod tests {
         let server = Server::start(
             store,
             Some(Arc::clone(&enclave)),
-            ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+            ServerConfig {
+                workers: 2,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let verifier = AttestationVerifier::for_enclave(&enclave);

@@ -25,7 +25,12 @@ fn start_server(name: &str, workers: usize) -> (Arc<Enclave>, Server) {
     let server = Server::start(
         store,
         Some(Arc::clone(&enclave)),
-        ServerConfig { workers, crossing: CrossingMode::HotCalls, secure: true },
+        ServerConfig {
+            workers,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     (enclave, server)

@@ -32,7 +32,12 @@ fn main() {
     let server = Server::start(
         store,
         Some(Arc::clone(&enclave)),
-        ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+        ServerConfig {
+            workers: 2,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            ..Default::default()
+        },
     )
     .expect("server");
     println!("server listening on {}", server.addr());
@@ -71,7 +76,12 @@ fn main() {
     let evil_server = Server::start(
         evil_store,
         Some(Arc::clone(&impostor)),
-        ServerConfig { workers: 1, crossing: CrossingMode::Ecall, secure: true },
+        ServerConfig {
+            workers: 1,
+            crossing: CrossingMode::Ecall,
+            secure: true,
+            ..Default::default()
+        },
     )
     .expect("server");
     match KvClient::connect_secure(evil_server.addr(), &verifier, 100) {

@@ -25,7 +25,12 @@ fn real_handshake_then_mitm_flip() {
     let server = Server::start(
         store,
         Some(Arc::clone(&enclave)),
-        ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+        ServerConfig {
+            workers: 1,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let verifier = AttestationVerifier::for_enclave(&enclave);
@@ -190,7 +195,12 @@ fn tampered_entry_fails_batched_read_closed() {
     let server = Server::start(
         Arc::clone(&store) as Arc<dyn shield_baseline::KvBackend>,
         Some(Arc::clone(&enclave)),
-        ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+        ServerConfig {
+            workers: 1,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let verifier = AttestationVerifier::for_enclave(&enclave);
@@ -213,7 +223,12 @@ fn protocol_mode_mismatch_fails_cleanly() {
     let server = Server::start(
         store,
         Some(Arc::clone(&enclave)),
-        ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+        ServerConfig {
+            workers: 1,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -234,7 +249,12 @@ fn garbage_frames_survive() {
     let server = Server::start(
         store,
         Some(Arc::clone(&enclave)),
-        ServerConfig { workers: 1, crossing: CrossingMode::HotCalls, secure: true },
+        ServerConfig {
+            workers: 1,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            ..Default::default()
+        },
     )
     .unwrap();
 

@@ -124,7 +124,12 @@ fn networked_workload_round_trip() {
     let server = Server::start(
         Arc::clone(&s) as Arc<dyn KvBackend>,
         Some(Arc::clone(&enclave)),
-        ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+        ServerConfig {
+            workers: 2,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let verifier =
@@ -208,7 +213,12 @@ fn networked_batched_round_trip() {
     let server = Server::start(
         Arc::clone(&s) as Arc<dyn KvBackend>,
         Some(Arc::clone(&enclave)),
-        ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+        ServerConfig {
+            workers: 2,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let verifier =
@@ -256,7 +266,12 @@ fn concurrent_clients_increment_once_each() {
     let server = Server::start(
         s,
         Some(Arc::clone(&enclave)),
-        ServerConfig { workers: 2, crossing: CrossingMode::HotCalls, secure: true },
+        ServerConfig {
+            workers: 2,
+            crossing: CrossingMode::HotCalls,
+            secure: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let verifier = AttestationVerifier::for_enclave(&enclave);
