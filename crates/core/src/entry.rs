@@ -147,6 +147,55 @@ pub fn decrypt_key(enc: &AesCtr, header: &EntryHeader, ciphertext: &[u8]) -> Vec
     key
 }
 
+/// Allocation-free [`decrypt_key`] comparison: decrypts the key prefix
+/// into `scratch` (reusing its capacity) and compares against `key`.
+///
+/// The chain search runs this once per candidate entry, so the hot path
+/// borrows the shard's scratch buffer instead of allocating a `Vec` per
+/// probe.
+pub fn key_matches(
+    enc: &AesCtr,
+    header: &EntryHeader,
+    ciphertext: &[u8],
+    key: &[u8],
+    scratch: &mut Vec<u8>,
+) -> bool {
+    let key_len = header.key_len as usize;
+    if key_len != key.len() || ciphertext.len() < key_len {
+        return false;
+    }
+    scratch.clear();
+    scratch.extend_from_slice(&ciphertext[..key_len]);
+    enc.apply_keystream(&header.iv, scratch);
+    scratch == key
+}
+
+/// Fused verify + decrypt of one entry: a single pass over the ciphertext
+/// absorbs it into the MAC and XORs the keystream, then the tag is
+/// checked (constant time) *before* any plaintext is released.
+///
+/// On success `out` holds `key ‖ value`; on tamper `out` is wiped and
+/// emptied and `false` is returned — the exact fail-closed behavior of
+/// [`verify_mac`] followed by [`decrypt_entry`], at one memory pass.
+pub fn open_entry(
+    enc: &AesCtr,
+    cmac: &Cmac,
+    header: &EntryHeader,
+    ciphertext: &[u8],
+    out: &mut Vec<u8>,
+) -> bool {
+    shield_crypto::fused::open_verify(
+        enc,
+        cmac,
+        &header.iv,
+        &[],
+        ciphertext,
+        &[&header.key_len.to_le_bytes(), &header.val_len.to_le_bytes(), &[header.hint], &header.iv],
+        &header.mac,
+        out,
+    )
+}
+
 /// Decrypts an entry's full plaintext, returning `(key, value)`.
 pub fn decrypt_entry(enc: &AesCtr, header: &EntryHeader, ciphertext: &[u8]) -> (Vec<u8>, Vec<u8>) {
     let mut plain = ciphertext.to_vec();

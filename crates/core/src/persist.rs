@@ -482,18 +482,20 @@ fn restore_entry(
     if header.entry_len() != bytes.len() {
         return Err(Error::Persistence("entry length mismatch".into()));
     }
-    if !entry::verify_mac(&keys.mac, &header, &bytes[entry::HEADER_LEN..]) {
-        return Err(Error::IntegrityViolation { bucket });
-    }
     // The per-entry shard/bucket placement in the file is untrusted and —
     // unlike ciphertext, lengths, hint and IV — not covered by the entry
     // MAC (Fig. 5). Trusting the file's claim lets an attacker relocate an
     // entry within its bucket set: when the set's MAC concatenation order
     // happens to be preserved (tail of one chain moved to an empty later
     // bucket), every set hash still verifies and the key becomes a silent
-    // miss. Derive the true placement from the decrypted key instead.
-    let (key, _) = entry::decrypt_entry(&keys.enc, &header, &bytes[entry::HEADER_LEN..]);
-    let hash = keys.index_hash(&key);
+    // miss. Derive the true placement from the decrypted key instead; the
+    // fused open verifies the MAC and decrypts in one ciphertext pass.
+    let mut plain = Vec::new();
+    if !entry::open_entry(&keys.enc, &keys.mac, &header, &bytes[entry::HEADER_LEN..], &mut plain) {
+        return Err(Error::IntegrityViolation { bucket });
+    }
+    let key = &plain[..header.key_len as usize];
+    let hash = keys.index_hash(key);
     let true_shard = (((hash >> 32) * num_shards as u64) >> 32) as usize;
     let true_bucket = (hash % ctx.buckets() as u64) as usize;
     if true_shard != shard_idx || true_bucket != bucket {

@@ -155,6 +155,23 @@ struct TempTable {
     tombstones: HashSet<Vec<u8>>,
 }
 
+/// Reusable scratch buffers threaded through the table operations so the
+/// steady-state seal/unseal path performs no per-op heap allocation: the
+/// buffers grow to the working-set item size once and are reused for
+/// every subsequent operation. All three stage *plaintext or MAC* bytes
+/// and live inside the enclave; nothing here is ever handed to untrusted
+/// memory.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// Entry staging: fused-open plaintext on reads, encode buffer on
+    /// realloc/insert writes.
+    entry: Vec<u8>,
+    /// Candidate-key decryption during chain searches.
+    key: Vec<u8>,
+    /// MAC side-array gathers for the absence/membership checks.
+    side: Vec<u8>,
+}
+
 /// One hash partition of the store.
 pub struct Shard {
     cfg: ShardConfig,
@@ -166,6 +183,7 @@ pub struct Shard {
     cache: Option<EnclaveCache>,
     index: Option<OrderedIndex>,
     quarantine: QuarantineState,
+    scratch: Scratch,
     pub(crate) stats: OpStats,
     pub(crate) hists: OpHists,
 }
@@ -191,11 +209,13 @@ fn bucket_of(keys: &StoreKeys, ctx: &TableCtx, key: &[u8]) -> usize {
 /// Searches `bucket` for `key`, counting decryptions as the paper's Fig. 9
 /// does. First pass honours the key hint; if nothing matched and the
 /// two-step fallback is enabled, a full decrypting scan follows (§5.4).
+#[allow(clippy::too_many_arguments)]
 fn search(
     cfg: &ShardConfig,
     keys: &StoreKeys,
     ctx: &TableCtx,
     stats: &mut OpStats,
+    scratch: &mut Scratch,
     bucket: usize,
     hint_byte: u8,
     key: &[u8],
@@ -225,8 +245,7 @@ fn search(
                 // Corrupted length fields in untrusted memory.
                 return Some(SearchOutcome::Tampered);
             };
-            let candidate = entry::decrypt_key(&keys.enc, &header, ct);
-            if candidate == key {
+            if entry::key_matches(&keys.enc, &header, ct, key, &mut scratch.key) {
                 return Some(SearchOutcome::Found(Found { handle: h, prev, pos, header }));
             }
         }
@@ -259,8 +278,7 @@ fn search(
             }
             if header.key_len as usize == key.len() {
                 stats.key_decryptions += 1;
-                let candidate = entry::decrypt_key(&keys.enc, &header, ct);
-                if candidate == key {
+                if entry::key_matches(&keys.enc, &header, ct, key, &mut scratch.key) {
                     return Some(SearchOutcome::Found(Found { handle: h, prev, pos, header }));
                 }
             }
@@ -272,23 +290,29 @@ fn search(
     None
 }
 
-/// Gathers the concatenated entry MACs of every bucket in `set`, via MAC
-/// buckets (contiguous reads) or entry-chain pointer chasing. `None`
-/// means the untrusted structure itself is corrupt (unreadable pointer,
-/// cycle, inflated count field) — callers surface it as an integrity
-/// violation.
-fn gather_set_macs(
+/// Derives the bucket-set MAC hash for `set` in one streaming pass: the
+/// entry MACs of every bucket are absorbed straight into a CMAC context
+/// (via MAC buckets — contiguous reads — or entry-chain pointer chasing)
+/// with no intermediate concatenation buffer, so the hash of a large set
+/// costs one pipelined CMAC and zero allocations. `None` means the
+/// untrusted structure itself is corrupt (unreadable pointer, cycle,
+/// inflated count field) — callers surface it as an integrity violation.
+fn derive_set_hash(
     cfg: &ShardConfig,
+    keys: &StoreKeys,
     ctx: &TableCtx,
     stats: &mut OpStats,
     set: usize,
-) -> Option<Vec<u8>> {
+) -> Option<[u8; 16]> {
     let max_macs = ctx.count.saturating_add(1);
-    let mut out = Vec::with_capacity(64);
+    let mut mac_ctx = keys.mac.ctx();
+    let mut absorbed = 0u64;
     for bucket in ctx.sets.buckets_of(set) {
         if cfg.mac_bucket {
-            let n = mac_bucket::try_gather(&ctx.heap, ctx.mac_heads[bucket], &mut out, max_macs)?;
-            stats.macs_gathered += n as u64;
+            let n = mac_bucket::try_absorb(&ctx.heap, ctx.mac_heads[bucket], max_macs, &mut |m| {
+                mac_ctx.update(m)
+            })?;
+            absorbed += n as u64;
         } else {
             let mut steps = 0usize;
             let mut h = ctx.heads[bucket];
@@ -298,25 +322,18 @@ fn gather_set_macs(
                     return None;
                 }
                 let header = ctx.try_header(h)?;
-                out.extend_from_slice(&header.mac);
-                stats.macs_gathered += 1;
+                mac_ctx.update(&header.mac);
+                absorbed += 1;
                 h = header.next;
             }
         }
     }
-    Some(out)
+    stats.macs_gathered += absorbed;
+    Some(if absorbed == 0 { EMPTY_SET_HASH } else { mac_ctx.finalize() })
 }
 
 /// The stored hash for an empty bucket set.
 const EMPTY_SET_HASH: [u8; 16] = [0u8; 16];
-
-fn expected_set_hash(keys: &StoreKeys, macs: &[u8]) -> [u8; 16] {
-    if macs.is_empty() {
-        EMPTY_SET_HASH
-    } else {
-        integrity::set_hash(&keys.mac, macs)
-    }
-}
 
 /// Verifies the bucket-set MAC hash for `set` against untrusted state.
 fn verify_set(
@@ -327,10 +344,9 @@ fn verify_set(
     set: usize,
 ) -> Result<()> {
     stats.integrity_verifications += 1;
-    let Some(macs) = gather_set_macs(cfg, ctx, stats, set) else {
+    let Some(recomputed) = derive_set_hash(cfg, keys, ctx, stats, set) else {
         return Err(Error::IntegrityViolation { bucket: ctx.sets.buckets_of(set).start });
     };
-    let recomputed = expected_set_hash(keys, &macs);
     let stored = ctx.macs.get(set);
     if integrity::verify_set_hash(&stored, &recomputed) {
         Ok(())
@@ -346,13 +362,19 @@ fn verify_set(
 /// is verified against content and covered by the set hash), so the
 /// chain walk is only paid when a search comes back empty — keeping the
 /// very pointer-chasing MAC bucketing exists to avoid off the hit path.
-fn verify_absence_consistency(cfg: &ShardConfig, ctx: &TableCtx, bucket: usize) -> Result<()> {
+fn verify_absence_consistency(
+    cfg: &ShardConfig,
+    ctx: &TableCtx,
+    scratch: &mut Scratch,
+    bucket: usize,
+) -> Result<()> {
     if !cfg.mac_bucket {
         return Ok(());
     }
     let max_macs = ctx.count.saturating_add(1);
-    let mut side = Vec::new();
-    if mac_bucket::try_gather(&ctx.heap, ctx.mac_heads[bucket], &mut side, max_macs).is_none() {
+    let side = &mut scratch.side;
+    side.clear();
+    if mac_bucket::try_gather(&ctx.heap, ctx.mac_heads[bucket], side, max_macs).is_none() {
         return Err(Error::IntegrityViolation { bucket });
     }
     // Element-wise walk: every chained entry's header MAC must sit at its
@@ -398,6 +420,7 @@ fn verify_side_mac_read(
     cfg: &ShardConfig,
     ctx: &TableCtx,
     stats: &mut OpStats,
+    scratch: &mut Scratch,
     bucket: usize,
     found: &Found,
 ) -> Result<()> {
@@ -413,8 +436,9 @@ fn verify_side_mac_read(
     // Positional mismatch: either an attack on this entry (replay) or a
     // structural attack elsewhere in the chain. Membership decides.
     stats.side_mac_fallbacks += 1;
-    let mut side = Vec::new();
-    if mac_bucket::try_gather(&ctx.heap, ctx.mac_heads[bucket], &mut side, max_macs).is_none() {
+    let side = &mut scratch.side;
+    side.clear();
+    if mac_bucket::try_gather(&ctx.heap, ctx.mac_heads[bucket], side, max_macs).is_none() {
         return Err(Error::IntegrityViolation { bucket });
     }
     if side.chunks_exact(16).any(|m| m == found.header.mac) {
@@ -455,10 +479,9 @@ fn update_set_hash(
     stats: &mut OpStats,
     set: usize,
 ) -> Result<()> {
-    let Some(macs) = gather_set_macs(cfg, ctx, stats, set) else {
+    let Some(tag) = derive_set_hash(cfg, keys, ctx, stats, set) else {
         return Err(Error::IntegrityViolation { bucket: ctx.sets.buckets_of(set).start });
     };
-    let tag = expected_set_hash(keys, &macs);
     ctx.macs.set(set, &tag);
     Ok(())
 }
@@ -470,12 +493,13 @@ fn get_in(
     keys: &StoreKeys,
     ctx: &TableCtx,
     stats: &mut OpStats,
+    scratch: &mut Scratch,
     key: &[u8],
 ) -> Result<Option<Vec<u8>>> {
     let bucket = bucket_of(keys, ctx, key);
     let set = ctx.sets.set_of(bucket);
     verify_set(cfg, keys, ctx, stats, set)?;
-    get_in_bucket(cfg, keys, ctx, stats, bucket, key)
+    get_in_bucket(cfg, keys, ctx, stats, scratch, bucket, key)
 }
 
 /// Lookup within an already-verified bucket set. The caller must have
@@ -486,25 +510,38 @@ fn get_in_bucket(
     keys: &StoreKeys,
     ctx: &TableCtx,
     stats: &mut OpStats,
+    scratch: &mut Scratch,
     bucket: usize,
     key: &[u8],
 ) -> Result<Option<Vec<u8>>> {
     let hint = keys.hint_byte(key);
-    match search(cfg, keys, ctx, stats, bucket, hint, key) {
+    match search(cfg, keys, ctx, stats, scratch, bucket, hint, key) {
         Some(SearchOutcome::Found(found)) => {
             let Some(ct) = ctx.try_ciphertext(found.handle, &found.header) else {
                 return Err(Error::IntegrityViolation { bucket });
             };
-            if !entry::verify_mac(&keys.mac, &found.header, ct) {
+            // Fused verify+decrypt: MAC absorption and keystream XOR share
+            // one pass over the ciphertext. The plaintext is staged in the
+            // enclave-resident scratch buffer and only released after the
+            // tag and the side-array liveness check both pass.
+            let mut plain = std::mem::take(&mut scratch.entry);
+            if !entry::open_entry(&keys.enc, &keys.mac, &found.header, ct, &mut plain) {
+                scratch.entry = plain;
                 return Err(Error::IntegrityViolation { bucket });
             }
-            verify_side_mac_read(cfg, ctx, stats, bucket, &found)?;
-            let (_, value) = entry::decrypt_entry(&keys.enc, &found.header, ct);
+            if let Err(e) = verify_side_mac_read(cfg, ctx, stats, scratch, bucket, &found) {
+                plain.iter_mut().for_each(|b| *b = 0);
+                plain.clear();
+                scratch.entry = plain;
+                return Err(e);
+            }
+            let value = plain.split_off(found.header.key_len as usize);
+            scratch.entry = plain;
             Ok(Some(value))
         }
         Some(SearchOutcome::Tampered) => Err(Error::IntegrityViolation { bucket }),
         None => {
-            verify_absence_consistency(cfg, ctx, bucket)?;
+            verify_absence_consistency(cfg, ctx, scratch, bucket)?;
             Ok(None)
         }
     }
@@ -516,13 +553,14 @@ fn set_in(
     keys: &StoreKeys,
     ctx: &mut TableCtx,
     stats: &mut OpStats,
+    scratch: &mut Scratch,
     key: &[u8],
     value: &[u8],
 ) -> Result<bool> {
     let bucket = bucket_of(keys, ctx, key);
     let set = ctx.sets.set_of(bucket);
     verify_set(cfg, keys, ctx, stats, set)?;
-    let inserted = set_in_bucket(cfg, keys, ctx, stats, bucket, key, value)?;
+    let inserted = set_in_bucket(cfg, keys, ctx, stats, scratch, bucket, key, value)?;
     update_set_hash(cfg, keys, ctx, stats, set)?;
     Ok(inserted)
 }
@@ -532,11 +570,13 @@ fn set_in(
 /// before the first access to this set and must call
 /// [`update_set_hash`] after the last write to it — per-op wrappers do
 /// both per call, the batched path once per touched set per batch.
+#[allow(clippy::too_many_arguments)]
 fn set_in_bucket(
     cfg: &ShardConfig,
     keys: &StoreKeys,
     ctx: &mut TableCtx,
     stats: &mut OpStats,
+    scratch: &mut Scratch,
     bucket: usize,
     key: &[u8],
     value: &[u8],
@@ -544,7 +584,7 @@ fn set_in_bucket(
     let hint = keys.hint_byte(key);
     let new_len = entry::HEADER_LEN + key.len() + value.len();
 
-    let outcome = search(cfg, keys, ctx, stats, bucket, hint, key);
+    let outcome = search(cfg, keys, ctx, stats, scratch, bucket, hint, key);
     if matches!(outcome, Some(SearchOutcome::Tampered)) {
         return Err(Error::IntegrityViolation { bucket });
     }
@@ -577,9 +617,11 @@ fn set_in_bucket(
                 stats.inplace_updates += 1;
             } else {
                 let fresh = ctx.heap.alloc(new_len);
-                let mut buf = vec![0u8; new_len];
+                let buf = &mut scratch.entry;
+                buf.clear();
+                buf.resize(new_len, 0);
                 let mac = entry::encode_into(
-                    &mut buf,
+                    buf,
                     found.header.next,
                     hint,
                     &iv,
@@ -588,7 +630,7 @@ fn set_in_bucket(
                     &keys.enc,
                     &keys.mac,
                 );
-                ctx.heap.bytes_mut(fresh, new_len).copy_from_slice(&buf);
+                ctx.heap.bytes_mut(fresh, new_len).copy_from_slice(buf);
                 // Relink in place of the old entry.
                 if found.prev == NULL_HANDLE {
                     ctx.heads[bucket] = fresh;
@@ -604,13 +646,15 @@ fn set_in_bucket(
             false
         }
         None => {
-            verify_absence_consistency(cfg, ctx, bucket)?;
+            verify_absence_consistency(cfg, ctx, scratch, bucket)?;
             // Insert at the chain head with a fresh random IV/counter.
             let iv = ctx.heap.enclave().read_rand_block();
             let fresh = ctx.heap.alloc(new_len);
-            let mut buf = vec![0u8; new_len];
+            let buf = &mut scratch.entry;
+            buf.clear();
+            buf.resize(new_len, 0);
             let mac = entry::encode_into(
-                &mut buf,
+                buf,
                 ctx.heads[bucket],
                 hint,
                 &iv,
@@ -619,7 +663,7 @@ fn set_in_bucket(
                 &keys.enc,
                 &keys.mac,
             );
-            ctx.heap.bytes_mut(fresh, new_len).copy_from_slice(&buf);
+            ctx.heap.bytes_mut(fresh, new_len).copy_from_slice(buf);
             ctx.heads[bucket] = fresh;
             if cfg.mac_bucket {
                 let mut head = ctx.mac_heads[bucket];
@@ -641,19 +685,20 @@ fn delete_in(
     keys: &StoreKeys,
     ctx: &mut TableCtx,
     stats: &mut OpStats,
+    scratch: &mut Scratch,
     key: &[u8],
 ) -> Result<bool> {
     let bucket = bucket_of(keys, ctx, key);
     let set = ctx.sets.set_of(bucket);
     verify_set(cfg, keys, ctx, stats, set)?;
     let hint = keys.hint_byte(key);
-    let found = match search(cfg, keys, ctx, stats, bucket, hint, key) {
+    let found = match search(cfg, keys, ctx, stats, scratch, bucket, hint, key) {
         Some(SearchOutcome::Found(found)) => found,
         Some(SearchOutcome::Tampered) => {
             return Err(Error::IntegrityViolation { bucket });
         }
         None => {
-            verify_absence_consistency(cfg, ctx, bucket)?;
+            verify_absence_consistency(cfg, ctx, scratch, bucket)?;
             return Ok(false);
         }
     };
@@ -700,6 +745,7 @@ impl Shard {
             cache: None,
             index,
             quarantine: QuarantineState::default(),
+            scratch: Scratch::default(),
             stats: OpStats::default(),
             hists: OpHists::default(),
         })
@@ -747,17 +793,20 @@ impl Shard {
             if temp.tombstones.contains(key) {
                 return Ok(None);
             }
-            // Split borrows: temp ctx read + stats write.
+            // Split borrows: temp ctx read + stats/scratch write.
             let (cfg, keys) = (&self.cfg, &self.keys);
             let temp = self.temp.as_ref().expect("checked above");
-            if let Some(v) = get_in(cfg, keys, &temp.ctx, &mut self.stats, key)? {
+            if let Some(v) = get_in(cfg, keys, &temp.ctx, &mut self.stats, &mut self.scratch, key)?
+            {
                 return Ok(Some((v, false)));
             }
             let frozen = self.frozen.as_ref().expect("frozen accompanies temp");
-            return Ok(get_in(cfg, keys, frozen, &mut self.stats, key)?.map(|v| (v, false)));
+            return Ok(get_in(cfg, keys, frozen, &mut self.stats, &mut self.scratch, key)?
+                .map(|v| (v, false)));
         }
         let main = self.main.as_ref().expect("main table present");
-        Ok(get_in(&self.cfg, &self.keys, main, &mut self.stats, key)?.map(|v| (v, false)))
+        Ok(get_in(&self.cfg, &self.keys, main, &mut self.stats, &mut self.scratch, key)?
+            .map(|v| (v, false)))
     }
 
     /// Internal verified write across temp/main state.
@@ -766,10 +815,18 @@ impl Shard {
         if let Some(temp) = self.temp.as_mut() {
             self.stats.temp_table_ops += 1;
             temp.tombstones.remove(key);
-            set_in(&self.cfg, &self.keys, &mut temp.ctx, &mut self.stats, key, value)?;
+            set_in(
+                &self.cfg,
+                &self.keys,
+                &mut temp.ctx,
+                &mut self.stats,
+                &mut self.scratch,
+                key,
+                value,
+            )?;
         } else {
             let main = self.main.as_mut().expect("main table present");
-            set_in(&self.cfg, &self.keys, main, &mut self.stats, key, value)?;
+            set_in(&self.cfg, &self.keys, main, &mut self.stats, &mut self.scratch, key, value)?;
         }
         if let Some(cache) = self.cache.as_mut() {
             cache.put(key, value);
@@ -980,7 +1037,7 @@ impl Shard {
             pending.push(i);
         }
 
-        let Shard { cfg, keys, main, cache, stats, .. } = self;
+        let Shard { cfg, keys, main, cache, stats, scratch, .. } = self;
         let main = main.as_ref().expect("main table present");
 
         // Group by bucket set so each set hash is derived exactly once.
@@ -1001,7 +1058,7 @@ impl Shard {
                 verify_set(cfg, keys, main, stats, set)?;
                 verified = Some(set);
             }
-            if let Some(v) = get_in_bucket(cfg, keys, main, stats, bucket, batch[i])? {
+            if let Some(v) = get_in_bucket(cfg, keys, main, stats, scratch, bucket, batch[i])? {
                 if let Some(cache) = cache.as_mut() {
                     cache.put(batch[i], &v);
                 }
@@ -1051,7 +1108,7 @@ impl Shard {
             return Ok(());
         }
 
-        let Shard { cfg, keys, main, cache, index, stats, .. } = self;
+        let Shard { cfg, keys, main, cache, index, stats, scratch, .. } = self;
         let main = main.as_mut().expect("main table present");
 
         // Sort by (set, bucket, input position): grouped per set for the
@@ -1080,7 +1137,7 @@ impl Shard {
                 current = Some(set);
             }
             let (key, value) = items[i];
-            set_in_bucket(cfg, keys, main, stats, bucket, key, value)?;
+            set_in_bucket(cfg, keys, main, stats, scratch, bucket, key, value)?;
             if let Some(cache) = cache.as_mut() {
                 cache.put(key, value);
             }
@@ -1131,10 +1188,13 @@ impl Shard {
             self.stats.temp_table_ops += 1;
             // Remove any temp-table copy.
             let (cfg, keys) = (&self.cfg, &self.keys);
-            let removed_temp = delete_in(cfg, keys, &mut temp.ctx, &mut self.stats, key)?;
+            let removed_temp =
+                delete_in(cfg, keys, &mut temp.ctx, &mut self.stats, &mut self.scratch, key)?;
             // Check the frozen main for presence (verified search).
             let frozen = Arc::clone(self.frozen.as_ref().expect("frozen accompanies temp"));
-            let in_frozen = get_in(&self.cfg, &self.keys, &frozen, &mut self.stats, key)?.is_some();
+            let in_frozen =
+                get_in(&self.cfg, &self.keys, &frozen, &mut self.stats, &mut self.scratch, key)?
+                    .is_some();
             if !removed_temp && !in_frozen {
                 self.stats.misses += 1;
                 return Err(Error::KeyNotFound);
@@ -1149,7 +1209,7 @@ impl Shard {
             return Ok(());
         }
         let main = self.main.as_mut().expect("main table present");
-        if delete_in(&self.cfg, &self.keys, main, &mut self.stats, key)? {
+        if delete_in(&self.cfg, &self.keys, main, &mut self.stats, &mut self.scratch, key)? {
             if let Some(index) = self.index.as_mut() {
                 index.remove(key);
             }
@@ -1374,7 +1434,7 @@ impl Shard {
         // With MAC bucketing, also cross-check every chain length so an
         // unlinked entry in the restored table cannot hide.
         for bucket in 0..main.buckets() {
-            verify_absence_consistency(&self.cfg, main, bucket)?;
+            verify_absence_consistency(&self.cfg, main, &mut self.scratch, bucket)?;
         }
         Ok(())
     }
@@ -1408,18 +1468,36 @@ impl Shard {
 
         // Apply deletions first, then replay temp-table writes.
         for key in &temp.tombstones {
-            let _ = delete_in(&self.cfg, &self.keys, &mut main, &mut self.stats, key)?;
+            let _ = delete_in(
+                &self.cfg,
+                &self.keys,
+                &mut main,
+                &mut self.stats,
+                &mut self.scratch,
+                key,
+            )?;
         }
         let mut handles = Vec::new();
         temp.ctx.for_each_entry(|_, h| handles.push(h));
+        let mut plain = Vec::new();
         for h in handles {
             let header = temp.ctx.header(h);
             let ct = temp.ctx.ciphertext(h, &header);
-            if !entry::verify_mac(&self.keys.mac, &header, ct) {
+            // Fused verify+decrypt of the temp-table entry before it is
+            // re-sealed into the merged main table.
+            if !entry::open_entry(&self.keys.enc, &self.keys.mac, &header, ct, &mut plain) {
                 return Err(Error::IntegrityViolation { bucket: 0 });
             }
-            let (key, value) = entry::decrypt_entry(&self.keys.enc, &header, ct);
-            set_in(&self.cfg, &self.keys, &mut main, &mut self.stats, &key, &value)?;
+            let (key, value) = plain.split_at(header.key_len as usize);
+            set_in(
+                &self.cfg,
+                &self.keys,
+                &mut main,
+                &mut self.stats,
+                &mut self.scratch,
+                key,
+                value,
+            )?;
         }
         self.main = Some(main);
         Ok(())

@@ -157,13 +157,15 @@ impl ShieldStore {
         Ok(store)
     }
 
-    /// Logs `op` to the attached WAL, if any. Callers hold the owning
-    /// shard's lock, so the log observes the shard's apply order. A
-    /// commit failure surfaces as the operation's error even though the
-    /// in-memory write already landed: durability fails closed.
-    fn log_wal(&self, op: WalOp) -> Result<()> {
+    /// Logs an operation to the attached WAL, if any. Callers hold the
+    /// owning shard's lock, so the log observes the shard's apply order.
+    /// A commit failure surfaces as the operation's error even though
+    /// the in-memory write already landed: durability fails closed. The
+    /// record is built lazily so stores without a WAL pay no per-op
+    /// allocation for it.
+    fn log_wal(&self, op: impl FnOnce() -> WalOp) -> Result<()> {
         match self.wal.get() {
-            Some(wal) => wal.log([op]),
+            Some(wal) => wal.log([op()]),
             None => Ok(()),
         }
     }
@@ -216,7 +218,7 @@ impl ShieldStore {
     pub fn set(&self, key: &[u8], value: &[u8]) -> Result<()> {
         self.with_shard(self.shard_of(key), |s| {
             s.set(key, value)?;
-            self.log_wal(WalOp::Set { key: key.to_vec(), value: value.to_vec() })
+            self.log_wal(|| WalOp::Set { key: key.to_vec(), value: value.to_vec() })
         })
     }
 
@@ -224,7 +226,7 @@ impl ShieldStore {
     pub fn delete(&self, key: &[u8]) -> Result<()> {
         self.with_shard(self.shard_of(key), |s| {
             s.delete(key)?;
-            self.log_wal(WalOp::Delete { key: key.to_vec() })
+            self.log_wal(|| WalOp::Delete { key: key.to_vec() })
         })
     }
 
@@ -235,7 +237,7 @@ impl ShieldStore {
         self.with_shard(self.shard_of(key), |s| {
             let value = s.append_value(key, suffix)?;
             let len = value.len();
-            self.log_wal(WalOp::Set { key: key.to_vec(), value })?;
+            self.log_wal(|| WalOp::Set { key: key.to_vec(), value })?;
             Ok(len)
         })
     }
@@ -245,7 +247,10 @@ impl ShieldStore {
     pub fn increment(&self, key: &[u8], delta: i64) -> Result<i64> {
         self.with_shard(self.shard_of(key), |s| {
             let next = s.increment(key, delta)?;
-            self.log_wal(WalOp::Set { key: key.to_vec(), value: next.to_string().into_bytes() })?;
+            self.log_wal(|| WalOp::Set {
+                key: key.to_vec(),
+                value: next.to_string().into_bytes(),
+            })?;
             Ok(next)
         })
     }
@@ -412,6 +417,9 @@ impl ShieldStore {
             snap.wal_fsyncs = fsyncs;
             snap.hists.wal_group.merge(&hist);
         }
+        snap.crypto_bytes = shield_crypto::stats::crypto_bytes();
+        snap.crypto_ops = shield_crypto::stats::crypto_ops();
+        snap.crypto_backend = shield_crypto::stats::backend_code();
         snap.sim = self.enclave.stats().snapshot();
         snap
     }

@@ -1,0 +1,362 @@
+//! AES-128 via the x86-64 AES-NI instruction set.
+//!
+//! One `AESENC`/`AESENCLAST` round per instruction, key schedule via
+//! `AESKEYGENASSIST`, decryption round keys via `AESIMC` (the equivalent
+//! inverse cipher of FIPS 197 §5.3.5). Unlike the table-based fallback in
+//! [`crate::aes`], this path is constant-time: no data-dependent memory
+//! accesses.
+//!
+//! # Safety model
+//!
+//! Every function compiled with `#[target_feature(enable = "aes")]` is
+//! only reachable through [`AesNi::new`], which returns `None` unless
+//! `is_x86_feature_detected!("aes")` holds. Construction is the proof of
+//! CPU support; the safe public methods discharge the feature obligation
+//! with that invariant. The remaining `unsafe` blocks are raw-pointer
+//! loads/stores (`_mm_loadu_si128` / `_mm_storeu_si128`), each justified
+//! by slice bounds established immediately beforehand.
+
+use core::arch::x86_64::{
+    __m128i, _mm_aesdec_si128, _mm_aesdeclast_si128, _mm_aesenc_si128, _mm_aesenclast_si128,
+    _mm_aesimc_si128, _mm_aeskeygenassist_si128, _mm_loadu_si128, _mm_shuffle_epi32,
+    _mm_slli_si128, _mm_storeu_si128, _mm_xor_si128,
+};
+
+/// An expanded AES-128 key schedule held as `__m128i` round keys, with the
+/// `AESIMC`-transformed decryption schedule precomputed alongside.
+#[derive(Clone, Copy)]
+pub struct AesNi {
+    enc: [__m128i; 11],
+    dec: [__m128i; 11],
+}
+
+/// One round of the AES-128 key expansion: `AESKEYGENASSIST` on the
+/// previous round key (const round constant), broadcast of the relevant
+/// word, and the three-step xor-fold of the previous key.
+macro_rules! expand_round {
+    ($prev:expr, $rcon:literal) => {{
+        let gen = _mm_shuffle_epi32::<0b1111_1111>(_mm_aeskeygenassist_si128::<$rcon>($prev));
+        let mut k = _mm_xor_si128($prev, _mm_slli_si128::<4>($prev));
+        k = _mm_xor_si128(k, _mm_slli_si128::<4>(k));
+        k = _mm_xor_si128(k, _mm_slli_si128::<4>(k));
+        _mm_xor_si128(k, gen)
+    }};
+}
+
+impl AesNi {
+    /// Expands `key`, returning `None` when the CPU lacks AES-NI.
+    ///
+    /// A `Some` return is the capability token: every subsequent method
+    /// call on the value is safe because the feature check already passed
+    /// on this machine.
+    pub fn new(key: &[u8; 16]) -> Option<Self> {
+        if !crate::backend::aesni_available() {
+            return None;
+        }
+        // SAFETY: `aesni_available()` just confirmed the `aes` target
+        // feature (which is what `expand` is compiled for) is supported
+        // by the running CPU.
+        Some(unsafe { Self::expand(key) })
+    }
+
+    /// Key expansion body.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the CPU supports the `aes` target feature
+    /// (checked in [`AesNi::new`]).
+    #[target_feature(enable = "aes")]
+    unsafe fn expand(key: &[u8; 16]) -> Self {
+        // SAFETY: `key` is a valid 16-byte array; unaligned load reads
+        // exactly those 16 bytes.
+        let k0 = unsafe { _mm_loadu_si128(key.as_ptr().cast()) };
+        let mut enc = [k0; 11];
+        enc[1] = expand_round!(enc[0], 0x01);
+        enc[2] = expand_round!(enc[1], 0x02);
+        enc[3] = expand_round!(enc[2], 0x04);
+        enc[4] = expand_round!(enc[3], 0x08);
+        enc[5] = expand_round!(enc[4], 0x10);
+        enc[6] = expand_round!(enc[5], 0x20);
+        enc[7] = expand_round!(enc[6], 0x40);
+        enc[8] = expand_round!(enc[7], 0x80);
+        enc[9] = expand_round!(enc[8], 0x1b);
+        enc[10] = expand_round!(enc[9], 0x36);
+
+        // Equivalent inverse cipher: decryption uses the encryption keys
+        // in reverse order, with the inner nine passed through AESIMC.
+        let mut dec = [enc[10]; 11];
+        for i in 1..10 {
+            dec[i] = _mm_aesimc_si128(enc[10 - i]);
+        }
+        dec[10] = enc[0];
+        Self { enc, dec }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        // SAFETY: `self` exists, so `AesNi::new` proved CPU support for
+        // the `aes` feature `encrypt_one` is compiled with.
+        unsafe { self.encrypt_one(block) }
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        // SAFETY: `self` exists, so `AesNi::new` proved CPU support for
+        // the `aes` feature `decrypt_one` is compiled with.
+        unsafe { self.decrypt_one(block) }
+    }
+
+    /// Single-block encryption body.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the CPU supports the `aes` target feature
+    /// (guaranteed by `self` existing — see [`AesNi::new`]).
+    #[target_feature(enable = "aes")]
+    unsafe fn encrypt_one(&self, block: &mut [u8; 16]) {
+        // SAFETY: `block` is a valid 16-byte array; unaligned load/store
+        // touch exactly those 16 bytes.
+        unsafe {
+            let mut x = _mm_loadu_si128(block.as_ptr().cast());
+            x = self.encrypt_reg(x);
+            _mm_storeu_si128(block.as_mut_ptr().cast(), x);
+        }
+    }
+
+    /// Single-block decryption body.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the CPU supports the `aes` target feature
+    /// (guaranteed by `self` existing — see [`AesNi::new`]).
+    #[target_feature(enable = "aes")]
+    unsafe fn decrypt_one(&self, block: &mut [u8; 16]) {
+        // SAFETY: `block` is a valid 16-byte array; unaligned load/store
+        // touch exactly those 16 bytes.
+        unsafe {
+            let mut x = _mm_loadu_si128(block.as_ptr().cast());
+            x = _mm_xor_si128(x, self.dec[0]);
+            for rk in &self.dec[1..10] {
+                x = _mm_aesdec_si128(x, *rk);
+            }
+            x = _mm_aesdeclast_si128(x, self.dec[10]);
+            _mm_storeu_si128(block.as_mut_ptr().cast(), x);
+        }
+    }
+
+    /// Runs the full 10-round cipher on a register value.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the CPU supports the `aes` target feature
+    /// (guaranteed by `self` existing — see [`AesNi::new`]).
+    #[target_feature(enable = "aes")]
+    #[inline]
+    unsafe fn encrypt_reg(&self, mut x: __m128i) -> __m128i {
+        x = _mm_xor_si128(x, self.enc[0]);
+        for rk in &self.enc[1..10] {
+            x = _mm_aesenc_si128(x, *rk);
+        }
+        _mm_aesenclast_si128(x, self.enc[10])
+    }
+
+    /// Encrypts eight independent blocks, interleaving the round
+    /// instructions so all eight pipelines stay full.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the CPU supports the `aes` target feature
+    /// (guaranteed by `self` existing — see [`AesNi::new`]).
+    #[target_feature(enable = "aes")]
+    unsafe fn encrypt8(&self, blocks: &mut [[u8; 16]; 8]) {
+        let mut x = [self.enc[0]; 8];
+        for (lane, block) in x.iter_mut().zip(blocks.iter()) {
+            // SAFETY: each `block` is a valid 16-byte array; unaligned
+            // load reads exactly those 16 bytes.
+            *lane = _mm_xor_si128(*lane, unsafe { _mm_loadu_si128(block.as_ptr().cast()) });
+        }
+        // Round-major order: AESENC has multi-cycle latency but
+        // single-cycle throughput, so issuing the same round across all
+        // eight lanes before advancing hides the latency entirely.
+        for rk in &self.enc[1..10] {
+            for lane in x.iter_mut() {
+                *lane = _mm_aesenc_si128(*lane, *rk);
+            }
+        }
+        for (lane, block) in x.iter_mut().zip(blocks.iter_mut()) {
+            *lane = _mm_aesenclast_si128(*lane, self.enc[10]);
+            // SAFETY: each `block` is a valid 16-byte array; unaligned
+            // store writes exactly those 16 bytes.
+            unsafe { _mm_storeu_si128(block.as_mut_ptr().cast(), *lane) };
+        }
+    }
+
+    /// Encrypts the eight `counters` and XORs the keystream into the
+    /// 128-byte `data` without the keystream ever touching memory.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the CPU supports the `aes` target feature
+    /// (guaranteed by `self` existing — see [`AesNi::new`]), and that
+    /// `data.len() == 128`.
+    #[target_feature(enable = "aes")]
+    unsafe fn ctr_xor8_impl(&self, counters: &[[u8; 16]; 8], data: &mut [u8]) {
+        debug_assert_eq!(data.len(), 128);
+        let mut x = [self.enc[0]; 8];
+        for (lane, ctr) in x.iter_mut().zip(counters.iter()) {
+            // SAFETY: each `ctr` is a valid 16-byte array; unaligned load
+            // reads exactly those 16 bytes.
+            *lane = _mm_xor_si128(*lane, unsafe { _mm_loadu_si128(ctr.as_ptr().cast()) });
+        }
+        for rk in &self.enc[1..10] {
+            for lane in x.iter_mut() {
+                *lane = _mm_aesenc_si128(*lane, *rk);
+            }
+        }
+        for (i, lane) in x.iter_mut().enumerate() {
+            *lane = _mm_aesenclast_si128(*lane, self.enc[10]);
+            // SAFETY: the caller guarantees `data` is 128 bytes, so the
+            // 16-byte window at offset 16*i (i < 8) is in bounds for both
+            // the unaligned load and store.
+            unsafe {
+                let p = data.as_mut_ptr().add(16 * i);
+                let d = _mm_loadu_si128(p.cast());
+                _mm_storeu_si128(p.cast(), _mm_xor_si128(d, *lane));
+            }
+        }
+    }
+
+    /// CBC-MAC absorption: `state = E(state ^ m)` per block, keeping the
+    /// chaining state in a register across the whole slice.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the CPU supports the `aes` target feature
+    /// (guaranteed by `self` existing — see [`AesNi::new`]), and that
+    /// `blocks.len()` is a multiple of 16.
+    #[target_feature(enable = "aes")]
+    unsafe fn cmac_absorb_impl(&self, state: &mut [u8; 16], blocks: &[u8]) {
+        debug_assert_eq!(blocks.len() % 16, 0);
+        // SAFETY: `state` is a valid 16-byte array; unaligned load reads
+        // exactly those 16 bytes.
+        let mut x = unsafe { _mm_loadu_si128(state.as_ptr().cast()) };
+        for block in blocks.chunks_exact(16) {
+            // SAFETY: `chunks_exact(16)` guarantees `block` is 16 bytes.
+            let m = unsafe { _mm_loadu_si128(block.as_ptr().cast()) };
+            // SAFETY: same `aes` feature obligation as this function,
+            // which the caller has already discharged.
+            x = unsafe { self.encrypt_reg(_mm_xor_si128(x, m)) };
+        }
+        // SAFETY: `state` is a valid 16-byte array; unaligned store
+        // writes exactly those 16 bytes.
+        unsafe { _mm_storeu_si128(state.as_mut_ptr().cast(), x) };
+    }
+}
+
+impl crate::backend::Aes128Backend for AesNi {
+    fn encrypt_block(&self, block: &mut [u8; 16]) {
+        AesNi::encrypt_block(self, block);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8; 16]) {
+        AesNi::decrypt_block(self, block);
+    }
+
+    fn encrypt_blocks8(&self, blocks: &mut [[u8; 16]; 8]) {
+        // SAFETY: `self` exists, so `AesNi::new` proved CPU support for
+        // the `aes` feature `encrypt8` is compiled with.
+        unsafe { self.encrypt8(blocks) }
+    }
+
+    fn ctr_xor8(&self, counters: &[[u8; 16]; 8], data: &mut [u8]) {
+        assert_eq!(data.len(), 128, "ctr_xor8 requires a 128-byte span");
+        // SAFETY: `self` exists, so `AesNi::new` proved CPU support for
+        // the `aes` feature; the length contract was just asserted.
+        unsafe { self.ctr_xor8_impl(counters, data) }
+    }
+
+    fn cmac_absorb(&self, state: &mut [u8; 16], blocks: &[u8]) {
+        assert_eq!(blocks.len() % 16, 0, "cmac_absorb requires whole blocks");
+        // SAFETY: `self` exists, so `AesNi::new` proved CPU support for
+        // the `aes` feature; the length contract was just asserted.
+        unsafe { self.cmac_absorb_impl(state, blocks) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+    use crate::backend::Aes128Backend;
+
+    fn ni() -> Option<AesNi> {
+        AesNi::new(&[
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ])
+    }
+
+    /// FIPS 197 Appendix B on the hardware path.
+    #[test]
+    fn fips197_appendix_b() {
+        let Some(aes) = ni() else { return };
+        let mut block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let plain = block;
+        aes.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+                0x0b, 0x32
+            ]
+        );
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, plain);
+    }
+
+    /// Hardware and table paths must agree block-for-block on random
+    /// keys and plaintexts, both directions.
+    #[test]
+    fn matches_table_backend() {
+        if !crate::backend::aesni_available() {
+            return;
+        }
+        let mut seed = 0x0123_4567_89ab_cdefu64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u8
+        };
+        for _ in 0..256 {
+            let key: [u8; 16] = core::array::from_fn(|_| next());
+            let plain: [u8; 16] = core::array::from_fn(|_| next());
+            let hw = AesNi::new(&key).unwrap();
+            let sw = Aes128::new(&key);
+            let mut a = plain;
+            let mut b = plain;
+            hw.encrypt_block(&mut a);
+            sw.encrypt_block(&mut b);
+            assert_eq!(a, b, "encrypt mismatch");
+            hw.decrypt_block(&mut a);
+            assert_eq!(a, plain, "hw decrypt must invert");
+        }
+    }
+
+    #[test]
+    fn wide_matches_single() {
+        let Some(aes) = ni() else { return };
+        let mut wide: [[u8; 16]; 8] = core::array::from_fn(|i| [(i * 17) as u8; 16]);
+        let singles: Vec<[u8; 16]> = wide
+            .iter()
+            .map(|b| {
+                let mut c = *b;
+                aes.encrypt_block(&mut c);
+                c
+            })
+            .collect();
+        Aes128Backend::encrypt_blocks8(&aes, &mut wide);
+        assert_eq!(wide.to_vec(), singles);
+    }
+}

@@ -2,14 +2,21 @@
 //!
 //! The reproduction's stand-in for `sgx_rijndael128_cmac`, used for every
 //! entry MAC and every in-enclave bucket-set MAC hash (paper §4.2–4.3).
+//!
+//! The workhorse is the streaming [`CmacCtx`]: it buffers at most one
+//! block and hands every full run of interior blocks to the backend's
+//! `cmac_absorb`, which keeps the chaining state in a register on AES-NI
+//! hardware. A bucket-set's worth of entry MACs is absorbed in one pass
+//! with no intermediate concatenation; `compute`/`compute_parts` are thin
+//! wrappers over the same context.
 
-use crate::aes::Aes128;
+use crate::backend::{Aes128Backend, AesBackend, BackendKind};
 use crate::Tag128;
 
 /// AES-CMAC keyed message authentication.
 #[derive(Clone)]
 pub struct Cmac {
-    aes: Aes128,
+    aes: AesBackend,
     k1: [u8; 16],
     k2: [u8; 16],
 }
@@ -30,13 +37,37 @@ fn dbl(block: &[u8; 16]) -> [u8; 16] {
 }
 
 impl Cmac {
-    /// Creates a CMAC instance, deriving the two subkeys K1 and K2.
+    /// Creates a CMAC instance on the process-wide selected backend,
+    /// deriving the two subkeys K1 and K2.
     pub fn new(key: &[u8; 16]) -> Self {
-        let aes = Aes128::new(key);
+        Self::from_backend(AesBackend::new(key))
+    }
+
+    /// Creates a CMAC instance on an explicitly chosen backend
+    /// (equivalence tests and benchmarks; production uses [`Cmac::new`]).
+    pub fn with_backend(kind: BackendKind, key: &[u8; 16]) -> Self {
+        Self::from_backend(AesBackend::with_kind(kind, key))
+    }
+
+    fn from_backend(aes: AesBackend) -> Self {
         let l = aes.encrypt_to(&[0u8; 16]);
         let k1 = dbl(&l);
         let k2 = dbl(&k1);
         Self { aes, k1, k2 }
+    }
+
+    /// Which backend implementation this MAC dispatches to.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.aes.kind()
+    }
+
+    /// Starts a streaming MAC computation.
+    ///
+    /// Feed data with [`CmacCtx::update`] and close with
+    /// [`CmacCtx::finalize`]; the tag equals `compute` over the
+    /// concatenation of everything fed in, with no intermediate copy.
+    pub fn ctx(&self) -> CmacCtx<'_> {
+        CmacCtx { cmac: self, x: [0u8; 16], buf: [0u8; 16], buffered: 0, total: 0 }
     }
 
     /// Computes the 128-bit CMAC tag of `msg`.
@@ -50,7 +81,9 @@ impl Cmac {
     /// assert_ne!(t1, t2);
     /// ```
     pub fn compute(&self, msg: &[u8]) -> Tag128 {
-        self.compute_parts(&[msg])
+        let mut ctx = self.ctx();
+        ctx.update(msg);
+        ctx.finalize()
     }
 
     /// Computes the CMAC tag over the concatenation of `parts` without
@@ -59,50 +92,89 @@ impl Cmac {
     /// ShieldStore MAC-hashes are CMACs over many concatenated entry MACs
     /// (paper §4.3); this entry point avoids the copy.
     pub fn compute_parts(&self, parts: &[&[u8]]) -> Tag128 {
-        let total: usize = parts.iter().map(|p| p.len()).sum();
-        let mut x = [0u8; 16];
-        let mut buf = [0u8; 16];
-        let mut buffered = 0usize;
-        let mut consumed = 0usize;
-
+        let mut ctx = self.ctx();
         for part in parts {
-            for &byte in *part {
-                consumed += 1;
-                buf[buffered] = byte;
-                buffered += 1;
-                // Only process a full block if more input follows: the final
-                // block is handled specially below.
-                if buffered == 16 && consumed < total {
-                    for i in 0..16 {
-                        x[i] ^= buf[i];
-                    }
-                    self.aes.encrypt_block(&mut x);
-                    buffered = 0;
-                }
-            }
+            ctx.update(part);
         }
-
-        // Final block: complete -> XOR K1; partial/empty -> pad and XOR K2.
-        if total > 0 && buffered == 16 {
-            for i in 0..16 {
-                x[i] ^= buf[i] ^ self.k1[i];
-            }
-        } else {
-            buf[buffered] = 0x80;
-            for b in buf.iter_mut().skip(buffered + 1) {
-                *b = 0;
-            }
-            for i in 0..16 {
-                x[i] ^= buf[i] ^ self.k2[i];
-            }
-        }
-        self.aes.encrypt_block(&mut x);
-        x
+        ctx.finalize()
     }
 
     /// Verifies `tag` against the CMAC of `msg` in constant time.
     pub fn verify(&self, msg: &[u8], tag: &Tag128) -> bool {
         crate::constant_time::ct_eq(&self.compute(msg), tag)
+    }
+}
+
+/// An in-progress streaming CMAC computation (see [`Cmac::ctx`]).
+///
+/// Invariant: between calls, `buf[..buffered]` holds the undigested tail
+/// of the message. The final block of the message must receive the
+/// K1/K2 subkey treatment, so the context never absorbs its last
+/// buffered block until [`CmacCtx::finalize`] — after any `update` with
+/// nonzero total input, `1 <= buffered <= 16`.
+pub struct CmacCtx<'a> {
+    cmac: &'a Cmac,
+    x: [u8; 16],
+    buf: [u8; 16],
+    buffered: usize,
+    total: u64,
+}
+
+impl CmacCtx<'_> {
+    /// Absorbs `data` into the MAC state.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        self.total += data.len() as u64;
+        if self.buffered > 0 {
+            let take = (16 - self.buffered).min(data.len());
+            self.buf[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if data.is_empty() {
+                // The buffer may now be full, but nothing follows yet —
+                // it could be the final block, so leave it for finalize.
+                return;
+            }
+            // More input follows, so the buffered block is interior.
+            let block = self.buf;
+            self.cmac.aes.cmac_absorb(&mut self.x, &block);
+            self.buffered = 0;
+        }
+        // Absorb every full block except a possible final one: keep at
+        // least one byte back so finalize always has the last block.
+        let full = (data.len() - 1) / 16 * 16;
+        if full > 0 {
+            self.cmac.aes.cmac_absorb(&mut self.x, &data[..full]);
+        }
+        let rest = &data[full..];
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
+    }
+
+    /// Applies the RFC 4493 final-block treatment and returns the tag.
+    pub fn finalize(self) -> Tag128 {
+        crate::stats::note(self.total as usize);
+        let mut x = self.x;
+        let mut last = self.buf;
+        if self.total > 0 && self.buffered == 16 {
+            // Complete final block: XOR K1.
+            for i in 0..16 {
+                x[i] ^= last[i] ^ self.cmac.k1[i];
+            }
+        } else {
+            // Partial or empty final block: pad with 10* and XOR K2.
+            last[self.buffered] = 0x80;
+            for b in last.iter_mut().skip(self.buffered + 1) {
+                *b = 0;
+            }
+            for i in 0..16 {
+                x[i] ^= last[i] ^ self.cmac.k2[i];
+            }
+        }
+        self.cmac.aes.encrypt_block(&mut x);
+        x
     }
 }
 
@@ -125,16 +197,26 @@ mod tests {
              f69f2445df4f9b17ad2b417be66c3710")
     }
 
-    /// RFC 4493 test vectors 1-4.
+    fn backends() -> Vec<BackendKind> {
+        let mut kinds = vec![BackendKind::Soft];
+        if crate::backend::aesni_available() {
+            kinds.push(BackendKind::AesNi);
+        }
+        kinds
+    }
+
+    /// RFC 4493 test vectors 1-4, on every backend.
     #[test]
     fn rfc4493_vectors() {
-        let cmac = Cmac::new(&rfc_key());
-        let msg = rfc_msg();
+        for kind in backends() {
+            let cmac = Cmac::with_backend(kind, &rfc_key());
+            let msg = rfc_msg();
 
-        assert_eq!(cmac.compute(b"").to_vec(), hex("bb1d6929e95937287fa37d129b756746"));
-        assert_eq!(cmac.compute(&msg[..16]).to_vec(), hex("070a16b46b4d4144f79bdd9dd04a287c"));
-        assert_eq!(cmac.compute(&msg[..40]).to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
-        assert_eq!(cmac.compute(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+            assert_eq!(cmac.compute(b"").to_vec(), hex("bb1d6929e95937287fa37d129b756746"));
+            assert_eq!(cmac.compute(&msg[..16]).to_vec(), hex("070a16b46b4d4144f79bdd9dd04a287c"));
+            assert_eq!(cmac.compute(&msg[..40]).to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
+            assert_eq!(cmac.compute(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+        }
     }
 
     /// Subkey derivation from RFC 4493 section 4.
@@ -156,6 +238,25 @@ mod tests {
                 let parts =
                     cmac.compute_parts(&[&msg[..split1], &msg[split1..split2], &msg[split2..]]);
                 assert_eq!(whole, parts, "split at {split1}/{split2}");
+            }
+        }
+    }
+
+    /// Streaming updates must match one-shot computation at every split
+    /// of every length around the block boundary.
+    #[test]
+    fn ctx_streaming_matches_oneshot() {
+        for kind in backends() {
+            let cmac = Cmac::with_backend(kind, &[0x37u8; 16]);
+            let msg: Vec<u8> = (0..80u8).collect();
+            for len in 0..=msg.len() {
+                let whole = cmac.compute(&msg[..len]);
+                for split in 0..=len {
+                    let mut ctx = cmac.ctx();
+                    ctx.update(&msg[..split]);
+                    ctx.update(&msg[split..len]);
+                    assert_eq!(ctx.finalize(), whole, "len {len} split {split}");
+                }
             }
         }
     }

@@ -4,8 +4,16 @@
 //! are managed as one combined 128-bit block, incremented big-endian for
 //! each keystream block, exactly as the SGX SDK does (the paper stores the
 //! combined IV/counter field in each data entry for this reason, §4.2).
+//!
+//! The keystream is generated eight blocks at a time through the
+//! runtime-dispatched [`AesBackend`], so on AES-NI hardware all eight
+//! `AESENC` pipelines stay full and the keystream never round-trips
+//! through memory.
 
-use crate::aes::Aes128;
+use crate::backend::{Aes128Backend, AesBackend, BackendKind};
+
+/// Bytes processed per wide iteration (eight 16-byte keystream lanes).
+const WIDE: usize = 128;
 
 /// AES-128 in counter mode.
 ///
@@ -13,13 +21,25 @@ use crate::aes::Aes128;
 /// and decryption are the same operation ([`AesCtr::apply_keystream`]).
 #[derive(Clone)]
 pub struct AesCtr {
-    aes: Aes128,
+    aes: AesBackend,
 }
 
 impl AesCtr {
-    /// Creates a counter-mode cipher from a 128-bit key.
+    /// Creates a counter-mode cipher from a 128-bit key on the
+    /// process-wide selected backend.
     pub fn new(key: &[u8; 16]) -> Self {
-        Self { aes: Aes128::new(key) }
+        Self { aes: AesBackend::new(key) }
+    }
+
+    /// Creates a counter-mode cipher on an explicitly chosen backend
+    /// (equivalence tests and benchmarks; production uses [`AesCtr::new`]).
+    pub fn with_backend(kind: BackendKind, key: &[u8; 16]) -> Self {
+        Self { aes: AesBackend::with_kind(kind, key) }
+    }
+
+    /// Which backend implementation this cipher dispatches to.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.aes.kind()
     }
 
     /// XORs the keystream for `iv_ctr` into `data`, encrypting or
@@ -40,31 +60,37 @@ impl AesCtr {
     /// assert_eq!(&msg, b"hello shieldstore");
     /// ```
     pub fn apply_keystream(&self, iv_ctr: &[u8; 16], data: &mut [u8]) {
+        crate::stats::note(data.len());
         let mut counter = *iv_ctr;
-        // Wide path: derive four counter blocks at a time and encrypt
-        // each in place, XORing 64 bytes per iteration. Keeping four
-        // independent encryptions adjacent lets the key schedule stay
-        // hot and avoids a per-block copy through `encrypt_to`.
-        let mut chunks = data.chunks_exact_mut(64);
+        self.xor_span(&mut counter, data);
+    }
+
+    /// Keystream core: XORs the keystream starting at `*counter` into
+    /// `data`, advancing the counter one block per 16 bytes consumed.
+    ///
+    /// Spans fed back-to-back must be multiples of 16 bytes (except the
+    /// last) so the counter stays block-aligned; [`crate::fused`] relies
+    /// on this to interleave decryption with MAC absorption.
+    pub(crate) fn xor_span(&self, counter: &mut [u8; 16], data: &mut [u8]) {
+        // Wide path: eight counter blocks at a time. The backend encrypts
+        // all eight lanes and XORs the 128 keystream bytes in, keeping
+        // every AES pipeline busy on hardware backends.
+        let mut chunks = data.chunks_exact_mut(WIDE);
         for chunk in &mut chunks {
-            let mut ks = [counter; 4];
-            for block in ks.iter_mut() {
-                *block = counter;
-                self.aes.encrypt_block(block);
-                increment_be(&mut counter);
+            let mut ctrs = [[0u8; 16]; 8];
+            for lane in ctrs.iter_mut() {
+                *lane = *counter;
+                increment_be(counter);
             }
-            for (b, k) in chunk.iter_mut().zip(ks.iter().flatten()) {
-                *b ^= k;
-            }
+            self.aes.ctr_xor8(&ctrs, chunk);
         }
-        // Tail: at most three full blocks plus a partial block.
+        // Tail: at most seven full blocks plus a partial block.
         for chunk in chunks.into_remainder().chunks_mut(16) {
-            let mut block = counter;
-            self.aes.encrypt_block(&mut block);
+            let block = self.aes.encrypt_to(counter);
             for (b, k) in chunk.iter_mut().zip(block.iter()) {
                 *b ^= k;
             }
-            increment_be(&mut counter);
+            increment_be(counter);
         }
     }
 
@@ -96,7 +122,15 @@ mod tests {
         (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
-    /// NIST SP 800-38A, F.5.1 (CTR-AES128.Encrypt).
+    fn backends() -> Vec<BackendKind> {
+        let mut kinds = vec![BackendKind::Soft];
+        if crate::backend::aesni_available() {
+            kinds.push(BackendKind::AesNi);
+        }
+        kinds
+    }
+
+    /// NIST SP 800-38A, F.5.1 (CTR-AES128.Encrypt), on every backend.
     #[test]
     fn nist_sp800_38a_f51() {
         let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
@@ -109,13 +143,15 @@ mod tests {
              9806f66b7970fdff8617187bb9fffdff\
              5ae4df3edbd5d35e5b4f09020db03eab\
              1e031dda2fbe03d1792170a0f3009cee");
-        let ctr = AesCtr::new(&key);
-        let mut data = plaintext.clone();
-        ctr.apply_keystream(&iv, &mut data);
-        assert_eq!(data, expected);
-        // Decryption is the same operation.
-        ctr.apply_keystream(&iv, &mut data);
-        assert_eq!(data, plaintext);
+        for kind in backends() {
+            let ctr = AesCtr::with_backend(kind, &key);
+            let mut data = plaintext.clone();
+            ctr.apply_keystream(&iv, &mut data);
+            assert_eq!(data, expected, "{}", kind.name());
+            // Decryption is the same operation.
+            ctr.apply_keystream(&iv, &mut data);
+            assert_eq!(data, plaintext, "{}", kind.name());
+        }
     }
 
     #[test]
@@ -133,39 +169,64 @@ mod tests {
 
     #[test]
     fn partial_block_tail() {
-        let ctr = AesCtr::new(&[3u8; 16]);
-        let iv = [0u8; 16];
-        let mut data = vec![0xaau8; 37]; // 2 full blocks + 5-byte tail
-        ctr.apply_keystream(&iv, &mut data);
-        let mut copy = data.clone();
-        ctr.apply_keystream(&iv, &mut copy);
-        assert_eq!(copy, vec![0xaau8; 37]);
+        for kind in backends() {
+            let ctr = AesCtr::with_backend(kind, &[3u8; 16]);
+            let iv = [0u8; 16];
+            let mut data = vec![0xaau8; 37]; // 2 full blocks + 5-byte tail
+            ctr.apply_keystream(&iv, &mut data);
+            let mut copy = data.clone();
+            ctr.apply_keystream(&iv, &mut copy);
+            assert_eq!(copy, vec![0xaau8; 37]);
+        }
     }
 
-    /// The widened 4-block path must match a one-block-at-a-time
+    /// The widened 8-block path must match a one-block-at-a-time
     /// reference at every length across the wide/tail seam.
     #[test]
     fn wide_path_matches_single_block_reference() {
-        let ctr = AesCtr::new(&[0x5cu8; 16]);
-        let mut iv = [0u8; 16];
-        // Start near a carry boundary so block increments ripple bytes.
-        iv[14] = 0xff;
-        iv[15] = 0xfe;
-        for len in 0..=130usize {
-            let src: Vec<u8> = (0..len).map(|i| i as u8).collect();
-            let mut wide = src.clone();
-            ctr.apply_keystream(&iv, &mut wide);
-            // Reference: one block per iteration via encrypt_to.
-            let mut reference = src.clone();
-            let mut counter = iv;
-            for chunk in reference.chunks_mut(16) {
-                let ks = ctr.aes.encrypt_to(&counter);
-                for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-                    *b ^= k;
+        for kind in backends() {
+            let ctr = AesCtr::with_backend(kind, &[0x5cu8; 16]);
+            let mut iv = [0u8; 16];
+            // Start near a carry boundary so block increments ripple bytes.
+            iv[14] = 0xff;
+            iv[15] = 0xfe;
+            for len in 0..=260usize {
+                let src: Vec<u8> = (0..len).map(|i| i as u8).collect();
+                let mut wide = src.clone();
+                ctr.apply_keystream(&iv, &mut wide);
+                // Reference: one block per iteration via encrypt_to.
+                let mut reference = src.clone();
+                let mut counter = iv;
+                for chunk in reference.chunks_mut(16) {
+                    let ks = ctr.aes.encrypt_to(&counter);
+                    for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                        *b ^= k;
+                    }
+                    increment_be(&mut counter);
                 }
-                increment_be(&mut counter);
+                assert_eq!(wide, reference, "mismatch at len {len} on {}", kind.name());
             }
-            assert_eq!(wide, reference, "mismatch at len {len}");
+        }
+    }
+
+    /// Resuming a stream through `xor_span` at 16-byte-aligned splits
+    /// must match one continuous application.
+    #[test]
+    fn span_resume_matches_whole() {
+        for kind in backends() {
+            let ctr = AesCtr::with_backend(kind, &[0x11u8; 16]);
+            let iv = [0xabu8; 16];
+            let src: Vec<u8> = (0..300).map(|i| (i * 7) as u8).collect();
+            let mut whole = src.clone();
+            ctr.apply_keystream(&iv, &mut whole);
+            for split in [0usize, 16, 128, 144, 288] {
+                let mut parts = src.clone();
+                let mut counter = iv;
+                let (a, b) = parts.split_at_mut(split);
+                ctr.xor_span(&mut counter, a);
+                ctr.xor_span(&mut counter, b);
+                assert_eq!(parts, whole, "split {split} on {}", kind.name());
+            }
         }
     }
 

@@ -78,14 +78,19 @@ impl Drbg {
 
     /// Fills `out` with generator output.
     pub fn fill_bytes(&mut self, out: &mut [u8]) {
-        for byte in out.iter_mut() {
+        let mut out = out;
+        while !out.is_empty() {
             if self.buf_pos == 64 {
                 self.buf = chacha20_block(&self.key, self.counter, &[0u8; 12]);
                 self.counter = self.counter.wrapping_add(1);
                 self.buf_pos = 0;
             }
-            *byte = self.buf[self.buf_pos];
-            self.buf_pos += 1;
+            // Copy as much of the buffered block as the output needs.
+            let take = (64 - self.buf_pos).min(out.len());
+            let (dst, rest) = out.split_at_mut(take);
+            dst.copy_from_slice(&self.buf[self.buf_pos..self.buf_pos + take]);
+            self.buf_pos += take;
+            out = rest;
         }
     }
 

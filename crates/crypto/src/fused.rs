@@ -1,0 +1,165 @@
+//! Fused MAC-verify + CTR-decrypt ("fused open").
+//!
+//! ShieldStore opens an entry by CMAC-verifying the ciphertext and then
+//! CTR-decrypting it — two independent passes over the same bytes. This
+//! module fuses them: the ciphertext is walked once in spans, each span
+//! absorbed into the streaming MAC and XORed with keystream while it is
+//! still hot in cache, halving memory traffic on the get hit path.
+//!
+//! # Verification ordering
+//!
+//! The plaintext is staged into a caller-owned buffer *during* the pass,
+//! but it is **released only after** the computed tag matches the stored
+//! one (constant-time compare). On mismatch the staging buffer is wiped
+//! and cleared before returning, so no caller observes unauthenticated
+//! plaintext — the fused path fails exactly as closed as verify-then-
+//! decrypt.
+
+use crate::cmac::Cmac;
+use crate::constant_time::ct_eq;
+use crate::ctr::AesCtr;
+use crate::Tag128;
+
+/// Span size for interleaving: a multiple of both the 16-byte block and
+/// the 128-byte wide-CTR stride, small enough to stay in L1.
+const SPAN: usize = 512;
+
+/// Verifies `tag` over `prefix ‖ ciphertext ‖ trailer` and, if it
+/// matches, leaves the decryption of `ciphertext` (under `iv`) in `out`.
+///
+/// Returns `true` on success. On failure `out` is wiped and emptied; its
+/// capacity is reused across calls, so a caller-held scratch vector makes
+/// the whole open allocation-free once warm.
+///
+/// `prefix`/`trailer` are the authenticated-but-unencrypted parts around
+/// the ciphertext in MAC order — e.g. an entry MAC covers
+/// `(ciphertext, key_len, val_len, hint, iv)`, so `prefix` is empty and
+/// those four fields form the trailer.
+#[allow(clippy::too_many_arguments)]
+pub fn open_verify(
+    enc: &AesCtr,
+    mac: &Cmac,
+    iv: &[u8; 16],
+    prefix: &[&[u8]],
+    ciphertext: &[u8],
+    trailer: &[&[u8]],
+    tag: &Tag128,
+    out: &mut Vec<u8>,
+) -> bool {
+    crate::stats::note(ciphertext.len());
+    let mut ctx = mac.ctx();
+    for part in prefix {
+        ctx.update(part);
+    }
+    out.clear();
+    out.extend_from_slice(ciphertext);
+    let mut counter = *iv;
+    // One pass: absorb each span into the MAC and decrypt it in place
+    // while the cache line is hot. All spans except possibly the last
+    // are SPAN bytes (a multiple of 16), keeping the counter aligned.
+    for (ct_span, pt_span) in ciphertext.chunks(SPAN).zip(out.chunks_mut(SPAN)) {
+        ctx.update(ct_span);
+        enc.xor_span(&mut counter, pt_span);
+    }
+    for part in trailer {
+        ctx.update(part);
+    }
+    let computed = ctx.finalize();
+    if ct_eq(&computed, tag) {
+        true
+    } else {
+        // Never release unauthenticated plaintext.
+        out.iter_mut().for_each(|b| *b = 0);
+        out.clear();
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{aesni_available, BackendKind};
+
+    fn backends() -> Vec<BackendKind> {
+        let mut kinds = vec![BackendKind::Soft];
+        if aesni_available() {
+            kinds.push(BackendKind::AesNi);
+        }
+        kinds
+    }
+
+    fn seal(enc: &AesCtr, mac: &Cmac, iv: &[u8; 16], plain: &[u8]) -> (Vec<u8>, Tag128) {
+        let mut ct = plain.to_vec();
+        enc.apply_keystream(iv, &mut ct);
+        let tag = mac.compute_parts(&[&ct, b"trail", iv]);
+        (ct, tag)
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for kind in backends() {
+            let enc = AesCtr::with_backend(kind, &[1u8; 16]);
+            let mac = Cmac::with_backend(kind, &[2u8; 16]);
+            let iv = [9u8; 16];
+            for len in (0..=130).chain([511, 512, 513, 1200]) {
+                let plain: Vec<u8> = (0..len).map(|i| (i * 3) as u8).collect();
+                let (ct, tag) = seal(&enc, &mac, &iv, &plain);
+                let mut out = Vec::new();
+                assert!(
+                    open_verify(&enc, &mac, &iv, &[], &ct, &[b"trail", &iv], &tag, &mut out),
+                    "len {len} on {}",
+                    kind.name()
+                );
+                assert_eq!(out, plain, "len {len} on {}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fails_closed_on_tamper() {
+        let enc = AesCtr::new(&[1u8; 16]);
+        let mac = Cmac::new(&[2u8; 16]);
+        let iv = [7u8; 16];
+        let plain = vec![0x5au8; 777];
+        let (ct, tag) = seal(&enc, &mac, &iv, &plain);
+        let mut out = Vec::new();
+
+        // Flip one ciphertext bit.
+        let mut bad_ct = ct.clone();
+        bad_ct[400] ^= 1;
+        assert!(!open_verify(&enc, &mac, &iv, &[], &bad_ct, &[b"trail", &iv], &tag, &mut out));
+        assert!(out.is_empty(), "no plaintext may escape a failed open");
+
+        // Flip one tag bit.
+        let mut bad_tag = tag;
+        bad_tag[15] ^= 0x80;
+        assert!(!open_verify(&enc, &mac, &iv, &[], &ct, &[b"trail", &iv], &bad_tag, &mut out));
+        assert!(out.is_empty());
+
+        // Tamper with the authenticated trailer.
+        assert!(!open_verify(&enc, &mac, &iv, &[], &ct, &[b"trai1", &iv], &tag, &mut out));
+        assert!(out.is_empty());
+
+        // The honest open still succeeds with the same scratch buffer.
+        assert!(open_verify(&enc, &mac, &iv, &[], &ct, &[b"trail", &iv], &tag, &mut out));
+        assert_eq!(out, plain);
+    }
+
+    #[test]
+    fn prefix_is_authenticated_in_order() {
+        let enc = AesCtr::new(&[3u8; 16]);
+        let mac = Cmac::new(&[4u8; 16]);
+        let iv = [1u8; 16];
+        let plain = b"session frame payload".to_vec();
+        let mut ct = plain.clone();
+        enc.apply_keystream(&iv, &mut ct);
+        // MAC order: iv first, then ciphertext (the session-frame layout).
+        let tag = mac.compute_parts(&[&iv, &ct]);
+        let mut out = Vec::new();
+        assert!(open_verify(&enc, &mac, &iv, &[&iv], &ct, &[], &tag, &mut out));
+        assert_eq!(out, plain);
+        let wrong_iv = [2u8; 16];
+        assert!(!open_verify(&enc, &mac, &iv, &[&wrong_iv], &ct, &[], &tag, &mut out));
+        assert!(out.is_empty());
+    }
+}

@@ -8,8 +8,13 @@
 //! crypto dependencies:
 //!
 //! * [`aes`] — AES-128 block cipher (FIPS 197), table-based.
+//! * [`aesni`] — AES-128 via x86-64 AES-NI instructions (hardware path).
+//! * [`backend`] — runtime dispatch between the two implementations,
+//!   detected once per process and overridable with the
+//!   `SHIELDSTORE_CRYPTO_BACKEND` environment variable.
 //! * [`ctr`] — AES-128 counter mode ([`ctr::AesCtr`]), the entry cipher.
 //! * [`cmac`] — AES-CMAC (RFC 4493), the entry/bucket MAC.
+//! * [`fused`] — fused MAC-verify + CTR-decrypt for the get hit path.
 //! * [`sha256`] — SHA-256 (FIPS 180-4), used for enclave measurements.
 //! * [`hmac`] — HMAC-SHA256 (RFC 2104) and an HKDF-style KDF.
 //! * [`siphash`] — SipHash-2-4, the keyed hash for bucket indices and the
@@ -41,17 +46,28 @@
 //! assert_eq!(mac.len(), 16);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// the [`aesni`] module, whose intrinsic calls each carry a documented
+// safety contract (and `unsafe_op_in_unsafe_fn` keeps every one explicit).
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 #![warn(missing_docs)]
 
 pub mod aes;
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+pub mod aesni;
+pub mod backend;
 pub mod cmac;
 pub mod constant_time;
 pub mod ctr;
 pub mod drbg;
+pub mod fused;
 pub mod hmac;
 pub mod sha256;
 pub mod siphash;
+pub mod stats;
 pub mod x25519;
 
 /// Length in bytes of an AES-128 key, block, IV/counter, and CMAC tag.

@@ -1,0 +1,249 @@
+//! Backend equivalence: the table-based software AES and the AES-NI
+//! hardware path must produce byte-identical output for every input.
+//!
+//! The hard correctness bar of the runtime-dispatch design is that
+//! backend choice is *unobservable* except through speed: ciphertexts,
+//! keystreams, and tags must match bit-for-bit, or sealed data written
+//! on one machine would fail verification on another. These tests cover
+//! every message length 0..=257 deterministically and random keys/IVs
+//! via proptest; on machines without AES-NI they degenerate to
+//! exercising the software path alone (CI runs the forced-soft matrix
+//! leg for the same reason).
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use shield_crypto::aes::Aes128;
+use shield_crypto::backend::{aesni_available, Aes128Backend, AesBackend, BackendKind};
+use shield_crypto::cmac::Cmac;
+use shield_crypto::ctr::AesCtr;
+use shield_crypto::fused;
+
+/// A small deterministic byte generator (splitmix-style) so the
+/// exhaustive-length sweep uses different keys/IVs at every length.
+struct Gen(u64);
+
+impl Gen {
+    fn byte(&mut self) -> u8 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) as u8
+    }
+
+    fn block(&mut self) -> [u8; 16] {
+        core::array::from_fn(|_| self.byte())
+    }
+
+    fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.byte()).collect()
+    }
+}
+
+/// Every message length 0..=257, fresh random key/IV per length:
+/// CTR keystreams, CMAC tags, and fused opens must agree between the
+/// two backends.
+#[test]
+fn all_lengths_0_to_257_byte_identical() {
+    if !aesni_available() {
+        return;
+    }
+    let mut gen = Gen(0x00d1_ce0f_da7a);
+    for len in 0..=257usize {
+        let key = gen.block();
+        let mac_key = gen.block();
+        let mut iv = gen.block();
+        // Exercise counter carries at some lengths.
+        if len % 3 == 0 {
+            iv[15] = 0xff;
+            iv[14] = 0xff;
+        }
+        let msg = gen.bytes(len);
+
+        let soft_ctr = AesCtr::with_backend(BackendKind::Soft, &key);
+        let ni_ctr = AesCtr::with_backend(BackendKind::AesNi, &key);
+        let mut a = msg.clone();
+        let mut b = msg.clone();
+        soft_ctr.apply_keystream(&iv, &mut a);
+        ni_ctr.apply_keystream(&iv, &mut b);
+        assert_eq!(a, b, "CTR mismatch at len {len}");
+
+        let soft_mac = Cmac::with_backend(BackendKind::Soft, &mac_key);
+        let ni_mac = Cmac::with_backend(BackendKind::AesNi, &mac_key);
+        assert_eq!(soft_mac.compute(&msg), ni_mac.compute(&msg), "CMAC mismatch at len {len}");
+
+        // Fused open on each backend must invert the other's seal.
+        let tag = soft_mac.compute_parts(&[&a, &iv]);
+        let mut out = Vec::new();
+        assert!(
+            fused::open_verify(&ni_ctr, &ni_mac, &iv, &[], &a, &[&iv], &tag, &mut out),
+            "NI fused open rejected soft seal at len {len}"
+        );
+        assert_eq!(out, msg, "fused plaintext mismatch at len {len}");
+    }
+}
+
+/// Raw block encrypt/decrypt equivalence across many random keys.
+#[test]
+fn block_ops_byte_identical() {
+    if !aesni_available() {
+        return;
+    }
+    let mut gen = Gen(0xb10c);
+    for _ in 0..512 {
+        let key = gen.block();
+        let plain = gen.block();
+        let soft = AesBackend::with_kind(BackendKind::Soft, &key);
+        let ni = AesBackend::with_kind(BackendKind::AesNi, &key);
+        let ct_soft = soft.encrypt_to(&plain);
+        let ct_ni = ni.encrypt_to(&plain);
+        assert_eq!(ct_soft, ct_ni);
+        let mut back = ct_ni;
+        soft.decrypt_block(&mut back);
+        assert_eq!(back, plain, "soft decrypt of NI ciphertext");
+        let mut back = ct_soft;
+        ni.decrypt_block(&mut back);
+        assert_eq!(back, plain, "NI decrypt of soft ciphertext");
+    }
+}
+
+/// The widened entry points must agree across backends too — they are
+/// what the hot paths actually call.
+#[test]
+fn wide_entry_points_byte_identical() {
+    if !aesni_available() {
+        return;
+    }
+    let mut gen = Gen(0x81de);
+    for _ in 0..64 {
+        let key = gen.block();
+        let soft = AesBackend::with_kind(BackendKind::Soft, &key);
+        let ni = AesBackend::with_kind(BackendKind::AesNi, &key);
+
+        let blocks: [[u8; 16]; 8] = core::array::from_fn(|_| gen.block());
+        let mut a = blocks;
+        let mut b = blocks;
+        soft.encrypt_blocks8(&mut a);
+        ni.encrypt_blocks8(&mut b);
+        assert_eq!(a, b, "encrypt_blocks8");
+
+        let counters: [[u8; 16]; 8] = core::array::from_fn(|_| gen.block());
+        let mut da = gen.bytes(128);
+        let mut db = da.clone();
+        soft.ctr_xor8(&counters, &mut da);
+        ni.ctr_xor8(&counters, &mut db);
+        assert_eq!(da, db, "ctr_xor8");
+
+        let mut sa = gen.block();
+        let mut sb = sa;
+        let stream = gen.bytes(16 * 9);
+        soft.cmac_absorb(&mut sa, &stream);
+        ni.cmac_absorb(&mut sb, &stream);
+        assert_eq!(sa, sb, "cmac_absorb");
+    }
+}
+
+/// The Aes128 table cipher and the AesNi cipher both satisfy FIPS 197
+/// Appendix C.1 through the trait entry points.
+#[test]
+fn fips197_c1_through_trait() {
+    let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+    let plain = [
+        0x00u8, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee,
+        0xff,
+    ];
+    let expect = [
+        0x69u8, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5,
+        0x5a,
+    ];
+    let mut block = plain;
+    Aes128Backend::encrypt_block(&Aes128::new(&key), &mut block);
+    assert_eq!(block, expect);
+    if aesni_available() {
+        let mut block = plain;
+        Aes128Backend::encrypt_block(&AesBackend::with_kind(BackendKind::AesNi, &key), &mut block);
+        assert_eq!(block, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    /// Random keys/IVs/messages: CTR output identical across backends.
+    #[test]
+    fn prop_ctr_equivalent(
+        key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+        data in pvec(any::<u8>(), 0..600),
+    ) {
+        if !aesni_available() {
+            return Ok(());
+        }
+        let mut a = data.clone();
+        let mut b = data.clone();
+        AesCtr::with_backend(BackendKind::Soft, &key).apply_keystream(&iv, &mut a);
+        AesCtr::with_backend(BackendKind::AesNi, &key).apply_keystream(&iv, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Random keys/messages/splits: CMAC tags identical across backends,
+    /// including through the streaming context.
+    #[test]
+    fn prop_cmac_equivalent(
+        key in any::<[u8; 16]>(),
+        data in pvec(any::<u8>(), 0..400),
+        cut in 0usize..401,
+    ) {
+        if !aesni_available() {
+            return Ok(());
+        }
+        let cut = cut.min(data.len());
+        let soft = Cmac::with_backend(BackendKind::Soft, &key);
+        let ni = Cmac::with_backend(BackendKind::AesNi, &key);
+        prop_assert_eq!(soft.compute(&data), ni.compute(&data));
+        let mut ctx = ni.ctx();
+        ctx.update(&data[..cut]);
+        ctx.update(&data[cut..]);
+        prop_assert_eq!(ctx.finalize(), soft.compute(&data));
+    }
+
+    /// Cross-backend seal/open: data sealed by either backend opens
+    /// (fused) under the other, and tampering is rejected by both.
+    #[test]
+    fn prop_fused_open_cross_backend(
+        key in any::<[u8; 16]>(),
+        mac_key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+        data in pvec(any::<u8>(), 0..300),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        if !aesni_available() {
+            return Ok(());
+        }
+        for (seal_kind, open_kind) in
+            [(BackendKind::Soft, BackendKind::AesNi), (BackendKind::AesNi, BackendKind::Soft)]
+        {
+            let seal_ctr = AesCtr::with_backend(seal_kind, &key);
+            let seal_mac = Cmac::with_backend(seal_kind, &mac_key);
+            let open_ctr = AesCtr::with_backend(open_kind, &key);
+            let open_mac = Cmac::with_backend(open_kind, &mac_key);
+
+            let mut ct = data.clone();
+            seal_ctr.apply_keystream(&iv, &mut ct);
+            let tag = seal_mac.compute_parts(&[&ct, &iv]);
+
+            let mut out = Vec::new();
+            prop_assert!(fused::open_verify(
+                &open_ctr, &open_mac, &iv, &[], &ct, &[&iv], &tag, &mut out
+            ));
+            prop_assert_eq!(&out, &data);
+
+            if !ct.is_empty() {
+                let mut bad = ct.clone();
+                let at = flip.index(bad.len());
+                bad[at] ^= 1;
+                prop_assert!(!fused::open_verify(
+                    &open_ctr, &open_mac, &iv, &[], &bad, &[&iv], &tag, &mut out
+                ));
+                prop_assert!(out.is_empty());
+            }
+        }
+    }
+}

@@ -150,6 +150,17 @@ fn print_dashboard(snap: &StatsSnapshot) {
     }
     println!();
 
+    println!("-- crypto --");
+    let backend = match snap.crypto_backend {
+        0 => "soft (table-based AES)",
+        1 => "aesni (hardware AES)",
+        _ => "unknown",
+    };
+    println!("{:<28} {}", "backend", backend);
+    println!("{:<28} {}", "crypto_bytes", snap.crypto_bytes);
+    println!("{:<28} {}", "crypto_ops", snap.crypto_ops);
+    println!();
+
     println!("-- sgx model --");
     let s = &snap.sim;
     println!("{:<28} {}", "ecalls", s.ecalls);
@@ -197,7 +208,8 @@ fn to_json(snap: &StatsSnapshot) -> String {
          \"cache_used_bytes\":{},\"cache_entries\":{},\
          \"wal_bytes\":{},\"wal_records\":{},\"wal_fsyncs\":{},\
          \"quarantined_sets\":{},\"quarantined_shards\":{},\
-         \"shed_requests\":{},\"refused_connections\":{},",
+         \"shed_requests\":{},\"refused_connections\":{},\
+         \"crypto_bytes\":{},\"crypto_ops\":{},\"crypto_backend\":{},",
         snap.entries,
         snap.shards,
         snap.heap_live_bytes,
@@ -210,7 +222,10 @@ fn to_json(snap: &StatsSnapshot) -> String {
         snap.quarantined_sets,
         snap.quarantined_shards,
         snap.shed_requests,
-        snap.refused_connections
+        snap.refused_connections,
+        snap.crypto_bytes,
+        snap.crypto_ops,
+        snap.crypto_backend
     ));
     let s = &snap.sim;
     out.push_str(&format!(

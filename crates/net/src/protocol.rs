@@ -445,7 +445,7 @@ pub fn decode_multi_set(bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
 /// Version tag of the [`encode_stats`] layout. Bumped whenever the field
 /// order or width changes, so a stale client fails closed instead of
 /// misreading counters.
-pub const STATS_WIRE_VERSION: u8 = 3;
+pub const STATS_WIRE_VERSION: u8 = 4;
 
 /// The sim-counter serialization order of [`encode_stats`], fixed here so
 /// encode and decode cannot drift apart.
@@ -488,6 +488,7 @@ fn sim_from_array(a: [u64; SIM_FIELDS]) -> sgx_sim::stats::StatsSnapshot {
 /// [ entries | shards | heap_live | heap_chunks | cache_used | cache_entries ]
 /// [ wal_bytes | wal_records | wal_fsyncs ]
 /// [ quarantined_sets | quarantined_shards | shed_requests | refused_connections ]
+/// [ crypto_bytes | crypto_ops | crypto_backend ]
 /// [ sim_field_count u8 ] ( sim counter u64 )*
 /// ```
 ///
@@ -497,7 +498,7 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
     use shieldstore::hist::NUM_BUCKETS;
     use shieldstore::OpStats;
     let mut out = Vec::with_capacity(
-        2 + 8 * OpStats::FIELDS.len() + 5 * 8 * (NUM_BUCKETS + 2) + 13 * 8 + 1 + 8 * SIM_FIELDS,
+        2 + 8 * OpStats::FIELDS.len() + 5 * 8 * (NUM_BUCKETS + 2) + 16 * 8 + 1 + 8 * SIM_FIELDS,
     );
     out.push(STATS_WIRE_VERSION);
     out.push(OpStats::FIELDS.len() as u8);
@@ -525,6 +526,9 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
         snap.quarantined_shards,
         snap.shed_requests,
         snap.refused_connections,
+        snap.crypto_bytes,
+        snap.crypto_ops,
+        snap.crypto_backend,
     ] {
         out.extend_from_slice(&gauge.to_le_bytes());
     }
@@ -603,6 +607,9 @@ pub fn decode_stats(bytes: &[u8]) -> Result<shieldstore::StatsSnapshot> {
     snap.quarantined_shards = r.u64()?;
     snap.shed_requests = r.u64()?;
     snap.refused_connections = r.u64()?;
+    snap.crypto_bytes = r.u64()?;
+    snap.crypto_ops = r.u64()?;
+    snap.crypto_backend = r.u64()?;
     if r.bytes.first() != Some(&(SIM_FIELDS as u8)) {
         return Err(NetError::Protocol("stats sim field count mismatch".into()));
     }
@@ -797,6 +804,9 @@ mod tests {
         snap.quarantined_shards = 1;
         snap.shed_requests = 13;
         snap.refused_connections = 4;
+        snap.crypto_bytes = 1 << 30;
+        snap.crypto_ops = 4242;
+        snap.crypto_backend = 1;
         snap.sim.ecalls = 77;
         snap.sim.epc_faults = 5;
         snap
@@ -836,7 +846,7 @@ mod tests {
         let mut snap = sample_snapshot();
         snap.hists.get.record(1_000_000);
         let mut bytes = encode_stats(&snap);
-        let max_off = bytes.len() - (8 * 13 + 1 + 8 * 9) - 8;
+        let max_off = bytes.len() - (8 * 16 + 1 + 8 * 9) - 8;
         bytes[max_off..max_off + 8].copy_from_slice(&1u64.to_le_bytes());
         assert!(decode_stats(&bytes).is_err());
     }
