@@ -49,17 +49,21 @@ pub fn run_wire_phase(seed: u64) -> Result<WireReport, Violation> {
         ShieldStore::new(Arc::clone(&enclave), Config::shield_opt().buckets(64).mac_hashes(16))
             .expect("store construction"),
     );
-    // One worker: the global FIFO work ring then processes an old
-    // connection's in-flight request before a new connection's, so the
-    // model's sequential view stays valid across reconnects.
+    // One event loop: the engine then executes an old connection's
+    // in-flight request before a new connection's (strict global FIFO),
+    // so the model's sequential view stays valid across reconnects.
+    // Short frame/drain deadlines keep seeds fast when the proxy's
+    // `Stall` fault leaves a half-written frame on the server.
     let backend: Arc<dyn shield_baseline::KvBackend> = store.clone();
     let server = Server::start(
         backend,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 1,
+            event_loops: 1,
             crossing: CrossingMode::HotCalls,
             secure: true,
+            frame_timeout: Duration::from_millis(500),
+            drain_deadline: Duration::from_millis(500),
             ..Default::default()
         },
     )
@@ -288,7 +292,7 @@ pub fn run_overload_phase(seed: u64) -> Result<OverloadReport, Violation> {
         Arc::clone(&backend),
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 2,
+            event_loops: 2,
             crossing: CrossingMode::HotCalls,
             secure: true,
             max_connections: OVERLOAD_CLIENTS + 1,
@@ -444,7 +448,7 @@ pub fn run_overload_phase(seed: u64) -> Result<OverloadReport, Violation> {
         backend,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 1,
+            event_loops: 1,
             crossing: CrossingMode::HotCalls,
             secure: true,
             request_deadline: Duration::ZERO,

@@ -103,6 +103,14 @@ pub trait KvBackend: Send + Sync {
     fn scan_prefix(&self, _prefix: &[u8], _limit: usize) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
         None
     }
+    /// The index of the hash partition serving `key`, where the store
+    /// is partitioned. A networked front-end uses this to run each
+    /// request on the event loop aligned with the key's partition
+    /// (paper §5.3); `None` (the default) means the store has no stable
+    /// partitioning and any loop may execute the request.
+    fn shard_hint(&self, _key: &[u8]) -> Option<usize> {
+        None
+    }
     /// Resets phase-relative simulator timing (the EPC fault channel).
     /// Harnesses call this when they reset per-thread virtual clocks at
     /// the start of a measured run; stores without a simulated enclave
@@ -230,6 +238,10 @@ impl KvBackend for shieldstore::ShieldStore {
 
     fn len(&self) -> usize {
         shieldstore::ShieldStore::len(self)
+    }
+
+    fn shard_hint(&self, key: &[u8]) -> Option<usize> {
+        Some(self.shard_of(key))
     }
 
     fn reset_timing(&self) {

@@ -36,7 +36,7 @@ fn main() {
                 Arc::clone(&store),
                 None,
                 ServerConfig {
-                    workers,
+                    event_loops: workers,
                     crossing: CrossingMode::Ecall,
                     secure: false,
                     ..Default::default()

@@ -13,7 +13,9 @@
 //! --port N                listen port (default: OS-assigned, printed)
 //! --buckets N             hash buckets (default 65536)
 //! --mac-hashes N          in-enclave MAC hashes (default 16384)
-//! --shards N              hash partitions / worker threads (default 4)
+//! --shards N              hash partitions (default 4)
+//! --event-loops N         network event loops (default: same as --shards,
+//!                         aligning each loop with a hash partition)
 //! --epc-mb N              simulated EPC budget in MiB (default 90)
 //! --seed N                platform seed; clients use the same seed to
 //!                         derive the attestation verifier (default 0)
@@ -37,6 +39,7 @@ struct Opts {
     buckets: usize,
     mac_hashes: usize,
     shards: usize,
+    event_loops: Option<usize>,
     epc_mb: usize,
     seed: u64,
     crossing: CrossingMode,
@@ -52,6 +55,7 @@ fn parse_opts() -> Opts {
         buckets: 65_536,
         mac_hashes: 16_384,
         shards: 4,
+        event_loops: None,
         epc_mb: 90,
         seed: 0,
         crossing: CrossingMode::HotCalls,
@@ -69,6 +73,9 @@ fn parse_opts() -> Opts {
             "--buckets" => opts.buckets = value("--buckets").parse().expect("number"),
             "--mac-hashes" => opts.mac_hashes = value("--mac-hashes").parse().expect("number"),
             "--shards" => opts.shards = value("--shards").parse().expect("number"),
+            "--event-loops" => {
+                opts.event_loops = Some(value("--event-loops").parse().expect("number"))
+            }
             "--epc-mb" => opts.epc_mb = value("--epc-mb").parse().expect("number"),
             "--seed" => opts.seed = value("--seed").parse().expect("number"),
             "--ecalls" => opts.crossing = CrossingMode::Ecall,
@@ -80,8 +87,8 @@ fn parse_opts() -> Opts {
             "--ordered-index" => opts.ordered_index = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --port N --buckets N --mac-hashes N --shards N --epc-mb N \
-                     --seed N --ecalls --insecure --snapshot PATH --snapshot-secs N"
+                    "flags: --port N --buckets N --mac-hashes N --shards N --event-loops N \
+                     --epc-mb N --seed N --ecalls --insecure --snapshot PATH --snapshot-secs N"
                 );
                 std::process::exit(0);
             }
@@ -119,7 +126,7 @@ fn main() {
             Arc::clone(&store) as Arc<dyn KvBackend>,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: opts.shards,
+                event_loops: opts.event_loops.unwrap_or(opts.shards),
                 crossing: opts.crossing,
                 secure: opts.secure,
                 ..Default::default()
@@ -131,7 +138,7 @@ fn main() {
             Arc::clone(&store) as Arc<dyn KvBackend>,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: opts.shards,
+                event_loops: opts.event_loops.unwrap_or(opts.shards),
                 crossing: opts.crossing,
                 secure: opts.secure,
                 ..Default::default()

@@ -145,6 +145,9 @@ fn print_dashboard(snap: &StatsSnapshot) {
     println!("{:<28} {}", "quarantined_shards", snap.quarantined_shards);
     println!("{:<28} {}", "shed_requests", snap.shed_requests);
     println!("{:<28} {}", "refused_connections", snap.refused_connections);
+    println!("{:<28} {}", "event_loops", snap.event_loops);
+    println!("{:<28} {}", "pending_frames", snap.pending_frames);
+    println!("{:<28} {}", "cross_loop_handoffs", snap.cross_loop_handoffs);
     if snap.quarantined_sets > 0 || snap.quarantined_shards > 0 {
         println!("  !! integrity violations froze part of the store; restore from a snapshot");
     }
@@ -209,6 +212,7 @@ fn to_json(snap: &StatsSnapshot) -> String {
          \"wal_bytes\":{},\"wal_records\":{},\"wal_fsyncs\":{},\
          \"quarantined_sets\":{},\"quarantined_shards\":{},\
          \"shed_requests\":{},\"refused_connections\":{},\
+         \"cross_loop_handoffs\":{},\"event_loops\":{},\"pending_frames\":{},\
          \"crypto_bytes\":{},\"crypto_ops\":{},\"crypto_backend\":{},",
         snap.entries,
         snap.shards,
@@ -223,6 +227,9 @@ fn to_json(snap: &StatsSnapshot) -> String {
         snap.quarantined_shards,
         snap.shed_requests,
         snap.refused_connections,
+        snap.cross_loop_handoffs,
+        snap.event_loops,
+        snap.pending_frames,
         snap.crypto_bytes,
         snap.crypto_ops,
         snap.crypto_backend

@@ -691,7 +691,7 @@ mod tests {
             store,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 2,
+                event_loops: 2,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()
@@ -747,7 +747,7 @@ mod tests {
             store,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 2,
+                event_loops: 2,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()

@@ -1,0 +1,179 @@
+//! Incremental frame decoding for the readiness-loop engine.
+//!
+//! The blocking path ([`crate::protocol::read_frame`]) can simply
+//! `read_exact` a header and a body; an event loop instead receives
+//! arbitrary byte chunks — half a header, three frames and a tail, one
+//! byte at a time — and must reassemble exactly the same frames without
+//! ever blocking. [`FrameDecoder`] is that reassembler: a push-parser
+//! fed by `feed`, producing completed frame bodies in order.
+//!
+//! The decoder enforces the same limit as the blocking reader
+//! ([`crate::protocol::MAX_FRAME`]) and **fails closed**: an oversized
+//! length prefix poisons the decoder permanently, because after a
+//! framing violation there is no trustworthy way to resynchronize on
+//! the byte stream (`decoder_equiv.rs` proves byte-for-byte equivalence
+//! with the blocking reader over every split of every frame).
+
+use crate::protocol::MAX_FRAME;
+use crate::{NetError, Result};
+
+/// Push-parser for length-prefixed frames.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    /// Collected header bytes (frame length prefix, u32 LE).
+    header: [u8; 4],
+    /// How many of the four header bytes have arrived.
+    header_len: usize,
+    /// Body in progress; capacity is the decoded length.
+    body: Vec<u8>,
+    /// Total body length announced by the header (valid once
+    /// `header_len == 4`).
+    body_target: usize,
+    /// Set after a framing violation: all further input is rejected.
+    poisoned: bool,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            header: [0; 4],
+            header_len: 0,
+            body: Vec::new(),
+            body_target: 0,
+            poisoned: false,
+        }
+    }
+
+    /// True while an incomplete frame is buffered — the condition that
+    /// arms the engine's frame timeout. A decoder at a frame boundary
+    /// (zero buffered bytes) is *not* mid-frame: idle connections may
+    /// park there forever.
+    pub fn mid_frame(&self) -> bool {
+        self.header_len > 0 || self.body_target > 0 || !self.body.is_empty()
+    }
+
+    /// Consumes a chunk, appending every frame it completes to `out`.
+    ///
+    /// Frames are appended in wire order. On error the decoder is
+    /// poisoned and every later call fails too; the caller must drop
+    /// the connection (fail closed, no resync).
+    pub fn feed(&mut self, mut chunk: &[u8], out: &mut Vec<Vec<u8>>) -> Result<()> {
+        if self.poisoned {
+            return Err(NetError::Protocol("frame decoder poisoned".into()));
+        }
+        while !chunk.is_empty() {
+            if self.header_len < 4 {
+                let take = chunk.len().min(4 - self.header_len);
+                self.header[self.header_len..self.header_len + take]
+                    .copy_from_slice(&chunk[..take]);
+                self.header_len += take;
+                chunk = &chunk[take..];
+                if self.header_len < 4 {
+                    return Ok(());
+                }
+                let len = u32::from_le_bytes(self.header) as usize;
+                if len > MAX_FRAME {
+                    self.poisoned = true;
+                    return Err(NetError::Protocol("frame too large".into()));
+                }
+                self.body_target = len;
+                self.body = Vec::with_capacity(len);
+            }
+            let need = self.body_target - self.body.len();
+            let take = chunk.len().min(need);
+            self.body.extend_from_slice(&chunk[..take]);
+            chunk = &chunk[take..];
+            if self.body.len() == self.body_target {
+                out.push(std::mem::take(&mut self.body));
+                self.header_len = 0;
+                self.body_target = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes buffered toward the incomplete frame (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.header_len + self.body.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut v = (body.len() as u32).to_le_bytes().to_vec();
+        v.extend_from_slice(body);
+        v
+    }
+
+    #[test]
+    fn whole_frame_in_one_chunk() {
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        d.feed(&frame(b"hello"), &mut out).unwrap();
+        assert_eq!(out, vec![b"hello".to_vec()]);
+        assert!(!d.mid_frame());
+    }
+
+    #[test]
+    fn byte_at_a_time() {
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        let wire = frame(b"abc");
+        for (i, b) in wire.iter().enumerate() {
+            d.feed(std::slice::from_ref(b), &mut out).unwrap();
+            assert_eq!(d.mid_frame(), i + 1 < wire.len());
+        }
+        assert_eq!(out, vec![b"abc".to_vec()]);
+    }
+
+    #[test]
+    fn several_frames_coalesced() {
+        let mut wire = frame(b"one");
+        wire.extend(frame(b""));
+        wire.extend(frame(b"three"));
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        d.feed(&wire, &mut out).unwrap();
+        assert_eq!(out, vec![b"one".to_vec(), Vec::new(), b"three".to_vec()]);
+        assert!(!d.mid_frame());
+    }
+
+    #[test]
+    fn empty_frame_alone() {
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        d.feed(&frame(b""), &mut out).unwrap();
+        assert_eq!(out, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn oversize_header_poisons() {
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        let bad = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(d.feed(&bad, &mut out).is_err());
+        // Poisoned: even innocent input is now rejected.
+        assert!(d.feed(&frame(b"x"), &mut out).is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn oversize_split_across_chunks_poisons() {
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        let bad = (u32::MAX).to_le_bytes();
+        d.feed(&bad[..2], &mut out).unwrap();
+        assert!(d.mid_frame());
+        assert!(d.feed(&bad[2..], &mut out).is_err());
+    }
+}

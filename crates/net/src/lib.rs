@@ -14,21 +14,38 @@
 //! X25519 public key), both sides derive session keys, and every request
 //! and response is AES-CTR encrypted and CMAC authenticated.
 //!
+//! The server is an **async core-per-shard engine**: N nonblocking
+//! event loops (epoll readiness, no runtime dependency) each own an
+//! accept share and a set of connections, reassemble frames
+//! incrementally, and execute each single-key request on the loop that
+//! owns its key's hash partition (paper §5.3 worker/partition
+//! alignment). See [`server`] and `DESIGN.md` § "Network engine".
+//!
 //! * [`protocol`] — wire format (framing, opcodes).
+//! * [`frame`] — incremental (push) frame decoder for the event loops.
+//! * [`machine`] — per-connection lifecycle state machine.
+//! * [`poller`] — minimal epoll/eventfd readiness abstraction (the one
+//!   `unsafe` module: raw FFI, no external crates).
 //! * [`session`] — attested handshake and per-session channel crypto.
 //! * [`server`] — the store server with ECALL/HotCalls request paths.
 //! * [`client`] — a client handle and a concurrent load driver.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+mod engine;
+pub mod frame;
+pub mod machine;
+pub mod poller;
 pub mod protocol;
 pub mod proxy;
 pub mod server;
 pub mod session;
 
 pub use client::{Connector, KvClient, LoadConfig, LoadReport, RetryClient, RetryPolicy};
+pub use frame::FrameDecoder;
+pub use machine::{CloseReason, ConnMachine, ConnPhase};
 pub use protocol::{OpCode, Request, Response, Status};
 pub use proxy::{FaultPlan, FaultProxy, FrameFault};
 pub use server::{CrossingMode, NetGauges, Server, ServerConfig};

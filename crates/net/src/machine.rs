@@ -1,0 +1,319 @@
+//! Per-connection lifecycle state machine for the readiness engine.
+//!
+//! Everything about a connection that is *not* a syscall lives here:
+//! incremental frame reassembly, the frame-timeout clock, pipelined
+//! request ordering, drain behaviour, and the close latch. The engine
+//! ([`crate::server`]) feeds it bytes, executes the requests it
+//! surfaces (possibly on another event loop), and hands responses back;
+//! the machine guarantees:
+//!
+//! * every fully received frame is surfaced exactly once, in wire order;
+//! * responses are released strictly in request order, however
+//!   out-of-order the executors complete (the session seal is
+//!   sequence-numbered, so reordering would break the channel crypto);
+//! * once closed, no further frame is ever surfaced — a connection
+//!   killed mid-buffer cannot leak a half-trusted request;
+//! * the frame timeout arms exactly when a partial frame is buffered
+//!   and disarms at each frame boundary (idle connections park free).
+//!
+//! Keeping this logic free of I/O lets `tests/lifecycle.rs` drive
+//! millions of randomized event orderings against a shadow model —
+//! the test battery the tentpole asks for.
+
+use crate::frame::FrameDecoder;
+use crate::Result;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Why a connection reached [`ConnPhase::Closed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer disconnected (EOF / reset).
+    PeerClosed,
+    /// A partial frame (or stalled write) outlived the frame timeout.
+    TimedOut,
+    /// Drain finished: the connection was idle, or its last pipelined
+    /// response was released.
+    Drained,
+    /// Framing violation (oversized or malformed frame).
+    Protocol,
+    /// Session-crypto failure: fail the connection closed.
+    Security,
+}
+
+/// Externally visible lifecycle phase, for tests and gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnPhase {
+    /// Parked at a frame boundary with nothing outstanding.
+    Idle,
+    /// A partial frame is buffered (frame timeout armed).
+    MidFrame,
+    /// At least one surfaced request has not had its response released.
+    Pipelined,
+    /// Drain requested; finishing outstanding work before closing.
+    Draining,
+    /// Closed; the machine accepts no further input.
+    Closed(CloseReason),
+}
+
+/// One outstanding request slot (arrival order).
+#[derive(Debug)]
+struct Slot {
+    req: u64,
+    resp: Option<Vec<u8>>,
+}
+
+/// The state machine. See the module docs for the contract.
+#[derive(Debug)]
+pub struct ConnMachine {
+    decoder: FrameDecoder,
+    frame_timeout: Duration,
+    /// Outstanding surfaced requests, in arrival order. Responses are
+    /// released only from the front.
+    slots: VecDeque<Slot>,
+    next_req: u64,
+    /// Armed while a partial frame is buffered.
+    frame_deadline: Option<Instant>,
+    draining: bool,
+    closed: Option<CloseReason>,
+}
+
+impl ConnMachine {
+    /// A fresh machine at a frame boundary.
+    pub fn new(frame_timeout: Duration) -> ConnMachine {
+        ConnMachine {
+            decoder: FrameDecoder::new(),
+            frame_timeout,
+            slots: VecDeque::new(),
+            next_req: 0,
+            frame_deadline: None,
+            draining: false,
+            closed: None,
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> ConnPhase {
+        if let Some(reason) = self.closed {
+            return ConnPhase::Closed(reason);
+        }
+        if self.draining {
+            return ConnPhase::Draining;
+        }
+        if !self.slots.is_empty() {
+            return ConnPhase::Pipelined;
+        }
+        if self.decoder.mid_frame() {
+            return ConnPhase::MidFrame;
+        }
+        ConnPhase::Idle
+    }
+
+    /// True once the machine is closed (no input accepted, nothing
+    /// further surfaced).
+    pub fn is_closed(&self) -> bool {
+        self.closed.is_some()
+    }
+
+    /// Outstanding surfaced-but-unreleased requests.
+    pub fn outstanding(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Ingests a chunk off the socket, returning every frame it
+    /// completes, in wire order.
+    ///
+    /// Arms the frame timeout when a partial frame remains buffered and
+    /// disarms it at a frame boundary. Errors (framing violations)
+    /// close the machine; the caller must drop the socket. A closed
+    /// machine returns no frames, ever.
+    pub fn on_bytes(&mut self, chunk: &[u8], now: Instant) -> Result<Vec<Vec<u8>>> {
+        if self.closed.is_some() {
+            return Ok(Vec::new());
+        }
+        let mut frames = Vec::new();
+        if let Err(e) = self.decoder.feed(chunk, &mut frames) {
+            self.close(CloseReason::Protocol);
+            return Err(e);
+        }
+        if self.decoder.mid_frame() {
+            // Arm once per partial frame: the clock starts at the first
+            // byte, not at the most recent dribble.
+            self.frame_deadline.get_or_insert(now + self.frame_timeout);
+        } else {
+            self.frame_deadline = None;
+        }
+        Ok(frames)
+    }
+
+    /// Registers a surfaced frame as an outstanding request and returns
+    /// its slot id. Responses complete against this id.
+    pub fn begin_request(&mut self) -> u64 {
+        debug_assert!(self.closed.is_none(), "begin_request on a closed connection");
+        let req = self.next_req;
+        self.next_req += 1;
+        self.slots.push_back(Slot { req, resp: None });
+        req
+    }
+
+    /// Delivers the (plaintext) response for slot `req`. Completions
+    /// may arrive in any order; release order stays request order.
+    /// Completions for a closed machine are discarded.
+    pub fn complete(&mut self, req: u64, resp: Vec<u8>) {
+        if self.closed.is_some() {
+            return;
+        }
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.req == req) {
+            debug_assert!(slot.resp.is_none(), "double completion for slot {req}");
+            slot.resp = Some(resp);
+        }
+    }
+
+    /// Releases the longest completed prefix of outstanding responses,
+    /// in request order. The caller seals and transmits them in exactly
+    /// this order (the session cipher is sequence-numbered).
+    pub fn take_ready(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(front) = self.slots.front() {
+            if front.resp.is_none() {
+                break;
+            }
+            out.push(self.slots.pop_front().expect("front exists").resp.expect("checked"));
+        }
+        out
+    }
+
+    /// The instant at which [`on_deadline`](Self::on_deadline) must run,
+    /// if a timeout is armed.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.frame_deadline
+    }
+
+    /// Checks the frame timeout. Returns `true` when the connection
+    /// timed out (the machine closes itself; the caller drops the
+    /// socket).
+    pub fn on_deadline(&mut self, now: Instant) -> bool {
+        match self.frame_deadline {
+            Some(d) if now >= d && self.closed.is_none() => {
+                self.close(CloseReason::TimedOut);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Enters drain: no new frames will be read by the engine; the
+    /// machine reports `true` (close now) when nothing is outstanding.
+    pub fn start_drain(&mut self) -> bool {
+        if self.closed.is_some() {
+            return false;
+        }
+        self.draining = true;
+        self.drain_complete()
+    }
+
+    /// During drain: true once every outstanding response has been
+    /// released and no partial frame is buffered — the engine closes
+    /// the connection cleanly.
+    pub fn drain_complete(&self) -> bool {
+        self.draining && self.closed.is_none() && self.slots.is_empty() && !self.decoder.mid_frame()
+    }
+
+    /// Whether drain has been requested.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Latches the machine closed. Idempotent (first reason wins);
+    /// discards any buffered partial frame and outstanding slots so
+    /// nothing is surfaced or released afterwards.
+    pub fn close(&mut self, reason: CloseReason) {
+        if self.closed.is_none() {
+            self.closed = Some(reason);
+            self.frame_deadline = None;
+            self.slots.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(body: &[u8]) -> Vec<u8> {
+        let mut v = (body.len() as u32).to_le_bytes().to_vec();
+        v.extend_from_slice(body);
+        v
+    }
+
+    #[test]
+    fn pipelined_responses_release_in_request_order() {
+        let now = Instant::now();
+        let mut m = ConnMachine::new(Duration::from_secs(1));
+        let mut stream = wire(b"a");
+        stream.extend(wire(b"b"));
+        stream.extend(wire(b"c"));
+        let frames = m.on_bytes(&stream, now).unwrap();
+        assert_eq!(frames.len(), 3);
+        let ids: Vec<u64> = frames.iter().map(|_| m.begin_request()).collect();
+        assert_eq!(m.phase(), ConnPhase::Pipelined);
+
+        // Completions arrive out of order; release order is fixed.
+        m.complete(ids[2], b"C".to_vec());
+        assert!(m.take_ready().is_empty());
+        m.complete(ids[0], b"A".to_vec());
+        assert_eq!(m.take_ready(), vec![b"A".to_vec()]);
+        m.complete(ids[1], b"B".to_vec());
+        assert_eq!(m.take_ready(), vec![b"B".to_vec(), b"C".to_vec()]);
+        assert_eq!(m.phase(), ConnPhase::Idle);
+    }
+
+    #[test]
+    fn frame_timeout_arms_at_first_byte_only() {
+        let t0 = Instant::now();
+        let timeout = Duration::from_millis(100);
+        let mut m = ConnMachine::new(timeout);
+        assert!(m.deadline().is_none(), "idle at a boundary: unbounded");
+        m.on_bytes(&wire(b"whole")[..3], t0).unwrap();
+        assert_eq!(m.deadline(), Some(t0 + timeout));
+        // More dribble does not push the deadline out.
+        m.on_bytes(&wire(b"whole")[3..5], t0 + Duration::from_millis(50)).unwrap();
+        assert_eq!(m.deadline(), Some(t0 + timeout));
+        assert!(!m.on_deadline(t0 + Duration::from_millis(99)));
+        assert!(m.on_deadline(t0 + timeout));
+        assert_eq!(m.phase(), ConnPhase::Closed(CloseReason::TimedOut));
+    }
+
+    #[test]
+    fn closed_machine_surfaces_nothing() {
+        let now = Instant::now();
+        let mut m = ConnMachine::new(Duration::from_secs(1));
+        m.on_bytes(&wire(b"x")[..4], now).unwrap();
+        m.close(CloseReason::PeerClosed);
+        // The rest of the frame arrives after close: never surfaced.
+        assert!(m.on_bytes(&wire(b"x")[4..], now).unwrap().is_empty());
+        assert!(m.take_ready().is_empty());
+        // First reason latches.
+        m.close(CloseReason::TimedOut);
+        assert_eq!(m.phase(), ConnPhase::Closed(CloseReason::PeerClosed));
+    }
+
+    #[test]
+    fn drain_waits_for_outstanding_work() {
+        let now = Instant::now();
+        let mut m = ConnMachine::new(Duration::from_secs(1));
+        m.on_bytes(&wire(b"req"), now).unwrap();
+        let id = m.begin_request();
+        assert!(!m.start_drain(), "outstanding request blocks drain");
+        assert_eq!(m.phase(), ConnPhase::Draining);
+        m.complete(id, b"resp".to_vec());
+        assert_eq!(m.take_ready().len(), 1);
+        assert!(m.drain_complete());
+    }
+
+    #[test]
+    fn idle_drain_closes_immediately() {
+        let mut m = ConnMachine::new(Duration::from_secs(1));
+        assert!(m.start_drain());
+    }
+}

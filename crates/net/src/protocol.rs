@@ -445,7 +445,7 @@ pub fn decode_multi_set(bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
 /// Version tag of the [`encode_stats`] layout. Bumped whenever the field
 /// order or width changes, so a stale client fails closed instead of
 /// misreading counters.
-pub const STATS_WIRE_VERSION: u8 = 4;
+pub const STATS_WIRE_VERSION: u8 = 5;
 
 /// The sim-counter serialization order of [`encode_stats`], fixed here so
 /// encode and decode cannot drift apart.
@@ -488,6 +488,7 @@ fn sim_from_array(a: [u64; SIM_FIELDS]) -> sgx_sim::stats::StatsSnapshot {
 /// [ entries | shards | heap_live | heap_chunks | cache_used | cache_entries ]
 /// [ wal_bytes | wal_records | wal_fsyncs ]
 /// [ quarantined_sets | quarantined_shards | shed_requests | refused_connections ]
+/// [ cross_loop_handoffs | event_loops | pending_frames ]
 /// [ crypto_bytes | crypto_ops | crypto_backend ]
 /// [ sim_field_count u8 ] ( sim counter u64 )*
 /// ```
@@ -498,7 +499,7 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
     use shieldstore::hist::NUM_BUCKETS;
     use shieldstore::OpStats;
     let mut out = Vec::with_capacity(
-        2 + 8 * OpStats::FIELDS.len() + 5 * 8 * (NUM_BUCKETS + 2) + 16 * 8 + 1 + 8 * SIM_FIELDS,
+        2 + 8 * OpStats::FIELDS.len() + 5 * 8 * (NUM_BUCKETS + 2) + 19 * 8 + 1 + 8 * SIM_FIELDS,
     );
     out.push(STATS_WIRE_VERSION);
     out.push(OpStats::FIELDS.len() as u8);
@@ -526,6 +527,9 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
         snap.quarantined_shards,
         snap.shed_requests,
         snap.refused_connections,
+        snap.cross_loop_handoffs,
+        snap.event_loops,
+        snap.pending_frames,
         snap.crypto_bytes,
         snap.crypto_ops,
         snap.crypto_backend,
@@ -607,6 +611,9 @@ pub fn decode_stats(bytes: &[u8]) -> Result<shieldstore::StatsSnapshot> {
     snap.quarantined_shards = r.u64()?;
     snap.shed_requests = r.u64()?;
     snap.refused_connections = r.u64()?;
+    snap.cross_loop_handoffs = r.u64()?;
+    snap.event_loops = r.u64()?;
+    snap.pending_frames = r.u64()?;
     snap.crypto_bytes = r.u64()?;
     snap.crypto_ops = r.u64()?;
     snap.crypto_backend = r.u64()?;
@@ -804,6 +811,9 @@ mod tests {
         snap.quarantined_shards = 1;
         snap.shed_requests = 13;
         snap.refused_connections = 4;
+        snap.cross_loop_handoffs = 321;
+        snap.event_loops = 4;
+        snap.pending_frames = 7;
         snap.crypto_bytes = 1 << 30;
         snap.crypto_ops = 4242;
         snap.crypto_backend = 1;
@@ -846,7 +856,7 @@ mod tests {
         let mut snap = sample_snapshot();
         snap.hists.get.record(1_000_000);
         let mut bytes = encode_stats(&snap);
-        let max_off = bytes.len() - (8 * 16 + 1 + 8 * 9) - 8;
+        let max_off = bytes.len() - (8 * 19 + 1 + 8 * 9) - 8;
         bytes[max_off..max_off + 8].copy_from_slice(&1u64.to_le_bytes());
         assert!(decode_stats(&bytes).is_err());
     }

@@ -32,6 +32,12 @@ pub enum FrameFault {
     Duplicate,
     /// Silently discard the frame.
     Drop,
+    /// Partial write: flush exactly one byte of the length header, then
+    /// stall forever (the connection stays open but silent). The
+    /// receiver is left holding a half-frame; a readiness-loop server
+    /// must neither block a core on it nor let it dodge the frame
+    /// timeout.
+    Stall,
 }
 
 /// A seeded, deterministic per-frame fault schedule.
@@ -67,11 +73,12 @@ impl FaultPlan {
         if !h.is_multiple_of(self.period) {
             return FrameFault::Passthrough;
         }
-        match (h >> 32) % 4 {
+        match (h >> 32) % 5 {
             0 => FrameFault::Garble,
             1 => FrameFault::Truncate,
             2 => FrameFault::Duplicate,
-            _ => FrameFault::Drop,
+            3 => FrameFault::Drop,
+            _ => FrameFault::Stall,
         }
     }
 }
@@ -242,6 +249,23 @@ fn relay_frames(
                 write_frame(to, &body)?;
             }
             FrameFault::Drop => {}
+            FrameFault::Stall => {
+                // One byte of the length header, then silence. Keep the
+                // socket open and swallow further source bytes so the
+                // stall looks like a slow sender, not a close; the
+                // receiver's frame timeout has to do the killing. EOF
+                // (or a reset) on the source finally ends the relay,
+                // and the caller then closes both sockets.
+                to.write_all(&(body.len() as u32).to_le_bytes()[..1])?;
+                to.flush()?;
+                let mut sink = [0u8; 4096];
+                loop {
+                    match std::io::Read::read(from, &mut sink) {
+                        Ok(0) | Err(_) => return Ok(()),
+                        Ok(_) => {}
+                    }
+                }
+            }
         }
     }
 }
@@ -284,9 +308,58 @@ mod tests {
         for idx in 0..256 {
             seen.insert(plan.fault_for(0, 0, idx));
         }
-        for f in [FrameFault::Garble, FrameFault::Truncate, FrameFault::Duplicate, FrameFault::Drop]
-        {
+        for f in [
+            FrameFault::Garble,
+            FrameFault::Truncate,
+            FrameFault::Duplicate,
+            FrameFault::Drop,
+            FrameFault::Stall,
+        ] {
             assert!(seen.contains(&f), "{f:?} never scheduled");
         }
+    }
+
+    #[test]
+    fn stall_leaves_a_partial_header_and_goes_quiet() {
+        use std::io::Read;
+        // An echo upstream: reads one frame, writes it back.
+        let upstream = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            while let Ok(Some(body)) = read_frame(&mut s) {
+                if write_frame(&mut s, &body).is_err() {
+                    break;
+                }
+            }
+        });
+        // period=1, skip=0, and a seed chosen so the very first
+        // client→server frame stalls (the schedule is deterministic, so
+        // search a few seeds for one).
+        let seed = (0..1000)
+            .find(|&s| {
+                FaultPlan { seed: s, skip_frames: 0, period: 1 }.fault_for(0, 0, 0)
+                    == FrameFault::Stall
+            })
+            .expect("some seed stalls frame 0");
+        let proxy = FaultProxy::start(upstream_addr, FaultPlan { seed, skip_frames: 0, period: 1 })
+            .unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        write_frame(&mut client, b"hello").unwrap();
+        // The upstream got exactly one byte and then nothing: a read
+        // with a timeout sees the stall, not a frame and not EOF.
+        client.set_read_timeout(Some(std::time::Duration::from_millis(200))).unwrap();
+        let mut buf = [0u8; 16];
+        match client.read(&mut buf) {
+            Ok(n) => panic!("expected a stalled (timed-out) read, got {n} bytes"),
+            Err(e) => assert!(
+                matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+                "unexpected error {e:?}"
+            ),
+        }
+        assert_eq!(proxy.faults_injected(), 1);
+        drop(client);
+        proxy.shutdown();
+        let _ = echo.join();
     }
 }

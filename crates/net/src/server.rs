@@ -1,29 +1,48 @@
-//! The networked store server.
+//! The networked store server: a core-per-shard readiness-loop engine.
 //!
-//! Untrusted I/O threads own the sockets (an enclave cannot issue system
-//! calls); enclave worker threads own the store. Requests travel between
-//! them over a shared request ring — a crossbeam channel standing in for
-//! HotCalls' polled shared-memory buffer. Each request charges the
-//! configured crossing cost to the worker's virtual clock:
+//! Earlier revisions ran thread-per-connection I/O feeding a shared
+//! work ring; that topology caps realistic client counts at a few
+//! thousand (a thread per socket) and sends every request across cores.
+//! Following the paper's §5.3 worker/partition alignment, the server now
+//! runs [`ServerConfig::event_loops`] nonblocking event loops (epoll via
+//! [`crate::poller`], no runtime dependency):
 //!
-//! * [`CrossingMode::Ecall`] — ~8,000 cycles (stock SGX crossings);
-//! * [`CrossingMode::HotCalls`] — ~620 cycles (Weisse et al.).
+//! * each loop owns an **accept share** of the listener (EPOLLEXCLUSIVE)
+//!   and the connections it accepted — sockets never migrate;
+//! * frames are reassembled **incrementally** ([`crate::frame`]), so a
+//!   slow client holds a buffer, never a thread;
+//! * a decoded request executes on the loop that owns its **key's
+//!   shard**; the residual cross-loop handoff rides a mask-indexed
+//!   array of cache-aligned inboxes ([`crate::engine`]);
+//! * connections are **frame-pipelined**: many requests in flight per
+//!   socket, responses released strictly in request order
+//!   ([`crate::machine`]).
+//!
+//! The SGX cost model is unchanged: each executed request charges the
+//! configured crossing to the executing loop's virtual clock —
+//! [`CrossingMode::Ecall`] (~8,000 cycles) or [`CrossingMode::HotCalls`]
+//! (~620 cycles, Weisse et al.) — standing in for the enclave entry of
+//! the in-enclave worker the loop models. Frame I/O and reassembly
+//! stay on the untrusted side of that line, exactly as before.
 //!
 //! Insecure configurations skip the handshake, traffic crypto, and
 //! crossing charges entirely (the paper's `Insecure` rows in Fig. 18).
+//!
+//! All of PR 5's overload/fault semantics are preserved over the new
+//! transport, now driven by poll deadlines instead of blocking-read
+//! timeouts: frame timeouts (armed at a frame's first byte, idle
+//! boundaries unbounded), admission-control `Busy` sheds, accept-time
+//! connection-cap refusal, graceful drain with a hard deadline, and
+//! quarantined-partition answers.
 
-use crate::protocol::{self, OpCode, Request, Response};
-use crate::session::{self, SessionCrypto};
-use crate::{NetError, Result};
-use parking_lot::Mutex;
+use crate::protocol::{OpCode, Request, Response};
+use crate::{engine, Result};
 use sgx_sim::enclave::Enclave;
-use sgx_sim::vclock;
 use shield_baseline::{KvBackend, OpError};
-use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How requests cross into the enclave.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +56,11 @@ pub enum CrossingMode {
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Number of enclave worker threads.
-    pub workers: usize,
+    /// Number of event-loop threads. Each owns an accept share and its
+    /// connections; requests execute on the loop owning the key's
+    /// shard. Match this to the store's shard count (and the core
+    /// count) for the paper's §5.3 alignment.
+    pub event_loops: usize,
     /// Crossing mechanism (ignored when `secure` is false).
     pub crossing: CrossingMode,
     /// Attest, exchange keys, and encrypt traffic.
@@ -54,19 +76,28 @@ pub struct ServerConfig {
     /// Requests admitted past this many already in flight are shed with
     /// a [`Status::Busy`] reply instead of being queued.
     pub max_in_flight: usize,
-    /// A request that waited in the ring longer than this is answered
-    /// [`Status::Busy`] without executing: under overload, stale work is
-    /// dropped instead of serving an ever-growing queue.
+    /// A request that waited longer than this between decode and
+    /// execution is answered [`Status::Busy`] without executing: under
+    /// overload, stale work is dropped instead of serving an
+    /// ever-growing queue.
     pub request_deadline: Duration,
     /// How long [`Server::shutdown`] waits for in-flight frames before
     /// hard-closing the remaining sockets.
     pub drain_deadline: Duration,
+    /// Most connections a loop accepts per listener wake-up before
+    /// returning to its connections — bounds accept-burst latency
+    /// impact on established traffic.
+    pub accept_backlog: usize,
+    /// Pipelining depth: decoded-but-unanswered requests allowed per
+    /// connection before the loop stops reading that socket
+    /// (backpressure through TCP flow control).
+    pub max_pipeline: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            workers: 1,
+            event_loops: 1,
             crossing: CrossingMode::HotCalls,
             secure: true,
             frame_timeout: Duration::from_secs(10),
@@ -74,36 +105,41 @@ impl Default for ServerConfig {
             max_in_flight: 1024,
             request_deadline: Duration::from_secs(5),
             drain_deadline: Duration::from_secs(5),
+            accept_backlog: 64,
+            max_pipeline: 32,
         }
     }
 }
 
-/// Server-side overload counters, overlaid onto `Stats` responses (the
-/// store itself cannot see connection-level decisions).
+/// Server-side overload and engine counters, overlaid onto `Stats`
+/// responses (the store itself cannot see connection-level decisions).
 #[derive(Debug, Default)]
 pub struct NetGauges {
     /// Requests answered `Busy` (admission control or missed deadline).
     pub shed_requests: AtomicU64,
     /// Connections refused at the [`ServerConfig::max_connections`] cap.
     pub refused_connections: AtomicU64,
+    /// Requests routed to a different event loop than the one that
+    /// decoded them (shard-affinity misses; monotone).
+    pub cross_loop_handoffs: AtomicU64,
+    /// Number of event loops serving (gauge, constant per server).
+    pub event_loops: AtomicU64,
+    /// Decoded requests admitted but not yet answered, across all
+    /// loops (gauge; also the admission-control counter).
+    pub pending_frames: AtomicU64,
 }
 
-/// State shared between the listener, connection handlers, workers, and
-/// `shutdown`.
-struct NetState {
+/// State shared between the event loops and `shutdown`.
+pub(crate) struct NetState {
     /// Set once `shutdown` starts: stop accepting, close idle
     /// connections at their next frame boundary.
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Live connection count (for the accept-time cap).
-    active: AtomicUsize,
-    /// Requests admitted but not yet answered (for load shedding).
-    in_flight: AtomicUsize,
+    pub(crate) active: AtomicUsize,
     /// Overload counters reported through the `Stats` opcode.
-    gauges: NetGauges,
-    /// `try_clone`s of every live socket so `shutdown` can hard-close
-    /// stragglers at the drain deadline.
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    next_conn_id: AtomicU64,
+    pub(crate) gauges: NetGauges,
+    /// Allocator for connection poll tokens (unique server-wide).
+    pub(crate) next_conn_token: AtomicU64,
 }
 
 impl NetState {
@@ -111,32 +147,19 @@ impl NetState {
         Self {
             draining: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            in_flight: AtomicUsize::new(0),
             gauges: NetGauges::default(),
-            streams: Mutex::new(HashMap::new()),
-            next_conn_id: AtomicU64::new(0),
+            // Tokens 0 and 1 are the per-loop listener and waker.
+            next_conn_token: AtomicU64::new(engine::FIRST_CONN_TOKEN),
         }
     }
-}
-
-/// One queued request and its way back to the connection handler.
-/// A `None` reply tells the handler to drop the connection.
-struct WorkItem {
-    crypto: Option<Arc<Mutex<SessionCrypto>>>,
-    body: Vec<u8>,
-    reply: std::sync::mpsc::Sender<Option<Vec<u8>>>,
-    /// When the handler admitted the request (for the worker-side
-    /// deadline check).
-    enqueued: Instant,
 }
 
 /// A running store server.
 pub struct Server {
     addr: SocketAddr,
     state: Arc<NetState>,
-    drain_deadline: Duration,
-    listener_handle: Option<std::thread::JoinHandle<()>>,
-    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    loops: Arc<Vec<engine::LoopShared>>,
+    loop_handles: Vec<std::thread::JoinHandle<()>>,
     worker_penalties: Arc<Vec<AtomicU64>>,
     requests_served: Arc<AtomicU64>,
 }
@@ -169,131 +192,31 @@ impl Server {
         config: ServerConfig,
     ) -> Result<Server> {
         assert!(!config.secure || enclave.is_some(), "secure serving requires an enclave identity");
+        assert!(config.event_loops > 0, "at least one event loop");
+        // Best-effort: every admitted connection is an fd, so lift the
+        // soft fd limit toward the configured cap (clamped to the hard
+        // limit; admission still refuses honestly past either bound).
+        let _ = crate::poller::raise_nofile_limit(config.max_connections as u64 + 128);
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(NetState::new());
-        let (work_tx, work_rx) = crossbeam::channel::unbounded::<WorkItem>();
+        state.gauges.event_loops.store(config.event_loops as u64, Ordering::Relaxed);
         let worker_penalties =
-            Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+            Arc::new((0..config.event_loops).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
         let requests_served = Arc::new(AtomicU64::new(0));
 
-        // Enclave workers: pop requests from the ring, charge the
-        // crossing, run the store operation, seal the response.
-        let mut worker_handles = Vec::with_capacity(config.workers);
-        for worker_idx in 0..config.workers {
-            let work_rx = work_rx.clone();
-            let store = Arc::clone(&store);
-            let enclave = enclave.clone();
-            let penalties = Arc::clone(&worker_penalties);
-            let served = Arc::clone(&requests_served);
-            let state = Arc::clone(&state);
-            let config = config.clone();
-            worker_handles.push(std::thread::spawn(move || {
-                vclock::reset();
-                // The worker's virtual clock must grow monotonically for
-                // the life of the thread: the EPC fault channel compares
-                // absolute clock values, so resetting per request would
-                // make every request queue behind all history. Penalties
-                // are reported as deltas instead.
-                let mut last_clock = 0u64;
-                while let Ok(item) = work_rx.recv() {
-                    if config.secure {
-                        let enclave = enclave.as_ref().expect("secure => enclave");
-                        match config.crossing {
-                            CrossingMode::Ecall => enclave.ecall(),
-                            CrossingMode::HotCalls => enclave.hotcall(),
-                        }
-                    }
-                    let out = if item.enqueued.elapsed() > config.request_deadline {
-                        // Stale request: the queue outran the deadline.
-                        // Answering Busy (instead of serving ancient
-                        // work) keeps overload latency bounded. The seal
-                        // still verifies the request first so the
-                        // session sequence stays aligned (and a tampered
-                        // frame still fails the connection closed).
-                        match verify_only(&item) {
-                            Ok(()) => {
-                                state.gauges.shed_requests.fetch_add(1, Ordering::Relaxed);
-                                let body = Response::busy().encode();
-                                Some(match &item.crypto {
-                                    Some(crypto) => crypto.lock().seal(&body),
-                                    None => body,
-                                })
-                            }
-                            Err(_) => None,
-                        }
-                    } else {
-                        match handle_request(&*store, &item, &state.gauges) {
-                            Ok(body) => Some(match &item.crypto {
-                                Some(crypto) => crypto.lock().seal(&body),
-                                None => body,
-                            }),
-                            // A frame that fails authentication is
-                            // attacker-generated: replying (even with a
-                            // sealed Error) would desynchronize the
-                            // request/response pairing, letting a later
-                            // response be attributed to the wrong request.
-                            // Fail closed: drop the connection instead.
-                            Err(_) => None,
-                        }
-                    };
-                    // Account before replying: a client that saw the
-                    // response must also see the request counted.
-                    served.fetch_add(1, Ordering::Relaxed);
-                    let now = vclock::now();
-                    penalties[worker_idx].fetch_add(now - last_clock, Ordering::Relaxed);
-                    last_clock = now;
-                    let _ = item.reply.send(out);
-                }
-            }));
-        }
-        drop(work_rx);
+        let (loops, loop_handles) = engine::spawn(
+            listener,
+            store,
+            enclave,
+            config,
+            Arc::clone(&state),
+            Arc::clone(&worker_penalties),
+            Arc::clone(&requests_served),
+        )?;
 
-        // Listener: accept connections, spawn untrusted I/O handlers.
-        let listener_handle = {
-            let state = Arc::clone(&state);
-            let enclave = enclave.clone();
-            let config = config.clone();
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if state.draining.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    if state.active.load(Ordering::Relaxed) >= config.max_connections {
-                        // Refuse by closing immediately: the client sees
-                        // a clean EOF, never a hung connection.
-                        state.gauges.refused_connections.fetch_add(1, Ordering::Relaxed);
-                        drop(stream);
-                        continue;
-                    }
-                    let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
-                    state.active.fetch_add(1, Ordering::Relaxed);
-                    if let Ok(clone) = stream.try_clone() {
-                        state.streams.lock().insert(conn_id, clone);
-                    }
-                    let work_tx = work_tx.clone();
-                    let enclave = enclave.clone();
-                    let state = Arc::clone(&state);
-                    let config = config.clone();
-                    std::thread::spawn(move || {
-                        let _ = handle_connection(stream, work_tx, enclave, &config, &state);
-                        state.streams.lock().remove(&conn_id);
-                        state.active.fetch_sub(1, Ordering::Relaxed);
-                    });
-                }
-            })
-        };
-
-        Ok(Server {
-            addr,
-            state,
-            drain_deadline: config.drain_deadline,
-            listener_handle: Some(listener_handle),
-            worker_handles,
-            worker_penalties,
-            requests_served,
-        })
+        Ok(Server { addr, state, loops, loop_handles, worker_penalties, requests_served })
     }
 
     /// The server's listening address.
@@ -306,7 +229,7 @@ impl Server {
         self.requests_served.load(Ordering::Relaxed)
     }
 
-    /// Per-worker accumulated virtual penalty (nanoseconds); the harness
+    /// Per-loop accumulated virtual penalty (nanoseconds); the harness
     /// adds the maximum to the measured wall time.
     pub fn worker_penalties_ns(&self) -> Vec<u64> {
         self.worker_penalties.iter().map(|p| p.load(Ordering::Relaxed)).collect()
@@ -330,33 +253,34 @@ impl Server {
         self.state.gauges.refused_connections.load(Ordering::Relaxed)
     }
 
+    /// Requests that executed on a different event loop than the one
+    /// that decoded them (shard-affinity handoffs) so far.
+    pub fn cross_loop_handoffs(&self) -> u64 {
+        self.state.gauges.cross_loop_handoffs.load(Ordering::Relaxed)
+    }
+
+    /// Live connections right now (gauge).
+    pub fn active_connections(&self) -> usize {
+        self.state.active.load(Ordering::Relaxed)
+    }
+
     /// Stops the server gracefully: stop accepting, let in-flight frames
     /// finish for up to [`ServerConfig::drain_deadline`], then hard-close
     /// whatever is left (including mid-frame slow-loris connections) and
-    /// join all threads.
+    /// join all loops.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        self.state.draining.store(true, Ordering::Relaxed);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.listener_handle.take() {
-            let _ = h.join();
+        self.state.draining.store(true, Ordering::SeqCst);
+        // Each loop sees the flag on its next wake-up, closes idle
+        // connections at their frame boundary, gives pipelined work
+        // until the drain deadline, then hard-closes and exits.
+        for l in self.loops.iter() {
+            l.wake.wake();
         }
-        // Drain: handlers close idle connections at their next frame
-        // boundary; give in-flight frames until the deadline.
-        let deadline = Instant::now() + self.drain_deadline;
-        while self.state.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        // Hard-close stragglers; their handlers exit on the next read or
-        // write, which in turn lets the workers' channel drain and close.
-        for stream in self.state.streams.lock().values() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
-        for h in self.worker_handles.drain(..) {
+        for h in self.loop_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -364,31 +288,10 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.listener_handle.is_some() {
+        if !self.loop_handles.is_empty() {
             self.stop();
         }
     }
-}
-
-/// Decodes (opening the seal if present), executes, encodes.
-fn handle_request(store: &dyn KvBackend, item: &WorkItem, net: &NetGauges) -> Result<Vec<u8>> {
-    let plain = match &item.crypto {
-        Some(crypto) => crypto.lock().open(&item.body)?,
-        None => item.body.clone(),
-    };
-    let request = Request::decode(&plain)?;
-    let response = execute_with(store, &request, Some(net));
-    Ok(response.encode())
-}
-
-/// Authenticates a frame without executing it, so a shed request still
-/// advances the session's receive sequence (the client's next frame must
-/// open against the advanced counter).
-fn verify_only(item: &WorkItem) -> Result<()> {
-    if let Some(crypto) = &item.crypto {
-        crypto.lock().open(&item.body)?;
-    }
-    Ok(())
 }
 
 /// Executes one request against the store.
@@ -486,6 +389,9 @@ pub(crate) fn execute_with(
                     if let Some(net) = net {
                         snap.shed_requests = net.shed_requests.load(Ordering::Relaxed);
                         snap.refused_connections = net.refused_connections.load(Ordering::Relaxed);
+                        snap.cross_loop_handoffs = net.cross_loop_handoffs.load(Ordering::Relaxed);
+                        snap.event_loops = net.event_loops.load(Ordering::Relaxed);
+                        snap.pending_frames = net.pending_frames.load(Ordering::Relaxed);
                     }
                     Response::ok(crate::protocol::encode_stats(&snap))
                 }
@@ -505,150 +411,6 @@ pub(crate) fn execute_with(
                 Response::error()
             }
         }
-    }
-}
-
-/// True for the error kinds a timed-out socket read surfaces.
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
-}
-
-/// Reads one frame under the hardening rules: idle waits at a frame
-/// boundary are unbounded (unless draining, which closes the connection
-/// cleanly), but once the first byte arrives the whole frame must land
-/// within `frame_timeout`. Requires the stream's read timeout to be set
-/// to a short polling tick.
-fn read_frame_managed(
-    stream: &mut TcpStream,
-    state: &NetState,
-    frame_timeout: Duration,
-) -> Result<Option<Vec<u8>>> {
-    use std::io::Read;
-    let mut len_buf = [0u8; 4];
-    let mut pos = 0;
-    let mut started: Option<Instant> = None;
-    while pos < 4 {
-        match stream.read(&mut len_buf[pos..]) {
-            Ok(0) => {
-                return if pos == 0 {
-                    Ok(None) // clean disconnect
-                } else {
-                    Err(NetError::Protocol("eof inside frame header".into()))
-                };
-            }
-            Ok(n) => {
-                pos += n;
-                started.get_or_insert_with(Instant::now);
-            }
-            Err(e) if is_timeout(&e) => match started {
-                // Idle at a frame boundary: wait forever in normal
-                // operation, close during drain.
-                None if state.draining.load(Ordering::Relaxed) => return Ok(None),
-                None => {}
-                Some(t0) if t0.elapsed() >= frame_timeout => {
-                    return Err(NetError::Protocol("frame stalled past timeout".into()));
-                }
-                Some(_) => {}
-            },
-            Err(e) => return Err(e.into()),
-        }
-    }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > protocol::MAX_FRAME {
-        return Err(NetError::Protocol("frame too large".into()));
-    }
-    let t0 = started.unwrap_or_else(Instant::now);
-    let mut body = vec![0u8; len];
-    let mut pos = 0;
-    while pos < len {
-        match stream.read(&mut body[pos..]) {
-            Ok(0) => return Err(NetError::Protocol("eof inside frame body".into())),
-            Ok(n) => pos += n,
-            Err(e) if is_timeout(&e) => {
-                if t0.elapsed() >= frame_timeout {
-                    return Err(NetError::Protocol("frame stalled past timeout".into()));
-                }
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(Some(body))
-}
-
-/// One connection's untrusted I/O loop.
-fn handle_connection(
-    mut stream: TcpStream,
-    work_tx: crossbeam::channel::Sender<WorkItem>,
-    enclave: Option<Arc<Enclave>>,
-    config: &ServerConfig,
-    state: &NetState,
-) -> Result<()> {
-    stream.set_nodelay(true)?;
-    // The handshake and response writes are bounded outright; frame
-    // reads get finer-grained treatment below.
-    stream.set_read_timeout(Some(config.frame_timeout))?;
-    stream.set_write_timeout(Some(config.frame_timeout))?;
-    let crypto = if config.secure {
-        let enclave = enclave.ok_or_else(|| NetError::Security("no enclave".into()))?;
-        Some(Arc::new(Mutex::new(session::server_handshake(&mut stream, &enclave)?)))
-    } else {
-        None
-    };
-    // Switch reads to a short polling tick so `read_frame_managed` can
-    // distinguish "idle between frames" from "stalled inside a frame".
-    stream.set_read_timeout(Some(Duration::from_millis(10)))?;
-
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Option<Vec<u8>>>();
-    loop {
-        let Some(body) = read_frame_managed(&mut stream, state, config.frame_timeout)? else {
-            return Ok(()); // clean disconnect (or drain at a frame boundary)
-        };
-        // Admission control: past the in-flight cap, answer Busy without
-        // queueing. The frame is still authenticated (sequence
-        // alignment; tampering still fails the connection closed).
-        if state.in_flight.load(Ordering::Relaxed) >= config.max_in_flight {
-            let shed = WorkItem {
-                crypto: crypto.clone(),
-                body,
-                reply: reply_tx.clone(),
-                enqueued: Instant::now(),
-            };
-            if verify_only(&shed).is_err() {
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-                return Err(NetError::Security("dropping connection on bad frame".into()));
-            }
-            state.gauges.shed_requests.fetch_add(1, Ordering::Relaxed);
-            let out = Response::busy().encode();
-            let out = match &crypto {
-                Some(crypto) => crypto.lock().seal(&out),
-                None => out,
-            };
-            protocol::write_frame(&mut stream, &out)?;
-            continue;
-        }
-        state.in_flight.fetch_add(1, Ordering::Relaxed);
-        let sent = work_tx
-            .send(WorkItem {
-                crypto: crypto.clone(),
-                body,
-                reply: reply_tx.clone(),
-                enqueued: Instant::now(),
-            })
-            .map_err(|_| NetError::Protocol("server shutting down".into()));
-        let out = match sent {
-            Ok(()) => {
-                reply_rx.recv().map_err(|_| NetError::Protocol("worker dropped request".into()))
-            }
-            Err(e) => Err(e),
-        };
-        state.in_flight.fetch_sub(1, Ordering::Relaxed);
-        let Some(out) = out? else {
-            // Unauthenticated or undecodable frame: fail the whole
-            // connection closed (see the worker's comment).
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            return Err(NetError::Security("dropping connection on bad frame".into()));
-        };
-        protocol::write_frame(&mut stream, &out)?;
     }
 }
 
@@ -677,7 +439,7 @@ mod tests {
             store,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 2,
+                event_loops: 2,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()
@@ -704,6 +466,7 @@ mod tests {
         assert_eq!(snap.entries, 20);
         assert_eq!(snap.hists.get.count(), 21);
         assert!(snap.hists.get.p99() >= snap.hists.get.p50());
+        assert_eq!(snap.event_loops, 2, "engine reports its loop count");
 
         // A Stats request carrying payload bytes is rejected.
         let bad = crate::protocol::Request {
@@ -735,7 +498,7 @@ mod tests {
             Arc::clone(&store) as Arc<dyn shield_baseline::KvBackend>,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 2,
+                event_loops: 2,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()
@@ -777,7 +540,7 @@ mod tests {
             store,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 2,
+                event_loops: 2,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()
@@ -811,7 +574,7 @@ mod tests {
             store,
             None,
             ServerConfig {
-                workers: 1,
+                event_loops: 1,
                 crossing: CrossingMode::Ecall,
                 secure: false,
                 ..Default::default()
@@ -836,7 +599,7 @@ mod tests {
             let server = Server::start(
                 Arc::clone(&store) as Arc<dyn KvBackend>,
                 Some(Arc::clone(&enclave)),
-                ServerConfig { workers: 1, crossing, secure: true, ..Default::default() },
+                ServerConfig { event_loops: 1, crossing, secure: true, ..Default::default() },
             )
             .unwrap();
             let mut client = KvClient::connect_secure(server.addr(), &verifier, 2).unwrap();
@@ -865,7 +628,7 @@ mod tests {
             store,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 1,
+                event_loops: 1,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()
@@ -897,7 +660,7 @@ mod tests {
             store,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 1,
+                event_loops: 1,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()
@@ -919,7 +682,7 @@ mod tests {
             store,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 2,
+                event_loops: 2,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()
@@ -958,7 +721,7 @@ mod tests {
             store,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 1,
+                event_loops: 1,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()
@@ -991,7 +754,7 @@ mod tests {
             store,
             Some(Arc::clone(&enclave)),
             ServerConfig {
-                workers: 2,
+                event_loops: 2,
                 crossing: CrossingMode::HotCalls,
                 secure: true,
                 ..Default::default()
@@ -1017,6 +780,46 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.requests_served(), 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shard_affinity_routes_across_loops() {
+        // Four loops over a sharded store: single-key requests spread
+        // over enough distinct keys must exercise the cross-loop
+        // handoff path (the decoding loop rarely owns every shard).
+        let enclave = EnclaveBuilder::new("net-affinity").epc_bytes(8 << 20).build();
+        let store = Arc::new(
+            shieldstore::ShieldStore::new(
+                Arc::clone(&enclave),
+                shieldstore::Config::shield_opt().buckets(256).mac_hashes(32).with_shards(4),
+            )
+            .unwrap(),
+        );
+        let server = Server::start(
+            store,
+            Some(Arc::clone(&enclave)),
+            ServerConfig {
+                event_loops: 4,
+                crossing: CrossingMode::HotCalls,
+                secure: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let verifier = AttestationVerifier::for_enclave(&enclave);
+        let mut client = KvClient::connect_secure(server.addr(), &verifier, 11).unwrap();
+        for i in 0..64u32 {
+            let key = format!("affinity-{i}");
+            client.set(key.as_bytes(), b"v").unwrap();
+            assert_eq!(client.get(key.as_bytes()).unwrap().unwrap(), b"v");
+        }
+        assert_eq!(server.requests_served(), 128);
+        assert!(
+            server.cross_loop_handoffs() > 0,
+            "64 distinct keys over 4 loops must cross at least once"
+        );
+        drop(client);
         server.shutdown();
     }
 }

@@ -112,6 +112,30 @@ fn decode_hello(bytes: &[u8]) -> Result<[u8; 32]> {
     Ok(bytes[8..].try_into().expect("32 bytes"))
 }
 
+/// The server side of the key exchange as a pure step: consumes the
+/// client's hello frame body, returns the established channel crypto
+/// and the quote frame body to send back.
+///
+/// The readiness-loop engine calls this directly (the hello arrives
+/// through the incremental frame decoder like any other frame);
+/// [`server_handshake`] wraps it for blocking streams.
+pub fn server_key_exchange(hello: &[u8], enclave: &Enclave) -> Result<(SessionCrypto, Vec<u8>)> {
+    let client_pub = decode_hello(hello)?;
+
+    let mut server_priv = [0u8; 32];
+    enclave.read_rand(&mut server_priv);
+    let server_pub = x25519::public_key(&server_priv);
+
+    // Bind the DH key into the quote's report data.
+    let mut report_data = [0u8; REPORT_DATA_LEN];
+    report_data[..32].copy_from_slice(&server_pub);
+    let quote = attest::generate_quote(enclave, &report_data);
+
+    let shared = x25519::shared_secret(&server_priv, &client_pub)
+        .ok_or_else(|| NetError::Security("degenerate client key".into()))?;
+    Ok((SessionCrypto::new(&shared, false), quote.to_bytes()))
+}
+
 /// Runs the server side of the handshake over `stream`.
 ///
 /// Generates an ephemeral X25519 key, quotes it with the enclave's
@@ -122,21 +146,9 @@ pub fn server_handshake(
 ) -> Result<SessionCrypto> {
     let hello = crate::protocol::read_frame(stream)?
         .ok_or_else(|| NetError::Protocol("client hung up before hello".into()))?;
-    let client_pub = decode_hello(&hello)?;
-
-    let mut server_priv = [0u8; 32];
-    enclave.read_rand(&mut server_priv);
-    let server_pub = x25519::public_key(&server_priv);
-
-    // Bind the DH key into the quote's report data.
-    let mut report_data = [0u8; REPORT_DATA_LEN];
-    report_data[..32].copy_from_slice(&server_pub);
-    let quote = attest::generate_quote(enclave, &report_data);
-    crate::protocol::write_frame(stream, &quote.to_bytes())?;
-
-    let shared = x25519::shared_secret(&server_priv, &client_pub)
-        .ok_or_else(|| NetError::Security("degenerate client key".into()))?;
-    Ok(SessionCrypto::new(&shared, false))
+    let (crypto, quote_bytes) = server_key_exchange(&hello, enclave)?;
+    crate::protocol::write_frame(stream, &quote_bytes)?;
+    Ok(crypto)
 }
 
 /// Runs the client side of the handshake over `stream`.

@@ -1,0 +1,182 @@
+//! Equivalence battery for the incremental frame decoder.
+//!
+//! The readiness engine replaced the blocking `read_frame` with
+//! [`FrameDecoder`], a push-parser fed arbitrary chunks. These tests
+//! prove the two agree byte-for-byte: over every split position of
+//! every frame, over randomized multi-frame streams cut into randomized
+//! chunks, and on malformed input — where both must fail closed, with
+//! the incremental decoder additionally guaranteeing it never
+//! resynchronizes after a violation.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use shield_net::frame::FrameDecoder;
+use shield_net::protocol::{read_frame, write_frame, MAX_FRAME};
+use std::io::Cursor;
+
+/// The blocking oracle: frames according to `read_frame`, plus whether
+/// the stream ended in an error (`None` = clean EOF or clean tail).
+fn oracle(stream: &[u8]) -> (Vec<Vec<u8>>, bool) {
+    let mut cursor = Cursor::new(stream);
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut cursor) {
+            Ok(Some(body)) => frames.push(body),
+            Ok(None) => return (frames, false),
+            Err(_) => return (frames, true),
+        }
+    }
+}
+
+/// Feeds `stream` to a fresh decoder in the given chunking, returning
+/// completed frames and whether the decoder errored.
+fn incremental(stream: &[u8], cuts: &[usize]) -> (Vec<Vec<u8>>, bool) {
+    let mut decoder = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut rest = stream;
+    for &cut in cuts {
+        let take = cut.min(rest.len());
+        let (chunk, tail) = rest.split_at(take);
+        rest = tail;
+        if decoder.feed(chunk, &mut frames).is_err() {
+            return (frames, true);
+        }
+    }
+    if decoder.feed(rest, &mut frames).is_err() {
+        return (frames, true);
+    }
+    (frames, false)
+}
+
+fn wire(bodies: &[Vec<u8>]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for body in bodies {
+        write_frame(&mut stream, body).expect("fits");
+    }
+    stream
+}
+
+/// Every valid frame, split at every byte boundary: both halves fed
+/// separately must surface exactly the frame the blocking reader sees.
+#[test]
+fn every_split_of_every_frame_matches_blocking_reader() {
+    let bodies: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        b"x".to_vec(),
+        b"hello world".to_vec(),
+        (0..=255u8).collect(),
+        vec![0xab; 1024],
+    ];
+    for body in &bodies {
+        let stream = wire(std::slice::from_ref(body));
+        let (want, want_err) = oracle(&stream);
+        assert!(!want_err);
+        assert_eq!(want, vec![body.clone()]);
+        for split in 0..=stream.len() {
+            let (got, got_err) = incremental(&stream, &[split]);
+            assert!(!got_err, "split at {split} errored");
+            assert_eq!(got, want, "split at {split} diverged");
+        }
+    }
+}
+
+/// Byte-at-a-time delivery of a multi-frame stream: wire order and
+/// content identical to the blocking reader.
+#[test]
+fn byte_at_a_time_multi_frame_stream() {
+    let bodies =
+        vec![b"one".to_vec(), Vec::new(), b"three".to_vec(), vec![7u8; 300], b"five".to_vec()];
+    let stream = wire(&bodies);
+    let (want, _) = oracle(&stream);
+    let cuts: Vec<usize> = vec![1; stream.len()];
+    let (got, err) = incremental(&stream, &cuts);
+    assert!(!err);
+    assert_eq!(got, want);
+    assert_eq!(got, bodies);
+}
+
+/// A truncated tail (half a header or half a body) is never a frame:
+/// the decoder surfaces only the complete prefix — exactly the frames
+/// the blocking reader yields before it hits EOF — and stays mid-frame
+/// rather than fabricating or erroring.
+#[test]
+fn truncation_surfaces_nothing_and_never_desyncs() {
+    let bodies = vec![b"complete".to_vec(), b"cutoff!".to_vec()];
+    let stream = wire(&bodies);
+    for cut in 0..stream.len() {
+        let prefix = &stream[..cut];
+        // The blocking reader reports a mid-body cut as an I/O error
+        // and a mid-header cut as silence; either way the *frames* it
+        // surfaced first are what the incremental decoder must match.
+        let (want, _) = oracle(prefix);
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        decoder.feed(prefix, &mut got).unwrap();
+        assert_eq!(got, want, "truncated at {cut}");
+        // Resuming with the missing bytes completes the stream exactly:
+        // no byte was lost or double-counted at the cut.
+        decoder.feed(&stream[cut..], &mut got).unwrap();
+        assert_eq!(got, bodies, "resumed at {cut}");
+        assert!(!decoder.mid_frame());
+    }
+}
+
+/// An oversized length prefix fails both decoders; the incremental one
+/// is poisoned for good — even a valid follow-up frame is rejected, so
+/// a corrupted connection can never quietly resynchronize.
+#[test]
+fn corruption_fails_closed_without_desync() {
+    let mut stream = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+    stream.extend(wire(&[b"innocent".to_vec()]));
+    let (want, want_err) = oracle(&stream);
+    assert!(want_err);
+    assert!(want.is_empty());
+    for split in 0..=stream.len() {
+        let (got, got_err) = incremental(&stream, &[split]);
+        assert!(got_err, "split at {split} must error");
+        assert!(got.is_empty(), "split at {split} surfaced a frame from a poisoned stream");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, .. ProptestConfig::default() })]
+
+    /// Randomized frame batches cut into randomized chunk lengths:
+    /// the incremental decoder and the blocking reader agree on every
+    /// frame, in order, and on whether the stream errors.
+    #[test]
+    fn random_chunking_equivalence(
+        bodies in pvec(pvec(any::<u8>(), 0..96), 0..8),
+        cuts in pvec(0usize..64, 0..24),
+        tail in pvec(any::<u8>(), 0..4),
+    ) {
+        // `tail` (at most 3 bytes: never a full header, so never a
+        // length to reject) models a dangling partial header after the
+        // last whole frame. Both sides surface exactly the whole
+        // frames; the incremental decoder stays mid-frame on the tail.
+        let mut stream = wire(&bodies);
+        stream.extend_from_slice(&tail);
+        let (want, _) = oracle(&stream);
+        let (got, got_err) = incremental(&stream, &cuts);
+        prop_assert!(!got_err, "well-formed prefixes never error the decoder");
+        prop_assert_eq!(got, want);
+    }
+
+    /// Arbitrary garbage never panics the decoder, and after the first
+    /// error every further feed errors too (permanent poisoning).
+    #[test]
+    fn garbage_never_panics_and_poison_is_permanent(
+        chunks in pvec(pvec(any::<u8>(), 0..512), 1..8),
+    ) {
+        let mut decoder = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut poisoned = false;
+        for chunk in &chunks {
+            let failed = decoder.feed(chunk, &mut out).is_err();
+            if poisoned {
+                prop_assert!(failed, "a poisoned decoder accepted input");
+            }
+            poisoned |= failed;
+        }
+    }
+}

@@ -26,7 +26,7 @@ fn start_server(name: &str, workers: usize) -> (Arc<Enclave>, Server) {
         store,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers,
+            event_loops: workers,
             crossing: CrossingMode::HotCalls,
             secure: true,
             ..Default::default()

@@ -33,7 +33,7 @@ fn main() {
         store,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 2,
+            event_loops: 2,
             crossing: CrossingMode::HotCalls,
             secure: true,
             ..Default::default()
@@ -77,7 +77,7 @@ fn main() {
         evil_store,
         Some(Arc::clone(&impostor)),
         ServerConfig {
-            workers: 1,
+            event_loops: 1,
             crossing: CrossingMode::Ecall,
             secure: true,
             ..Default::default()

@@ -26,7 +26,7 @@ fn real_handshake_then_mitm_flip() {
         store,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 1,
+            event_loops: 1,
             crossing: CrossingMode::HotCalls,
             secure: true,
             ..Default::default()
@@ -196,7 +196,7 @@ fn tampered_entry_fails_batched_read_closed() {
         Arc::clone(&store) as Arc<dyn shield_baseline::KvBackend>,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 1,
+            event_loops: 1,
             crossing: CrossingMode::HotCalls,
             secure: true,
             ..Default::default()
@@ -224,7 +224,7 @@ fn protocol_mode_mismatch_fails_cleanly() {
         store,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 1,
+            event_loops: 1,
             crossing: CrossingMode::HotCalls,
             secure: true,
             ..Default::default()
@@ -250,7 +250,7 @@ fn garbage_frames_survive() {
         store,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 1,
+            event_loops: 1,
             crossing: CrossingMode::HotCalls,
             secure: true,
             ..Default::default()

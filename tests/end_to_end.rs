@@ -125,7 +125,7 @@ fn networked_workload_round_trip() {
         Arc::clone(&s) as Arc<dyn KvBackend>,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 2,
+            event_loops: 2,
             crossing: CrossingMode::HotCalls,
             secure: true,
             ..Default::default()
@@ -214,7 +214,7 @@ fn networked_batched_round_trip() {
         Arc::clone(&s) as Arc<dyn KvBackend>,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 2,
+            event_loops: 2,
             crossing: CrossingMode::HotCalls,
             secure: true,
             ..Default::default()
@@ -267,7 +267,7 @@ fn concurrent_clients_increment_once_each() {
         s,
         Some(Arc::clone(&enclave)),
         ServerConfig {
-            workers: 2,
+            event_loops: 2,
             crossing: CrossingMode::HotCalls,
             secure: true,
             ..Default::default()
