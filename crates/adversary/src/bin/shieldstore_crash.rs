@@ -23,6 +23,16 @@
 //!   instead of the plain write path. Recovery uses the snapshot when
 //!   its rename became durable and the bare WAL otherwise; the strict
 //!   window applies either way.
+//! * `expiry` — strict writes where every op carries an absolute TTL
+//!   deadline: even steps get a far-future deadline (live), odd steps
+//!   a near one (doomed). The child runs on a frozen clock and the
+//!   parent recovers on a later frozen clock positioned *between* the
+//!   two deadlines, so the crash always lands with expiries in flight.
+//!   Recovery must neither resurrect a doomed entry (every doomed key
+//!   reads as absent, and the sweep reaps exactly the replayed doomed
+//!   population) nor early-expire a live one (every acknowledged live
+//!   key is served byte-exact). Absolute deadlines keep the cell
+//!   immune to wall-clock skew between the two processes.
 //!
 //! In every case each recovered value must be byte-exact and no
 //! phantom keys may appear.
@@ -36,10 +46,21 @@
 
 use sgx_sim::counter::PersistentCounter;
 use sgx_sim::enclave::{Enclave, EnclaveBuilder};
-use shieldstore::{Config, DurabilityPolicy, ShieldStore};
+use shieldstore::{ttl, Config, DurabilityPolicy, Error, ShieldStore};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Frozen "wall clock" the expiry-mode child writes under. An absolute
+/// anchor (not `now`) so child and parent agree without sharing state.
+const EXPIRY_BASE_NS: u64 = 1_800_000_000_000_000_000;
+/// Live entries expire two hours after the anchor.
+const LIVE_DEADLINE_NS: u64 = EXPIRY_BASE_NS + 7_200_000_000_000;
+/// Doomed entries expire one hour after the anchor.
+const DOOMED_DEADLINE_NS: u64 = EXPIRY_BASE_NS + 3_600_000_000_000;
+/// The parent recovers ninety minutes in: doomed are past due, live
+/// have half an hour left.
+const RECOVERY_CLOCK_NS: u64 = EXPIRY_BASE_NS + 5_400_000_000_000;
 
 const ROLE_ENV: &str = "SHIELDSTORE_CRASH_ROLE";
 const DIR_ENV: &str = "SHIELDSTORE_CRASH_DIR";
@@ -62,7 +83,10 @@ fn policy_from_tag(tag: &str) -> DurabilityPolicy {
         // fuse armed, so kill points land inside the log-rotation
         // protocol (rotate_begin pin, rotate_commit pin, and the commits
         // that follow) instead of the plain write path.
-        "strict" | "snapshot" => DurabilityPolicy::Strict,
+        // `expiry` writes strictly too, but every op carries an
+        // absolute deadline so the kill points land with expiries in
+        // flight on the WAL.
+        "strict" | "snapshot" | "expiry" => DurabilityPolicy::Strict,
         "group4" => DurabilityPolicy::EveryN(4),
         other => panic!("unknown policy tag {other:?}"),
     }
@@ -102,6 +126,7 @@ fn run_child() {
     let ops = env_u64(OPS_ENV);
     let tag = std::env::var(POLICY_ENV).expect("policy tag");
     let snapshot_mode = tag == "snapshot";
+    let expiry_mode = tag == "expiry";
     let policy = policy_from_tag(&tag);
 
     let mut progress = std::fs::OpenOptions::new()
@@ -114,6 +139,12 @@ fn run_child() {
     // snapshot, so every kill point exercises the rotation protocol;
     // otherwise arm before attaching so kill points inside WAL creation
     // (the first pin write) are part of the matrix too.
+    if expiry_mode {
+        // Write under a frozen clock anchored at an absolute time the
+        // parent also knows, so deadlines mean the same thing in both
+        // processes regardless of the real wall clock.
+        ttl::freeze(EXPIRY_BASE_NS);
+    }
     if !snapshot_mode {
         shieldstore::wal::crash::arm(fuse);
     }
@@ -132,10 +163,22 @@ fn run_child() {
                 job.finish().expect("finish snapshot");
             }
         }
-        store.set(&key_bytes(step), &value_bytes(seed, step)).expect("acknowledged set");
-        // The ack line goes to disk only after `set` returned: anything
-        // recorded here was confirmed to the (hypothetical) client.
-        progress.write_all(b"+\n").expect("progress write");
+        // The ack line goes to disk only after the set returned:
+        // anything recorded was confirmed to the (hypothetical) client.
+        if expiry_mode {
+            let (deadline, marker) = if step.is_multiple_of(2) {
+                (LIVE_DEADLINE_NS, b"L\n".as_slice())
+            } else {
+                (DOOMED_DEADLINE_NS, b"D\n".as_slice())
+            };
+            store
+                .set_with_expiry(0, &key_bytes(step), &value_bytes(seed, step), deadline)
+                .expect("acknowledged set");
+            progress.write_all(marker).expect("progress write");
+        } else {
+            store.set(&key_bytes(step), &value_bytes(seed, step)).expect("acknowledged set");
+            progress.write_all(b"+\n").expect("progress write");
+        }
     }
     // Fuse outlasted the run: finish cleanly so the parent can check
     // full recovery instead.
@@ -193,7 +236,7 @@ fn run_parent() {
 
     for seed in args.start..args.start + args.seeds {
         for kill in 1..=args.kill_points {
-            for tag in ["strict", "group4", "snapshot"] {
+            for tag in ["strict", "group4", "snapshot", "expiry"] {
                 cells += 1;
                 let dir = std::env::temp_dir()
                     .join(format!("ss-crash-{}-{seed}-{kill}-{tag}", std::process::id()));
@@ -224,7 +267,7 @@ fn run_parent() {
     }
 
     println!(
-        "crash-matrix: {cells} cells ({} seeds x {} kill-points x 3 modes), \
+        "crash-matrix: {cells} cells ({} seeds x {} kill-points x 4 modes), \
          {crashes} aborted mid-commit, {clean_runs} ran to completion, {}",
         args.seeds,
         args.kill_points,
@@ -242,6 +285,14 @@ fn run_parent() {
 /// Recovers one cell's WAL and checks the replayed state against the
 /// acknowledged-progress count.
 fn check_cell(seed: u64, tag: &str, dir: &Path, ops: u64, clean_exit: bool) -> Result<(), String> {
+    if tag == "expiry" {
+        // Recover on a frozen clock between the two deadline classes,
+        // and always thaw so later cells see real time again.
+        ttl::freeze(RECOVERY_CLOCK_NS);
+        let verdict = check_expiry_cell(seed, dir, ops, clean_exit);
+        ttl::thaw();
+        return verdict;
+    }
     let acked = std::fs::read(dir.join("progress"))
         .map(|b| b.iter().filter(|&&c| c == b'\n').count() as u64)
         .unwrap_or(0);
@@ -295,6 +346,104 @@ fn check_cell(seed: u64, tag: &str, dir: &Path, ops: u64, clean_exit: bool) -> R
         }
     }
     // The recovered store must accept new writes in the same generation.
+    store.set(b"post-recovery", b"ok").map_err(|e| format!("post-recovery write: {e:?}"))?;
+    store
+        .snapshot()
+        .check_consistent()
+        .map_err(|detail| format!("stats invariant after recovery: {detail}"))?;
+    Ok(())
+}
+
+/// Recovers one expiry-mode cell and checks the two TTL crash
+/// invariants: no resurrection of doomed entries, no early expiry of
+/// live ones. Caller has already frozen the clock at
+/// `RECOVERY_CLOCK_NS` (doomed past due, live still good).
+fn check_expiry_cell(seed: u64, dir: &Path, ops: u64, clean_exit: bool) -> Result<(), String> {
+    let markers = std::fs::read(dir.join("progress")).unwrap_or_default();
+    let acked = markers.iter().filter(|&&c| c == b'\n').count() as u64;
+    let acked_doomed = markers.iter().filter(|&&c| c == b'D').count() as u64;
+
+    let counter = PersistentCounter::open(dir.join("snapctr"))
+        .map_err(|e| format!("snapshot counter: {e}"))?;
+    let store = ShieldStore::recover(
+        enclave(seed),
+        config(DurabilityPolicy::Strict),
+        None,
+        &counter,
+        dir.join("wal"),
+    )
+    .map_err(|e| format!("recovery failed: {e:?} (acked={acked})"))?;
+
+    // Replay reinserts even entries that are past due (reads filter
+    // lazily), so the strict window applies to the *physical* count.
+    let recovered = store.len() as u64;
+    let in_window = if clean_exit {
+        acked == ops && recovered == ops
+    } else {
+        recovered == acked || recovered == acked + 1
+    };
+    if !in_window {
+        return Err(format!(
+            "recovered {recovered} entries, acknowledged {acked} (clean_exit={clean_exit}): \
+             outside the strict durability window"
+        ));
+    }
+
+    // No early expiry: every acknowledged live key is served byte-exact.
+    // Steps are acked in order, so step `acked` is the only possibly
+    // in-flight op; later steps must be absent.
+    for step in (0..ops).step_by(2) {
+        match store.get(&key_bytes(step)) {
+            Ok(v) if v == value_bytes(seed, step) => {
+                if step > acked {
+                    return Err(format!("unacknowledged live key {step} appeared (acked={acked})"));
+                }
+            }
+            Ok(_) => return Err(format!("live key {step} recovered with the wrong bytes")),
+            Err(Error::KeyNotFound) => {
+                if step < acked {
+                    return Err(format!(
+                        "acknowledged live key {step} early-expired or lost (acked={acked})"
+                    ));
+                }
+            }
+            Err(e) => return Err(format!("live key {step}: {e}")),
+        }
+    }
+
+    // No resurrection: a doomed key must never be served, acknowledged
+    // or not — its deadline is behind the recovery clock.
+    for step in (1..ops).step_by(2) {
+        match store.get(&key_bytes(step)) {
+            Err(Error::KeyNotFound) => {}
+            Ok(_) => return Err(format!("doomed key {step} resurrected by recovery")),
+            Err(e) => return Err(format!("doomed key {step}: {e}")),
+        }
+    }
+
+    // The sweep reaps exactly the replayed doomed population: every
+    // acknowledged doomed write plus at most the one in flight.
+    let swept = store.sweep_expired().map_err(|e| format!("sweep: {e}"))? as u64;
+    if swept < acked_doomed || swept > acked_doomed + 1 {
+        return Err(format!(
+            "sweep reaped {swept} entries, acknowledged doomed {acked_doomed}: \
+             outside the strict window"
+        ));
+    }
+    if store.len() as u64 != recovered - swept {
+        return Err(format!(
+            "sweep bookkeeping: len {} after reaping {swept} of {recovered}",
+            store.len()
+        ));
+    }
+    // Live keys survive the sweep untouched.
+    for step in (0..acked.min(ops)).step_by(2) {
+        match store.get(&key_bytes(step)) {
+            Ok(v) if v == value_bytes(seed, step) => {}
+            other => return Err(format!("live key {step} damaged by the sweep: {other:?}")),
+        }
+    }
+
     store.set(b"post-recovery", b"ok").map_err(|e| format!("post-recovery write: {e:?}"))?;
     store
         .snapshot()

@@ -23,6 +23,9 @@
 //!   record splices, stale pin+log replays, pre-snapshot logs after
 //!   rotation) plus kill-point crash/recover cycles checked against the
 //!   shadow model within the policy's loss window.
+//! * [`tenantphase`] — cross-tenant attacks (cross-namespace reads with
+//!   leaked derived keys, re-MAC forgery, quota exhaustion, TTL
+//!   resurrection), proving the multi-tenant isolation boundary.
 //!
 //! The invariant checked after every step is the *trichotomy*: the
 //! result matches the model, or the operation failed with an integrity
@@ -31,6 +34,7 @@
 pub mod engine;
 pub mod model;
 pub mod snapshot;
+pub mod tenantphase;
 pub mod walphase;
 pub mod wire;
 
@@ -41,6 +45,7 @@ pub struct SeedReport {
     pub snapshot: snapshot::SnapshotReport,
     pub wal: walphase::WalReport,
     pub wire: wire::WireReport,
+    pub tenant: tenantphase::TenantReport,
 }
 
 /// Runs every phase for one seed. `store_steps` sizes the chaotic
@@ -50,5 +55,6 @@ pub fn run_seed(seed: u64, store_steps: u64) -> Result<SeedReport, model::Violat
     let snapshot = snapshot::run_snapshot_phase(seed)?;
     let wal = walphase::run_wal_phase(seed)?;
     let wire = wire::run_wire_phase(seed)?;
-    Ok(SeedReport { store, snapshot, wal, wire })
+    let tenant = tenantphase::run_tenant_phase(seed)?;
+    Ok(SeedReport { store, snapshot, wal, wire, tenant })
 }

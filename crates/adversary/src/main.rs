@@ -69,6 +69,7 @@ fn main() {
     // ops, attacks, detections, wire faults, crash/recover cycles
     let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut by_kind = [0u64; engine::CATALOG.len()];
+    let mut tenant = adversary::tenantphase::TenantReport::default();
     let mut failed_seeds: Vec<u64> = Vec::new();
 
     for seed in args.start..args.start + args.count {
@@ -80,12 +81,23 @@ fn main() {
         };
         match outcome {
             Ok(report) => {
-                totals.0 += report.store.ops + report.wire.ops;
+                totals.0 += report.store.ops + report.wire.ops + report.tenant.ops;
                 totals.1 += report.store.attacks
                     + report.snapshot.corruptions
                     + report.wal.attacks
-                    + report.wire.faults;
-                totals.2 += report.store.detected + report.snapshot.detected + report.wal.detected;
+                    + report.wire.faults
+                    + report.tenant.attacks;
+                totals.2 += report.store.detected
+                    + report.snapshot.detected
+                    + report.wal.detected
+                    + report.tenant.detected;
+                tenant.ops += report.tenant.ops;
+                tenant.attacks += report.tenant.attacks;
+                tenant.detected += report.tenant.detected;
+                tenant.cross_reads += report.tenant.cross_reads;
+                tenant.forgeries += report.tenant.forgeries;
+                tenant.quota_rejections += report.tenant.quota_rejections;
+                tenant.ttl_resurrections += report.tenant.ttl_resurrections;
                 totals.3 += report.wire.faults;
                 totals.4 += report.wal.cycles;
                 for (total, landed) in by_kind.iter_mut().zip(report.store.attacks_by_kind) {
@@ -123,6 +135,19 @@ fn main() {
     }
     totals.0 += overload.ops;
 
+    if args.wire {
+        println!(
+            "tenant phase: {} ops, {} attacks ({} cross-reads, {} forgeries, \
+             {} quota rejections, {} TTL revivals), {} detections",
+            tenant.ops,
+            tenant.attacks,
+            tenant.cross_reads,
+            tenant.forgeries,
+            tenant.quota_rejections,
+            tenant.ttl_resurrections,
+            tenant.detected,
+        );
+    }
     println!("attack coverage:");
     for (kind, landed) in engine::CATALOG.iter().zip(by_kind) {
         println!("  {kind:?}: {landed}");
@@ -153,7 +178,7 @@ fn main() {
     );
 
     if let Some(path) = &args.report {
-        let json = report_json(&args, totals, &by_kind, &overload, &failed_seeds);
+        let json = report_json(&args, totals, &by_kind, &overload, &tenant, &failed_seeds);
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
@@ -174,6 +199,7 @@ fn report_json(
     totals: (u64, u64, u64, u64, u64),
     by_kind: &[u64; engine::CATALOG.len()],
     overload: &adversary::wire::OverloadReport,
+    tenant: &adversary::tenantphase::TenantReport,
     failed_seeds: &[u64],
 ) -> String {
     let mut out = String::from("{\n");
@@ -203,6 +229,17 @@ fn report_json(
     out.push_str(&format!("    \"refused_connections\": {},\n", overload.refused));
     out.push_str(&format!("    \"reconnects\": {},\n", overload.reconnects));
     out.push_str(&format!("    \"worst_drain_ms\": {}\n", overload.drain_ms));
+    out.push_str("  },\n");
+    out.push_str("  \"tenant\": {\n");
+    out.push_str(&format!("    \"ops\": {},\n", tenant.ops));
+    out.push_str(&format!("    \"attacks\": {},\n", tenant.attacks));
+    out.push_str(&format!("    \"detections\": {},\n", tenant.detected));
+    out.push_str("    \"by_attack_kind\": {\n");
+    out.push_str(&format!("      \"cross_read\": {},\n", tenant.cross_reads));
+    out.push_str(&format!("      \"forge\": {},\n", tenant.forgeries));
+    out.push_str(&format!("      \"quota_exhaustion\": {},\n", tenant.quota_rejections));
+    out.push_str(&format!("      \"ttl_resurrection\": {}\n", tenant.ttl_resurrections));
+    out.push_str("    }\n");
     out.push_str("  },\n");
     let seeds: Vec<String> = failed_seeds.iter().map(u64::to_string).collect();
     out.push_str(&format!("  \"failed_seeds\": [{}]\n", seeds.join(", ")));

@@ -1,0 +1,401 @@
+//! The `tenant` phase: cross-tenant attacks, checked differentially.
+//!
+//! Four attack kinds run per seed, each against the same two-tenant
+//! store (victim tenant 2, attacker tenant 1, quota-bounded tenant 3):
+//!
+//! * **cross-read** — the attacker reads the victim's key names through
+//!   its own namespace and sweeps raw untrusted memory with its *own
+//!   leaked derived keys*. Nothing of the victim's may decrypt or
+//!   verify.
+//! * **forge** — the attacker re-MACs victim-tagged entries under its
+//!   leaked key and plants them back. The victim's reads must fail
+//!   closed, never serve the forgery.
+//! * **quota-exhaustion** — a flood from the quota-bounded tenant must
+//!   hit `QuotaExceeded` without ever overshooting its configured
+//!   budget, and must not block the victim's writes.
+//! * **TTL-resurrection** — expired entries are "revived" by rewriting
+//!   the plaintext expiry field and by replaying stale pre-expiry entry
+//!   bytes. An expired value must never be served again.
+//!
+//! Everything is a pure function of the seed, like the other phases.
+
+use crate::model::Violation;
+use shield_workload::rng::SplitMix64;
+use shieldstore::testing::StaleEntry;
+use shieldstore::{entry, ttl, Config, Error, ShieldStore, TenantQuota};
+
+/// Accounting for one seed's tenant phase.
+#[derive(Debug, Default, Clone)]
+pub struct TenantReport {
+    /// Store operations issued.
+    pub ops: u64,
+    /// Attack mutations landed (all kinds).
+    pub attacks: u64,
+    /// Attacks answered with an integrity failure (detections).
+    pub detected: u64,
+    /// Cross-namespace read attempts (API + leaked-key sweeps).
+    pub cross_reads: u64,
+    /// Forged entries planted.
+    pub forgeries: u64,
+    /// Writes rejected by quota.
+    pub quota_rejections: u64,
+    /// Expired-entry revival attempts.
+    pub ttl_resurrections: u64,
+}
+
+const ATTACKER: u32 = 1;
+const VICTIM: u32 = 2;
+const BOUNDED: u32 = 3;
+const NUM_KEYS: u64 = 16;
+
+fn key_bytes(id: u64) -> Vec<u8> {
+    format!("tenant-key-{id:04}").into_bytes()
+}
+
+fn value_bytes(tenant: u32, id: u64, seed: u64) -> Vec<u8> {
+    format!("t{tenant}-v{id}-{:08x}", seed & 0xffff_ffff).into_bytes()
+}
+
+fn violation(context: &str, detail: String) -> Violation {
+    Violation { context: context.into(), detail }
+}
+
+/// Unfreezes the TTL clock even when a check fails early.
+struct ThawGuard;
+impl Drop for ThawGuard {
+    fn drop(&mut self) {
+        ttl::thaw();
+    }
+}
+
+/// Runs the tenant phase for one seed.
+pub fn run_tenant_phase(seed: u64) -> Result<TenantReport, Violation> {
+    sgx_sim::vclock::reset();
+    let mut report = TenantReport::default();
+    let mut rng = SplitMix64::new(seed ^ 0x7e4a_917e_4a91_7e4a);
+    let enclave =
+        sgx_sim::enclave::EnclaveBuilder::new("adversary-tenant").epc_bytes(16 << 20).build();
+    let store =
+        ShieldStore::new(enclave, Config::shield_opt().buckets(64).mac_hashes(16).with_shards(1))
+            .map_err(|e| violation("tenant setup", format!("store: {e}")))?;
+
+    // Freeze the TTL clock so expiry is deterministic per seed.
+    let base_ns = 1_700_000_000_000_000_000u64 + (seed & 0xffff) * 1_000_000;
+    ttl::freeze(base_ns);
+    let _thaw = ThawGuard;
+
+    // Populate attacker and victim namespaces over the SAME key names.
+    for id in 0..NUM_KEYS {
+        store
+            .set_t(ATTACKER, &key_bytes(id), &value_bytes(ATTACKER, id, seed))
+            .map_err(|e| violation("tenant warm-up", format!("attacker set: {e}")))?;
+        store
+            .set_t(VICTIM, &key_bytes(id), &value_bytes(VICTIM, id, seed))
+            .map_err(|e| violation("tenant warm-up", format!("victim set: {e}")))?;
+        report.ops += 2;
+    }
+
+    cross_read_attacks(&store, seed, &mut report)?;
+    forge_attacks(&store, &mut rng, seed, &mut report)?;
+    quota_exhaustion(&store, seed, &mut report)?;
+    ttl_resurrection(&store, &mut rng, seed, &mut report)?;
+    Ok(report)
+}
+
+/// Attack 1: cross-tenant reads via the API and via leaked keys over
+/// raw memory.
+fn cross_read_attacks(
+    store: &ShieldStore,
+    seed: u64,
+    report: &mut TenantReport,
+) -> Result<(), Violation> {
+    // API level: the attacker's namespace resolves to its own values.
+    for id in 0..NUM_KEYS {
+        report.ops += 1;
+        report.cross_reads += 1;
+        let got = store
+            .get_t(ATTACKER, &key_bytes(id))
+            .map_err(|e| violation("cross-read", format!("attacker get: {e}")))?;
+        if got == value_bytes(VICTIM, id, seed) {
+            return Err(violation(
+                "cross-read",
+                format!("attacker read the victim's value for key {id}"),
+            ));
+        }
+        if got != value_bytes(ATTACKER, id, seed) {
+            return Err(violation(
+                "cross-read",
+                format!("attacker's own value wrong for key {id}"),
+            ));
+        }
+    }
+
+    // Raw level: leaked attacker keys over every victim entry.
+    let (enc_raw, mac_raw) = store.leak_tenant_keys(ATTACKER);
+    let enc = shield_crypto::ctr::AesCtr::new(&enc_raw);
+    let mac = shield_crypto::cmac::Cmac::new(&mac_raw);
+    let mut victim_entries = 0u64;
+    for stale in store.stale_entry_copies(0) {
+        let header = entry::parse_header(&stale.bytes);
+        if header.tenant != VICTIM {
+            continue;
+        }
+        victim_entries += 1;
+        report.cross_reads += 1;
+        report.attacks += 1;
+        let ct = &stale.bytes[entry::HEADER_LEN..];
+        if entry::verify_mac(&mac, &header, ct) {
+            return Err(violation(
+                "cross-read",
+                "victim entry verified under the attacker's leaked MAC key".into(),
+            ));
+        }
+        report.detected += 1;
+        let (k, _v) = entry::decrypt_entry(&enc, &header, ct);
+        if (0..NUM_KEYS).any(|id| k == key_bytes(id)) {
+            return Err(violation(
+                "cross-read",
+                "attacker's leaked data key decrypted a victim key".into(),
+            ));
+        }
+    }
+    if victim_entries == 0 {
+        return Err(violation("cross-read", "no victim entries found in raw memory".into()));
+    }
+    Ok(())
+}
+
+/// Attack 2: plant victim-tagged entries re-MACed under the attacker's
+/// leaked key.
+fn forge_attacks(
+    store: &ShieldStore,
+    rng: &mut SplitMix64,
+    seed: u64,
+    report: &mut TenantReport,
+) -> Result<(), Violation> {
+    let (_, mac_raw) = store.leak_tenant_keys(ATTACKER);
+    let mac = shield_crypto::cmac::Cmac::new(&mac_raw);
+    let stales = store.stale_entry_copies(0);
+    let victims: Vec<&StaleEntry> =
+        stales.iter().filter(|s| entry::parse_header(&s.bytes).tenant == VICTIM).collect();
+    // Forge a pseudo-random subset (at least one).
+    let picks = 1 + rng.next_below(victims.len() as u64 / 2 + 1) as usize;
+    for stale in victims.iter().take(picks) {
+        let header = entry::parse_header(&stale.bytes);
+        let ct = &stale.bytes[entry::HEADER_LEN..];
+        let tag = entry::compute_mac(
+            &mac,
+            ct,
+            header.key_len,
+            header.val_len,
+            header.hint,
+            header.tenant,
+            header.expires_at,
+            &header.iv,
+        );
+        let mut forged = stale.bytes.clone();
+        forged[entry::OFF_MAC..entry::OFF_MAC + 16].copy_from_slice(&tag);
+        if store.replay_entry(0, &StaleEntry { handle: stale.handle, bytes: forged }) {
+            report.forgeries += 1;
+            report.attacks += 1;
+        }
+    }
+
+    // The victim's reads now either fail closed or return its own
+    // values (for untouched entries) — never anything else.
+    for id in 0..NUM_KEYS {
+        report.ops += 1;
+        match store.get_t(VICTIM, &key_bytes(id)) {
+            Ok(v) => {
+                if v != value_bytes(VICTIM, id, seed) {
+                    return Err(violation(
+                        "forge",
+                        format!("victim read a non-own value for key {id}"),
+                    ));
+                }
+            }
+            Err(Error::IntegrityViolation { .. }) => report.detected += 1,
+            Err(e) => {
+                return Err(violation("forge", format!("unexpected error {e:?}")));
+            }
+        }
+    }
+    // Undo the attack (restore the captured honest bytes) so later
+    // attacks start from a verifying store; the store itself rightly
+    // refuses to write through a tampered chain.
+    for stale in victims.iter().take(picks) {
+        store.replay_entry(0, stale);
+    }
+    for id in 0..NUM_KEYS {
+        report.ops += 1;
+        let got = store
+            .get_t(VICTIM, &key_bytes(id))
+            .map_err(|e| violation("forge repair", format!("victim get: {e}")))?;
+        if got != value_bytes(VICTIM, id, seed) {
+            return Err(violation("forge repair", format!("key {id} not restored")));
+        }
+    }
+    Ok(())
+}
+
+/// Attack 3: a bounded tenant floods past its quota.
+fn quota_exhaustion(
+    store: &ShieldStore,
+    seed: u64,
+    report: &mut TenantReport,
+) -> Result<(), Violation> {
+    let max_keys = 8u64;
+    store.tenants().configure(BOUNDED, TenantQuota { max_bytes: u64::MAX, max_keys, weight: 1 });
+    let mut rejected = 0u64;
+    for id in 0..max_keys * 3 {
+        report.ops += 1;
+        match store.set_t(BOUNDED, &key_bytes(id), &value_bytes(BOUNDED, id, seed)) {
+            Ok(()) => {}
+            Err(Error::QuotaExceeded { tenant }) if tenant == BOUNDED => rejected += 1,
+            Err(e) => return Err(violation("quota", format!("unexpected error {e:?}"))),
+        }
+    }
+    report.attacks += 1;
+    report.quota_rejections += rejected;
+    if rejected == 0 {
+        return Err(violation("quota", "flood past max_keys was never rejected".into()));
+    }
+    report.detected += 1;
+    let used =
+        store.tenants().state(BOUNDED).usage.used_keys.load(std::sync::atomic::Ordering::Relaxed);
+    if used > max_keys {
+        return Err(violation(
+            "quota",
+            format!("bounded tenant holds {used} keys over its {max_keys} budget"),
+        ));
+    }
+    // The victim is unaffected by the bounded tenant's exhaustion.
+    report.ops += 1;
+    store
+        .set_t(VICTIM, b"quota-victim-probe", b"still-writable")
+        .map_err(|e| violation("quota", format!("victim write blocked: {e}")))?;
+    Ok(())
+}
+
+/// Attack 4: revive expired entries by expiry-field rewrite and by
+/// stale-bytes replay.
+fn ttl_resurrection(
+    store: &ShieldStore,
+    rng: &mut SplitMix64,
+    seed: u64,
+    report: &mut TenantReport,
+) -> Result<(), Violation> {
+    let ttl_ns = 1_000_000_000u64; // 1s on the frozen clock
+    let doomed: Vec<u64> = (0..4).map(|i| NUM_KEYS + 100 + i).collect();
+    for &id in &doomed {
+        report.ops += 1;
+        store
+            .set_ttl(VICTIM, &key_bytes(id), &value_bytes(VICTIM, id, seed), ttl_ns)
+            .map_err(|e| violation("ttl", format!("set_ttl: {e}")))?;
+    }
+    // Stale pre-expiry copies for the replay attack.
+    let stales: Vec<StaleEntry> = store
+        .stale_entry_copies(0)
+        .into_iter()
+        .filter(|s| {
+            let h = entry::parse_header(&s.bytes);
+            h.tenant == VICTIM && h.expires_at != 0
+        })
+        .collect();
+    if stales.is_empty() {
+        return Err(violation("ttl", "no TTL'd victim entries captured".into()));
+    }
+
+    ttl::advance(ttl_ns + 1);
+
+    // Expired: every read misses (lazy expiry).
+    for &id in &doomed {
+        report.ops += 1;
+        match store.get_t(VICTIM, &key_bytes(id)) {
+            Err(Error::KeyNotFound) => {}
+            Ok(_) => return Err(violation("ttl", format!("expired key {id} still served"))),
+            Err(e) => return Err(violation("ttl", format!("unexpected error {e:?}"))),
+        }
+    }
+
+    // Revival 1: rewrite the plaintext expiry field to the far future.
+    for stale in &stales {
+        let mut revived = stale.bytes.clone();
+        revived[entry::OFF_EXPIRY..entry::OFF_EXPIRY + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        if store.replay_entry(0, &StaleEntry { handle: stale.handle, bytes: revived }) {
+            report.ttl_resurrections += 1;
+            report.attacks += 1;
+        }
+    }
+    for &id in &doomed {
+        report.ops += 1;
+        match store.get_t(VICTIM, &key_bytes(id)) {
+            Ok(_) => {
+                return Err(violation("ttl", format!("expiry-field rewrite resurrected key {id}")))
+            }
+            Err(Error::KeyNotFound) => {}
+            Err(Error::IntegrityViolation { .. }) => report.detected += 1,
+            Err(e) => return Err(violation("ttl", format!("unexpected error {e:?}"))),
+        }
+    }
+
+    // Restore honest bytes, sweep the expired entries out, then replay
+    // the (authentically MACed!) stale pre-expiry bytes at a survivor's
+    // slot — rollback to a live-looking expired entry.
+    for stale in &stales {
+        store.replay_entry(0, stale);
+    }
+    let swept = store.sweep_expired().map_err(|e| violation("ttl", format!("sweep: {e}")))?;
+    if swept == 0 {
+        return Err(violation("ttl", "sweep reclaimed nothing despite expired entries".into()));
+    }
+    report.ops += 1;
+
+    let survivors = store.stale_entry_copies(0);
+    if let Some(target) = survivors.get(rng.next_below(survivors.len() as u64) as usize) {
+        if let Some(stale) = stales.first() {
+            if store
+                .replay_entry(0, &StaleEntry { handle: target.handle, bytes: stale.bytes.clone() })
+            {
+                report.ttl_resurrections += 1;
+                report.attacks += 1;
+            }
+        }
+    }
+    for &id in &doomed {
+        report.ops += 1;
+        match store.get_t(VICTIM, &key_bytes(id)) {
+            Ok(_) => return Err(violation("ttl", format!("stale replay resurrected key {id}"))),
+            Err(Error::KeyNotFound) => {}
+            Err(Error::IntegrityViolation { .. }) => report.detected += 1,
+            Err(e) => return Err(violation("ttl", format!("unexpected error {e:?}"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_phase_runs_clean_over_seeds() {
+        for seed in 0..8 {
+            let report = run_tenant_phase(seed).expect("no violations");
+            assert!(report.cross_reads > 0);
+            assert!(report.forgeries > 0);
+            assert!(report.quota_rejections > 0);
+            assert!(report.ttl_resurrections > 0);
+            assert!(report.detected > 0);
+        }
+    }
+
+    #[test]
+    fn tenant_phase_is_deterministic() {
+        let a = run_tenant_phase(77).expect("clean");
+        let b = run_tenant_phase(77).expect("clean");
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.attacks, b.attacks);
+        assert_eq!(a.detected, b.detected);
+    }
+}

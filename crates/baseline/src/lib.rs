@@ -38,6 +38,10 @@ pub enum OpError {
     /// The key's hash partition is quarantined after an integrity
     /// violation; other partitions keep serving.
     Quarantined,
+    /// The write would exceed the requesting tenant's byte or key
+    /// quota; the store was left untouched. Distinct from `Failed` so a
+    /// serving layer can tell the tenant to shed load (not retry).
+    QuotaExceeded,
     /// Any other failure (capacity, integrity violation, malformed
     /// value, …).
     Failed,
@@ -191,6 +195,63 @@ pub trait KvBackend: Send + Sync {
     fn try_scan_prefix(&self, prefix: &[u8], limit: usize) -> OpResult<Vec<(Vec<u8>, Vec<u8>)>> {
         self.scan_prefix(prefix, limit).ok_or(OpError::Failed)
     }
+
+    // --- tenant-scoped variants ----------------------------------------
+    //
+    // The wire server executes every request under the tenant its
+    // connection authenticated as. Baseline stores have a single flat
+    // namespace: their defaults serve every tenant from it (the paper's
+    // comparison systems know nothing of namespaces), which keeps the
+    // benchmark harness uniform. Only ShieldStore overrides these with
+    // real cryptographic namespace isolation, quotas, and TTL.
+
+    /// Admission weight for `tenant` (default 1: unweighted fair share).
+    fn tenant_weight(&self, _tenant: u32) -> u32 {
+        1
+    }
+    /// Tenant-scoped [`KvBackend::try_get`].
+    fn try_get_t(&self, _tenant: u32, key: &[u8]) -> OpResult<Option<Vec<u8>>> {
+        self.try_get(key)
+    }
+    /// Tenant-scoped [`KvBackend::try_set`] with a relative TTL
+    /// (`ttl_ns == 0` means no expiry). Stores without expiry support
+    /// fail a nonzero TTL closed instead of silently storing an
+    /// immortal value.
+    fn try_set_t(&self, _tenant: u32, key: &[u8], value: &[u8], ttl_ns: u64) -> OpResult<()> {
+        if ttl_ns != 0 {
+            return Err(OpError::Failed);
+        }
+        self.try_set(key, value)
+    }
+    /// Tenant-scoped [`KvBackend::try_delete`].
+    fn try_delete_t(&self, _tenant: u32, key: &[u8]) -> OpResult<bool> {
+        self.try_delete(key)
+    }
+    /// Tenant-scoped [`KvBackend::try_append`].
+    fn try_append_t(&self, _tenant: u32, key: &[u8], suffix: &[u8]) -> OpResult<()> {
+        self.try_append(key, suffix)
+    }
+    /// Tenant-scoped [`KvBackend::try_increment`].
+    fn try_increment_t(&self, _tenant: u32, key: &[u8], delta: i64) -> OpResult<i64> {
+        self.try_increment(key, delta)
+    }
+    /// Tenant-scoped [`KvBackend::try_multi_get`].
+    fn try_multi_get_t(&self, _tenant: u32, keys: &[Vec<u8>]) -> OpResult<Vec<Option<Vec<u8>>>> {
+        self.try_multi_get(keys)
+    }
+    /// Tenant-scoped [`KvBackend::try_multi_set`].
+    fn try_multi_set_t(&self, _tenant: u32, items: &[(Vec<u8>, Vec<u8>)]) -> OpResult<()> {
+        self.try_multi_set(items)
+    }
+    /// Tenant-scoped [`KvBackend::try_scan_prefix`].
+    fn try_scan_prefix_t(
+        &self,
+        _tenant: u32,
+        prefix: &[u8],
+        limit: usize,
+    ) -> OpResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.try_scan_prefix(prefix, limit)
+    }
 }
 
 impl KvBackend for shieldstore::ShieldStore {
@@ -298,12 +359,69 @@ impl KvBackend for shieldstore::ShieldStore {
     fn try_scan_prefix(&self, prefix: &[u8], limit: usize) -> OpResult<Vec<(Vec<u8>, Vec<u8>)>> {
         shieldstore::ShieldStore::scan_prefix(self, prefix, limit).map_err(op_error)
     }
+
+    fn tenant_weight(&self, tenant: u32) -> u32 {
+        self.tenants().weight(tenant)
+    }
+
+    fn try_get_t(&self, tenant: u32, key: &[u8]) -> OpResult<Option<Vec<u8>>> {
+        match shieldstore::ShieldStore::get_t(self, tenant, key) {
+            Ok(v) => Ok(Some(v)),
+            Err(shieldstore::Error::KeyNotFound) => Ok(None),
+            Err(e) => Err(op_error(e)),
+        }
+    }
+
+    fn try_set_t(&self, tenant: u32, key: &[u8], value: &[u8], ttl_ns: u64) -> OpResult<()> {
+        if ttl_ns == 0 {
+            shieldstore::ShieldStore::set_t(self, tenant, key, value).map_err(op_error)
+        } else {
+            shieldstore::ShieldStore::set_ttl(self, tenant, key, value, ttl_ns).map_err(op_error)
+        }
+    }
+
+    fn try_delete_t(&self, tenant: u32, key: &[u8]) -> OpResult<bool> {
+        match shieldstore::ShieldStore::delete_t(self, tenant, key) {
+            Ok(()) => Ok(true),
+            Err(shieldstore::Error::KeyNotFound) => Ok(false),
+            Err(e) => Err(op_error(e)),
+        }
+    }
+
+    fn try_append_t(&self, tenant: u32, key: &[u8], suffix: &[u8]) -> OpResult<()> {
+        shieldstore::ShieldStore::append_t(self, tenant, key, suffix).map(|_| ()).map_err(op_error)
+    }
+
+    fn try_increment_t(&self, tenant: u32, key: &[u8], delta: i64) -> OpResult<i64> {
+        shieldstore::ShieldStore::increment_t(self, tenant, key, delta).map_err(op_error)
+    }
+
+    fn try_multi_get_t(&self, tenant: u32, keys: &[Vec<u8>]) -> OpResult<Vec<Option<Vec<u8>>>> {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        shieldstore::ShieldStore::multi_get_t(self, tenant, &refs).map_err(op_error)
+    }
+
+    fn try_multi_set_t(&self, tenant: u32, items: &[(Vec<u8>, Vec<u8>)]) -> OpResult<()> {
+        let refs: Vec<(&[u8], &[u8])> =
+            items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        shieldstore::ShieldStore::multi_set_t(self, tenant, &refs, 0).map_err(op_error)
+    }
+
+    fn try_scan_prefix_t(
+        &self,
+        tenant: u32,
+        prefix: &[u8],
+        limit: usize,
+    ) -> OpResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        shieldstore::ShieldStore::scan_prefix_t(self, tenant, prefix, limit).map_err(op_error)
+    }
 }
 
 /// Maps a ShieldStore error to the wire-expressible failure class.
 fn op_error(e: shieldstore::Error) -> OpError {
     match e {
         shieldstore::Error::Quarantined { .. } => OpError::Quarantined,
+        shieldstore::Error::QuotaExceeded { .. } => OpError::QuotaExceeded,
         _ => OpError::Failed,
     }
 }

@@ -52,12 +52,14 @@ fn bench_entry_codec(c: &mut Criterion) {
             let mut buf = vec![0u8; entry_len];
             b.iter(|| {
                 shieldstore::entry::encode_into(
-                    &mut buf, 0, 0x42, &[9u8; 16], &key, value, &enc, &mac,
+                    &mut buf, 0, 0x42, 0, 0, &[9u8; 16], &key, value, &enc, &mac,
                 )
             });
         });
         let mut buf = vec![0u8; entry_len];
-        shieldstore::entry::encode_into(&mut buf, 0, 0x42, &[9u8; 16], &key, &value, &enc, &mac);
+        shieldstore::entry::encode_into(
+            &mut buf, 0, 0x42, 0, 0, &[9u8; 16], &key, &value, &enc, &mac,
+        );
         let header = shieldstore::entry::parse_header(&buf);
         group.bench_with_input(BenchmarkId::new("decrypt", val_len), &buf, |b, buf| {
             b.iter(|| {

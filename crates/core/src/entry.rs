@@ -1,4 +1,4 @@
-//! The data-entry format (paper Fig. 5).
+//! The data-entry format (paper Fig. 5, extended with tenancy).
 //!
 //! Each key-value pair is stored in untrusted memory as one entry:
 //!
@@ -8,15 +8,28 @@
 //! 8       1     key hint   1-byte keyed hash of the plaintext key (§5.4)
 //! 9       4     key size   u32 LE
 //! 13      4     value size u32 LE
-//! 17      16    IV/counter combined field, incremented per re-encryption
-//! 33      16    MAC        CMAC over (enc key/value, sizes, hint, IV/ctr)
-//! 49      k+v   Enc(key ‖ value)  AES-CTR under the store key
+//! 17      4     tenant     u32 LE owning-tenant id (0 = default tenant)
+//! 21      8     expires_at u64 LE absolute deadline in ns (0 = no TTL)
+//! 29      16    IV/counter combined field, incremented per re-encryption
+//! 45      16    MAC        CMAC over (enc key/value, sizes, hint, tenant,
+//!                          expiry, IV/ctr) under the TENANT's derived key
+//! 61      k+v   Enc(key ‖ value)  AES-CTR under the TENANT's derived key
 //! ```
 //!
 //! The `next` pointer is *not* covered by the MAC: the paper deliberately
 //! leaves index structure unprotected (confidentiality and integrity of
 //! keys and values are what matter; chain tampering can at worst harm
 //! availability, and the bucket-set hash detects entry removal/replay).
+//!
+//! The tenant id and expiry deadline are plaintext so a chain walk can
+//! skip foreign-tenant entries and spot dead ones without decrypting,
+//! but both are MAC-covered — and, crucially, the MAC key itself is the
+//! per-tenant derived key, so rewriting the tenant field re-routes
+//! verification to a key under which the tag cannot match. A ciphertext
+//! re-stitched into another tenant's namespace fails closed twice over:
+//! the entry MAC verifies under the wrong key, and the bucket-set hash
+//! (keyed under the master key the attacker never sees) no longer
+//! matches.
 
 use crate::alloc::{Handle, UntrustedHeap};
 use shield_crypto::cmac::Cmac;
@@ -31,12 +44,16 @@ pub const OFF_HINT: usize = 8;
 pub const OFF_KEY_LEN: usize = 9;
 /// Byte offset of the value size.
 pub const OFF_VAL_LEN: usize = 13;
+/// Byte offset of the owning tenant id.
+pub const OFF_TENANT: usize = 17;
+/// Byte offset of the expiry deadline (ns; 0 = none).
+pub const OFF_EXPIRY: usize = 21;
 /// Byte offset of the IV/counter.
-pub const OFF_IV: usize = 17;
+pub const OFF_IV: usize = 29;
 /// Byte offset of the MAC.
-pub const OFF_MAC: usize = 33;
+pub const OFF_MAC: usize = 45;
 /// Total header length; the encrypted key/value follows.
-pub const HEADER_LEN: usize = 49;
+pub const HEADER_LEN: usize = 61;
 
 /// Parsed entry header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +66,10 @@ pub struct EntryHeader {
     pub key_len: u32,
     /// Plaintext value length.
     pub val_len: u32,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Absolute expiry deadline in nanoseconds (0 = no TTL).
+    pub expires_at: u64,
     /// Combined IV/counter.
     pub iv: [u8; 16],
     /// Entry MAC.
@@ -65,6 +86,12 @@ impl EntryHeader {
     pub fn ct_len(&self) -> usize {
         self.key_len as usize + self.val_len as usize
     }
+
+    /// True when the entry's TTL deadline has passed at `now_ns`.
+    /// Entries without a TTL (`expires_at == 0`) never expire.
+    pub fn expired_at(&self, now_ns: u64) -> bool {
+        self.expires_at != 0 && now_ns >= self.expires_at
+    }
 }
 
 /// Parses the fixed header from an entry's first [`HEADER_LEN`] bytes.
@@ -78,6 +105,10 @@ pub fn parse_header(bytes: &[u8]) -> EntryHeader {
         val_len: u32::from_le_bytes(
             bytes[OFF_VAL_LEN..OFF_VAL_LEN + 4].try_into().expect("4 bytes"),
         ),
+        tenant: u32::from_le_bytes(bytes[OFF_TENANT..OFF_TENANT + 4].try_into().expect("4 bytes")),
+        expires_at: u64::from_le_bytes(
+            bytes[OFF_EXPIRY..OFF_EXPIRY + 8].try_into().expect("8 bytes"),
+        ),
         iv: bytes[OFF_IV..OFF_IV + 16].try_into().expect("16 bytes"),
         mac: bytes[OFF_MAC..OFF_MAC + 16].try_into().expect("16 bytes"),
     }
@@ -89,27 +120,43 @@ pub fn read_header(heap: &UntrustedHeap, handle: Handle) -> EntryHeader {
 }
 
 /// Computes an entry's MAC: CMAC over
-/// `(ciphertext ‖ key_len ‖ val_len ‖ hint ‖ iv)`, matching Fig. 5.
+/// `(ciphertext ‖ key_len ‖ val_len ‖ hint ‖ tenant ‖ expires_at ‖ iv)`,
+/// Fig. 5 extended with the tenancy fields. The `cmac` must be the
+/// owning tenant's derived MAC key.
+#[allow(clippy::too_many_arguments)]
 pub fn compute_mac(
     cmac: &Cmac,
     ciphertext: &[u8],
     key_len: u32,
     val_len: u32,
     hint: u8,
+    tenant: u32,
+    expires_at: u64,
     iv: &[u8; 16],
 ) -> Tag128 {
-    cmac.compute_parts(&[ciphertext, &key_len.to_le_bytes(), &val_len.to_le_bytes(), &[hint], iv])
+    cmac.compute_parts(&[
+        ciphertext,
+        &key_len.to_le_bytes(),
+        &val_len.to_le_bytes(),
+        &[hint],
+        &tenant.to_le_bytes(),
+        &expires_at.to_le_bytes(),
+        iv,
+    ])
 }
 
 /// Encrypts `key ‖ value` and writes a complete entry into `buf`
 /// (`buf.len()` must equal `HEADER_LEN + key.len() + value.len()`).
 ///
-/// Returns the entry's MAC.
+/// `enc`/`cmac` must be the owning tenant's derived keys. Returns the
+/// entry's MAC.
 #[allow(clippy::too_many_arguments)]
 pub fn encode_into(
     buf: &mut [u8],
     next: Handle,
     hint: u8,
+    tenant: u32,
+    expires_at: u64,
     iv: &[u8; 16],
     key: &[u8],
     value: &[u8],
@@ -124,6 +171,8 @@ pub fn encode_into(
     buf[OFF_HINT] = hint;
     buf[OFF_KEY_LEN..OFF_KEY_LEN + 4].copy_from_slice(&key_len.to_le_bytes());
     buf[OFF_VAL_LEN..OFF_VAL_LEN + 4].copy_from_slice(&val_len.to_le_bytes());
+    buf[OFF_TENANT..OFF_TENANT + 4].copy_from_slice(&tenant.to_le_bytes());
+    buf[OFF_EXPIRY..OFF_EXPIRY + 8].copy_from_slice(&expires_at.to_le_bytes());
     buf[OFF_IV..OFF_IV + 16].copy_from_slice(iv);
 
     let ct = &mut buf[HEADER_LEN..];
@@ -131,7 +180,7 @@ pub fn encode_into(
     ct[key.len()..].copy_from_slice(value);
     enc.apply_keystream(iv, ct);
 
-    let mac = compute_mac(cmac, &buf[HEADER_LEN..], key_len, val_len, hint, iv);
+    let mac = compute_mac(cmac, &buf[HEADER_LEN..], key_len, val_len, hint, tenant, expires_at, iv);
     buf[OFF_MAC..OFF_MAC + 16].copy_from_slice(&mac);
     mac
 }
@@ -190,7 +239,14 @@ pub fn open_entry(
         &header.iv,
         &[],
         ciphertext,
-        &[&header.key_len.to_le_bytes(), &header.val_len.to_le_bytes(), &[header.hint], &header.iv],
+        &[
+            &header.key_len.to_le_bytes(),
+            &header.val_len.to_le_bytes(),
+            &[header.hint],
+            &header.tenant.to_le_bytes(),
+            &header.expires_at.to_le_bytes(),
+            &header.iv,
+        ],
         &header.mac,
         out,
     )
@@ -206,8 +262,16 @@ pub fn decrypt_entry(enc: &AesCtr, header: &EntryHeader, ciphertext: &[u8]) -> (
 
 /// Verifies an entry's stored MAC against its contents.
 pub fn verify_mac(cmac: &Cmac, header: &EntryHeader, ciphertext: &[u8]) -> bool {
-    let expected =
-        compute_mac(cmac, ciphertext, header.key_len, header.val_len, header.hint, &header.iv);
+    let expected = compute_mac(
+        cmac,
+        ciphertext,
+        header.key_len,
+        header.val_len,
+        header.hint,
+        header.tenant,
+        header.expires_at,
+        &header.iv,
+    );
     shield_crypto::constant_time::ct_eq(&expected, &header.mac)
 }
 
@@ -226,13 +290,15 @@ mod tests {
         let value = b"some value payload";
         let mut buf = vec![0u8; HEADER_LEN + key.len() + value.len()];
         let iv = [9u8; 16];
-        let mac = encode_into(&mut buf, 0xdeadbeef, 0x5a, &iv, key, value, &enc, &cmac);
+        let mac = encode_into(&mut buf, 0xdeadbeef, 0x5a, 7, 12345, &iv, key, value, &enc, &cmac);
 
         let header = parse_header(&buf);
         assert_eq!(header.next, 0xdeadbeef);
         assert_eq!(header.hint, 0x5a);
         assert_eq!(header.key_len, key.len() as u32);
         assert_eq!(header.val_len, value.len() as u32);
+        assert_eq!(header.tenant, 7);
+        assert_eq!(header.expires_at, 12345);
         assert_eq!(header.iv, iv);
         assert_eq!(header.mac, mac);
         assert_eq!(header.entry_len(), buf.len());
@@ -250,11 +316,20 @@ mod tests {
     fn mac_binds_every_field() {
         let (enc, cmac) = ciphers();
         let mut buf = vec![0u8; HEADER_LEN + 4 + 4];
-        encode_into(&mut buf, 0, 7, &[3u8; 16], b"abcd", b"wxyz", &enc, &cmac);
+        encode_into(&mut buf, 0, 7, 3, 99, &[3u8; 16], b"abcd", b"wxyz", &enc, &cmac);
         let pristine = buf.clone();
 
         // Tamper with each MAC-covered region and expect rejection.
-        for &offset in &[OFF_HINT, OFF_KEY_LEN, OFF_VAL_LEN, OFF_IV, HEADER_LEN, buf.len() - 1] {
+        for &offset in &[
+            OFF_HINT,
+            OFF_KEY_LEN,
+            OFF_VAL_LEN,
+            OFF_TENANT,
+            OFF_EXPIRY,
+            OFF_IV,
+            HEADER_LEN,
+            buf.len() - 1,
+        ] {
             let mut t = pristine.clone();
             t[offset] ^= 1;
             let header = parse_header(&t);
@@ -272,10 +347,29 @@ mod tests {
     }
 
     #[test]
+    fn expiry_deadline_semantics() {
+        let h = EntryHeader {
+            next: 0,
+            hint: 0,
+            key_len: 1,
+            val_len: 1,
+            tenant: 0,
+            expires_at: 0,
+            iv: [0; 16],
+            mac: [0; 16],
+        };
+        assert!(!h.expired_at(u64::MAX), "no TTL never expires");
+        let h = EntryHeader { expires_at: 100, ..h };
+        assert!(!h.expired_at(99));
+        assert!(h.expired_at(100), "deadline is inclusive");
+        assert!(h.expired_at(101));
+    }
+
+    #[test]
     fn empty_value_supported() {
         let (enc, cmac) = ciphers();
         let mut buf = vec![0u8; HEADER_LEN + 3];
-        encode_into(&mut buf, 0, 0, &[0u8; 16], b"abc", b"", &enc, &cmac);
+        encode_into(&mut buf, 0, 0, 0, 0, &[0u8; 16], b"abc", b"", &enc, &cmac);
         let header = parse_header(&buf);
         let (k, v) = decrypt_entry(&enc, &header, &buf[HEADER_LEN..]);
         assert_eq!(k, b"abc");
@@ -287,8 +381,8 @@ mod tests {
         let (enc, cmac) = ciphers();
         let mut b1 = vec![0u8; HEADER_LEN + 8];
         let mut b2 = vec![0u8; HEADER_LEN + 8];
-        encode_into(&mut b1, 0, 0, &[1u8; 16], b"key1", b"val1", &enc, &cmac);
-        encode_into(&mut b2, 0, 0, &[2u8; 16], b"key1", b"val1", &enc, &cmac);
+        encode_into(&mut b1, 0, 0, 0, 0, &[1u8; 16], b"key1", b"val1", &enc, &cmac);
+        encode_into(&mut b2, 0, 0, 0, 0, &[2u8; 16], b"key1", b"val1", &enc, &cmac);
         assert_ne!(&b1[HEADER_LEN..], &b2[HEADER_LEN..]);
     }
 
@@ -298,8 +392,10 @@ mod tests {
         assert_eq!(OFF_HINT, 8);
         assert_eq!(OFF_KEY_LEN, 9);
         assert_eq!(OFF_VAL_LEN, 13);
-        assert_eq!(OFF_IV, 17);
-        assert_eq!(OFF_MAC, 33);
-        assert_eq!(HEADER_LEN, 49);
+        assert_eq!(OFF_TENANT, 17);
+        assert_eq!(OFF_EXPIRY, 21);
+        assert_eq!(OFF_IV, 29);
+        assert_eq!(OFF_MAC, 45);
+        assert_eq!(HEADER_LEN, 61);
     }
 }

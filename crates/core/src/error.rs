@@ -51,6 +51,12 @@ pub enum Error {
         /// to (0 for keyless operations such as scans).
         bucket: usize,
     },
+    /// The write would exceed the tenant's byte or key quota
+    /// ([`crate::TenantQuota`]). The store was left untouched.
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: u32,
+    },
 }
 
 impl core::fmt::Display for Error {
@@ -79,6 +85,9 @@ impl core::fmt::Display for Error {
                     f,
                     "partition holding bucket {bucket} is quarantined after an integrity violation"
                 )
+            }
+            Error::QuotaExceeded { tenant } => {
+                write!(f, "write exceeds tenant {tenant}'s quota")
             }
         }
     }

@@ -71,8 +71,10 @@ pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod table;
+pub mod tenant;
 #[cfg(any(test, feature = "testing"))]
 pub mod testing;
+pub mod ttl;
 pub mod wal;
 
 pub use config::{AllocMode, Config, DurabilityPolicy};
@@ -80,6 +82,7 @@ pub use error::{Error, Result};
 pub use hist::{LatencyHist, OpHists};
 pub use persist::SnapshotJob;
 pub use shard::Shard;
-pub use stats::{OpStats, StatsSnapshot};
+pub use stats::{OpStats, StatsSnapshot, TenantStat, MAX_TENANT_STATS};
 pub use store::{QuarantineReport, ShardQuarantine, ShieldStore};
+pub use tenant::{TenantId, TenantKeys, TenantQuota, TenantRegistry, TenantUsage, DEFAULT_TENANT};
 pub use wal::{Wal, WalCodec, WalOp};

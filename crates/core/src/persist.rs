@@ -32,7 +32,11 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-const MAGIC: &[u8; 8] = b"SSSNAP01";
+// Format v2 ("SSSNAP02"): five sealed raw keys (the fifth is the
+// tenant-KDF master) and tenant/expiry-bearing entry headers. A v1
+// snapshot fails the magic check and must be discarded — its entries
+// predate per-tenant sealing and cannot be re-keyed offline.
+const MAGIC: &[u8; 8] = b"SSSNAP02";
 
 // Upper bounds on length fields read from the (untrusted) snapshot file.
 // A corrupted or hostile length must fail the restore with an error, not
@@ -92,7 +96,7 @@ pub(crate) fn snapshot_counter(path: &Path) -> Result<u64> {
 /// Sealed per-snapshot metadata (serialized, then sealed as one blob).
 struct Metadata {
     counter: u64,
-    raw_keys: [[u8; 16]; 4],
+    raw_keys: [[u8; 16]; 5],
     /// Exported MAC hash arrays, one per shard.
     mac_arrays: Vec<Vec<u8>>,
 }
@@ -115,7 +119,7 @@ impl Metadata {
     fn deserialize(bytes: &[u8]) -> Result<Self> {
         let mut r = bytes;
         let counter = read_u64(&mut r)?;
-        let mut raw_keys = [[0u8; 16]; 4];
+        let mut raw_keys = [[0u8; 16]; 5];
         for k in raw_keys.iter_mut() {
             r.read_exact(k).map_err(Error::from)?;
         }
@@ -238,6 +242,9 @@ impl<'a> SnapshotJob<'a> {
         for i in 0..self.store.num_shards() {
             self.store.with_shard(i, |shard| shard.unfreeze())?;
         }
+        // Temp-table merges bypass quota metering; re-derive per-tenant
+        // usage from the merged tables.
+        self.store.recount_usage();
         if let Some(wal) = self.store.wal_ref() {
             wal.rotate_commit(self.generation)?;
         }
@@ -461,6 +468,9 @@ impl ShieldStore {
                 Ok(())
             })?;
         }
+        // Quota accounting restarts from the physical truth of the
+        // restored tables.
+        store.recount_usage();
         Ok(store)
     }
 }
@@ -490,8 +500,13 @@ fn restore_entry(
     // bucket), every set hash still verifies and the key becomes a silent
     // miss. Derive the true placement from the decrypted key instead; the
     // fused open verifies the MAC and decrypts in one ciphertext pass.
+    // Each entry is sealed under its owner tenant's derived keys; the
+    // header's tenant claim routes verification, and a forged claim lands
+    // on a key under which the stored tag cannot verify.
+    let tkeys = keys.tenant_keys(header.tenant);
     let mut plain = Vec::new();
-    if !entry::open_entry(&keys.enc, &keys.mac, &header, &bytes[entry::HEADER_LEN..], &mut plain) {
+    if !entry::open_entry(&tkeys.enc, &tkeys.mac, &header, &bytes[entry::HEADER_LEN..], &mut plain)
+    {
         return Err(Error::IntegrityViolation { bucket });
     }
     let key = &plain[..header.key_len as usize];

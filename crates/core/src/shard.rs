@@ -10,6 +10,17 @@
 //! (read-only, shared with the snapshot writer thread) and writes are
 //! absorbed by a temporary table, reproducing Algorithm 1's fork-based
 //! copy-on-write behaviour without `fork()`.
+//!
+//! ## Tenancy
+//!
+//! Every operation runs in a tenant namespace ([`crate::tenant`]). The
+//! untenanted methods are sugar for tenant 0. Entries carry their owner
+//! tenant in the (MAC-covered) header and are sealed under the owner's
+//! *derived* keys, so a leaked tenant key opens exactly one namespace and
+//! a re-stitched tenant field fails verification. Flat byte-keyed side
+//! structures — the plaintext cache, the ordered index, snapshot
+//! tombstones — are keyed by [`nskey`] (tenant-prefixed) for *every*
+//! tenant including 0, so no namespace can collide into another.
 
 use crate::alloc::{Handle, UntrustedHeap, NULL_HANDLE};
 use crate::cache::EnclaveCache;
@@ -22,33 +33,43 @@ use crate::mac_bucket;
 use crate::ordered::OrderedIndex;
 use crate::stats::{OpStats, StatsSnapshot};
 use crate::table::TableCtx;
+use crate::tenant::DEFAULT_TENANT;
+use crate::tenant::{nskey, split_nskey, TenantId, TenantKeys, TenantRegistry, TenantState};
+use crate::ttl;
 use sgx_sim::enclave::Enclave;
 use shield_crypto::cmac::Cmac;
-use shield_crypto::ctr::AesCtr;
 use shield_crypto::siphash::SipHash24;
-use std::collections::HashSet;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::{Arc, Mutex};
 
 /// The store's secret keys. Generated inside the enclave at store creation
 /// and never exposed in plaintext outside it (they are sealed into
 /// snapshot metadata).
+///
+/// Entry data keys are *per tenant*, derived on demand from the KDF
+/// master (`raw[4]`) and memoized in an in-enclave keyring. The master
+/// CMAC key keys the bucket-set hashes only — it is never involved in
+/// entry sealing, so no tenant-key compromise can forge set hashes.
 pub(crate) struct StoreKeys {
-    /// AES-CTR cipher for entry key/value encryption.
-    pub enc: AesCtr,
-    /// CMAC for entry MACs and bucket-set hashes.
+    /// CMAC for bucket-set hashes (master; never derivable by tenants).
     pub mac: Cmac,
     /// Keyed hash for bucket indexing (hides key distribution, §4.2).
     pub index: SipHash24,
     /// Keyed hash for the 1-byte key hint (§5.4).
     pub hint: SipHash24,
-    /// Raw key material, kept for sealing.
-    pub raw: [[u8; 16]; 4],
+    /// Raw key material, kept for sealing. `raw[0]` is the legacy entry
+    /// encryption key slot (still sealed for format stability), `raw[4]`
+    /// the tenant-KDF master.
+    pub raw: [[u8; 16]; 5],
+    /// Memoized per-tenant derived keys (enclave-resident).
+    tenants: Mutex<HashMap<TenantId, Arc<TenantKeys>>>,
 }
 
 impl StoreKeys {
     /// Generates fresh keys from enclave randomness.
     pub fn generate(enclave: &Enclave) -> Self {
-        let mut raw = [[0u8; 16]; 4];
+        let mut raw = [[0u8; 16]; 5];
         for key in raw.iter_mut() {
             enclave.read_rand(key);
         }
@@ -56,14 +77,24 @@ impl StoreKeys {
     }
 
     /// Reconstructs keys from raw material (snapshot restore).
-    pub fn from_raw(raw: [[u8; 16]; 4]) -> Self {
+    pub fn from_raw(raw: [[u8; 16]; 5]) -> Self {
         Self {
-            enc: AesCtr::new(&raw[0]),
             mac: Cmac::new(&raw[1]),
             index: SipHash24::new(&raw[2]),
             hint: SipHash24::new(&raw[3]),
             raw,
+            tenants: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The derived data keys for `tenant`, deriving and memoizing on
+    /// first use. Derivation is deterministic, so the keyring is a pure
+    /// cache — it never needs sealing.
+    pub fn tenant_keys(&self, tenant: TenantId) -> Arc<TenantKeys> {
+        let mut map = self.tenants.lock().expect("tenant keyring poisoned");
+        Arc::clone(
+            map.entry(tenant).or_insert_with(|| Arc::new(TenantKeys::derive(&self.raw[4], tenant))),
+        )
     }
 
     /// The 64-bit keyed index hash of `key`.
@@ -77,6 +108,18 @@ impl StoreKeys {
     pub fn hint_byte(&self, key: &[u8]) -> u8 {
         (self.hint.hash(key) & 0xff) as u8
     }
+}
+
+/// The per-operation tenant context threaded through the table-level
+/// free functions: who is operating, under which derived keys, at what
+/// TTL-clock reading, with what deadline for writes, against which
+/// quota/usage accounting (`None` = unmetered, e.g. internal merges).
+pub(crate) struct OpCtx<'a> {
+    pub tenant: TenantId,
+    pub tkeys: &'a TenantKeys,
+    pub now: u64,
+    pub expires_at: u64,
+    pub state: Option<&'a TenantState>,
 }
 
 /// Per-shard configuration derived from [`Config`].
@@ -149,7 +192,8 @@ enum SearchOutcome {
     Tampered,
 }
 
-/// The temporary table absorbing writes during a snapshot.
+/// The temporary table absorbing writes during a snapshot. Tombstones
+/// are [`nskey`]s — deletes during a snapshot are per-namespace.
 struct TempTable {
     ctx: TableCtx,
     tombstones: HashSet<Vec<u8>>,
@@ -206,13 +250,18 @@ fn bucket_of(keys: &StoreKeys, ctx: &TableCtx, key: &[u8]) -> usize {
     (keys.index_hash(key) % ctx.buckets() as u64) as usize
 }
 
-/// Searches `bucket` for `key`, counting decryptions as the paper's Fig. 9
-/// does. First pass honours the key hint; if nothing matched and the
-/// two-step fallback is enabled, a full decrypting scan follows (§5.4).
+/// Searches `bucket` for `key` *within `op`'s tenant namespace*, counting
+/// decryptions as the paper's Fig. 9 does. First pass honours the key
+/// hint and silently steps over foreign tenants' entries; if nothing
+/// matched and the two-step fallback is enabled, a full scan follows
+/// (§5.4) in which **every** entry — whoever owns it — is verified under
+/// its owner's derived MAC key, so content tampering (including a
+/// rewritten tenant field) cannot masquerade as a clean miss.
 #[allow(clippy::too_many_arguments)]
 fn search(
     cfg: &ShardConfig,
     keys: &StoreKeys,
+    op: &OpCtx<'_>,
     ctx: &TableCtx,
     stats: &mut OpStats,
     scratch: &mut Scratch,
@@ -226,7 +275,7 @@ fn search(
     // tampering instead of panicking or spinning.
     let max_steps = ctx.count.saturating_add(1);
 
-    // First step: hint-guided.
+    // First step: hint-guided, same-tenant entries only.
     let mut prev = NULL_HANDLE;
     let mut pos = 0usize;
     let mut h = ctx.heads[bucket];
@@ -237,7 +286,9 @@ fn search(
         let Some(header) = ctx.try_header(h) else {
             return Some(SearchOutcome::Tampered);
         };
-        if cfg.key_hint && header.hint != hint_byte {
+        if header.tenant != op.tenant {
+            // Foreign namespace: skip without decrypting anything.
+        } else if cfg.key_hint && header.hint != hint_byte {
             stats.hint_skips += 1;
         } else if header.key_len as usize == key.len() {
             stats.key_decryptions += 1;
@@ -245,7 +296,7 @@ fn search(
                 // Corrupted length fields in untrusted memory.
                 return Some(SearchOutcome::Tampered);
             };
-            if entry::key_matches(&keys.enc, &header, ct, key, &mut scratch.key) {
+            if entry::key_matches(&op.tkeys.enc, &header, ct, key, &mut scratch.key) {
                 return Some(SearchOutcome::Found(Found { handle: h, prev, pos, header }));
             }
         }
@@ -254,10 +305,10 @@ fn search(
         h = header.next;
     }
 
-    // Second step: full scan, defending against hint corruption. Every
-    // entry's MAC is verified here: a corrupted key ciphertext would make
-    // its key silently unfindable otherwise (content tampering must not
-    // masquerade as a clean miss).
+    // Second step: full scan, defending against hint (and tenant-field)
+    // corruption. Every entry's MAC is verified under its *owner's*
+    // derived key: a corrupted ciphertext or a re-stitched tenant id
+    // would make a key silently unfindable otherwise.
     if cfg.key_hint && cfg.two_step {
         stats.full_scans += 1;
         let mut prev = NULL_HANDLE;
@@ -273,12 +324,21 @@ fn search(
             let Some(ct) = ctx.try_ciphertext(h, &header) else {
                 return Some(SearchOutcome::Tampered);
             };
-            if !entry::verify_mac(&keys.mac, &header, ct) {
+            let verified = if header.tenant == op.tenant {
+                entry::verify_mac(&op.tkeys.mac, &header, ct)
+            } else {
+                // Foreign entry: its owner's derived key decides. A forged
+                // tenant id routes here and fails closed (the stored tag
+                // cannot verify under the re-routed key).
+                let owner = keys.tenant_keys(header.tenant);
+                entry::verify_mac(&owner.mac, &header, ct)
+            };
+            if !verified {
                 return Some(SearchOutcome::Tampered);
             }
-            if header.key_len as usize == key.len() {
+            if header.tenant == op.tenant && header.key_len as usize == key.len() {
                 stats.key_decryptions += 1;
-                if entry::key_matches(&keys.enc, &header, ct, key, &mut scratch.key) {
+                if entry::key_matches(&op.tkeys.enc, &header, ct, key, &mut scratch.key) {
                     return Some(SearchOutcome::Found(Found { handle: h, prev, pos, header }));
                 }
             }
@@ -294,9 +354,12 @@ fn search(
 /// entry MACs of every bucket are absorbed straight into a CMAC context
 /// (via MAC buckets — contiguous reads — or entry-chain pointer chasing)
 /// with no intermediate concatenation buffer, so the hash of a large set
-/// costs one pipelined CMAC and zero allocations. `None` means the
-/// untrusted structure itself is corrupt (unreadable pointer, cycle,
-/// inflated count field) — callers surface it as an integrity violation.
+/// costs one pipelined CMAC and zero allocations. The CMAC is keyed by
+/// the *master* MAC key — entry MACs are per-tenant, but the set hash
+/// binds them all under a key no tenant (or tenant-key thief) holds.
+/// `None` means the untrusted structure itself is corrupt (unreadable
+/// pointer, cycle, inflated count field) — callers surface it as an
+/// integrity violation.
 fn derive_set_hash(
     cfg: &ShardConfig,
     keys: &StoreKeys,
@@ -486,46 +549,53 @@ fn update_set_hash(
     Ok(())
 }
 
-/// Looks `key` up in `ctx`, fully verifying integrity. Returns the
-/// plaintext value, or `None` for a clean miss.
+/// Looks `key` up in `ctx` under `op`'s namespace, fully verifying
+/// integrity. Returns the plaintext value and its (authenticated)
+/// expiry deadline, or `None` for a clean miss — including the lazy-
+/// expiry case, where an entry past its deadline is hidden without
+/// mutation (safe against frozen snapshot tables; the sweep removes it).
 fn get_in(
     cfg: &ShardConfig,
     keys: &StoreKeys,
+    op: &OpCtx<'_>,
     ctx: &TableCtx,
     stats: &mut OpStats,
     scratch: &mut Scratch,
     key: &[u8],
-) -> Result<Option<Vec<u8>>> {
+) -> Result<Option<(Vec<u8>, u64)>> {
     let bucket = bucket_of(keys, ctx, key);
     let set = ctx.sets.set_of(bucket);
     verify_set(cfg, keys, ctx, stats, set)?;
-    get_in_bucket(cfg, keys, ctx, stats, scratch, bucket, key)
+    get_in_bucket(cfg, keys, op, ctx, stats, scratch, bucket, key)
 }
 
 /// Lookup within an already-verified bucket set. The caller must have
 /// run [`verify_set`] for `bucket`'s set first — per-op wrappers do it
 /// per call, the batched path once per touched set per batch.
+#[allow(clippy::too_many_arguments)]
 fn get_in_bucket(
     cfg: &ShardConfig,
     keys: &StoreKeys,
+    op: &OpCtx<'_>,
     ctx: &TableCtx,
     stats: &mut OpStats,
     scratch: &mut Scratch,
     bucket: usize,
     key: &[u8],
-) -> Result<Option<Vec<u8>>> {
+) -> Result<Option<(Vec<u8>, u64)>> {
     let hint = keys.hint_byte(key);
-    match search(cfg, keys, ctx, stats, scratch, bucket, hint, key) {
+    match search(cfg, keys, op, ctx, stats, scratch, bucket, hint, key) {
         Some(SearchOutcome::Found(found)) => {
             let Some(ct) = ctx.try_ciphertext(found.handle, &found.header) else {
                 return Err(Error::IntegrityViolation { bucket });
             };
-            // Fused verify+decrypt: MAC absorption and keystream XOR share
-            // one pass over the ciphertext. The plaintext is staged in the
-            // enclave-resident scratch buffer and only released after the
-            // tag and the side-array liveness check both pass.
+            // Fused verify+decrypt under the tenant's derived keys: MAC
+            // absorption and keystream XOR share one pass over the
+            // ciphertext. The plaintext is staged in the enclave-resident
+            // scratch buffer and only released after the tag and the
+            // side-array liveness check both pass.
             let mut plain = std::mem::take(&mut scratch.entry);
-            if !entry::open_entry(&keys.enc, &keys.mac, &found.header, ct, &mut plain) {
+            if !entry::open_entry(&op.tkeys.enc, &op.tkeys.mac, &found.header, ct, &mut plain) {
                 scratch.entry = plain;
                 return Err(Error::IntegrityViolation { bucket });
             }
@@ -535,9 +605,24 @@ fn get_in_bucket(
                 scratch.entry = plain;
                 return Err(e);
             }
+            // Lazy expiry: the fused open just authenticated the header,
+            // `expires_at` included, so the deadline can be honoured. The
+            // value is wiped and the entry reads as a miss; physical
+            // removal is the sweep's job (this path must not mutate —
+            // it also serves frozen snapshot tables).
+            if found.header.expired_at(op.now) {
+                plain.iter_mut().for_each(|b| *b = 0);
+                plain.clear();
+                scratch.entry = plain;
+                stats.expired_lazy += 1;
+                if let Some(st) = op.state {
+                    st.usage.expired_lazy.fetch_add(1, AtomicOrdering::SeqCst);
+                }
+                return Ok(None);
+            }
             let value = plain.split_off(found.header.key_len as usize);
             scratch.entry = plain;
-            Ok(Some(value))
+            Ok(Some((value, found.header.expires_at)))
         }
         Some(SearchOutcome::Tampered) => Err(Error::IntegrityViolation { bucket }),
         None => {
@@ -548,9 +633,11 @@ fn get_in_bucket(
 }
 
 /// Inserts or updates `key` in `ctx`. Returns `true` for an insert.
+#[allow(clippy::too_many_arguments)]
 fn set_in(
     cfg: &ShardConfig,
     keys: &StoreKeys,
+    op: &OpCtx<'_>,
     ctx: &mut TableCtx,
     stats: &mut OpStats,
     scratch: &mut Scratch,
@@ -560,9 +647,18 @@ fn set_in(
     let bucket = bucket_of(keys, ctx, key);
     let set = ctx.sets.set_of(bucket);
     verify_set(cfg, keys, ctx, stats, set)?;
-    let inserted = set_in_bucket(cfg, keys, ctx, stats, scratch, bucket, key, value)?;
+    let inserted = set_in_bucket(cfg, keys, op, ctx, stats, scratch, bucket, key, value)?;
     update_set_hash(cfg, keys, ctx, stats, set)?;
     Ok(inserted)
+}
+
+/// Charges a quota rejection to the op's tenant and fails the write.
+fn quota_reject(op: &OpCtx<'_>, stats: &mut OpStats) -> Error {
+    stats.quota_rejections += 1;
+    if let Some(st) = op.state {
+        st.usage.quota_rejections.fetch_add(1, AtomicOrdering::SeqCst);
+    }
+    Error::QuotaExceeded { tenant: op.tenant }
 }
 
 /// Insert/update within an already-verified bucket set, *without*
@@ -570,10 +666,16 @@ fn set_in(
 /// before the first access to this set and must call
 /// [`update_set_hash`] after the last write to it — per-op wrappers do
 /// both per call, the batched path once per touched set per batch.
+///
+/// Quota enforcement happens here, after the integrity checks and
+/// before any mutation: an insert charges `(entry bytes, 1 key)`, an
+/// update charges only byte *growth* (shrink refunds immediately), and
+/// a rejection leaves both table and accounting untouched.
 #[allow(clippy::too_many_arguments)]
 fn set_in_bucket(
     cfg: &ShardConfig,
     keys: &StoreKeys,
+    op: &OpCtx<'_>,
     ctx: &mut TableCtx,
     stats: &mut OpStats,
     scratch: &mut Scratch,
@@ -584,7 +686,7 @@ fn set_in_bucket(
     let hint = keys.hint_byte(key);
     let new_len = entry::HEADER_LEN + key.len() + value.len();
 
-    let outcome = search(cfg, keys, ctx, stats, scratch, bucket, hint, key);
+    let outcome = search(cfg, keys, op, ctx, stats, scratch, bucket, hint, key);
     if matches!(outcome, Some(SearchOutcome::Tampered)) {
         return Err(Error::IntegrityViolation { bucket });
     }
@@ -594,10 +696,21 @@ fn set_in_bucket(
             // A stale replayed entry must not be accepted as the base of
             // an update (its IV+1 would reuse an already-spent counter).
             verify_side_mac_write(cfg, ctx, bucket, &found)?;
+            let old_len = found.header.entry_len();
+            if let Some(st) = op.state {
+                if new_len > old_len {
+                    if !st.usage.try_charge_bytes(&st.quota, (new_len - old_len) as u64) {
+                        return Err(quota_reject(op, stats));
+                    }
+                } else {
+                    st.usage.discharge((old_len - new_len) as u64, 0);
+                }
+            }
             // Update: bump the combined IV/counter for the re-encryption.
+            // The search only matches same-tenant entries, so the bumped
+            // counter stays within one derived keystream.
             let mut iv = found.header.iv;
             shield_crypto::ctr::increment_be(&mut iv);
-            let old_len = found.header.entry_len();
 
             if UntrustedHeap::fits_in_class(old_len, new_len) {
                 let buf = ctx.heap.bytes_mut(found.handle, new_len);
@@ -605,11 +718,13 @@ fn set_in_bucket(
                     buf,
                     found.header.next,
                     hint,
+                    op.tenant,
+                    op.expires_at,
                     &iv,
                     key,
                     value,
-                    &keys.enc,
-                    &keys.mac,
+                    &op.tkeys.enc,
+                    &op.tkeys.mac,
                 );
                 if cfg.mac_bucket {
                     mac_bucket::set_at(&mut ctx.heap, ctx.mac_heads[bucket], found.pos, &mac);
@@ -624,11 +739,13 @@ fn set_in_bucket(
                     buf,
                     found.header.next,
                     hint,
+                    op.tenant,
+                    op.expires_at,
                     &iv,
                     key,
                     value,
-                    &keys.enc,
-                    &keys.mac,
+                    &op.tkeys.enc,
+                    &op.tkeys.mac,
                 );
                 ctx.heap.bytes_mut(fresh, new_len).copy_from_slice(buf);
                 // Relink in place of the old entry.
@@ -647,6 +764,11 @@ fn set_in_bucket(
         }
         None => {
             verify_absence_consistency(cfg, ctx, scratch, bucket)?;
+            if let Some(st) = op.state {
+                if !st.usage.try_charge(&st.quota, new_len as u64, 1) {
+                    return Err(quota_reject(op, stats));
+                }
+            }
             // Insert at the chain head with a fresh random IV/counter.
             let iv = ctx.heap.enclave().read_rand_block();
             let fresh = ctx.heap.alloc(new_len);
@@ -657,11 +779,13 @@ fn set_in_bucket(
                 buf,
                 ctx.heads[bucket],
                 hint,
+                op.tenant,
+                op.expires_at,
                 &iv,
                 key,
                 value,
-                &keys.enc,
-                &keys.mac,
+                &op.tkeys.enc,
+                &op.tkeys.mac,
             );
             ctx.heap.bytes_mut(fresh, new_len).copy_from_slice(buf);
             ctx.heads[bucket] = fresh;
@@ -679,20 +803,37 @@ fn set_in_bucket(
     Ok(inserted)
 }
 
-/// Removes `key` from `ctx`. Returns `true` if it was present.
+/// Removes `key` from `ctx` within `op`'s namespace. Returns `true` if
+/// a physical removal happened.
+///
+/// With `reap_expired = false` (normal deletes), an entry past its
+/// deadline answers "not present" *without* being removed: the caller's
+/// delete is not WAL-logged as having removed anything, so physical
+/// removal must wait for the sweep (which is logged) — otherwise
+/// recovery replay and the live table would diverge. Honouring the
+/// deadline requires authenticating it first: the hint-guided search
+/// does not verify MACs, and the set hash covers only the stored tag
+/// bytes, so a flipped `expires_at` would otherwise let tampering
+/// masquerade as a clean miss.
+///
+/// With `reap_expired = true` (the sweep, snapshot tombstone replay),
+/// expired entries are removed like any other.
+#[allow(clippy::too_many_arguments)]
 fn delete_in(
     cfg: &ShardConfig,
     keys: &StoreKeys,
+    op: &OpCtx<'_>,
     ctx: &mut TableCtx,
     stats: &mut OpStats,
     scratch: &mut Scratch,
     key: &[u8],
+    reap_expired: bool,
 ) -> Result<bool> {
     let bucket = bucket_of(keys, ctx, key);
     let set = ctx.sets.set_of(bucket);
     verify_set(cfg, keys, ctx, stats, set)?;
     let hint = keys.hint_byte(key);
-    let found = match search(cfg, keys, ctx, stats, scratch, bucket, hint, key) {
+    let found = match search(cfg, keys, op, ctx, stats, scratch, bucket, hint, key) {
         Some(SearchOutcome::Found(found)) => found,
         Some(SearchOutcome::Tampered) => {
             return Err(Error::IntegrityViolation { bucket });
@@ -703,6 +844,22 @@ fn delete_in(
         }
     };
     verify_side_mac_write(cfg, ctx, bucket, &found)?;
+
+    if !reap_expired && found.header.expired_at(op.now) {
+        // Fail-closed deadline trust: verify the entry MAC before
+        // honouring the plaintext expiry field.
+        let Some(ct) = ctx.try_ciphertext(found.handle, &found.header) else {
+            return Err(Error::IntegrityViolation { bucket });
+        };
+        if !entry::verify_mac(&op.tkeys.mac, &found.header, ct) {
+            return Err(Error::IntegrityViolation { bucket });
+        }
+        stats.expired_lazy += 1;
+        if let Some(st) = op.state {
+            st.usage.expired_lazy.fetch_add(1, AtomicOrdering::SeqCst);
+        }
+        return Ok(false);
+    }
 
     if found.prev == NULL_HANDLE {
         ctx.heads[bucket] = found.header.next;
@@ -716,8 +873,27 @@ fn delete_in(
         ctx.mac_heads[bucket] = head;
     }
     ctx.count -= 1;
+    if let Some(st) = op.state {
+        st.usage.discharge(found.header.entry_len() as u64, 1);
+    }
     update_set_hash(cfg, keys, ctx, stats, set)?;
     Ok(true)
+}
+
+/// Accumulates per-tenant physical usage (`tenant → (bytes, keys)`) from
+/// one table. Header fields are read unauthenticated — this feeds
+/// resource accounting, where tampering only skews the tamperer's own
+/// quota; data-path integrity is enforced at access time.
+fn tally_usage(ctx: &TableCtx, out: &mut HashMap<TenantId, (u64, u64)>) {
+    let mut handles = Vec::new();
+    ctx.for_each_entry(|_, h| handles.push(h));
+    for h in handles {
+        if let Some(header) = ctx.try_header(h) {
+            let slot = out.entry(header.tenant).or_insert((0, 0));
+            slot.0 += header.entry_len() as u64;
+            slot.1 += 1;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -774,50 +950,59 @@ impl Shard {
 
     /// Internal verified lookup across temp/frozen/main state, without
     /// touching the per-op counters (callers classify the op).
-    fn lookup(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        Ok(self.lookup_traced(key)?.map(|(v, _)| v))
+    fn lookup(&mut self, op: &OpCtx<'_>, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.lookup_traced(op, key)?.map(|(v, _, _)| v))
     }
 
-    /// Like [`Shard::lookup`], also reporting whether the value was served
-    /// from the in-enclave cache (so callers do not re-insert cache hits,
-    /// which would pay a redundant metered enclave write per hit).
-    fn lookup_traced(&mut self, key: &[u8]) -> Result<Option<(Vec<u8>, bool)>> {
+    /// Like [`Shard::lookup`], also reporting the entry's expiry deadline
+    /// and whether the value was served from the in-enclave cache (so
+    /// callers neither re-insert cache hits — a redundant metered enclave
+    /// write per hit — nor cache TTL'd values, which the cache cannot
+    /// expire).
+    fn lookup_traced(
+        &mut self,
+        op: &OpCtx<'_>,
+        key: &[u8],
+    ) -> Result<Option<(Vec<u8>, u64, bool)>> {
         if let Some(cache) = self.cache.as_mut() {
-            if let Some(v) = cache.get(key) {
+            if let Some(v) = cache.get(&nskey(op.tenant, key)) {
                 self.stats.cache_hits += 1;
-                return Ok(Some((v, true)));
+                // Only deadline-free entries are ever cached.
+                return Ok(Some((v, 0, true)));
             }
             self.stats.cache_misses += 1;
         }
         if let Some(temp) = self.temp.as_ref() {
-            if temp.tombstones.contains(key) {
+            if temp.tombstones.contains(&nskey(op.tenant, key)) {
                 return Ok(None);
             }
             // Split borrows: temp ctx read + stats/scratch write.
             let (cfg, keys) = (&self.cfg, &self.keys);
             let temp = self.temp.as_ref().expect("checked above");
-            if let Some(v) = get_in(cfg, keys, &temp.ctx, &mut self.stats, &mut self.scratch, key)?
+            if let Some((v, exp)) =
+                get_in(cfg, keys, op, &temp.ctx, &mut self.stats, &mut self.scratch, key)?
             {
-                return Ok(Some((v, false)));
+                return Ok(Some((v, exp, false)));
             }
             let frozen = self.frozen.as_ref().expect("frozen accompanies temp");
-            return Ok(get_in(cfg, keys, frozen, &mut self.stats, &mut self.scratch, key)?
-                .map(|v| (v, false)));
+            return Ok(get_in(cfg, keys, op, frozen, &mut self.stats, &mut self.scratch, key)?
+                .map(|(v, exp)| (v, exp, false)));
         }
         let main = self.main.as_ref().expect("main table present");
-        Ok(get_in(&self.cfg, &self.keys, main, &mut self.stats, &mut self.scratch, key)?
-            .map(|v| (v, false)))
+        Ok(get_in(&self.cfg, &self.keys, op, main, &mut self.stats, &mut self.scratch, key)?
+            .map(|(v, exp)| (v, exp, false)))
     }
 
     /// Internal verified write across temp/main state.
-    fn apply_write(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+    fn apply_write(&mut self, op: &OpCtx<'_>, key: &[u8], value: &[u8]) -> Result<()> {
         self.check_item(key, value)?;
         if let Some(temp) = self.temp.as_mut() {
             self.stats.temp_table_ops += 1;
-            temp.tombstones.remove(key);
+            temp.tombstones.remove(&nskey(op.tenant, key));
             set_in(
                 &self.cfg,
                 &self.keys,
+                op,
                 &mut temp.ctx,
                 &mut self.stats,
                 &mut self.scratch,
@@ -826,13 +1011,29 @@ impl Shard {
             )?;
         } else {
             let main = self.main.as_mut().expect("main table present");
-            set_in(&self.cfg, &self.keys, main, &mut self.stats, &mut self.scratch, key, value)?;
+            set_in(
+                &self.cfg,
+                &self.keys,
+                op,
+                main,
+                &mut self.stats,
+                &mut self.scratch,
+                key,
+                value,
+            )?;
         }
         if let Some(cache) = self.cache.as_mut() {
-            cache.put(key, value);
+            let ns = nskey(op.tenant, key);
+            if op.expires_at == 0 {
+                cache.put(&ns, value);
+            } else {
+                // The cache has no deadline awareness: a cached TTL'd value
+                // would keep serving after expiry. Never cache them.
+                cache.remove(&ns);
+            }
         }
         if let Some(index) = self.index.as_mut() {
-            index.insert(key);
+            index.insert(&nskey(op.tenant, key));
         }
         Ok(())
     }
@@ -925,12 +1126,25 @@ impl Shard {
         )
     }
 
-    /// Retrieves the value for `key`.
+    // -- tenant-scoped operations --------------------------------------
+
+    /// Retrieves the value for `key` in the default namespace.
     pub fn get(&mut self, key: &[u8]) -> Result<Vec<u8>> {
+        self.get_t(DEFAULT_TENANT, key, None)
+    }
+
+    /// Retrieves the value for `key` in `tenant`'s namespace. `state`
+    /// (when given) receives per-tenant op accounting.
+    pub fn get_t(
+        &mut self,
+        tenant: TenantId,
+        key: &[u8],
+        state: Option<&TenantState>,
+    ) -> Result<Vec<u8>> {
         let timer = OpTimer::start();
         let result = match self.quarantine_guard(key) {
             Ok(()) => {
-                let r = self.get_untimed(key);
+                let r = self.get_untimed(tenant, key, state);
                 self.observe(r)
             }
             Err(e) => {
@@ -944,34 +1158,71 @@ impl Shard {
         result
     }
 
-    fn get_untimed(&mut self, key: &[u8]) -> Result<Vec<u8>> {
+    fn get_untimed(
+        &mut self,
+        tenant: TenantId,
+        key: &[u8],
+        state: Option<&TenantState>,
+    ) -> Result<Vec<u8>> {
         self.stats.gets += 1;
-        match self.lookup_traced(key)? {
-            Some((v, from_cache)) => {
+        if let Some(st) = state {
+            st.usage.gets.fetch_add(1, AtomicOrdering::SeqCst);
+        }
+        let tkeys = self.keys.tenant_keys(tenant);
+        let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at: 0, state };
+        match self.lookup_traced(&op, key)? {
+            Some((v, expires_at, from_cache)) => {
                 self.stats.hits += 1;
-                // Populate the cache on an untrusted-path hit; a cache hit
-                // is already resident.
-                if !from_cache {
+                if let Some(st) = state {
+                    st.usage.hits.fetch_add(1, AtomicOrdering::SeqCst);
+                }
+                // Populate the cache on an untrusted-path hit (a cache hit
+                // is already resident) — but never with a TTL'd value.
+                if !from_cache && expires_at == 0 {
                     if let Some(cache) = self.cache.as_mut() {
-                        cache.put(key, &v);
+                        cache.put(&nskey(tenant, key), &v);
                     }
                 }
                 Ok(v)
             }
             None => {
                 self.stats.misses += 1;
+                if let Some(st) = state {
+                    st.usage.misses.fetch_add(1, AtomicOrdering::SeqCst);
+                }
                 Err(Error::KeyNotFound)
             }
         }
     }
 
-    /// Stores `value` under `key` (insert or update).
+    /// Stores `value` under `key` (insert or update) in the default
+    /// namespace, with no expiry.
     pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.set_t(DEFAULT_TENANT, key, value, 0, None)
+    }
+
+    /// Stores `value` under `key` in `tenant`'s namespace. `expires_at`
+    /// is an absolute [`ttl`] deadline in ns (`0` = no expiry) and
+    /// *replaces* any previous deadline. `state` (when given) enforces
+    /// the tenant's quota and receives usage accounting.
+    pub fn set_t(
+        &mut self,
+        tenant: TenantId,
+        key: &[u8],
+        value: &[u8],
+        expires_at: u64,
+        state: Option<&TenantState>,
+    ) -> Result<()> {
         let timer = OpTimer::start();
         self.stats.sets += 1;
+        if let Some(st) = state {
+            st.usage.sets.fetch_add(1, AtomicOrdering::SeqCst);
+        }
         let result = match self.quarantine_guard(key) {
             Ok(()) => {
-                let r = self.apply_write(key, value);
+                let tkeys = self.keys.tenant_keys(tenant);
+                let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at, state };
+                let r = self.apply_write(&op, key, value);
                 self.observe(r)
             }
             Err(e) => Err(e),
@@ -980,18 +1231,29 @@ impl Shard {
         result
     }
 
-    /// Batched lookup: re-derives each touched bucket-set hash once per
-    /// batch instead of once per key (the flattened-Merkle check of
-    /// paper §4.3/§5.2 is the dominant per-op cost this amortizes).
+    /// Batched lookup in the default namespace.
+    pub fn multi_get(&mut self, batch: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.multi_get_t(DEFAULT_TENANT, batch, None)
+    }
+
+    /// Batched lookup in `tenant`'s namespace: re-derives each touched
+    /// bucket-set hash once per batch instead of once per key (the
+    /// flattened-Merkle check of paper §4.3/§5.2 is the dominant per-op
+    /// cost this amortizes).
     ///
     /// Results come back in input order; a clean miss is `None` rather
     /// than an error, so one absent key does not fail the batch. Any
     /// integrity violation aborts the whole batch fail-closed.
-    pub fn multi_get(&mut self, batch: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+    pub fn multi_get_t(
+        &mut self,
+        tenant: TenantId,
+        batch: &[&[u8]],
+        state: Option<&TenantState>,
+    ) -> Result<Vec<Option<Vec<u8>>>> {
         let timer = OpTimer::start();
         let result = match self.quarantine_guard_batch(batch.iter().copied()) {
             Ok(()) => {
-                let r = self.multi_get_untimed(batch);
+                let r = self.multi_get_untimed(tenant, batch, state);
                 self.observe(r)
             }
             Err(e) => Err(e),
@@ -1000,26 +1262,36 @@ impl Shard {
         result
     }
 
-    fn multi_get_untimed(&mut self, batch: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+    fn multi_get_untimed(
+        &mut self,
+        tenant: TenantId,
+        batch: &[&[u8]],
+        state: Option<&TenantState>,
+    ) -> Result<Vec<Option<Vec<u8>>>> {
         self.stats.batches += 1;
         self.stats.batch_ops += batch.len() as u64;
         self.stats.gets += batch.len() as u64;
+        if let Some(st) = state {
+            st.usage.gets.fetch_add(batch.len() as u64, AtomicOrdering::SeqCst);
+        }
         let mut results: Vec<Option<Vec<u8>>> = vec![None; batch.len()];
+        let tkeys = self.keys.tenant_keys(tenant);
+        let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at: 0, state };
 
         if self.temp.is_some() {
             // Snapshot in progress: lookups span the temp and frozen
             // tables, whose bucket sets do not line up — per-op path.
             for (i, key) in batch.iter().enumerate() {
-                if let Some((v, from_cache)) = self.lookup_traced(key)? {
-                    if !from_cache {
+                if let Some((v, exp, from_cache)) = self.lookup_traced(&op, key)? {
+                    if !from_cache && exp == 0 {
                         if let Some(cache) = self.cache.as_mut() {
-                            cache.put(key, &v);
+                            cache.put(&nskey(tenant, key), &v);
                         }
                     }
                     results[i] = Some(v);
                 }
             }
-            self.tally_batch_hits(&results);
+            self.tally_batch_hits(state, &results);
             return Ok(results);
         }
 
@@ -1027,7 +1299,7 @@ impl Shard {
         let mut pending = Vec::with_capacity(batch.len());
         for (i, key) in batch.iter().enumerate() {
             if let Some(cache) = self.cache.as_mut() {
-                if let Some(v) = cache.get(key) {
+                if let Some(v) = cache.get(&nskey(tenant, key)) {
                     self.stats.cache_hits += 1;
                     results[i] = Some(v);
                     continue;
@@ -1058,30 +1330,47 @@ impl Shard {
                 verify_set(cfg, keys, main, stats, set)?;
                 verified = Some(set);
             }
-            if let Some(v) = get_in_bucket(cfg, keys, main, stats, scratch, bucket, batch[i])? {
-                if let Some(cache) = cache.as_mut() {
-                    cache.put(batch[i], &v);
+            if let Some((v, exp)) =
+                get_in_bucket(cfg, keys, &op, main, stats, scratch, bucket, batch[i])?
+            {
+                if exp == 0 {
+                    if let Some(cache) = cache.as_mut() {
+                        cache.put(&nskey(tenant, batch[i]), &v);
+                    }
                 }
                 results[i] = Some(v);
             }
         }
-        self.tally_batch_hits(&results);
+        self.tally_batch_hits(state, &results);
         Ok(results)
     }
 
-    /// Batched write: verifies each touched bucket-set hash once before
-    /// the set's first write and re-stores it once after the set's last
-    /// write, instead of doing both per key.
+    /// Batched write in the default namespace (no expiry).
+    pub fn multi_set(&mut self, items: &[(&[u8], &[u8])]) -> Result<()> {
+        self.multi_set_t(DEFAULT_TENANT, items, 0, None)
+    }
+
+    /// Batched write in `tenant`'s namespace: verifies each touched
+    /// bucket-set hash once before the set's first write and re-stores
+    /// it once after the set's last write, instead of doing both per
+    /// key. All items share `expires_at` (`0` = no expiry).
     ///
     /// Items are validated up front, so a malformed item rejects the
     /// batch before any mutation. Writes to the same key replay in
     /// submission order (last write wins). An integrity violation
-    /// mid-batch aborts fail-closed.
-    pub fn multi_set(&mut self, items: &[(&[u8], &[u8])]) -> Result<()> {
+    /// mid-batch aborts fail-closed; a quota rejection aborts with
+    /// earlier items of the batch already applied (each was logged).
+    pub fn multi_set_t(
+        &mut self,
+        tenant: TenantId,
+        items: &[(&[u8], &[u8])],
+        expires_at: u64,
+        state: Option<&TenantState>,
+    ) -> Result<()> {
         let timer = OpTimer::start();
         let result = match self.quarantine_guard_batch(items.iter().map(|(k, _)| *k)) {
             Ok(()) => {
-                let r = self.multi_set_untimed(items);
+                let r = self.multi_set_untimed(tenant, items, expires_at, state);
                 self.observe(r)
             }
             Err(e) => Err(e),
@@ -1090,20 +1379,31 @@ impl Shard {
         result
     }
 
-    fn multi_set_untimed(&mut self, items: &[(&[u8], &[u8])]) -> Result<()> {
+    fn multi_set_untimed(
+        &mut self,
+        tenant: TenantId,
+        items: &[(&[u8], &[u8])],
+        expires_at: u64,
+        state: Option<&TenantState>,
+    ) -> Result<()> {
         for (key, value) in items {
             self.check_item(key, value)?;
         }
         self.stats.batches += 1;
         self.stats.batch_ops += items.len() as u64;
         self.stats.sets += items.len() as u64;
+        if let Some(st) = state {
+            st.usage.sets.fetch_add(items.len() as u64, AtomicOrdering::SeqCst);
+        }
+        let tkeys = self.keys.tenant_keys(tenant);
+        let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at, state };
 
         if self.temp.is_some() {
             // Snapshot in progress: writes land in the small temp table,
             // where batching the set-hash work is not worth the
             // bookkeeping — the temp table is merged away shortly.
             for (key, value) in items {
-                self.apply_write(key, value)?;
+                self.apply_write(&op, key, value)?;
             }
             return Ok(());
         }
@@ -1137,12 +1437,27 @@ impl Shard {
                 current = Some(set);
             }
             let (key, value) = items[i];
-            set_in_bucket(cfg, keys, main, stats, scratch, bucket, key, value)?;
+            set_in_bucket(cfg, keys, &op, main, stats, scratch, bucket, key, value).map_err(
+                |e| {
+                    // The set hash for the current group must be re-stored
+                    // even on a quota rejection mid-batch: earlier items in
+                    // this set already mutated their buckets.
+                    if matches!(e, Error::QuotaExceeded { .. }) {
+                        let _ = update_set_hash(cfg, keys, main, stats, set);
+                    }
+                    e
+                },
+            )?;
             if let Some(cache) = cache.as_mut() {
-                cache.put(key, value);
+                let ns = nskey(tenant, key);
+                if expires_at == 0 {
+                    cache.put(&ns, value);
+                } else {
+                    cache.remove(&ns);
+                }
             }
             if let Some(index) = index.as_mut() {
-                index.insert(key);
+                index.insert(&nskey(tenant, key));
             }
         }
         if let Some(prev) = current {
@@ -1152,22 +1467,37 @@ impl Shard {
     }
 
     /// Classifies batched results into the hit/miss counters.
-    fn tally_batch_hits(&mut self, results: &[Option<Vec<u8>>]) {
-        for r in results {
-            if r.is_some() {
-                self.stats.hits += 1;
-            } else {
-                self.stats.misses += 1;
-            }
+    fn tally_batch_hits(&mut self, state: Option<&TenantState>, results: &[Option<Vec<u8>>]) {
+        let hits = results.iter().filter(|r| r.is_some()).count() as u64;
+        let misses = results.len() as u64 - hits;
+        self.stats.hits += hits;
+        self.stats.misses += misses;
+        if let Some(st) = state {
+            st.usage.hits.fetch_add(hits, AtomicOrdering::SeqCst);
+            st.usage.misses.fetch_add(misses, AtomicOrdering::SeqCst);
         }
     }
 
-    /// Removes `key`. Errors with [`Error::KeyNotFound`] when absent.
+    /// Removes `key` from the default namespace.
     pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.delete_t(DEFAULT_TENANT, key, None)
+    }
+
+    /// Removes `key` from `tenant`'s namespace. Errors with
+    /// [`Error::KeyNotFound`] when absent — or already past its
+    /// deadline, in which case physical removal is left to the sweep
+    /// (which WAL-logs it; an unlogged removal here would diverge from
+    /// recovery replay).
+    pub fn delete_t(
+        &mut self,
+        tenant: TenantId,
+        key: &[u8],
+        state: Option<&TenantState>,
+    ) -> Result<()> {
         let timer = OpTimer::start();
         let result = match self.quarantine_guard(key) {
             Ok(()) => {
-                let r = self.delete_untimed(key);
+                let r = self.delete_untimed(tenant, key, state);
                 self.observe(r)
             }
             Err(e) => {
@@ -1179,77 +1509,145 @@ impl Shard {
         result
     }
 
-    fn delete_untimed(&mut self, key: &[u8]) -> Result<()> {
+    fn delete_untimed(
+        &mut self,
+        tenant: TenantId,
+        key: &[u8],
+        state: Option<&TenantState>,
+    ) -> Result<()> {
         self.stats.deletes += 1;
+        let ns = nskey(tenant, key);
         if let Some(cache) = self.cache.as_mut() {
-            cache.remove(key);
+            cache.remove(&ns);
         }
+        let tkeys = self.keys.tenant_keys(tenant);
+        let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at: 0, state };
         if let Some(temp) = self.temp.as_mut() {
             self.stats.temp_table_ops += 1;
             // Remove any temp-table copy.
             let (cfg, keys) = (&self.cfg, &self.keys);
-            let removed_temp =
-                delete_in(cfg, keys, &mut temp.ctx, &mut self.stats, &mut self.scratch, key)?;
+            let removed_temp = delete_in(
+                cfg,
+                keys,
+                &op,
+                &mut temp.ctx,
+                &mut self.stats,
+                &mut self.scratch,
+                key,
+                false,
+            )?;
             // Check the frozen main for presence (verified search).
             let frozen = Arc::clone(self.frozen.as_ref().expect("frozen accompanies temp"));
-            let in_frozen =
-                get_in(&self.cfg, &self.keys, &frozen, &mut self.stats, &mut self.scratch, key)?
-                    .is_some();
+            let in_frozen = get_in(
+                &self.cfg,
+                &self.keys,
+                &op,
+                &frozen,
+                &mut self.stats,
+                &mut self.scratch,
+                key,
+            )?
+            .is_some();
             if !removed_temp && !in_frozen {
                 self.stats.misses += 1;
+                if let Some(st) = state {
+                    st.usage.misses.fetch_add(1, AtomicOrdering::SeqCst);
+                }
                 return Err(Error::KeyNotFound);
             }
             if in_frozen {
-                temp.tombstones.insert(key.to_vec());
+                let temp = self.temp.as_mut().expect("checked above");
+                temp.tombstones.insert(ns.clone());
             }
             if let Some(index) = self.index.as_mut() {
-                index.remove(key);
+                index.remove(&ns);
             }
             self.stats.hits += 1;
+            if let Some(st) = state {
+                st.usage.hits.fetch_add(1, AtomicOrdering::SeqCst);
+            }
             return Ok(());
         }
         let main = self.main.as_mut().expect("main table present");
-        if delete_in(&self.cfg, &self.keys, main, &mut self.stats, &mut self.scratch, key)? {
+        if delete_in(
+            &self.cfg,
+            &self.keys,
+            &op,
+            main,
+            &mut self.stats,
+            &mut self.scratch,
+            key,
+            false,
+        )? {
             if let Some(index) = self.index.as_mut() {
-                index.remove(key);
+                index.remove(&ns);
             }
             self.stats.hits += 1;
+            if let Some(st) = state {
+                st.usage.hits.fetch_add(1, AtomicOrdering::SeqCst);
+            }
             Ok(())
         } else {
             self.stats.misses += 1;
+            if let Some(st) = state {
+                st.usage.misses.fetch_add(1, AtomicOrdering::SeqCst);
+            }
             Err(Error::KeyNotFound)
         }
     }
 
-    /// Appends `suffix` to the value of `key`, creating it when absent —
-    /// one of the server-side operations motivating server-side encryption
-    /// (paper §3.2, Fig. 12).
+    /// Appends `suffix` to the value of `key` (default namespace),
+    /// creating it when absent — one of the server-side operations
+    /// motivating server-side encryption (paper §3.2, Fig. 12).
     pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<usize> {
-        self.append_value(key, suffix).map(|v| v.len())
+        self.append_value_t(DEFAULT_TENANT, key, suffix, None).map(|v| v.len())
     }
 
-    /// [`Shard::append`], but returns the resulting full value — the
-    /// store's WAL logs appends as the value they produced, so replay
-    /// after a snapshot/log overlap cannot double-apply the suffix.
-    pub(crate) fn append_value(&mut self, key: &[u8], suffix: &[u8]) -> Result<Vec<u8>> {
+    /// Tenant-scoped append. Any existing expiry deadline is cleared by
+    /// the rewrite (the produced value is WAL-logged as a plain set, so
+    /// replay must be deadline-free to stay idempotent).
+    pub fn append_value_t(
+        &mut self,
+        tenant: TenantId,
+        key: &[u8],
+        suffix: &[u8],
+        state: Option<&TenantState>,
+    ) -> Result<Vec<u8>> {
         self.stats.appends += 1;
         self.quarantine_guard(key)?;
+        let tkeys = self.keys.tenant_keys(tenant);
+        let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at: 0, state };
         let result = (|| {
-            let mut value = self.lookup(key)?.unwrap_or_default();
+            let mut value = self.lookup(&op, key)?.unwrap_or_default();
             value.extend_from_slice(suffix);
-            self.apply_write(key, &value)?;
+            self.apply_write(&op, key, &value)?;
             Ok(value)
         })();
         self.observe(result)
     }
 
-    /// Adds `delta` to the decimal-integer value of `key` (creating it as
-    /// `delta` when absent) and returns the new value.
+    /// Adds `delta` to the decimal-integer value of `key` in the default
+    /// namespace (creating it as `delta` when absent) and returns the
+    /// new value.
     pub fn increment(&mut self, key: &[u8], delta: i64) -> Result<i64> {
+        self.increment_t(DEFAULT_TENANT, key, delta, None)
+    }
+
+    /// Tenant-scoped increment; clears any expiry deadline like
+    /// [`Shard::append_value_t`].
+    pub fn increment_t(
+        &mut self,
+        tenant: TenantId,
+        key: &[u8],
+        delta: i64,
+        state: Option<&TenantState>,
+    ) -> Result<i64> {
         self.stats.increments += 1;
         self.quarantine_guard(key)?;
+        let tkeys = self.keys.tenant_keys(tenant);
+        let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at: 0, state };
         let result = (|| {
-            let current = match self.lookup(key)? {
+            let current = match self.lookup(&op, key)? {
                 Some(v) => {
                     let text = core::str::from_utf8(&v).map_err(|_| Error::ValueNotNumeric)?;
                     text.trim().parse::<i64>().map_err(|_| Error::ValueNotNumeric)?
@@ -1257,21 +1655,237 @@ impl Shard {
                 None => 0,
             };
             let next = current.checked_add(delta).ok_or(Error::NumericOverflow)?;
-            self.apply_write(key, next.to_string().as_bytes())?;
+            self.apply_write(&op, key, next.to_string().as_bytes())?;
             Ok(next)
         })();
         self.observe(result)
     }
 
-    /// True when `key` exists (verified lookup).
+    /// True when `key` exists in the default namespace (verified lookup).
     pub fn exists(&mut self, key: &[u8]) -> Result<bool> {
+        self.exists_t(DEFAULT_TENANT, key, None)
+    }
+
+    /// True when `key` exists in `tenant`'s namespace (verified lookup;
+    /// an expired entry reads as absent).
+    pub fn exists_t(
+        &mut self,
+        tenant: TenantId,
+        key: &[u8],
+        state: Option<&TenantState>,
+    ) -> Result<bool> {
         self.quarantine_guard(key)?;
-        let result = self.lookup(key).map(|v| v.is_some());
+        let tkeys = self.keys.tenant_keys(tenant);
+        let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at: 0, state };
+        let result = self.lookup(&op, key).map(|v| v.is_some());
         self.observe(result)
     }
 
-    /// Number of live entries. During a snapshot this is an upper bound
-    /// (temp-table updates of existing keys count twice until the merge).
+    /// Recovery replay of a logged delete: removes `key` regardless of
+    /// expiry state (the logged delete may itself be a sweep reap), with
+    /// no stats or quota accounting — usage is recounted after replay.
+    pub(crate) fn purge_t(&mut self, tenant: TenantId, key: &[u8]) -> Result<bool> {
+        self.quarantine_guard(key)?;
+        let ns = nskey(tenant, key);
+        if let Some(cache) = self.cache.as_mut() {
+            cache.remove(&ns);
+        }
+        let tkeys = self.keys.tenant_keys(tenant);
+        let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at: 0, state: None };
+        let main = self.main.as_mut().expect("main table present");
+        let removed = delete_in(
+            &self.cfg,
+            &self.keys,
+            &op,
+            main,
+            &mut self.stats,
+            &mut self.scratch,
+            key,
+            true,
+        )?;
+        if removed {
+            if let Some(index) = self.index.as_mut() {
+                index.remove(&ns);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Ordered range scan over `[start, end)` in the default namespace
+    /// (requires [`Config::ordered_index`]): returns up to `limit`
+    /// key-value pairs in key order, each retrieved through the fully
+    /// verified read path.
+    pub fn scan_range(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_range_t(DEFAULT_TENANT, start, end, limit)
+    }
+
+    /// Ordered prefix scan in the default namespace (requires
+    /// [`Config::ordered_index`]).
+    pub fn scan_prefix(&mut self, prefix: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_prefix_t(DEFAULT_TENANT, prefix, limit)
+    }
+
+    /// Tenant-scoped ordered range scan. The index stores namespaced
+    /// keys, so the scan window is confined to `tenant` by construction
+    /// — it cannot leak even the *existence* of another tenant's keys.
+    pub fn scan_range_t(
+        &mut self,
+        tenant: TenantId,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.quarantine_guard_scan()?;
+        let nskeys = self.index.as_ref().ok_or(Error::IndexDisabled)?.range(
+            &nskey(tenant, start),
+            &nskey(tenant, end),
+            limit,
+        );
+        self.collect_keys(tenant, nskeys)
+    }
+
+    /// Tenant-scoped ordered prefix scan.
+    pub fn scan_prefix_t(
+        &mut self,
+        tenant: TenantId,
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.quarantine_guard_scan()?;
+        let nskeys =
+            self.index.as_ref().ok_or(Error::IndexDisabled)?.prefix(&nskey(tenant, prefix), limit);
+        self.collect_keys(tenant, nskeys)
+    }
+
+    fn collect_keys(
+        &mut self,
+        tenant: TenantId,
+        nskeys: Vec<Vec<u8>>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let tkeys = self.keys.tenant_keys(tenant);
+        let op = OpCtx { tenant, tkeys: &tkeys, now: ttl::now_ns(), expires_at: 0, state: None };
+        let result = (|| {
+            let mut out = Vec::with_capacity(nskeys.len());
+            for ns in &nskeys {
+                let (_, key) = split_nskey(ns);
+                // The index can briefly lead the table during a snapshot
+                // merge, and expired entries linger until swept; skip
+                // keys that verified-miss rather than failing.
+                if let Some((value, _, _)) = self.lookup_traced(&op, key)? {
+                    out.push((key.to_vec(), value));
+                }
+            }
+            Ok(out)
+        })();
+        self.observe(result)
+    }
+
+    /// Physically removes entries whose deadline is at or before `now`,
+    /// returning the `(tenant, key)` pairs reaped so the store can
+    /// WAL-log each removal (recovery must not resurrect them).
+    ///
+    /// Only entries whose MAC verifies under their owner's keys are
+    /// reaped — a tampered `expires_at` cannot be laundered into a
+    /// silent delete; it either fails the guarding verification here or
+    /// trips [`Error::IntegrityViolation`] on the next read. Skipped
+    /// while a snapshot freeze is active (the frozen table is immutable;
+    /// lazy expiry keeps hiding dead entries until the next sweep).
+    pub fn sweep_expired(
+        &mut self,
+        now: u64,
+        registry: &TenantRegistry,
+    ) -> Vec<(TenantId, Vec<u8>)> {
+        let mut reaped = Vec::new();
+        if self.temp.is_some() || self.quarantine.whole {
+            return reaped;
+        }
+        // Pass 1 (read-only): collect authenticated expired candidates.
+        let mut candidates: Vec<(TenantId, Vec<u8>)> = Vec::new();
+        {
+            let main = self.main.as_ref().expect("main table present");
+            let mut handles = Vec::new();
+            main.for_each_entry(|bucket, handle| handles.push((bucket, handle)));
+            for (bucket, handle) in handles {
+                // Quarantined sets are out of bounds — membership is
+                // checked directly so the sweep does not inflate the
+                // `quarantine_rejections` client-op counter.
+                if self.quarantine.sets.contains(&main.sets.set_of(bucket)) {
+                    continue;
+                }
+                let Some(header) = main.try_header(handle) else { continue };
+                if !header.expired_at(now) {
+                    continue;
+                }
+                let Some(ct) = main.try_ciphertext(handle, &header) else { continue };
+                let owner = self.keys.tenant_keys(header.tenant);
+                if !entry::verify_mac(&owner.mac, &header, ct) {
+                    continue;
+                }
+                candidates.push((header.tenant, entry::decrypt_key(&owner.enc, &header, ct)));
+            }
+        }
+        // Pass 2: reap through the normal verified delete path, so the
+        // set hashes and MAC chains are maintained like any other write.
+        for (tenant, key) in candidates {
+            let state = registry.state(tenant);
+            let tkeys = self.keys.tenant_keys(tenant);
+            let op =
+                OpCtx { tenant, tkeys: &tkeys, now, expires_at: 0, state: Some(state.as_ref()) };
+            let main = self.main.as_mut().expect("main table present");
+            let r = delete_in(
+                &self.cfg,
+                &self.keys,
+                &op,
+                main,
+                &mut self.stats,
+                &mut self.scratch,
+                &key,
+                true,
+            );
+            let r = self.observe(r);
+            if let Ok(true) = r {
+                self.stats.expired_swept += 1;
+                state.usage.expired_swept.fetch_add(1, AtomicOrdering::SeqCst);
+                let ns = nskey(tenant, &key);
+                if let Some(index) = self.index.as_mut() {
+                    index.remove(&ns);
+                }
+                if let Some(cache) = self.cache.as_mut() {
+                    cache.remove(&ns);
+                }
+                reaped.push((tenant, key));
+            }
+            if self.quarantine.whole {
+                break;
+            }
+        }
+        reaped
+    }
+
+    /// Tallies live per-tenant occupancy — `(bytes, keys)` per tenant —
+    /// straight from the table headers. Used by the store to re-baseline
+    /// quota accounting after restore/recovery (expired-but-unswept
+    /// entries still count: they still occupy untrusted memory).
+    pub(crate) fn usage_by_tenant(&self) -> HashMap<TenantId, (u64, u64)> {
+        let mut out = HashMap::new();
+        if let Some(main) = self.main.as_ref() {
+            tally_usage(main, &mut out);
+        } else if let Some(frozen) = self.frozen.as_ref() {
+            tally_usage(frozen, &mut out);
+        }
+        if let Some(temp) = self.temp.as_ref() {
+            tally_usage(&temp.ctx, &mut out);
+        }
+        out
+    }
+
+    /// The number of live entries (main + temp tables). Entries past
+    /// their deadline but not yet swept still count.
     pub fn len(&self) -> usize {
         let base = self
             .main
@@ -1350,42 +1964,6 @@ impl Shard {
         self.main.as_mut()
     }
 
-    /// Ordered range scan over `[start, end)` (requires
-    /// [`Config::ordered_index`]): returns up to `limit` key-value pairs
-    /// in key order, each retrieved through the fully verified read path.
-    pub fn scan_range(
-        &mut self,
-        start: &[u8],
-        end: &[u8],
-        limit: usize,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.quarantine_guard_scan()?;
-        let keys = self.index.as_ref().ok_or(Error::IndexDisabled)?.range(start, end, limit);
-        self.collect_keys(keys)
-    }
-
-    /// Ordered prefix scan (requires [`Config::ordered_index`]).
-    pub fn scan_prefix(&mut self, prefix: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.quarantine_guard_scan()?;
-        let keys = self.index.as_ref().ok_or(Error::IndexDisabled)?.prefix(prefix, limit);
-        self.collect_keys(keys)
-    }
-
-    fn collect_keys(&mut self, keys: Vec<Vec<u8>>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let result = (|| {
-            let mut out = Vec::with_capacity(keys.len());
-            for key in keys {
-                // The index can briefly lead the table during a snapshot
-                // merge; skip keys that verified-miss rather than failing.
-                if let Some(value) = self.lookup(&key)? {
-                    out.push((key, value));
-                }
-            }
-            Ok(out)
-        })();
-        self.observe(result)
-    }
-
     /// Approximate enclave bytes consumed by the ordered index (0 when
     /// disabled) — check this against the EPC budget before enabling the
     /// index on large key counts.
@@ -1405,8 +1983,9 @@ impl Shard {
             let header = main.header(handle);
             match main.try_ciphertext(handle, &header) {
                 Some(ct) => {
-                    let (key, _) = entry::decrypt_entry(&self.keys.enc, &header, ct);
-                    index.insert(&key);
+                    let tkeys = self.keys.tenant_keys(header.tenant);
+                    let key = entry::decrypt_key(&tkeys.enc, &header, ct);
+                    index.insert(&nskey(header.tenant, &key));
                 }
                 None => bad = true,
             }
@@ -1457,7 +2036,10 @@ impl Shard {
     }
 
     /// Unfreezes after the snapshot writer has dropped its `Arc`,
-    /// merging the temporary table back into the main one.
+    /// merging the temporary table back into the main one. Quota
+    /// accounting is re-baselined by the store afterwards (via
+    /// [`Shard::usage_by_tenant`]), so the unmetered merge here cannot
+    /// leave usage drifted.
     pub(crate) fn unfreeze(&mut self) -> Result<()> {
         let arc = self.frozen.take().expect("freeze() must precede unfreeze()");
         let mut main = Arc::try_unwrap(arc).map_err(|arc| {
@@ -1465,16 +2047,22 @@ impl Shard {
             Error::Persistence("snapshot writer still holds the frozen table".into())
         })?;
         let temp = self.temp.take().expect("temp accompanies frozen");
+        let now = ttl::now_ns();
 
         // Apply deletions first, then replay temp-table writes.
-        for key in &temp.tombstones {
+        for ns in &temp.tombstones {
+            let (tenant, key) = split_nskey(ns);
+            let tkeys = self.keys.tenant_keys(tenant);
+            let op = OpCtx { tenant, tkeys: &tkeys, now, expires_at: 0, state: None };
             let _ = delete_in(
                 &self.cfg,
                 &self.keys,
+                &op,
                 &mut main,
                 &mut self.stats,
                 &mut self.scratch,
                 key,
+                true,
             )?;
         }
         let mut handles = Vec::new();
@@ -1483,15 +2071,24 @@ impl Shard {
         for h in handles {
             let header = temp.ctx.header(h);
             let ct = temp.ctx.ciphertext(h, &header);
+            let tkeys = self.keys.tenant_keys(header.tenant);
             // Fused verify+decrypt of the temp-table entry before it is
             // re-sealed into the merged main table.
-            if !entry::open_entry(&self.keys.enc, &self.keys.mac, &header, ct, &mut plain) {
+            if !entry::open_entry(&tkeys.enc, &tkeys.mac, &header, ct, &mut plain) {
                 return Err(Error::IntegrityViolation { bucket: 0 });
             }
             let (key, value) = plain.split_at(header.key_len as usize);
+            let op = OpCtx {
+                tenant: header.tenant,
+                tkeys: &tkeys,
+                now,
+                expires_at: header.expires_at,
+                state: None,
+            };
             set_in(
                 &self.cfg,
                 &self.keys,
+                &op,
                 &mut main,
                 &mut self.stats,
                 &mut self.scratch,
@@ -1503,7 +2100,6 @@ impl Shard {
         Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2133,6 +2729,154 @@ mod tests {
             let k = format!("k{i}");
             assert_eq!(with.get(k.as_bytes()).is_ok(), without.get(k.as_bytes()).is_ok());
         }
+        vclock::reset();
+    }
+
+    // -- tenancy, TTL, quota ------------------------------------------
+
+    use crate::tenant::{TenantQuota, TenantState, TenantUsage};
+
+    #[test]
+    fn tenants_are_isolated_namespaces() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.set_t(1, b"k", b"one", 0, None).unwrap();
+        s.set_t(2, b"k", b"two", 0, None).unwrap();
+        s.set(b"k", b"zero").unwrap(); // tenant 0 sugar
+        assert_eq!(s.get_t(1, b"k", None).unwrap(), b"one");
+        assert_eq!(s.get_t(2, b"k", None).unwrap(), b"two");
+        assert_eq!(s.get(b"k").unwrap(), b"zero");
+        assert_eq!(s.len(), 3, "same key in three namespaces = three entries");
+        assert_eq!(s.get_t(3, b"k", None), Err(Error::KeyNotFound));
+        s.delete_t(1, b"k", None).unwrap();
+        assert_eq!(s.get_t(1, b"k", None), Err(Error::KeyNotFound));
+        assert_eq!(s.get_t(2, b"k", None).unwrap(), b"two", "delete stays in its namespace");
+        vclock::reset();
+    }
+
+    #[test]
+    fn cache_respects_tenant_namespaces() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        s.enable_cache(64 << 10);
+        s.set_t(1, b"k", b"secret", 0, None).unwrap();
+        assert_eq!(s.get_t(1, b"k", None).unwrap(), b"secret");
+        assert_eq!(s.get_t(1, b"k", None).unwrap(), b"secret"); // cache hit
+        assert!(s.stats().cache_hits >= 1);
+        // Tenant 2's view of the same byte key must not touch tenant 1's
+        // cached plaintext.
+        assert_eq!(s.get_t(2, b"k", None), Err(Error::KeyNotFound));
+        vclock::reset();
+    }
+
+    #[test]
+    fn ttl_lazy_expiry_and_sweep() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        let live = ttl::now_ns() + 3_600_000_000_000; // +1h
+        s.set_t(0, b"eternal", b"e", 0, None).unwrap();
+        s.set_t(0, b"live", b"l", live, None).unwrap();
+        s.set_t(0, b"dead", b"d", 1, None).unwrap(); // long expired
+        assert_eq!(s.len(), 3);
+
+        // Lazy expiry: reads hide the dead entry without mutating.
+        assert_eq!(s.get(b"dead"), Err(Error::KeyNotFound));
+        assert_eq!(s.stats().expired_lazy, 1);
+        assert_eq!(s.len(), 3, "lazy expiry does not remove");
+        assert!(!s.exists(b"dead").unwrap());
+
+        // Delete of an expired entry is KeyNotFound *without* removal:
+        // physical reap is the sweep's job (it gets WAL-logged there).
+        assert_eq!(s.delete(b"dead"), Err(Error::KeyNotFound));
+        assert_eq!(s.len(), 3);
+
+        let reg = TenantRegistry::new();
+        let reaped = s.sweep_expired(ttl::now_ns(), &reg);
+        assert_eq!(reaped, vec![(0, b"dead".to_vec())]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stats().expired_swept, 1);
+        assert_eq!(s.get(b"eternal").unwrap(), b"e");
+        assert_eq!(s.get(b"live").unwrap(), b"l");
+        vclock::reset();
+    }
+
+    #[test]
+    fn ttl_reset_on_set_and_cleared_by_merge_ops() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        let reg = TenantRegistry::new();
+
+        // SET replaces the deadline wholesale (Redis semantics).
+        s.set_t(0, b"k", b"v1", 1, None).unwrap();
+        assert_eq!(s.get(b"k"), Err(Error::KeyNotFound));
+        s.set(b"k", b"v2").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), b"v2", "overwrite revives: deadline replaced");
+
+        // Append/increment clear any deadline: their WAL form is a plain
+        // set of the produced value, which must replay deadline-free.
+        let horizon = ttl::now_ns() + 3_600_000_000_000;
+        s.set_t(0, b"n", b"5", horizon, None).unwrap();
+        assert_eq!(s.increment(b"n", 2).unwrap(), 7);
+        let far = ttl::now_ns() + 7_200_000_000_000; // past the old deadline
+        assert!(s.sweep_expired(far, &reg).is_empty(), "increment cleared the deadline");
+        assert_eq!(s.get(b"n").unwrap(), b"7");
+        vclock::reset();
+    }
+
+    #[test]
+    fn quota_rejects_inserts_but_allows_updates() {
+        let mut s = shard_with(small_cfg());
+        vclock::reset();
+        let entry_cost = (entry::HEADER_LEN + 1 + 3) as u64; // 1-byte key, 3-byte value
+        let state = TenantState {
+            quota: TenantQuota { max_bytes: 2 * entry_cost + 8, max_keys: 2, weight: 1 },
+            usage: Arc::new(TenantUsage::default()),
+        };
+
+        s.set_t(7, b"a", b"aaa", 0, Some(&state)).unwrap();
+        s.set_t(7, b"b", b"bbb", 0, Some(&state)).unwrap();
+        assert_eq!(
+            s.set_t(7, b"c", b"ccc", 0, Some(&state)),
+            Err(Error::QuotaExceeded { tenant: 7 }),
+            "third insert exceeds max_keys"
+        );
+        assert_eq!(s.stats().quota_rejections, 1);
+        assert_eq!(s.len(), 2, "rejected insert left no residue");
+
+        // Same-size update is free; growth must fit the byte budget.
+        s.set_t(7, b"a", b"AAA", 0, Some(&state)).unwrap();
+        assert_eq!(
+            s.set_t(7, b"a", vec![0u8; 64].as_slice(), 0, Some(&state)),
+            Err(Error::QuotaExceeded { tenant: 7 })
+        );
+        assert_eq!(s.get_t(7, b"a", Some(&state)).unwrap(), b"AAA", "failed grow left old value");
+
+        // Deleting frees budget for a new insert.
+        s.delete_t(7, b"b", Some(&state)).unwrap();
+        s.set_t(7, b"c", b"ccc", 0, Some(&state)).unwrap();
+        assert_eq!(state.usage.used_keys.load(AtomicOrdering::SeqCst), 2);
+        assert_eq!(state.usage.used_bytes.load(AtomicOrdering::SeqCst), 2 * entry_cost);
+        vclock::reset();
+    }
+
+    #[test]
+    fn tenant_field_rewrite_fails_closed() {
+        // An attacker re-stitching an entry into another namespace by
+        // editing the plaintext tenant field must trip verification under
+        // *both* the claimed and the true owner's keys.
+        let mut cfg = small_cfg();
+        cfg = cfg.buckets(1);
+        let mut s = shard_with(cfg);
+        vclock::reset();
+        s.set_t(1, b"k", b"owned", 0, None).unwrap();
+
+        let main = s.main.as_mut().unwrap();
+        let mut handle = None;
+        main.for_each_entry(|_, h| handle = Some(h));
+        main.heap.bytes_at_mut(handle.unwrap(), entry::OFF_TENANT, 4)[0] ^= 0x03;
+
+        assert!(matches!(s.get_t(2, b"k", None), Err(Error::IntegrityViolation { .. })));
+        assert!(matches!(s.get_t(1, b"k", None), Err(Error::IntegrityViolation { .. })));
         vclock::reset();
     }
 }

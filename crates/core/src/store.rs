@@ -10,7 +10,9 @@
 use crate::config::Config;
 use crate::error::{Error, Result};
 use crate::shard::{Shard, ShardConfig, StoreKeys};
-use crate::stats::{OpStats, StatsSnapshot};
+use crate::stats::{OpStats, StatsSnapshot, TenantStat, MAX_TENANT_STATS};
+use crate::tenant::{TenantId, TenantRegistry, TenantState, DEFAULT_TENANT};
+use crate::ttl;
 use crate::wal::{Wal, WalOp};
 use parking_lot::Mutex;
 use sgx_sim::counter::PersistentCounter;
@@ -41,6 +43,10 @@ pub struct ShieldStore {
     /// owning shard's lock (lock order: shard, then WAL), so per-key log
     /// order matches apply order.
     wal: OnceLock<Wal>,
+    /// Tenant quotas, weights, and usage accounting. Tenant 0 exists
+    /// implicitly (unlimited by default); the untenanted API is sugar
+    /// for it.
+    registry: TenantRegistry,
 }
 
 impl std::fmt::Debug for ShieldStore {
@@ -74,7 +80,14 @@ impl ShieldStore {
             }
             shards.push(Mutex::new(shard));
         }
-        Ok(Self { enclave, keys, config, shards, wal: OnceLock::new() })
+        Ok(Self {
+            enclave,
+            keys,
+            config,
+            shards,
+            wal: OnceLock::new(),
+            registry: TenantRegistry::new(),
+        })
     }
 
     /// Attaches a fresh write-ahead log in `dir` to this (fresh) store,
@@ -138,22 +151,28 @@ impl ShieldStore {
             }
         };
         // The WAL is not attached yet, so replayed ops are not re-logged.
+        // Replay is unmetered (no quota state): every logged op was
+        // admitted when it first ran; usage is recounted below.
         let wal = Wal::recover(enclave, wal_dir.as_ref(), policy, expected_snap, &mut |op| {
             match op {
-                WalOp::Set { key, value } => store.set(&key, &value),
+                WalOp::Set { tenant, key, value, expires_at } => store
+                    .with_shard(store.shard_of(&key), |s| {
+                        s.set_t(tenant, &key, &value, expires_at, None)
+                    }),
                 // A delete can replay against a snapshot that never held
                 // the key (or already lost it): that is the idempotent
-                // outcome, not an error.
-                WalOp::Delete { key } => match store.delete(&key) {
-                    Err(Error::KeyNotFound) => Ok(()),
-                    r => r,
-                },
+                // outcome, not an error. Replay purges even expired
+                // entries — the logged delete may itself be a sweep reap.
+                WalOp::Delete { tenant, key } => {
+                    store.with_shard(store.shard_of(&key), |s| s.purge_t(tenant, &key).map(|_| ()))
+                }
             }
         })?;
         store
             .wal
             .set(wal)
             .map_err(|_| Error::Persistence("write-ahead log already attached".into()))?;
+        store.recount_usage();
         Ok(store)
     }
 
@@ -209,55 +228,165 @@ impl ShieldStore {
         f(&mut self.shards[idx].lock())
     }
 
-    /// Retrieves the value stored under `key`.
+    /// The tenant registry: quotas, weights, and per-tenant usage.
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// Retrieves the value stored under `key` (tenant 0).
     pub fn get(&self, key: &[u8]) -> Result<Vec<u8>> {
-        self.with_shard(self.shard_of(key), |s| s.get(key))
+        self.get_t(DEFAULT_TENANT, key)
     }
 
-    /// Stores `value` under `key`.
+    /// Retrieves the value stored under `key` in `tenant`'s namespace.
+    pub fn get_t(&self, tenant: TenantId, key: &[u8]) -> Result<Vec<u8>> {
+        let state = self.registry.state(tenant);
+        self.with_shard(self.shard_of(key), |s| s.get_t(tenant, key, Some(&state)))
+    }
+
+    /// Stores `value` under `key` (tenant 0, no expiry).
     pub fn set(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.set_with_expiry(DEFAULT_TENANT, key, value, 0)
+    }
+
+    /// Stores `value` under `key` in `tenant`'s namespace, no expiry.
+    pub fn set_t(&self, tenant: TenantId, key: &[u8], value: &[u8]) -> Result<()> {
+        self.set_with_expiry(tenant, key, value, 0)
+    }
+
+    /// Stores `value` under `key` with a TTL of `ttl_ns` from now
+    /// (`0` = an already-due deadline; use [`ShieldStore::set_t`] for no
+    /// expiry).
+    pub fn set_ttl(&self, tenant: TenantId, key: &[u8], value: &[u8], ttl_ns: u64) -> Result<()> {
+        self.set_with_expiry(tenant, key, value, ttl::deadline_after(ttl_ns))
+    }
+
+    /// Stores `value` under `key` with an absolute expiry deadline
+    /// (`expires_at` in ns since the epoch; `0` = no expiry). The write
+    /// *replaces* any previous deadline and is admitted against
+    /// `tenant`'s quota.
+    pub fn set_with_expiry(
+        &self,
+        tenant: TenantId,
+        key: &[u8],
+        value: &[u8],
+        expires_at: u64,
+    ) -> Result<()> {
+        let state = self.registry.state(tenant);
         self.with_shard(self.shard_of(key), |s| {
-            s.set(key, value)?;
-            self.log_wal(|| WalOp::Set { key: key.to_vec(), value: value.to_vec() })
+            s.set_t(tenant, key, value, expires_at, Some(&state))?;
+            self.log_wal(|| WalOp::Set {
+                tenant,
+                key: key.to_vec(),
+                value: value.to_vec(),
+                expires_at,
+            })
         })
     }
 
-    /// Removes `key`.
+    /// Removes `key` (tenant 0).
     pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.delete_t(DEFAULT_TENANT, key)
+    }
+
+    /// Removes `key` from `tenant`'s namespace.
+    pub fn delete_t(&self, tenant: TenantId, key: &[u8]) -> Result<()> {
+        let state = self.registry.state(tenant);
         self.with_shard(self.shard_of(key), |s| {
-            s.delete(key)?;
-            self.log_wal(|| WalOp::Delete { key: key.to_vec() })
+            s.delete_t(tenant, key, Some(&state))?;
+            self.log_wal(|| WalOp::Delete { tenant, key: key.to_vec() })
         })
     }
 
-    /// Appends `suffix` to `key`'s value, returning the new length.
-    /// Logged to the WAL as the resulting full value, so replay is
-    /// idempotent.
+    /// Appends `suffix` to `key`'s value (tenant 0), returning the new
+    /// length. Logged to the WAL as the resulting full value, so replay
+    /// is idempotent.
     pub fn append(&self, key: &[u8], suffix: &[u8]) -> Result<usize> {
+        self.append_t(DEFAULT_TENANT, key, suffix)
+    }
+
+    /// Tenant-scoped [`ShieldStore::append`]. Clears any expiry deadline
+    /// (the logged produced value must replay deadline-free).
+    pub fn append_t(&self, tenant: TenantId, key: &[u8], suffix: &[u8]) -> Result<usize> {
+        let state = self.registry.state(tenant);
         self.with_shard(self.shard_of(key), |s| {
-            let value = s.append_value(key, suffix)?;
+            let value = s.append_value_t(tenant, key, suffix, Some(&state))?;
             let len = value.len();
-            self.log_wal(|| WalOp::Set { key: key.to_vec(), value })?;
+            self.log_wal(|| WalOp::Set { tenant, key: key.to_vec(), value, expires_at: 0 })?;
             Ok(len)
         })
     }
 
-    /// Adds `delta` to `key`'s decimal value, returning the new value.
-    /// Logged to the WAL as the resulting value, so replay is idempotent.
+    /// Adds `delta` to `key`'s decimal value (tenant 0), returning the
+    /// new value. Logged to the WAL as the resulting value, so replay is
+    /// idempotent.
     pub fn increment(&self, key: &[u8], delta: i64) -> Result<i64> {
+        self.increment_t(DEFAULT_TENANT, key, delta)
+    }
+
+    /// Tenant-scoped [`ShieldStore::increment`]; clears any expiry
+    /// deadline like [`ShieldStore::append_t`].
+    pub fn increment_t(&self, tenant: TenantId, key: &[u8], delta: i64) -> Result<i64> {
+        let state = self.registry.state(tenant);
         self.with_shard(self.shard_of(key), |s| {
-            let next = s.increment(key, delta)?;
+            let next = s.increment_t(tenant, key, delta, Some(&state))?;
             self.log_wal(|| WalOp::Set {
+                tenant,
                 key: key.to_vec(),
                 value: next.to_string().into_bytes(),
+                expires_at: 0,
             })?;
             Ok(next)
         })
     }
 
-    /// True when `key` exists.
+    /// True when `key` exists (tenant 0).
     pub fn exists(&self, key: &[u8]) -> Result<bool> {
-        self.with_shard(self.shard_of(key), |s| s.exists(key))
+        self.exists_t(DEFAULT_TENANT, key)
+    }
+
+    /// True when `key` exists in `tenant`'s namespace (an expired entry
+    /// reads as absent).
+    pub fn exists_t(&self, tenant: TenantId, key: &[u8]) -> Result<bool> {
+        let state = self.registry.state(tenant);
+        self.with_shard(self.shard_of(key), |s| s.exists_t(tenant, key, Some(&state)))
+    }
+
+    /// Physically removes expired entries across all shards, logging
+    /// each reap to the WAL so recovery cannot resurrect them. Returns
+    /// the number of entries reaped. Shards mid-snapshot are skipped
+    /// (lazy expiry keeps hiding their dead entries until the next
+    /// sweep).
+    pub fn sweep_expired(&self) -> Result<usize> {
+        let now = ttl::now_ns();
+        let mut total = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let reaped = shard.sweep_expired(now, &self.registry);
+            if reaped.is_empty() {
+                continue;
+            }
+            total += reaped.len();
+            if let Some(wal) = self.wal.get() {
+                wal.log(reaped.into_iter().map(|(tenant, key)| WalOp::Delete { tenant, key }))?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Rebaselines per-tenant quota accounting from the tables
+    /// themselves. Needed after flows that mutate tables without quota
+    /// state (recovery replay, snapshot restore, temp-table merges).
+    pub(crate) fn recount_usage(&self) {
+        let mut usage = std::collections::HashMap::new();
+        for shard in &self.shards {
+            for (tenant, (bytes, keys)) in shard.lock().usage_by_tenant() {
+                let slot = usage.entry(tenant).or_insert((0, 0));
+                slot.0 += bytes;
+                slot.1 += keys;
+            }
+        }
+        self.registry.set_usage(&usage);
     }
 
     /// Batched lookup across shards: groups `keys` by owning shard, takes
@@ -267,6 +396,12 @@ impl ShieldStore {
     /// miss is `None`. An integrity violation in any shard fails the
     /// whole call.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.multi_get_t(DEFAULT_TENANT, keys)
+    }
+
+    /// Tenant-scoped [`ShieldStore::multi_get`].
+    pub fn multi_get_t(&self, tenant: TenantId, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        let state = self.registry.state(tenant);
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, key) in keys.iter().enumerate() {
             groups[self.shard_of(key)].push(i);
@@ -277,7 +412,8 @@ impl ShieldStore {
                 continue;
             }
             let batch: Vec<&[u8]> = group.iter().map(|&i| keys[i]).collect();
-            let shard_results = self.with_shard(shard_idx, |s| s.multi_get(&batch))?;
+            let shard_results =
+                self.with_shard(shard_idx, |s| s.multi_get_t(tenant, &batch, Some(&state)))?;
             for (&slot, value) in group.iter().zip(shard_results) {
                 results[slot] = value;
             }
@@ -291,6 +427,18 @@ impl ShieldStore {
     /// Grouping preserves input order per shard, so duplicate keys keep
     /// last-write-wins semantics.
     pub fn multi_set(&self, items: &[(&[u8], &[u8])]) -> Result<()> {
+        self.multi_set_t(DEFAULT_TENANT, items, 0)
+    }
+
+    /// Tenant-scoped [`ShieldStore::multi_set`]; all items share
+    /// `expires_at` (`0` = no expiry).
+    pub fn multi_set_t(
+        &self,
+        tenant: TenantId,
+        items: &[(&[u8], &[u8])],
+        expires_at: u64,
+    ) -> Result<()> {
+        let state = self.registry.state(tenant);
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, (key, _)) in items.iter().enumerate() {
             groups[self.shard_of(key)].push(i);
@@ -301,13 +449,14 @@ impl ShieldStore {
             }
             let batch: Vec<(&[u8], &[u8])> = group.iter().map(|&i| items[i]).collect();
             self.with_shard(shard_idx, |s| -> Result<()> {
-                s.multi_set(&batch)?;
+                s.multi_set_t(tenant, &batch, expires_at, Some(&state))?;
                 match self.wal.get() {
-                    Some(wal) => wal.log(
-                        batch
-                            .iter()
-                            .map(|&(k, v)| WalOp::Set { key: k.to_vec(), value: v.to_vec() }),
-                    ),
+                    Some(wal) => wal.log(batch.iter().map(|&(k, v)| WalOp::Set {
+                        tenant,
+                        key: k.to_vec(),
+                        value: v.to_vec(),
+                        expires_at,
+                    })),
                     None => Ok(()),
                 }
             })?;
@@ -325,6 +474,18 @@ impl ShieldStore {
         end: &[u8],
         limit: usize,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_range_t(DEFAULT_TENANT, start, end, limit)
+    }
+
+    /// Tenant-scoped [`ShieldStore::scan_range`] — the scan window is
+    /// confined to `tenant`'s namespace by construction.
+    pub fn scan_range_t(
+        &self,
+        tenant: TenantId,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut all = Vec::new();
         // Exclusive upper bound, narrowed once `limit` items are in hand:
         // a key at or past the current limit-th smallest can never make
@@ -334,7 +495,7 @@ impl ShieldStore {
         let mut bound: Option<Vec<u8>> = None;
         for shard in self.shards() {
             let hi = bound.as_deref().unwrap_or(end);
-            all.extend(shard.lock().scan_range(start, hi, limit)?);
+            all.extend(shard.lock().scan_range_t(tenant, start, hi, limit)?);
             if limit > 0 && all.len() >= limit {
                 all.sort_by(|a, b| a.0.cmp(&b.0));
                 all.truncate(limit);
@@ -349,6 +510,16 @@ impl ShieldStore {
     /// Ordered prefix scan, merged across shards with the same
     /// shrinking-bound short-circuit as [`ShieldStore::scan_range`].
     pub fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_prefix_t(DEFAULT_TENANT, prefix, limit)
+    }
+
+    /// Tenant-scoped [`ShieldStore::scan_prefix`].
+    pub fn scan_prefix_t(
+        &self,
+        tenant: TenantId,
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut all = Vec::new();
         let mut bound: Option<Vec<u8>> = None;
         for shard in self.shards() {
@@ -359,8 +530,8 @@ impl ShieldStore {
                 // `b` itself starts with it, so a key with a mismatching
                 // byte would sort at or past `b`. A range scan with the
                 // narrowed end is therefore an exact substitute.
-                Some(b) => shard.scan_range(prefix, b, limit)?,
-                None => shard.scan_prefix(prefix, limit)?,
+                Some(b) => shard.scan_range_t(tenant, prefix, b, limit)?,
+                None => shard.scan_prefix_t(tenant, prefix, limit)?,
             };
             all.extend(chunk);
             if limit > 0 && all.len() >= limit {
@@ -420,8 +591,25 @@ impl ShieldStore {
         snap.crypto_bytes = shield_crypto::stats::crypto_bytes();
         snap.crypto_ops = shield_crypto::stats::crypto_ops();
         snap.crypto_backend = shield_crypto::stats::backend_code();
+        self.fill_tenant_stats(&mut snap);
         snap.sim = self.enclave.stats().snapshot();
         snap
+    }
+
+    /// Fills the snapshot's fixed-width per-tenant block. When more
+    /// tenants exist than rows, the busiest (by op count) win and
+    /// `tenant_count` still reports the true total.
+    fn fill_tenant_stats(&self, snap: &mut StatsSnapshot) {
+        let all = self.registry.all();
+        snap.tenant_count = all.len() as u64;
+        let mut rows: Vec<TenantStat> =
+            all.iter().map(|(tenant, state)| tenant_stat_row(*tenant, state)).collect();
+        if rows.len() > MAX_TENANT_STATS {
+            rows.sort_by_key(|r| std::cmp::Reverse(r.gets + r.sets));
+        }
+        for (slot, row) in snap.tenants.iter_mut().zip(rows) {
+            *slot = row;
+        }
     }
 
     /// Resets all shards' operation counters.
@@ -460,6 +648,26 @@ impl ShieldStore {
 
     pub(crate) fn shards(&self) -> &[Mutex<Shard>] {
         &self.shards
+    }
+}
+
+/// Materializes one [`TenantStat`] row from a tenant's live state.
+fn tenant_stat_row(tenant: TenantId, state: &TenantState) -> TenantStat {
+    use std::sync::atomic::Ordering::SeqCst;
+    let u = &state.usage;
+    TenantStat {
+        tenant,
+        weight: state.quota.weight.max(1),
+        used_bytes: u.used_bytes.load(SeqCst),
+        used_keys: u.used_keys.load(SeqCst),
+        gets: u.gets.load(SeqCst),
+        sets: u.sets.load(SeqCst),
+        hits: u.hits.load(SeqCst),
+        misses: u.misses.load(SeqCst),
+        quota_rejections: u.quota_rejections.load(SeqCst),
+        expired_lazy: u.expired_lazy.load(SeqCst),
+        expired_swept: u.expired_swept.load(SeqCst),
+        shed: 0,
     }
 }
 

@@ -143,7 +143,7 @@ mod tests {
             let len = entry::HEADER_LEN + 1 + 1;
             let h = t.heap.alloc(len);
             let mut buf = vec![0u8; len];
-            entry::encode_into(&mut buf, prev, 0, &[i; 16], &[i], &[i], &enc, &cmac);
+            entry::encode_into(&mut buf, prev, 0, 0, 0, &[i; 16], &[i], &[i], &enc, &cmac);
             t.heap.bytes_mut(h, len).copy_from_slice(&buf);
             prev = h;
         }

@@ -18,6 +18,7 @@ use crate::mac_bucket;
 use crate::shard::Shard;
 use crate::store::ShieldStore;
 use crate::table::TableCtx;
+use crate::tenant::{TenantId, TenantKeys};
 
 /// One field of the Fig. 5 entry layout to corrupt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,10 @@ pub enum EntryField {
     KeySize,
     /// The 4-byte value size.
     ValueSize,
+    /// The 4-byte plaintext (but MAC-covered) tenant id.
+    Tenant,
+    /// The 8-byte plaintext (but MAC-covered) expiry deadline.
+    Expiry,
     /// The 16-byte IV/counter.
     Iv,
     /// The encrypted key‖value payload.
@@ -201,6 +206,8 @@ fn tamper_field(ctx: &mut TableCtx, field: EntryField, seed: u64) -> bool {
         EntryField::Hint => (entry::OFF_HINT, 1),
         EntryField::KeySize => (entry::OFF_KEY_LEN, 4),
         EntryField::ValueSize => (entry::OFF_VAL_LEN, 4),
+        EntryField::Tenant => (entry::OFF_TENANT, 4),
+        EntryField::Expiry => (entry::OFF_EXPIRY, 8),
         EntryField::Iv => (entry::OFF_IV, 16),
         EntryField::Mac => (entry::OFF_MAC, 16),
         EntryField::ChainNext => (entry::OFF_NEXT, 8),
@@ -327,5 +334,15 @@ impl ShieldStore {
     /// `false` when the chosen shard holds no entries.
     pub fn tamper_any_entry_byte(&self, seed: u64) -> bool {
         self.tamper(TamperOp::Field(EntryField::Any), seed)
+    }
+
+    /// Leaks `tenant`'s derived raw `(enc, mac)` key bytes, modelling a
+    /// tenant whose own data keys were compromised. The isolation suite
+    /// uses these to prove the leak opens exactly one namespace: with
+    /// tenant A's keys an attacker can decrypt A's ciphertext at will,
+    /// but cannot verify, decrypt, or forge an entry belonging to any
+    /// other tenant.
+    pub fn leak_tenant_keys(&self, tenant: TenantId) -> ([u8; 16], [u8; 16]) {
+        TenantKeys::derive_raw(&self.keys().raw[4], tenant)
     }
 }

@@ -136,15 +136,24 @@ fn log_path(dir: &Path, snap: u64) -> PathBuf {
 /// produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalOp {
-    /// Bind `key` to `value`.
+    /// Bind `key` to `value` in `tenant`'s namespace.
     Set {
+        /// Owning tenant.
+        tenant: u32,
         /// Plaintext key.
         key: Vec<u8>,
         /// Plaintext value.
         value: Vec<u8>,
+        /// Absolute expiry deadline in ns (0 = no TTL). Logged so
+        /// recovery reconstructs deadlines exactly — absolute time needs
+        /// no rebasing across a restart.
+        expires_at: u64,
     },
-    /// Remove `key` (replayed as a no-op if the key is absent).
+    /// Remove `key` from `tenant`'s namespace (replayed as a no-op if
+    /// the key is absent). Sweep reaps are logged with this op too.
     Delete {
+        /// Owning tenant.
+        tenant: u32,
         /// Plaintext key.
         key: Vec<u8>,
     },
@@ -231,22 +240,25 @@ impl WalCodec {
 }
 
 /// Payload plaintext: op count (u32) then per op a tag byte (0 = set,
-/// 1 = delete), key length (u32), key bytes, and for sets a value length
-/// (u32) plus value bytes.
+/// 1 = delete), tenant (u32), key length (u32), key bytes, and for sets
+/// a value length (u32) plus value bytes and the expiry deadline (u64).
 fn encode_ops(ops: &[WalOp]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + ops.len() * 16);
+    let mut out = Vec::with_capacity(4 + ops.len() * 24);
     out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
     for op in ops {
         match op {
-            WalOp::Set { key, value } => {
+            WalOp::Set { tenant, key, value, expires_at } => {
                 out.push(0);
+                out.extend_from_slice(&tenant.to_le_bytes());
                 out.extend_from_slice(&(key.len() as u32).to_le_bytes());
                 out.extend_from_slice(key);
                 out.extend_from_slice(&(value.len() as u32).to_le_bytes());
                 out.extend_from_slice(value);
+                out.extend_from_slice(&expires_at.to_le_bytes());
             }
-            WalOp::Delete { key } => {
+            WalOp::Delete { tenant, key } => {
                 out.push(1);
+                out.extend_from_slice(&tenant.to_le_bytes());
                 out.extend_from_slice(&(key.len() as u32).to_le_bytes());
                 out.extend_from_slice(key);
             }
@@ -273,15 +285,17 @@ fn decode_ops(bytes: &[u8]) -> Option<Vec<WalOp>> {
     let mut ops = Vec::with_capacity(count);
     for _ in 0..count {
         let tag = *take(bytes, &mut off, 1)?.first()?;
+        let tenant = u32::from_le_bytes(take(bytes, &mut off, 4)?.try_into().unwrap());
         let klen = take_u32(bytes, &mut off)?;
         let key = take(bytes, &mut off, klen)?.to_vec();
         match tag {
             0 => {
                 let vlen = take_u32(bytes, &mut off)?;
                 let value = take(bytes, &mut off, vlen)?.to_vec();
-                ops.push(WalOp::Set { key, value });
+                let expires_at = u64::from_le_bytes(take(bytes, &mut off, 8)?.try_into().unwrap());
+                ops.push(WalOp::Set { tenant, key, value, expires_at });
             }
-            1 => ops.push(WalOp::Delete { key }),
+            1 => ops.push(WalOp::Delete { tenant, key }),
             _ => return None,
         }
     }
@@ -915,7 +929,12 @@ mod tests {
     }
 
     fn set(k: &str, v: &str) -> WalOp {
-        WalOp::Set { key: k.as_bytes().to_vec(), value: v.as_bytes().to_vec() }
+        WalOp::Set {
+            tenant: 0,
+            key: k.as_bytes().to_vec(),
+            value: v.as_bytes().to_vec(),
+            expires_at: 0,
+        }
     }
 
     fn replay_all(enclave: &Arc<Enclave>, dir: &Path, snap: u64) -> Result<Vec<WalOp>> {
@@ -932,7 +951,7 @@ mod tests {
     fn codec_roundtrip_and_chaining() {
         let codec = WalCodec::new(&[1; 16], &[2; 16]);
         let g = codec.genesis(0);
-        let ops1 = vec![set("a", "1"), WalOp::Delete { key: b"b".to_vec() }];
+        let ops1 = vec![set("a", "1"), WalOp::Delete { tenant: 0, key: b"b".to_vec() }];
         let (f1, m1) = codec.seal_record(1, &g, &ops1, &[3; 16]);
         let (got, m1b) = codec.open_record(1, &g, &f1[4..]).unwrap();
         assert_eq!(got, ops1);
@@ -953,13 +972,17 @@ mod tests {
         let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::None, 0).unwrap();
         wal.log([set("k1", "v1"), set("k2", "v2")]).unwrap();
         wal.flush().unwrap();
-        wal.log([WalOp::Delete { key: b"k1".to_vec() }]).unwrap();
+        wal.log([WalOp::Delete { tenant: 0, key: b"k1".to_vec() }]).unwrap();
         drop(wal); // Drop commits the tail
 
         let ops = replay_all(&enc, &dir, 0).unwrap();
         assert_eq!(
             ops,
-            vec![set("k1", "v1"), set("k2", "v2"), WalOp::Delete { key: b"k1".to_vec() }]
+            vec![
+                set("k1", "v1"),
+                set("k2", "v2"),
+                WalOp::Delete { tenant: 0, key: b"k1".to_vec() }
+            ]
         );
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -36,25 +36,37 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn recording_is_allocation_free() {
-    // Construct everything (and warm up lazy runtime state) first.
-    let mut hist = LatencyHist::new();
-    let mut other = LatencyHist::new();
-    let mut ops = OpHists::default();
-    let timer = OpTimer::start();
-    hist.record(timer.elapsed_ns());
+    // The allocation counter is process-global, and the libtest harness
+    // thread may allocate (output buffering, timers) while the counted
+    // section runs — a scheduling race, not a histogram allocation. The
+    // property under test is per-invocation, so retry a few times and
+    // fail only if *every* attempt observes allocations.
+    let mut observed = u64::MAX;
+    for _ in 0..5 {
+        // Construct everything (and warm up lazy runtime state) first.
+        let mut hist = LatencyHist::new();
+        let mut other = LatencyHist::new();
+        let mut ops = OpHists::default();
+        let timer = OpTimer::start();
+        hist.record(timer.elapsed_ns());
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for i in 0..10_000u64 {
-        hist.record(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        other.record(i);
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for i in 0..10_000u64 {
+            hist.record(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            other.record(i);
+        }
+        hist.merge(&other);
+        ops.get.merge(&hist);
+        ops.batch.record(OpTimer::start().elapsed_ns());
+        let q = hist.p50().max(hist.p95()).max(hist.p99()).max(hist.max_ns());
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+        assert!(q > 0, "quantiles over 20k samples must be nonzero");
+        assert!(hist.count() >= 20_000);
+        observed = observed.min(after - before);
+        if observed == 0 {
+            break;
+        }
     }
-    hist.merge(&other);
-    ops.get.merge(&hist);
-    ops.batch.record(OpTimer::start().elapsed_ns());
-    let q = hist.p50().max(hist.p95()).max(hist.p99()).max(hist.max_ns());
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-
-    assert!(q > 0, "quantiles over 20k samples must be nonzero");
-    assert!(hist.count() >= 20_000);
-    assert_eq!(after - before, 0, "record/merge/quantile allocated {} time(s)", after - before);
+    assert_eq!(observed, 0, "record/merge/quantile allocated {observed} time(s) in every attempt");
 }

@@ -111,6 +111,8 @@ proptest! {
         key in pvec(any::<u8>(), 1..64),
         value in pvec(any::<u8>(), 0..256),
         hint in any::<u8>(),
+        tenant in any::<u32>(),
+        expires_at in any::<u64>(),
         iv in any::<[u8; 16]>(),
         next in any::<u64>(),
         enc_key in any::<[u8; 16]>(),
@@ -119,11 +121,13 @@ proptest! {
         let enc = AesCtr::new(&enc_key);
         let mac = Cmac::new(&mac_key);
         let mut buf = vec![0u8; entry::HEADER_LEN + key.len() + value.len()];
-        entry::encode_into(&mut buf, next, hint, &iv, &key, &value, &enc, &mac);
+        entry::encode_into(&mut buf, next, hint, tenant, expires_at, &iv, &key, &value, &enc, &mac);
 
         let header = entry::parse_header(&buf);
         prop_assert_eq!(header.next, next);
         prop_assert_eq!(header.hint, hint);
+        prop_assert_eq!(header.tenant, tenant);
+        prop_assert_eq!(header.expires_at, expires_at);
         prop_assert_eq!(header.entry_len(), buf.len());
         let ct = &buf[entry::HEADER_LEN..];
         prop_assert!(entry::verify_mac(&mac, &header, ct));

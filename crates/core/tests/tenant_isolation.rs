@@ -1,0 +1,231 @@
+//! Cross-tenant isolation properties.
+//!
+//! Three layers of the tenancy design are proven here:
+//!
+//! 1. **Namespace isolation** — for arbitrary op interleavings over N
+//!    tenants sharing one store (and deliberately sharing key *names*),
+//!    each tenant's view equals an independent shadow model. No write,
+//!    delete, append, or increment in one namespace is ever visible in
+//!    another.
+//! 2. **Cryptographic isolation** — a leaked tenant-A derived key pair
+//!    plus raw access to the untrusted entry bytes must neither decrypt
+//!    nor forge tenant-B entries: B's MACs fail under A's key, A's
+//!    cipher produces garbage on B's ciphertext, and an entry re-MACed
+//!    under A's keys is rejected by B's reads (fail closed).
+//! 3. **Re-stitch resistance** — flipping the plaintext tenant field of
+//!    a stored entry (moving a ciphertext into another namespace) is
+//!    always detected, because the tenant id is inside the MAC domain
+//!    and the MAC key itself is tenant-derived.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use sgx_sim::enclave::EnclaveBuilder;
+use shield_crypto::cmac::Cmac;
+use shield_crypto::ctr::AesCtr;
+use shieldstore::entry;
+use shieldstore::testing::{EntryField, TamperOp};
+use shieldstore::{Config, Error, ShieldStore};
+use std::collections::HashMap;
+
+fn store() -> ShieldStore {
+    let enclave = EnclaveBuilder::new("tenant-isolation").epc_bytes(16 << 20).build();
+    ShieldStore::new(enclave, Config::shield_opt().buckets(64).mac_hashes(16).with_shards(1))
+        .unwrap()
+}
+
+/// One step of a multi-tenant interleaving.
+#[derive(Debug, Clone)]
+enum Step {
+    Set { tenant: u32, key: u8, val: Vec<u8> },
+    Get { tenant: u32, key: u8 },
+    Delete { tenant: u32, key: u8 },
+    Append { tenant: u32, key: u8, suffix: Vec<u8> },
+}
+
+fn step_strategy(tenants: u32, keys: u8) -> impl Strategy<Value = Step> {
+    let t = 1..tenants + 1;
+    let k = 0..keys;
+    prop_oneof![
+        (t.clone(), k.clone(), pvec(any::<u8>(), 1..24)).prop_map(|(tenant, key, val)| Step::Set {
+            tenant,
+            key,
+            val
+        }),
+        (t.clone(), k.clone()).prop_map(|(tenant, key)| Step::Get { tenant, key }),
+        (t.clone(), k.clone()).prop_map(|(tenant, key)| Step::Delete { tenant, key }),
+        (t, k, pvec(any::<u8>(), 1..8)).prop_map(|(tenant, key, suffix)| Step::Append {
+            tenant,
+            key,
+            suffix
+        }),
+    ]
+}
+
+fn key_name(key: u8) -> Vec<u8> {
+    // The SAME name in every namespace — isolation must come from the
+    // tenant id, not from the key bytes.
+    format!("shared-key-{key:02}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Every tenant's view tracks its own independent shadow model
+    /// under arbitrary interleavings over shared key names.
+    #[test]
+    fn tenant_views_match_independent_shadows(
+        steps in pvec(step_strategy(3, 6), 1..120),
+    ) {
+        let s = store();
+        let mut shadows: HashMap<u32, HashMap<u8, Vec<u8>>> = HashMap::new();
+        for step in &steps {
+            match step {
+                Step::Set { tenant, key, val } => {
+                    s.set_t(*tenant, &key_name(*key), val).unwrap();
+                    shadows.entry(*tenant).or_default().insert(*key, val.clone());
+                }
+                Step::Get { tenant, key } => {
+                    let want = shadows.get(tenant).and_then(|m| m.get(key));
+                    match s.get_t(*tenant, &key_name(*key)) {
+                        Ok(v) => prop_assert_eq!(Some(&v), want),
+                        Err(Error::KeyNotFound) => prop_assert!(want.is_none()),
+                        Err(e) => return Err(TestCaseError::fail(format!("get: {e}"))),
+                    }
+                }
+                Step::Delete { tenant, key } => {
+                    let existed =
+                        shadows.get_mut(tenant).and_then(|m| m.remove(key)).is_some();
+                    match s.delete_t(*tenant, &key_name(*key)) {
+                        Ok(()) => prop_assert!(existed),
+                        Err(Error::KeyNotFound) => prop_assert!(!existed),
+                        Err(e) => return Err(TestCaseError::fail(format!("delete: {e}"))),
+                    }
+                }
+                Step::Append { tenant, key, suffix } => {
+                    let shadow = shadows.entry(*tenant).or_default();
+                    match s.append_t(*tenant, &key_name(*key), suffix) {
+                        Ok(_) => {
+                            let v = shadow.entry(*key).or_default();
+                            v.extend_from_slice(suffix);
+                        }
+                        Err(Error::KeyNotFound) => {
+                            prop_assert!(!shadow.contains_key(key));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("append: {e}"))),
+                    }
+                }
+            }
+        }
+        // Final sweep: every tenant sees exactly its shadow, nothing of
+        // the others'.
+        for tenant in 1..=3u32 {
+            let shadow = shadows.get(&tenant).cloned().unwrap_or_default();
+            for key in 0..6u8 {
+                match s.get_t(tenant, &key_name(key)) {
+                    Ok(v) => prop_assert_eq!(Some(&v), shadow.get(&key)),
+                    Err(Error::KeyNotFound) => prop_assert!(!shadow.contains_key(&key)),
+                    Err(e) => return Err(TestCaseError::fail(format!("final get: {e}"))),
+                }
+            }
+        }
+    }
+
+    /// A leaked tenant-A key pair plus raw entry access cannot decrypt
+    /// or forge tenant-B entries.
+    #[test]
+    fn leaked_key_cannot_open_or_forge_other_tenant(
+        key in pvec(any::<u8>(), 1..24),
+        val_b in pvec(any::<u8>(), 1..64),
+        seed in any::<u64>(),
+    ) {
+        let s = store();
+        s.set_t(1, &key, b"tenant-a-value").unwrap();
+        s.set_t(2, &key, &val_b).unwrap();
+
+        // The attacker: tenant A's full derived key pair and raw
+        // read/write access to every entry's bytes in untrusted memory.
+        let (enc_a, mac_a) = s.leak_tenant_keys(1);
+        let enc = AesCtr::new(&enc_a);
+        let mac = Cmac::new(&mac_a);
+
+        let mut saw_b = false;
+        for stale in s.stale_entry_copies(0) {
+            let header = entry::parse_header(&stale.bytes);
+            if header.tenant != 2 {
+                continue;
+            }
+            saw_b = true;
+            let ct = &stale.bytes[entry::HEADER_LEN..];
+            // B's MAC never verifies under A's key...
+            prop_assert!(
+                !entry::verify_mac(&mac, &header, ct),
+                "tenant-B entry authenticated under tenant-A's MAC key"
+            );
+            // ...and A's cipher cannot recover B's plaintext.
+            let (k, v) = entry::decrypt_entry(&enc, &header, ct);
+            prop_assert!(
+                k != key || v != val_b,
+                "tenant-A's data key decrypted tenant-B's entry"
+            );
+
+            // Forgery: re-MAC the B-tagged entry under A's key (the
+            // strongest thing the attacker can compute) and plant it.
+            let mut forged = stale.bytes.clone();
+            let tag = entry::compute_mac(
+                &mac, ct, header.key_len, header.val_len, header.hint,
+                header.tenant, header.expires_at, &header.iv,
+            );
+            forged[entry::OFF_MAC..entry::OFF_MAC + 16].copy_from_slice(&tag);
+            let planted = s.replay_entry(
+                0,
+                &shieldstore::testing::StaleEntry { handle: stale.handle, bytes: forged },
+            );
+            prop_assert!(planted, "replay hook must land");
+        }
+        prop_assert!(saw_b, "tenant-B entry must exist in raw memory");
+
+        // B's reads reject the forgery outright (fail closed) — and
+        // mix in an unrelated seed-derived read to vary timing.
+        let _ = seed;
+        match s.get_t(2, &key) {
+            Ok(v) => prop_assert_eq!(v, val_b.clone(),
+                "forged entry must never be served as tenant-B data"),
+            Err(Error::IntegrityViolation { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+        }
+        // A integrity failure above must have been the outcome, since
+        // the forged MAC cannot verify under B's derived key.
+        prop_assert!(
+            s.get_t(2, &key).is_err(),
+            "tenant-B read of a forged entry must fail closed"
+        );
+        // Tenant A's namespace is untouched by the whole exercise.
+        prop_assert_eq!(s.get_t(1, &key).unwrap(), b"tenant-a-value".to_vec());
+    }
+
+    /// Re-stitching a ciphertext into another namespace by flipping the
+    /// plaintext tenant field is always detected: no tenant ever reads
+    /// a value its shadow does not hold.
+    #[test]
+    fn tenant_field_tamper_never_crosses_namespaces(
+        val_a in pvec(any::<u8>(), 1..32),
+        val_b in pvec(any::<u8>(), 1..32),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(val_a != val_b);
+        let s = store();
+        s.set_t(1, b"the-key", &val_a).unwrap();
+        s.set_t(2, b"the-key", &val_b).unwrap();
+        prop_assert!(s.tamper(TamperOp::Field(EntryField::Tenant), seed));
+
+        for (tenant, own) in [(1u32, &val_a), (2u32, &val_b)] {
+            match s.get_t(tenant, b"the-key") {
+                // Untampered entry: the value must be the tenant's own.
+                Ok(v) => prop_assert_eq!(&v, own),
+                // Tampered entry: detected, never misattributed.
+                Err(Error::IntegrityViolation { .. }) | Err(Error::KeyNotFound) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            }
+        }
+    }
+}

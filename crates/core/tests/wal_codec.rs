@@ -17,9 +17,11 @@ fn codec(enc_seed: u8, mac_seed: u8) -> WalCodec {
 /// deletes with arbitrary keys, including empty keys and values.
 fn op_strategy() -> impl Strategy<Value = WalOp> {
     prop_oneof![
-        (pvec(any::<u8>(), 0..40), pvec(any::<u8>(), 0..120))
-            .prop_map(|(key, value)| WalOp::Set { key, value }),
-        pvec(any::<u8>(), 0..40).prop_map(|key| WalOp::Delete { key }),
+        (any::<u32>(), pvec(any::<u8>(), 0..40), pvec(any::<u8>(), 0..120), any::<u64>()).prop_map(
+            |(tenant, key, value, expires_at)| WalOp::Set { tenant, key, value, expires_at }
+        ),
+        (any::<u32>(), pvec(any::<u8>(), 0..40))
+            .prop_map(|(tenant, key)| WalOp::Delete { tenant, key }),
     ]
 }
 

@@ -153,6 +153,45 @@ fn print_dashboard(snap: &StatsSnapshot) {
     }
     println!();
 
+    if snap.tenant_count > 0 {
+        println!("-- tenants ({} known) --", snap.tenant_count);
+        println!(
+            "{:<8} {:>6} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "tenant",
+            "weight",
+            "used_bytes",
+            "keys",
+            "gets",
+            "sets",
+            "hits",
+            "misses",
+            "quota",
+            "expired",
+            "shed"
+        );
+        let rows = snap.tenant_count.min(shieldstore::MAX_TENANT_STATS as u64) as usize;
+        for t in &snap.tenants[..rows] {
+            println!(
+                "{:<8} {:>6} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                t.tenant,
+                t.weight,
+                t.used_bytes,
+                t.used_keys,
+                t.gets,
+                t.sets,
+                t.hits,
+                t.misses,
+                t.quota_rejections,
+                t.expired_lazy + t.expired_swept,
+                t.shed,
+            );
+        }
+        if snap.tenant_count > rows as u64 {
+            println!("  ... {} more tenants (busiest shown)", snap.tenant_count - rows as u64);
+        }
+        println!();
+    }
+
     println!("-- crypto --");
     let backend = match snap.crypto_backend {
         0 => "soft (table-based AES)",
@@ -234,6 +273,29 @@ fn to_json(snap: &StatsSnapshot) -> String {
         snap.crypto_ops,
         snap.crypto_backend
     ));
+    out.push_str(&format!("\"tenant_count\":{},\"tenants\":[", snap.tenant_count));
+    let rows = snap.tenant_count.min(shieldstore::MAX_TENANT_STATS as u64) as usize;
+    for (i, t) in snap.tenants[..rows].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"tenant\":{},\"weight\":{},\"used_bytes\":{},\"used_keys\":{},             \"gets\":{},\"sets\":{},\"hits\":{},\"misses\":{},             \"quota_rejections\":{},\"expired_lazy\":{},\"expired_swept\":{},\"shed\":{}}}",
+            t.tenant,
+            t.weight,
+            t.used_bytes,
+            t.used_keys,
+            t.gets,
+            t.sets,
+            t.hits,
+            t.misses,
+            t.quota_rejections,
+            t.expired_lazy,
+            t.expired_swept,
+            t.shed
+        ));
+    }
+    out.push_str("],");
     let s = &snap.sim;
     out.push_str(&format!(
         "\"sgx\":{{\"ecalls\":{},\"ocalls\":{},\"hotcalls\":{},\"epc_faults\":{},\

@@ -20,6 +20,7 @@ fn status_err(status: Status, what: &str) -> NetError {
     match status {
         Status::Busy => NetError::Busy,
         Status::Quarantined => NetError::Quarantined,
+        Status::QuotaExceeded => NetError::QuotaExceeded,
         _ => NetError::Protocol(format!("server rejected {what}")),
     }
 }
@@ -43,15 +44,29 @@ impl std::fmt::Debug for KvClient {
 }
 
 impl KvClient {
-    /// Connects and runs the attested handshake (paper §3.2).
+    /// Connects and runs the attested handshake (paper §3.2) under the
+    /// default tenant namespace.
     pub fn connect_secure(
         addr: SocketAddr,
         verifier: &AttestationVerifier,
         seed: u64,
     ) -> Result<KvClient> {
+        Self::connect_secure_tenant(addr, verifier, seed, 0)
+    }
+
+    /// [`connect_secure`](Self::connect_secure) bound to a tenant
+    /// namespace. The tenant id travels in the handshake hello, so every
+    /// operation on the session is scoped to that tenant's keyspace —
+    /// there is no per-op tenant switch.
+    pub fn connect_secure_tenant(
+        addr: SocketAddr,
+        verifier: &AttestationVerifier,
+        seed: u64,
+        tenant: u32,
+    ) -> Result<KvClient> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let crypto = session::client_handshake(&mut stream, verifier, seed)?;
+        let crypto = session::client_handshake_tenant(&mut stream, verifier, seed, tenant)?;
         Ok(KvClient { stream, crypto: Some(crypto), poisoned: false })
     }
 
@@ -149,6 +164,22 @@ impl KvClient {
         match r.status {
             Status::Ok => Ok(()),
             s => Err(status_err(s, "set")),
+        }
+    }
+
+    /// Writes a key with a time-to-live: the entry expires `ttl_ns`
+    /// nanoseconds after the server applies it (reads then miss, and the
+    /// background sweeper reclaims it). `ttl_ns` must be non-zero; use
+    /// [`set`](Self::set) for non-expiring writes.
+    pub fn set_ttl(&mut self, key: &[u8], value: &[u8], ttl_ns: u64) -> Result<()> {
+        let r = self.call(&Request {
+            op: OpCode::SetTtl,
+            key: key.to_vec(),
+            value: protocol::encode_set_ttl(ttl_ns, value),
+        })?;
+        match r.status {
+            Status::Ok => Ok(()),
+            s => Err(status_err(s, "set-ttl")),
         }
     }
 
@@ -497,6 +528,13 @@ impl RetryClient {
     /// safe under the server's post-image WAL semantics).
     pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         self.run_op(true, |c| c.set(key, value))
+    }
+
+    /// [`KvClient::set_ttl`] with transparent retry and reconnect
+    /// (post-image replay safety: replaying re-arms the same deadline
+    /// relative to the retry, which is the freshest intent).
+    pub fn set_ttl(&mut self, key: &[u8], value: &[u8], ttl_ns: u64) -> Result<()> {
+        self.run_op(true, |c| c.set_ttl(key, value, ttl_ns))
     }
 
     /// [`KvClient::delete`] with transparent retry and reconnect. Note a

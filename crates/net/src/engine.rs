@@ -78,11 +78,13 @@ struct CacheAligned<T>(T);
 
 /// Cross-loop messages.
 enum Msg {
-    /// Run `request` here (this loop owns the key's shard) and send the
-    /// response back to `origin`.
-    Execute { origin: usize, conn: u64, req: u64, request: Request, enqueued: Instant },
-    /// A response for a request this loop handed off earlier.
-    Complete { conn: u64, req: u64, resp: Vec<u8> },
+    /// Run `request` here (this loop owns the key's shard) under
+    /// `tenant`'s namespace and send the response back to `origin`.
+    Execute { origin: usize, conn: u64, req: u64, tenant: u32, request: Request, enqueued: Instant },
+    /// A response for a request this loop handed off earlier (the
+    /// tenant rides along so the origin can release its admission
+    /// slot).
+    Complete { conn: u64, req: u64, tenant: u32, resp: Vec<u8> },
 }
 
 /// The shareable face of one event loop: its handoff inbox and waker.
@@ -118,6 +120,10 @@ struct Conn {
     stream: TcpStream,
     machine: ConnMachine,
     crypto: Option<SessionCrypto>,
+    /// The namespace every request on this connection executes in.
+    /// Bound once, by the hello's tenant claim (0 until established,
+    /// and always 0 for insecure connections).
+    tenant: u32,
     /// False while a secure connection still owes its hello.
     established: bool,
     /// Secure connections must complete the handshake within the frame
@@ -402,6 +408,7 @@ impl EventLoop {
                 stream,
                 machine: ConnMachine::new(shared.config.frame_timeout),
                 crypto: None,
+                tenant: 0,
                 established: !secure,
                 handshake_deadline: secure.then(|| now + shared.config.frame_timeout),
                 out: Vec::new(),
@@ -426,16 +433,17 @@ impl EventLoop {
         };
         for msg in msgs {
             match msg {
-                Msg::Execute { origin, conn, req, request, enqueued } => {
-                    let resp = self.execute_request(&request, enqueued);
-                    self.shared.loops[origin].push(Msg::Complete { conn, req, resp });
+                Msg::Execute { origin, conn, req, tenant, request, enqueued } => {
+                    let resp = self.execute_request(&request, tenant, enqueued);
+                    self.shared.loops[origin].push(Msg::Complete { conn, req, tenant, resp });
                 }
-                Msg::Complete { conn, req, resp } => {
+                Msg::Complete { conn, req, tenant, resp } => {
                     // Response attached (or discarded, if the
                     // connection died while the request executed):
                     // either way the admitted request is no longer
                     // pending.
                     self.shared.state.gauges.pending_frames.fetch_sub(1, Ordering::Relaxed);
+                    self.shared.state.admission.release(tenant);
                     if let Some(c) = self.conns.get_mut(&conn) {
                         c.machine.complete(req, resp);
                         self.after_progress(conn);
@@ -520,8 +528,9 @@ impl EventLoop {
                 None => return false,
             };
             match session::server_key_exchange(&frame, enclave) {
-                Ok((crypto, quote)) => {
+                Ok((crypto, quote, tenant)) => {
                     conn.crypto = Some(crypto);
+                    conn.tenant = tenant;
                     conn.established = true;
                     conn.handshake_deadline = None;
                     queue_frame(conn, &quote);
@@ -546,12 +555,16 @@ impl EventLoop {
             None => frame,
         };
         let Ok(request) = Request::decode(&plain) else { return false };
+        let tenant = conn.tenant;
 
-        // Admission control: past the in-flight cap, answer Busy
-        // without executing. The frame was still authenticated above,
-        // so the session sequence stays aligned.
+        // Admission control: weighted per-tenant in-flight shares
+        // (see [`crate::admission`]). A tenant past its share — or a
+        // full house — is answered Busy without executing. The frame
+        // was still authenticated above, so the session sequence stays
+        // aligned.
         let gauges = &shared.state.gauges;
-        if gauges.pending_frames.load(Ordering::Relaxed) as usize >= shared.config.max_in_flight {
+        let weight = shared.store.tenant_weight(tenant);
+        if !shared.state.admission.try_admit(tenant, weight) {
             gauges.shed_requests.fetch_add(1, Ordering::Relaxed);
             let req = conn.machine.begin_request();
             conn.machine.complete(req, Response::busy().encode());
@@ -569,6 +582,7 @@ impl EventLoop {
                     origin: self.idx,
                     conn: token,
                     req,
+                    tenant,
                     request,
                     enqueued: now,
                 });
@@ -576,8 +590,9 @@ impl EventLoop {
             _ => {
                 // This loop owns the shard (or the request is
                 // multi-shard by nature): execute inline.
-                let resp = self.execute_request(&request, now);
+                let resp = self.execute_request(&request, tenant, now);
                 gauges.pending_frames.fetch_sub(1, Ordering::Relaxed);
+                shared.state.admission.release(tenant);
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.machine.complete(req, resp);
                 }
@@ -590,7 +605,12 @@ impl EventLoop {
     /// multi-shard / shardless requests (executed on the decoding loop).
     fn route_for(&self, request: &Request) -> Option<usize> {
         match request.op {
-            OpCode::Get | OpCode::Set | OpCode::Delete | OpCode::Append | OpCode::Increment => self
+            OpCode::Get
+            | OpCode::Set
+            | OpCode::SetTtl
+            | OpCode::Delete
+            | OpCode::Append
+            | OpCode::Increment => self
                 .shared
                 .store
                 .shard_hint(&request.key)
@@ -600,8 +620,9 @@ impl EventLoop {
     }
 
     /// Charges the crossing, checks the execution deadline, runs the
-    /// store op. Runs on whichever loop owns the request's shard.
-    fn execute_request(&self, request: &Request, enqueued: Instant) -> Vec<u8> {
+    /// store op under `tenant`'s namespace. Runs on whichever loop owns
+    /// the request's shard.
+    fn execute_request(&self, request: &Request, tenant: u32, enqueued: Instant) -> Vec<u8> {
         let shared = &self.shared;
         if shared.config.secure {
             let enclave = shared.enclave.as_ref().expect("secure => enclave");
@@ -617,7 +638,7 @@ impl EventLoop {
             shared.state.gauges.shed_requests.fetch_add(1, Ordering::Relaxed);
             Response::busy()
         } else {
-            execute_with(&*shared.store, request, Some(&shared.state.gauges))
+            execute_with(&*shared.store, request, tenant, Some(&shared.state))
         };
         // Account before replying: a client that saw the response must
         // also see the request counted.

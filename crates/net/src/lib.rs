@@ -28,11 +28,13 @@
 //!   `unsafe` module: raw FFI, no external crates).
 //! * [`session`] — attested handshake and per-session channel crypto.
 //! * [`server`] — the store server with ECALL/HotCalls request paths.
+//! * [`admission`] — weighted fair per-tenant admission control.
 //! * [`client`] — a client handle and a concurrent load driver.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod client;
 mod engine;
 pub mod frame;
@@ -43,6 +45,7 @@ pub mod proxy;
 pub mod server;
 pub mod session;
 
+pub use admission::FairAdmission;
 pub use client::{Connector, KvClient, LoadConfig, LoadReport, RetryClient, RetryPolicy};
 pub use frame::FrameDecoder;
 pub use machine::{CloseReason, ConnMachine, ConnPhase};
@@ -66,6 +69,10 @@ pub enum NetError {
     /// violation; retrying will not help until the operator restores
     /// the store from a sealed snapshot.
     Quarantined,
+    /// The write would exceed the connection's tenant quota; it was not
+    /// executed. Retrying is pointless until data is deleted or the
+    /// quota raised.
+    QuotaExceeded,
 }
 
 impl std::fmt::Display for NetError {
@@ -77,6 +84,9 @@ impl std::fmt::Display for NetError {
             NetError::Busy => write!(f, "server busy: request shed, not executed"),
             NetError::Quarantined => {
                 write!(f, "partition quarantined after an integrity violation")
+            }
+            NetError::QuotaExceeded => {
+                write!(f, "tenant quota exceeded: write rejected")
             }
         }
     }

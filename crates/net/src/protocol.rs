@@ -66,6 +66,10 @@ pub enum OpCode {
     /// operation buffered in the server's write-ahead log before the Ok
     /// response; a server without a WAL acknowledges immediately.
     Flush = 11,
+    /// Write a key with an expiry deadline: `value` is an
+    /// [`encode_set_ttl`] payload carrying the relative TTL and the
+    /// actual value. Stores without expiry support answer `Error`.
+    SetTtl = 12,
 }
 
 impl OpCode {
@@ -83,6 +87,7 @@ impl OpCode {
             9 => OpCode::MultiSet,
             10 => OpCode::Stats,
             11 => OpCode::Flush,
+            12 => OpCode::SetTtl,
             other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -106,6 +111,10 @@ pub enum Status {
     /// violation. The server keeps serving other partitions; retrying
     /// is pointless until the operator restores the store.
     Quarantined = 4,
+    /// The write would exceed the requesting tenant's quota. The
+    /// operation was **not** executed; the tenant must delete data (or
+    /// get its quota raised) before retrying.
+    QuotaExceeded = 5,
 }
 
 impl Status {
@@ -117,6 +126,7 @@ impl Status {
             2 => Status::Error,
             3 => Status::Busy,
             4 => Status::Quarantined,
+            5 => Status::QuotaExceeded,
             other => return Err(NetError::Protocol(format!("unknown status {other}"))),
         })
     }
@@ -202,6 +212,11 @@ impl Response {
     /// Shorthand for Quarantined.
     pub fn quarantined() -> Self {
         Self { status: Status::Quarantined, value: Vec::new() }
+    }
+
+    /// Shorthand for QuotaExceeded.
+    pub fn quota_exceeded() -> Self {
+        Self { status: Status::QuotaExceeded, value: Vec::new() }
     }
 
     /// Serializes the response body.
@@ -290,6 +305,30 @@ pub fn decode_scan_limit(bytes: &[u8]) -> Result<u32> {
         return Err(NetError::Protocol(format!("unknown scan limit version {}", bytes[0])));
     }
     Ok(u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")))
+}
+
+/// Encodes a `SetTtl` request value: `[ttl_ns u64 LE | value]`. The
+/// TTL is relative (nanoseconds from arrival); the server converts it
+/// to an absolute deadline. `ttl_ns` must be nonzero — a zero TTL is a
+/// plain `Set`.
+pub fn encode_set_ttl(ttl_ns: u64, value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + value.len());
+    out.extend_from_slice(&ttl_ns.to_le_bytes());
+    out.extend_from_slice(value);
+    out
+}
+
+/// Decodes a payload produced by [`encode_set_ttl`], rejecting short
+/// payloads and a zero TTL.
+pub fn decode_set_ttl(bytes: &[u8]) -> Result<(u64, &[u8])> {
+    if bytes.len() < 8 {
+        return Err(NetError::Protocol("short set-ttl payload".into()));
+    }
+    let ttl = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+    if ttl == 0 {
+        return Err(NetError::Protocol("set-ttl with zero TTL".into()));
+    }
+    Ok((ttl, &bytes[8..]))
 }
 
 /// Reads the `u32` LE count prefix shared by all batch payloads and
@@ -387,7 +426,7 @@ pub fn decode_multi_get_response(bytes: &[u8]) -> Result<Vec<Option<Vec<u8>>>> {
                 }
                 results.push(None);
             }
-            Status::Error | Status::Busy | Status::Quarantined => {
+            Status::Error | Status::Busy | Status::Quarantined | Status::QuotaExceeded => {
                 return Err(NetError::Protocol(format!(
                     "per-key {status:?} status in multi-get response",
                 )));
@@ -444,8 +483,11 @@ pub fn decode_multi_set(bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
 
 /// Version tag of the [`encode_stats`] layout. Bumped whenever the field
 /// order or width changes, so a stale client fails closed instead of
-/// misreading counters.
-pub const STATS_WIRE_VERSION: u8 = 5;
+/// misreading counters. v6 added the per-tenant block.
+pub const STATS_WIRE_VERSION: u8 = 6;
+
+/// u64 fields serialized per [`shieldstore::TenantStat`] row.
+const TENANT_STAT_FIELDS: usize = 12;
 
 /// The sim-counter serialization order of [`encode_stats`], fixed here so
 /// encode and decode cannot drift apart.
@@ -490,6 +532,7 @@ fn sim_from_array(a: [u64; SIM_FIELDS]) -> sgx_sim::stats::StatsSnapshot {
 /// [ quarantined_sets | quarantined_shards | shed_requests | refused_connections ]
 /// [ cross_loop_handoffs | event_loops | pending_frames ]
 /// [ crypto_bytes | crypto_ops | crypto_backend ]
+/// [ tenant_count u64 ] MAX_TENANT_STATS x tenant row (12 u64 each)
 /// [ sim_field_count u8 ] ( sim counter u64 )*
 /// ```
 ///
@@ -499,7 +542,11 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
     use shieldstore::hist::NUM_BUCKETS;
     use shieldstore::OpStats;
     let mut out = Vec::with_capacity(
-        2 + 8 * OpStats::FIELDS.len() + 5 * 8 * (NUM_BUCKETS + 2) + 19 * 8 + 1 + 8 * SIM_FIELDS,
+        2 + 8 * OpStats::FIELDS.len()
+            + 5 * 8 * (NUM_BUCKETS + 2)
+            + (19 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) * 8
+            + 1
+            + 8 * SIM_FIELDS,
     );
     out.push(STATS_WIRE_VERSION);
     out.push(OpStats::FIELDS.len() as u8);
@@ -535,6 +582,28 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
         snap.crypto_backend,
     ] {
         out.extend_from_slice(&gauge.to_le_bytes());
+    }
+    // Per-tenant block: the live row count, then every row slot
+    // fixed-width (unused slots are all-zero), so the payload length is
+    // constant and decode cannot be steered by a hostile count.
+    out.extend_from_slice(&snap.tenant_count.to_le_bytes());
+    for row in &snap.tenants {
+        for v in [
+            row.tenant as u64,
+            row.weight as u64,
+            row.used_bytes,
+            row.used_keys,
+            row.gets,
+            row.sets,
+            row.hits,
+            row.misses,
+            row.quota_rejections,
+            row.expired_lazy,
+            row.expired_swept,
+            row.shed,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
     out.push(SIM_FIELDS as u8);
     for v in sim_to_array(&snap.sim) {
@@ -617,6 +686,29 @@ pub fn decode_stats(bytes: &[u8]) -> Result<shieldstore::StatsSnapshot> {
     snap.crypto_bytes = r.u64()?;
     snap.crypto_ops = r.u64()?;
     snap.crypto_backend = r.u64()?;
+    snap.tenant_count = r.u64()?;
+    if snap.tenant_count as usize > shieldstore::MAX_TENANT_STATS {
+        return Err(NetError::Protocol("stats tenant count exceeds row slots".into()));
+    }
+    for row in snap.tenants.iter_mut() {
+        let tenant = r.u64()?;
+        let weight = r.u64()?;
+        if tenant > u32::MAX as u64 || weight > u32::MAX as u64 {
+            return Err(NetError::Protocol("stats tenant row field overflow".into()));
+        }
+        row.tenant = tenant as u32;
+        row.weight = weight as u32;
+        row.used_bytes = r.u64()?;
+        row.used_keys = r.u64()?;
+        row.gets = r.u64()?;
+        row.sets = r.u64()?;
+        row.hits = r.u64()?;
+        row.misses = r.u64()?;
+        row.quota_rejections = r.u64()?;
+        row.expired_lazy = r.u64()?;
+        row.expired_swept = r.u64()?;
+        row.shed = r.u64()?;
+    }
     if r.bytes.first() != Some(&(SIM_FIELDS as u8)) {
         return Err(NetError::Protocol("stats sim field count mismatch".into()));
     }
@@ -856,7 +948,8 @@ mod tests {
         let mut snap = sample_snapshot();
         snap.hists.get.record(1_000_000);
         let mut bytes = encode_stats(&snap);
-        let max_off = bytes.len() - (8 * 19 + 1 + 8 * 9) - 8;
+        let tail = 8 * (19 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) + 1 + 8 * 9;
+        let max_off = bytes.len() - tail - 8;
         bytes[max_off..max_off + 8].copy_from_slice(&1u64.to_le_bytes());
         assert!(decode_stats(&bytes).is_err());
     }

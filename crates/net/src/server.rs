@@ -35,6 +35,7 @@
 //! connection-cap refusal, graceful drain with a hard deadline, and
 //! quarantined-partition answers.
 
+use crate::admission::FairAdmission;
 use crate::protocol::{OpCode, Request, Response};
 use crate::{engine, Result};
 use sgx_sim::enclave::Enclave;
@@ -138,16 +139,20 @@ pub(crate) struct NetState {
     pub(crate) active: AtomicUsize,
     /// Overload counters reported through the `Stats` opcode.
     pub(crate) gauges: NetGauges,
+    /// Weighted per-tenant in-flight admission (replaces the old flat
+    /// `pending_frames >= max_in_flight` check).
+    pub(crate) admission: FairAdmission,
     /// Allocator for connection poll tokens (unique server-wide).
     pub(crate) next_conn_token: AtomicU64,
 }
 
 impl NetState {
-    fn new() -> Self {
+    fn new(max_in_flight: usize) -> Self {
         Self {
             draining: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             gauges: NetGauges::default(),
+            admission: FairAdmission::new(max_in_flight),
             // Tokens 0 and 1 are the per-loop listener and waker.
             next_conn_token: AtomicU64::new(engine::FIRST_CONN_TOKEN),
         }
@@ -200,7 +205,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(NetState::new());
+        let state = Arc::new(NetState::new(config.max_in_flight));
         state.gauges.event_loops.store(config.event_loops as u64, Ordering::Relaxed);
         let worker_penalties =
             Arc::new((0..config.event_loops).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
@@ -294,42 +299,54 @@ impl Drop for Server {
     }
 }
 
-/// Executes one request against the store.
+/// Executes one request against the store in the default namespace.
 pub fn execute(store: &dyn KvBackend, request: &Request) -> Response {
-    execute_with(store, request, None)
+    execute_with(store, request, 0, None)
 }
 
 /// Maps a `try_*` failure to its wire status.
 fn fail_status(e: OpError) -> Response {
     match e {
         OpError::Quarantined => Response::quarantined(),
+        OpError::QuotaExceeded => Response::quota_exceeded(),
         OpError::Failed => Response::error(),
     }
 }
 
-/// Executes one request against the store, overlaying server-side
-/// overload counters onto `Stats` responses when provided.
+/// Executes one request against the store under `tenant`'s namespace,
+/// overlaying server-side overload counters onto `Stats` responses when
+/// the serving state is provided.
 pub(crate) fn execute_with(
     store: &dyn KvBackend,
     request: &Request,
-    net: Option<&NetGauges>,
+    tenant: u32,
+    net: Option<&NetState>,
 ) -> Response {
     match request.op {
-        OpCode::Get => match store.try_get(&request.key) {
+        OpCode::Get => match store.try_get_t(tenant, &request.key) {
             Ok(Some(v)) => Response::ok(v),
             Ok(None) => Response::not_found(),
             Err(e) => fail_status(e),
         },
-        OpCode::Set => match store.try_set(&request.key, &request.value) {
+        OpCode::Set => match store.try_set_t(tenant, &request.key, &request.value, 0) {
             Ok(()) => Response::ok_empty(),
             Err(e) => fail_status(e),
         },
-        OpCode::Delete => match store.try_delete(&request.key) {
+        OpCode::SetTtl => {
+            let Ok((ttl_ns, value)) = crate::protocol::decode_set_ttl(&request.value) else {
+                return Response::error();
+            };
+            match store.try_set_t(tenant, &request.key, value, ttl_ns) {
+                Ok(()) => Response::ok_empty(),
+                Err(e) => fail_status(e),
+            }
+        }
+        OpCode::Delete => match store.try_delete_t(tenant, &request.key) {
             Ok(true) => Response::ok_empty(),
             Ok(false) => Response::not_found(),
             Err(e) => fail_status(e),
         },
-        OpCode::Append => match store.try_append(&request.key, &request.value) {
+        OpCode::Append => match store.try_append_t(tenant, &request.key, &request.value) {
             Ok(()) => Response::ok_empty(),
             Err(e) => fail_status(e),
         },
@@ -339,7 +356,7 @@ pub(crate) fn execute_with(
             } else {
                 return Response::error();
             };
-            match store.try_increment(&request.key, delta) {
+            match store.try_increment_t(tenant, &request.key, delta) {
                 Ok(next) => Response::ok(next.to_le_bytes().to_vec()),
                 Err(e) => fail_status(e),
             }
@@ -352,7 +369,7 @@ pub(crate) fn execute_with(
             // The whole batch runs as one work item: one crossing charge
             // and one shard-lock acquisition per touched shard, however
             // many keys ride in the frame.
-            match store.try_multi_get(&keys) {
+            match store.try_multi_get_t(tenant, &keys) {
                 Ok(results) => Response::ok(crate::protocol::encode_multi_get_response(&results)),
                 // Batch-level failure (integrity violation, quarantined
                 // partition): fail the whole frame closed rather than
@@ -364,7 +381,7 @@ pub(crate) fn execute_with(
             let Ok(items) = crate::protocol::decode_multi_set(&request.value) else {
                 return Response::error();
             };
-            match store.try_multi_set(&items) {
+            match store.try_multi_set_t(tenant, &items) {
                 Ok(()) => Response::ok_empty(),
                 Err(e) => fail_status(e),
             }
@@ -375,7 +392,7 @@ pub(crate) fn execute_with(
             let Ok(limit) = crate::protocol::decode_scan_limit(&request.value) else {
                 return Response::error();
             };
-            match store.try_scan_prefix(&request.key, limit as usize) {
+            match store.try_scan_prefix_t(tenant, &request.key, limit as usize) {
                 Ok(entries) => Response::ok(crate::protocol::encode_scan(&entries)),
                 Err(e) => fail_status(e),
             }
@@ -386,12 +403,18 @@ pub(crate) fn execute_with(
             }
             match store.stats_snapshot() {
                 Some(mut snap) => {
-                    if let Some(net) = net {
+                    if let Some(state) = net {
+                        let net = &state.gauges;
                         snap.shed_requests = net.shed_requests.load(Ordering::Relaxed);
                         snap.refused_connections = net.refused_connections.load(Ordering::Relaxed);
                         snap.cross_loop_handoffs = net.cross_loop_handoffs.load(Ordering::Relaxed);
                         snap.event_loops = net.event_loops.load(Ordering::Relaxed);
                         snap.pending_frames = net.pending_frames.load(Ordering::Relaxed);
+                        // Per-tenant sheds live in the admission gate
+                        // (the store cannot see them).
+                        for row in snap.tenants.iter_mut().take(snap.tenant_count as usize) {
+                            row.shed = state.admission.shed_for(row.tenant);
+                        }
                     }
                     Response::ok(crate::protocol::encode_stats(&snap))
                 }

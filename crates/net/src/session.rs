@@ -98,29 +98,41 @@ impl SessionCrypto {
     }
 }
 
-/// Hello message: the client's ephemeral public key.
-fn encode_hello(pubkey: &[u8; 32]) -> Vec<u8> {
-    let mut v = b"SSHELLO1".to_vec();
+/// Hello message: the client's ephemeral public key plus the tenant
+/// namespace this connection operates in (v2; a v1 hello without the
+/// tenant field is rejected by length — stale clients fail closed
+/// instead of silently landing in the default namespace).
+fn encode_hello(pubkey: &[u8; 32], tenant: u32) -> Vec<u8> {
+    let mut v = b"SSHELLO2".to_vec();
     v.extend_from_slice(pubkey);
+    v.extend_from_slice(&tenant.to_le_bytes());
     v
 }
 
-fn decode_hello(bytes: &[u8]) -> Result<[u8; 32]> {
-    if bytes.len() != 40 || &bytes[..8] != b"SSHELLO1" {
+fn decode_hello(bytes: &[u8]) -> Result<([u8; 32], u32)> {
+    if bytes.len() != 44 || &bytes[..8] != b"SSHELLO2" {
         return Err(NetError::Protocol("bad hello".into()));
     }
-    Ok(bytes[8..].try_into().expect("32 bytes"))
+    let pubkey = bytes[8..40].try_into().expect("32 bytes");
+    let tenant = u32::from_le_bytes(bytes[40..44].try_into().expect("4 bytes"));
+    Ok((pubkey, tenant))
 }
 
 /// The server side of the key exchange as a pure step: consumes the
-/// client's hello frame body, returns the established channel crypto
-/// and the quote frame body to send back.
+/// client's hello frame body, returns the established channel crypto,
+/// the quote frame body to send back, and the tenant the connection
+/// claimed. Every subsequent request on the session executes in that
+/// tenant's namespace — the binding happens once, at key exchange, so
+/// a request cannot name an arbitrary tenant per-op.
 ///
 /// The readiness-loop engine calls this directly (the hello arrives
 /// through the incremental frame decoder like any other frame);
 /// [`server_handshake`] wraps it for blocking streams.
-pub fn server_key_exchange(hello: &[u8], enclave: &Enclave) -> Result<(SessionCrypto, Vec<u8>)> {
-    let client_pub = decode_hello(hello)?;
+pub fn server_key_exchange(
+    hello: &[u8],
+    enclave: &Enclave,
+) -> Result<(SessionCrypto, Vec<u8>, u32)> {
+    let (client_pub, tenant) = decode_hello(hello)?;
 
     let mut server_priv = [0u8; 32];
     enclave.read_rand(&mut server_priv);
@@ -133,7 +145,7 @@ pub fn server_key_exchange(hello: &[u8], enclave: &Enclave) -> Result<(SessionCr
 
     let shared = x25519::shared_secret(&server_priv, &client_pub)
         .ok_or_else(|| NetError::Security("degenerate client key".into()))?;
-    Ok((SessionCrypto::new(&shared, false), quote.to_bytes()))
+    Ok((SessionCrypto::new(&shared, false), quote.to_bytes(), tenant))
 }
 
 /// Runs the server side of the handshake over `stream`.
@@ -143,12 +155,12 @@ pub fn server_key_exchange(hello: &[u8], enclave: &Enclave) -> Result<(SessionCr
 pub fn server_handshake(
     stream: &mut (impl Read + Write),
     enclave: &Enclave,
-) -> Result<SessionCrypto> {
+) -> Result<(SessionCrypto, u32)> {
     let hello = crate::protocol::read_frame(stream)?
         .ok_or_else(|| NetError::Protocol("client hung up before hello".into()))?;
-    let (crypto, quote_bytes) = server_key_exchange(&hello, enclave)?;
+    let (crypto, quote_bytes, tenant) = server_key_exchange(&hello, enclave)?;
     crate::protocol::write_frame(stream, &quote_bytes)?;
-    Ok(crypto)
+    Ok((crypto, tenant))
 }
 
 /// Runs the client side of the handshake over `stream`.
@@ -161,13 +173,23 @@ pub fn client_handshake(
     verifier: &AttestationVerifier,
     seed: u64,
 ) -> Result<SessionCrypto> {
+    client_handshake_tenant(stream, verifier, seed, 0)
+}
+
+/// [`client_handshake`] under an explicit tenant namespace.
+pub fn client_handshake_tenant(
+    stream: &mut (impl Read + Write),
+    verifier: &AttestationVerifier,
+    seed: u64,
+    tenant: u32,
+) -> Result<SessionCrypto> {
     let mut drbg = shield_crypto::drbg::Drbg::from_seed(
         &[b"client-ephemeral".as_slice(), &seed.to_le_bytes()].concat(),
     );
     let mut client_priv = [0u8; 32];
     drbg.fill_bytes(&mut client_priv);
     let client_pub = x25519::public_key(&client_priv);
-    crate::protocol::write_frame(stream, &encode_hello(&client_pub))?;
+    crate::protocol::write_frame(stream, &encode_hello(&client_pub, tenant))?;
 
     let quote_bytes = crate::protocol::read_frame(stream)?
         .ok_or_else(|| NetError::Protocol("server hung up before quote".into()))?;
@@ -237,8 +259,9 @@ mod tests {
         let (mut client_side, mut server_side) = pipe_pair();
 
         let server = std::thread::spawn(move || server_handshake(&mut server_side, &enclave));
-        let mut client = client_handshake(&mut client_side, &verifier, 1).unwrap();
-        let mut server = server.join().unwrap().unwrap();
+        let mut client = client_handshake_tenant(&mut client_side, &verifier, 1, 7).unwrap();
+        let (mut server, tenant) = server.join().unwrap().unwrap();
+        assert_eq!(tenant, 7, "the hello binds the connection's tenant");
 
         let sealed = client.seal(b"attack at dawn");
         assert_ne!(&sealed[..14], b"attack at dawn");

@@ -163,7 +163,7 @@ proptest! {
     /// Unknown status bytes are rejected, never mapped to a valid status.
     #[test]
     fn unknown_status_bytes_rejected(raw in any::<u8>(), value in pvec(any::<u8>(), 0..32)) {
-        let status = 5u8.wrapping_add(raw % 251); // any byte in 5..=255
+        let status = 6u8.wrapping_add(raw % 250); // any byte in 6..=255
         let mut bytes = vec![status];
         bytes.extend_from_slice(&(value.len() as u32).to_le_bytes());
         bytes.extend_from_slice(&value);
@@ -272,7 +272,7 @@ fn handshake_pair(
     let server_thread =
         std::thread::spawn(move || session::server_handshake(&mut server_side, &enclave2));
     let client = session::client_handshake(&mut client_side, verifier, 1).expect("client side");
-    let server = server_thread.join().expect("join").expect("server side");
+    let (server, _tenant) = server_thread.join().expect("join").expect("server side");
     (client, server)
 }
 

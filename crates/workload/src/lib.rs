@@ -11,6 +11,8 @@
 //! * [`Spec`] / [`TABLE2`] — the paper's workload configurations.
 //! * [`DataSize`] / [`TABLE3`] — the paper's data-size configurations.
 //! * [`Generator`] — turns a spec into a deterministic [`Op`] stream.
+//! * [`ycsb`] — the YCSB A–F suite, hot-spot skew, and the
+//!   multi-tenant interference mixes behind the tenant test battery.
 //!
 //! # Examples
 //!
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod rng;
+pub mod ycsb;
 pub mod zipf;
 
 use rng::SplitMix64;
