@@ -26,6 +26,10 @@
 //! * [`tenantphase`] — cross-tenant attacks (cross-namespace reads with
 //!   leaked derived keys, re-MAC forgery, quota exhaustion, TTL
 //!   resurrection), proving the multi-tenant isolation boundary.
+//! * [`replphase`] — replication attacks (split brain after failover,
+//!   stale and foreign-key promotions against a live primary, batch
+//!   truncation/corruption in flight), proving fencing and the sealed
+//!   stream's fail-closed chain.
 //!
 //! The invariant checked after every step is the *trichotomy*: the
 //! result matches the model, or the operation failed with an integrity
@@ -33,6 +37,7 @@
 
 pub mod engine;
 pub mod model;
+pub mod replphase;
 pub mod snapshot;
 pub mod tenantphase;
 pub mod walphase;
@@ -46,6 +51,7 @@ pub struct SeedReport {
     pub wal: walphase::WalReport,
     pub wire: wire::WireReport,
     pub tenant: tenantphase::TenantReport,
+    pub repl: replphase::ReplReport,
 }
 
 /// Runs every phase for one seed. `store_steps` sizes the chaotic
@@ -56,5 +62,6 @@ pub fn run_seed(seed: u64, store_steps: u64) -> Result<SeedReport, model::Violat
     let wal = walphase::run_wal_phase(seed)?;
     let wire = wire::run_wire_phase(seed)?;
     let tenant = tenantphase::run_tenant_phase(seed)?;
-    Ok(SeedReport { store, snapshot, wal, wire, tenant })
+    let repl = replphase::run_repl_phase(seed)?;
+    Ok(SeedReport { store, snapshot, wal, wire, tenant, repl })
 }

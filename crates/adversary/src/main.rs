@@ -70,6 +70,7 @@ fn main() {
     let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut by_kind = [0u64; engine::CATALOG.len()];
     let mut tenant = adversary::tenantphase::TenantReport::default();
+    let mut repl = adversary::replphase::ReplReport::default();
     let mut failed_seeds: Vec<u64> = Vec::new();
 
     for seed in args.start..args.start + args.count {
@@ -81,16 +82,19 @@ fn main() {
         };
         match outcome {
             Ok(report) => {
-                totals.0 += report.store.ops + report.wire.ops + report.tenant.ops;
+                totals.0 +=
+                    report.store.ops + report.wire.ops + report.tenant.ops + report.repl.ops;
                 totals.1 += report.store.attacks
                     + report.snapshot.corruptions
                     + report.wal.attacks
                     + report.wire.faults
-                    + report.tenant.attacks;
+                    + report.tenant.attacks
+                    + report.repl.attacks;
                 totals.2 += report.store.detected
                     + report.snapshot.detected
                     + report.wal.detected
-                    + report.tenant.detected;
+                    + report.tenant.detected
+                    + report.repl.detected;
                 tenant.ops += report.tenant.ops;
                 tenant.attacks += report.tenant.attacks;
                 tenant.detected += report.tenant.detected;
@@ -98,6 +102,12 @@ fn main() {
                 tenant.forgeries += report.tenant.forgeries;
                 tenant.quota_rejections += report.tenant.quota_rejections;
                 tenant.ttl_resurrections += report.tenant.ttl_resurrections;
+                repl.ops += report.repl.ops;
+                repl.attacks += report.repl.attacks;
+                repl.detected += report.repl.detected;
+                repl.split_brains += report.repl.split_brains;
+                repl.stale_promotions += report.repl.stale_promotions;
+                repl.truncations += report.repl.truncations;
                 totals.3 += report.wire.faults;
                 totals.4 += report.wal.cycles;
                 for (total, landed) in by_kind.iter_mut().zip(report.store.attacks_by_kind) {
@@ -147,6 +157,16 @@ fn main() {
             tenant.ttl_resurrections,
             tenant.detected,
         );
+        println!(
+            "replication phase: {} ops, {} attacks ({} split-brain, {} stale promotions, \
+             {} in-flight truncations), {} detections",
+            repl.ops,
+            repl.attacks,
+            repl.split_brains,
+            repl.stale_promotions,
+            repl.truncations,
+            repl.detected,
+        );
     }
     println!("attack coverage:");
     for (kind, landed) in engine::CATALOG.iter().zip(by_kind) {
@@ -178,7 +198,7 @@ fn main() {
     );
 
     if let Some(path) = &args.report {
-        let json = report_json(&args, totals, &by_kind, &overload, &tenant, &failed_seeds);
+        let json = report_json(&args, totals, &by_kind, &overload, &tenant, &repl, &failed_seeds);
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
@@ -200,6 +220,7 @@ fn report_json(
     by_kind: &[u64; engine::CATALOG.len()],
     overload: &adversary::wire::OverloadReport,
     tenant: &adversary::tenantphase::TenantReport,
+    repl: &adversary::replphase::ReplReport,
     failed_seeds: &[u64],
 ) -> String {
     let mut out = String::from("{\n");
@@ -239,6 +260,16 @@ fn report_json(
     out.push_str(&format!("      \"forge\": {},\n", tenant.forgeries));
     out.push_str(&format!("      \"quota_exhaustion\": {},\n", tenant.quota_rejections));
     out.push_str(&format!("      \"ttl_resurrection\": {}\n", tenant.ttl_resurrections));
+    out.push_str("    }\n");
+    out.push_str("  },\n");
+    out.push_str("  \"replication\": {\n");
+    out.push_str(&format!("    \"ops\": {},\n", repl.ops));
+    out.push_str(&format!("    \"attacks\": {},\n", repl.attacks));
+    out.push_str(&format!("    \"detections\": {},\n", repl.detected));
+    out.push_str("    \"by_attack_kind\": {\n");
+    out.push_str(&format!("      \"split_brain\": {},\n", repl.split_brains));
+    out.push_str(&format!("      \"stale_promotion\": {},\n", repl.stale_promotions));
+    out.push_str(&format!("      \"truncation_in_flight\": {}\n", repl.truncations));
     out.push_str("    }\n");
     out.push_str("  },\n");
     let seeds: Vec<String> = failed_seeds.iter().map(u64::to_string).collect();

@@ -42,6 +42,10 @@ pub enum OpError {
     /// quota; the store was left untouched. Distinct from `Failed` so a
     /// serving layer can tell the tenant to shed load (not retry).
     QuotaExceeded,
+    /// The store is a replica serving reads only; the mutation was not
+    /// executed. The client should retry against the primary (or wait
+    /// for this node's promotion).
+    ReadOnly,
     /// Any other failure (capacity, integrity violation, malformed
     /// value, …).
     Failed,
@@ -138,6 +142,52 @@ pub trait KvBackend: Send + Sync {
     /// without a WAL trivially succeed (there is nothing to flush).
     fn flush(&self) -> bool {
         true
+    }
+    /// [`KvBackend::flush`] returning the durable `(generation, seq)`
+    /// watermark where the store keeps a sealed log. `Ok(None)` means the
+    /// store has no log (nothing to make durable, trivially succeeded).
+    /// Every write at or below the returned watermark survives a crash
+    /// and is what a replication subscriber may acknowledge.
+    fn flush_durable(&self) -> OpResult<Option<(u64, u64)>> {
+        if self.flush() {
+            Ok(None)
+        } else {
+            Err(OpError::Failed)
+        }
+    }
+
+    // --- replication (primary side) ------------------------------------
+    //
+    // Only stores with a sealed WAL can serve as replication primaries;
+    // the defaults fail closed so a baseline store answers `Error` to
+    // replication opcodes instead of pretending to stream a log. The
+    // byte payloads are the core codecs' (`shieldstore::ReplHello` /
+    // `shieldstore::ReplBatch`) encodings — the serving layer relays
+    // them opaquely.
+
+    /// Registers a replication subscriber. Returns the encoded
+    /// [`shieldstore::ReplHello`] (log keys + start position) to relay
+    /// over the attested channel.
+    fn repl_subscribe(&self) -> OpResult<Vec<u8>> {
+        Err(OpError::Failed)
+    }
+    /// Ships the next sealed log batch after `(generation, after_seq)`,
+    /// bounded by `max_bytes`. Returns the encoded
+    /// [`shieldstore::ReplBatch`]; `Err(OpError::Failed)` when the
+    /// subscriber's position is invalid or there is nothing to ship yet.
+    fn repl_batch(&self, _generation: u64, _after_seq: u64, _max_bytes: u32) -> OpResult<Vec<u8>> {
+        Err(OpError::Failed)
+    }
+    /// Records `subscriber`'s verified-and-applied watermark. Fails
+    /// closed when the ack runs ahead of the primary's durable position.
+    fn repl_ack(&self, _subscriber: u64, _generation: u64, _seq: u64) -> OpResult<()> {
+        Err(OpError::Failed)
+    }
+    /// Promotes a read-only replica backend to primary, returning the
+    /// promoted `(generation, seq)` watermark. Non-replica stores fail
+    /// closed.
+    fn promote(&self) -> OpResult<(u64, u64)> {
+        Err(OpError::Failed)
     }
 
     // --- failure-distinguishing variants -------------------------------
@@ -315,6 +365,33 @@ impl KvBackend for shieldstore::ShieldStore {
 
     fn flush(&self) -> bool {
         self.flush_wal().is_ok()
+    }
+
+    fn flush_durable(&self) -> OpResult<Option<(u64, u64)>> {
+        match self.flush_wal() {
+            Ok(Some(wm)) => Ok(Some((wm.generation, wm.seq))),
+            Ok(None) => Ok(None),
+            Err(e) => Err(op_error(e)),
+        }
+    }
+
+    fn repl_subscribe(&self) -> OpResult<Vec<u8>> {
+        shieldstore::ShieldStore::repl_subscribe(self).map(|h| h.encode()).map_err(op_error)
+    }
+
+    fn repl_batch(&self, generation: u64, after_seq: u64, max_bytes: u32) -> OpResult<Vec<u8>> {
+        shieldstore::ShieldStore::repl_batch(self, generation, after_seq, max_bytes as usize)
+            .map(|b| b.encode())
+            .map_err(op_error)
+    }
+
+    fn repl_ack(&self, subscriber: u64, generation: u64, seq: u64) -> OpResult<()> {
+        shieldstore::ShieldStore::repl_ack(
+            self,
+            subscriber,
+            shieldstore::Watermark::new(generation, seq),
+        )
+        .map_err(op_error)
     }
 
     fn try_get(&self, key: &[u8]) -> OpResult<Option<Vec<u8>>> {

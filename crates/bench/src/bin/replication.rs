@@ -1,0 +1,267 @@
+//! Replication benchmark: read scale-out with two attested replicas and
+//! verifiable failover time, written to `BENCH_replication.json` at the
+//! repo root.
+//!
+//! Three measurements against a secure primary with two streaming
+//! [`ReplicaNode`]s:
+//!
+//! 1. **Solo read throughput** — closed-loop readers against the
+//!    primary alone, the denominator of the scale-out ratio.
+//! 2. **Aggregate read capacity** — the same reader fleet driven against
+//!    each node *in isolation*, one node at a time; the aggregate is the
+//!    sum. A deployment puts each node on its own machine, so fleet
+//!    capacity is the sum of per-node capacities — and the bench host
+//!    routinely has fewer cores than nodes, where driving all three
+//!    concurrently would measure host CPU contention instead of
+//!    replication scale-out. The gate: aggregate ≥
+//!    `SS_REPL_SCALEOUT_GATE` (default 1.8) × solo.
+//! 3. **Failover time** — wall-clock from killing the primary's server
+//!    to a *completed* promotion (fence + catch-up + WAL adoption) plus
+//!    the first acknowledged write on the new primary, with every
+//!    durably-acked write verified readable afterwards.
+
+use sgx_sim::attest::AttestationVerifier;
+use sgx_sim::enclave::{Enclave, EnclaveBuilder};
+use shield_net::repl::{ReplicaConfig, ReplicaNode};
+use shield_net::{KvClient, Server, ServerConfig};
+use shield_workload::rng::SplitMix64;
+use shieldstore::{Config, DurabilityPolicy, ShieldStore, Watermark};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+const VAL_LEN: usize = 128;
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Primary and replicas run the same enclave binary: promotion needs the
+/// shared MRENCLAVE sealing identity to read the primary's pin.
+fn enclave() -> Arc<Enclave> {
+    EnclaveBuilder::new("bench-repl").seed(SEED).epc_bytes(64 << 20).build()
+}
+
+fn store_config() -> Config {
+    Config::shield_opt()
+        .buckets(1024)
+        .mac_hashes(64)
+        .with_shards(2)
+        .with_durability(DurabilityPolicy::EveryN(32))
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig { event_loops: 1, secure: true, ..Default::default() }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ss-bench-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key_bytes(id: u64) -> Vec<u8> {
+    format!("user{id:08}").into_bytes()
+}
+
+fn value_bytes(id: u64) -> Vec<u8> {
+    let mut v = format!("repl-val-{id}-").into_bytes();
+    while v.len() < VAL_LEN {
+        v.push(b'x');
+    }
+    v.truncate(VAL_LEN);
+    v
+}
+
+fn wait_caught_up(handle: &shield_net::ReplicaHandle, target: Watermark, who: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handle.watermark() < target {
+        assert!(
+            Instant::now() < deadline,
+            "{who} stuck at {} chasing {target}",
+            handle.watermark()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Closed-loop random reads from `readers` threads against one node;
+/// returns Kop/s over the slowest thread's wall time.
+fn drive_reads(
+    addr: SocketAddr,
+    verifier: &AttestationVerifier,
+    readers: u64,
+    ops: u64,
+    num_keys: u64,
+) -> f64 {
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let verifier = verifier.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    KvClient::connect_secure(addr, &verifier, 1000 + r).expect("reader connect");
+                let mut rng = SplitMix64::new(SEED ^ (r << 8));
+                let started = Instant::now();
+                for _ in 0..ops {
+                    let id = rng.next_below(num_keys);
+                    let got = client.get(&key_bytes(id)).expect("read");
+                    assert!(got.is_some(), "preloaded key missing");
+                }
+                started.elapsed()
+            })
+        })
+        .collect();
+    let wall =
+        handles.into_iter().map(|h| h.join().expect("reader thread")).max().unwrap_or_default();
+    readers as f64 * ops as f64 / wall.as_secs_f64() / 1e3
+}
+
+fn main() {
+    let num_keys: u64 = env_parse("SS_REPL_KEYS", 4_000);
+    let readers: u64 = env_parse("SS_REPL_READERS", 4);
+    let ops: u64 = env_parse("SS_REPL_OPS", 3_000);
+    let gate: f64 = env_parse("SS_REPL_SCALEOUT_GATE", 1.8);
+    let acked_writes: u64 = env_parse("SS_REPL_ACKED_WRITES", 500);
+
+    let primary_wal = scratch("p-wal");
+    let primary_enclave = enclave();
+    let primary =
+        Arc::new(ShieldStore::new(Arc::clone(&primary_enclave), store_config()).expect("primary"));
+    primary.attach_wal(&primary_wal).expect("attach wal");
+    let primary_server = Server::start(
+        Arc::clone(&primary) as Arc<dyn shield_baseline::KvBackend>,
+        Some(Arc::clone(&primary_enclave)),
+        server_config(),
+    )
+    .expect("primary server");
+    let verifier = AttestationVerifier::for_enclave(&primary_enclave)
+        .expect_measurement(*primary_enclave.measurement());
+
+    // Preload, then bring up two streaming replicas and let them drain
+    // the whole preload before any measurement.
+    {
+        let mut loader =
+            KvClient::connect_secure(primary_server.addr(), &verifier, 999).expect("loader");
+        for id in 0..num_keys {
+            loader.set(&key_bytes(id), &value_bytes(id)).expect("preload");
+        }
+        let (g, s) = loader.flush().expect("flush").expect("primary has a WAL");
+        println!("preloaded {num_keys} keys, durable at ({g}, {s})");
+    }
+    let durable = primary.flush_wal().expect("flush").expect("watermark");
+
+    let mut nodes = Vec::new();
+    let wal_dirs: Vec<PathBuf> = (0..2).map(|i| scratch(&format!("r{i}-wal"))).collect();
+    for (i, wal_dir) in wal_dirs.iter().enumerate() {
+        let replica_enclave = enclave();
+        let store = Arc::new(
+            ShieldStore::new(Arc::clone(&replica_enclave), store_config()).expect("replica store"),
+        );
+        let node = ReplicaNode::start(
+            primary_server.addr(),
+            &verifier,
+            store,
+            replica_enclave,
+            server_config(),
+            ReplicaConfig {
+                primary_wal_dir: primary_wal.clone(),
+                wal_dir: wal_dir.clone(),
+                session_seed: 7000 + i as u64 * 100,
+                ..Default::default()
+            },
+        )
+        .expect("replica node");
+        wait_caught_up(&node.handle(), durable, &format!("replica {i}"));
+        nodes.push(node);
+    }
+    println!("2 replicas caught up to {durable}");
+
+    // Phase 1 + 2: per-node isolated read capacity; the primary's run is
+    // the solo baseline.
+    let solo_kops = drive_reads(primary_server.addr(), &verifier, readers, ops, num_keys);
+    println!("solo primary: {solo_kops:.1} Kop/s ({readers} readers x {ops} ops)");
+    let mut replica_kops = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        let kops = drive_reads(node.addr(), &verifier, readers, ops, num_keys);
+        println!("replica {i}: {kops:.1} Kop/s");
+        replica_kops.push(kops);
+    }
+    let replicated_kops = solo_kops + replica_kops.iter().sum::<f64>();
+    let scaleout = replicated_kops / solo_kops;
+    println!(
+        "aggregate read capacity: {replicated_kops:.1} Kop/s, scale-out {scaleout:.2}x \
+         (gate {gate:.1}x)"
+    );
+
+    // Phase 3: acked writes, then failover. The clock covers the fence,
+    // catch-up from the frozen log, WAL adoption, and the first write
+    // the new primary acknowledges.
+    let acked = {
+        let mut client =
+            KvClient::connect_secure(primary_server.addr(), &verifier, 2000).expect("writer");
+        for i in 0..acked_writes {
+            client.set(format!("f{i:05}").as_bytes(), &value_bytes(i)).expect("acked write");
+        }
+        let (g, s) = client.flush().expect("flush").expect("watermark");
+        Watermark::new(g, s)
+    };
+    wait_caught_up(&nodes[0].handle(), acked, "failover target");
+
+    let mut rc =
+        KvClient::connect_secure(nodes[0].addr(), &verifier, 2001).expect("replica client");
+    let failover_started = Instant::now();
+    primary_server.shutdown();
+    let (pg, ps) = rc.promote().expect("promotion");
+    rc.set(b"failover-probe", b"new-primary").expect("first write on new primary");
+    let failover_ms = failover_started.elapsed().as_secs_f64() * 1e3;
+    let promoted = Watermark::new(pg, ps);
+    assert!(promoted >= acked, "promotion at {promoted} lost acked writes (acked {acked})");
+
+    // Zero acked-write loss: every write acked at the durable watermark
+    // reads back on the new primary.
+    let mut lost = 0u64;
+    for i in 0..acked_writes {
+        match rc.get(format!("f{i:05}").as_bytes()) {
+            Ok(Some(v)) if v == value_bytes(i) => {}
+            _ => lost += 1,
+        }
+    }
+    println!(
+        "failover: {failover_ms:.1} ms to promoted watermark {promoted}, {lost} of \
+         {acked_writes} acked writes lost"
+    );
+
+    let pass = scaleout >= gate && lost == 0;
+    let json = format!(
+        "{{\n  \"bench\": \"replication\",\n  \"seed\": {SEED},\n  \"replicas\": 2,\n  \
+         \"num_keys\": {num_keys},\n  \"readers\": {readers},\n  \
+         \"ops_per_reader\": {ops},\n  \"solo_kops\": {solo_kops:.3},\n  \
+         \"replica_kops\": [{:.3}, {:.3}],\n  \"replicated_kops\": {replicated_kops:.3},\n  \
+         \"scaleout\": {scaleout:.3},\n  \"scaleout_gate\": {gate:.2},\n  \
+         \"failover_ms\": {failover_ms:.2},\n  \"acked_writes\": {acked_writes},\n  \
+         \"acked_writes_lost\": {lost},\n  \"promoted_watermark\": {{\"generation\": {}, \
+         \"seq\": {}}},\n  \"pass\": {pass}\n}}\n",
+        replica_kops[0], replica_kops[1], promoted.generation, promoted.seq,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    drop(rc);
+    for node in nodes {
+        node.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&primary_wal);
+    for dir in wal_dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(lost == 0, "failover lost {lost} acked writes");
+    assert!(
+        scaleout >= gate,
+        "read scale-out {scaleout:.2}x under the {gate:.1}x gate with 2 replicas"
+    );
+}

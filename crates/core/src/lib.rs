@@ -52,6 +52,7 @@
 //! | [`cache`] | Fig. 17 | spare-EPC plaintext cache |
 //! | [`persist`] | 4.4, Alg. 1 | snapshots, sealing, rollback defense |
 //! | [`wal`] | beyond 4.4 | sealed write-ahead log, group commit |
+//! | [`repl`] | beyond 4.4 | sealed-log replication, fenced failover |
 //! | [`store`] | — | the sharded top-level API |
 
 #![forbid(unsafe_code)]
@@ -67,6 +68,7 @@ pub mod integrity;
 pub mod mac_bucket;
 pub mod ordered;
 pub mod persist;
+pub mod repl;
 pub mod shard;
 pub mod stats;
 pub mod store;
@@ -81,6 +83,7 @@ pub use config::{AllocMode, Config, DurabilityPolicy};
 pub use error::{Error, Result};
 pub use hist::{LatencyHist, OpHists};
 pub use persist::SnapshotJob;
+pub use repl::{ReplBatch, ReplHello, Replica, Watermark};
 pub use shard::Shard;
 pub use stats::{OpStats, StatsSnapshot, TenantStat, MAX_TENANT_STATS};
 pub use store::{QuarantineReport, ShardQuarantine, ShieldStore};

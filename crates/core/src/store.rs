@@ -9,6 +9,7 @@
 
 use crate::config::Config;
 use crate::error::{Error, Result};
+use crate::repl::Watermark;
 use crate::shard::{Shard, ShardConfig, StoreKeys};
 use crate::stats::{OpStats, StatsSnapshot, TenantStat, MAX_TENANT_STATS};
 use crate::tenant::{TenantId, TenantRegistry, TenantState, DEFAULT_TENANT};
@@ -47,6 +48,9 @@ pub struct ShieldStore {
     /// implicitly (unlimited by default); the untenanted API is sugar
     /// for it.
     registry: TenantRegistry,
+    /// Primary-side replication state (subscriber watermarks, shipping
+    /// counters). Inert until the first [`ShieldStore::repl_subscribe`].
+    repl: crate::repl::PrimaryState,
 }
 
 impl std::fmt::Debug for ShieldStore {
@@ -87,6 +91,7 @@ impl ShieldStore {
             shards,
             wal: OnceLock::new(),
             registry: TenantRegistry::new(),
+            repl: crate::repl::PrimaryState::default(),
         })
     }
 
@@ -101,11 +106,14 @@ impl ShieldStore {
     }
 
     /// Commits any operations buffered in the write-ahead log, whatever
-    /// the [`crate::DurabilityPolicy`]. A no-op without an attached WAL.
-    pub fn flush_wal(&self) -> Result<()> {
+    /// the [`crate::DurabilityPolicy`], and returns the durable
+    /// `(generation, seq)` watermark — the exact commit point a client
+    /// can wait for a replica to reach. `None` without an attached WAL
+    /// (a no-op).
+    pub fn flush_wal(&self) -> Result<Option<Watermark>> {
         match self.wal.get() {
-            Some(wal) => wal.flush(),
-            None => Ok(()),
+            Some(wal) => wal.flush().map(|wm| Some(wm.into())),
+            None => Ok(None),
         }
     }
 
@@ -154,19 +162,7 @@ impl ShieldStore {
         // Replay is unmetered (no quota state): every logged op was
         // admitted when it first ran; usage is recounted below.
         let wal = Wal::recover(enclave, wal_dir.as_ref(), policy, expected_snap, &mut |op| {
-            match op {
-                WalOp::Set { tenant, key, value, expires_at } => store
-                    .with_shard(store.shard_of(&key), |s| {
-                        s.set_t(tenant, &key, &value, expires_at, None)
-                    }),
-                // A delete can replay against a snapshot that never held
-                // the key (or already lost it): that is the idempotent
-                // outcome, not an error. Replay purges even expired
-                // entries — the logged delete may itself be a sweep reap.
-                WalOp::Delete { tenant, key } => {
-                    store.with_shard(store.shard_of(&key), |s| s.purge_t(tenant, &key).map(|_| ()))
-                }
-            }
+            store.apply_replicated(op)
         })?;
         store
             .wal
@@ -189,8 +185,38 @@ impl ShieldStore {
         }
     }
 
+    /// Applies one verified WAL record op to the in-memory tables — the
+    /// shared apply path for crash recovery and replica replay. Bypasses
+    /// quota admission and the WAL (every op was admitted when it first
+    /// ran on the primary; callers recount usage when done).
+    pub(crate) fn apply_replicated(&self, op: WalOp) -> Result<()> {
+        match op {
+            WalOp::Set { tenant, key, value, expires_at } => self
+                .with_shard(self.shard_of(&key), |s| {
+                    s.set_t(tenant, &key, &value, expires_at, None)
+                }),
+            // A delete can replay against a store that never held the
+            // key (or already lost it): that is the idempotent outcome,
+            // not an error. Replay purges even expired entries — the
+            // logged delete may itself be a sweep reap.
+            WalOp::Delete { tenant, key } => {
+                self.with_shard(self.shard_of(&key), |s| s.purge_t(tenant, &key).map(|_| ()))
+            }
+        }
+    }
+
+    /// Attaches an already-built WAL (the promotion path: a replica
+    /// adopting the verified log it copied). Fails if one is attached.
+    pub(crate) fn install_wal(&self, wal: Wal) -> Result<()> {
+        self.wal.set(wal).map_err(|_| Error::Persistence("write-ahead log already attached".into()))
+    }
+
     pub(crate) fn wal_ref(&self) -> Option<&Wal> {
         self.wal.get()
+    }
+
+    pub(crate) fn repl_state(&self) -> &crate::repl::PrimaryState {
+        &self.repl
     }
 
     /// Testing-only access to the attached WAL, for crash injection.
@@ -588,6 +614,7 @@ impl ShieldStore {
             snap.wal_fsyncs = fsyncs;
             snap.hists.wal_group.merge(&hist);
         }
+        self.repl.fill_gauges(&mut snap, self.wal.get().map(|w| w.durable_watermark()));
         snap.crypto_bytes = shield_crypto::stats::crypto_bytes();
         snap.crypto_ops = shield_crypto::stats::crypto_ops();
         snap.crypto_backend = shield_crypto::stats::backend_code();

@@ -1,0 +1,281 @@
+//! Property-based tests for the replication stream: a replica replaying
+//! a primary's sealed log must fail closed — without desyncing its MAC
+//! chain — under every single-byte corruption, every truncation,
+//! reordered or replayed batches, and stale-generation streams. The
+//! stream crosses an attested session, but the records themselves come
+//! off untrusted disk, so the replica trusts nothing it cannot verify
+//! against its own chain position.
+
+use proptest::prelude::*;
+use sgx_sim::counter::PersistentCounter;
+use sgx_sim::enclave::{Enclave, EnclaveBuilder};
+use shieldstore::{Config, DurabilityPolicy, ReplBatch, Replica, ShieldStore, Watermark};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let n = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("ss-repl-stream-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn enclave(seed: u64) -> Arc<Enclave> {
+    EnclaveBuilder::new("repl-stream").seed(seed).epc_bytes(8 << 20).build()
+}
+
+fn config() -> Config {
+    Config::shield_opt()
+        .buckets(64)
+        .mac_hashes(16)
+        .with_shards(2)
+        .with_durability(DurabilityPolicy::Strict)
+}
+
+/// A primary with `n` durable records `r0..r{n-1}`.
+fn primary(dir: &PathBuf, n: usize, fill: u8) -> Arc<ShieldStore> {
+    let store = Arc::new(ShieldStore::new(enclave(1), config()).unwrap());
+    store.attach_wal(dir).unwrap();
+    for i in 0..n {
+        store.set(format!("r{i}").as_bytes(), &[fill; 24]).unwrap();
+    }
+    store
+}
+
+/// A fresh, empty replica subscribed via `hello`.
+fn fresh_replica(hello: &shieldstore::ReplHello, seed: u64) -> (Arc<ShieldStore>, Replica) {
+    let store = Arc::new(ShieldStore::new(enclave(seed), config()).unwrap());
+    let replica = Replica::new(Arc::clone(&store), hello).unwrap();
+    (store, replica)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Every single-byte corruption of an encoded batch either fails to
+    /// decode, fails to apply (with the replica's chain position
+    /// unmoved), or — for unauthenticated metadata bytes such as the
+    /// durable watermark, which can only *widen* what the replica is
+    /// willing to apply — applies exactly the genuine record. No
+    /// corruption ever yields wrong data or desyncs the chain: the
+    /// genuine batch still applies afterwards from the same position.
+    /// A single-record batch makes the sweep exhaustive — there is no
+    /// verified prefix to legitimately apply (see
+    /// `corrupted_tail_applies_only_verified_prefix` for multi-record
+    /// batches).
+    #[test]
+    fn every_byte_corruption_fails_closed(mask_raw in 1u32..256, fill in any::<u8>()) {
+        let mask = mask_raw as u8;
+        let dir = scratch("corrupt");
+        let store = primary(&dir, 1, fill);
+        let hello = store.repl_subscribe().unwrap();
+        let genuine = store.repl_batch(0, 0, 1 << 20).unwrap();
+        let encoded = genuine.encode();
+        let (mut rstore, mut replica) = fresh_replica(&hello, 2);
+        let mut seed = 3u64;
+
+        for pos in 0..encoded.len() {
+            let mut bytes = encoded.clone();
+            bytes[pos] ^= mask;
+            let Some(batch) = ReplBatch::decode(&bytes) else {
+                continue; // fail closed at decode
+            };
+            // Whether the batch is rejected outright or fails after the
+            // genuine record (count widened, advance flag flipped), the
+            // chain only ever sits on a verified genuine prefix.
+            let applied = replica.apply_batch(&batch).is_ok();
+            let wm = replica.watermark();
+            prop_assert_eq!(wm.generation, 0);
+            prop_assert!(wm.seq <= 1, "chain moved past the genuine stream");
+            if applied {
+                prop_assert_eq!(wm.seq, 1, "Ok must mean the record applied");
+            }
+            if wm.seq == 1 {
+                // The only record that can apply is the genuine one.
+                prop_assert_eq!(rstore.get(b"r0").unwrap(), vec![fill; 24]);
+                // This replica consumed the stream; continue the sweep
+                // on a fresh one.
+                let (s, r) = fresh_replica(&hello, seed);
+                seed += 1;
+                rstore = s;
+                replica = r;
+            }
+        }
+
+        // No corrupted batch desynced the survivor: the genuine stream
+        // still applies cleanly from its position.
+        prop_assert_eq!(replica.apply_batch(&genuine).unwrap(), Watermark::new(0, 1));
+        prop_assert_eq!(rstore.get(b"r0").unwrap(), vec![fill; 24]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Corrupting the stream's tail loses nothing that verified: the
+    /// replica applies the intact prefix, stops at the first record
+    /// that fails its chain, and resumes cleanly from exactly that
+    /// position once the genuine tail arrives.
+    #[test]
+    fn corrupted_tail_applies_only_verified_prefix(
+        n in 2usize..6,
+        fill in any::<u8>(),
+        mask_raw in 1u32..256,
+    ) {
+        let dir = scratch("prefix");
+        let store = primary(&dir, n, fill);
+        let hello = store.repl_subscribe().unwrap();
+        let genuine = store.repl_batch(0, 0, 1 << 20).unwrap();
+        // The last record's frame is everything past the first n-1
+        // single-record polls.
+        let prefix_len: usize =
+            (0..n - 1).map(|i| store.repl_batch(0, i as u64, 1).unwrap().frames.len()).sum();
+
+        let mut corrupted = genuine.clone();
+        // Corrupt the last frame's final byte (its MAC): the prefix
+        // stays intact, the tail record must not apply.
+        let last = corrupted.frames.len() - 1;
+        corrupted.frames[last] ^= mask_raw as u8;
+        prop_assert!(prefix_len < corrupted.frames.len());
+
+        let (rstore, mut replica) = fresh_replica(&hello, 2);
+        prop_assert!(replica.apply_batch(&corrupted).is_err());
+        let held = replica.watermark();
+        prop_assert_eq!(held, Watermark::new(0, n as u64 - 1), "prefix short or long");
+        let tail_key = format!("r{}", n - 1);
+        prop_assert!(rstore.get(tail_key.as_bytes()).is_err(), "tail record must not apply");
+
+        // The genuine tail, polled from the replica's held position,
+        // completes the stream.
+        let tail = store.repl_batch(0, held.seq, 1 << 20).unwrap();
+        prop_assert_eq!(replica.apply_batch(&tail).unwrap(), Watermark::new(0, n as u64));
+        prop_assert_eq!(rstore.get(tail_key.as_bytes()).unwrap(), vec![fill; 24]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Every truncation of the encoded batch is rejected at decode, and
+    /// every truncation of a single record's frame bytes (header
+    /// intact) is rejected at apply — in both cases without moving the
+    /// chain.
+    #[test]
+    fn truncated_streams_fail_closed(fill in any::<u8>()) {
+        let dir = scratch("trunc");
+        let store = primary(&dir, 1, fill);
+        let hello = store.repl_subscribe().unwrap();
+        let genuine = store.repl_batch(0, 0, 1 << 20).unwrap();
+        let encoded = genuine.encode();
+        for cut in 0..encoded.len() {
+            prop_assert!(
+                ReplBatch::decode(&encoded[..cut]).is_none(),
+                "decode accepted a truncation at {cut}"
+            );
+        }
+
+        let (rstore, mut replica) = fresh_replica(&hello, 2);
+        for cut in 0..genuine.frames.len() {
+            let mut batch = genuine.clone();
+            batch.frames.truncate(cut);
+            prop_assert!(replica.apply_batch(&batch).is_err(), "applied truncation at {cut}");
+            prop_assert_eq!(replica.watermark(), Watermark::new(0, 0));
+        }
+        prop_assert_eq!(replica.apply_batch(&genuine).unwrap(), Watermark::new(0, 1));
+        prop_assert_eq!(rstore.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Out-of-order delivery, replays, and intra-batch record swaps all
+    /// fail closed; the in-order stream still applies afterwards.
+    #[test]
+    fn reordered_and_replayed_streams_fail_closed(
+        n1 in 1usize..4,
+        n2 in 1usize..4,
+        fill in any::<u8>(),
+    ) {
+        let dir = scratch("reorder");
+        let store = primary(&dir, n1 + n2, fill);
+        let hello = store.repl_subscribe().unwrap();
+        // Single-record polls (1-byte budget ships exactly one frame).
+        let singles: Vec<ReplBatch> =
+            (0..n1 + n2).map(|i| store.repl_batch(0, i as u64, 1).unwrap()).collect();
+        let batch1 = store.repl_batch(0, 0, 1 << 20).unwrap();
+
+        // A batch from the future (starting past the replica's
+        // position) is refused.
+        let (_, mut replica) = fresh_replica(&hello, 2);
+        prop_assert!(replica.apply_batch(&singles[n1]).is_err());
+        prop_assert_eq!(replica.watermark(), Watermark::new(0, 0));
+
+        // Two adjacent records swapped inside one batch break the chain.
+        if n1 + n2 >= 2 {
+            let mut swapped = batch1.clone();
+            swapped.frames =
+                [singles[1].frames.clone(), singles[0].frames.clone()].concat();
+            for s in &singles[2..] {
+                swapped.frames.extend_from_slice(&s.frames);
+            }
+            prop_assert!(replica.apply_batch(&swapped).is_err());
+            prop_assert_eq!(replica.watermark(), Watermark::new(0, 0));
+        }
+
+        // The in-order stream applies; replaying any earlier batch is
+        // then refused without moving the chain.
+        let applied = replica.apply_batch(&batch1).unwrap();
+        prop_assert_eq!(applied, Watermark::new(0, (n1 + n2) as u64));
+        prop_assert!(replica.apply_batch(&batch1).is_err(), "replay accepted");
+        prop_assert!(replica.apply_batch(&singles[0]).is_err(), "record replay accepted");
+        prop_assert_eq!(replica.watermark(), applied);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A stream stuck in a superseded generation is refused once the
+/// replica has crossed the authenticated handover, and a subscriber
+/// cannot bootstrap at all once generation 0 is pruned.
+#[test]
+fn stale_generation_stream_fails_closed() {
+    let dir = scratch("stalegen");
+    let snap = scratch("stalegen-snap");
+    std::fs::create_dir_all(&snap).unwrap();
+    let store = primary(&dir, 3, 0x5a);
+    let hello = store.repl_subscribe().unwrap();
+    let stale = store.repl_batch(0, 0, 1 << 20).unwrap();
+
+    let (rstore, mut replica) = fresh_replica(&hello, 2);
+    assert_eq!(replica.apply_batch(&stale).unwrap(), Watermark::new(0, 3));
+
+    // Rotate: snapshot retires generation 0 (the subscriber floor keeps
+    // its file until the replica acks past it).
+    let counter = PersistentCounter::open(snap.join("ctr")).unwrap();
+    store.snapshot_blocking(snap.join("snap.bin"), &counter).unwrap();
+    store.set(b"after-rotate", b"x").unwrap();
+
+    // The replica crosses the handover: an empty gen-0 batch carrying
+    // the rotation authenticator, then the new generation's records.
+    let hand = store.repl_batch(0, 3, 1 << 20).unwrap();
+    let next_gen = hand.advance_to.expect("rotation handover");
+    assert!(next_gen > 0);
+    let crossed = replica.apply_batch(&hand).unwrap();
+    assert_eq!(crossed.generation, next_gen);
+    let rest = store.repl_batch(next_gen, crossed.seq, 1 << 20).unwrap();
+    let wm = replica.apply_batch(&rest).unwrap();
+    assert_eq!(rstore.get(b"after-rotate").unwrap(), b"x");
+
+    // A stale generation-0 stream — however authentic its records were
+    // at the time — is refused without desyncing the chain.
+    assert!(replica.apply_batch(&stale).is_err(), "stale generation accepted");
+    assert_eq!(replica.watermark(), wm);
+
+    // Replaying the handover to drag the replica back also fails.
+    assert!(replica.apply_batch(&hand).is_err(), "handover replay accepted");
+    assert_eq!(replica.watermark(), wm);
+
+    // Ack into the new generation, rotate again: generation 0 is gone,
+    // so a fresh subscriber has no complete history to bootstrap from
+    // and is refused instead of silently starting mid-stream.
+    store.repl_ack(hello.subscriber, wm).unwrap();
+    store.snapshot_blocking(snap.join("snap2.bin"), &counter).unwrap();
+    assert!(store.repl_subscribe().is_err(), "bootstrap from pruned history accepted");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&snap).unwrap();
+}

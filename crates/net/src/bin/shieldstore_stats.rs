@@ -153,6 +153,25 @@ fn print_dashboard(snap: &StatsSnapshot) {
     }
     println!();
 
+    if snap.repl_role != 0 {
+        println!("-- replication --");
+        let role = match snap.repl_role {
+            1 => "primary (streaming to subscribers)",
+            2 => "replica (read-only)",
+            _ => "unknown",
+        };
+        println!("{:<28} {}", "role", role);
+        println!("{:<28} {}", "repl_subscribers", snap.repl_subscribers);
+        println!("{:<28} {}", "repl_segments_shipped", snap.repl_segments_shipped);
+        println!("{:<28} {}", "repl_bytes_shipped", snap.repl_bytes_shipped);
+        println!(
+            "{:<28} ({}, {})",
+            "repl_acked_watermark", snap.repl_acked_generation, snap.repl_acked_seq
+        );
+        println!("{:<28} {}", "repl_lag_records", snap.repl_lag_records);
+        println!();
+    }
+
     if snap.tenant_count > 0 {
         println!("-- tenants ({} known) --", snap.tenant_count);
         println!(
@@ -272,6 +291,18 @@ fn to_json(snap: &StatsSnapshot) -> String {
         snap.crypto_bytes,
         snap.crypto_ops,
         snap.crypto_backend
+    ));
+    out.push_str(&format!(
+        "\"repl\":{{\"role\":{},\"subscribers\":{},\"segments_shipped\":{},\
+         \"bytes_shipped\":{},\"acked_generation\":{},\"acked_seq\":{},\
+         \"lag_records\":{}}},",
+        snap.repl_role,
+        snap.repl_subscribers,
+        snap.repl_segments_shipped,
+        snap.repl_bytes_shipped,
+        snap.repl_acked_generation,
+        snap.repl_acked_seq,
+        snap.repl_lag_records
     ));
     out.push_str(&format!("\"tenant_count\":{},\"tenants\":[", snap.tenant_count));
     let rows = snap.tenant_count.min(shieldstore::MAX_TENANT_STATS as u64) as usize;

@@ -21,6 +21,7 @@ fn status_err(status: Status, what: &str) -> NetError {
         Status::Busy => NetError::Busy,
         Status::Quarantined => NetError::Quarantined,
         Status::QuotaExceeded => NetError::QuotaExceeded,
+        Status::ReadOnly => NetError::ReadOnly,
         _ => NetError::Protocol(format!("server rejected {what}")),
     }
 }
@@ -279,13 +280,74 @@ impl KvClient {
     }
 
     /// Durability barrier: asks the server to commit every operation
-    /// buffered in its write-ahead log before returning. Ok on a server
-    /// without a WAL (there is nothing to flush).
-    pub fn flush(&mut self) -> Result<()> {
+    /// buffered in its write-ahead log before returning. Returns the
+    /// durable `(generation, seq)` watermark — every earlier write
+    /// survives a crash — or `Ok(None)` on a server without a WAL
+    /// (there is nothing to flush).
+    pub fn flush(&mut self) -> Result<Option<(u64, u64)>> {
         let r = self.call(&Request { op: OpCode::Flush, key: Vec::new(), value: Vec::new() })?;
         match r.status {
-            Status::Ok => Ok(()),
+            Status::Ok if r.value.is_empty() => Ok(None),
+            Status::Ok => protocol::decode_watermark(&r.value).map(Some),
             s => Err(status_err(s, "flush of the write-ahead log")),
+        }
+    }
+
+    /// Registers this connection's owner as a replication subscriber on
+    /// a primary, returning the decoded hello (log keys + start
+    /// position). Secure sessions only — the hello carries key material.
+    pub fn repl_subscribe(&mut self) -> Result<shieldstore::ReplHello> {
+        let r =
+            self.call(&Request { op: OpCode::ReplSubscribe, key: Vec::new(), value: Vec::new() })?;
+        match r.status {
+            Status::Ok => shieldstore::ReplHello::decode(&r.value)
+                .ok_or_else(|| NetError::Protocol("malformed replication hello".into())),
+            s => Err(status_err(s, "replication subscribe (no WAL, or truncated log?)")),
+        }
+    }
+
+    /// Polls the primary for the next sealed log batch after
+    /// `(generation, after_seq)`, bounded by `max_bytes`.
+    pub fn repl_segment(
+        &mut self,
+        generation: u64,
+        after_seq: u64,
+        max_bytes: u32,
+    ) -> Result<shieldstore::ReplBatch> {
+        let r = self.call(&Request {
+            op: OpCode::ReplSegment,
+            key: Vec::new(),
+            value: protocol::encode_repl_poll(generation, after_seq, max_bytes),
+        })?;
+        match r.status {
+            Status::Ok => shieldstore::ReplBatch::decode(&r.value)
+                .ok_or_else(|| NetError::Protocol("malformed replication batch".into())),
+            s => Err(status_err(s, "replication segment poll")),
+        }
+    }
+
+    /// Reports `subscriber`'s verified-and-applied watermark to the
+    /// primary.
+    pub fn repl_ack(&mut self, subscriber: u64, generation: u64, seq: u64) -> Result<()> {
+        let r = self.call(&Request {
+            op: OpCode::ReplAck,
+            key: Vec::new(),
+            value: protocol::encode_repl_ack(subscriber, generation, seq),
+        })?;
+        match r.status {
+            Status::Ok => Ok(()),
+            s => Err(status_err(s, "replication ack (ran ahead of durable?)")),
+        }
+    }
+
+    /// Asks a replica server to promote itself to primary, returning
+    /// the promoted `(generation, seq)` watermark. Non-replica servers
+    /// answer an error.
+    pub fn promote(&mut self) -> Result<(u64, u64)> {
+        let r = self.call(&Request { op: OpCode::Promote, key: Vec::new(), value: Vec::new() })?;
+        match r.status {
+            Status::Ok => protocol::decode_watermark(&r.value),
+            s => Err(status_err(s, "promotion (not a replica, or fenced?)")),
         }
     }
 
@@ -581,7 +643,7 @@ impl RetryClient {
 
     /// [`KvClient::flush`] with transparent retry and reconnect (a
     /// durability barrier is idempotent).
-    pub fn flush(&mut self) -> Result<()> {
+    pub fn flush(&mut self) -> Result<Option<(u64, u64)>> {
         self.run_op(true, |c| c.flush())
     }
 

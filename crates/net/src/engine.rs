@@ -637,6 +637,15 @@ impl EventLoop {
             // latency bounded.
             shared.state.gauges.shed_requests.fetch_add(1, Ordering::Relaxed);
             Response::busy()
+        } else if !shared.config.secure
+            && matches!(
+                request.op,
+                OpCode::ReplSubscribe | OpCode::ReplSegment | OpCode::ReplAck | OpCode::Promote
+            )
+        {
+            // Replication frames carry log keys and fencing authority;
+            // they only ever ride the attested channel.
+            Response::error()
         } else {
             execute_with(&*shared.store, request, tenant, Some(&shared.state))
         };

@@ -30,6 +30,8 @@
 //! * [`server`] — the store server with ECALL/HotCalls request paths.
 //! * [`admission`] — weighted fair per-tenant admission control.
 //! * [`client`] — a client handle and a concurrent load driver.
+//! * [`repl`] — attested replicas: sealed-log streaming, read
+//!   scale-out, verifiable failover (see `DESIGN.md` § "Replication").
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +44,7 @@ pub mod machine;
 pub mod poller;
 pub mod protocol;
 pub mod proxy;
+pub mod repl;
 pub mod server;
 pub mod session;
 
@@ -51,6 +54,7 @@ pub use frame::FrameDecoder;
 pub use machine::{CloseReason, ConnMachine, ConnPhase};
 pub use protocol::{OpCode, Request, Response, Status};
 pub use proxy::{FaultPlan, FaultProxy, FrameFault};
+pub use repl::{ReplicaBackend, ReplicaConfig, ReplicaHandle, ReplicaNode};
 pub use server::{CrossingMode, NetGauges, Server, ServerConfig};
 
 /// Errors surfaced by the networked components.
@@ -73,6 +77,9 @@ pub enum NetError {
     /// executed. Retrying is pointless until data is deleted or the
     /// quota raised.
     QuotaExceeded,
+    /// The server is a read-only replica; the mutation was not executed.
+    /// Send writes to the primary (or wait for this node's promotion).
+    ReadOnly,
 }
 
 impl std::fmt::Display for NetError {
@@ -87,6 +94,9 @@ impl std::fmt::Display for NetError {
             }
             NetError::QuotaExceeded => {
                 write!(f, "tenant quota exceeded: write rejected")
+            }
+            NetError::ReadOnly => {
+                write!(f, "server is a read-only replica: write not executed")
             }
         }
     }

@@ -70,6 +70,23 @@ pub enum OpCode {
     /// [`encode_set_ttl`] payload carrying the relative TTL and the
     /// actual value. Stores without expiry support answer `Error`.
     SetTtl = 12,
+    /// Start a replication subscription (secure channel only): `key`
+    /// and `value` are empty. The response value is a
+    /// [`shieldstore::ReplHello`] payload carrying the log keys — the
+    /// reason this opcode is refused outside an attested session.
+    ReplSubscribe = 13,
+    /// Poll one batch of the sealed replication stream: `value` is an
+    /// [`encode_repl_poll`] payload naming the subscriber's position.
+    /// The response value is a [`shieldstore::ReplBatch`] payload.
+    ReplSegment = 14,
+    /// Report a replica's applied watermark: `value` is an
+    /// [`encode_repl_ack`] payload. The response carries no value.
+    ReplAck = 15,
+    /// Promote the serving replica to primary (secure channel only):
+    /// `key` and `value` are empty. The response value is the promoted
+    /// [`encode_watermark`] position. Non-replica servers answer
+    /// `Error`.
+    Promote = 16,
 }
 
 impl OpCode {
@@ -88,6 +105,10 @@ impl OpCode {
             10 => OpCode::Stats,
             11 => OpCode::Flush,
             12 => OpCode::SetTtl,
+            13 => OpCode::ReplSubscribe,
+            14 => OpCode::ReplSegment,
+            15 => OpCode::ReplAck,
+            16 => OpCode::Promote,
             other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -115,6 +136,10 @@ pub enum Status {
     /// operation was **not** executed; the tenant must delete data (or
     /// get its quota raised) before retrying.
     QuotaExceeded = 5,
+    /// The server is a replica serving reads only; the mutation was
+    /// **not** executed. Retry against the primary (or after this
+    /// replica is promoted).
+    ReadOnly = 6,
 }
 
 impl Status {
@@ -127,6 +152,7 @@ impl Status {
             3 => Status::Busy,
             4 => Status::Quarantined,
             5 => Status::QuotaExceeded,
+            6 => Status::ReadOnly,
             other => return Err(NetError::Protocol(format!("unknown status {other}"))),
         })
     }
@@ -217,6 +243,11 @@ impl Response {
     /// Shorthand for QuotaExceeded.
     pub fn quota_exceeded() -> Self {
         Self { status: Status::QuotaExceeded, value: Vec::new() }
+    }
+
+    /// Shorthand for ReadOnly (replica refused a mutation).
+    pub fn read_only() -> Self {
+        Self { status: Status::ReadOnly, value: Vec::new() }
     }
 
     /// Serializes the response body.
@@ -331,6 +362,82 @@ pub fn decode_set_ttl(bytes: &[u8]) -> Result<(u64, &[u8])> {
     Ok((ttl, &bytes[8..]))
 }
 
+/// Encodes a `(generation, seq)` watermark: `[gen u64 | seq u64]`.
+/// Used by the `Flush` response (empty value = the server has no WAL)
+/// and the `Promote` response.
+pub fn encode_watermark(generation: u64, seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out
+}
+
+/// Decodes a payload produced by [`encode_watermark`]; rejects any
+/// other length.
+pub fn decode_watermark(bytes: &[u8]) -> Result<(u64, u64)> {
+    if bytes.len() != 16 {
+        return Err(NetError::Protocol(format!(
+            "watermark payload must be 16 bytes, got {}",
+            bytes.len()
+        )));
+    }
+    Ok((
+        u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+        u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+    ))
+}
+
+/// Encodes a `ReplSegment` request value: the subscriber's stream
+/// position and byte budget, `[generation u64 | after_seq u64 |
+/// max_bytes u32]`.
+pub fn encode_repl_poll(generation: u64, after_seq: u64, max_bytes: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20);
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&after_seq.to_le_bytes());
+    out.extend_from_slice(&max_bytes.to_le_bytes());
+    out
+}
+
+/// Decodes a payload produced by [`encode_repl_poll`].
+pub fn decode_repl_poll(bytes: &[u8]) -> Result<(u64, u64, u32)> {
+    if bytes.len() != 20 {
+        return Err(NetError::Protocol(format!(
+            "repl poll payload must be 20 bytes, got {}",
+            bytes.len()
+        )));
+    }
+    Ok((
+        u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+        u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+        u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")),
+    ))
+}
+
+/// Encodes a `ReplAck` request value: `[subscriber u64 | generation
+/// u64 | seq u64]`.
+pub fn encode_repl_ack(subscriber: u64, generation: u64, seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    out.extend_from_slice(&subscriber.to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out
+}
+
+/// Decodes a payload produced by [`encode_repl_ack`].
+pub fn decode_repl_ack(bytes: &[u8]) -> Result<(u64, u64, u64)> {
+    if bytes.len() != 24 {
+        return Err(NetError::Protocol(format!(
+            "repl ack payload must be 24 bytes, got {}",
+            bytes.len()
+        )));
+    }
+    Ok((
+        u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+        u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+        u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+    ))
+}
+
 /// Reads the `u32` LE count prefix shared by all batch payloads and
 /// sanity-checks it against the bytes that remain: each entry carries at
 /// least `min_entry_bytes` of header, so a count larger than
@@ -426,7 +533,11 @@ pub fn decode_multi_get_response(bytes: &[u8]) -> Result<Vec<Option<Vec<u8>>>> {
                 }
                 results.push(None);
             }
-            Status::Error | Status::Busy | Status::Quarantined | Status::QuotaExceeded => {
+            Status::Error
+            | Status::Busy
+            | Status::Quarantined
+            | Status::QuotaExceeded
+            | Status::ReadOnly => {
                 return Err(NetError::Protocol(format!(
                     "per-key {status:?} status in multi-get response",
                 )));
@@ -483,8 +594,9 @@ pub fn decode_multi_set(bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
 
 /// Version tag of the [`encode_stats`] layout. Bumped whenever the field
 /// order or width changes, so a stale client fails closed instead of
-/// misreading counters. v6 added the per-tenant block.
-pub const STATS_WIRE_VERSION: u8 = 6;
+/// misreading counters. v6 added the per-tenant block; v7 added the
+/// replication gauges.
+pub const STATS_WIRE_VERSION: u8 = 7;
 
 /// u64 fields serialized per [`shieldstore::TenantStat`] row.
 const TENANT_STAT_FIELDS: usize = 12;
@@ -529,6 +641,8 @@ fn sim_from_array(a: [u64; SIM_FIELDS]) -> sgx_sim::stats::StatsSnapshot {
 ///   ( bucket u64 )x64  [ sum u64 ] [ max u64 ]
 /// [ entries | shards | heap_live | heap_chunks | cache_used | cache_entries ]
 /// [ wal_bytes | wal_records | wal_fsyncs ]
+/// [ repl_role | repl_subscribers | repl_segments_shipped | repl_bytes_shipped ]
+/// [ repl_acked_generation | repl_acked_seq | repl_lag_records ]
 /// [ quarantined_sets | quarantined_shards | shed_requests | refused_connections ]
 /// [ cross_loop_handoffs | event_loops | pending_frames ]
 /// [ crypto_bytes | crypto_ops | crypto_backend ]
@@ -544,7 +658,7 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
     let mut out = Vec::with_capacity(
         2 + 8 * OpStats::FIELDS.len()
             + 5 * 8 * (NUM_BUCKETS + 2)
-            + (19 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) * 8
+            + (26 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) * 8
             + 1
             + 8 * SIM_FIELDS,
     );
@@ -570,6 +684,13 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
         snap.wal_bytes,
         snap.wal_records,
         snap.wal_fsyncs,
+        snap.repl_role,
+        snap.repl_subscribers,
+        snap.repl_segments_shipped,
+        snap.repl_bytes_shipped,
+        snap.repl_acked_generation,
+        snap.repl_acked_seq,
+        snap.repl_lag_records,
         snap.quarantined_sets,
         snap.quarantined_shards,
         snap.shed_requests,
@@ -676,6 +797,13 @@ pub fn decode_stats(bytes: &[u8]) -> Result<shieldstore::StatsSnapshot> {
     snap.wal_bytes = r.u64()?;
     snap.wal_records = r.u64()?;
     snap.wal_fsyncs = r.u64()?;
+    snap.repl_role = r.u64()?;
+    snap.repl_subscribers = r.u64()?;
+    snap.repl_segments_shipped = r.u64()?;
+    snap.repl_bytes_shipped = r.u64()?;
+    snap.repl_acked_generation = r.u64()?;
+    snap.repl_acked_seq = r.u64()?;
+    snap.repl_lag_records = r.u64()?;
     snap.quarantined_sets = r.u64()?;
     snap.quarantined_shards = r.u64()?;
     snap.shed_requests = r.u64()?;
@@ -899,6 +1027,13 @@ mod tests {
         snap.wal_bytes = 2048;
         snap.wal_records = 1;
         snap.wal_fsyncs = 1;
+        snap.repl_role = 1;
+        snap.repl_subscribers = 2;
+        snap.repl_segments_shipped = 11;
+        snap.repl_bytes_shipped = 1 << 16;
+        snap.repl_acked_generation = 3;
+        snap.repl_acked_seq = 900;
+        snap.repl_lag_records = 5;
         snap.quarantined_sets = 2;
         snap.quarantined_shards = 1;
         snap.shed_requests = 13;
@@ -948,10 +1083,30 @@ mod tests {
         let mut snap = sample_snapshot();
         snap.hists.get.record(1_000_000);
         let mut bytes = encode_stats(&snap);
-        let tail = 8 * (19 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) + 1 + 8 * 9;
+        let tail = 8 * (26 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) + 1 + 8 * 9;
         let max_off = bytes.len() - tail - 8;
         bytes[max_off..max_off + 8].copy_from_slice(&1u64.to_le_bytes());
         assert!(decode_stats(&bytes).is_err());
+    }
+
+    #[test]
+    fn repl_payloads_roundtrip() {
+        assert_eq!(decode_watermark(&encode_watermark(7, 1234)).unwrap(), (7, 1234));
+        assert_eq!(decode_repl_poll(&encode_repl_poll(3, 99, 1 << 20)).unwrap(), (3, 99, 1 << 20));
+        assert_eq!(decode_repl_ack(&encode_repl_ack(5, 2, 777)).unwrap(), (5, 2, 777));
+    }
+
+    #[test]
+    fn repl_payloads_reject_bad_lengths() {
+        for len in [0usize, 8, 15, 17, 32] {
+            assert!(decode_watermark(&vec![0u8; len]).is_err(), "watermark len {len}");
+        }
+        for len in [0usize, 16, 19, 21, 24] {
+            assert!(decode_repl_poll(&vec![0u8; len]).is_err(), "poll len {len}");
+        }
+        for len in [0usize, 16, 20, 23, 25] {
+            assert!(decode_repl_ack(&vec![0u8; len]).is_err(), "ack len {len}");
+        }
     }
 
     #[test]

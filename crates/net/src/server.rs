@@ -309,6 +309,7 @@ fn fail_status(e: OpError) -> Response {
     match e {
         OpError::Quarantined => Response::quarantined(),
         OpError::QuotaExceeded => Response::quota_exceeded(),
+        OpError::ReadOnly => Response::read_only(),
         OpError::Failed => Response::error(),
     }
 }
@@ -426,12 +427,51 @@ pub(crate) fn execute_with(
             if !request.key.is_empty() || !request.value.is_empty() {
                 return Response::error();
             }
-            if store.flush() {
-                Response::ok_empty()
-            } else {
-                // A failed commit means the durability guarantee cannot be
-                // given: fail closed.
-                Response::error()
+            // A failed commit means the durability guarantee cannot be
+            // given: fail closed. Success carries the durable watermark
+            // (empty when the store has no WAL).
+            match store.flush_durable() {
+                Ok(Some((gen, seq))) => Response::ok(crate::protocol::encode_watermark(gen, seq)),
+                Ok(None) => Response::ok_empty(),
+                Err(e) => fail_status(e),
+            }
+        }
+        OpCode::ReplSubscribe => {
+            if !request.key.is_empty() || !request.value.is_empty() {
+                return Response::error();
+            }
+            match store.repl_subscribe() {
+                Ok(hello) => Response::ok(hello),
+                Err(e) => fail_status(e),
+            }
+        }
+        OpCode::ReplSegment => {
+            let Ok((gen, after_seq, max_bytes)) = crate::protocol::decode_repl_poll(&request.value)
+            else {
+                return Response::error();
+            };
+            match store.repl_batch(gen, after_seq, max_bytes) {
+                Ok(batch) => Response::ok(batch),
+                Err(e) => fail_status(e),
+            }
+        }
+        OpCode::ReplAck => {
+            let Ok((subscriber, gen, seq)) = crate::protocol::decode_repl_ack(&request.value)
+            else {
+                return Response::error();
+            };
+            match store.repl_ack(subscriber, gen, seq) {
+                Ok(()) => Response::ok_empty(),
+                Err(e) => fail_status(e),
+            }
+        }
+        OpCode::Promote => {
+            if !request.key.is_empty() || !request.value.is_empty() {
+                return Response::error();
+            }
+            match store.promote() {
+                Ok((gen, seq)) => Response::ok(crate::protocol::encode_watermark(gen, seq)),
+                Err(e) => fail_status(e),
             }
         }
     }

@@ -69,6 +69,15 @@ impl PersistentCounter {
         Ok(Self { path, cached: Mutex::new(value) })
     }
 
+    /// Reads the value currently persisted on disk, bypassing the cache.
+    fn persisted(path: &std::path::Path) -> std::io::Result<u64> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(text.trim().parse::<u64>().unwrap_or(0)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Atomically increments, persists, and returns the new value.
     ///
     /// The value file and its directory are fsynced: a hardware counter
@@ -76,9 +85,22 @@ impl PersistentCounter {
     /// power cut roll the persisted value back behind what callers
     /// observed (sealed state is validated against the *returned*
     /// value).
+    ///
+    /// A hardware monotonic counter is a shared platform service: two
+    /// enclave instances bound to the same counter observe each other's
+    /// bumps atomically. The file model approximates that by refusing to
+    /// increment when the persisted value no longer matches this
+    /// instance's view — another instance moved the counter (or the host
+    /// tampered with it), and blindly writing `cached + 1` would roll it
+    /// back.
     pub fn increment(&self) -> std::io::Result<u64> {
         use std::io::Write as _;
         let mut guard = self.cached.lock();
+        if Self::persisted(&self.path)? != *guard {
+            return Err(std::io::Error::other(
+                "monotonic counter moved behind this instance's back",
+            ));
+        }
         let next = *guard + 1;
         let tmp = self.path.with_extension("tmp");
         {
@@ -107,6 +129,19 @@ impl PersistentCounter {
             Err(SimError::CounterRollback)
         } else {
             Ok(())
+        }
+    }
+
+    /// Re-reads the persisted value and verifies it still matches this
+    /// instance's cached view. A mismatch in either direction fails
+    /// closed: a lower value is a host rollback of the counter file, a
+    /// higher one means another instance bound to the same counter
+    /// moved it (the fencing signal replication promotion relies on).
+    pub fn verify_persisted(&self) -> Result<(), SimError> {
+        let guard = self.cached.lock();
+        match Self::persisted(&self.path) {
+            Ok(disk) if disk == *guard => Ok(()),
+            _ => Err(SimError::CounterRollback),
         }
     }
 }
@@ -150,6 +185,27 @@ mod tests {
         let c2 = PersistentCounter::open(&path).unwrap();
         assert_eq!(c2.read(), 2);
         assert_eq!(c2.check_fresh(1), Err(SimError::CounterRollback));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn external_bump_fences_the_stale_instance() {
+        let dir = std::env::temp_dir().join(format!("sgx-sim-fence-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ctr");
+        let _ = std::fs::remove_file(&path);
+
+        let a = PersistentCounter::open(&path).unwrap();
+        a.increment().unwrap();
+        assert!(a.verify_persisted().is_ok());
+
+        // A second instance (a promoting replica) bumps the shared
+        // counter; the first instance is now fenced.
+        let b = PersistentCounter::open(&path).unwrap();
+        b.increment().unwrap();
+        assert_eq!(a.verify_persisted(), Err(SimError::CounterRollback));
+        assert!(a.increment().is_err(), "a fenced instance must not clobber the counter");
+        assert_eq!(PersistentCounter::open(&path).unwrap().read(), 2);
         std::fs::remove_file(&path).ok();
     }
 
