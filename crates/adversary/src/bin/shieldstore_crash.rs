@@ -33,6 +33,14 @@
 //!   population) nor early-expire a live one (every acknowledged live
 //!   key is served byte-exact). Absolute deadlines keep the cell
 //!   immune to wall-clock skew between the two processes.
+//! * `storage` — strict writes through a fault-injecting filesystem:
+//!   instead of an abort fuse, the kill-point picks the n-th durable
+//!   I/O call that *fails* (EIO, ENOSPC, short write, or a lying
+//!   fsync, by seed). The child checks the writer poisons — the first
+//!   `StorageFailed` makes every later write answer the same — then
+//!   simulates power loss and exits. Recovery must yield exactly the
+//!   acknowledged prefix: a record whose sync failed or never ran
+//!   cannot survive the cut.
 //!
 //! In every case each recovered value must be byte-exact and no
 //! phantom keys may appear.
@@ -46,10 +54,21 @@
 
 use sgx_sim::counter::PersistentCounter;
 use sgx_sim::enclave::{Enclave, EnclaveBuilder};
+use sgx_sim::storage::{FaultFs, FaultKind, FaultOp, FaultSpec, StorageFs};
 use shieldstore::{ttl, Config, DurabilityPolicy, Error, ShieldStore};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Storage-mode fault sites, cycled by seed: the commit path's log
+/// append and its fsync, failing every way a disk can.
+const STORAGE_SITES: &[(FaultOp, &str, FaultKind)] = &[
+    (FaultOp::Write, "wal-", FaultKind::Enospc),
+    (FaultOp::Write, "wal-", FaultKind::ShortWrite),
+    (FaultOp::Write, "wal-", FaultKind::Eio),
+    (FaultOp::SyncData, "wal-", FaultKind::SyncFail),
+    (FaultOp::SyncData, "wal-", FaultKind::Eio),
+];
 
 /// Frozen "wall clock" the expiry-mode child writes under. An absolute
 /// anchor (not `now`) so child and parent agree without sharing state.
@@ -86,7 +105,10 @@ fn policy_from_tag(tag: &str) -> DurabilityPolicy {
         // `expiry` writes strictly too, but every op carries an
         // absolute deadline so the kill points land with expiries in
         // flight on the WAL.
-        "strict" | "snapshot" | "expiry" => DurabilityPolicy::Strict,
+        // `storage` writes strictly through a fault-injecting
+        // filesystem; the kill point is the n-th durable I/O call that
+        // fails instead of the n-th crash-fuse boundary.
+        "strict" | "snapshot" | "expiry" | "storage" => DurabilityPolicy::Strict,
         "group4" => DurabilityPolicy::EveryN(4),
         other => panic!("unknown policy tag {other:?}"),
     }
@@ -127,6 +149,10 @@ fn run_child() {
     let tag = std::env::var(POLICY_ENV).expect("policy tag");
     let snapshot_mode = tag == "snapshot";
     let expiry_mode = tag == "expiry";
+    if tag == "storage" {
+        run_storage_child(&dir, seed, fuse as u64, ops);
+        return;
+    }
     let policy = policy_from_tag(&tag);
 
     let mut progress = std::fs::OpenOptions::new()
@@ -186,6 +212,52 @@ fn run_child() {
     store.flush_wal().expect("final flush");
 }
 
+/// Storage-mode child: the `kill`-th matching durable I/O call fails
+/// (site by seed), the writer must poison fail-closed, and the run ends
+/// in a simulated power cut. Exits non-zero iff the fault fired.
+fn run_storage_child(dir: &Path, seed: u64, kill: u64, ops: u64) {
+    let ffs = Arc::new(FaultFs::new());
+    let store = ShieldStore::new_with_storage(
+        enclave(seed),
+        config(DurabilityPolicy::Strict),
+        Arc::clone(&ffs) as Arc<dyn StorageFs>,
+    )
+    .expect("store");
+    store.attach_wal(dir.join("wal")).expect("attach wal");
+
+    let mut progress = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(dir.join("progress"))
+        .expect("progress file");
+
+    let (op, path, kind) = STORAGE_SITES[(seed as usize) % STORAGE_SITES.len()];
+    ffs.inject(FaultSpec { op, path_substr: path.into(), nth: kill, kind });
+
+    for step in 0..ops {
+        match store.set(&key_bytes(step), &value_bytes(seed, step)) {
+            Ok(()) => progress.write_all(b"+\n").expect("progress write"),
+            Err(Error::StorageFailed) => {
+                // Fail-closed: the poisoned writer refuses every later
+                // mutation while reads keep serving the acked prefix.
+                assert!(
+                    matches!(store.set(b"poisoned-probe", b"x"), Err(Error::StorageFailed)),
+                    "writer accepted a mutation after poisoning"
+                );
+                if step > 0 {
+                    store.get(&key_bytes(step - 1)).expect("acked read under poison");
+                }
+                ffs.power_cut().expect("power cut");
+                std::process::exit(3);
+            }
+            Err(e) => panic!("unexpected set error: {e:?}"),
+        }
+    }
+    // The fault never fired (kill point past the run): finish cleanly.
+    ffs.clear_faults();
+    store.flush_wal().expect("final flush");
+}
+
 // ---------------------------------------------------------------------
 // Parent: spawn the matrix, recover each cell, check the window
 // ---------------------------------------------------------------------
@@ -236,7 +308,7 @@ fn run_parent() {
 
     for seed in args.start..args.start + args.seeds {
         for kill in 1..=args.kill_points {
-            for tag in ["strict", "group4", "snapshot", "expiry"] {
+            for tag in ["strict", "group4", "snapshot", "expiry", "storage"] {
                 cells += 1;
                 let dir = std::env::temp_dir()
                     .join(format!("ss-crash-{}-{seed}-{kill}-{tag}", std::process::id()));
@@ -267,7 +339,7 @@ fn run_parent() {
     }
 
     println!(
-        "crash-matrix: {cells} cells ({} seeds x {} kill-points x 4 modes), \
+        "crash-matrix: {cells} cells ({} seeds x {} kill-points x 5 modes), \
          {crashes} aborted mid-commit, {clean_runs} ran to completion, {}",
         args.seeds,
         args.kill_points,
@@ -296,6 +368,9 @@ fn check_cell(seed: u64, tag: &str, dir: &Path, ops: u64, clean_exit: bool) -> R
     let acked = std::fs::read(dir.join("progress"))
         .map(|b| b.iter().filter(|&&c| c == b'\n').count() as u64)
         .unwrap_or(0);
+    if tag == "storage" {
+        return check_storage_cell(seed, dir, ops, clean_exit, acked);
+    }
     let policy = policy_from_tag(tag);
     let counter = PersistentCounter::open(dir.join("snapctr"))
         .map_err(|e| format!("snapshot counter: {e}"))?;
@@ -346,6 +421,54 @@ fn check_cell(seed: u64, tag: &str, dir: &Path, ops: u64, clean_exit: bool) -> R
         }
     }
     // The recovered store must accept new writes in the same generation.
+    store.set(b"post-recovery", b"ok").map_err(|e| format!("post-recovery write: {e:?}"))?;
+    store
+        .snapshot()
+        .check_consistent()
+        .map_err(|detail| format!("stats invariant after recovery: {detail}"))?;
+    Ok(())
+}
+
+/// Recovers one storage-mode cell. The child power-cut after the
+/// injected fault, so recovery must yield *exactly* the acknowledged
+/// prefix: the faulted op's bytes were never synced and cannot survive,
+/// and anything acked was committed durably first.
+fn check_storage_cell(
+    seed: u64,
+    dir: &Path,
+    ops: u64,
+    clean_exit: bool,
+    acked: u64,
+) -> Result<(), String> {
+    let counter = PersistentCounter::open(dir.join("snapctr"))
+        .map_err(|e| format!("snapshot counter: {e}"))?;
+    let store = ShieldStore::recover(
+        enclave(seed),
+        config(DurabilityPolicy::Strict),
+        None,
+        &counter,
+        dir.join("wal"),
+    )
+    .map_err(|e| format!("recovery failed: {e:?} (acked={acked})"))?;
+    let recovered = store.len() as u64;
+    let in_window = if clean_exit { acked == ops && recovered == ops } else { recovered == acked };
+    if !in_window {
+        return Err(format!(
+            "recovered {recovered} ops, acknowledged {acked} (clean_exit={clean_exit}): \
+             a power cut after a storage fault must preserve exactly the acked prefix"
+        ));
+    }
+    for step in 0..recovered {
+        match store.get(&key_bytes(step)) {
+            Ok(v) if v == value_bytes(seed, step) => {}
+            other => {
+                return Err(format!(
+                    "key {step} recovered as {other:?}, expected the acknowledged value"
+                ));
+            }
+        }
+    }
+    // The fresh writer (new process, healthy disk) accepts writes again.
     store.set(b"post-recovery", b"ok").map_err(|e| format!("post-recovery write: {e:?}"))?;
     store
         .snapshot()

@@ -30,6 +30,11 @@
 //!   stale and foreign-key promotions against a live primary, batch
 //!   truncation/corruption in flight), proving fencing and the sealed
 //!   stream's fail-closed chain.
+//! * [`storagephase`] — storage-fault attacks (commit-path I/O errors
+//!   that must poison the writer fail-closed, power cuts that must
+//!   preserve exactly the acked prefix, sealed-segment and pin rot that
+//!   the scrubber must detect, and forged repair payloads that the
+//!   chain check must refuse while genuine ones restore service).
 //!
 //! The invariant checked after every step is the *trichotomy*: the
 //! result matches the model, or the operation failed with an integrity
@@ -39,6 +44,7 @@ pub mod engine;
 pub mod model;
 pub mod replphase;
 pub mod snapshot;
+pub mod storagephase;
 pub mod tenantphase;
 pub mod walphase;
 pub mod wire;
@@ -52,6 +58,7 @@ pub struct SeedReport {
     pub wire: wire::WireReport,
     pub tenant: tenantphase::TenantReport,
     pub repl: replphase::ReplReport,
+    pub storage: storagephase::StorageReport,
 }
 
 /// Runs every phase for one seed. `store_steps` sizes the chaotic
@@ -63,5 +70,6 @@ pub fn run_seed(seed: u64, store_steps: u64) -> Result<SeedReport, model::Violat
     let wire = wire::run_wire_phase(seed)?;
     let tenant = tenantphase::run_tenant_phase(seed)?;
     let repl = replphase::run_repl_phase(seed)?;
-    Ok(SeedReport { store, snapshot, wal, wire, tenant, repl })
+    let storage = storagephase::run_storage_phase(seed)?;
+    Ok(SeedReport { store, snapshot, wal, wire, tenant, repl, storage })
 }

@@ -71,6 +71,7 @@ fn main() {
     let mut by_kind = [0u64; engine::CATALOG.len()];
     let mut tenant = adversary::tenantphase::TenantReport::default();
     let mut repl = adversary::replphase::ReplReport::default();
+    let mut storage = adversary::storagephase::StorageReport::default();
     let mut failed_seeds: Vec<u64> = Vec::new();
 
     for seed in args.start..args.start + args.count {
@@ -82,19 +83,24 @@ fn main() {
         };
         match outcome {
             Ok(report) => {
-                totals.0 +=
-                    report.store.ops + report.wire.ops + report.tenant.ops + report.repl.ops;
+                totals.0 += report.store.ops
+                    + report.wire.ops
+                    + report.tenant.ops
+                    + report.repl.ops
+                    + report.storage.ops;
                 totals.1 += report.store.attacks
                     + report.snapshot.corruptions
                     + report.wal.attacks
                     + report.wire.faults
                     + report.tenant.attacks
-                    + report.repl.attacks;
+                    + report.repl.attacks
+                    + report.storage.attacks;
                 totals.2 += report.store.detected
                     + report.snapshot.detected
                     + report.wal.detected
                     + report.tenant.detected
-                    + report.repl.detected;
+                    + report.repl.detected
+                    + report.storage.detected;
                 tenant.ops += report.tenant.ops;
                 tenant.attacks += report.tenant.attacks;
                 tenant.detected += report.tenant.detected;
@@ -108,8 +114,14 @@ fn main() {
                 repl.split_brains += report.repl.split_brains;
                 repl.stale_promotions += report.repl.stale_promotions;
                 repl.truncations += report.repl.truncations;
+                storage.ops += report.storage.ops;
+                storage.attacks += report.storage.attacks;
+                storage.detected += report.storage.detected;
+                storage.poisoned += report.storage.poisoned;
+                storage.power_cuts += report.storage.power_cuts;
+                storage.repairs += report.storage.repairs;
                 totals.3 += report.wire.faults;
-                totals.4 += report.wal.cycles;
+                totals.4 += report.wal.cycles + report.storage.power_cuts;
                 for (total, landed) in by_kind.iter_mut().zip(report.store.attacks_by_kind) {
                     *total += landed;
                 }
@@ -167,6 +179,16 @@ fn main() {
             repl.truncations,
             repl.detected,
         );
+        println!(
+            "storage phase: {} ops, {} faults injected, {} detections \
+             ({} writers poisoned, {} power cuts, {} verified repairs)",
+            storage.ops,
+            storage.attacks,
+            storage.detected,
+            storage.poisoned,
+            storage.power_cuts,
+            storage.repairs,
+        );
     }
     println!("attack coverage:");
     for (kind, landed) in engine::CATALOG.iter().zip(by_kind) {
@@ -198,7 +220,16 @@ fn main() {
     );
 
     if let Some(path) = &args.report {
-        let json = report_json(&args, totals, &by_kind, &overload, &tenant, &repl, &failed_seeds);
+        let json = report_json(
+            &args,
+            totals,
+            &by_kind,
+            &overload,
+            &tenant,
+            &repl,
+            &storage,
+            &failed_seeds,
+        );
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
@@ -214,6 +245,7 @@ fn main() {
 
 /// Hand-rolled JSON summary (no serde in the tree): run parameters,
 /// totals, per-attack-kind landed counts, and any failing seeds.
+#[allow(clippy::too_many_arguments)]
 fn report_json(
     args: &Args,
     totals: (u64, u64, u64, u64, u64),
@@ -221,6 +253,7 @@ fn report_json(
     overload: &adversary::wire::OverloadReport,
     tenant: &adversary::tenantphase::TenantReport,
     repl: &adversary::replphase::ReplReport,
+    storage: &adversary::storagephase::StorageReport,
     failed_seeds: &[u64],
 ) -> String {
     let mut out = String::from("{\n");
@@ -271,6 +304,14 @@ fn report_json(
     out.push_str(&format!("      \"stale_promotion\": {},\n", repl.stale_promotions));
     out.push_str(&format!("      \"truncation_in_flight\": {}\n", repl.truncations));
     out.push_str("    }\n");
+    out.push_str("  },\n");
+    out.push_str("  \"storage\": {\n");
+    out.push_str(&format!("    \"ops\": {},\n", storage.ops));
+    out.push_str(&format!("    \"faults_injected\": {},\n", storage.attacks));
+    out.push_str(&format!("    \"detections\": {},\n", storage.detected));
+    out.push_str(&format!("    \"writers_poisoned\": {},\n", storage.poisoned));
+    out.push_str(&format!("    \"power_cuts\": {},\n", storage.power_cuts));
+    out.push_str(&format!("    \"verified_repairs\": {}\n", storage.repairs));
     out.push_str("  },\n");
     let seeds: Vec<String> = failed_seeds.iter().map(u64::to_string).collect();
     out.push_str(&format!("  \"failed_seeds\": [{}]\n", seeds.join(", ")));

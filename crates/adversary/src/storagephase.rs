@@ -1,0 +1,321 @@
+//! Storage-fault attacks: the adversary owns the disk's failure modes.
+//!
+//! Three scripted scenarios per seed, all deterministic:
+//!
+//! 1. **Fault under load** — a random commit-path I/O call fails (EIO,
+//!    ENOSPC, short write, or a lying fsync, by seed). The writer must
+//!    poison fail-closed (every later mutation answers
+//!    [`shieldstore::Error::StorageFailed`], reads keep serving), and
+//!    after a simulated power cut recovery must replay *exactly* the
+//!    acknowledged prefix against the shadow model.
+//! 2. **Segment rot, forged repair, genuine repair** — a sealed WAL
+//!    byte flips on disk. The scrubber must find it and quarantine
+//!    writes; a bit-flipped repair payload from a "lying peer" must be
+//!    refused with the quarantine held; the genuine frames (from a
+//!    journaling replica) must verify, swap in, and restore service.
+//! 3. **Pin rot** — the sealed freshness pin flips a byte. The scrubber
+//!    must detect it and self-repair from in-enclave state, leaving the
+//!    store writable and recoverable.
+
+use crate::model::Violation;
+use sgx_sim::counter::PersistentCounter;
+use sgx_sim::enclave::{Enclave, EnclaveBuilder};
+use sgx_sim::storage::{FaultFs, FaultKind, FaultOp, FaultSpec, StorageFs};
+use shield_workload::rng::SplitMix64;
+use shieldstore::{Config, DurabilityPolicy, Error, Replica, ShieldStore};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Accounting for the storage-fault phase.
+#[derive(Debug, Default, Clone)]
+pub struct StorageReport {
+    /// Acknowledged operations across all scenarios.
+    pub ops: u64,
+    /// Storage faults and corruptions injected.
+    pub attacks: u64,
+    /// Faults detected (writer poisoned, scrub finding, forged repair
+    /// refused).
+    pub detected: u64,
+    /// Writers driven into the fail-closed poisoned state.
+    pub poisoned: u64,
+    /// Simulated power cuts survived with the acked prefix intact.
+    pub power_cuts: u64,
+    /// Verified segment/pin repairs that restored service.
+    pub repairs: u64,
+}
+
+const COMMIT_SITES: &[(FaultOp, &str, FaultKind)] = &[
+    (FaultOp::Write, "wal-", FaultKind::Eio),
+    (FaultOp::Write, "wal-", FaultKind::Enospc),
+    (FaultOp::Write, "wal-", FaultKind::ShortWrite),
+    (FaultOp::SyncData, "wal-", FaultKind::SyncFail),
+    (FaultOp::SyncData, "wal-", FaultKind::Eio),
+];
+
+fn config() -> Config {
+    Config::shield_opt()
+        .buckets(64)
+        .mac_hashes(16)
+        .with_shards(2)
+        .with_durability(DurabilityPolicy::Strict)
+}
+
+fn enclave(seed: u64) -> Arc<Enclave> {
+    EnclaveBuilder::new("adversary-storage").seed(seed).epc_bytes(8 << 20).build()
+}
+
+fn scratch_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("ss-adversary-storage-{}-{seed}", std::process::id()))
+}
+
+/// Runs the storage-fault phase for one seed.
+pub fn run_storage_phase(seed: u64) -> Result<StorageReport, Violation> {
+    sgx_sim::vclock::reset();
+    let dir = scratch_dir(seed);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let result = run_in_dir(seed, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+    result
+}
+
+fn run_in_dir(seed: u64, dir: &Path) -> Result<StorageReport, Violation> {
+    let mut report = StorageReport::default();
+    let mut rng = SplitMix64::new(seed ^ 0xd15c_fa11_0bad_d15c);
+    fault_under_load(seed, dir, &mut rng, &mut report)?;
+    segment_rot_and_repair(seed, dir, &mut report)?;
+    pin_rot_self_repair(seed, dir, &mut report)?;
+    Ok(report)
+}
+
+fn fail(context: &str, detail: String) -> Violation {
+    Violation { context: format!("storage phase: {context}"), detail }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 1: commit-path fault, poison, power cut, exact recovery
+// ---------------------------------------------------------------------
+
+fn fault_under_load(
+    seed: u64,
+    dir: &Path,
+    rng: &mut SplitMix64,
+    report: &mut StorageReport,
+) -> Result<(), Violation> {
+    let wal_dir = dir.join("fault-wal");
+    let ffs = Arc::new(FaultFs::new());
+    let store = ShieldStore::new_with_storage(
+        enclave(seed),
+        config(),
+        Arc::clone(&ffs) as Arc<dyn StorageFs>,
+    )
+    .expect("store");
+    store.attach_wal(&wal_dir).expect("attach wal");
+
+    let total = 16 + rng.next_below(16);
+    let fault_at = 2 + rng.next_below(total - 2);
+    let (op, path, kind) = COMMIT_SITES[rng.next_below(COMMIT_SITES.len() as u64) as usize];
+    ffs.inject(FaultSpec { op, path_substr: path.into(), nth: fault_at, kind });
+    report.attacks += 1;
+
+    let mut shadow: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    let mut poisoned = false;
+    for step in 0..total {
+        let key = format!("sf-{step}").into_bytes();
+        let value = format!("sv-{seed}-{step}").into_bytes();
+        match store.set(&key, &value) {
+            Ok(()) if !poisoned => {
+                shadow.insert(key, value);
+                report.ops += 1;
+            }
+            Ok(()) => {
+                return Err(fail(
+                    "fault under load",
+                    format!("write acked after the writer poisoned ({op:?}/{kind:?})"),
+                ));
+            }
+            Err(Error::StorageFailed) => poisoned = true,
+            Err(e) => {
+                return Err(fail("fault under load", format!("unexpected error {e:?}")));
+            }
+        }
+    }
+    if !poisoned {
+        return Err(fail(
+            "fault under load",
+            format!("armed fault {op:?}/{kind:?} at nth={fault_at} never fired in {total} ops"),
+        ));
+    }
+    report.detected += 1;
+    report.poisoned += 1;
+
+    // Reads keep serving the acked state under poison.
+    for (key, value) in &shadow {
+        match store.get(key) {
+            Ok(v) if v == *value => {}
+            other => {
+                return Err(fail(
+                    "fault under load",
+                    format!("poisoned store misread an acked key: {other:?}"),
+                ));
+            }
+        }
+    }
+
+    ffs.power_cut().expect("power cut");
+    drop(store);
+    report.power_cuts += 1;
+    let counter = PersistentCounter::open(dir.join("fault-ctr")).expect("counter");
+    let recovered = ShieldStore::recover(enclave(seed), config(), None, &counter, &wal_dir)
+        .map_err(|e| fail("fault under load", format!("recovery failed: {e:?}")))?;
+    crate::walphase::verify_state(&recovered, &shadow, "storage phase: power-cut recovery")?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Scenario 2: segment rot → quarantine → forged repair refused →
+// genuine repair restores service
+// ---------------------------------------------------------------------
+
+fn segment_rot_and_repair(
+    seed: u64,
+    dir: &Path,
+    report: &mut StorageReport,
+) -> Result<(), Violation> {
+    let wal_dir = dir.join("rot-wal");
+    let store = Arc::new(ShieldStore::new(enclave(seed ^ 1), config()).expect("store"));
+    store.attach_wal(&wal_dir).expect("attach wal");
+
+    let hello = store.repl_subscribe().expect("subscribe");
+    let rstore = Arc::new(ShieldStore::new(enclave(seed ^ 2), config()).expect("replica store"));
+    let mut replica = Replica::with_journal(Arc::clone(&rstore), &hello, &dir.join("rot-journal"))
+        .expect("journaling replica");
+    for step in 0..16u64 {
+        store.set(format!("rot-{step}").as_bytes(), format!("rv-{step}").as_bytes()).unwrap();
+        report.ops += 1;
+    }
+    loop {
+        let wm = replica.watermark();
+        let batch = store.repl_batch(wm.generation, wm.seq, 1 << 20).expect("batch");
+        if batch.count == 0 && batch.advance_to.is_none() {
+            break;
+        }
+        replica.apply_batch(&batch).expect("apply");
+    }
+
+    // Rot a sealed byte at a seed-dependent offset past the header.
+    let log = wal_dir.join("wal-0.log");
+    let mut bytes = std::fs::read(&log).expect("read log");
+    let off = 8 + (seed as usize % (bytes.len() - 8));
+    bytes[off] ^= 1u8 << (seed % 8);
+    std::fs::write(&log, &bytes).expect("write rot");
+    report.attacks += 1;
+
+    let mut found = false;
+    for _ in 0..10_000 {
+        let tick = store.scrub_tick(1 << 12).expect("scrub tick");
+        if tick.corrupt_generation == Some(0) {
+            found = true;
+            break;
+        }
+        if tick.pass_completed {
+            break;
+        }
+    }
+    if !found {
+        return Err(fail("segment rot", format!("scrub missed a flipped bit at offset {off}")));
+    }
+    report.detected += 1;
+    if !matches!(store.set(b"rot-probe", b"x"), Err(Error::StorageFailed)) {
+        return Err(fail("segment rot", "quarantined writer accepted a write".into()));
+    }
+    if store.get(b"rot-0").map_or(true, |v| v != b"rv-0") {
+        return Err(fail("segment rot", "reads stopped serving under quarantine".into()));
+    }
+
+    // Collect the genuine frames from the journal.
+    let mut genuine = Vec::new();
+    let mut after = 0u64;
+    loop {
+        let b = replica.serve_frames(0, after, 1 << 14).expect("serve frames");
+        if b.count == 0 {
+            break;
+        }
+        after += u64::from(b.count);
+        genuine.extend_from_slice(&b.frames);
+    }
+
+    // A lying peer: one flipped bit anywhere must be refused whole.
+    let mut forged = genuine.clone();
+    let flip = (seed as usize).wrapping_mul(31) % forged.len();
+    forged[flip] ^= 0x10;
+    report.attacks += 1;
+    if store.repair_wal_segment(0, &forged).is_ok() {
+        return Err(fail("segment rot", format!("forged repair accepted (flip at {flip})")));
+    }
+    report.detected += 1;
+    if !matches!(store.set(b"rot-probe-2", b"x"), Err(Error::StorageFailed)) {
+        return Err(fail("segment rot", "refused repair lifted the quarantine".into()));
+    }
+
+    store
+        .repair_wal_segment(0, &genuine)
+        .map_err(|e| fail("segment rot", format!("genuine repair refused: {e:?}")))?;
+    report.repairs += 1;
+    store
+        .set(b"rot-after", b"back")
+        .map_err(|e| fail("segment rot", format!("write after repair failed: {e:?}")))?;
+    report.ops += 1;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Scenario 3: pin rot self-repairs from in-enclave state
+// ---------------------------------------------------------------------
+
+fn pin_rot_self_repair(seed: u64, dir: &Path, report: &mut StorageReport) -> Result<(), Violation> {
+    let wal_dir = dir.join("pin-wal");
+    let store = ShieldStore::new(enclave(seed ^ 3), config()).expect("store");
+    store.attach_wal(&wal_dir).expect("attach wal");
+    for step in 0..8u64 {
+        store.set(format!("pin-{step}").as_bytes(), b"pinned").unwrap();
+        report.ops += 1;
+    }
+
+    let pin = wal_dir.join("wal.pin");
+    let mut bytes = std::fs::read(&pin).expect("read pin");
+    let off = seed as usize % bytes.len();
+    bytes[off] ^= 0x04;
+    std::fs::write(&pin, &bytes).expect("write pin rot");
+    report.attacks += 1;
+
+    let mut flagged = false;
+    for _ in 0..10_000 {
+        let tick = store.scrub_tick(1 << 16).expect("scrub tick");
+        flagged |= tick.pin_corrupt;
+        if tick.pass_completed {
+            break;
+        }
+    }
+    if !flagged {
+        return Err(fail("pin rot", format!("scrub missed a flipped pin byte at {off}")));
+    }
+    report.detected += 1;
+    if store.snapshot().scrub_repaired == 0 {
+        return Err(fail("pin rot", "pin was not rewritten in place".into()));
+    }
+    report.repairs += 1;
+
+    store
+        .set(b"pin-after", b"ok")
+        .map_err(|e| fail("pin rot", format!("write after pin repair failed: {e:?}")))?;
+    report.ops += 1;
+    drop(store);
+    let counter = PersistentCounter::open(dir.join("pin-ctr")).expect("counter");
+    let recovered = ShieldStore::recover(enclave(seed ^ 3), config(), None, &counter, &wal_dir)
+        .map_err(|e| fail("pin rot", format!("recovery after pin repair failed: {e:?}")))?;
+    if recovered.get(b"pin-after").map_or(true, |v| v != b"ok") {
+        return Err(fail("pin rot", "post-repair write lost across recovery".into()));
+    }
+    Ok(())
+}

@@ -139,7 +139,9 @@ fn apply_random_op(
 }
 
 /// Recovered state must be byte-exact against the expected map.
-fn verify_state(
+/// Shared with the storage phase, which checks the same invariant
+/// after a power cut instead of a process kill.
+pub(crate) fn verify_state(
     store: &ShieldStore,
     expected: &HashMap<Vec<u8>, Vec<u8>>,
     context: &str,

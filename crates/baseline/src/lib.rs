@@ -46,6 +46,12 @@ pub enum OpError {
     /// executed. The client should retry against the primary (or wait
     /// for this node's promotion).
     ReadOnly,
+    /// Durable storage failed under the store's write-ahead log and the
+    /// writer is poisoned: this mutation — and every further one on this
+    /// node — fails closed, while reads keep serving. Distinct from
+    /// `Failed` so a serving layer can tell clients to fail over rather
+    /// than retry.
+    StorageFailed,
     /// Any other failure (capacity, integrity violation, malformed
     /// value, …).
     Failed,
@@ -499,6 +505,7 @@ fn op_error(e: shieldstore::Error) -> OpError {
     match e {
         shieldstore::Error::Quarantined { .. } => OpError::Quarantined,
         shieldstore::Error::QuotaExceeded { .. } => OpError::QuotaExceeded,
+        shieldstore::Error::StorageFailed => OpError::StorageFailed,
         _ => OpError::Failed,
     }
 }

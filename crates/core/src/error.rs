@@ -57,6 +57,14 @@ pub enum Error {
         /// The tenant whose quota was hit.
         tenant: u32,
     },
+    /// Durable storage failed underneath the write-ahead log and the
+    /// writer is poisoned: a write, fsync, or pin update did not reach
+    /// disk, so the durable watermark is frozen at the last verified
+    /// commit and every further commit fails closed (retrying an fsync
+    /// after failure can silently lose the unflushed pages — the
+    /// "fsyncgate" semantics). Reads keep serving; recover from the
+    /// on-disk genuine prefix or fail over to a replica.
+    StorageFailed,
 }
 
 impl core::fmt::Display for Error {
@@ -88,6 +96,9 @@ impl core::fmt::Display for Error {
             }
             Error::QuotaExceeded { tenant } => {
                 write!(f, "write exceeds tenant {tenant}'s quota")
+            }
+            Error::StorageFailed => {
+                write!(f, "durable storage failed; the log writer is poisoned")
             }
         }
     }

@@ -53,6 +53,7 @@
 //! | [`persist`] | 4.4, Alg. 1 | snapshots, sealing, rollback defense |
 //! | [`wal`] | beyond 4.4 | sealed write-ahead log, group commit |
 //! | [`repl`] | beyond 4.4 | sealed-log replication, fenced failover |
+//! | [`scrub`] | beyond 4.4 | background re-verification and repair |
 //! | [`store`] | — | the sharded top-level API |
 
 #![forbid(unsafe_code)]
@@ -69,6 +70,7 @@ pub mod mac_bucket;
 pub mod ordered;
 pub mod persist;
 pub mod repl;
+pub mod scrub;
 pub mod shard;
 pub mod stats;
 pub mod store;
@@ -84,6 +86,7 @@ pub use error::{Error, Result};
 pub use hist::{LatencyHist, OpHists};
 pub use persist::SnapshotJob;
 pub use repl::{ReplBatch, ReplHello, Replica, Watermark};
+pub use scrub::ScrubTick;
 pub use shard::Shard;
 pub use stats::{OpStats, StatsSnapshot, TenantStat, MAX_TENANT_STATS};
 pub use store::{QuarantineReport, ShardQuarantine, ShieldStore};

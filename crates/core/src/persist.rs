@@ -28,8 +28,9 @@ use crate::table::TableCtx;
 use sgx_sim::counter::PersistentCounter;
 use sgx_sim::enclave::Enclave;
 use sgx_sim::seal;
+use sgx_sim::storage::{OpenMode, RealFs, StorageFs};
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 // Format v2 ("SSSNAP02"): five sealed raw keys (the fifth is the
@@ -165,12 +166,10 @@ fn write_table(w: &mut impl Write, ctx: &TableCtx) -> std::io::Result<()> {
 
 /// Best-effort fsync of `path`'s parent directory so the rename that
 /// published a snapshot survives power loss.
-fn sync_parent_dir(path: &Path) {
+fn sync_parent_dir(fs: &dyn StorageFs, path: &Path) {
     if let Some(parent) = path.parent() {
         let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
-        if let Ok(f) = std::fs::File::open(dir) {
-            let _ = f.sync_all();
-        }
+        let _ = fs.sync_dir(dir);
     }
 }
 
@@ -206,6 +205,8 @@ pub struct SnapshotJob<'a> {
     /// Snapshot generation being written; WAL rotation commits against it
     /// once the writer's rename is confirmed durable.
     generation: u64,
+    /// Destination path, recorded for the scrubber once durable.
+    path: PathBuf,
 }
 
 impl<'a> SnapshotJob<'a> {
@@ -248,6 +249,7 @@ impl<'a> SnapshotJob<'a> {
         if let Some(wal) = self.store.wal_ref() {
             wal.rotate_commit(self.generation)?;
         }
+        self.store.note_snapshot(&self.path);
         Ok(self.writer_cpu())
     }
 }
@@ -281,9 +283,10 @@ impl ShieldStore {
         };
         let sealed = seal::seal(self.enclave(), &metadata.serialize());
 
+        let fs = self.storage_ref();
         let tmp = path.as_ref().with_extension("tmp");
         {
-            let file = std::fs::File::create(&tmp)?;
+            let file = fs.open(&tmp, OpenMode::Create)?;
             let mut w = BufWriter::new(file);
             w.write_all(MAGIC)?;
             write_u64(&mut w, count)?;
@@ -297,16 +300,17 @@ impl ShieldStore {
             // rotate_commit below deletes the only other durable copy of
             // these operations, so the snapshot must actually be on disk,
             // not in the page cache.
-            w.get_ref().sync_all()?;
+            w.get_mut().sync_all()?;
         }
-        std::fs::rename(&tmp, path.as_ref())?;
-        sync_parent_dir(path.as_ref());
+        fs.rename(&tmp, path.as_ref())?;
+        sync_parent_dir(fs.as_ref(), path.as_ref());
         // The snapshot is durable and captures everything ever logged
         // (shard locks are still held, so no write can race): retire the
         // superseded log generations.
         if let Some(wal) = self.wal_ref() {
             wal.rotate_commit(count)?;
         }
+        self.note_snapshot(path.as_ref());
         Ok(())
     }
 
@@ -346,14 +350,16 @@ impl ShieldStore {
         };
         let sealed = seal::seal(self.enclave(), &metadata.serialize());
         let path = path.as_ref().to_path_buf();
+        let dest = path.clone();
         let writer_cpu_ns = Arc::new(std::sync::atomic::AtomicU64::new(0));
 
         let cpu_slot = Arc::clone(&writer_cpu_ns);
+        let fs = Arc::clone(self.storage_ref());
         let writer = std::thread::spawn(move || -> Result<()> {
             let cpu_start = thread_cpu_ns();
             let tmp = path.with_extension("tmp");
             {
-                let file = std::fs::File::create(&tmp)?;
+                let file = fs.open(&tmp, OpenMode::Create)?;
                 let mut w = BufWriter::new(file);
                 w.write_all(MAGIC)?;
                 write_u64(&mut w, count)?;
@@ -366,10 +372,10 @@ impl ShieldStore {
                 w.flush()?;
                 // The old log generation is deleted once this snapshot is
                 // declared durable: make it actually so.
-                w.get_ref().sync_all()?;
+                w.get_mut().sync_all()?;
             }
-            std::fs::rename(&tmp, &path)?;
-            sync_parent_dir(&path);
+            fs.rename(&tmp, &path)?;
+            sync_parent_dir(fs.as_ref(), &path);
             // Drop the frozen Arcs so unfreeze() can reclaim the tables.
             drop(frozen);
             cpu_slot.store(
@@ -379,7 +385,13 @@ impl ShieldStore {
             Ok(())
         });
 
-        Ok(SnapshotJob { store: self, writer: Some(writer), writer_cpu_ns, generation: count })
+        Ok(SnapshotJob {
+            store: self,
+            writer: Some(writer),
+            writer_cpu_ns,
+            generation: count,
+            path: dest,
+        })
     }
 
     /// Restores a store from a snapshot written by this enclave identity.
@@ -394,7 +406,7 @@ impl ShieldStore {
         path: impl AsRef<Path>,
         counter: &PersistentCounter,
     ) -> Result<ShieldStore> {
-        Self::restore_inner(enclave, config, path.as_ref(), Some(counter))
+        Self::restore_inner(enclave, config, path.as_ref(), Some(counter), RealFs::shared())
     }
 
     /// [`ShieldStore::restore`] with the monotonic-counter freshness
@@ -409,9 +421,10 @@ impl ShieldStore {
         config: Config,
         path: &Path,
         counter: Option<&PersistentCounter>,
+        storage: Arc<dyn StorageFs>,
     ) -> Result<ShieldStore> {
-        let file = std::fs::File::open(path)?;
-        let mut r = BufReader::new(file);
+        let data = storage.read(path)?;
+        let mut r: &[u8] = &data;
 
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic).map_err(Error::from)?;
@@ -441,7 +454,7 @@ impl ShieldStore {
         }
 
         let keys = Arc::new(StoreKeys::from_raw(metadata.raw_keys));
-        let store = ShieldStore::with_keys(enclave, config, Arc::clone(&keys))?;
+        let store = ShieldStore::with_keys(enclave, config, Arc::clone(&keys), storage)?;
 
         for (shard_idx, mac_array) in metadata.mac_arrays.iter().enumerate() {
             store.with_shard(shard_idx, |shard| -> Result<()> {
@@ -473,6 +486,69 @@ impl ShieldStore {
         store.recount_usage();
         Ok(store)
     }
+}
+
+/// Re-verifies a snapshot file end-to-end without materializing a store:
+/// magic, sealed metadata (enclave identity + counter binding), and every
+/// entry's structure and MAC under its owner tenant's derived keys. Used
+/// by the background scrubber to catch bitrot while the snapshot is cold,
+/// long before a recovery would trip over it. Returns the number of bytes
+/// verified.
+pub(crate) fn verify_snapshot(
+    fs: &dyn StorageFs,
+    enclave: &Arc<Enclave>,
+    path: &Path,
+) -> Result<u64> {
+    let data = fs.read(path)?;
+    let mut r: &[u8] = &data;
+
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(Error::from)?;
+    if &magic != MAGIC {
+        return Err(Error::Persistence("bad snapshot magic".into()));
+    }
+    let file_counter = read_u64(&mut r)?;
+    let num_shards = read_u32(&mut r)? as usize;
+    let sealed_len = read_u32(&mut r)? as usize;
+    let sealed = read_vec(&mut r, sealed_len, MAX_SEALED_LEN)?;
+    let metadata = Metadata::deserialize(&seal::unseal(enclave, &sealed)?)?;
+    if metadata.counter != file_counter {
+        return Err(Error::Persistence("snapshot counter mismatch".into()));
+    }
+    if metadata.mac_arrays.len() != num_shards {
+        return Err(Error::Persistence("snapshot shard count mismatch".into()));
+    }
+    let keys = StoreKeys::from_raw(metadata.raw_keys);
+    for _ in 0..num_shards {
+        let count = read_u64(&mut r)? as usize;
+        for _ in 0..count {
+            let _bucket = read_u32(&mut r)? as usize;
+            let len = read_u32(&mut r)? as usize;
+            if len < entry::HEADER_LEN {
+                return Err(Error::Persistence("corrupt snapshot entry".into()));
+            }
+            let bytes = read_vec(&mut r, len, MAX_ENTRY_LEN)?;
+            let header = entry::parse_header(&bytes);
+            if header.entry_len() != bytes.len() {
+                return Err(Error::Persistence("entry length mismatch".into()));
+            }
+            let tkeys = keys.tenant_keys(header.tenant);
+            let mut plain = Vec::new();
+            if !entry::open_entry(
+                &tkeys.enc,
+                &tkeys.mac,
+                &header,
+                &bytes[entry::HEADER_LEN..],
+                &mut plain,
+            ) {
+                return Err(Error::IntegrityViolation { bucket: 0 });
+            }
+        }
+    }
+    if !r.is_empty() {
+        return Err(Error::Persistence("trailing bytes after snapshot tables".into()));
+    }
+    Ok(data.len() as u64)
 }
 
 /// Re-links one serialized entry into a table during restore, verifying

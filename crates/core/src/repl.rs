@@ -70,13 +70,13 @@
 //! promotion — fails closed.
 
 use std::collections::HashMap;
-use std::fs;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use sgx_sim::storage::{OpenMode, StorageFile, StorageFs};
 use shield_crypto::constant_time::ct_eq;
 
 use crate::error::{Error, Result};
@@ -390,6 +390,22 @@ impl ShieldStore {
     }
 }
 
+/// The replica's verified-frame journal: every record that survives
+/// chain verification in [`Replica::apply_batch`] is appended, raw and
+/// length-prefixed exactly as on the primary's disk, to
+/// `wal-<generation>.log` under the journal directory. The journal is a
+/// **repair cache**, not a durability root — it carries no pin, is never
+/// fsynced, and any write failure silently disables it — but because
+/// every byte in it already verified against the CMAC chain, a primary
+/// whose scrubber finds a rotted segment can re-fetch the damaged
+/// generation from here ([`Replica::serve_frames`]) and re-verify the
+/// chain before swap-in.
+struct Journal {
+    fs: Arc<dyn StorageFs>,
+    dir: PathBuf,
+    file: Box<dyn StorageFile>,
+}
+
 /// Replica-side stream state: verifies batches against its own chain
 /// position and replays records into a live (read-only by convention)
 /// store through the same apply path recovery uses. The store must be
@@ -404,6 +420,7 @@ pub struct Replica {
     seq: u64,
     chain: [u8; 16],
     primary_durable: Watermark,
+    journal: Option<Journal>,
 }
 
 impl Replica {
@@ -430,7 +447,27 @@ impl Replica {
             seq: 0,
             chain,
             primary_durable: hello.durable,
+            journal: None,
         })
+    }
+
+    /// [`Replica::new`], additionally journaling every verified frame
+    /// under `journal_dir` so this replica can later serve segment
+    /// repairs back to a primary whose disk rotted (see [`Journal`]).
+    /// The directory must not be the replica's future promotion WAL
+    /// directory — promotion writes its own files there.
+    pub fn with_journal(
+        store: Arc<ShieldStore>,
+        hello: &ReplHello,
+        journal_dir: &Path,
+    ) -> Result<Replica> {
+        let mut replica = Self::new(store, hello)?;
+        let fs = Arc::clone(replica.store.storage_ref());
+        fs.create_dir_all(journal_dir)?;
+        let file =
+            fs.open(&wal::log_path(journal_dir, hello.start_generation), OpenMode::Create)?;
+        replica.journal = Some(Journal { fs, dir: journal_dir.to_path_buf(), file });
+        Ok(replica)
     }
 
     /// The replica's applied (and therefore ackable) watermark.
@@ -485,6 +522,15 @@ impl Replica {
             }
             self.seq += 1;
             self.chain = mac;
+            // Journal the frame only now that it verified: the journal
+            // must never hold a byte the chain does not vouch for. A
+            // failed journal write disables journaling (the cache goes
+            // away; replication itself is unaffected).
+            if let Some(j) = &mut self.journal {
+                if j.file.write_all(&data[off..off + 4 + len]).is_err() {
+                    self.journal = None;
+                }
+            }
             off += 4 + len;
         }
         if off != data.len() {
@@ -498,6 +544,13 @@ impl Replica {
             self.generation = next_gen;
             self.seq = 0;
             self.chain = self.codec.genesis(next_gen);
+            // Roll the journal with the stream.
+            if let Some(j) = &mut self.journal {
+                match j.fs.open(&wal::log_path(&j.dir, next_gen), OpenMode::Create) {
+                    Ok(f) => j.file = f,
+                    Err(_) => self.journal = None,
+                }
+            }
         }
         self.primary_durable = self.primary_durable.max(batch.durable);
         let wm = self.watermark();
@@ -506,6 +559,60 @@ impl Replica {
             "replica applied past the primary's durable watermark"
         );
         Ok(wm)
+    }
+
+    /// Serves verified frames of generation `gen` back out of the
+    /// journal, in [`ReplBatch`] form so the existing segment-transfer
+    /// plumbing carries them unchanged: frames after `after_seq`, up to
+    /// ~`max_bytes` (always at least one frame when any remain). This is
+    /// the donor side of scrub-and-repair — a primary that found `gen`
+    /// rotted on its own disk fetches the frames from here and
+    /// re-verifies the full CMAC chain before swapping them in
+    /// ([`ShieldStore::repair_wal_segment`]). Fails when journaling is
+    /// off (or was disabled by a write failure) or the generation was
+    /// never journaled.
+    pub fn serve_frames(&self, gen: u64, after_seq: u64, max_bytes: usize) -> Result<ReplBatch> {
+        let j = self
+            .journal
+            .as_ref()
+            .ok_or_else(|| Error::Persistence("replica journal is not enabled".into()))?;
+        let data = j.fs.read(&wal::log_path(&j.dir, gen)).map_err(|_| {
+            Error::Persistence(format!("generation {gen} is not in the replica journal"))
+        })?;
+        let mut off = 0usize;
+        let mut seq = 0u64;
+        let mut start = data.len();
+        let mut end = data.len();
+        while off + 4 <= data.len() {
+            let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+            if off + 4 + len > data.len() {
+                // A frame torn by the disabling write failure: serve only
+                // the intact prefix.
+                break;
+            }
+            seq += 1;
+            if seq == after_seq + 1 {
+                start = off;
+            }
+            if seq > after_seq {
+                end = off + 4 + len;
+                if end - start >= max_bytes {
+                    break;
+                }
+            }
+            off += 4 + len;
+        }
+        let count = seq.saturating_sub(after_seq).min(u32::MAX as u64) as u32;
+        let frames = if start < end { data[start..end].to_vec() } else { Vec::new() };
+        Ok(ReplBatch {
+            generation: gen,
+            start_seq: after_seq + 1,
+            count: if frames.is_empty() { 0 } else { count },
+            frames,
+            advance_to: None,
+            advance_tag: [0u8; 16],
+            durable: self.primary_durable,
+        })
     }
 
     /// Promotes this replica to primary: fences the old primary
@@ -519,10 +626,11 @@ impl Replica {
     /// fails closed with [`Error::Rollback`].
     pub fn promote(self, primary_wal_dir: &Path, own_wal_dir: &Path) -> Result<Watermark> {
         let enclave = Arc::clone(self.store.enclave());
+        let fs = Arc::clone(self.store.storage_ref());
         // Pre-flight on the live pin: refuse — before fencing anything —
         // when this replica's stream position is not one the pin can
         // extend, or the pin is already stale/fenced.
-        let (pre, _) = wal::read_pin(&enclave, primary_wal_dir)?;
+        let (pre, _) = wal::read_pin(&enclave, &fs, primary_wal_dir)?;
         if pre.enc_key != self.enc_key
             || pre.mac_key != self.mac_key
             || !pre.segments.iter().any(|s| s.snap == self.generation)
@@ -534,8 +642,8 @@ impl Replica {
         // bumps put the counter exactly one or two past the last pin
         // legitimately written before the fence — anything older is a
         // stale pin swapped in underneath us.
-        wal::fence(primary_wal_dir)?;
-        let (pin, pcv) = wal::read_pin_unchecked(&enclave, primary_wal_dir)?;
+        wal::fence(&fs, primary_wal_dir)?;
+        let (pin, pcv) = wal::read_pin_unchecked(&enclave, &fs, primary_wal_dir)?;
         if pin.pin_ctr + 2 != pcv && pin.pin_ctr + 1 != pcv {
             return Err(Error::Rollback);
         }
@@ -544,7 +652,7 @@ impl Replica {
         }
         let my_idx =
             pin.segments.iter().position(|s| s.snap == self.generation).ok_or(Error::Rollback)?;
-        fs::create_dir_all(own_wal_dir)?;
+        fs.create_dir_all(own_wal_dir)?;
         let store = Arc::clone(&self.store);
         let mut adopted: Vec<Segment> = Vec::with_capacity(pin.segments.len());
         for (i, seg) in pin.segments.iter().enumerate() {
@@ -566,9 +674,9 @@ impl Replica {
                 Ok(())
             };
             let (seq, chain, verified) =
-                wal::verify_segment(primary_wal_dir, &self.codec, seg, &mut apply)?;
+                wal::verify_segment(fs.as_ref(), primary_wal_dir, &self.codec, seg, &mut apply)?;
             let path = wal::log_path(own_wal_dir, seg.snap);
-            let mut f = fs::File::create(&path)?;
+            let mut f = fs.open(&path, OpenMode::Create)?;
             f.write_all(&verified)?;
             f.sync_all()?;
             adopted.push(Segment { snap: seg.snap, last_seq: seq, last_mac: chain });
@@ -577,7 +685,7 @@ impl Replica {
             adopted.last().map(|s| Watermark::new(s.snap, s.last_seq)).ok_or(Error::Rollback)?;
         let policy = self.store.config().durability;
         let adopted_wal =
-            Wal::adopt(enclave, own_wal_dir, policy, self.enc_key, self.mac_key, adopted)?;
+            Wal::adopt(enclave, fs, own_wal_dir, policy, self.enc_key, self.mac_key, adopted)?;
         self.store.install_wal(adopted_wal)?;
         self.store.recount_usage();
         Ok(wm)
@@ -590,6 +698,7 @@ mod tests {
     use crate::config::{Config, DurabilityPolicy};
     use sgx_sim::counter::PersistentCounter;
     use sgx_sim::enclave::{Enclave, EnclaveBuilder};
+    use std::fs;
     use std::path::PathBuf;
 
     fn tmpdir(name: &str) -> PathBuf {

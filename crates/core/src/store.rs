@@ -18,7 +18,8 @@ use crate::wal::{Wal, WalOp};
 use parking_lot::Mutex;
 use sgx_sim::counter::PersistentCounter;
 use sgx_sim::enclave::Enclave;
-use std::path::Path;
+use sgx_sim::storage::{RealFs, StorageFs};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
 /// A shielded in-memory key-value store.
@@ -51,6 +52,15 @@ pub struct ShieldStore {
     /// Primary-side replication state (subscriber watermarks, shipping
     /// counters). Inert until the first [`ShieldStore::repl_subscribe`].
     repl: crate::repl::PrimaryState,
+    /// The storage seam all durable I/O goes through — [`RealFs`] in
+    /// production, a fault injector in tests and the adversary harness.
+    storage: Arc<dyn StorageFs>,
+    /// Incremental scrubber cursor and counters
+    /// ([`ShieldStore::scrub_tick`]).
+    scrub: Mutex<crate::scrub::ScrubState>,
+    /// The last snapshot this store wrote or restored — what the
+    /// scrubber's snapshot phase re-verifies.
+    last_snapshot: Mutex<Option<PathBuf>>,
 }
 
 impl std::fmt::Debug for ShieldStore {
@@ -65,15 +75,29 @@ impl std::fmt::Debug for ShieldStore {
 impl ShieldStore {
     /// Creates a store inside `enclave` with the given configuration.
     pub fn new(enclave: Arc<Enclave>, config: Config) -> Result<Self> {
+        Self::new_with_storage(enclave, config, RealFs::shared())
+    }
+
+    /// [`ShieldStore::new`] with an explicit storage backend: all durable
+    /// I/O (WAL, pin, counters, snapshots) routes through `storage`.
+    /// Tests and the adversary harness pass a
+    /// [`sgx_sim::storage::FaultFs`] to inject storage faults at every
+    /// call site.
+    pub fn new_with_storage(
+        enclave: Arc<Enclave>,
+        config: Config,
+        storage: Arc<dyn StorageFs>,
+    ) -> Result<Self> {
         config.validate();
         let keys = Arc::new(StoreKeys::generate(&enclave));
-        Self::with_keys(enclave, config, keys)
+        Self::with_keys(enclave, config, keys, storage)
     }
 
     pub(crate) fn with_keys(
         enclave: Arc<Enclave>,
         config: Config,
         keys: Arc<StoreKeys>,
+        storage: Arc<dyn StorageFs>,
     ) -> Result<Self> {
         let shard_cfg = ShardConfig::from_config(&config);
         let mut shards = Vec::with_capacity(config.shards);
@@ -92,6 +116,9 @@ impl ShieldStore {
             wal: OnceLock::new(),
             registry: TenantRegistry::new(),
             repl: crate::repl::PrimaryState::default(),
+            storage,
+            scrub: Mutex::new(crate::scrub::ScrubState::default()),
+            last_snapshot: Mutex::new(None),
         })
     }
 
@@ -101,7 +128,13 @@ impl ShieldStore {
     /// [`ShieldStore::recover`] to replay one instead. Fails if a WAL is
     /// already attached.
     pub fn attach_wal(&self, dir: impl AsRef<Path>) -> Result<()> {
-        let wal = Wal::create(Arc::clone(&self.enclave), dir.as_ref(), self.config.durability, 0)?;
+        let wal = Wal::create(
+            Arc::clone(&self.enclave),
+            Arc::clone(&self.storage),
+            dir.as_ref(),
+            self.config.durability,
+            0,
+        )?;
         self.wal.set(wal).map_err(|_| Error::Persistence("write-ahead log already attached".into()))
     }
 
@@ -136,6 +169,19 @@ impl ShieldStore {
         counter: &PersistentCounter,
         wal_dir: impl AsRef<Path>,
     ) -> Result<ShieldStore> {
+        Self::recover_with_storage(enclave, RealFs::shared(), config, snapshot, counter, wal_dir)
+    }
+
+    /// [`ShieldStore::recover`] with an explicit storage backend — the
+    /// fault-injection entry point for crash-recovery tests.
+    pub fn recover_with_storage(
+        enclave: Arc<Enclave>,
+        storage: Arc<dyn StorageFs>,
+        config: Config,
+        snapshot: Option<&Path>,
+        counter: &PersistentCounter,
+        wal_dir: impl AsRef<Path>,
+    ) -> Result<ShieldStore> {
         let policy = config.durability;
         // With WAL state present, the sealed pin (bound to its own
         // monotonic counter) is the freshness root: the snapshot may
@@ -144,26 +190,35 @@ impl ShieldStore {
         // not list. Without any WAL state the snapshot counter is the
         // only defense, so it is enforced here — including against a
         // wiped WAL dir presented alongside no snapshot at all.
-        let pin_is_freshness_root = Wal::state_exists(wal_dir.as_ref());
+        let pin_is_freshness_root = Wal::state_exists(&storage, wal_dir.as_ref());
         let (store, expected_snap) = match snapshot {
             Some(path) => {
                 let generation = crate::persist::snapshot_counter(path)?;
                 let freshness = if pin_is_freshness_root { None } else { Some(counter) };
-                (Self::restore_inner(enclave.clone(), config, path, freshness)?, generation)
+                let store = Self::restore_inner(
+                    enclave.clone(),
+                    config,
+                    path,
+                    freshness,
+                    Arc::clone(&storage),
+                )?;
+                *store.last_snapshot.lock() = Some(path.to_path_buf());
+                (store, generation)
             }
             None => {
                 if !pin_is_freshness_root {
                     counter.check_fresh(0).map_err(Error::from)?;
                 }
-                (Self::new(enclave.clone(), config)?, 0)
+                (Self::new_with_storage(enclave.clone(), config, Arc::clone(&storage))?, 0)
             }
         };
         // The WAL is not attached yet, so replayed ops are not re-logged.
         // Replay is unmetered (no quota state): every logged op was
         // admitted when it first ran; usage is recounted below.
-        let wal = Wal::recover(enclave, wal_dir.as_ref(), policy, expected_snap, &mut |op| {
-            store.apply_replicated(op)
-        })?;
+        let wal =
+            Wal::recover(enclave, storage, wal_dir.as_ref(), policy, expected_snap, &mut |op| {
+                store.apply_replicated(op)
+            })?;
         store
             .wal
             .set(wal)
@@ -217,6 +272,24 @@ impl ShieldStore {
 
     pub(crate) fn repl_state(&self) -> &crate::repl::PrimaryState {
         &self.repl
+    }
+
+    /// The storage seam this store's durable I/O goes through.
+    pub(crate) fn storage_ref(&self) -> &Arc<dyn StorageFs> {
+        &self.storage
+    }
+
+    pub(crate) fn scrub_state(&self) -> &Mutex<crate::scrub::ScrubState> {
+        &self.scrub
+    }
+
+    /// Records the snapshot file the scrubber should re-verify.
+    pub(crate) fn note_snapshot(&self, path: &Path) {
+        *self.last_snapshot.lock() = Some(path.to_path_buf());
+    }
+
+    pub(crate) fn last_snapshot_path(&self) -> Option<PathBuf> {
+        self.last_snapshot.lock().clone()
     }
 
     /// Testing-only access to the attached WAL, for crash injection.
@@ -615,6 +688,14 @@ impl ShieldStore {
             snap.hists.wal_group.merge(&hist);
         }
         self.repl.fill_gauges(&mut snap, self.wal.get().map(|w| w.durable_watermark()));
+        {
+            let scrub = self.scrub.lock();
+            snap.scrub_passes = scrub.passes;
+            snap.scrub_bytes = scrub.bytes;
+            snap.scrub_corrupt = scrub.corrupt;
+            snap.scrub_repaired = scrub.repaired;
+        }
+        snap.storage_failed = self.wal.get().is_some_and(|w| w.storage_failed()) as u64;
         snap.crypto_bytes = shield_crypto::stats::crypto_bytes();
         snap.crypto_ops = shield_crypto::stats::crypto_ops();
         snap.crypto_backend = shield_crypto::stats::backend_code();

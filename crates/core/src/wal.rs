@@ -80,7 +80,6 @@
 //! to the same complete state, and a snapshot generation absent from the
 //! pin is a rollback.
 
-use std::fs::{self, File, OpenOptions};
 use std::io::{ErrorKind, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -90,6 +89,7 @@ use parking_lot::Mutex;
 use sgx_sim::counter::PersistentCounter;
 use sgx_sim::enclave::Enclave;
 use sgx_sim::seal;
+use sgx_sim::storage::{OpenMode, StorageFile, StorageFs};
 use shield_crypto::cmac::Cmac;
 use shield_crypto::constant_time::ct_eq;
 use shield_crypto::ctr::AesCtr;
@@ -438,11 +438,6 @@ impl Pin {
     }
 }
 
-/// fsyncs `dir` itself so a rename inside it survives power loss.
-fn sync_dir(dir: &Path) -> std::io::Result<()> {
-    File::open(dir)?.sync_all()
-}
-
 /// Replays one pinned segment's log through `apply`, verifying the MAC
 /// chain record-by-record from the segment's genesis tag. Returns the
 /// sequence number and chain MAC actually reached (≥ the pinned pair
@@ -451,12 +446,13 @@ fn sync_dir(dir: &Path) -> std::io::Result<()> {
 /// anything short of the pin fails closed.
 fn replay_segment(
     codec: &WalCodec,
+    fs: &dyn StorageFs,
     dir: &Path,
     seg: &Segment,
     apply: &mut dyn FnMut(WalOp) -> Result<()>,
 ) -> Result<(u64, [u8; 16])> {
     let path = log_path(dir, seg.snap);
-    let data = match fs::read(&path) {
+    let data = match fs.read(&path) {
         Ok(d) => d,
         Err(e) if e.kind() == ErrorKind::NotFound => {
             if seg.last_seq > 0 {
@@ -474,7 +470,7 @@ fn replay_segment(
     };
     let (seq, chain, valid_end, torn) = walk_segment(codec, &data, seg, &mut apply_op)?;
     if torn {
-        let f = OpenOptions::new().write(true).open(&path)?;
+        let mut f = fs.open(&path, OpenMode::ReadWrite)?;
         f.set_len(valid_end as u64)?;
         f.sync_data()?;
     }
@@ -543,12 +539,13 @@ fn walk_segment(
 /// the file — what a promoting replica copies into its own log
 /// directory. Fail-closed rules match recovery.
 pub(crate) fn verify_segment(
+    fs: &dyn StorageFs,
     dir: &Path,
     codec: &WalCodec,
     seg: &Segment,
     apply: &mut dyn FnMut(u64, Vec<WalOp>) -> Result<()>,
 ) -> Result<(u64, [u8; 16], Vec<u8>)> {
-    let data = match fs::read(log_path(dir, seg.snap)) {
+    let data = match fs.read(&log_path(dir, seg.snap)) {
         Ok(d) => d,
         Err(e) if e.kind() == ErrorKind::NotFound => {
             if seg.last_seq > 0 {
@@ -569,10 +566,14 @@ pub(crate) fn verify_segment(
 /// apply their own acceptance window (a promoting replica reads once
 /// before fencing with the normal `c`/`c + 1` window, and once after,
 /// when the counter has deliberately moved two past the pin's claim).
-pub(crate) fn read_pin_unchecked(enclave: &Arc<Enclave>, dir: &Path) -> Result<(Pin, u64)> {
-    let counter = PersistentCounter::open(dir.join(PIN_CTR))?;
+pub(crate) fn read_pin_unchecked(
+    enclave: &Arc<Enclave>,
+    fs: &Arc<dyn StorageFs>,
+    dir: &Path,
+) -> Result<(Pin, u64)> {
+    let counter = PersistentCounter::open_with(fs.clone(), dir.join(PIN_CTR))?;
     let pcv = counter.read();
-    let sealed = match fs::read(dir.join(PIN_FILE)) {
+    let sealed = match fs.read(&dir.join(PIN_FILE)) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == ErrorKind::NotFound => return Err(Error::Rollback),
         Err(e) => return Err(e.into()),
@@ -587,8 +588,12 @@ pub(crate) fn read_pin_unchecked(enclave: &Arc<Enclave>, dir: &Path) -> Result<(
 /// the counter value observed. A pin claiming anything other than `c`
 /// or `c + 1` is stale — the directory was rolled back or another
 /// promotion already fenced it.
-pub(crate) fn read_pin(enclave: &Arc<Enclave>, dir: &Path) -> Result<(Pin, u64)> {
-    let (pin, pcv) = read_pin_unchecked(enclave, dir)?;
+pub(crate) fn read_pin(
+    enclave: &Arc<Enclave>,
+    fs: &Arc<dyn StorageFs>,
+    dir: &Path,
+) -> Result<(Pin, u64)> {
+    let (pin, pcv) = read_pin_unchecked(enclave, fs, dir)?;
     if pin.pin_ctr != pcv && pin.pin_ctr != pcv + 1 {
         return Err(Error::Rollback);
     }
@@ -600,8 +605,8 @@ pub(crate) fn read_pin(enclave: &Arc<Enclave>, dir: &Path) -> Result<(Pin, u64)>
 /// the directory: its next pin write (hence its next commit) fails
 /// closed, and recovery from the directory reports a rollback. Two
 /// bumps cover the `c + 1` crash window a live pin may already claim.
-pub(crate) fn fence(dir: &Path) -> Result<()> {
-    let counter = PersistentCounter::open(dir.join(PIN_CTR))?;
+pub(crate) fn fence(fs: &Arc<dyn StorageFs>, dir: &Path) -> Result<()> {
+    let counter = PersistentCounter::open_with(fs.clone(), dir.join(PIN_CTR))?;
     counter.increment().map_err(|e| Error::Persistence(format!("fencing counter bump: {e}")))?;
     counter.increment().map_err(|e| Error::Persistence(format!("fencing counter bump: {e}")))?;
     Ok(())
@@ -610,13 +615,14 @@ pub(crate) fn fence(dir: &Path) -> Result<()> {
 /// Deletes `wal-*.log` files in `dir` that belong to no live segment —
 /// leftovers from segments superseded by the restored snapshot, or from
 /// a crash between a pin prune and its file deletions. Best-effort.
-fn gc_unreferenced_logs(dir: &Path, prev: &[Segment], current_snap: u64) {
-    let Ok(entries) = fs::read_dir(dir) else {
+fn gc_unreferenced_logs(fs: &dyn StorageFs, dir: &Path, prev: &[Segment], current_snap: u64) {
+    let Ok(entries) = fs.list_dir(dir) else {
         return;
     };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
+    for path in entries {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
         let Some(gen) = name
             .strip_prefix("wal-")
             .and_then(|s| s.strip_suffix(".log"))
@@ -625,13 +631,80 @@ fn gc_unreferenced_logs(dir: &Path, prev: &[Segment], current_snap: u64) {
             continue;
         };
         if gen != current_snap && !prev.iter().any(|s| s.snap == gen) {
-            let _ = fs::remove_file(entry.path());
+            let _ = fs.remove_file(&path);
+        }
+    }
+}
+
+/// Resumable position inside one segment's scrub walk: the byte offset
+/// of the next frame, the last verified sequence number, and the chain
+/// MAC it ended on.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScrubPos {
+    pub(crate) offset: usize,
+    pub(crate) seq: u64,
+    pub(crate) chain: [u8; 16],
+}
+
+/// Outcome of one budgeted scrub step over a pinned segment.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ScrubChunk {
+    /// Budget exhausted mid-segment; resume from `pos`.
+    Progress {
+        /// Bytes verified this step.
+        bytes: u64,
+        /// Where the next step resumes.
+        pos: ScrubPos,
+    },
+    /// The segment verified end-to-end through its pinned `(seq, MAC)`.
+    Clean {
+        /// Bytes verified this step.
+        bytes: u64,
+    },
+    /// Pinned records are damaged on disk — bit rot, truncation, or a
+    /// vanished file.
+    Corrupt {
+        /// Bytes verified before the damage.
+        bytes: u64,
+    },
+    /// The generation is no longer pinned — rotated away mid-pass.
+    Gone,
+}
+
+/// Why a WAL writer stopped accepting commits. Distinct from `crashed`
+/// (a fencing signal or simulated kill, which also stops *reads* of the
+/// log): a poisoned writer keeps serving its durable prefix to readers
+/// and replicas — only the durable watermark is frozen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Poison {
+    /// Healthy.
+    None,
+    /// A scrub pass found a pinned segment damaged on disk. Cleared
+    /// when a verified repair swaps the segment back in.
+    Corrupt,
+    /// A durable write, fsync, rename, or counter bump failed.
+    /// Permanent for this writer's lifetime: after a failed fsync the
+    /// kernel may have silently dropped the dirty pages, so retrying
+    /// and acknowledging would lose data (the "fsyncgate" lesson).
+    Storage,
+}
+
+/// Routes a durable-I/O result through the fail-closed rule: the first
+/// failure storage-poisons the writer and every caller sees
+/// [`Error::StorageFailed`] from then on.
+fn fail_closed<T>(poison: &mut Poison, r: std::io::Result<T>) -> Result<T> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(_) => {
+            *poison = Poison::Storage;
+            Err(Error::StorageFailed)
         }
     }
 }
 
 struct WalInner {
     dir: PathBuf,
+    fs: Arc<dyn StorageFs>,
     enclave: Arc<Enclave>,
     codec: WalCodec,
     enc_key: [u8; 16],
@@ -652,7 +725,7 @@ struct WalInner {
     /// above this floor alive even after their snapshot lands, so the
     /// shipped stream stays gapless across rotations.
     retain_floor: u64,
-    file: Option<File>,
+    file: Option<Box<dyn StorageFile>>,
     buffer: Vec<WalOp>,
     /// When the oldest buffered op arrived (drives `Interval`).
     buffered_since: Option<Instant>,
@@ -665,6 +738,8 @@ struct WalInner {
     /// `Drop` skips its best-effort flush, so the on-disk state is exactly
     /// what a process kill would leave.
     crashed: bool,
+    /// Fail-closed writer state — see [`Poison`].
+    poison: Poison,
 }
 
 impl WalInner {
@@ -696,16 +771,27 @@ impl WalInner {
         let sealed = seal::seal(&self.enclave, &pin.encode());
         let tmp = self.dir.join(PIN_TMP);
         {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&sealed)?;
-            f.sync_all()?;
+            let mut f = fail_closed(&mut self.poison, self.fs.open(&tmp, OpenMode::Create))?;
+            fail_closed(&mut self.poison, f.write_all(&sealed))?;
+            fail_closed(&mut self.poison, f.sync_all())?;
         }
-        fs::rename(&tmp, self.dir.join(PIN_FILE))?;
-        sync_dir(&self.dir)?;
+        fail_closed(&mut self.poison, self.fs.rename(&tmp, &self.dir.join(PIN_FILE)))?;
+        fail_closed(&mut self.poison, self.fs.sync_dir(&self.dir))?;
         if fuse_fires() {
             std::process::abort(); // after pin write, before counter bump
         }
-        self.pin_counter.increment()?;
+        if self.pin_counter.increment().is_err() {
+            // A failed bump is ambiguous: it may be the fencing signal
+            // (another instance moved the shared counter between the
+            // check above and now) or a storage fault on the counter
+            // file itself. Re-read to tell them apart.
+            if self.pin_counter.verify_persisted().is_err() {
+                self.crashed = true;
+                return Err(Error::Rollback);
+            }
+            self.poison = Poison::Storage;
+            return Err(Error::StorageFailed);
+        }
         if fuse_fires() {
             std::process::abort(); // after the full commit sequence
         }
@@ -717,6 +803,9 @@ impl WalInner {
     fn commit(&mut self) -> Result<()> {
         if self.crashed {
             return Err(Error::Persistence("write-ahead log lost to a crash".into()));
+        }
+        if self.poison != Poison::None {
+            return Err(Error::StorageFailed);
         }
         if self.buffer.is_empty() {
             return Ok(());
@@ -730,16 +819,21 @@ impl WalInner {
             .ok_or_else(|| Error::Persistence("write-ahead log file not open".into()))?;
         if fuse_fires() {
             // Torn-write crash: half the frame reaches disk, modeling the
-            // kernel tearing an append across a power cut.
-            let _ = file.write_all(&frame[..frame.len() / 2]);
-            let _ = file.sync_data();
+            // kernel tearing an append across a power cut. The half write
+            // and its fsync pass through the same fail-closed rule as a
+            // real commit — a storage fault here poisons the writer
+            // before the simulated power cut lands, so the crash matrix
+            // can compose torn writes with injected faults.
+            if file.write_all(&frame[..frame.len() / 2]).and_then(|()| file.sync_data()).is_err() {
+                self.poison = Poison::Storage;
+            }
             std::process::abort();
         }
-        file.write_all(&frame)?;
+        fail_closed(&mut self.poison, file.write_all(&frame))?;
         if fuse_fires() {
             std::process::abort(); // written, not yet fsynced
         }
-        file.sync_data()?;
+        fail_closed(&mut self.poison, file.sync_data())?;
         self.fsyncs += 1;
         if fuse_fires() {
             std::process::abort(); // durable, pin not yet advanced
@@ -778,6 +872,9 @@ impl WalInner {
         if self.crashed {
             return Err(Error::Persistence("write-ahead log lost to a crash".into()));
         }
+        if self.poison != Poison::None {
+            return Err(Error::StorageFailed);
+        }
         if self.prev.len() + 1 >= MAX_SEGMENTS {
             return Err(Error::Persistence(format!(
                 "{} snapshot generations already pending; a snapshot must \
@@ -790,13 +887,11 @@ impl WalInner {
         self.snap = snap;
         self.seq = 0;
         self.last_mac = self.codec.genesis(snap);
-        self.file = Some(
-            OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(log_path(&self.dir, snap))?,
-        );
+        let file = fail_closed(
+            &mut self.poison,
+            self.fs.open(&log_path(&self.dir, snap), OpenMode::Create),
+        )?;
+        self.file = Some(file);
         self.write_pin()
     }
 
@@ -810,6 +905,9 @@ impl WalInner {
         if self.crashed {
             return Err(Error::Persistence("write-ahead log lost to a crash".into()));
         }
+        if self.poison != Poison::None {
+            return Err(Error::StorageFailed);
+        }
         // Prune only below both the confirmed snapshot and the
         // replication retention floor: a subscriber still mid-stream in
         // an old generation must be able to keep reading it.
@@ -821,7 +919,7 @@ impl WalInner {
         self.prev.retain(|s| s.snap >= cut);
         self.write_pin()?;
         for seg in obsolete {
-            let _ = fs::remove_file(log_path(&self.dir, seg.snap));
+            let _ = self.fs.remove_file(&log_path(&self.dir, seg.snap));
         }
         Ok(())
     }
@@ -846,31 +944,33 @@ impl Wal {
     /// the sealed pin.
     pub(crate) fn create(
         enclave: Arc<Enclave>,
+        fs: Arc<dyn StorageFs>,
         dir: &Path,
         policy: DurabilityPolicy,
         snap: u64,
     ) -> Result<Wal> {
-        fs::create_dir_all(dir)?;
-        if let Ok(entries) = fs::read_dir(dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let name = name.to_string_lossy();
+        fs.create_dir_all(dir)?;
+        if let Ok(entries) = fs.list_dir(dir) {
+            for path in entries {
+                let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                    continue;
+                };
                 if name.starts_with("wal-") && name.ends_with(".log") {
-                    let _ = fs::remove_file(entry.path());
+                    let _ = fs.remove_file(&path);
                 }
             }
         }
-        let pin_counter = PersistentCounter::open(dir.join(PIN_CTR))?;
+        let pin_counter = PersistentCounter::open_with(fs.clone(), dir.join(PIN_CTR))?;
         let mut enc_key = [0u8; 16];
         let mut mac_key = [0u8; 16];
         enclave.read_rand(&mut enc_key);
         enclave.read_rand(&mut mac_key);
         let codec = WalCodec::new(&enc_key, &mac_key);
         let last_mac = codec.genesis(snap);
-        let file =
-            OpenOptions::new().create(true).write(true).truncate(true).open(log_path(dir, snap))?;
+        let file = fs.open(&log_path(dir, snap), OpenMode::Create)?;
         let mut inner = WalInner {
             dir: dir.to_path_buf(),
+            fs,
             enclave,
             codec,
             enc_key,
@@ -890,6 +990,7 @@ impl Wal {
             fsyncs: 0,
             group_hist: LatencyHist::default(),
             crashed: false,
+            poison: Poison::None,
         };
         inner.write_pin()?;
         Ok(Wal { inner: Mutex::new(inner) })
@@ -898,11 +999,11 @@ impl Wal {
     /// Whether `dir` holds any WAL state — a pin file, or a pin counter
     /// that has ever moved. When it does, the sealed pin (not the
     /// snapshot's own counter) is the freshness root for recovery.
-    pub(crate) fn state_exists(dir: &Path) -> bool {
-        if dir.join(PIN_FILE).exists() {
+    pub(crate) fn state_exists(fs: &Arc<dyn StorageFs>, dir: &Path) -> bool {
+        if fs.exists(&dir.join(PIN_FILE)) {
             return true;
         }
-        match PersistentCounter::open(dir.join(PIN_CTR)) {
+        match PersistentCounter::open_with(fs.clone(), dir.join(PIN_CTR)) {
             Ok(ctr) => ctr.read() > 0,
             // Unreadable counter: claim state so recovery surfaces the
             // real I/O error instead of silently starting fresh.
@@ -921,19 +1022,20 @@ impl Wal {
     /// files garbage-collected. Returns the WAL ready for new appends.
     pub(crate) fn recover(
         enclave: Arc<Enclave>,
+        fs: Arc<dyn StorageFs>,
         dir: &Path,
         policy: DurabilityPolicy,
         expected_snap: u64,
         apply: &mut dyn FnMut(WalOp) -> Result<()>,
     ) -> Result<Wal> {
-        let pin_counter = PersistentCounter::open(dir.join(PIN_CTR))?;
+        let pin_counter = PersistentCounter::open_with(fs.clone(), dir.join(PIN_CTR))?;
         let pcv = pin_counter.read();
-        let sealed = match fs::read(dir.join(PIN_FILE)) {
+        let sealed = match fs.read(&dir.join(PIN_FILE)) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == ErrorKind::NotFound => {
                 if pcv == 0 {
                     // Never had a WAL here: start one.
-                    return Self::create(enclave, dir, policy, expected_snap);
+                    return Self::create(enclave, fs, dir, policy, expected_snap);
                 }
                 // The counter moved, so a pin existed once — hiding it is
                 // a rollback.
@@ -956,14 +1058,15 @@ impl Wal {
         let codec = WalCodec::new(&pin.enc_key, &pin.mac_key);
         let mut replayed = Vec::with_capacity(pin.segments.len() - idx);
         for seg in &pin.segments[idx..] {
-            let (seq, chain) = replay_segment(&codec, dir, seg, apply)?;
+            let (seq, chain) = replay_segment(&codec, fs.as_ref(), dir, seg, apply)?;
             replayed.push(Segment { snap: seg.snap, last_seq: seq, last_mac: chain });
         }
         let cur = replayed.pop().expect("at least one segment");
-        gc_unreferenced_logs(dir, &replayed, cur.snap);
-        let file = OpenOptions::new().create(true).append(true).open(log_path(dir, cur.snap))?;
+        gc_unreferenced_logs(fs.as_ref(), dir, &replayed, cur.snap);
+        let file = fs.open(&log_path(dir, cur.snap), OpenMode::Append)?;
         let mut inner = WalInner {
             dir: dir.to_path_buf(),
+            fs,
             enclave,
             codec,
             enc_key: pin.enc_key,
@@ -983,6 +1086,7 @@ impl Wal {
             fsyncs: 0,
             group_hist: LatencyHist::default(),
             crashed: false,
+            poison: Poison::None,
         };
         // Re-pin: drops superseded segments, covers records replayed past
         // a stale-but-acceptable pin, and restores the
@@ -1001,6 +1105,7 @@ impl Wal {
     /// handover.
     pub(crate) fn adopt(
         enclave: Arc<Enclave>,
+        fs: Arc<dyn StorageFs>,
         dir: &Path,
         policy: DurabilityPolicy,
         enc_key: [u8; 16],
@@ -1010,12 +1115,13 @@ impl Wal {
         let cur = segments.pop().ok_or_else(|| {
             Error::Persistence("adopting a log requires at least one segment".into())
         })?;
-        fs::create_dir_all(dir)?;
-        let pin_counter = PersistentCounter::open(dir.join(PIN_CTR))?;
+        fs.create_dir_all(dir)?;
+        let pin_counter = PersistentCounter::open_with(fs.clone(), dir.join(PIN_CTR))?;
         let codec = WalCodec::new(&enc_key, &mac_key);
-        let file = OpenOptions::new().create(true).append(true).open(log_path(dir, cur.snap))?;
+        let file = fs.open(&log_path(dir, cur.snap), OpenMode::Append)?;
         let mut inner = WalInner {
             dir: dir.to_path_buf(),
+            fs,
             enclave,
             codec,
             enc_key,
@@ -1035,6 +1141,7 @@ impl Wal {
             fsyncs: 0,
             group_hist: LatencyHist::default(),
             crashed: false,
+            poison: Poison::None,
         };
         inner.write_pin()?;
         Ok(Wal { inner: Mutex::new(inner) })
@@ -1046,6 +1153,13 @@ impl Wal {
         let mut inner = self.inner.lock();
         if inner.crashed {
             return Err(Error::Persistence("write-ahead log lost to a crash".into()));
+        }
+        if inner.poison != Poison::None {
+            // A poisoned writer can never make these ops durable;
+            // buffering them would let the caller believe they were
+            // logged. Refuse up front so the store degrades writes
+            // while reads keep serving.
+            return Err(Error::StorageFailed);
         }
         let before = inner.buffer.len();
         inner.buffer.extend(ops);
@@ -1111,6 +1225,10 @@ impl Wal {
         if inner.crashed {
             return Err(Error::Persistence("write-ahead log lost to a crash".into()));
         }
+        // Note: a *poisoned* writer still ships. Its durable prefix is
+        // intact and verified — freezing replication too would turn a
+        // local disk fault into cluster-wide data loss, when failing
+        // over to a caught-up replica is the whole point.
         let mut segments = inner.prev.clone();
         segments.push(Segment { snap: inner.snap, last_seq: inner.seq, last_mac: inner.last_mac });
         let idx = segments.iter().position(|s| s.snap == gen).ok_or(Error::Rollback)?;
@@ -1138,7 +1256,7 @@ impl Wal {
             }
             return Ok(batch);
         }
-        let data = fs::read(log_path(&inner.dir, gen))?;
+        let data = inner.fs.read(&log_path(&inner.dir, gen))?;
         let mut off = 0usize;
         let mut seq = 0u64;
         while off < data.len() && seq < seg.last_seq {
@@ -1198,6 +1316,188 @@ impl Wal {
         (inner.bytes, inner.records, inner.fsyncs, inner.group_hist)
     }
 
+    /// True once the writer is poisoned — a storage fault or
+    /// scrub-detected corruption froze the durable watermark. Reads and
+    /// replication keep serving the verified durable prefix.
+    pub(crate) fn storage_failed(&self) -> bool {
+        self.inner.lock().poison != Poison::None
+    }
+
+    /// Corrupt-poisons the writer after a scrub pass found a pinned
+    /// segment damaged on disk: commits fail closed until a verified
+    /// repair swaps the segment back in. Storage poisoning (permanent)
+    /// is never downgraded.
+    pub(crate) fn quarantine_corrupt(&self) {
+        let mut inner = self.inner.lock();
+        if inner.poison == Poison::None {
+            inner.poison = Poison::Corrupt;
+        }
+    }
+
+    /// Re-reads, unseals, and freshness-checks the sealed pin from disk
+    /// — the scrubber's check that the freshness root itself has not
+    /// rotted. Returns `(ok, bytes_read)`; never mutates anything.
+    pub(crate) fn scrub_pin(&self) -> (bool, u64) {
+        let inner = self.inner.lock();
+        let Ok(sealed) = inner.fs.read(&inner.dir.join(PIN_FILE)) else {
+            return (false, 0);
+        };
+        let bytes = sealed.len() as u64;
+        let Ok(plain) = seal::unseal(&inner.enclave, &sealed) else {
+            return (false, bytes);
+        };
+        let Some(pin) = Pin::decode(&plain) else {
+            return (false, bytes);
+        };
+        let pcv = inner.pin_counter.read();
+        (pin.pin_ctr == pcv || pin.pin_ctr == pcv + 1, bytes)
+    }
+
+    /// Rewrites the sealed pin from in-enclave state — the scrubber's
+    /// self-repair for a rotted pin file. No peer is needed: unlike log
+    /// frames, the pin's full content lives in enclave memory, so a
+    /// fresh seal + atomic replace restores it (and advances the
+    /// counter by the normal commit protocol).
+    pub(crate) fn rewrite_pin(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return Err(Error::Persistence("write-ahead log lost to a crash".into()));
+        }
+        if inner.poison == Poison::Storage {
+            return Err(Error::StorageFailed);
+        }
+        inner.write_pin()
+    }
+
+    /// The pinned segment list, oldest first, the appendable current
+    /// generation last — the scrubber's work list.
+    pub(crate) fn segments(&self) -> Vec<Segment> {
+        let inner = self.inner.lock();
+        let mut segs = inner.prev.clone();
+        segs.push(Segment { snap: inner.snap, last_seq: inner.seq, last_mac: inner.last_mac });
+        segs
+    }
+
+    /// Verifies up to ~`budget` bytes of pinned segment `gen`'s sealed
+    /// chain, resuming from `pos` (`None` = the generation's genesis
+    /// tag). Read-only: bytes past the pinned sequence are ignored
+    /// (recovery's torn-tail rule owns those), and damage to pinned
+    /// records reports [`ScrubChunk::Corrupt`] without touching the
+    /// file — the caller quarantines and, with an attested peer,
+    /// repairs. The chain may grow between chunks; a saved position
+    /// stays a valid verified prefix because the log is append-only.
+    pub(crate) fn scrub_chunk(
+        &self,
+        gen: u64,
+        pos: Option<ScrubPos>,
+        budget: usize,
+    ) -> Result<ScrubChunk> {
+        let inner = self.inner.lock();
+        let seg = if inner.snap == gen {
+            Segment { snap: gen, last_seq: inner.seq, last_mac: inner.last_mac }
+        } else {
+            match inner.prev.iter().find(|s| s.snap == gen) {
+                Some(s) => *s,
+                None => return Ok(ScrubChunk::Gone),
+            }
+        };
+        let mut pos =
+            pos.unwrap_or(ScrubPos { offset: 0, seq: 0, chain: inner.codec.genesis(gen) });
+        if pos.seq >= seg.last_seq {
+            return Ok(ScrubChunk::Clean { bytes: 0 });
+        }
+        let data = match inner.fs.read(&log_path(&inner.dir, gen)) {
+            Ok(d) => d,
+            Err(e) if e.kind() == ErrorKind::NotFound => {
+                return Ok(ScrubChunk::Corrupt { bytes: 0 }); // pinned records vanished
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let start = pos.offset;
+        loop {
+            let done = (pos.offset - start) as u64;
+            if data.len() < pos.offset + 4 {
+                return Ok(ScrubChunk::Corrupt { bytes: done });
+            }
+            let len =
+                u32::from_le_bytes(data[pos.offset..pos.offset + 4].try_into().unwrap()) as usize;
+            if !(MIN_RECORD_LEN..=MAX_RECORD_LEN).contains(&len)
+                || pos.offset + 4 + len > data.len()
+            {
+                return Ok(ScrubChunk::Corrupt { bytes: done });
+            }
+            let body = &data[pos.offset + 4..pos.offset + 4 + len];
+            let Ok((_ops, mac)) = inner.codec.open_record(pos.seq + 1, &pos.chain, body) else {
+                return Ok(ScrubChunk::Corrupt { bytes: done });
+            };
+            pos.seq += 1;
+            pos.chain = mac;
+            pos.offset += 4 + len;
+            let done = (pos.offset - start) as u64;
+            if pos.seq == seg.last_seq {
+                if !ct_eq(&pos.chain, &seg.last_mac) {
+                    return Ok(ScrubChunk::Corrupt { bytes: done });
+                }
+                return Ok(ScrubChunk::Clean { bytes: done });
+            }
+            if pos.offset - start >= budget {
+                return Ok(ScrubChunk::Progress { bytes: done, pos });
+            }
+        }
+    }
+
+    /// Replaces pinned segment `gen`'s on-disk file with `frames`
+    /// fetched from an attested peer, after verifying that the frames
+    /// walk the sealed chain from the generation's genesis tag to
+    /// *exactly* the pinned `(last_seq, last_mac)` with no torn tail
+    /// and no trailing bytes. The swap-in is atomic (tmp file + fsync +
+    /// rename + directory fsync). Repairing the current generation
+    /// reopens the append handle on the repaired file and clears
+    /// Corrupt poisoning; Storage poisoning is never cleared.
+    pub(crate) fn repair_segment(&self, gen: u64, frames: &[u8]) -> Result<()> {
+        let inner = &mut *self.inner.lock();
+        if inner.crashed {
+            return Err(Error::Persistence("write-ahead log lost to a crash".into()));
+        }
+        let current = inner.snap == gen;
+        let seg = if current {
+            Segment { snap: gen, last_seq: inner.seq, last_mac: inner.last_mac }
+        } else {
+            *inner.prev.iter().find(|s| s.snap == gen).ok_or(Error::Rollback)?
+        };
+        let mut nop = |_seq: u64, _ops: Vec<WalOp>| Ok(());
+        let (seq, chain, valid_end, torn) = walk_segment(&inner.codec, frames, &seg, &mut nop)?;
+        if torn || seq != seg.last_seq || valid_end != frames.len() || !ct_eq(&chain, &seg.last_mac)
+        {
+            // The peer shipped less, more, or other than the pinned
+            // chain — swapping it in would silently move the durable
+            // watermark.
+            return Err(Error::LogIntegrity { seq });
+        }
+        let path = log_path(&inner.dir, gen);
+        let tmp = path.with_extension("repair");
+        {
+            let mut f = fail_closed(&mut inner.poison, inner.fs.open(&tmp, OpenMode::Create))?;
+            fail_closed(&mut inner.poison, f.write_all(frames))?;
+            fail_closed(&mut inner.poison, f.sync_all())?;
+        }
+        fail_closed(&mut inner.poison, inner.fs.rename(&tmp, &path))?;
+        fail_closed(&mut inner.poison, inner.fs.sync_dir(&inner.dir))?;
+        if current {
+            // The append handle may still reference the damaged inode;
+            // future commits must extend the repaired file.
+            let file = fail_closed(&mut inner.poison, inner.fs.open(&path, OpenMode::Append))?;
+            inner.file = Some(file);
+        }
+        if inner.poison == Poison::Corrupt {
+            // One repaired segment clears the quarantine; if *another*
+            // segment is also damaged the next scrub pass re-detects it
+            // and re-poisons before any commit could chain onto it.
+            inner.poison = Poison::None;
+        }
+        Ok(())
+    }
+
     /// Drops the buffer and file handle and poisons the WAL, leaving the
     /// on-disk state exactly as a process kill would. Testing only — the
     /// adversary harness uses this for in-process crash/recover cycles.
@@ -1214,7 +1514,7 @@ impl Wal {
 impl Drop for Wal {
     fn drop(&mut self) {
         let inner = self.inner.get_mut();
-        if !inner.crashed {
+        if !inner.crashed && inner.poison == Poison::None {
             let _ = inner.commit(); // best-effort durability on clean exit
         }
     }
@@ -1224,6 +1524,8 @@ impl Drop for Wal {
 mod tests {
     use super::*;
     use sgx_sim::enclave::EnclaveBuilder;
+    use sgx_sim::storage::{FaultFs, FaultKind, FaultOp, FaultSpec, RealFs};
+    use std::fs;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("ss-wal-{}-{name}", std::process::id()));
@@ -1247,10 +1549,17 @@ mod tests {
 
     fn replay_all(enclave: &Arc<Enclave>, dir: &Path, snap: u64) -> Result<Vec<WalOp>> {
         let mut ops = Vec::new();
-        let wal = Wal::recover(enclave.clone(), dir, DurabilityPolicy::None, snap, &mut |op| {
-            ops.push(op);
-            Ok(())
-        })?;
+        let wal = Wal::recover(
+            enclave.clone(),
+            RealFs::shared(),
+            dir,
+            DurabilityPolicy::None,
+            snap,
+            &mut |op| {
+                ops.push(op);
+                Ok(())
+            },
+        )?;
         drop(wal);
         Ok(ops)
     }
@@ -1277,7 +1586,8 @@ mod tests {
     fn log_flush_recover_roundtrip() {
         let dir = tmpdir("roundtrip");
         let enc = enclave(7);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::None, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::None, 0).unwrap();
         wal.log([set("k1", "v1"), set("k2", "v2")]).unwrap();
         wal.flush().unwrap();
         wal.log([WalOp::Delete { tenant: 0, key: b"k1".to_vec() }]).unwrap();
@@ -1299,7 +1609,8 @@ mod tests {
     fn strict_policy_commits_each_op() {
         let dir = tmpdir("strict");
         let enc = enclave(8);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "1")]).unwrap();
         wal.log([set("b", "2")]).unwrap();
         let (bytes, records, fsyncs, hist) = wal.gauges();
@@ -1318,7 +1629,8 @@ mod tests {
     fn every_n_groups_commits() {
         let dir = tmpdir("everyn");
         let enc = enclave(9);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::EveryN(3), 0).unwrap();
+        let wal = Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::EveryN(3), 0)
+            .unwrap();
         for i in 0..7 {
             wal.log([set(&format!("k{i}"), "v")]).unwrap();
         }
@@ -1338,6 +1650,7 @@ mod tests {
         let enc = enclave(15);
         let wal = Wal::create(
             enc.clone(),
+            RealFs::shared(),
             &dir,
             DurabilityPolicy::Interval(std::time::Duration::from_secs(3600)),
             0,
@@ -1359,7 +1672,8 @@ mod tests {
     fn torn_tail_truncated_cleanly() {
         let dir = tmpdir("torn");
         let enc = enclave(10);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "1")]).unwrap();
         wal.log([set("b", "2")]).unwrap();
         wal.simulate_crash();
@@ -1393,7 +1707,8 @@ mod tests {
     fn bitflip_fails_closed() {
         let dir = tmpdir("bitflip");
         let enc = enclave(11);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "payload-payload")]).unwrap();
         wal.simulate_crash();
         drop(wal);
@@ -1412,7 +1727,8 @@ mod tests {
     fn stale_log_and_pin_rejected() {
         let dir = tmpdir("stale");
         let enc = enclave(12);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "1")]).unwrap();
         // Capture a stale pin+log pair...
         let old_pin = fs::read(dir.join(PIN_FILE)).unwrap();
@@ -1431,7 +1747,8 @@ mod tests {
     fn rotation_truncates_and_rebases_chain() {
         let dir = tmpdir("rotate");
         let enc = enclave(13);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "1")]).unwrap();
         wal.rotate_begin(5).unwrap();
         // Old generation survives until the snapshot is confirmed.
@@ -1453,7 +1770,8 @@ mod tests {
     fn crash_between_rotate_begin_and_commit_loses_nothing() {
         let dir = tmpdir("rotate-window");
         let enc = enclave(16);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "1")]).unwrap();
         wal.rotate_begin(5).unwrap();
         // Ops after rotate_begin land in the new generation's log.
@@ -1471,7 +1789,8 @@ mod tests {
     fn crash_after_snapshot_durable_before_rotate_commit() {
         let dir = tmpdir("rotate-commit-window");
         let enc = enclave(17);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "1")]).unwrap();
         wal.rotate_begin(5).unwrap();
         wal.log([set("b", "2")]).unwrap();
@@ -1492,7 +1811,8 @@ mod tests {
     fn repeated_failed_snapshots_stack_segments() {
         let dir = tmpdir("rotate-stack");
         let enc = enclave(18);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "1")]).unwrap();
         wal.rotate_begin(3).unwrap(); // snapshot 3 fails
         wal.log([set("b", "2")]).unwrap();
@@ -1514,13 +1834,186 @@ mod tests {
     fn hidden_pin_rejected_once_counter_moved() {
         let dir = tmpdir("hidden");
         let enc = enclave(14);
-        let wal = Wal::create(enc.clone(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
         wal.log([set("a", "1")]).unwrap();
         wal.simulate_crash();
         drop(wal);
         fs::remove_file(dir.join(PIN_FILE)).unwrap();
         fs::remove_file(log_path(&dir, 0)).unwrap();
         assert_eq!(replay_all(&enc, &dir, 0), Err(Error::Rollback));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_writer_permanently() {
+        let dir = tmpdir("fsync-poison");
+        let enc = enclave(20);
+        let ffs = std::sync::Arc::new(FaultFs::new());
+        let fs: Arc<dyn StorageFs> = ffs.clone();
+        let wal = Wal::create(enc.clone(), fs, &dir, DurabilityPolicy::Strict, 0).unwrap();
+        wal.log([set("a", "1")]).unwrap();
+        assert_eq!(wal.durable_watermark(), (0, 1));
+
+        // The next fsync on the log file lies.
+        ffs.inject(FaultSpec::first(FaultOp::SyncData, "wal-0.log", FaultKind::SyncFail));
+        assert_eq!(wal.log([set("b", "2")]), Err(Error::StorageFailed));
+        assert_eq!(ffs.injected(), 1);
+        assert!(wal.storage_failed());
+        assert_eq!(wal.durable_watermark(), (0, 1), "watermark frozen at the failure");
+
+        // The fault fired once and is disarmed, but the writer must NOT
+        // retry the fsync: every later commit fails closed too.
+        assert_eq!(wal.log([set("c", "3")]), Err(Error::StorageFailed));
+        assert!(wal.flush().is_err());
+        assert_eq!(wal.rotate_begin(5), Err(Error::StorageFailed));
+        let (_, records, fsyncs, _) = wal.gauges();
+        assert_eq!((records, fsyncs), (1, 1), "no durable progress after the poison");
+
+        // Replication still serves the verified durable prefix.
+        let batch = wal.ship_from(0, 0, 1 << 20).unwrap();
+        assert_eq!(batch.count, 1);
+        drop(wal); // Drop must not attempt a commit on a poisoned writer
+
+        // Recovery sees a verified prefix that covers everything acked.
+        // The un-acked record rides along here because only the fsync
+        // lied, not the write — it is gone under power loss (see
+        // power_cut_after_lost_sync_recovers_acked_prefix), and the
+        // watermark never promised it either way.
+        assert_eq!(replay_all(&enc, &dir, 0).unwrap(), vec![set("a", "1"), set("b", "2")]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_mid_commit_leaves_verified_prefix() {
+        let dir = tmpdir("enospc");
+        let enc = enclave(21);
+        let ffs = std::sync::Arc::new(FaultFs::new());
+        let fs: Arc<dyn StorageFs> = ffs.clone();
+        let wal = Wal::create(enc.clone(), fs, &dir, DurabilityPolicy::EveryN(2), 0).unwrap();
+        wal.log([set("a", "1"), set("b", "2")]).unwrap(); // group 1 commits
+        ffs.inject(FaultSpec::first(FaultOp::Write, "wal-0.log", FaultKind::Enospc));
+        // Group 2 hits a full disk mid-append: a half-written frame is
+        // on disk, so the writer must poison (appending more would
+        // corrupt the chain).
+        assert_eq!(wal.log([set("c", "3"), set("d", "4")]), Err(Error::StorageFailed));
+        assert_eq!(wal.durable_watermark(), (0, 1));
+        drop(wal);
+        // Recovery truncates the torn half-frame and lands on the
+        // genuine prefix: exactly the two acked ops.
+        assert_eq!(replay_all(&enc, &dir, 0).unwrap(), vec![set("a", "1"), set("b", "2")]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_pin_rename_poisons_writer() {
+        let dir = tmpdir("pin-rename");
+        let enc = enclave(22);
+        let ffs = std::sync::Arc::new(FaultFs::new());
+        let fs: Arc<dyn StorageFs> = ffs.clone();
+        let wal = Wal::create(enc.clone(), fs, &dir, DurabilityPolicy::Strict, 0).unwrap();
+        wal.log([set("a", "1")]).unwrap();
+        ffs.inject(FaultSpec::first(FaultOp::Rename, "wal.pin", FaultKind::Eio));
+        assert_eq!(wal.log([set("b", "2")]), Err(Error::StorageFailed));
+        assert!(wal.storage_failed());
+        drop(wal);
+        // Record 2 hit the log but its pin never landed; replay accepts
+        // the committed-but-unpinned record (same as a crash there).
+        let ops = replay_all(&enc, &dir, 0).unwrap();
+        assert!(!ops.is_empty() && ops[0] == set("a", "1"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_walks_chain_within_budget() {
+        let dir = tmpdir("scrub");
+        let enc = enclave(23);
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        for i in 0..8 {
+            wal.log([set(&format!("k{i}"), "payload-payload-payload")]).unwrap();
+        }
+        // A tiny budget takes several chunks; the sum covers the file.
+        let file_len = fs::read(log_path(&dir, 0)).unwrap().len() as u64;
+        let mut pos = None;
+        let mut total = 0;
+        let mut steps = 0;
+        loop {
+            match wal.scrub_chunk(0, pos, 64).unwrap() {
+                ScrubChunk::Progress { bytes, pos: p } => {
+                    total += bytes;
+                    pos = Some(p);
+                    steps += 1;
+                }
+                ScrubChunk::Clean { bytes } => {
+                    total += bytes;
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(steps > 1, "budget must actually chunk the walk");
+        assert_eq!(total, file_len, "every pinned byte verified");
+        // An unpinned generation reports Gone.
+        assert!(matches!(wal.scrub_chunk(9, None, 64).unwrap(), ScrubChunk::Gone));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_detects_bitrot_and_repair_restores() {
+        let dir = tmpdir("scrub-repair");
+        let enc = enclave(24);
+        let wal =
+            Wal::create(enc.clone(), RealFs::shared(), &dir, DurabilityPolicy::Strict, 0).unwrap();
+        for i in 0..4 {
+            wal.log([set(&format!("k{i}"), "vvvv")]).unwrap();
+        }
+        let path = log_path(&dir, 0);
+        let clean = fs::read(&path).unwrap();
+
+        // Rot a byte in the middle of the pinned region.
+        let mut bad = clean.clone();
+        bad[clean.len() / 2] ^= 0x40;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            wal.scrub_chunk(0, None, usize::MAX).unwrap(),
+            ScrubChunk::Corrupt { .. }
+        ));
+        wal.quarantine_corrupt();
+        assert!(wal.storage_failed());
+        assert_eq!(wal.log([set("x", "y")]), Err(Error::StorageFailed));
+
+        // A repair shipping anything but the exact pinned chain fails.
+        assert!(wal.repair_segment(0, &clean[..clean.len() - 1]).is_err());
+        assert!(wal.repair_segment(0, &bad).is_err());
+        // The genuine frames verify, swap in, and clear the quarantine.
+        wal.repair_segment(0, &clean).unwrap();
+        assert!(matches!(wal.scrub_chunk(0, None, usize::MAX).unwrap(), ScrubChunk::Clean { .. }));
+        assert!(!wal.storage_failed());
+        // The writer appends onto the repaired file again.
+        wal.log([set("k4", "vvvv")]).unwrap();
+        drop(wal);
+        assert_eq!(replay_all(&enc, &dir, 0).unwrap().len(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn power_cut_after_lost_sync_recovers_acked_prefix() {
+        let dir = tmpdir("power-cut");
+        let enc = enclave(25);
+        let ffs = std::sync::Arc::new(FaultFs::new());
+        let fs: Arc<dyn StorageFs> = ffs.clone();
+        let wal = Wal::create(enc.clone(), fs, &dir, DurabilityPolicy::Strict, 0).unwrap();
+        wal.log([set("a", "1")]).unwrap();
+        // The second commit's log fsync silently lies, poisoning the
+        // writer; then the machine loses power, dropping every page the
+        // lying fsync claimed to persist.
+        ffs.inject(FaultSpec::first(FaultOp::SyncData, "wal-0.log", FaultKind::SyncFail));
+        assert_eq!(wal.log([set("b", "2")]), Err(Error::StorageFailed));
+        drop(wal);
+        ffs.power_cut().unwrap();
+        // Only the acked write survives — and recovery agrees.
+        assert_eq!(replay_all(&enc, &dir, 0).unwrap(), vec![set("a", "1")]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

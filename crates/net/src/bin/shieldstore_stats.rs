@@ -140,6 +140,17 @@ fn print_dashboard(snap: &StatsSnapshot) {
     }
     println!();
 
+    println!("-- storage health --");
+    println!("{:<28} {}", "storage_failed", snap.storage_failed);
+    println!("{:<28} {}", "scrub_passes", snap.scrub_passes);
+    println!("{:<28} {}", "scrub_bytes", snap.scrub_bytes);
+    println!("{:<28} {}", "scrub_corrupt", snap.scrub_corrupt);
+    println!("{:<28} {}", "scrub_repaired", snap.scrub_repaired);
+    if snap.storage_failed != 0 {
+        println!("  !! log writer poisoned: writes fail closed; fail over or repair");
+    }
+    println!();
+
     println!("-- availability --");
     println!("{:<28} {}", "quarantined_sets", snap.quarantined_sets);
     println!("{:<28} {}", "quarantined_shards", snap.quarantined_shards);
@@ -291,6 +302,15 @@ fn to_json(snap: &StatsSnapshot) -> String {
         snap.crypto_bytes,
         snap.crypto_ops,
         snap.crypto_backend
+    ));
+    out.push_str(&format!(
+        "\"storage\":{{\"storage_failed\":{},\"scrub_passes\":{},\"scrub_bytes\":{},\
+         \"scrub_corrupt\":{},\"scrub_repaired\":{}}},",
+        snap.storage_failed,
+        snap.scrub_passes,
+        snap.scrub_bytes,
+        snap.scrub_corrupt,
+        snap.scrub_repaired
     ));
     out.push_str(&format!(
         "\"repl\":{{\"role\":{},\"subscribers\":{},\"segments_shipped\":{},\

@@ -22,6 +22,7 @@ fn status_err(status: Status, what: &str) -> NetError {
         Status::Quarantined => NetError::Quarantined,
         Status::QuotaExceeded => NetError::QuotaExceeded,
         Status::ReadOnly => NetError::ReadOnly,
+        Status::StorageFailed => NetError::StorageFailed,
         _ => NetError::Protocol(format!("server rejected {what}")),
     }
 }
@@ -556,6 +557,13 @@ impl RetryClient {
                 Ok(v) => return Ok(v),
                 // Deliberate fail-closed answer; retrying cannot help.
                 Err(NetError::Quarantined) => return Err(NetError::Quarantined),
+                // The server answered — the session stays aligned — but
+                // the node cannot take this write now (replica) or ever
+                // until repaired (poisoned log writer). Tearing down the
+                // session or burning backoff retries here would only
+                // delay the caller's failover decision, so surface the
+                // refusal immediately.
+                Err(e @ (NetError::ReadOnly | NetError::StorageFailed)) => return Err(e),
                 // Shed before execution; the session stays aligned.
                 Err(NetError::Busy) => {
                     if attempt >= self.policy.max_retries {

@@ -80,6 +80,11 @@ pub enum NetError {
     /// The server is a read-only replica; the mutation was not executed.
     /// Send writes to the primary (or wait for this node's promotion).
     ReadOnly,
+    /// The server's durable storage failed and its log writer is
+    /// poisoned: the mutation was not executed, and no mutation on that
+    /// node will succeed until an operator intervenes. Reads still
+    /// serve; fail over to a replica instead of retrying.
+    StorageFailed,
 }
 
 impl std::fmt::Display for NetError {
@@ -97,6 +102,9 @@ impl std::fmt::Display for NetError {
             }
             NetError::ReadOnly => {
                 write!(f, "server is a read-only replica: write not executed")
+            }
+            NetError::StorageFailed => {
+                write!(f, "server storage failed: log writer poisoned, write not executed")
             }
         }
     }

@@ -140,6 +140,11 @@ pub enum Status {
     /// **not** executed. Retry against the primary (or after this
     /// replica is promoted).
     ReadOnly = 6,
+    /// Durable storage failed under the server's write-ahead log and
+    /// the writer is poisoned: this mutation — and every further one on
+    /// this node — fails closed. Reads keep serving. Clients should
+    /// fail over to a replica rather than retry here.
+    StorageFailed = 7,
 }
 
 impl Status {
@@ -153,6 +158,7 @@ impl Status {
             4 => Status::Quarantined,
             5 => Status::QuotaExceeded,
             6 => Status::ReadOnly,
+            7 => Status::StorageFailed,
             other => return Err(NetError::Protocol(format!("unknown status {other}"))),
         })
     }
@@ -248,6 +254,12 @@ impl Response {
     /// Shorthand for ReadOnly (replica refused a mutation).
     pub fn read_only() -> Self {
         Self { status: Status::ReadOnly, value: Vec::new() }
+    }
+
+    /// Shorthand for StorageFailed (poisoned log writer refused a
+    /// mutation).
+    pub fn storage_failed() -> Self {
+        Self { status: Status::StorageFailed, value: Vec::new() }
     }
 
     /// Serializes the response body.
@@ -537,7 +549,8 @@ pub fn decode_multi_get_response(bytes: &[u8]) -> Result<Vec<Option<Vec<u8>>>> {
             | Status::Busy
             | Status::Quarantined
             | Status::QuotaExceeded
-            | Status::ReadOnly => {
+            | Status::ReadOnly
+            | Status::StorageFailed => {
                 return Err(NetError::Protocol(format!(
                     "per-key {status:?} status in multi-get response",
                 )));
@@ -595,8 +608,8 @@ pub fn decode_multi_set(bytes: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
 /// Version tag of the [`encode_stats`] layout. Bumped whenever the field
 /// order or width changes, so a stale client fails closed instead of
 /// misreading counters. v6 added the per-tenant block; v7 added the
-/// replication gauges.
-pub const STATS_WIRE_VERSION: u8 = 7;
+/// replication gauges; v8 added the scrub and storage-failure gauges.
+pub const STATS_WIRE_VERSION: u8 = 8;
 
 /// u64 fields serialized per [`shieldstore::TenantStat`] row.
 const TENANT_STAT_FIELDS: usize = 12;
@@ -646,6 +659,7 @@ fn sim_from_array(a: [u64; SIM_FIELDS]) -> sgx_sim::stats::StatsSnapshot {
 /// [ quarantined_sets | quarantined_shards | shed_requests | refused_connections ]
 /// [ cross_loop_handoffs | event_loops | pending_frames ]
 /// [ crypto_bytes | crypto_ops | crypto_backend ]
+/// [ scrub_passes | scrub_bytes | scrub_corrupt | scrub_repaired | storage_failed ]
 /// [ tenant_count u64 ] MAX_TENANT_STATS x tenant row (12 u64 each)
 /// [ sim_field_count u8 ] ( sim counter u64 )*
 /// ```
@@ -658,7 +672,7 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
     let mut out = Vec::with_capacity(
         2 + 8 * OpStats::FIELDS.len()
             + 5 * 8 * (NUM_BUCKETS + 2)
-            + (26 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) * 8
+            + (31 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) * 8
             + 1
             + 8 * SIM_FIELDS,
     );
@@ -701,6 +715,11 @@ pub fn encode_stats(snap: &shieldstore::StatsSnapshot) -> Vec<u8> {
         snap.crypto_bytes,
         snap.crypto_ops,
         snap.crypto_backend,
+        snap.scrub_passes,
+        snap.scrub_bytes,
+        snap.scrub_corrupt,
+        snap.scrub_repaired,
+        snap.storage_failed,
     ] {
         out.extend_from_slice(&gauge.to_le_bytes());
     }
@@ -814,6 +833,11 @@ pub fn decode_stats(bytes: &[u8]) -> Result<shieldstore::StatsSnapshot> {
     snap.crypto_bytes = r.u64()?;
     snap.crypto_ops = r.u64()?;
     snap.crypto_backend = r.u64()?;
+    snap.scrub_passes = r.u64()?;
+    snap.scrub_bytes = r.u64()?;
+    snap.scrub_corrupt = r.u64()?;
+    snap.scrub_repaired = r.u64()?;
+    snap.storage_failed = r.u64()?;
     snap.tenant_count = r.u64()?;
     if snap.tenant_count as usize > shieldstore::MAX_TENANT_STATS {
         return Err(NetError::Protocol("stats tenant count exceeds row slots".into()));
@@ -1044,6 +1068,11 @@ mod tests {
         snap.crypto_bytes = 1 << 30;
         snap.crypto_ops = 4242;
         snap.crypto_backend = 1;
+        snap.scrub_passes = 6;
+        snap.scrub_bytes = 1 << 22;
+        snap.scrub_corrupt = 2;
+        snap.scrub_repaired = 1;
+        snap.storage_failed = 1;
         snap.sim.ecalls = 77;
         snap.sim.epc_faults = 5;
         snap
@@ -1083,7 +1112,7 @@ mod tests {
         let mut snap = sample_snapshot();
         snap.hists.get.record(1_000_000);
         let mut bytes = encode_stats(&snap);
-        let tail = 8 * (26 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) + 1 + 8 * 9;
+        let tail = 8 * (31 + 1 + shieldstore::MAX_TENANT_STATS * TENANT_STAT_FIELDS) + 1 + 8 * 9;
         let max_off = bytes.len() - tail - 8;
         bytes[max_off..max_off + 8].copy_from_slice(&1u64.to_le_bytes());
         assert!(decode_stats(&bytes).is_err());

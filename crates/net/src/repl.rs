@@ -56,6 +56,13 @@ pub struct ReplicaConfig {
     pub primary_wal_dir: PathBuf,
     /// Where the promoted replica materializes its own WAL.
     pub wal_dir: PathBuf,
+    /// When set, the replica journals every verified frame here (a
+    /// repair cache, not a durability root) and serves
+    /// [`OpCode::ReplSegment`](crate::OpCode::ReplSegment) requests out
+    /// of it pre-promotion, so a primary whose scrubber found a rotted
+    /// segment can re-fetch the generation's frames from this node.
+    /// Must differ from `wal_dir`.
+    pub journal_dir: Option<PathBuf>,
     /// Handshake seed for the puller's session to the primary.
     pub session_seed: u64,
 }
@@ -67,6 +74,7 @@ impl Default for ReplicaConfig {
             max_batch_bytes: 1 << 20,
             primary_wal_dir: PathBuf::new(),
             wal_dir: PathBuf::new(),
+            journal_dir: None,
             session_seed: 0x5e_b1_1c_a5,
         }
     }
@@ -196,6 +204,20 @@ impl KvBackend for ReplicaBackend {
     }
 
     fn repl_batch(&self, generation: u64, after_seq: u64, max_bytes: u32) -> OpResult<Vec<u8>> {
+        if !self.shared.promoted.load(Ordering::Acquire) {
+            // Pre-promotion the store has no WAL to ship from, but the
+            // verified-frame journal (when enabled) can serve segment
+            // repairs back to a primary whose disk rotted — the donor
+            // side of scrub-and-repair.
+            let guard = self.shared.replica.lock().expect("replica lock");
+            return match guard.as_ref() {
+                Some(replica) => replica
+                    .serve_frames(generation, after_seq, max_bytes as usize)
+                    .map(|b| b.encode())
+                    .map_err(|_| OpError::Failed),
+                None => Err(OpError::Failed),
+            };
+        }
         KvBackend::repl_batch(&*self.store, generation, after_seq, max_bytes)
     }
 
@@ -338,8 +360,11 @@ impl ReplicaNode {
         let mut primary = KvClient::connect_secure(primary_addr, verifier, config.session_seed)?;
         let hello = primary.repl_subscribe()?;
         let subscriber = hello.subscriber;
-        let replica = Replica::new(Arc::clone(&store), &hello)
-            .map_err(|e| NetError::Protocol(format!("replica bootstrap failed: {e}")))?;
+        let replica = match &config.journal_dir {
+            Some(dir) => Replica::with_journal(Arc::clone(&store), &hello, dir),
+            None => Replica::new(Arc::clone(&store), &hello),
+        }
+        .map_err(|e| NetError::Protocol(format!("replica bootstrap failed: {e}")))?;
         let start = replica.watermark();
         let shared = Arc::new(ReplShared {
             replica: Mutex::new(Some(replica)),
@@ -465,4 +490,38 @@ fn pull_loop(
         // of the next poll.
         let _ = primary.repl_ack(subscriber, applied.generation, applied.seq);
     }
+}
+
+/// Repairs a rotted WAL generation on `store` from a peer: fetches
+/// generation `gen`'s raw frames over `client` (an attested session to
+/// a journaling replica — or to another primary holding the segment),
+/// batch by batch, then hands the whole set to
+/// [`ShieldStore::repair_wal_segment`], which re-verifies the full CMAC
+/// chain from the generation's genesis tag to the pinned `(seq, MAC)`
+/// before atomically swapping the bytes in. Frames from a lying or
+/// stale peer therefore fail closed without touching the damaged file.
+/// Returns the number of frames fetched.
+pub fn repair_segment_from_peer(
+    client: &mut KvClient,
+    store: &ShieldStore,
+    gen: u64,
+    max_batch_bytes: u32,
+) -> Result<u64> {
+    let mut frames = Vec::new();
+    let mut after_seq = 0u64;
+    loop {
+        let batch = client.repl_segment(gen, after_seq, max_batch_bytes)?;
+        if batch.count == 0 {
+            break;
+        }
+        if batch.generation != gen || batch.start_seq != after_seq + 1 {
+            return Err(NetError::Protocol("peer served frames out of position".into()));
+        }
+        frames.extend_from_slice(&batch.frames);
+        after_seq += u64::from(batch.count);
+    }
+    store
+        .repair_wal_segment(gen, &frames)
+        .map_err(|e| NetError::Protocol(format!("segment repair refused: {e}")))?;
+    Ok(after_seq)
 }

@@ -310,6 +310,7 @@ fn fail_status(e: OpError) -> Response {
         OpError::Quarantined => Response::quarantined(),
         OpError::QuotaExceeded => Response::quota_exceeded(),
         OpError::ReadOnly => Response::read_only(),
+        OpError::StorageFailed => Response::storage_failed(),
         OpError::Failed => Response::error(),
     }
 }

@@ -7,10 +7,12 @@
 //! logging per operation). This model offers an in-memory counter and an
 //! optional file-backed one whose persistence survives process restarts.
 
+use crate::storage::{OpenMode, RealFs, StorageFs};
 use crate::SimError;
 use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// An in-memory monotonic counter.
 #[derive(Debug, Default)]
@@ -53,26 +55,29 @@ impl MonotonicCounter {
 /// and rename so a crash cannot leave a torn value.
 #[derive(Debug)]
 pub struct PersistentCounter {
+    fs: Arc<dyn StorageFs>,
     path: PathBuf,
     cached: Mutex<u64>,
 }
 
 impl PersistentCounter {
-    /// Opens (or creates) the counter at `path`.
+    /// Opens (or creates) the counter at `path` on the real filesystem.
     pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::open_with(Arc::new(RealFs), path)
+    }
+
+    /// Opens (or creates) the counter at `path`, routing all I/O
+    /// through `fs` — the storage seam fault-injection tests use.
+    pub fn open_with(fs: Arc<dyn StorageFs>, path: impl Into<PathBuf>) -> std::io::Result<Self> {
         let path = path.into();
-        let value = match std::fs::read_to_string(&path) {
-            Ok(text) => text.trim().parse::<u64>().unwrap_or(0),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
-            Err(e) => return Err(e),
-        };
-        Ok(Self { path, cached: Mutex::new(value) })
+        let value = Self::persisted(fs.as_ref(), &path)?;
+        Ok(Self { fs, path, cached: Mutex::new(value) })
     }
 
     /// Reads the value currently persisted on disk, bypassing the cache.
-    fn persisted(path: &std::path::Path) -> std::io::Result<u64> {
-        match std::fs::read_to_string(path) {
-            Ok(text) => Ok(text.trim().parse::<u64>().unwrap_or(0)),
+    fn persisted(fs: &dyn StorageFs, path: &std::path::Path) -> std::io::Result<u64> {
+        match fs.read(path) {
+            Ok(bytes) => Ok(String::from_utf8_lossy(&bytes).trim().parse::<u64>().unwrap_or(0)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
             Err(e) => Err(e),
         }
@@ -96,7 +101,7 @@ impl PersistentCounter {
     pub fn increment(&self) -> std::io::Result<u64> {
         use std::io::Write as _;
         let mut guard = self.cached.lock();
-        if Self::persisted(&self.path)? != *guard {
+        if Self::persisted(self.fs.as_ref(), &self.path)? != *guard {
             return Err(std::io::Error::other(
                 "monotonic counter moved behind this instance's back",
             ));
@@ -104,15 +109,15 @@ impl PersistentCounter {
         let next = *guard + 1;
         let tmp = self.path.with_extension("tmp");
         {
-            let mut f = std::fs::File::create(&tmp)?;
+            let mut f = self.fs.open(&tmp, OpenMode::Create)?;
             f.write_all(next.to_string().as_bytes())?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, &self.path)?;
+        self.fs.rename(&tmp, &self.path)?;
         if let Some(parent) = self.path.parent() {
             let dir =
                 if parent.as_os_str().is_empty() { std::path::Path::new(".") } else { parent };
-            std::fs::File::open(dir)?.sync_all()?;
+            self.fs.sync_dir(dir)?;
         }
         *guard = next;
         Ok(next)
@@ -139,7 +144,7 @@ impl PersistentCounter {
     /// moved it (the fencing signal replication promotion relies on).
     pub fn verify_persisted(&self) -> Result<(), SimError> {
         let guard = self.cached.lock();
-        match Self::persisted(&self.path) {
+        match Self::persisted(self.fs.as_ref(), &self.path) {
             Ok(disk) if disk == *guard => Ok(()),
             _ => Err(SimError::CounterRollback),
         }

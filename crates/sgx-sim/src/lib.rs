@@ -24,6 +24,10 @@
 //! * [`seal`] — SGX-style sealing keyed by a fused platform secret and the
 //!   enclave measurement.
 //! * [`counter`] — monotonic counters for snapshot rollback protection.
+//! * [`storage`] — the untrusted storage seam ([`storage::StorageFs`])
+//!   plus a deterministic fault injector ([`storage::FaultFs`]) modeling
+//!   EIO/ENOSPC/short writes, lying fsyncs, torn renames, and power
+//!   cuts.
 //! * [`attest`] — simulated local attestation quotes.
 //!
 //! # Examples
@@ -51,6 +55,7 @@ pub mod epc;
 pub mod memory;
 pub mod seal;
 pub mod stats;
+pub mod storage;
 pub mod vclock;
 
 pub use enclave::{Enclave, EnclaveBuilder};
